@@ -1,0 +1,52 @@
+// Ablation A7 — the random component of receiver delay (the full Eq. 4).
+//
+// compute_metrics gives the deterministic pacing wait; on a jittery network
+// there is also a reordering component: even Rohatgi's zero-delay chain
+// waits when a needed earlier packet arrives late. We evaluate the exact
+// per-packet completion-time distribution on the dependence-graph
+// (core/delay_analysis) across jitter levels.
+//
+// Expected: sign-first chains (deterministic delay 0) acquire a delay that
+// grows with sigma; sign-last schemes are dominated by the block-length
+// wait and barely notice jitter; the p95/mean gap widens with sigma.
+#include "bench_common.hpp"
+#include "core/delay_analysis.hpp"
+#include "core/topologies.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[abl7] Receiver-delay distribution vs network jitter; n = 64, "
+                "T_transmit = 10 ms, mean path delay 50 ms");
+    SchemeParams params;
+    params.t_transmit = 0.01;
+
+    TablePrinter table({"scheme", "sigma(ms)", "det eq4 max(s)", "mean worst(s)",
+                        "p95 worst(s)"});
+    Rng rng(71);
+    struct Case {
+        const char* name;
+        DependenceGraph dg;
+    } cases[] = {{"rohatgi", make_rohatgi(64)},
+                 {"emss(2,1)", make_emss(64, 2, 1)},
+                 {"emss(2,8)", make_emss(64, 2, 8)},
+                 {"ac(3,3)", make_augmented_chain(64, 3, 3)}};
+
+    for (auto& c : cases) {
+        const auto metrics = compute_metrics(c.dg, params);
+        for (double sigma_ms : {0.0, 5.0, 20.0, 50.0}) {
+            GaussianDelay jitter(0.05, sigma_ms / 1000.0);
+            const auto dist =
+                receiver_delay_distribution(c.dg, params, jitter, rng, 1200);
+            table.add_row({c.name, TablePrinter::num(sigma_ms, 0),
+                           TablePrinter::num(metrics.max_receiver_delay, 3),
+                           TablePrinter::num(dist.worst_mean, 3),
+                           TablePrinter::num(dist.worst_p95, 3)});
+        }
+    }
+    bench::emit(table, "abl7");
+    bench::note("\nreading: rohatgi's rows rise from 0 with sigma (pure reordering"
+                "\ndelay); the sign-last schemes stay pinned near their deterministic"
+                "\nblock wait — jitter is second-order once you already wait for P_sign.");
+    return 0;
+}

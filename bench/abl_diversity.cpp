@@ -1,0 +1,61 @@
+// Ablation A5 — graph-theoretical diversity metrics as robustness
+// predictors. The paper argues informally that path multiplicity and path
+// sharing control loss tolerance; Menger disjoint-path counts and dominator
+// counts make that precise:
+//
+//   * min #vertex-disjoint root-paths  = how many simultaneous packet
+//     losses verification provably survives (Menger);
+//   * interior dominators              = single points of failure.
+//
+// We tabulate both against Monte-Carlo q_min under i.i.d. and bursty loss.
+// Expected: schemes ranked by min-disjoint-paths rank identically under
+// loss; schemes with dominators (rohatgi) collapse.
+#include "bench_common.hpp"
+#include "core/authprob.hpp"
+#include "core/metrics.hpp"
+#include "core/topologies.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[abl5] Diversity metrics vs measured robustness, n = 120");
+    const std::size_t kN = 120;
+
+    TablePrinter table({"scheme", "edges", "min disj paths", "max dominators",
+                        "#critical", "q_min iid p=.2", "q_min burst4 p=.2"});
+    Rng rng(41);
+    Rng scheme_rng(42);
+
+    struct Case {
+        std::string name;
+        DependenceGraph dg;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"rohatgi", make_rohatgi(kN)});
+    cases.push_back({"emss(2,1)", make_emss(kN, 2, 1)});
+    cases.push_back({"emss(3,1)", make_emss(kN, 3, 1)});
+    cases.push_back({"emss(3,8)", make_emss(kN, 3, 8)});
+    cases.push_back({"ac(3,3)", make_augmented_chain(kN, 3, 3)});
+    cases.push_back({"random(.02)", make_random_scheme(kN, 0.02, scheme_rng)});
+
+    for (const auto& c : cases) {
+        const DiversityMetrics div = compute_diversity(c.dg);
+
+        BernoulliLoss iid(0.2);
+        const double q_iid = monte_carlo_auth_prob(c.dg, iid, rng, 4000).q_min;
+        auto bursty = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+        const double q_burst = monte_carlo_auth_prob(c.dg, bursty, rng, 4000).q_min;
+
+        table.add_row({c.name, std::to_string(c.dg.graph().edge_count()),
+                       std::to_string(div.min_disjoint_paths),
+                       std::to_string(div.max_interior_dominators),
+                       std::to_string(div.critical_vertices.size()),
+                       TablePrinter::num(q_iid, 4), TablePrinter::num(q_burst, 4)});
+    }
+    bench::emit(table, "abl5");
+    bench::note("\nreading: max-dominators > 0 predicts collapse (rohatgi); among the"
+                "\ndominator-free schemes, burst robustness tracks link SPAN (emss(3,8)"
+                "\nvs emss(3,1)) rather than raw disjoint-path count alone — diversity"
+                "\nneeds to be spatial as well as combinatorial, the paper's §3 remark.");
+    return 0;
+}

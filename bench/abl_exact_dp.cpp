@@ -1,0 +1,82 @@
+// Ablation A6 — the paper's Figure 8/9 numbers, recomputed EXACTLY at full
+// scale with the transfer-matrix DP (core/exact_dp.hpp), plus the bursty
+// channels the paper left as future work.
+//
+// This is the quantitative correction of the independence recurrence: at
+// n = 1000 the recurrence's q_min for EMSS E_{2,1} converges to a loss-only
+// fixed point, while the exact value decays with n (somewhere in 1000
+// packets, both carriers of some packet die together). The paper's
+// *ranking* of schemes survives; the absolute q_min values do not.
+#include "bench_common.hpp"
+#include "core/authprob.hpp"
+#include "core/exact_dp.hpp"
+#include "core/topologies.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[abl6] Exact transfer-matrix DP vs the paper's recurrence, n = 1000");
+
+    bench::section("i.i.d. loss: q_min exact vs recurrence");
+    {
+        TablePrinter table({"offsets", "p", "recurrence(eq9)", "exact(DP)", "optimism"});
+        for (double p : {0.05, 0.1, 0.2, 0.3}) {
+            struct Case {
+                const char* name;
+                std::vector<std::size_t> offsets;
+            } cases[] = {{"{1,2}   (E_{2,1})", {1, 2}},
+                         {"{1,2,3} (E_{3,1})", {1, 2, 3}},
+                         {"{1,2,3,4}", {1, 2, 3, 4}},
+                         {"{1,8}", {1, 8}},
+                         {"{1,4,16}", {1, 4, 16}}};
+            for (const auto& c : cases) {
+                const auto dg = make_offset_scheme(1000, c.offsets);
+                const double rec = recurrence_auth_prob(dg, p).q_min;
+                const double exact =
+                    exact_offset_auth_prob(1000, c.offsets, MarkovChannel::bernoulli(p))
+                        .q_min;
+                table.add_row({c.name, TablePrinter::num(p, 2), TablePrinter::num(rec, 4),
+                               TablePrinter::num(exact, 4),
+                               TablePrinter::num(rec - exact, 4)});
+            }
+        }
+        bench::emit(table, "abl6_iid");
+    }
+
+    bench::section("exact q_min vs block size n (the decay Eq. 9 hides), p = 0.1");
+    {
+        TablePrinter table({"n", "{1,2} rec", "{1,2} exact", "{1,4,16} exact"});
+        for (std::size_t n : {50u, 100u, 200u, 500u, 1000u, 2000u, 5000u}) {
+            const double rec = recurrence_auth_prob(make_offset_scheme(n, {1, 2}), 0.1).q_min;
+            const double e12 =
+                exact_offset_auth_prob(n, {1, 2}, MarkovChannel::bernoulli(0.1)).q_min;
+            const double e146 =
+                exact_offset_auth_prob(n, {1, 4, 16}, MarkovChannel::bernoulli(0.1)).q_min;
+            table.add_row({std::to_string(n), TablePrinter::num(rec, 4),
+                           TablePrinter::num(e12, 4), TablePrinter::num(e146, 4)});
+        }
+        bench::emit(table, "abl6_decay");
+    }
+
+    bench::section("bursty loss, exact (rate 0.2, burst sweep), n = 1000");
+    {
+        TablePrinter table({"burst", "{1,2}", "{1,8}", "{1,16}", "{1,4,16}"});
+        for (double burst : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+            const MarkovChannel channel =
+                burst <= 1.0 ? MarkovChannel::bernoulli(0.2)
+                             : MarkovChannel::gilbert_elliott(0.2, burst);
+            auto q = [&](std::vector<std::size_t> offsets) {
+                return TablePrinter::num(
+                    exact_offset_auth_prob(1000, offsets, channel).q_min, 4);
+            };
+            table.add_row({TablePrinter::num(burst, 0), q({1, 2}), q({1, 8}), q({1, 16}),
+                           q({1, 4, 16})});
+        }
+        bench::emit(table, "abl6_bursty");
+    }
+    bench::note("\nreading: 'optimism' is the recurrence error the paper's figures carry;"
+                "\nthe n-sweep shows the true q_min decaying where Eq. 9 plateaus; the"
+                "\nburst table gives design guidance the i.i.d. analysis cannot: match"
+                "\nyour longest offset to the burst length you expect.");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A8 — the multicast group view. The paper evaluates q_min from
+// one receiver's perspective; the setting it motivates (§1: one source,
+// many recipients) adds a group-level metric: the fraction of packets that
+// EVERY receiver can authenticate, which decays ~ q^R under independent
+// per-receiver loss. This is where scheme robustness gets amplified: a
+// per-receiver difference of a few percent becomes a large group-delivery
+// gap at realistic group sizes.
+#include "bench_common.hpp"
+#include "crypto/signature.hpp"
+#include "sim/stream_sim.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[abl8] Multicast fan-out: group delivery vs receiver count; "
+                "p = 0.15, n = 24, 12 blocks");
+    Rng rng(81);
+    MerkleWotsSigner signer(rng, 160);  // 12 blocks x 12 scheme/group runs
+
+    SimConfig sim;
+    sim.blocks = 12;
+    sim.payload_bytes = 96;
+    sim.t_transmit = 0.005;
+    sim.sign_copies = 3;
+    sim.seed = 9;
+
+    TablePrinter table({"scheme", "receivers", "per-rcvr verified", "all-rcvrs", "any-rcvr"});
+    for (const char* which : {"emss21", "emss28", "rohatgi"}) {
+        const HashChainConfig scheme = std::string(which) == "emss21"
+                                           ? emss_config(24, 2, 1)
+                                       : std::string(which) == "emss28"
+                                           ? emss_config(24, 2, 8)
+                                           : rohatgi_config(24);
+        for (std::size_t receivers : {1u, 4u, 16u, 64u}) {
+            const Channel prototype(std::make_unique<BernoulliLoss>(0.15),
+                                    std::make_unique<GaussianDelay>(0.03, 0.005));
+            const auto stats =
+                run_multicast_hash_chain_sim(scheme, signer, prototype, receivers, sim);
+            table.add_row({scheme.name, std::to_string(receivers),
+                           TablePrinter::num(stats.verified_fraction.mean(), 4),
+                           TablePrinter::num(stats.all_receivers_fraction, 4),
+                           TablePrinter::num(stats.any_receiver_fraction, 4)});
+        }
+    }
+    bench::emit(table, "abl8");
+    bench::note("\nreading: the per-receiver column is flat in group size; the all-"
+                "\nreceivers column decays ~ q^R, collapsing fastest for the weakest"
+                "\nscheme — group-scale amplifies per-receiver robustness differences.");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A10 — two robustness checks of the paper's §3-§4 assumptions.
+//
+// (a) Per-packet q_i profile across the block. §3 argues designers should
+//     "minimize the variance of the authentication probabilities" by giving
+//     far vertices more paths; the profile shows where each scheme's
+//     probability plateaus, decays, or oscillates (exact DP values).
+//
+// (b) TESLA under a non-Gaussian delay: §4.1 justifies the Gaussian by the
+//     central limit theorem; heavy-tailed queueing breaks that. With mean
+//     and std matched, the shifted-exponential tail changes xi and hence
+//     q_min — quantifying how load-bearing the Gaussian assumption is.
+#include "bench_common.hpp"
+#include "core/exact_dp.hpp"
+#include "core/tesla.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[abl10] q_i profiles (exact) and TESLA delay-model sensitivity");
+
+    bench::section("(a) exact q_i vs vertex index, n = 200, p = 0.15");
+    {
+        const std::size_t n = 200;
+        const auto channel = MarkovChannel::bernoulli(0.15);
+        const auto q12 = exact_offset_auth_prob(n, {1, 2}, channel);
+        const auto q13 = exact_offset_auth_prob(n, {1, 2, 3}, channel);
+        const auto q1416 = exact_offset_auth_prob(n, {1, 4, 16}, channel);
+        TablePrinter table({"vertex", "{1,2}", "{1,2,3}", "{1,4,16}"});
+        for (std::size_t v : {1u, 2u, 5u, 10u, 20u, 50u, 100u, 150u, 199u}) {
+            table.add_row({std::to_string(v), TablePrinter::num(q12.q[v], 4),
+                           TablePrinter::num(q13.q[v], 4),
+                           TablePrinter::num(q1416.q[v], 4)});
+        }
+        bench::emit(table, "abl10_profile");
+        bench::note("reading: every profile is 1.0 near the root (P_sign carries those"
+                    "\nhashes) then decays geometrically at a scheme-specific rate; wider"
+                    "\noffset sets flatten the profile = lower variance, the §3 advice.");
+    }
+
+    bench::section("(b) TESLA q_min: Gaussian vs shifted-exponential delay, matched "
+                    "mean/std");
+    {
+        TablePrinter table(
+            {"T_disclose(s)", "gaussian", "shifted-exp", "difference"});
+        TeslaParams params;
+        params.n = 500;
+        params.p = 0.2;
+        const double mu = 0.5;
+        const double sigma = 0.25;
+        for (double t : {0.5, 0.75, 1.0, 1.5, 2.0, 3.0}) {
+            params.t_disclose = t;
+            params.mu = mu;
+            params.sigma = sigma;
+            const double gauss = analyze_tesla(params).q_min;
+            // Shifted exponential with the same mean and std: offset mu -
+            // sigma, mean-extra sigma.
+            const ShiftedExponentialDelay heavy(mu - sigma, sigma);
+            const double exp_tail = analyze_tesla(params, heavy).q_min;
+            table.add_row({TablePrinter::num(t, 2), TablePrinter::num(gauss, 4),
+                           TablePrinter::num(exp_tail, 4),
+                           TablePrinter::num(exp_tail - gauss, 4)});
+        }
+        bench::emit(table, "abl10_tesla_tail");
+        bench::note("reading: near the deadline (T ~ mu) the exponential's mass-before-"
+                    "\nmean helps TESLA; far past it the heavy tail hurts — the Gaussian"
+                    "\nassumption is optimistic exactly where deployments pick T_disclose.");
+    }
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace mcauth::bench {
+
+inline void section(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Print the table and mirror it as CSV under bench_out/.
+inline void emit(const TablePrinter& table, const std::string& csv_name) {
+    std::printf("%s", table.render().c_str());
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    if (!ec) table.write_csv("bench_out/" + csv_name + ".csv");
+}
+
+}  // namespace mcauth::bench

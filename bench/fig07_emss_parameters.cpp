@@ -1,0 +1,53 @@
+// Figure 7: EMSS E_{m,d} — q_min against m (number of hash links per
+// packet) and d (their separation) at n = 1000, p = 0.1 / 0.3 / 0.5.
+//
+// Expected shape (paper): q_min saturates in m at a small value (2-4): more
+// links than that buy little. And q_min is much LESS sensitive to d — only
+// d beyond ~20% of n moves it visibly (links overshooting toward the root
+// clamp and shorten paths).
+#include "bench_common.hpp"
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+
+using namespace mcauth;
+
+int main() {
+    bench::note("[fig07] EMSS E_{m,d}: q_min vs m (at d=1) and vs d (at m=2); n = 1000");
+    const std::size_t kN = 1000;
+
+    bench::section("q_min vs m (d = 1)");
+    {
+        const std::size_t m_values[] = {1, 2, 3, 4, 5, 6, 8};
+        std::vector<std::string> header{"p\\m"};
+        for (std::size_t m : m_values) header.push_back(std::to_string(m));
+        TablePrinter table(header);
+        for (double p : {0.1, 0.3, 0.5}) {
+            std::vector<std::string> row{TablePrinter::num(p, 1)};
+            for (std::size_t m : m_values)
+                row.push_back(
+                    TablePrinter::num(recurrence_auth_prob(make_emss(kN, m, 1), p).q_min, 4));
+            table.add_row(row);
+        }
+        bench::emit(table, "fig07_vs_m");
+    }
+
+    bench::section("q_min vs d (m = 2)");
+    {
+        const std::size_t d_values[] = {1, 2, 5, 10, 20, 50, 100, 200, 300, 450};
+        std::vector<std::string> header{"p\\d"};
+        for (std::size_t d : d_values) header.push_back(std::to_string(d));
+        TablePrinter table(header);
+        for (double p : {0.1, 0.3, 0.5}) {
+            std::vector<std::string> row{TablePrinter::num(p, 1)};
+            for (std::size_t d : d_values)
+                row.push_back(
+                    TablePrinter::num(recurrence_auth_prob(make_emss(kN, 2, d), p).q_min, 4));
+            table.add_row(row);
+        }
+        bench::emit(table, "fig07_vs_d");
+    }
+    bench::note("\nshape check: the m-table saturates by m = 2-4; the d-table stays nearly"
+                "\nflat until d is a large fraction of n (the paper's ~20% remark). Since"
+                "\nreceiver buffering grows with d, small d is the free choice.");
+    return 0;
+}

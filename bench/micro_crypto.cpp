@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks: the primitive and codec costs behind
+// Fig. 10's computational-overhead discussion. Hash-chained schemes cost
+// ~2 hash computations per packet at each end; sign-each costs a full
+// signature per packet — these numbers show the gap concretely on this
+// machine.
+#include <benchmark/benchmark.h>
+
+#include "auth/hash_chain_scheme.hpp"
+#include "auth/tesla_scheme.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/wots.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+    Rng rng(1);
+    const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_HmacSha256(benchmark::State& state) {
+    Rng rng(2);
+    const auto key = rng.bytes(32);
+    const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hmac_sha256(key, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(1024);
+
+void BM_RsaSign(benchmark::State& state) {
+    Rng rng(3);
+    const RsaKeyPair key = RsaKeyPair::generate(rng, static_cast<std::size_t>(state.range(0)));
+    const auto msg = rng.bytes(256);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rsa_sign(key, msg));
+    }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+    Rng rng(4);
+    const RsaKeyPair key = RsaKeyPair::generate(rng, static_cast<std::size_t>(state.range(0)));
+    const auto msg = rng.bytes(256);
+    const auto sig = rsa_sign(key, msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
+    }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_WotsSign(benchmark::State& state) {
+    Rng rng(5);
+    const auto seed = rng.bytes(32);
+    const WotsKey key(seed, 0);
+    const Digest256 digest = Sha256::hash("packet");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(key.sign(digest));
+    }
+}
+BENCHMARK(BM_WotsSign)->Unit(benchmark::kMicrosecond);
+
+void BM_WotsVerify(benchmark::State& state) {
+    Rng rng(6);
+    const auto seed = rng.bytes(32);
+    const WotsKey key(seed, 0);
+    const Digest256 digest = Sha256::hash("packet");
+    const auto sig = key.sign(digest);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(WotsKey::recover_public_key(sig, digest));
+    }
+}
+BENCHMARK(BM_WotsVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_MerkleBuild(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<Digest256> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(Sha256::hash("leaf" + std::to_string(i)));
+    for (auto _ : state) {
+        MerkleTree tree(leaves);
+        benchmark::DoNotOptimize(tree.root());
+    }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------- codec throughput
+
+std::vector<std::vector<std::uint8_t>> payloads(Rng& rng, std::size_t n, std::size_t bytes) {
+    std::vector<std::vector<std::uint8_t>> out;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(rng.bytes(bytes));
+    return out;
+}
+
+void BM_EmssSenderBlock(benchmark::State& state) {
+    Rng rng(7);
+    HmacSigner signer(rng, 128);  // signature cost excluded: isolate hashing
+    const auto n = static_cast<std::size_t>(state.range(0));
+    HashChainSender sender(emss_config(n, 2, 1), signer);
+    const auto data = payloads(rng, n, 512);
+    std::uint32_t block = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sender.make_block(block++, data));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmssSenderBlock)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_EmssReceiverBlock(benchmark::State& state) {
+    Rng rng(8);
+    HmacSigner signer(rng, 128);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto config = emss_config(n, 2, 1);
+    HashChainSender sender(config, signer);
+    const auto data = payloads(rng, n, 512);
+    std::uint32_t block = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const auto packets = sender.make_block(block, data);
+        HashChainReceiver receiver(config, signer.make_verifier());
+        state.ResumeTiming();
+        std::size_t verdicts = 0;
+        for (const auto& pkt : packets) verdicts += receiver.on_packet(pkt).size();
+        benchmark::DoNotOptimize(verdicts);
+        ++block;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmssReceiverBlock)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TeslaPacket(benchmark::State& state) {
+    Rng rng(9);
+    HmacSigner signer(rng, 128);
+    TeslaConfig config;
+    config.interval_duration = 1e6;  // everything in interval 1: isolate MAC cost
+    config.chain_length = 4;
+    TeslaSender sender(config, signer, rng, 0.0);
+    const auto payload = rng.bytes(512);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sender.make_packet(payload, 0.5));
+    }
+}
+BENCHMARK(BM_TeslaPacket)->Unit(benchmark::kMicrosecond);
+
+void BM_TeslaKeyChainBuild(benchmark::State& state) {
+    Rng rng(10);
+    const auto seed = rng.bytes(32);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        TeslaKeyChain chain(seed, n);
+        benchmark::DoNotOptimize(chain.commitment());
+    }
+}
+BENCHMARK(BM_TeslaKeyChainBuild)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,72 @@
+// Quickstart: authenticate a multicast stream with a hash-chained scheme
+// and watch it survive packet loss.
+//
+//   build/examples/quickstart [--n=32] [--p=0.2] [--blocks=4]
+//
+// Walkthrough of the core API:
+//   1. pick a scheme  = a dependence-graph topology (EMSS E_{2,1} here),
+//   2. predict        = dependence-graph analysis of q_min / overhead,
+//   3. run            = real sender -> lossy channel -> real receiver,
+//   4. compare        = measured verification rate vs the prediction.
+#include <cstdio>
+
+#include "core/authprob.hpp"
+#include "core/exact_dp.hpp"
+#include "core/metrics.hpp"
+#include "core/topologies.hpp"
+#include "sim/stream_sim.hpp"
+#include "util/cli.hpp"
+
+using namespace mcauth;
+
+int main(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 32));
+    const double p = args.get_double("p", 0.2);
+    const auto blocks = static_cast<std::size_t>(args.get_int("blocks", 16));
+
+    std::printf("mcauth quickstart: EMSS E_{2,1}, block size %zu, loss rate %.2f\n\n", n, p);
+
+    // --- 1. the scheme is its dependence-graph topology --------------------
+    const HashChainConfig scheme = emss_config(n, 2, 1);
+    const DependenceGraph graph = scheme.topology(n);
+    std::printf("dependence-graph: %zu packets, %zu edges, P_sign sent last\n",
+                graph.packet_count(), graph.graph().edge_count());
+
+    // --- 2. analysis: what should we expect on this channel? ---------------
+    const AuthProb recurrence = recurrence_auth_prob(graph, p);
+    const AuthProb exact = exact_offset_auth_prob(n, {1, 2}, MarkovChannel::bernoulli(p));
+    const GraphMetrics metrics = compute_metrics(graph, SchemeParams{});
+    std::printf("predicted q_min — paper's recurrence (Eq. 8): %.4f\n", recurrence.q_min);
+    std::printf("predicted q_min — exact transfer-matrix DP:   %.4f\n", exact.q_min);
+    std::printf("overhead: %.2f hashes/packet, worst receiver delay %.2fs\n\n",
+                metrics.hashes_per_packet, metrics.max_receiver_delay);
+
+    // --- 3. run it for real -------------------------------------------------
+    Rng rng(2024);
+    MerkleWotsSigner signer(rng, blocks + 1);  // hash-based signatures, one per block
+    Channel channel(std::make_unique<BernoulliLoss>(p),
+                    std::make_unique<GaussianDelay>(0.05, 0.01));
+    SimConfig sim;
+    sim.blocks = blocks;
+    sim.payload_bytes = 256;
+    sim.t_transmit = 0.01;
+    sim.sign_copies = 3;  // replicate P_sign (the paper assumes it arrives)
+    sim.seed = 99;
+    const SimStats stats = run_hash_chain_sim(scheme, signer, channel, sim);
+
+    // --- 4. measured vs predicted ------------------------------------------
+    std::printf("sent %zu packets, received %zu, authenticated %zu, unverifiable %zu\n",
+                stats.packets_sent, stats.packets_received, stats.authenticated,
+                stats.unverifiable);
+    std::printf("measured verification rate of received packets: %.4f\n",
+                stats.auth_fraction());
+    std::printf("measured worst-index q: %.4f (exact prediction %.4f; the paper's\n"
+                "recurrence said %.4f — see EXPERIMENTS.md on its optimism)\n",
+                stats.empirical_q_min, exact.q_min, recurrence.q_min);
+    std::printf("measured overhead: %.1f bytes/packet; max receiver buffer: %zu packets\n",
+                stats.overhead_bytes_per_packet, stats.max_buffered_packets);
+    std::printf("\n(every 'authenticated' packet above passed a real signature-anchored\n"
+                "hash-chain check; flip any byte in transit and it would be rejected.)\n");
+    return 0;
+}

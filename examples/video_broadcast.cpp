@@ -1,0 +1,94 @@
+// Video broadcast under BURSTY loss: augmented chain vs EMSS.
+//
+//   build/examples/video_broadcast [--gops=40] [--gop=16] [--loss=0.15]
+//                                  [--burst=5]
+//
+// The paper's §2 motivation for the augmented chain: Internet loss is
+// bursty, and a scheme whose hash links all have short span dies to one
+// burst. We stream "video" (one block per GOP, I-frame-sized first payload)
+// through a Gilbert-Elliott channel and compare AC C_{3,3} against
+// EMSS E_{2,1} and EMSS E_{2,8} on identical loss patterns.
+#include <cstdio>
+
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "sim/stream_sim.hpp"
+#include "util/cli.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+struct Outcome {
+    SimStats stats;
+    std::string name;
+};
+
+Outcome run(const HashChainConfig& scheme, Signer& signer, double loss_rate, double burst,
+            std::size_t gops, std::uint64_t seed) {
+    Channel channel(
+        burst <= 1.0
+            ? std::unique_ptr<LossModel>(std::make_unique<BernoulliLoss>(loss_rate))
+            : std::unique_ptr<LossModel>(std::make_unique<GilbertElliottLoss>(
+                  GilbertElliottLoss::from_rate_and_burst(loss_rate, burst))),
+        std::make_unique<GaussianDelay>(0.04, 0.01));
+    SimConfig sim;
+    sim.blocks = gops;
+    sim.payload_bytes = 1200;  // near-MTU video slices
+    sim.t_transmit = 0.005;
+    sim.sign_copies = 3;
+    sim.seed = seed;
+    return {run_hash_chain_sim(scheme, signer, channel, sim), scheme.name};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    const auto gops = static_cast<std::size_t>(args.get_int("gops", 40));
+    const auto gop = static_cast<std::size_t>(args.get_int("gop", 16));
+    const double loss = args.get_double("loss", 0.15);
+    const double burst = args.get_double("burst", 5.0);
+
+    std::printf("video broadcast: %zu GOPs x %zu slices, Gilbert-Elliott loss %.0f%% with "
+                "mean burst %.1f packets\n\n",
+                gops, gop, loss * 100, burst);
+
+    Rng rng(777);
+    MerkleWotsSigner signer(rng, 3 * gops + 4);
+
+    const Outcome results[] = {
+        run(emss_config(gop, 2, 1), signer, loss, burst, gops, 11),
+        run(emss_config(gop, 2, 8), signer, loss, burst, gops, 11),
+        run(augmented_chain_config(gop, 3, 3), signer, loss, burst, gops, 11),
+    };
+
+    std::printf("%-12s %12s %14s %14s %12s\n", "scheme", "received", "authenticated",
+                "q(worst idx)", "B/packet");
+    for (const auto& r : results) {
+        std::printf("%-12s %12zu %14zu %14.4f %12.1f\n", r.name.c_str(),
+                    r.stats.packets_received, r.stats.authenticated,
+                    r.stats.empirical_q_min, r.stats.overhead_bytes_per_packet);
+    }
+
+    std::printf("\nanalysis cross-check (Monte-Carlo on the dependence-graphs, same "
+                "channel):\n");
+    auto ge = burst <= 1.0
+                  ? std::unique_ptr<LossModel>(std::make_unique<BernoulliLoss>(loss))
+                  : std::unique_ptr<LossModel>(std::make_unique<GilbertElliottLoss>(
+                        GilbertElliottLoss::from_rate_and_burst(loss, burst)));
+    Rng mc_rng(555);
+    for (const auto& [name, dg] :
+         {std::pair<std::string, DependenceGraph>{"emss(2,1)", make_emss(gop, 2, 1)},
+          {"emss(2,8)", make_emss(gop, 2, 8)},
+          {"ac(3,3)", make_augmented_chain(gop, 3, 3)}}) {
+        auto loss_copy = ge->clone();
+        const auto mc = monte_carlo_auth_prob(dg, *loss_copy, mc_rng, 20000);
+        std::printf("  %-12s predicted q_min = %.4f\n", name.c_str(), mc.q_min);
+    }
+
+    std::printf("\nreading: with bursts ~%.0f packets, emss(2,1)'s short links break while"
+                "\nthe wider-span links of emss(2,8) and ac(3,3) bridge the gaps; at"
+                "\nburst=1 (--burst=1) the three schemes converge.\n", burst);
+    return 0;
+}

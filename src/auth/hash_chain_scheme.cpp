@@ -1,0 +1,231 @@
+#include "auth/hash_chain_scheme.hpp"
+
+#include <algorithm>
+
+#include "core/topologies.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+// ------------------------------------------------------------------ sender
+
+HashChainSender::HashChainSender(HashChainConfig config, Signer& signer)
+    : config_(std::move(config)),
+      signer_(signer),
+      graph_(config_.topology
+                 ? config_.topology(config_.block_size)
+                 : make_emss(config_.block_size, 2, 1)) {
+    MCAUTH_EXPECTS(config_.block_size >= 2);
+    MCAUTH_EXPECTS(config_.hash_bytes >= 4 && config_.hash_bytes <= 32);
+    MCAUTH_EXPECTS(graph_.packet_count() == config_.block_size);
+    MCAUTH_REQUIRE(graph_.is_valid());
+    const auto topo = topological_order(graph_.graph());
+    MCAUTH_ENSURES(topo.has_value());
+    reverse_topo_.assign(topo->rbegin(), topo->rend());
+}
+
+std::vector<AuthPacket> HashChainSender::make_block(
+    std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads) {
+    MCAUTH_EXPECTS(payloads.size() == config_.block_size);
+    const std::size_t n = config_.block_size;
+
+    std::vector<AuthPacket> by_vertex(n);
+    std::vector<std::vector<std::uint8_t>> digest_by_vertex(n);
+
+    // Reverse topological order: every successor (a packet whose digest we
+    // must embed) is assembled - and therefore hashable - before its
+    // carriers. This direction-agnosticism is what lets the same code drive
+    // Rohatgi (carriers sent before targets) and EMSS/AC (after).
+    for (VertexId v : reverse_topo_) {
+        AuthPacket& pkt = by_vertex[v];
+        pkt.block_id = block_id;
+        pkt.index = graph_.send_pos(v);
+        pkt.block_size = static_cast<std::uint32_t>(n);
+        pkt.kind = v == DependenceGraph::root() ? PacketKind::kSignature : PacketKind::kData;
+        pkt.payload = payloads[pkt.index];
+
+        // Deterministic carrier order (by target transmission index) keeps
+        // the wire image reproducible across runs.
+        std::vector<VertexId> targets(graph_.graph().successors(v).begin(),
+                                      graph_.graph().successors(v).end());
+        std::sort(targets.begin(), targets.end(),
+                  [&](VertexId a, VertexId b) { return graph_.send_pos(a) < graph_.send_pos(b); });
+        for (VertexId t : targets)
+            pkt.hashes.push_back({graph_.send_pos(t), digest_by_vertex[t]});
+
+        if (v == DependenceGraph::root()) {
+            pkt.signature = signer_.sign(pkt.authenticated_bytes());
+        }
+        digest_by_vertex[v] = pkt.digest(config_.hash_bytes);
+    }
+
+    std::vector<AuthPacket> in_send_order(n);
+    for (VertexId v = 0; v < n; ++v)
+        in_send_order[graph_.send_pos(v)] = std::move(by_vertex[v]);
+    return in_send_order;
+}
+
+// ---------------------------------------------------------------- receiver
+
+HashChainReceiver::HashChainReceiver(HashChainConfig config,
+                                     std::unique_ptr<SignatureVerifier> verifier)
+    : config_(std::move(config)),
+      verifier_(std::move(verifier)),
+      graph_(config_.topology
+                 ? config_.topology(config_.block_size)
+                 : make_emss(config_.block_size, 2, 1)) {
+    MCAUTH_EXPECTS(verifier_ != nullptr);
+    MCAUTH_EXPECTS(graph_.packet_count() == config_.block_size);
+    MCAUTH_REQUIRE(graph_.is_valid());
+}
+
+HashChainReceiver::BlockState& HashChainReceiver::block(std::uint32_t block_id) {
+    auto [it, inserted] = blocks_.try_emplace(block_id);
+    if (inserted) {
+        it->second.packet_by_vertex.resize(config_.block_size);
+        it->second.trusted_digest.resize(config_.block_size);
+        it->second.resolved.assign(config_.block_size, 0);
+    }
+    return it->second;
+}
+
+void HashChainReceiver::resolve(std::uint32_t block_id, BlockState& state, VertexId v,
+                                VerifyStatus status, std::vector<VerifyEvent>& events) {
+    MCAUTH_ENSURES(state.resolved[v] == 0);
+    state.resolved[v] = static_cast<std::uint8_t>(status) + 1;
+    if (state.packet_by_vertex[v].has_value()) {
+        MCAUTH_ENSURES(buffered_packets_ > 0);
+        --buffered_packets_;  // verdict delivered; packet no longer pending
+    }
+    events.push_back({block_id, graph_.send_pos(v), status});
+}
+
+void HashChainReceiver::reject_packet(std::uint32_t block_id, BlockState& state, VertexId v,
+                                      std::vector<VerifyEvent>& events) {
+    events.push_back({block_id, graph_.send_pos(v), VerifyStatus::kRejected});
+    state.packet_by_vertex[v].reset();
+    MCAUTH_ENSURES(buffered_packets_ > 0);
+    --buffered_packets_;
+}
+
+void HashChainReceiver::authenticate(std::uint32_t block_id, BlockState& state, VertexId v,
+                                     std::vector<VerifyEvent>& events) {
+    std::vector<VertexId> queue{v};
+    while (!queue.empty()) {
+        const VertexId u = queue.back();
+        queue.pop_back();
+        if (state.resolved[u] != 0) continue;
+        resolve(block_id, state, u, VerifyStatus::kAuthenticated, events);
+
+        const AuthPacket& pkt = *state.packet_by_vertex[u];
+        for (const HashRef& href : pkt.hashes) {
+            if (href.target >= config_.block_size) continue;  // malformed ref
+            const VertexId t = graph_.vertex_at_send_pos(href.target);
+            if (!state.trusted_digest[t].has_value()) {
+                state.trusted_digest[t] = href.digest;
+                ++buffered_digests_;
+            }
+            if (state.resolved[t] != 0 || !state.packet_by_vertex[t].has_value()) continue;
+            const auto actual = state.packet_by_vertex[t]->digest(config_.hash_bytes);
+            if (ct_equal(actual, *state.trusted_digest[t])) {
+                queue.push_back(t);
+            } else {
+                reject_packet(block_id, state, t, events);
+            }
+        }
+    }
+}
+
+std::vector<VerifyEvent> HashChainReceiver::on_packet(const AuthPacket& packet) {
+    std::vector<VerifyEvent> events;
+    if (packet.index >= config_.block_size) return events;  // malformed
+    // DoS guard: opening one more block beyond the cap evicts the oldest.
+    if (blocks_.find(packet.block_id) == blocks_.end() &&
+        blocks_.size() >= config_.max_open_blocks && !blocks_.empty()) {
+        events = finish_block(blocks_.begin()->first);
+    }
+    BlockState& state = block(packet.block_id);
+    const VertexId v = graph_.vertex_at_send_pos(packet.index);
+    if (state.packet_by_vertex[v].has_value()) return events;  // duplicate
+    state.packet_by_vertex[v] = packet;
+    if (state.resolved[v] == 0) ++buffered_packets_;
+
+    if (v == DependenceGraph::root()) {
+        if (state.resolved[v] != 0) return events;
+        if (verifier_->verify(packet.authenticated_bytes(), packet.signature)) {
+            authenticate(packet.block_id, state, v, events);
+        } else {
+            reject_packet(packet.block_id, state, v, events);
+        }
+        return events;
+    }
+
+    if (state.resolved[v] == 0 && state.trusted_digest[v].has_value()) {
+        const auto actual = packet.digest(config_.hash_bytes);
+        if (ct_equal(actual, *state.trusted_digest[v])) {
+            authenticate(packet.block_id, state, v, events);
+        } else {
+            reject_packet(packet.block_id, state, v, events);
+        }
+    }
+    return events;
+}
+
+std::vector<VerifyEvent> HashChainReceiver::finish_block(std::uint32_t block_id) {
+    std::vector<VerifyEvent> events;
+    const auto it = blocks_.find(block_id);
+    if (it == blocks_.end()) return events;
+    BlockState& state = it->second;
+    for (VertexId v = 0; v < config_.block_size; ++v) {
+        if (state.resolved[v] == 0 && state.packet_by_vertex[v].has_value())
+            resolve(block_id, state, v, VerifyStatus::kUnverifiable, events);
+        if (state.trusted_digest[v].has_value()) {
+            MCAUTH_ENSURES(buffered_digests_ > 0);
+            --buffered_digests_;
+        }
+    }
+    blocks_.erase(it);
+    return events;
+}
+
+std::vector<VerifyEvent> HashChainReceiver::finish_all() {
+    std::vector<VerifyEvent> events;
+    while (!blocks_.empty()) {
+        auto partial = finish_block(blocks_.begin()->first);
+        events.insert(events.end(), partial.begin(), partial.end());
+    }
+    return events;
+}
+
+// ----------------------------------------------------------------- configs
+
+HashChainConfig rohatgi_config(std::size_t block_size, std::size_t hash_bytes) {
+    HashChainConfig cfg;
+    cfg.topology = [](std::size_t n) { return make_rohatgi(n); };
+    cfg.block_size = block_size;
+    cfg.hash_bytes = hash_bytes;
+    cfg.name = "rohatgi";
+    return cfg;
+}
+
+HashChainConfig emss_config(std::size_t block_size, std::size_t m, std::size_t d,
+                            std::size_t hash_bytes) {
+    HashChainConfig cfg;
+    cfg.topology = [m, d](std::size_t n) { return make_emss(n, m, d); };
+    cfg.block_size = block_size;
+    cfg.hash_bytes = hash_bytes;
+    cfg.name = "emss(m=" + std::to_string(m) + ",d=" + std::to_string(d) + ")";
+    return cfg;
+}
+
+HashChainConfig augmented_chain_config(std::size_t block_size, std::size_t a, std::size_t b,
+                                       std::size_t hash_bytes) {
+    HashChainConfig cfg;
+    cfg.topology = [a, b](std::size_t n) { return make_augmented_chain(n, a, b); };
+    cfg.block_size = block_size;
+    cfg.hash_bytes = hash_bytes;
+    cfg.name = "ac(a=" + std::to_string(a) + ",b=" + std::to_string(b) + ")";
+    return cfg;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,146 @@
+// The generic hash-chained signature codec.
+//
+// Every signature-amortization scheme the paper analyzes — Rohatgi's chain,
+// EMSS, the augmented chain, plus the §5 constructions — differs ONLY in its
+// dependence-graph topology. This codec is therefore parameterized by a
+// topology factory and implements the rest once:
+//
+//   sender:   walk the dependence-graph in reverse topological order,
+//             embedding each packet's (truncated) digest into its carrier
+//             packets, then sign the root packet;
+//   receiver: event-driven authentication propagation — a packet is
+//             authenticated the moment a trusted digest for it is known and
+//             matches, and every digest it carries then becomes trusted,
+//             cascading down the graph. Works under loss, reordering and
+//             duplication, and detects tampering (digest/signature
+//             mismatch).
+//
+// This is the executable counterpart of Definition 1: the set of packets a
+// receiver authenticates for a given loss pattern equals
+// DependenceGraph::verifiable_given(pattern) — a property the integration
+// tests assert and the end-to-end benches exploit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/packet.hpp"
+#include "core/dependence_graph.hpp"
+#include "crypto/signature.hpp"
+
+namespace mcauth {
+
+enum class VerifyStatus : std::uint8_t {
+    kAuthenticated,  // matched a trusted digest (or a valid signature)
+    kRejected,       // digest or signature mismatch: tampered or forged
+    kUnverifiable,   // block closed with no surviving verification path
+};
+
+struct VerifyEvent {
+    std::uint32_t block_id = 0;
+    std::uint32_t index = 0;  // transmission index within the block
+    VerifyStatus status = VerifyStatus::kUnverifiable;
+};
+
+struct HashChainConfig {
+    /// Topology factory: block size -> dependence graph. Both sides must
+    /// agree on it (it is scheme identity, like a ciphersuite).
+    std::function<DependenceGraph(std::size_t)> topology;
+    std::size_t block_size = 64;
+    std::size_t hash_bytes = 16;  // l_hash on the wire (truncated SHA-256)
+    /// Receiver-side cap on simultaneously open blocks — the paper notes
+    /// that receiver buffering "is subject to Denial of Service attacks";
+    /// when a packet would open a block beyond this cap, the oldest open
+    /// block is force-finished (its pending packets become kUnverifiable).
+    std::size_t max_open_blocks = 64;
+    std::string name = "hash-chain";
+};
+
+class HashChainSender {
+public:
+    /// The signer is borrowed and must outlive the sender.
+    HashChainSender(HashChainConfig config, Signer& signer);
+
+    /// Authenticate one block. `payloads` are in transmission order and
+    /// there must be exactly block_size of them. Returns the packets in
+    /// transmission order, root signed.
+    std::vector<AuthPacket> make_block(std::uint32_t block_id,
+                                       const std::vector<std::vector<std::uint8_t>>& payloads);
+
+    const HashChainConfig& config() const noexcept { return config_; }
+    const DependenceGraph& topology() const noexcept { return graph_; }
+
+private:
+    HashChainConfig config_;
+    Signer& signer_;
+    DependenceGraph graph_;
+    std::vector<VertexId> reverse_topo_;
+};
+
+class HashChainReceiver {
+public:
+    HashChainReceiver(HashChainConfig config, std::unique_ptr<SignatureVerifier> verifier);
+
+    /// Process one arriving packet (any order, duplicates tolerated).
+    /// Returns all verdicts newly resolved by this arrival — possibly many,
+    /// when a late signature packet unlocks a cascade. A packet failing its
+    /// digest/signature check yields a kRejected event but does NOT poison
+    /// the slot: a later genuine copy of the same index can still
+    /// authenticate (otherwise one spoofed datagram per index would be a
+    /// trivial denial of service).
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet);
+
+    /// Close a block: every received-but-still-pending packet is reported
+    /// kUnverifiable and the block's state is released.
+    std::vector<VerifyEvent> finish_block(std::uint32_t block_id);
+
+    /// Close every open block.
+    std::vector<VerifyEvent> finish_all();
+
+    /// Gauges for buffer-size experiments (Eq. 5's empirical counterpart).
+    std::size_t buffered_packets() const noexcept { return buffered_packets_; }
+    std::size_t buffered_digests() const noexcept { return buffered_digests_; }
+
+    const HashChainConfig& config() const noexcept { return config_; }
+
+private:
+    struct BlockState {
+        std::vector<std::optional<AuthPacket>> packet_by_vertex;
+        std::vector<std::optional<std::vector<std::uint8_t>>> trusted_digest;
+        std::vector<std::uint8_t> resolved;  // 0 pending, else VerifyStatus+1
+    };
+
+    BlockState& block(std::uint32_t block_id);
+
+    /// Mark v authenticated and cascade through carried digests.
+    void authenticate(std::uint32_t block_id, BlockState& state, VertexId v,
+                      std::vector<VerifyEvent>& events);
+
+    void resolve(std::uint32_t block_id, BlockState& state, VertexId v, VerifyStatus status,
+                 std::vector<VerifyEvent>& events);
+
+    /// Digest/signature mismatch: report and evict, but keep the slot open.
+    void reject_packet(std::uint32_t block_id, BlockState& state, VertexId v,
+                       std::vector<VerifyEvent>& events);
+
+    HashChainConfig config_;
+    std::unique_ptr<SignatureVerifier> verifier_;
+    DependenceGraph graph_;
+    std::map<std::uint32_t, BlockState> blocks_;
+    std::size_t buffered_packets_ = 0;
+    std::size_t buffered_digests_ = 0;
+};
+
+/// Ready-made configs for the paper's schemes.
+HashChainConfig rohatgi_config(std::size_t block_size, std::size_t hash_bytes = 16);
+HashChainConfig emss_config(std::size_t block_size, std::size_t m, std::size_t d,
+                            std::size_t hash_bytes = 16);
+HashChainConfig augmented_chain_config(std::size_t block_size, std::size_t a, std::size_t b,
+                                       std::size_t hash_bytes = 16);
+
+}  // namespace mcauth

@@ -1,0 +1,129 @@
+#include "auth/packet.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> data) {
+    MCAUTH_EXPECTS(data.size() <= 0xffff);
+    put_u16(out, static_cast<std::uint16_t>(data.size()));
+    out.insert(out.end(), data.begin(), data.end());
+}
+
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+    bool u32(std::uint32_t& v) noexcept {
+        if (pos_ + 4 > data_.size()) return false;
+        v = 0;
+        for (int b = 0; b < 4; ++b) v |= std::uint32_t(data_[pos_ + b]) << (8 * b);
+        pos_ += 4;
+        return true;
+    }
+
+    bool u16(std::uint16_t& v) noexcept {
+        if (pos_ + 2 > data_.size()) return false;
+        v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool byte(std::uint8_t& v) noexcept {
+        if (pos_ >= data_.size()) return false;
+        v = data_[pos_++];
+        return true;
+    }
+
+    bool bytes(std::vector<std::uint8_t>& out) noexcept {
+        std::uint16_t len = 0;
+        if (!u16(len)) return false;
+        if (pos_ + len > data_.size()) return false;
+        out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                   data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+        pos_ += len;
+        return true;
+    }
+
+    bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kWireVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> AuthPacket::authenticated_bytes() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(32 + payload.size() + hashes.size() * 20);
+    out.push_back(kWireVersion);
+    out.push_back(static_cast<std::uint8_t>(kind));
+    put_u32(out, block_id);
+    put_u32(out, index);
+    put_u32(out, block_size);
+    put_u32(out, mac_interval);
+    put_bytes(out, payload);
+    put_u16(out, static_cast<std::uint16_t>(hashes.size()));
+    for (const HashRef& h : hashes) {
+        put_u32(out, h.target);
+        put_bytes(out, h.digest);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> AuthPacket::encode() const {
+    std::vector<std::uint8_t> out = authenticated_bytes();
+    put_bytes(out, signature);
+    put_bytes(out, mac);
+    put_u32(out, disclosed_interval);
+    put_bytes(out, disclosed_key);
+    return out;
+}
+
+std::vector<std::uint8_t> AuthPacket::digest(std::size_t hash_bytes) const {
+    const Digest256 full = Sha256::hash(authenticated_bytes());
+    return truncate_digest(full, hash_bytes);
+}
+
+std::optional<AuthPacket> AuthPacket::decode(std::span<const std::uint8_t> wire) {
+    Reader reader(wire);
+    AuthPacket pkt;
+    std::uint8_t version = 0;
+    std::uint8_t kind_byte = 0;
+    if (!reader.byte(version) || version != kWireVersion) return std::nullopt;
+    if (!reader.byte(kind_byte) || kind_byte > 2) return std::nullopt;
+    pkt.kind = static_cast<PacketKind>(kind_byte);
+    if (!reader.u32(pkt.block_id) || !reader.u32(pkt.index) ||
+        !reader.u32(pkt.block_size) || !reader.u32(pkt.mac_interval))
+        return std::nullopt;
+    if (!reader.bytes(pkt.payload)) return std::nullopt;
+    std::uint16_t hash_count = 0;
+    if (!reader.u16(hash_count)) return std::nullopt;
+    pkt.hashes.resize(hash_count);
+    for (HashRef& h : pkt.hashes)
+        if (!reader.u32(h.target) || !reader.bytes(h.digest)) return std::nullopt;
+    if (!reader.bytes(pkt.signature)) return std::nullopt;
+    if (!reader.bytes(pkt.mac)) return std::nullopt;
+    if (!reader.u32(pkt.disclosed_interval)) return std::nullopt;
+    if (!reader.bytes(pkt.disclosed_key)) return std::nullopt;
+    if (!reader.exhausted()) return std::nullopt;
+    return pkt;
+}
+
+}  // namespace mcauth

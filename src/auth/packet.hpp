@@ -1,0 +1,76 @@
+// Wire format shared by all authenticated-stream codecs.
+//
+// One packet carries its payload plus whatever authentication material its
+// scheme assigns to it: embedded hashes of other packets (hash chaining), a
+// signature (P_sign / sign-each / tree roots), a Merkle path (Wong–Lam), or
+// a MAC plus a disclosed chain key (TESLA). Fields a scheme does not use
+// stay empty and cost nothing on the wire.
+//
+// Encoding is a simple explicit little-endian TLV-free layout — length-
+// prefixed sections in fixed order — so overhead accounting is exact and
+// decode failures are detectable. The *authenticated portion* of a packet
+// (what hashes and MACs cover) is the canonical encoding of everything
+// except the signature field, so a tampered payload, a tampered embedded
+// hash, or a reassigned sequence number all invalidate authentication.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+enum class PacketKind : std::uint8_t {
+    kData = 0,
+    kSignature = 1,  // the block's P_sign
+    kBootstrap = 2,  // TESLA bootstrap
+};
+
+/// An embedded hash: "the packet at index `target` in this block hashes to
+/// `digest`" (digest possibly truncated to the scheme's l_hash).
+struct HashRef {
+    std::uint32_t target = 0;
+    std::vector<std::uint8_t> digest;
+};
+
+struct AuthPacket {
+    std::uint32_t block_id = 0;
+    std::uint32_t index = 0;  // transmission index within the block
+    /// Number of packets in this block. 0 = "fixed, configured out of
+    /// band"; nonzero enables variable-size blocks (StreamingAuthenticator)
+    /// — and is part of the authenticated portion, because the
+    /// index->vertex mapping (hence every verification decision) depends
+    /// on it.
+    std::uint32_t block_size = 0;
+    PacketKind kind = PacketKind::kData;
+    std::vector<std::uint8_t> payload;
+    std::vector<HashRef> hashes;
+    std::vector<std::uint8_t> signature;
+
+    // TESLA-only fields.
+    std::uint32_t mac_interval = 0;       // interval whose key MACs this packet
+    std::vector<std::uint8_t> mac;        // HMAC over the authenticated portion
+    std::uint32_t disclosed_interval = 0;  // interval of the disclosed key (0 = none)
+    std::vector<std::uint8_t> disclosed_key;
+
+    /// Canonical byte encoding of the full packet (what travels).
+    std::vector<std::uint8_t> encode() const;
+
+    /// Canonical encoding of the authenticated portion: everything except
+    /// the signature and (for TESLA) the MAC and disclosed key, which are
+    /// verification material *about* the packet rather than part of it.
+    std::vector<std::uint8_t> authenticated_bytes() const;
+
+    /// Digest of the authenticated portion, truncated to `hash_bytes`.
+    std::vector<std::uint8_t> digest(std::size_t hash_bytes) const;
+
+    /// Total size on the wire.
+    std::size_t wire_size() const { return encode().size(); }
+
+    static std::optional<AuthPacket> decode(std::span<const std::uint8_t> wire);
+};
+
+}  // namespace mcauth

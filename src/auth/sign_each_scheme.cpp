@@ -1,0 +1,29 @@
+#include "auth/sign_each_scheme.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+AuthPacket SignEachSender::make_packet(std::uint32_t block_id, std::uint32_t index,
+                                       std::vector<std::uint8_t> payload) {
+    AuthPacket pkt;
+    pkt.block_id = block_id;
+    pkt.index = index;
+    pkt.kind = PacketKind::kSignature;
+    pkt.payload = std::move(payload);
+    pkt.signature = signer_.sign(pkt.authenticated_bytes());
+    return pkt;
+}
+
+SignEachReceiver::SignEachReceiver(std::unique_ptr<SignatureVerifier> verifier)
+    : verifier_(std::move(verifier)) {
+    MCAUTH_EXPECTS(verifier_ != nullptr);
+}
+
+VerifyEvent SignEachReceiver::on_packet(const AuthPacket& packet) const {
+    const bool ok = verifier_->verify(packet.authenticated_bytes(), packet.signature);
+    return {packet.block_id, packet.index,
+            ok ? VerifyStatus::kAuthenticated : VerifyStatus::kRejected};
+}
+
+}  // namespace mcauth

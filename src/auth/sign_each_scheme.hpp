@@ -1,0 +1,40 @@
+// "Sign-each" baseline (§1): every packet carries its own signature.
+//
+// Perfect robustness and zero delay, but the computation and bandwidth
+// overhead the whole signature-amortization literature exists to avoid.
+// Included as the upper baseline for Fig. 10-style overhead comparisons
+// and the micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
+#include "auth/packet.hpp"
+#include "crypto/signature.hpp"
+
+namespace mcauth {
+
+class SignEachSender {
+public:
+    explicit SignEachSender(Signer& signer) : signer_(signer) {}
+
+    AuthPacket make_packet(std::uint32_t block_id, std::uint32_t index,
+                           std::vector<std::uint8_t> payload);
+
+private:
+    Signer& signer_;
+};
+
+class SignEachReceiver {
+public:
+    explicit SignEachReceiver(std::unique_ptr<SignatureVerifier> verifier);
+
+    VerifyEvent on_packet(const AuthPacket& packet) const;
+
+private:
+    std::unique_ptr<SignatureVerifier> verifier_;
+};
+
+}  // namespace mcauth

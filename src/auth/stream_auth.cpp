@@ -1,0 +1,120 @@
+#include "auth/stream_auth.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+// ------------------------------------------------- StreamingAuthenticator
+
+StreamingAuthenticator::StreamingAuthenticator(HashChainConfig config, Signer& signer,
+                                               StreamingOptions options)
+    : config_(std::move(config)), signer_(signer), options_(options) {
+    MCAUTH_EXPECTS(config_.topology != nullptr);
+    MCAUTH_EXPECTS(options_.min_block >= 2);
+    MCAUTH_EXPECTS(options_.max_block >= options_.min_block);
+    MCAUTH_EXPECTS(options_.max_latency > 0.0);
+}
+
+std::vector<AuthPacket> StreamingAuthenticator::cut_block() {
+    HashChainConfig block_config = config_;
+    block_config.block_size = pending_.size();
+    HashChainSender sender(block_config, signer_);
+    auto packets = sender.make_block(next_block_++, pending_);
+    pending_.clear();
+    return packets;
+}
+
+std::vector<AuthPacket> StreamingAuthenticator::push(std::vector<std::uint8_t> payload,
+                                                     double now) {
+    if (pending_.empty()) oldest_pending_time_ = now;
+    pending_.push_back(std::move(payload));
+    const bool size_cut = pending_.size() >= options_.max_block;
+    const bool deadline_cut = pending_.size() >= options_.min_block &&
+                              now - oldest_pending_time_ >= options_.max_latency;
+    if (size_cut || deadline_cut) return cut_block();
+    return {};
+}
+
+std::vector<AuthPacket> StreamingAuthenticator::flush(double now, bool force) {
+    (void)now;
+    if (pending_.empty()) return {};
+    if (pending_.size() < options_.min_block) {
+        if (!force) return {};
+        // Too small to chain: pad by duplicating the final payload into a
+        // minimal 2-packet block (the duplicate is detectable by the app
+        // layer via equal payloads; the alternative - an unsigned tail -
+        // is worse).
+        while (pending_.size() < options_.min_block) pending_.push_back(pending_.back());
+    }
+    return cut_block();
+}
+
+// ------------------------------------------------------ StreamingVerifier
+
+namespace {
+
+/// unique_ptr-owning adapter over a shared verifier, so one public key can
+/// back many per-geometry receivers.
+class SharedVerifier final : public SignatureVerifier {
+public:
+    explicit SharedVerifier(std::shared_ptr<SignatureVerifier> inner)
+        : inner_(std::move(inner)) {}
+
+    bool verify(std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) const override {
+        return inner_->verify(message, signature);
+    }
+
+private:
+    std::shared_ptr<SignatureVerifier> inner_;
+};
+
+}  // namespace
+
+StreamingVerifier::StreamingVerifier(HashChainConfig config,
+                                     std::unique_ptr<SignatureVerifier> verifier)
+    : config_(std::move(config)), verifier_(std::move(verifier)) {
+    MCAUTH_EXPECTS(config_.topology != nullptr);
+    MCAUTH_EXPECTS(verifier_ != nullptr);
+}
+
+HashChainReceiver& StreamingVerifier::receiver_for(std::size_t block_size) {
+    auto it = by_size_.find(block_size);
+    if (it == by_size_.end()) {
+        HashChainConfig sized = config_;
+        sized.block_size = block_size;
+        it = by_size_
+                 .emplace(block_size,
+                          std::make_unique<HashChainReceiver>(
+                              sized, std::make_unique<SharedVerifier>(verifier_)))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<VerifyEvent> StreamingVerifier::on_packet(const AuthPacket& packet) {
+    // Sanity-bound the declared geometry before building a graph for it: an
+    // attacker-declared block_size of 2^32 must not allocate gigabytes. The
+    // cap is generous; honest senders cut far smaller blocks.
+    constexpr std::size_t kMaxGeometry = 1 << 16;
+    if (packet.block_size < 2 || packet.block_size > kMaxGeometry) return {};
+    if (packet.index >= packet.block_size) return {};
+    return receiver_for(packet.block_size).on_packet(packet);
+}
+
+std::vector<VerifyEvent> StreamingVerifier::finish_all() {
+    std::vector<VerifyEvent> events;
+    for (auto& [size, receiver] : by_size_) {
+        auto partial = receiver->finish_all();
+        events.insert(events.end(), partial.begin(), partial.end());
+    }
+    return events;
+}
+
+std::size_t StreamingVerifier::buffered_packets() const {
+    std::size_t total = 0;
+    for (const auto& [size, receiver] : by_size_) total += receiver->buffered_packets();
+    return total;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,88 @@
+// Online (streaming) authentication over hash-chained blocks.
+//
+// §5 of the paper observes that "the number of packets in a block over a
+// fixed period of time is normally not fixed and online constructions are
+// necessary". HashChainSender/Receiver authenticate one fixed-size block;
+// this layer turns them into a live stream API:
+//
+//   sender:   StreamingAuthenticator::push(payload, now) buffers payloads
+//             and cuts a block when either the size cap or the latency
+//             deadline is reached, building the block's dependence-graph at
+//             its ACTUAL size via the configured topology factory. Each
+//             emitted packet carries its block's geometry (block_size) in
+//             the authenticated portion, so receivers need no out-of-band
+//             size agreement.
+//
+//   receiver: StreamingVerifier routes packets by their declared geometry
+//             to per-size HashChainReceivers (graphs are cached per size).
+//             A forged geometry cannot cause misverification — block_size
+//             is under the block's signature like everything else — it can
+//             only make the forged packet fail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"
+
+namespace mcauth {
+
+struct StreamingOptions {
+    std::size_t max_block = 64;    // cut when this many payloads are pending
+    std::size_t min_block = 2;     // smallest block worth signing
+    double max_latency = 0.25;     // cut when the oldest payload is this stale (s)
+};
+
+class StreamingAuthenticator {
+public:
+    /// `config.block_size` is ignored; the topology factory is invoked per
+    /// block at the actual cut size. The signer must outlive this object.
+    StreamingAuthenticator(HashChainConfig config, Signer& signer,
+                           StreamingOptions options = {});
+
+    /// Feed one payload at sender-clock `now`. Returns a fully signed block
+    /// (in transmission order) when a cut triggers, else empty.
+    std::vector<AuthPacket> push(std::vector<std::uint8_t> payload, double now);
+
+    /// Cut whatever is pending (end of stream, or an external deadline).
+    /// May return empty if fewer than min_block payloads are pending and
+    /// `force` is false.
+    std::vector<AuthPacket> flush(double now, bool force = true);
+
+    std::size_t pending() const noexcept { return pending_.size(); }
+    std::uint32_t blocks_emitted() const noexcept { return next_block_; }
+
+private:
+    std::vector<AuthPacket> cut_block();
+
+    HashChainConfig config_;
+    Signer& signer_;
+    StreamingOptions options_;
+    std::vector<std::vector<std::uint8_t>> pending_;
+    double oldest_pending_time_ = 0.0;
+    std::uint32_t next_block_ = 0;
+};
+
+class StreamingVerifier {
+public:
+    StreamingVerifier(HashChainConfig config, std::unique_ptr<SignatureVerifier> verifier);
+
+    /// Route a packet by its declared block geometry.
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet);
+
+    /// Close all open blocks across all geometries.
+    std::vector<VerifyEvent> finish_all();
+
+    std::size_t buffered_packets() const;
+
+private:
+    HashChainReceiver& receiver_for(std::size_t block_size);
+
+    HashChainConfig config_;
+    std::shared_ptr<SignatureVerifier> verifier_;
+    std::map<std::size_t, std::unique_ptr<HashChainReceiver>> by_size_;
+};
+
+}  // namespace mcauth

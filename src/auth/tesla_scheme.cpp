@@ -1,0 +1,226 @@
+#include "auth/tesla_scheme.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= std::uint64_t(p[b]) << (8 * b);
+    return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= std::uint32_t(p[b]) << (8 * b);
+    return v;
+}
+
+constexpr double kMicros = 1e6;
+
+// Bootstrap payload: commitment (32) || start_time_us (8) ||
+// interval_us (8) || lag (4) || chain_length (4).
+constexpr std::size_t kBootstrapPayloadSize = 32 + 8 + 8 + 4 + 4;
+
+struct BootstrapFields {
+    TeslaKey commitment{};
+    double start_time = 0.0;
+    double interval_duration = 0.0;
+    std::size_t disclosure_lag = 0;
+    std::size_t chain_length = 0;
+};
+
+std::optional<BootstrapFields> parse_bootstrap(const std::vector<std::uint8_t>& payload) {
+    if (payload.size() != kBootstrapPayloadSize) return std::nullopt;
+    BootstrapFields f;
+    std::memcpy(f.commitment.data(), payload.data(), 32);
+    f.start_time = static_cast<double>(get_u64(payload.data() + 32)) / kMicros;
+    f.interval_duration = static_cast<double>(get_u64(payload.data() + 40)) / kMicros;
+    f.disclosure_lag = get_u32(payload.data() + 48);
+    f.chain_length = get_u32(payload.data() + 52);
+    if (f.interval_duration <= 0.0 || f.disclosure_lag == 0 || f.chain_length == 0)
+        return std::nullopt;
+    return f;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ sender
+
+TeslaSender::TeslaSender(TeslaConfig config, Signer& signer, Rng& rng, double start_time)
+    : config_(config),
+      signer_(signer),
+      start_time_(start_time),
+      chain_(rng.bytes(32), config.chain_length) {
+    MCAUTH_EXPECTS(config_.interval_duration > 0.0);
+    MCAUTH_EXPECTS(config_.disclosure_lag >= 1);
+    MCAUTH_EXPECTS(config_.chain_length >= 1);
+    MCAUTH_EXPECTS(config_.mac_bytes >= 8 && config_.mac_bytes <= 32);
+    MCAUTH_EXPECTS(start_time >= 0.0);
+}
+
+std::size_t TeslaSender::interval_of(double send_time) const {
+    MCAUTH_EXPECTS(send_time >= start_time_);
+    const auto interval = static_cast<std::size_t>(
+                              std::floor((send_time - start_time_) / config_.interval_duration)) +
+                          1;
+    return interval;
+}
+
+AuthPacket TeslaSender::bootstrap() const {
+    AuthPacket pkt;
+    pkt.kind = PacketKind::kBootstrap;
+    pkt.index = 0;
+    pkt.payload.reserve(kBootstrapPayloadSize);
+    const TeslaKey& commitment = chain_.commitment();
+    pkt.payload.insert(pkt.payload.end(), commitment.begin(), commitment.end());
+    put_u64(pkt.payload, static_cast<std::uint64_t>(start_time_ * kMicros));
+    put_u64(pkt.payload, static_cast<std::uint64_t>(config_.interval_duration * kMicros));
+    put_u32(pkt.payload, static_cast<std::uint32_t>(config_.disclosure_lag));
+    put_u32(pkt.payload, static_cast<std::uint32_t>(config_.chain_length));
+    pkt.signature = signer_.sign(pkt.authenticated_bytes());
+    return pkt;
+}
+
+AuthPacket TeslaSender::make_packet(std::vector<std::uint8_t> payload, double send_time) {
+    const std::size_t interval = interval_of(send_time);
+    if (interval > config_.chain_length)
+        throw std::runtime_error("TeslaSender: key chain exhausted for this stream");
+
+    AuthPacket pkt;
+    pkt.kind = PacketKind::kData;
+    pkt.index = next_index_++;
+    pkt.payload = std::move(payload);
+    pkt.mac_interval = static_cast<std::uint32_t>(interval);
+
+    const TeslaKey mac_key = chain_.mac_key(interval);
+    const Digest256 mac = hmac_sha256(mac_key, pkt.authenticated_bytes());
+    pkt.mac = truncate_digest(mac, config_.mac_bytes);
+
+    if (interval > config_.disclosure_lag) {
+        const std::size_t disclosed = interval - config_.disclosure_lag;
+        pkt.disclosed_interval = static_cast<std::uint32_t>(disclosed);
+        const TeslaKey& key = chain_.key(disclosed);
+        pkt.disclosed_key.assign(key.begin(), key.end());
+    }
+    return pkt;
+}
+
+// ---------------------------------------------------------------- receiver
+
+TeslaReceiver::TeslaReceiver(TeslaConfig config, std::unique_ptr<SignatureVerifier> verifier,
+                             double max_clock_skew)
+    : config_(config),
+      signature_verifier_(std::move(verifier)),
+      max_clock_skew_(max_clock_skew) {
+    MCAUTH_EXPECTS(signature_verifier_ != nullptr);
+    MCAUTH_EXPECTS(max_clock_skew >= 0.0);
+}
+
+bool TeslaReceiver::on_bootstrap(const AuthPacket& packet) {
+    if (packet.kind != PacketKind::kBootstrap) return false;
+    if (verifier_state_.has_value()) return true;  // idempotent
+    if (!signature_verifier_->verify(packet.authenticated_bytes(), packet.signature))
+        return false;
+    const auto fields = parse_bootstrap(packet.payload);
+    if (!fields) return false;
+    // Timing/lag parameters come from the (signed) bootstrap — a mismatch
+    // with the locally-configured scheme is a deployment error.
+    MCAUTH_REQUIRE(std::abs(fields->interval_duration - config_.interval_duration) < 1e-9);
+    MCAUTH_REQUIRE(fields->disclosure_lag == config_.disclosure_lag);
+    start_time_ = fields->start_time;
+    verifier_state_.emplace(fields->commitment);
+    return true;
+}
+
+std::vector<VerifyEvent> TeslaReceiver::try_release(std::size_t up_to_interval) {
+    std::vector<VerifyEvent> events;
+    auto it = buffered_.begin();
+    while (it != buffered_.end() && it->first <= up_to_interval) {
+        const AuthPacket& pkt = it->second.packet;
+        VerifyStatus status = VerifyStatus::kRejected;
+        const auto key = verifier_state_->key_for(it->first);
+        MCAUTH_ENSURES(key.has_value());
+        const TeslaKey mac_key = tesla_mac_key(*key);
+        const Digest256 mac = hmac_sha256(mac_key, pkt.authenticated_bytes());
+        const auto expected = truncate_digest(mac, config_.mac_bytes);
+        if (ct_equal(expected, pkt.mac)) status = VerifyStatus::kAuthenticated;
+        events.push_back({pkt.block_id, pkt.index, status});
+        it = buffered_.erase(it);
+    }
+    return events;
+}
+
+std::vector<VerifyEvent> TeslaReceiver::on_packet(const AuthPacket& packet,
+                                                  double arrival_time) {
+    std::vector<VerifyEvent> events;
+    if (!verifier_state_.has_value()) return events;  // no bootstrap yet: drop
+    if (packet.kind != PacketKind::kData) return events;
+
+    // Disclosed keys are processed even on otherwise-unsafe packets — the
+    // key material is public once disclosed and only *advances* trust.
+    if (packet.disclosed_interval != 0 &&
+        packet.disclosed_key.size() == sizeof(TeslaKey)) {
+        TeslaKey key{};
+        std::memcpy(key.data(), packet.disclosed_key.data(), key.size());
+        if (verifier_state_->accept(packet.disclosed_interval, key)) {
+            auto released = try_release(packet.disclosed_interval);
+            events.insert(events.end(), released.begin(), released.end());
+        }
+    }
+
+    // TESLA safety condition: the sender's clock now reads at most
+    // arrival_time + skew; the packet is safe only if even that pessimistic
+    // sender clock has not reached the interval that discloses its key.
+    const std::size_t i = packet.mac_interval;
+    if (i == 0) return events;
+    const double latest_sender_now = arrival_time + max_clock_skew_;
+    const auto latest_sender_interval = static_cast<std::size_t>(std::floor(
+                                            (latest_sender_now - start_time_) /
+                                            config_.interval_duration)) +
+                                        1;
+    const bool safe = latest_sender_interval < i + config_.disclosure_lag;
+    if (!safe) {
+        events.push_back({packet.block_id, packet.index, VerifyStatus::kUnverifiable});
+        return events;
+    }
+
+    if (i <= verifier_state_->last_index()) {
+        // Key already authenticated — but then the packet was necessarily
+        // unsafe... unless the key arrived between send and arrival with
+        // zero margin. Verify immediately using the held key.
+        buffered_.emplace(i, Buffered{packet});
+        auto released = try_release(verifier_state_->last_index());
+        events.insert(events.end(), released.begin(), released.end());
+        return events;
+    }
+
+    buffered_.emplace(i, Buffered{packet});
+    return events;
+}
+
+std::vector<VerifyEvent> TeslaReceiver::finish() {
+    std::vector<VerifyEvent> events;
+    for (const auto& [interval, buffered] : buffered_)
+        events.push_back(
+            {buffered.packet.block_id, buffered.packet.index, VerifyStatus::kUnverifiable});
+    buffered_.clear();
+    return events;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,107 @@
+// TESLA codec (Perrig et al. [5, 6]; analyzed in §3.2 of the paper).
+//
+// Sender: time is sliced into intervals of fixed duration; interval i uses
+// MAC key K'_i = F'(K_i) where the K_i form a one-way chain committed to in
+// a signed bootstrap packet. A packet sent in interval i carries
+// MAC_{K'_i}(packet) and *discloses* the chain key of interval i - d (the
+// disclosure lag). T_disclose = d * interval_duration.
+//
+// Receiver: a packet claiming interval i is SAFE only if, at its arrival,
+// the sender cannot yet have disclosed K_i (judged against the receiver's
+// clock plus the maximum clock skew). Safe packets are buffered until K_i
+// arrives — inside any later packet, since a later chain key re-derives all
+// earlier ones (this is the λ_i = 1 - p^{n+1-i} robustness of Eq. 6).
+// Unsafe packets are dropped unverified: that is the ξ condition, the price
+// TESLA pays to delay and jitter (Figs. 3-4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
+#include "auth/packet.hpp"
+#include "crypto/keychain.hpp"
+#include "crypto/signature.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct TeslaConfig {
+    double interval_duration = 0.1;  // seconds
+    std::size_t disclosure_lag = 2;  // d intervals; T_disclose = d * duration
+    std::size_t chain_length = 1024; // usable intervals
+    std::size_t mac_bytes = 16;      // truncated MAC on the wire
+
+    double t_disclose() const noexcept {
+        return interval_duration * static_cast<double>(disclosure_lag);
+    }
+};
+
+class TeslaSender {
+public:
+    /// `start_time` is the sender-clock instant interval 1 begins.
+    TeslaSender(TeslaConfig config, Signer& signer, Rng& rng, double start_time);
+
+    /// The signed bootstrap packet (commitment, timing, lag). Send first —
+    /// and, per the paper's P_sign assumption, ideally several times.
+    AuthPacket bootstrap() const;
+
+    /// Wrap a payload sent at sender-clock `send_time` (must not precede
+    /// start_time; streams longer than the chain throw).
+    AuthPacket make_packet(std::vector<std::uint8_t> payload, double send_time);
+
+    /// Interval in force at `send_time` (1-based).
+    std::size_t interval_of(double send_time) const;
+
+    const TeslaConfig& config() const noexcept { return config_; }
+
+private:
+    TeslaConfig config_;
+    Signer& signer_;
+    double start_time_;
+    TeslaKeyChain chain_;
+    std::uint32_t next_index_ = 0;  // per-sender packet numbering
+};
+
+class TeslaReceiver {
+public:
+    /// `max_clock_skew` bounds |receiver clock - sender clock| (TESLA's
+    /// loose-synchronization requirement).
+    TeslaReceiver(TeslaConfig config, std::unique_ptr<SignatureVerifier> verifier,
+                  double max_clock_skew);
+
+    /// Process the bootstrap; false if its signature is invalid. Packets
+    /// arriving before a valid bootstrap are dropped (nothing to verify
+    /// against).
+    bool on_bootstrap(const AuthPacket& packet);
+
+    /// Process a data packet arriving at receiver-clock `arrival_time`.
+    /// May emit verdicts for earlier buffered packets (key disclosure
+    /// cascades). Unsafe (late) packets yield kUnverifiable immediately.
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet, double arrival_time);
+
+    /// End of stream: all still-buffered packets become kUnverifiable.
+    std::vector<VerifyEvent> finish();
+
+    std::size_t buffered_packets() const noexcept { return buffered_.size(); }
+    bool bootstrapped() const noexcept { return verifier_state_.has_value(); }
+
+private:
+    struct Buffered {
+        AuthPacket packet;
+    };
+
+    std::vector<VerifyEvent> try_release(std::size_t up_to_interval);
+
+    TeslaConfig config_;
+    std::unique_ptr<SignatureVerifier> signature_verifier_;
+    double max_clock_skew_;
+    double start_time_ = 0.0;
+    std::optional<TeslaKeyVerifier> verifier_state_;
+    std::multimap<std::size_t, Buffered> buffered_;  // keyed by MAC interval
+};
+
+}  // namespace mcauth

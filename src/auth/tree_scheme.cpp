@@ -1,0 +1,114 @@
+#include "auth/tree_scheme.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+// The leaf commits to (block, index, payload) — the packet's identity
+// without its own authentication material (which would be circular).
+std::vector<std::uint8_t> leaf_bytes(std::uint32_t block_id, std::uint32_t index,
+                                     const std::vector<std::uint8_t>& payload) {
+    AuthPacket identity;
+    identity.block_id = block_id;
+    identity.index = index;
+    identity.kind = PacketKind::kData;
+    identity.payload = payload;
+    return identity.authenticated_bytes();
+}
+
+// The signed statement: Merkle root bound to the block id.
+std::vector<std::uint8_t> signed_bytes(std::uint32_t block_id, const Digest256& root) {
+    std::vector<std::uint8_t> msg(root.begin(), root.end());
+    for (int b = 0; b < 4; ++b) msg.push_back(static_cast<std::uint8_t>(block_id >> (8 * b)));
+    return msg;
+}
+
+}  // namespace
+
+TreeSender::TreeSender(TreeSchemeConfig config, Signer& signer)
+    : config_(config), signer_(signer) {
+    MCAUTH_EXPECTS(config_.block_size >= 2);
+    MCAUTH_EXPECTS(config_.arity >= 2 && config_.arity <= 255);
+}
+
+std::vector<AuthPacket> TreeSender::make_block(
+    std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads) {
+    MCAUTH_EXPECTS(payloads.size() == config_.block_size);
+    const std::size_t n = config_.block_size;
+
+    std::vector<Digest256> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(
+            leaf_bytes(block_id, static_cast<std::uint32_t>(i), payloads[i])));
+    const KaryMerkleTree tree(std::move(leaves), config_.arity);
+
+    // One signature amortized over the block — but unlike hash chaining it
+    // is REPLICATED into every packet, which is where the overhead goes.
+    const auto signature = signer_.sign(signed_bytes(block_id, tree.root()));
+
+    std::vector<AuthPacket> packets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        AuthPacket& pkt = packets[i];
+        pkt.block_id = block_id;
+        pkt.index = static_cast<std::uint32_t>(i);
+        pkt.block_size = static_cast<std::uint32_t>(n);
+        pkt.kind = PacketKind::kData;
+        pkt.payload = payloads[i];
+        const KaryMerkleProof proof = tree.prove(i);
+        for (const KaryProofStep& step : proof.steps) {
+            // One HashRef per level: target = our position in the sibling
+            // group, digest = the ordered siblings concatenated. Digests
+            // stay full-length — a truncated interior node cannot be
+            // recombined into the root.
+            HashRef ref;
+            ref.target = step.position;
+            ref.digest.reserve(step.siblings.size() * sizeof(Digest256));
+            for (const Digest256& sibling : step.siblings)
+                ref.digest.insert(ref.digest.end(), sibling.begin(), sibling.end());
+            pkt.hashes.push_back(std::move(ref));
+        }
+        pkt.signature = signature;
+    }
+    return packets;
+}
+
+TreeReceiver::TreeReceiver(TreeSchemeConfig config,
+                           std::unique_ptr<SignatureVerifier> verifier)
+    : config_(config), verifier_(std::move(verifier)) {
+    MCAUTH_EXPECTS(verifier_ != nullptr);
+}
+
+VerifyEvent TreeReceiver::on_packet(const AuthPacket& packet) const {
+    VerifyEvent event{packet.block_id, packet.index, VerifyStatus::kRejected};
+
+    KaryMerkleProof proof;
+    proof.leaf_index = packet.index;
+    proof.steps.reserve(packet.hashes.size());
+    for (const HashRef& ref : packet.hashes) {
+        KaryProofStep step;
+        if (ref.digest.empty() || ref.digest.size() % sizeof(Digest256) != 0)
+            return event;  // malformed
+        const std::size_t sibling_count = ref.digest.size() / sizeof(Digest256);
+        if (sibling_count >= config_.arity) return event;  // group too large
+        step.position = ref.target;
+        step.siblings.resize(sibling_count);
+        for (std::size_t s = 0; s < sibling_count; ++s)
+            std::memcpy(step.siblings[s].data(), ref.digest.data() + s * sizeof(Digest256),
+                        sizeof(Digest256));
+        proof.steps.push_back(std::move(step));
+    }
+
+    const Digest256 leaf =
+        MerkleTree::hash_leaf(leaf_bytes(packet.block_id, packet.index, packet.payload));
+    const Digest256 root = KaryMerkleTree::root_from_proof(leaf, proof);
+    if (verifier_->verify(signed_bytes(packet.block_id, root), packet.signature))
+        event.status = VerifyStatus::kAuthenticated;
+    return event;
+}
+
+}  // namespace mcauth

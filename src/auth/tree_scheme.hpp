@@ -1,0 +1,67 @@
+// Wong–Lam authentication tree codec [7].
+//
+// Per block: a Merkle tree is built over the packet digests and the root is
+// signed once. Every packet carries its own authentication path (the
+// sibling digests up the tree) plus the root signature, so each packet is
+// individually verifiable the moment it arrives — q_i == 1 under any loss
+// pattern, zero receiver delay, at the price of (signature + log2 n hashes)
+// of overhead in *every* packet. This is the overhead-heavy corner of the
+// paper's design-tradeoff space (Figs. 8 and 10).
+//
+// The tree arity is configurable (Wong–Lam's degree parameter): arity k
+// gives ceil(log_k n) proof levels of up to k-1 digests each — k = 2
+// minimizes proof BYTES, larger k minimizes the number of HASH evaluations
+// per verification (fewer levels), the tradeoff the original paper tunes.
+//
+// Wire mapping: the Merkle path rides in AuthPacket::hashes, one entry per
+// proof level in bottom-up order (target = the node's position within its
+// sibling group, digest = the concatenated ordered siblings of that
+// group); the root signature rides in AuthPacket::signature.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
+#include "auth/packet.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/signature.hpp"
+
+namespace mcauth {
+
+struct TreeSchemeConfig {
+    std::size_t block_size = 64;
+    std::size_t hash_bytes = 16;  // reserved; path digests stay full-length
+    std::size_t arity = 2;        // Wong–Lam tree degree
+};
+
+class TreeSender {
+public:
+    TreeSender(TreeSchemeConfig config, Signer& signer);
+
+    std::vector<AuthPacket> make_block(std::uint32_t block_id,
+                                       const std::vector<std::vector<std::uint8_t>>& payloads);
+
+    const TreeSchemeConfig& config() const noexcept { return config_; }
+
+private:
+    TreeSchemeConfig config_;
+    Signer& signer_;
+};
+
+class TreeReceiver {
+public:
+    TreeReceiver(TreeSchemeConfig config, std::unique_ptr<SignatureVerifier> verifier);
+
+    /// Stateless per packet: verdict is immediate (authenticated/rejected).
+    VerifyEvent on_packet(const AuthPacket& packet) const;
+
+    const TreeSchemeConfig& config() const noexcept { return config_; }
+
+private:
+    TreeSchemeConfig config_;
+    std::unique_ptr<SignatureVerifier> verifier_;
+};
+
+}  // namespace mcauth

@@ -1,0 +1,174 @@
+#include "core/authprob.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth {
+
+namespace {
+
+double min_over_non_root(const std::vector<double>& q) {
+    double q_min = 1.0;
+    for (std::size_t v = 1; v < q.size(); ++v) q_min = std::min(q_min, q[v]);
+    return q_min;
+}
+
+}  // namespace
+
+AuthProb recurrence_auth_prob(const DependenceGraph& dg, double p) {
+    MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    const auto order = topological_order(dg.graph());
+    MCAUTH_EXPECTS(order.has_value());
+
+    AuthProb result;
+    result.q.assign(dg.packet_count(), 0.0);
+    result.q[DependenceGraph::root()] = 1.0;
+    const double survive = 1.0 - p;
+
+    for (VertexId v : *order) {
+        if (v == DependenceGraph::root()) continue;
+        const auto preds = dg.graph().predecessors(v);
+        if (preds.empty()) continue;  // unreachable vertex: q stays 0
+        double all_paths_broken = 1.0;
+        for (VertexId u : preds) {
+            const double r = (u == DependenceGraph::root()) ? 1.0 : survive;
+            all_paths_broken *= 1.0 - r * result.q[u];
+        }
+        result.q[v] = 1.0 - all_paths_broken;
+    }
+    result.q_min = min_over_non_root(result.q);
+    return result;
+}
+
+AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n) {
+    MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    const std::size_t n = dg.packet_count();
+    MCAUTH_EXPECTS(n <= max_n);
+    MCAUTH_EXPECTS(n >= 1 && n <= 63);
+
+    if (p >= 1.0) {
+        // The conditional q_v = P{verifiable | received} is 0/0 here; its
+        // limit as p -> 1 is 1 exactly when the root itself carries v (a
+        // path with no interior vertices). Matches the recurrence engine.
+        AuthProb result;
+        result.q.assign(n, 0.0);
+        result.q[DependenceGraph::root()] = 1.0;
+        for (std::size_t v = 1; v < n; ++v)
+            result.q[v] = dg.graph().has_edge(DependenceGraph::root(),
+                                              static_cast<VertexId>(v))
+                              ? 1.0
+                              : 0.0;
+        result.q_min = min_over_non_root(result.q);
+        return result;
+    }
+
+    // Enumerate received-subsets of the n-1 non-root vertices. Bit k of the
+    // mask corresponds to vertex k+1; set bit = received.
+    const std::size_t free_vertices = n - 1;
+    const std::uint64_t mask_count = 1ULL << free_vertices;
+
+    std::vector<double> verif_prob(n, 0.0);
+    std::vector<bool> received(n, false);
+    const double survive = 1.0 - p;
+
+    for (std::uint64_t mask = 0; mask < mask_count; ++mask) {
+        received[DependenceGraph::root()] = true;
+        int received_count = 0;
+        for (std::size_t k = 0; k < free_vertices; ++k) {
+            const bool got = (mask >> k) & 1ULL;
+            received[k + 1] = got;
+            received_count += got ? 1 : 0;
+        }
+        const double prob = std::pow(survive, received_count) *
+                            std::pow(p, static_cast<double>(free_vertices - received_count));
+        if (prob == 0.0) continue;
+        const auto verifiable = dg.verifiable_given(received);
+        for (std::size_t v = 1; v < n; ++v)
+            if (verifiable[v]) verif_prob[v] += prob;
+    }
+
+    AuthProb result;
+    result.q.assign(n, 1.0);
+    for (std::size_t v = 1; v < n; ++v) {
+        // q_v = P{verifiable AND received} / P{received}.
+        result.q[v] = survive > 0.0 ? verif_prob[v] / survive : 0.0;
+        result.q[v] = std::min(1.0, result.q[v]);  // guard fp accumulation
+    }
+    result.q_min = min_over_non_root(result.q);
+    return result;
+}
+
+MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
+                                         Rng& rng, std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    const std::size_t n = dg.packet_count();
+    std::vector<std::size_t> received_count(n, 0);
+    std::vector<std::size_t> verified_count(n, 0);
+    std::vector<bool> received(n);
+
+    for (std::size_t t = 0; t < trials; ++t) {
+        loss.reset();
+        // Loss decisions are drawn in *transmission* order so bursty models
+        // correlate adjacent transmissions, then mapped back to vertex ids.
+        for (std::uint32_t pos = 0; pos < n; ++pos)
+            received[dg.vertex_at_send_pos(pos)] = !loss.lose_next(rng);
+        received[DependenceGraph::root()] = true;
+        const auto verifiable = dg.verifiable_given(received);
+        for (std::size_t v = 1; v < n; ++v) {
+            if (received[v]) {
+                ++received_count[v];
+                if (verifiable[v]) ++verified_count[v];
+            }
+        }
+    }
+
+    MonteCarloAuthProb result;
+    result.trials = trials;
+    result.q.assign(n, 1.0);
+    std::size_t argmin = 0;
+    for (std::size_t v = 1; v < n; ++v) {
+        result.q[v] = received_count[v] == 0
+                          ? 1.0
+                          : static_cast<double>(verified_count[v]) /
+                                static_cast<double>(received_count[v]);
+        if (result.q[v] < result.q[argmin]) argmin = v;
+    }
+    result.q_min = min_over_non_root(result.q);
+    if (argmin != 0)
+        result.q_min_halfwidth = wilson_halfwidth(result.q[argmin], received_count[argmin]);
+    return result;
+}
+
+AuthProbBounds bounds_auth_prob(const DependenceGraph& dg, double p,
+                                double path_count_cap) {
+    MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    const std::size_t n = dg.packet_count();
+    const auto dist = bfs_distances(dg.graph(), DependenceGraph::root());
+    const auto paths = count_paths(dg.graph(), DependenceGraph::root(), path_count_cap);
+    const double survive = 1.0 - p;
+
+    AuthProbBounds bounds;
+    bounds.lower.assign(n, 1.0);
+    bounds.upper.assign(n, 1.0);
+    for (std::size_t v = 1; v < n; ++v) {
+        if (dist[v] < 0) {  // unreachable: never verifiable
+            bounds.lower[v] = bounds.upper[v] = 0.0;
+            continue;
+        }
+        // Interior vertices of the shortest path exclude root and target.
+        const int interior = dist[v] - 1;
+        const double single_path = std::pow(survive, interior);
+        bounds.lower[v] = single_path;  // worst case: all paths nested in one
+        // Best case: `paths[v]` disjoint paths, each as short as the
+        // shortest — each fails independently with prob 1 - (1-p)^L.
+        bounds.upper[v] = 1.0 - std::pow(1.0 - single_path, paths[v]);
+    }
+    bounds.q_min_lower = min_over_non_root(bounds.lower);
+    bounds.q_min_upper = min_over_non_root(bounds.upper);
+    return bounds;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,69 @@
+// Authentication-probability engines over dependence-graphs.
+//
+// q_i = Pr{ P_i verifiable | P_i received } (§3). Four engines, in
+// increasing generality and decreasing precision-per-cost:
+//
+//   * recurrence_auth_prob - generalizes the paper's recurrences (Eq. 8-10)
+//     to any DAG: in topological order,
+//         q~_root = 1,   q~_v = 1 - prod_{u in pred(v)} (1 - r_u q~_u),
+//     with r_root = 1 (P_sign always delivered) and r_u = 1 - p otherwise.
+//     On EMSS topologies this is *exactly* Eq. 8/9, on augmented chains
+//     Eq. 10, and on Rohatgi the closed form (1-p)^{i-1-[root adj]}. Like the
+//     paper's recurrences it treats the per-predecessor verification events
+//     as independent, which overcounts when paths share interior vertices;
+//     the abl_recurrence_accuracy bench quantifies the error.
+//
+//   * exact_auth_prob - exhaustive enumeration over loss subsets (Bernoulli
+//     loss only, n <= ~24): ground truth for tests and the ablation.
+//
+//   * monte_carlo_auth_prob - sampled loss patterns under ANY LossModel
+//     (this is how the paper's "future work" Markov-loss analysis is done).
+//
+//   * bounds_auth_prob - the closed-form bounds of Eq. 1 from the shortest
+//     verification path and the path multiplicity:
+//         (1-p)^L  <=  q_i  <=  1 - [1 - (1-p)^L]^K
+//     where L = interior length of the shortest root->i path and K = number
+//     of root->i paths (the best case: all paths disjoint and as short as
+//     the shortest).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct AuthProb {
+    std::vector<double> q;  // per vertex; q[0] (root) == 1
+    double q_min = 1.0;     // min over non-root vertices
+};
+
+AuthProb recurrence_auth_prob(const DependenceGraph& dg, double p);
+
+/// Exact by enumeration; requires packet_count() <= max_n (cost 2^(n-1)).
+AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n = 24);
+
+struct MonteCarloAuthProb {
+    std::vector<double> q;
+    double q_min = 1.0;
+    double q_min_halfwidth = 0.0;  // 95% Wilson half-width at the argmin vertex
+    std::size_t trials = 0;
+};
+
+MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
+                                         Rng& rng, std::size_t trials);
+
+struct AuthProbBounds {
+    std::vector<double> lower;
+    std::vector<double> upper;
+    double q_min_lower = 0.0;
+    double q_min_upper = 1.0;
+};
+
+AuthProbBounds bounds_auth_prob(const DependenceGraph& dg, double p,
+                                double path_count_cap = 1e6);
+
+}  // namespace mcauth

@@ -1,0 +1,76 @@
+#include "core/delay_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth {
+
+std::vector<double> completion_times(const DependenceGraph& dg,
+                                     const std::vector<double>& arrival) {
+    const std::size_t n = dg.packet_count();
+    MCAUTH_EXPECTS(arrival.size() == n);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> cost(n, kInf);
+
+    using Entry = std::pair<double, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    cost[DependenceGraph::root()] = arrival[DependenceGraph::root()];
+    heap.emplace(cost[DependenceGraph::root()], DependenceGraph::root());
+
+    while (!heap.empty()) {
+        const auto [c, u] = heap.top();
+        heap.pop();
+        if (c != cost[u]) continue;
+        for (VertexId v : dg.graph().successors(u)) {
+            const double candidate = std::max(c, arrival[v]);
+            if (candidate < cost[v]) {
+                cost[v] = candidate;
+                heap.emplace(candidate, v);
+            }
+        }
+    }
+    return cost;
+}
+
+DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
+                                              const SchemeParams& params,
+                                              DelayModel& jitter, Rng& rng,
+                                              std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    const std::size_t n = dg.packet_count();
+    std::vector<std::vector<double>> samples(n);
+    for (auto& s : samples) s.reserve(trials);
+
+    std::vector<double> arrival(n);
+    for (std::size_t t = 0; t < trials; ++t) {
+        for (VertexId v = 0; v < n; ++v)
+            arrival[v] = static_cast<double>(dg.send_pos(v)) * params.t_transmit +
+                         jitter.sample(rng);
+        const auto completion = completion_times(dg, arrival);
+        for (VertexId v = 0; v < n; ++v) {
+            if (!std::isfinite(completion[v])) continue;  // unreachable vertex
+            samples[v].push_back(completion[v] - arrival[v]);
+        }
+    }
+
+    DelayDistribution out;
+    out.mean.assign(n, 0.0);
+    out.p95.assign(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+        if (samples[v].empty()) continue;
+        double sum = 0.0;
+        for (double x : samples[v]) sum += x;
+        out.mean[v] = sum / static_cast<double>(samples[v].size());
+        out.p95[v] = quantile(samples[v], 0.95);
+        out.worst_mean = std::max(out.worst_mean, out.mean[v]);
+        out.worst_p95 = std::max(out.worst_p95, out.p95[v]);
+    }
+    return out;
+}
+
+}  // namespace mcauth

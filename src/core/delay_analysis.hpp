@@ -1,0 +1,50 @@
+// The complete Eq. 4: receiver delay = deterministic pacing wait + a random
+// component from network jitter and reordering.
+//
+// core/metrics.hpp computes the deterministic part (t_d) assuming in-order
+// arrival. On a jittery network even a sign-first chain (t_d = 0) waits: a
+// needed earlier packet can arrive after the packet it authenticates. The
+// paper writes the total as D_worst = t_d + t_r(P_k) - t_r(P_i) with the
+// pdf from the joint delay distribution; we evaluate the *exact* per-packet
+// completion time distribution by Monte-Carlo over delay draws on the
+// dependence-graph (loss-free, like Eq. 4):
+//
+//   arrival(v)    = send_pos(v) * T_transmit + jitter_v
+//   completion(v) = min over root->v paths P of max_{u in P} arrival(u)
+//   delay(v)      = completion(v) - arrival(v)      (>= 0)
+//
+// The inner min-max is a bottleneck shortest path with random weights,
+// re-solved per draw. Applies to chained schemes; individually-verifiable
+// schemes (tree, sign-each) have identically zero delay by construction and
+// are not modeled by a root-path graph here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+#include "core/metrics.hpp"
+#include "net/delay.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct DelayDistribution {
+    std::vector<double> mean;  // per vertex, seconds
+    std::vector<double> p95;   // per vertex
+    double worst_mean = 0.0;   // max over vertices of mean
+    double worst_p95 = 0.0;    // max over vertices of p95
+};
+
+/// Bottleneck completion times for one arrival-time assignment:
+/// out[v] = min over root->v paths of the latest arrival on the path
+/// (>= arrival[v]); unreachable vertices get +inf.
+std::vector<double> completion_times(const DependenceGraph& dg,
+                                     const std::vector<double>& arrival);
+
+DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
+                                              const SchemeParams& params,
+                                              DelayModel& jitter, Rng& rng,
+                                              std::size_t trials = 2000);
+
+}  // namespace mcauth

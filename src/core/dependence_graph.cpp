@@ -1,0 +1,59 @@
+#include "core/dependence_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+DependenceGraph::DependenceGraph(std::size_t packet_count,
+                                 std::vector<std::uint32_t> send_pos, std::string scheme_name)
+    : graph_(packet_count), send_pos_(std::move(send_pos)), name_(std::move(scheme_name)) {
+    MCAUTH_EXPECTS(packet_count >= 1);
+    MCAUTH_EXPECTS(send_pos_.size() == packet_count);
+    pos_to_vertex_.assign(packet_count, kNoVertex);
+    for (VertexId v = 0; v < packet_count; ++v) {
+        MCAUTH_EXPECTS(send_pos_[v] < packet_count);
+        MCAUTH_EXPECTS(pos_to_vertex_[send_pos_[v]] == kNoVertex);  // permutation
+        pos_to_vertex_[send_pos_[v]] = v;
+    }
+}
+
+std::uint32_t DependenceGraph::send_pos(VertexId v) const {
+    MCAUTH_EXPECTS(v < packet_count());
+    return send_pos_[v];
+}
+
+VertexId DependenceGraph::vertex_at_send_pos(std::uint32_t pos) const {
+    MCAUTH_EXPECTS(pos < packet_count());
+    return pos_to_vertex_[pos];
+}
+
+int DependenceGraph::label(VertexId u, VertexId v) const {
+    return static_cast<int>(send_pos(u)) - static_cast<int>(send_pos(v));
+}
+
+bool DependenceGraph::is_valid() const {
+    return is_acyclic(graph_) && unreachable_vertices().empty();
+}
+
+std::vector<VertexId> DependenceGraph::unreachable_vertices() const {
+    const auto reachable = reachable_from(graph_, root());
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < packet_count(); ++v)
+        if (!reachable[v]) out.push_back(v);
+    return out;
+}
+
+std::vector<bool> DependenceGraph::verifiable_given(const std::vector<bool>& received) const {
+    MCAUTH_EXPECTS(received.size() == packet_count());
+    std::vector<bool> alive = received;
+    alive[root()] = true;  // P_sign assumed delivered
+    auto verifiable = reachable_within(graph_, root(), alive);
+    // A lost packet is never "verifiable" even though a path to it may exist.
+    for (VertexId v = 0; v < packet_count(); ++v)
+        if (!alive[v]) verifiable[v] = false;
+    return verifiable;
+}
+
+}  // namespace mcauth

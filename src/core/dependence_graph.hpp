@@ -1,0 +1,74 @@
+// The dependence-graph of Definition 1 — the paper's central object.
+//
+// Vertices are the packets of one block; the distinguished root is P_sign
+// (the packet carrying the amortized digital signature, assumed always
+// delivered). A directed edge u -> v records the dependence relation
+// P_u ↪ P_v: packet u carries verification material for packet v (in hash
+// chaining, the hash of v is embedded in u). Packet v — given that it
+// arrives — is verifiable iff at least one root->v path exists whose
+// interior vertices all arrive.
+//
+// Indexing convention (matches §4.2 of the paper): vertex 0 is P_sign and
+// vertex ids increase with "distance" from the signature packet in sequence
+// number. Because schemes differ in where the signature travels (first
+// packet for Rohatgi, last for EMSS/AC), each vertex additionally carries
+// its *transmission position* send_pos in [0, n); edge labels and all
+// delay/buffer metrics are derived from send_pos, which keeps one graph
+// type valid for both families.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+
+namespace mcauth {
+
+class DependenceGraph {
+public:
+    /// `send_pos[v]` is the transmission position of vertex v; must be a
+    /// permutation of [0, n). Vertex 0 is the root (P_sign).
+    DependenceGraph(std::size_t packet_count, std::vector<std::uint32_t> send_pos,
+                    std::string scheme_name);
+
+    static constexpr VertexId root() noexcept { return 0; }
+
+    std::size_t packet_count() const noexcept { return graph_.vertex_count(); }
+    const std::string& scheme_name() const noexcept { return name_; }
+
+    /// Add the dependence edge u ↪ v (u carries the hash of v).
+    /// Returns false if the edge already exists.
+    bool add_dependence(VertexId u, VertexId v) { return graph_.add_edge(u, v); }
+
+    const Digraph& graph() const noexcept { return graph_; }
+
+    std::uint32_t send_pos(VertexId v) const;
+    /// Vertex transmitted at position `pos`.
+    VertexId vertex_at_send_pos(std::uint32_t pos) const;
+
+    /// The paper's edge label l_uv: difference of sequence (transmission)
+    /// numbers. Positive means the carrier u is transmitted after v.
+    int label(VertexId u, VertexId v) const;
+
+    /// Definition 1 validity: acyclic and every vertex reachable from the
+    /// root. Probabilistically constructed graphs may violate reachability;
+    /// unreachable_vertices() lists offenders for the caller to repair.
+    bool is_valid() const;
+    std::vector<VertexId> unreachable_vertices() const;
+
+    /// Verifiable vertex set for a given loss pattern:
+    /// received[v] == false means packet v was lost. The root is treated as
+    /// received regardless (P_sign is assumed delivered, §3). A vertex is
+    /// returned as verifiable iff it was received and a fully-received
+    /// root-path to it exists.
+    std::vector<bool> verifiable_given(const std::vector<bool>& received) const;
+
+private:
+    Digraph graph_;
+    std::vector<std::uint32_t> send_pos_;
+    std::vector<VertexId> pos_to_vertex_;
+    std::string name_;
+};
+
+}  // namespace mcauth

@@ -1,0 +1,153 @@
+#include "core/exact_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+// ------------------------------------------------------------ MarkovChannel
+
+MarkovChannel MarkovChannel::bernoulli(double p) {
+    MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    return MarkovChannel{{{1.0}}, {p}};
+}
+
+MarkovChannel MarkovChannel::gilbert_elliott(double loss_rate, double mean_burst) {
+    MCAUTH_EXPECTS(loss_rate > 0.0 && loss_rate < 1.0);
+    MCAUTH_EXPECTS(mean_burst >= 1.0);
+    const double p_bg = 1.0 / mean_burst;
+    const double p_gb = loss_rate * p_bg / (1.0 - loss_rate);
+    MCAUTH_REQUIRE(p_gb <= 1.0);
+    return MarkovChannel{{{1.0 - p_gb, p_gb}, {p_bg, 1.0 - p_bg}}, {0.0, 1.0}};
+}
+
+std::vector<double> MarkovChannel::stationary() const {
+    const std::size_t m = states();
+    MCAUTH_EXPECTS(m >= 1 && transition.size() == m);
+    std::vector<double> pi(m, 1.0 / static_cast<double>(m));
+    std::vector<double> next(m, 0.0);
+    for (int iter = 0; iter < 20000; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < m; ++j) next[j] += pi[i] * transition[i][j];
+        double diff = 0.0;
+        for (std::size_t j = 0; j < m; ++j) diff += std::abs(next[j] - pi[j]);
+        pi.swap(next);
+        if (diff < 1e-15) break;
+    }
+    return pi;
+}
+
+double MarkovChannel::stationary_loss_rate() const {
+    const auto pi = stationary();
+    double rate = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) rate += pi[s] * loss_prob[s];
+    return rate;
+}
+
+std::vector<std::vector<double>> MarkovChannel::reversed() const {
+    const auto pi = stationary();
+    const std::size_t m = states();
+    std::vector<std::vector<double>> rev(m, std::vector<double>(m, 0.0));
+    for (std::size_t i = 0; i < m; ++i) {
+        MCAUTH_REQUIRE(pi[i] > 0.0);  // reversal needs an ergodic chain
+        for (std::size_t j = 0; j < m; ++j) rev[i][j] = pi[j] * transition[j][i] / pi[i];
+    }
+    return rev;
+}
+
+std::unique_ptr<LossModel> MarkovChannel::to_loss_model() const {
+    return std::make_unique<MarkovLoss>(transition, loss_prob, /*stationary_start=*/true);
+}
+
+// ----------------------------------------------------- transfer-matrix DP
+
+AuthProb exact_offset_auth_prob(std::size_t n, const std::vector<std::size_t>& offsets,
+                                const MarkovChannel& channel, std::size_t max_states) {
+    MCAUTH_EXPECTS(n >= 2);
+    MCAUTH_EXPECTS(!offsets.empty());
+    const std::size_t m = channel.states();
+    MCAUTH_EXPECTS(m >= 1);
+
+    std::size_t window = 0;
+    for (std::size_t a : offsets) {
+        MCAUTH_EXPECTS(a >= 1);
+        window = std::max(window, a);
+    }
+    MCAUTH_EXPECTS(window < 63);
+    const std::size_t mask_count = std::size_t{1} << window;
+    MCAUTH_EXPECTS(m * mask_count <= max_states);
+
+    // Bit (a-1) of a window mask = "vertex v-a is received AND verifiable".
+    // Precompute, per vertex-depth regime, which offsets overshoot into the
+    // root (always verified).
+    std::uint64_t offsets_bits = 0;
+    for (std::size_t a : offsets) offsets_bits |= std::uint64_t{1} << (a - 1);
+
+    const auto pi = channel.stationary();
+    const auto rev = channel.reversed();
+
+    // dist[s * mask_count + mask] = probability of (channel state s at the
+    // PREVIOUS slot, verified-window mask). Initial window: vertices <= 0
+    // are the root clamp, i.e. verified -> all-ones mask.
+    std::vector<double> dist(m * mask_count, 0.0);
+    const std::size_t full_mask = mask_count - 1;
+    for (std::size_t s = 0; s < m; ++s) dist[s * mask_count + full_mask] = pi[s];
+    std::vector<double> next(dist.size(), 0.0);
+
+    AuthProb result;
+    result.q.assign(n, 1.0);
+
+    for (std::size_t v = 1; v < n; ++v) {
+        std::fill(next.begin(), next.end(), 0.0);
+        // Offsets that overshoot the root at this depth are satisfied
+        // unconditionally; the rest consult the window.
+        bool root_covered = false;
+        std::uint64_t window_bits = 0;
+        for (std::size_t a : offsets) {
+            if (a >= v)
+                root_covered = true;
+            else
+                window_bits |= std::uint64_t{1} << (a - 1);
+        }
+
+        double received_prob = 0.0;
+        double verified_prob = 0.0;
+
+        for (std::size_t s = 0; s < m; ++s) {
+            for (std::size_t mask = 0; mask <= full_mask; ++mask) {
+                const double p_here = dist[s * mask_count + mask];
+                if (p_here == 0.0) continue;
+                const bool covered = root_covered || (mask & window_bits) != 0;
+                const std::size_t mask_if_dead = (mask << 1) & full_mask;
+                const std::size_t mask_if_verified = mask_if_dead | 1u;
+                for (std::size_t s2 = 0; s2 < m; ++s2) {
+                    const double p_move = p_here * rev[s][s2];
+                    if (p_move == 0.0) continue;
+                    const double l = channel.loss_prob[s2];
+                    received_prob += p_move * (1.0 - l);
+                    if (covered) {
+                        verified_prob += p_move * (1.0 - l);
+                        next[s2 * mask_count + mask_if_verified] += p_move * (1.0 - l);
+                        next[s2 * mask_count + mask_if_dead] += p_move * l;
+                    } else {
+                        // Received-but-unverifiable and lost both leave the
+                        // verified bit clear.
+                        next[s2 * mask_count + mask_if_dead] += p_move;
+                    }
+                }
+            }
+        }
+        dist.swap(next);
+        result.q[v] = received_prob > 0.0 ? verified_prob / received_prob
+                                          : (root_covered ? 1.0 : 0.0);
+    }
+
+    result.q_min = 1.0;
+    for (std::size_t v = 1; v < n; ++v) result.q_min = std::min(result.q_min, result.q[v]);
+    return result;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,108 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+std::vector<std::uint32_t> latest_needed_position(const DependenceGraph& dg) {
+    // Bottleneck shortest path: cost(v) = min over root->v paths of
+    // max{ send_pos(u) : u on path }. Dijkstra with max-relaxation; costs
+    // only grow along edges, so the greedy extraction is exact.
+    const std::size_t n = dg.packet_count();
+    constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+    std::vector<std::uint32_t> cost(n, kUnset);
+
+    using Entry = std::pair<std::uint32_t, VertexId>;  // (cost, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    cost[DependenceGraph::root()] = dg.send_pos(DependenceGraph::root());
+    heap.emplace(cost[DependenceGraph::root()], DependenceGraph::root());
+
+    while (!heap.empty()) {
+        const auto [c, u] = heap.top();
+        heap.pop();
+        if (c != cost[u]) continue;  // stale entry
+        for (VertexId v : dg.graph().successors(u)) {
+            const std::uint32_t candidate = std::max(c, dg.send_pos(v));
+            if (cost[v] == kUnset || candidate < cost[v]) {
+                cost[v] = candidate;
+                heap.emplace(candidate, v);
+            }
+        }
+    }
+    // Unreachable vertices keep kUnset; callers treat them as never
+    // verifiable (Definition 1 violation, possible in random constructions).
+    return cost;
+}
+
+GraphMetrics compute_metrics(const DependenceGraph& dg, const SchemeParams& params) {
+    GraphMetrics metrics;
+    const std::size_t n = dg.packet_count();
+    metrics.packet_count = n;
+    metrics.edge_count = dg.graph().edge_count();
+    metrics.hashes_per_packet =
+        static_cast<double>(metrics.edge_count) / static_cast<double>(n);
+    metrics.overhead_bytes_per_packet =
+        (params.signature_bytes * params.sign_copies +
+         params.hash_bytes * static_cast<double>(metrics.edge_count)) /
+        static_cast<double>(n);
+
+    for (VertexId v = 0; v < n; ++v)
+        metrics.max_out_degree = std::max(metrics.max_out_degree, dg.graph().out_degree(v));
+
+    const auto latest = latest_needed_position(dg);
+    metrics.receiver_delay.assign(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+        if (latest[v] == static_cast<std::uint32_t>(-1)) continue;  // unreachable
+        const double wait_slots =
+            static_cast<double>(latest[v]) - static_cast<double>(dg.send_pos(v));
+        metrics.receiver_delay[v] = std::max(0.0, wait_slots) * params.t_transmit;
+        metrics.max_receiver_delay =
+            std::max(metrics.max_receiver_delay, metrics.receiver_delay[v]);
+    }
+
+    for (const Edge& e : dg.graph().edges()) {
+        const int label = dg.label(e.from, e.to);
+        if (label < 0) {
+            // Carrier transmitted before its target: the receiver holds the
+            // carried hash until the target arrives.
+            metrics.hash_buffer_span =
+                std::max(metrics.hash_buffer_span, static_cast<std::size_t>(-label));
+        } else {
+            // Carrier transmitted after its target: the target packet waits.
+            metrics.message_buffer_span =
+                std::max(metrics.message_buffer_span, static_cast<std::size_t>(label));
+        }
+    }
+    return metrics;
+}
+
+DiversityMetrics compute_diversity(const DependenceGraph& dg) {
+    DiversityMetrics d;
+    const std::size_t n = dg.packet_count();
+
+    d.disjoint_paths.assign(n, 0);
+    d.min_disjoint_paths = n;  // sentinel; shrinks below
+    for (VertexId v = 1; v < n; ++v) {
+        d.disjoint_paths[v] = vertex_disjoint_paths(dg.graph(), DependenceGraph::root(), v);
+        d.min_disjoint_paths = std::min(d.min_disjoint_paths, d.disjoint_paths[v]);
+    }
+    if (n == 1) d.min_disjoint_paths = 0;
+
+    const auto idom = immediate_dominators(dg.graph(), DependenceGraph::root());
+    d.interior_dominator_count.assign(n, 0);
+    std::vector<bool> is_critical(n, false);
+    for (VertexId v = 1; v < n; ++v) {
+        const auto doms = interior_dominators(idom, DependenceGraph::root(), v);
+        d.interior_dominator_count[v] = doms.size();
+        d.max_interior_dominators = std::max(d.max_interior_dominators, doms.size());
+        for (VertexId u : doms) is_critical[u] = true;
+    }
+    for (VertexId v = 0; v < n; ++v)
+        if (is_critical[v]) d.critical_vertices.push_back(v);
+    return d;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,74 @@
+// Graph-derived scheme metrics (Equations 2-5 and the diversity metrics).
+//
+// Everything here is read off the dependence-graph exactly as §3 of the
+// paper prescribes:
+//
+//   overhead   - hashes/packet = |E| / n (Eq. 2); bytes/packet adds the
+//                (possibly retransmitted) signature (Eq. 3).
+//   delay      - the deterministic receiver delay of packet v is the wait
+//                until the *last-transmitted* packet on its best
+//                verification path arrives (Eq. 4). "Best" minimizes that
+//                latest position — a bottleneck-shortest-path problem.
+//   buffers    - Eq. 5 from edge labels: an edge whose carrier is sent
+//                *before* its target makes the receiver hold a hash; a
+//                carrier sent *after* its target makes it hold the packet.
+//   diversity  - beyond the paper's bounds: Menger vertex-disjoint path
+//                counts (how many simultaneous losses verification provably
+//                survives) and dominator counts (interior single points of
+//                failure).
+//
+// Note for individually-verifiable schemes (Wong–Lam trees): their real
+// overhead is carried inside each packet (log n hashes + signature), which
+// the dependence-graph star cannot express; use the auth codec's measured
+// wire sizes for those (bench/fig10 does).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+
+namespace mcauth {
+
+struct SchemeParams {
+    double hash_bytes = 16.0;        // l_hash: 2003-era truncated hash
+    double signature_bytes = 128.0;  // l_sign: RSA-1024
+    double t_transmit = 0.01;        // pacing interval, seconds/packet
+    double sign_copies = 1.0;        // 1/p_s retransmissions of P_sign (Eq. 3)
+};
+
+struct GraphMetrics {
+    std::size_t packet_count = 0;
+    std::size_t edge_count = 0;
+    double hashes_per_packet = 0.0;          // Eq. 2
+    double overhead_bytes_per_packet = 0.0;  // Eq. 3
+    std::size_t max_out_degree = 0;          // worst single-packet hash load
+
+    std::vector<double> receiver_delay;  // Eq. 4 per vertex, seconds
+    double max_receiver_delay = 0.0;
+
+    std::size_t hash_buffer_span = 0;     // Eq. 5, carrier-before-target edges
+    std::size_t message_buffer_span = 0;  // Eq. 5, carrier-after-target edges
+};
+
+GraphMetrics compute_metrics(const DependenceGraph& dg, const SchemeParams& params);
+
+struct DiversityMetrics {
+    std::vector<std::size_t> disjoint_paths;  // per vertex (root entry = 0)
+    std::size_t min_disjoint_paths = 0;       // over non-root vertices
+
+    std::vector<std::size_t> interior_dominator_count;  // per vertex
+    std::size_t max_interior_dominators = 0;
+    /// Vertices that dominate at least one other non-root vertex — losing
+    /// any of these severs every verification path of someone downstream.
+    std::vector<VertexId> critical_vertices;
+};
+
+/// O(n * maxflow) — intended for n up to a few thousand.
+DiversityMetrics compute_diversity(const DependenceGraph& dg);
+
+/// Eq. 4 helper: for each vertex, the minimum over root-paths of the latest
+/// transmission position on the path (the bottleneck shortest path).
+std::vector<std::uint32_t> latest_needed_position(const DependenceGraph& dg);
+
+}  // namespace mcauth

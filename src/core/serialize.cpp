@@ -1,0 +1,108 @@
+#include "core/serialize.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+std::string to_text(const DependenceGraph& dg) {
+    std::ostringstream out;
+    out << "mcauth-dependence-graph v1\n";
+    out << "name " << dg.scheme_name() << "\n";
+    out << "packets " << dg.packet_count() << "\n";
+    out << "sendpos";
+    for (VertexId v = 0; v < dg.packet_count(); ++v) out << ' ' << dg.send_pos(v);
+    out << "\n";
+    for (const Edge& e : dg.graph().edges()) out << "edge " << e.from << ' ' << e.to << "\n";
+    out << "end\n";
+    return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& why) {
+    throw std::runtime_error("dependence-graph parse error at line " +
+                             std::to_string(line_number) + ": " + why);
+}
+
+}  // namespace
+
+DependenceGraph dependence_graph_from_text(std::string_view text) {
+    std::istringstream in{std::string(text)};
+    std::string line;
+    std::size_t line_number = 0;
+
+    auto next_line = [&]() -> bool {
+        while (std::getline(in, line)) {
+            ++line_number;
+            const auto first = line.find_first_not_of(" \t\r");
+            if (first == std::string::npos) continue;  // blank
+            if (line[first] == '#') continue;          // comment
+            return true;
+        }
+        return false;
+    };
+
+    if (!next_line() || line.rfind("mcauth-dependence-graph v1", 0) != 0)
+        fail(line_number, "missing 'mcauth-dependence-graph v1' header");
+
+    if (!next_line() || line.rfind("name ", 0) != 0) fail(line_number, "expected 'name ...'");
+    const std::string name = line.substr(5);
+
+    if (!next_line()) fail(line_number, "expected 'packets <n>'");
+    std::size_t n = 0;
+    {
+        std::istringstream fields(line);
+        std::string keyword;
+        if (!(fields >> keyword >> n) || keyword != "packets" || n == 0)
+            fail(line_number, "expected 'packets <n>' with n >= 1");
+    }
+
+    if (!next_line()) fail(line_number, "expected 'sendpos ...'");
+    std::vector<std::uint32_t> send_pos(n);
+    {
+        std::istringstream fields(line);
+        std::string keyword;
+        fields >> keyword;
+        if (keyword != "sendpos") fail(line_number, "expected 'sendpos ...'");
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!(fields >> send_pos[i]))
+                fail(line_number, "sendpos needs exactly " + std::to_string(n) + " entries");
+        }
+        std::uint32_t extra = 0;
+        if (fields >> extra) fail(line_number, "sendpos has too many entries");
+    }
+
+    DependenceGraph dg = [&] {
+        try {
+            return DependenceGraph(n, std::move(send_pos), name);
+        } catch (const std::invalid_argument& err) {
+            fail(line_number, std::string("invalid sendpos: ") + err.what());
+        }
+    }();
+
+    bool saw_end = false;
+    while (next_line()) {
+        if (line.rfind("end", 0) == 0) {
+            saw_end = true;
+            break;
+        }
+        std::istringstream fields(line);
+        std::string keyword;
+        std::uint32_t u = 0, v = 0;
+        if (!(fields >> keyword >> u >> v) || keyword != "edge")
+            fail(line_number, "expected 'edge <u> <v>' or 'end'");
+        if (u >= n || v >= n) fail(line_number, "edge endpoint out of range");
+        if (u == v) fail(line_number, "self-loop");
+        dg.add_dependence(u, v);  // duplicate edges are silently merged
+    }
+    if (!saw_end) fail(line_number, "missing 'end'");
+
+    if (!is_acyclic(dg.graph())) fail(line_number, "graph has a cycle");
+    if (!dg.unreachable_vertices().empty())
+        fail(line_number, "vertices unreachable from the root (Definition 1)");
+    return dg;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,28 @@
+// Text serialization for dependence-graphs, so §5-designed schemes are a
+// deployable artifact: design once, ship the file, both endpoints load it
+// as the topology.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   mcauth-dependence-graph v1
+//   name <scheme name, may contain spaces>
+//   packets <n>
+//   sendpos <n space-separated transmission positions, vertex order>
+//   edge <u> <v>        (one line per dependence u -> v)
+//   end
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/dependence_graph.hpp"
+
+namespace mcauth {
+
+std::string to_text(const DependenceGraph& dg);
+
+/// Parses and VALIDATES (Definition 1: acyclic, all vertices reachable);
+/// throws std::runtime_error with a line diagnosis on malformed input.
+DependenceGraph dependence_graph_from_text(std::string_view text);
+
+}  // namespace mcauth

@@ -1,0 +1,133 @@
+#include "core/tesla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth {
+
+namespace {
+
+TeslaAnalysis analyze_with_xi(const TeslaParams& params, double xi) {
+    MCAUTH_EXPECTS(params.n >= 1);
+    MCAUTH_EXPECTS(params.p >= 0.0 && params.p <= 1.0);
+    TeslaAnalysis result;
+    result.xi = xi;
+    result.q.resize(params.n);
+    for (std::size_t i = 1; i <= params.n; ++i) {
+        const double lambda =
+            1.0 - std::pow(params.p, static_cast<double>(params.n + 1 - i));
+        result.q[i - 1] = lambda * xi;
+    }
+    // λ is smallest for the last packet: λ_n = 1 - p (Eq. 7).
+    result.q_min = (1.0 - params.p) * xi;
+    return result;
+}
+
+}  // namespace
+
+TeslaAnalysis analyze_tesla(const TeslaParams& params) {
+    MCAUTH_EXPECTS(params.sigma >= 0.0);
+    const double xi =
+        params.sigma == 0.0
+            ? (params.t_disclose >= params.mu ? 1.0 : 0.0)
+            : normal_cdf((params.t_disclose - params.mu) / params.sigma);
+    return analyze_with_xi(params, xi);
+}
+
+TeslaAnalysis analyze_tesla(const TeslaParams& params, const DelayModel& delay) {
+    return analyze_with_xi(params, delay.cdf(params.t_disclose));
+}
+
+double required_disclosure_delay(double mu, double sigma, double p, double target_q_min) {
+    MCAUTH_EXPECTS(mu >= 0.0 && sigma >= 0.0);
+    MCAUTH_EXPECTS(p >= 0.0 && p < 1.0);
+    MCAUTH_EXPECTS(target_q_min > 0.0 && target_q_min < 1.0);
+    const double required_xi = target_q_min / (1.0 - p);
+    if (required_xi >= 1.0) return std::numeric_limits<double>::infinity();
+    if (sigma == 0.0) return mu;  // any T > mu gives xi = 1
+    return mu + sigma * normal_quantile(required_xi);
+}
+
+TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
+                                  DelayModel& delay, Rng& rng, std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    const std::size_t n = params.n;
+    std::vector<std::size_t> received_count(n, 0);
+    std::vector<std::size_t> verified_count(n, 0);
+    std::vector<bool> data_lost(n);
+    std::vector<bool> carrier_lost(n);
+
+    for (std::size_t t = 0; t < trials; ++t) {
+        loss.reset();
+        for (std::size_t i = 0; i < n; ++i) data_lost[i] = loss.lose_next(rng);
+        // Key carriers form their own transmission sequence (paper's
+        // independence assumption); bursty models correlate within it.
+        loss.reset();
+        for (std::size_t i = 0; i < n; ++i) carrier_lost[i] = loss.lose_next(rng);
+
+        // key_available[i]: some K_j with j >= i arrived — suffix scan.
+        bool suffix_any = false;
+        std::vector<bool> key_available(n);
+        for (std::size_t i = n; i-- > 0;) {
+            suffix_any = suffix_any || !carrier_lost[i];
+            key_available[i] = suffix_any;
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (data_lost[i]) continue;
+            ++received_count[i];
+            const bool timely = delay.sample(rng) <= params.t_disclose;
+            if (key_available[i] && timely) ++verified_count[i];
+        }
+    }
+
+    TeslaMonteCarlo result;
+    result.trials = trials;
+    result.q.assign(n, 1.0);
+    result.q_min = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        result.q[i] = received_count[i] == 0
+                          ? 1.0
+                          : static_cast<double>(verified_count[i]) /
+                                static_cast<double>(received_count[i]);
+        result.q_min = std::min(result.q_min, result.q[i]);
+    }
+    return result;
+}
+
+VertexId TeslaGraph::message_node(std::size_t i) const {
+    MCAUTH_EXPECTS(i >= 1 && 2 * i - 1 < graph.vertex_count());
+    return static_cast<VertexId>(2 * i - 1);
+}
+
+VertexId TeslaGraph::key_node(std::size_t i) const {
+    MCAUTH_EXPECTS(i >= 1 && 2 * i < graph.vertex_count());
+    return static_cast<VertexId>(2 * i);
+}
+
+TeslaGraph make_tesla_graph(std::size_t n, std::size_t a) {
+    MCAUTH_EXPECTS(n >= 1);
+    TeslaGraph tg;
+    tg.graph = Digraph(1 + 2 * n);
+    tg.labels.resize(1 + 2 * n);
+    tg.labels[0] = "bootstrap";
+    for (std::size_t i = 1; i <= n; ++i) {
+        tg.labels[tg.message_node(i)] = "P" + std::to_string(i);
+        tg.labels[tg.key_node(i)] =
+            "K(" + std::to_string(i) + "," + std::to_string(a) + ")";
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+        // The signed bootstrap authenticates every chain key (commitment).
+        tg.graph.add_edge(tg.root, tg.key_node(i));
+        // K_j authenticates P_i for every i <= j (chain walk-back).
+        for (std::size_t j = i; j <= n; ++j)
+            tg.graph.add_edge(tg.key_node(j), tg.message_node(i));
+    }
+    return tg;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,89 @@
+// TESLA analysis via the modified dependence-graph of §3.2.
+//
+// TESLA splits each packet into a message node P_i and a key node K_i (the
+// MAC key for interval i, disclosed T_disclose later inside packet i+a).
+// The signed bootstrap packet is the root: it commits to the key chain, so
+// every key node hangs off it, and key node K_j authenticates every message
+// node P_i with i <= j (a later key re-derives all earlier keys by walking
+// the one-way chain — crypto/keychain.hpp implements exactly this).
+//
+// Two conditions gate verification of P_i (§3):
+//   λ_i - some key K_j, j >= i, arrives: λ_i = 1 - p^(n+1-i);
+//   ξ_i - P_i itself arrived before its key was disclosed (the *safety*
+//         condition): ξ = Pr{ delay <= T_disclose } = Φ((T-µ)/σ) under the
+//         Gaussian model of Eq. 5.
+// Hence (Eq. 6-7):
+//   q_i     = [1 - p^(n+1-i)] · Φ((T_disclose - µ)/σ)
+//   q_min   = (1 - p) · Φ((T_disclose - µ)/σ)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct TeslaParams {
+    std::size_t n = 1000;       // packets in the chain's lifetime
+    double t_disclose = 1.0;    // key disclosure delay, seconds
+    double mu = 0.2;            // mean end-to-end delay, seconds
+    double sigma = 0.1;         // end-to-end delay std (jitter), seconds
+    double p = 0.1;             // packet loss rate
+    std::size_t a = 2;          // disclosure lag in packets (graph rendering)
+};
+
+struct TeslaAnalysis {
+    std::vector<double> q;  // q[i-1] for packet i in [1, n]
+    double q_min = 0.0;
+    double xi = 0.0;  // Pr{delay <= T_disclose}, shared by all packets
+};
+
+/// Closed-form Eq. 6-7 under the Gaussian delay model.
+TeslaAnalysis analyze_tesla(const TeslaParams& params);
+
+/// Same analysis with an arbitrary delay distribution: xi = delay.cdf(T).
+TeslaAnalysis analyze_tesla(const TeslaParams& params, const DelayModel& delay);
+
+/// The inverse design problem: the smallest T_disclose achieving
+/// q_min >= target on a Gaussian N(mu, sigma^2) network with loss p.
+/// From Eq. 7: T = mu + sigma * Phi^-1(target / (1 - p)).
+/// Returns +infinity if the target is unreachable (target >= 1 - p: loss
+/// alone already caps q_min). This is the number a deployer actually needs:
+/// the paper's Figs. 3-4 read backwards.
+double required_disclosure_delay(double mu, double sigma, double p, double target_q_min);
+
+struct TeslaMonteCarlo {
+    std::vector<double> q;
+    double q_min = 0.0;
+    std::size_t trials = 0;
+};
+
+/// Sampled verification under arbitrary loss/delay models (the paper's
+/// future-work loss models plug in here). Follows the paper's independence
+/// assumption: key-carrier losses are drawn independently of data-packet
+/// losses.
+TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
+                                  DelayModel& delay, Rng& rng, std::size_t trials);
+
+/// The §3.2 / Figure 2 graph: vertex 0 is the bootstrap (root), then for
+/// each packet i in [1, n] a message node and a key node. Returned with
+/// label strings for DOT rendering (this variant of the dependence-graph is
+/// unlabeled per the paper, and key-node reception is tied to carrier
+/// packets, so quantitative analysis uses the closed form above instead).
+struct TeslaGraph {
+    Digraph graph;
+    std::vector<std::string> labels;  // per vertex
+    VertexId root = 0;
+
+    VertexId message_node(std::size_t i) const;  // i in [1, n]
+    VertexId key_node(std::size_t i) const;      // i in [1, n]
+};
+
+TeslaGraph make_tesla_graph(std::size_t n, std::size_t a);
+
+}  // namespace mcauth

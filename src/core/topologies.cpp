@@ -1,0 +1,126 @@
+#include "core/topologies.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+/// send_pos for schemes whose signature packet is transmitted first.
+std::vector<std::uint32_t> forward_positions(std::size_t n) {
+    std::vector<std::uint32_t> pos(n);
+    std::iota(pos.begin(), pos.end(), 0u);
+    return pos;
+}
+
+/// send_pos for schemes whose signature packet is transmitted last
+/// (reversed indexing of §4.2: vertex i is sent at position n-1-i).
+std::vector<std::uint32_t> reversed_positions(std::size_t n) {
+    std::vector<std::uint32_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[i] = static_cast<std::uint32_t>(n - 1 - i);
+    return pos;
+}
+
+}  // namespace
+
+DependenceGraph make_rohatgi(std::size_t n) {
+    MCAUTH_EXPECTS(n >= 2);
+    DependenceGraph dg(n, forward_positions(n), "rohatgi");
+    for (VertexId i = 1; i < n; ++i) dg.add_dependence(i - 1, i);
+    return dg;
+}
+
+DependenceGraph make_auth_tree(std::size_t n) {
+    MCAUTH_EXPECTS(n >= 2);
+    DependenceGraph dg(n, forward_positions(n), "auth-tree");
+    for (VertexId i = 1; i < n; ++i) dg.add_dependence(DependenceGraph::root(), i);
+    return dg;
+}
+
+DependenceGraph make_offset_scheme(std::size_t n, const std::vector<std::size_t>& offsets,
+                                   std::string name) {
+    MCAUTH_EXPECTS(n >= 2);
+    MCAUTH_EXPECTS(!offsets.empty());
+    DependenceGraph dg(n, reversed_positions(n), std::move(name));
+    for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t off : offsets) {
+            MCAUTH_EXPECTS(off >= 1);
+            // Offsets overshooting the signature packet clamp to the root:
+            // the signature packet carries those hashes directly (this is
+            // the i.c. q_i = 1 for small i in Eq. 8/9).
+            const VertexId pred =
+                off >= i ? DependenceGraph::root() : static_cast<VertexId>(i - off);
+            dg.add_dependence(pred, static_cast<VertexId>(i));
+        }
+    }
+    return dg;
+}
+
+DependenceGraph make_emss(std::size_t n, std::size_t m, std::size_t d) {
+    MCAUTH_EXPECTS(m >= 1);
+    MCAUTH_EXPECTS(d >= 1);
+    std::vector<std::size_t> offsets;
+    offsets.reserve(m);
+    for (std::size_t k = 0; k < m; ++k) offsets.push_back(1 + k * d);
+    return make_offset_scheme(n, offsets,
+                              "emss(m=" + std::to_string(m) + ",d=" + std::to_string(d) + ")");
+}
+
+DependenceGraph make_augmented_chain(std::size_t n, std::size_t a, std::size_t b) {
+    MCAUTH_EXPECTS(n >= 2);
+    MCAUTH_EXPECTS(a >= 2);  // a == 1 would duplicate the previous-chain link
+    MCAUTH_EXPECTS(b >= 1);
+    const std::size_t g = b + 1;  // group = 1 chain packet + b inserted packets
+    DependenceGraph dg(n, reversed_positions(n),
+                       "ac(a=" + std::to_string(a) + ",b=" + std::to_string(b) + ")");
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t x = i / g;
+        const std::size_t y = i % g;
+        if (y == 0) {
+            // First-level chain vertex: carried by the previous chain vertex
+            // and the a-th previous one (clamped to the root, which yields
+            // the q(x,0) = 1 initial condition for x <= a in Eq. 10).
+            dg.add_dependence(static_cast<VertexId>((x - 1) * g), static_cast<VertexId>(i));
+            const std::size_t far = x >= a ? (x - a) * g : 0;
+            dg.add_dependence(static_cast<VertexId>(far), static_cast<VertexId>(i));
+        } else {
+            // Second-level vertex (x, y): carried by its zig-zag neighbour
+            // — (x, y+1), or the next chain vertex (x+1, 0) when y == b —
+            // and by its own group's chain vertex (x, 0). When the block
+            // ends mid-group the neighbour does not exist; the signature
+            // packet carries that hash instead (the same root clamp EMSS
+            // uses), preserving the construction's "every inserted packet
+            // is linked to two other packets" invariant.
+            const std::size_t neighbour = (y < b) ? i + 1 : (x + 1) * g;
+            dg.add_dependence(
+                static_cast<VertexId>(neighbour < n ? neighbour : 0),
+                static_cast<VertexId>(i));
+            dg.add_dependence(static_cast<VertexId>(x * g), static_cast<VertexId>(i));
+        }
+    }
+    return dg;
+}
+
+DependenceGraph make_random_scheme(std::size_t n, double edge_prob, Rng& rng,
+                                   std::size_t max_extra_per_vertex) {
+    MCAUTH_EXPECTS(n >= 2);
+    MCAUTH_EXPECTS(edge_prob >= 0.0 && edge_prob <= 1.0);
+    DependenceGraph dg(n, reversed_positions(n), "random");
+    for (VertexId i = 1; i < n; ++i) {
+        // Spine edge keeps every vertex reachable (Definition 1); the paper
+        // notes purely probabilistic placement can strand vertices.
+        dg.add_dependence(i - 1, i);
+        std::size_t extra = 0;
+        for (VertexId j = 0; j + 1 < i && extra < max_extra_per_vertex; ++j) {
+            if (rng.bernoulli(edge_prob)) {
+                if (dg.add_dependence(j, i)) ++extra;
+            }
+        }
+    }
+    return dg;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,56 @@
+// Dependence-graph builders for every scheme the paper analyzes (§2, Fig. 1)
+// plus the probabilistic construction of §5.
+//
+// All builders use the reversed indexing of §4.2: vertex 0 is P_sign and
+// vertex i is the packet i sequence-steps away from it. Each builder fixes
+// send_pos so that transmission order is faithful to the original scheme
+// (Rohatgi signs the *first* packet transmitted; EMSS/AC sign the *last*).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+/// Gennaro–Rohatgi simple chain [3]: P_sign is the first packet sent; each
+/// packet carries the hash of the next. One path per vertex, zero receiver
+/// delay, no loss tolerance.
+DependenceGraph make_rohatgi(std::size_t n);
+
+/// Wong–Lam authentication tree [7] as a dependence-graph: every packet is
+/// individually verifiable (it carries a signed Merkle path), so the graph
+/// is a star from the root. The star edges model "authentication material
+/// travels inside the packet itself"; q_i == 1 under any loss. The real
+/// per-packet overhead (log n hashes + signature) is computed by the
+/// metrics layer from scheme parameters, not from out-degrees.
+DependenceGraph make_auth_tree(std::size_t n);
+
+/// EMSS E_{m,d} [6]: signature packet sent last. In reversed indexing each
+/// vertex i is linked from the m earlier vertices {i-1, i-1-d, ...,
+/// i-1-(m-1)d} (offsets clamped to the root). d=1 gives the contiguous
+/// {i-1..i-m} pattern; E_{2,1} is the scheme of Fig. 1 and Eq. 8.
+DependenceGraph make_emss(std::size_t n, std::size_t m, std::size_t d);
+
+/// Offsets-based periodic scheme (generalization the paper writes as the
+/// set A in Eq. 9): vertex i is linked from {i - a : a in offsets}, clamped
+/// to the root. EMSS and Rohatgi are special cases; exposed for the design
+/// module and for property tests of the recurrence engine.
+DependenceGraph make_offset_scheme(std::size_t n, const std::vector<std::size_t>& offsets,
+                                   std::string name = "offsets");
+
+/// Golle–Modadugu augmented chain C_{a,b} [4], following Eq. 10 exactly:
+/// first-level chain vertices every (b+1) positions with links from the
+/// previous and the a-th previous chain vertex; b second-level packets per
+/// gap, zig-zag linked and each also carried by its group's chain packet.
+DependenceGraph make_augmented_chain(std::size_t n, std::size_t a, std::size_t b);
+
+/// §5 probabilistic construction: a spine chain guarantees Definition 1
+/// reachability, then each vertex gains extra edges from earlier vertices,
+/// each present independently with probability `edge_prob`.
+DependenceGraph make_random_scheme(std::size_t n, double edge_prob, Rng& rng,
+                                   std::size_t max_extra_per_vertex = 8);
+
+}  // namespace mcauth

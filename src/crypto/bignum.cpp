@@ -1,0 +1,433 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/hex.hpp"
+
+namespace mcauth {
+
+namespace {
+
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+
+}  // namespace
+
+Bignum::Bignum(std::uint64_t value) {
+    if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void Bignum::trim() noexcept {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum Bignum::from_bytes(std::span<const std::uint8_t> big_endian) {
+    Bignum out;
+    out.limbs_.assign((big_endian.size() + 3) / 4, 0);
+    for (std::size_t i = 0; i < big_endian.size(); ++i) {
+        // byte i from the end goes into limb i/4, lane i%4
+        const std::size_t from_end = big_endian.size() - 1 - i;
+        out.limbs_[i / 4] |= std::uint32_t(big_endian[from_end]) << (8 * (i % 4));
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+    std::string padded(hex);
+    if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+    const auto bytes = mcauth::from_hex(padded);
+    return from_bytes(bytes);
+}
+
+std::vector<std::uint8_t> Bignum::to_bytes(std::size_t width) const {
+    MCAUTH_EXPECTS(bit_length() <= width * 8);
+    std::vector<std::uint8_t> out(width, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+            const std::size_t byte_index = i * 4 + lane;  // from the little end
+            if (byte_index >= width) break;
+            out[width - 1 - byte_index] =
+                static_cast<std::uint8_t>(limbs_[i] >> (8 * lane));
+        }
+    }
+    return out;
+}
+
+std::string Bignum::to_hex() const {
+    if (is_zero()) return "0";
+    const std::size_t width = (bit_length() + 7) / 8;
+    const auto bytes = to_bytes(width);
+    std::string hex = mcauth::to_hex(bytes);
+    // Strip at most one leading zero nibble for canonical output.
+    if (hex.size() > 1 && hex.front() == '0') hex.erase(hex.begin());
+    return hex;
+}
+
+std::size_t Bignum::bit_length() const noexcept {
+    if (limbs_.empty()) return 0;
+    const std::uint32_t top = limbs_.back();
+    const int top_bits = 32 - __builtin_clz(top);
+    return (limbs_.size() - 1) * 32 + static_cast<std::size_t>(top_bits);
+}
+
+bool Bignum::bit(std::size_t i) const noexcept {
+    const std::size_t limb = i / 32;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t Bignum::to_u64() const {
+    MCAUTH_EXPECTS(bit_length() <= 64);
+    std::uint64_t v = 0;
+    if (!limbs_.empty()) v = limbs_[0];
+    if (limbs_.size() > 1) v |= std::uint64_t(limbs_[1]) << 32;
+    return v;
+}
+
+int Bignum::compare(const Bignum& other) const noexcept {
+    if (limbs_.size() != other.limbs_.size())
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+Bignum Bignum::add(const Bignum& other) const {
+    Bignum out;
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    out.limbs_.resize(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry;
+        if (i < limbs_.size()) sum += limbs_[i];
+        if (i < other.limbs_.size()) sum += other.limbs_[i];
+        out.limbs_[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    out.limbs_[n] = static_cast<std::uint32_t>(carry);
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::sub(const Bignum& other) const {
+    MCAUTH_EXPECTS(*this >= other);
+    Bignum out;
+    out.limbs_.resize(limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t diff = std::int64_t(limbs_[i]) - borrow;
+        if (i < other.limbs_.size()) diff -= other.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kLimbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    MCAUTH_ENSURES(borrow == 0);
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::mul(const Bignum& other) const {
+    if (is_zero() || other.is_zero()) return {};
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limbs_[i];
+        for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+            const std::uint64_t cur =
+                std::uint64_t(out.limbs_[i + j]) + a * other.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + other.limbs_.size();
+        while (carry != 0) {
+            const std::uint64_t cur = std::uint64_t(out.limbs_[k]) + carry;
+            out.limbs_[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::shifted_left(std::size_t bits) const {
+    if (is_zero() || bits == 0) return *this;
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift != 0)
+            out.limbs_[i + limb_shift + 1] |=
+                static_cast<std::uint32_t>(std::uint64_t(limbs_[i]) >> (32 - bit_shift));
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::shifted_right(std::size_t bits) const {
+    if (is_zero()) return {};
+    const std::size_t limb_shift = bits / 32;
+    if (limb_shift >= limbs_.size()) return {};
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+            out.limbs_[i] |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+    }
+    out.trim();
+    return out;
+}
+
+BignumDivMod Bignum::divmod(const Bignum& divisor) const {
+    MCAUTH_EXPECTS(!divisor.is_zero());
+    if (*this < divisor) return {Bignum(), *this};
+
+    // Single-limb fast path.
+    if (divisor.limbs_.size() == 1) {
+        const std::uint64_t d = divisor.limbs_[0];
+        Bignum quotient;
+        quotient.limbs_.assign(limbs_.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = limbs_.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | limbs_[i];
+            quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        quotient.trim();
+        return {std::move(quotient), Bignum(rem)};
+    }
+
+    // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top limb
+    // has its high bit set, which makes the 2-limb quotient estimate off by
+    // at most 2 and corrected by the add-back step.
+    const std::size_t n = divisor.limbs_.size();
+    const std::size_t m = limbs_.size() - n;
+    const int shift = __builtin_clz(divisor.limbs_.back());
+    const Bignum u_norm = shifted_left(static_cast<std::size_t>(shift));
+    const Bignum v_norm = divisor.shifted_left(static_cast<std::size_t>(shift));
+
+    std::vector<std::uint32_t> u = u_norm.limbs_;
+    u.resize(limbs_.size() + 1, 0);  // extra top limb for the algorithm
+    const std::vector<std::uint32_t>& v = v_norm.limbs_;
+    MCAUTH_ENSURES(v.size() == n);
+
+    Bignum quotient;
+    quotient.limbs_.assign(m + 1, 0);
+
+    const std::uint64_t v_top = v[n - 1];
+    const std::uint64_t v_second = v[n - 2];
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        // Estimate q_hat from the top two limbs of the current remainder.
+        const std::uint64_t numerator = (std::uint64_t(u[j + n]) << 32) | u[j + n - 1];
+        std::uint64_t q_hat = numerator / v_top;
+        std::uint64_t r_hat = numerator % v_top;
+        while (q_hat >= kLimbBase ||
+               q_hat * v_second > ((r_hat << 32) | u[j + n - 2])) {
+            --q_hat;
+            r_hat += v_top;
+            if (r_hat >= kLimbBase) break;
+        }
+
+        // Multiply-subtract u[j..j+n] -= q_hat * v.
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product = q_hat * v[i] + carry;
+            carry = product >> 32;
+            std::int64_t diff =
+                std::int64_t(u[j + i]) - std::int64_t(product & 0xffffffffULL) - borrow;
+            if (diff < 0) {
+                diff += static_cast<std::int64_t>(kLimbBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u[j + i] = static_cast<std::uint32_t>(diff);
+        }
+        std::int64_t top_diff = std::int64_t(u[j + n]) - std::int64_t(carry) - borrow;
+        if (top_diff < 0) {
+            // q_hat was one too large: add back one copy of v.
+            top_diff += static_cast<std::int64_t>(kLimbBase);
+            --q_hat;
+            std::uint64_t add_carry = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t sum = std::uint64_t(u[j + i]) + v[i] + add_carry;
+                u[j + i] = static_cast<std::uint32_t>(sum);
+                add_carry = sum >> 32;
+            }
+            top_diff += static_cast<std::int64_t>(add_carry);
+            top_diff &= 0xffffffffLL;  // discard the wrap into the borrow we repaid
+        }
+        u[j + n] = static_cast<std::uint32_t>(top_diff);
+        quotient.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+    }
+
+    quotient.trim();
+    Bignum remainder;
+    remainder.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+    remainder.trim();
+    remainder = remainder.shifted_right(static_cast<std::size_t>(shift));
+    return {std::move(quotient), std::move(remainder)};
+}
+
+Bignum Bignum::mod_mul(const Bignum& a, const Bignum& b, const Bignum& m) {
+    return a.mul(b).mod(m);
+}
+
+Bignum Bignum::mod_pow(const Bignum& base, const Bignum& exponent, const Bignum& m) {
+    MCAUTH_EXPECTS(!m.is_zero());
+    if (m == Bignum(1)) return {};
+    Bignum result(1);
+    Bignum acc = base.mod(m);
+    const std::size_t bits = exponent.bit_length();
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (exponent.bit(i)) result = mod_mul(result, acc, m);
+        if (i + 1 < bits) acc = mod_mul(acc, acc, m);
+    }
+    return result;
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+    while (!b.is_zero()) {
+        Bignum r = a.mod(b);
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+Bignum Bignum::mod_inverse(const Bignum& a, const Bignum& m) {
+    // Extended Euclid on non-negative values, tracking coefficients of `a`
+    // as (sign, magnitude) pairs to stay within unsigned arithmetic.
+    Bignum r0 = m;
+    Bignum r1 = a.mod(m);
+    Bignum t0;        // coefficient for r0
+    Bignum t1(1);     // coefficient for r1
+    bool t0_neg = false;
+    bool t1_neg = false;
+
+    while (!r1.is_zero()) {
+        const auto qr = r0.divmod(r1);
+        // t2 = t0 - q * t1 with sign handling.
+        const Bignum q_t1 = qr.quotient.mul(t1);
+        Bignum t2;
+        bool t2_neg = false;
+        if (t0_neg == t1_neg) {
+            // same sign: t0 - q*t1 flips when |q*t1| > |t0|
+            if (t0 >= q_t1) {
+                t2 = t0.sub(q_t1);
+                t2_neg = t0_neg;
+            } else {
+                t2 = q_t1.sub(t0);
+                t2_neg = !t0_neg;
+            }
+        } else {
+            t2 = t0.add(q_t1);
+            t2_neg = t0_neg;
+        }
+        t0 = std::move(t1);
+        t0_neg = t1_neg;
+        t1 = std::move(t2);
+        t1_neg = t2_neg;
+        r0 = std::move(r1);
+        r1 = qr.remainder;
+    }
+    if (r0 != Bignum(1)) throw std::domain_error("mod_inverse: arguments are not coprime");
+    if (t0_neg) return m.sub(t0.mod(m));
+    return t0.mod(m);
+}
+
+Bignum Bignum::random_below(Rng& rng, const Bignum& bound) {
+    MCAUTH_EXPECTS(!bound.is_zero());
+    const std::size_t bits = bound.bit_length();
+    const std::size_t bytes = (bits + 7) / 8;
+    for (;;) {
+        auto raw = rng.bytes(bytes);
+        // Mask the top byte down to the bound's bit length to make rejection
+        // terminate quickly.
+        const std::size_t excess = bytes * 8 - bits;
+        raw[0] = static_cast<std::uint8_t>(raw[0] & (0xffu >> excess));
+        Bignum candidate = from_bytes(raw);
+        if (candidate < bound) return candidate;
+    }
+}
+
+Bignum Bignum::random_bits(Rng& rng, std::size_t bits) {
+    MCAUTH_EXPECTS(bits >= 2);
+    const std::size_t bytes = (bits + 7) / 8;
+    auto raw = rng.bytes(bytes);
+    const std::size_t excess = bytes * 8 - bits;
+    raw[0] = static_cast<std::uint8_t>(raw[0] & (0xffu >> excess));
+    raw[0] = static_cast<std::uint8_t>(raw[0] | (0x80u >> excess));  // force top bit
+    return from_bytes(raw);
+}
+
+bool Bignum::is_probable_prime(const Bignum& n, Rng& rng, int rounds) {
+    if (n < Bignum(2)) return false;
+    // Small-prime sieve removes the bulk of composites cheaply.
+    static constexpr std::uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23,
+                                                     29, 31, 37, 41, 43, 47, 53, 59, 61};
+    for (std::uint64_t p : kSmallPrimes) {
+        const Bignum bp(p);
+        if (n == bp) return true;
+        if (n.mod(bp).is_zero()) return false;
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    const Bignum n_minus_1 = n.sub(Bignum(1));
+    Bignum d = n_minus_1;
+    std::size_t s = 0;
+    while (!d.is_odd()) {
+        d = d.shifted_right(1);
+        ++s;
+    }
+
+    const Bignum two(2);
+    const Bignum n_minus_3 = n.sub(Bignum(3));
+    for (int round = 0; round < rounds; ++round) {
+        const Bignum a = random_below(rng, n_minus_3).add(two);  // a in [2, n-2]
+        Bignum x = mod_pow(a, d, n);
+        if (x == Bignum(1) || x == n_minus_1) continue;
+        bool witness = true;
+        for (std::size_t r = 1; r < s; ++r) {
+            x = mod_mul(x, x, n);
+            if (x == n_minus_1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness) return false;
+    }
+    return true;
+}
+
+Bignum Bignum::generate_prime(Rng& rng, std::size_t bits, int rounds) {
+    MCAUTH_EXPECTS(bits >= 8);
+    for (;;) {
+        Bignum candidate = random_bits(rng, bits);
+        if (!candidate.is_odd()) candidate = candidate.add(Bignum(1));
+        // Walk odd numbers from the random start; re-randomize if we drift
+        // beyond the requested width.
+        for (int step = 0; step < 4096; ++step) {
+            if (candidate.bit_length() != bits) break;
+            if (is_probable_prime(candidate, rng, rounds)) return candidate;
+            candidate = candidate.add(Bignum(2));
+        }
+    }
+}
+
+}  // namespace mcauth

@@ -1,0 +1,102 @@
+// Arbitrary-precision unsigned integers, built for the RSA substrate.
+//
+// Representation: little-endian vector of 32-bit limbs (64-bit intermediates
+// keep multiplication and Knuth-D division portable and overflow-free).
+// The value zero is the empty limb vector; all arithmetic keeps limbs
+// normalized (no high zero limbs).
+//
+// Scope: exactly what RSA key generation, signing and verification need —
+// ring arithmetic, modular exponentiation, inverses, Miller–Rabin. This is
+// deliberately not a general math library; timing side channels are out of
+// scope for the simulation-driven use here (keys sign simulated packets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+class Bignum;
+
+/// Quotient/remainder pair returned by Bignum::divmod.
+struct BignumDivMod;
+
+class Bignum {
+public:
+    Bignum() = default;
+    explicit Bignum(std::uint64_t value);
+
+    /// Big-endian byte import/export (the RSA wire order).
+    static Bignum from_bytes(std::span<const std::uint8_t> big_endian);
+    static Bignum from_hex(std::string_view hex);
+
+    /// Fixed-width big-endian export; throws if the value does not fit.
+    std::vector<std::uint8_t> to_bytes(std::size_t width) const;
+    std::string to_hex() const;
+
+    bool is_zero() const noexcept { return limbs_.empty(); }
+    bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+    std::size_t bit_length() const noexcept;
+    bool bit(std::size_t i) const noexcept;
+
+    /// Value as uint64; requires bit_length() <= 64.
+    std::uint64_t to_u64() const;
+
+    int compare(const Bignum& other) const noexcept;
+    bool operator==(const Bignum& other) const noexcept { return compare(other) == 0; }
+    bool operator!=(const Bignum& other) const noexcept { return compare(other) != 0; }
+    bool operator<(const Bignum& other) const noexcept { return compare(other) < 0; }
+    bool operator<=(const Bignum& other) const noexcept { return compare(other) <= 0; }
+    bool operator>(const Bignum& other) const noexcept { return compare(other) > 0; }
+    bool operator>=(const Bignum& other) const noexcept { return compare(other) >= 0; }
+
+    Bignum add(const Bignum& other) const;
+    /// Requires *this >= other.
+    Bignum sub(const Bignum& other) const;
+    Bignum mul(const Bignum& other) const;
+    Bignum shifted_left(std::size_t bits) const;
+    Bignum shifted_right(std::size_t bits) const;
+
+    /// Knuth Algorithm D; divisor must be non-zero.
+    BignumDivMod divmod(const Bignum& divisor) const;
+    Bignum mod(const Bignum& modulus) const;
+
+    /// (a * b) mod m and a^e mod m (square-and-multiply).
+    static Bignum mod_mul(const Bignum& a, const Bignum& b, const Bignum& m);
+    static Bignum mod_pow(const Bignum& base, const Bignum& exponent, const Bignum& m);
+
+    static Bignum gcd(Bignum a, Bignum b);
+    /// Modular inverse of a mod m; throws std::domain_error if gcd(a,m) != 1.
+    static Bignum mod_inverse(const Bignum& a, const Bignum& m);
+
+    /// Uniform random integer in [0, bound) — rejection from random bits.
+    static Bignum random_below(Rng& rng, const Bignum& bound);
+    /// Random integer with exactly `bits` bits (top bit set).
+    static Bignum random_bits(Rng& rng, std::size_t bits);
+
+    /// Miller–Rabin with `rounds` random bases (error < 4^-rounds).
+    static bool is_probable_prime(const Bignum& n, Rng& rng, int rounds = 32);
+    /// Next probable prime with exactly `bits` bits (random start, odd walk).
+    static Bignum generate_prime(Rng& rng, std::size_t bits, int rounds = 32);
+
+private:
+    void trim() noexcept;
+
+    std::vector<std::uint32_t> limbs_;  // little-endian
+};
+
+struct BignumDivMod {
+    Bignum quotient;
+    Bignum remainder;
+};
+
+inline Bignum Bignum::mod(const Bignum& modulus) const {
+    return divmod(modulus).remainder;
+}
+
+}  // namespace mcauth

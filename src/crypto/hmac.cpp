@@ -1,0 +1,78 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace mcauth {
+
+namespace {
+
+// Normalize a key to one hash block: hash if longer, zero-pad if shorter.
+std::array<std::uint8_t, 64> block_key_sha256(std::span<const std::uint8_t> key) noexcept {
+    std::array<std::uint8_t, 64> block{};
+    if (key.size() > block.size()) {
+        const Digest256 digest = Sha256::hash(key);
+        std::memcpy(block.data(), digest.data(), digest.size());
+    } else {
+        std::memcpy(block.data(), key.data(), key.size());
+    }
+    return block;
+}
+
+std::array<std::uint8_t, 64> block_key_sha1(std::span<const std::uint8_t> key) noexcept {
+    std::array<std::uint8_t, 64> block{};
+    if (key.size() > block.size()) {
+        const Digest160 digest = Sha1::hash(key);
+        std::memcpy(block.data(), digest.data(), digest.size());
+    } else {
+        std::memcpy(block.data(), key.data(), key.size());
+    }
+    return block;
+}
+
+}  // namespace
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
+    const auto block = block_key_sha256(key);
+    std::array<std::uint8_t, 64> ipad_key{};
+    for (std::size_t i = 0; i < 64; ++i) {
+        ipad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+        opad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+    inner_.update(ipad_key);
+}
+
+Digest256 HmacSha256::finish() noexcept {
+    const Digest256 inner_digest = inner_.finish();
+    Sha256 outer;
+    outer.update(opad_key_);
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> message) noexcept {
+    HmacSha256 mac(key);
+    mac.update(message);
+    return mac.finish();
+}
+
+Digest160 hmac_sha1(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> message) noexcept {
+    const auto block = block_key_sha1(key);
+    std::array<std::uint8_t, 64> ipad_key{};
+    std::array<std::uint8_t, 64> opad_key{};
+    for (std::size_t i = 0; i < 64; ++i) {
+        ipad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+        opad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+    Sha1 inner;
+    inner.update(ipad_key);
+    inner.update(message);
+    const Digest160 inner_digest = inner.finish();
+    Sha1 outer;
+    outer.update(opad_key);
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+}  // namespace mcauth

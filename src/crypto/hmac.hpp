@@ -1,0 +1,35 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-1.
+//
+// HMAC-SHA256 is the MAC used by our TESLA implementation, and doubles as
+// the pseudo-random function for key-chain derivation (crypto/keychain.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> message) noexcept;
+
+Digest160 hmac_sha1(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> message) noexcept;
+
+/// Streaming HMAC-SHA256 for multi-part messages (header || payload).
+class HmacSha256 {
+public:
+    explicit HmacSha256(std::span<const std::uint8_t> key) noexcept;
+
+    void update(std::span<const std::uint8_t> data) noexcept { inner_.update(data); }
+    Digest256 finish() noexcept;
+
+private:
+    Sha256 inner_;
+    std::array<std::uint8_t, 64> opad_key_{};
+};
+
+}  // namespace mcauth

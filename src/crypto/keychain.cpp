@@ -1,0 +1,64 @@
+#include "crypto/keychain.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+// Domain-separation tags keep the chain PRF and MAC-key PRF independent.
+constexpr std::uint8_t kChainTag[] = {'t', 'e', 's', 'l', 'a', '-', 'c', 'h', 'n'};
+constexpr std::uint8_t kMacTag[] = {'t', 'e', 's', 'l', 'a', '-', 'm', 'a', 'c'};
+constexpr std::uint8_t kSeedTag[] = {'t', 'e', 's', 'l', 'a', '-', 's', 'e', 'd'};
+
+}  // namespace
+
+TeslaKey tesla_chain_step(const TeslaKey& key) noexcept {
+    return hmac_sha256(key, std::span<const std::uint8_t>(kChainTag, sizeof kChainTag));
+}
+
+TeslaKey tesla_mac_key(const TeslaKey& key) noexcept {
+    return hmac_sha256(key, std::span<const std::uint8_t>(kMacTag, sizeof kMacTag));
+}
+
+TeslaKeyChain::TeslaKeyChain(std::span<const std::uint8_t> seed, std::size_t length) {
+    MCAUTH_EXPECTS(length >= 1);
+    keys_.resize(length + 1);
+    keys_[length] = hmac_sha256(seed, std::span<const std::uint8_t>(kSeedTag, sizeof kSeedTag));
+    for (std::size_t i = length; i > 0; --i) keys_[i - 1] = tesla_chain_step(keys_[i]);
+}
+
+const TeslaKey& TeslaKeyChain::key(std::size_t i) const {
+    MCAUTH_EXPECTS(i < keys_.size());
+    return keys_[i];
+}
+
+TeslaKey TeslaKeyChain::mac_key(std::size_t i) const {
+    MCAUTH_EXPECTS(i >= 1 && i < keys_.size());
+    return tesla_mac_key(keys_[i]);
+}
+
+TeslaKeyVerifier::TeslaKeyVerifier(const TeslaKey& commitment) noexcept
+    : last_key_(commitment) {}
+
+bool TeslaKeyVerifier::accept(std::size_t index, const TeslaKey& key, std::size_t max_walk) {
+    if (index <= last_index_) return false;  // stale or replayed disclosure
+    const std::size_t distance = index - last_index_;
+    if (distance > max_walk) return false;
+    TeslaKey walked = key;
+    for (std::size_t i = 0; i < distance; ++i) walked = tesla_chain_step(walked);
+    if (!ct_equal(walked, last_key_)) return false;
+    last_index_ = index;
+    last_key_ = key;
+    return true;
+}
+
+std::optional<TeslaKey> TeslaKeyVerifier::key_for(std::size_t index) const {
+    if (index > last_index_) return std::nullopt;
+    TeslaKey walked = last_key_;
+    for (std::size_t i = last_index_; i > index; --i) walked = tesla_chain_step(walked);
+    return walked;
+}
+
+}  // namespace mcauth

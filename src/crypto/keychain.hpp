@@ -1,0 +1,81 @@
+// TESLA one-way key chains (Perrig et al., analyzed in §3.2 of the paper).
+//
+// The sender draws a random terminal key K_N and derives the chain
+//     K_{i-1} = F(K_i),   i = N..1
+// where F is a pseudo-random function (here HMAC-SHA256 under a domain-
+// separation tag). K_0 is the *commitment*, distributed in the signed
+// bootstrap packet. The MAC key actually used in interval i is
+//     K'_i = F'(K_i)
+// with an independently-tagged PRF, so disclosing K_i never reveals a key
+// that was still MAC-ing traffic.
+//
+// Robustness to loss — the property the paper's dependence-graph for TESLA
+// encodes — comes from the receiver side: a later key K_j authenticates any
+// earlier undisclosed key by iterating F (j - i) times, so one received
+// disclosure repairs every missed one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+using TeslaKey = Digest256;
+
+/// Chain PRF: K_{i-1} = F(K_i). Exposed for tests and the receiver.
+TeslaKey tesla_chain_step(const TeslaKey& key) noexcept;
+
+/// MAC-key derivation: K'_i = F'(K_i).
+TeslaKey tesla_mac_key(const TeslaKey& key) noexcept;
+
+/// Sender-side chain: materializes K_0..K_N once (N+1 keys).
+class TeslaKeyChain {
+public:
+    /// Build a chain with keys for intervals 1..length; index 0 is the
+    /// commitment. `seed` is hashed into the terminal key.
+    TeslaKeyChain(std::span<const std::uint8_t> seed, std::size_t length);
+
+    std::size_t length() const noexcept { return keys_.size() - 1; }
+    const TeslaKey& commitment() const noexcept { return keys_.front(); }
+
+    /// Chain key K_i for interval i in [0, length].
+    const TeslaKey& key(std::size_t i) const;
+
+    /// MAC key K'_i for interval i in [1, length].
+    TeslaKey mac_key(std::size_t i) const;
+
+private:
+    std::vector<TeslaKey> keys_;  // keys_[i] = K_i
+};
+
+/// Receiver-side verifier: holds the last authenticated (index, key) pair
+/// and authenticates any later disclosed key by walking the chain back.
+class TeslaKeyVerifier {
+public:
+    explicit TeslaKeyVerifier(const TeslaKey& commitment) noexcept;
+
+    /// Verify a disclosed chain key claiming interval `index`. On success
+    /// the verifier advances and the key becomes the new trust anchor.
+    /// Returns false (without advancing) for stale indices, wrong keys, or
+    /// indices absurdly far ahead (cap guards CPU exhaustion).
+    bool accept(std::size_t index, const TeslaKey& key,
+                std::size_t max_walk = 1u << 20);
+
+    std::size_t last_index() const noexcept { return last_index_; }
+    const TeslaKey& last_key() const noexcept { return last_key_; }
+
+    /// Chain key K_i for an interval already at or behind the trust anchor,
+    /// recomputed by walking back from the anchor. Returns nullopt if i is
+    /// ahead of the anchor (not yet disclosed/verified).
+    std::optional<TeslaKey> key_for(std::size_t index) const;
+
+private:
+    std::size_t last_index_ = 0;
+    TeslaKey last_key_{};
+};
+
+}  // namespace mcauth

@@ -1,0 +1,161 @@
+#include "crypto/merkle.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+constexpr std::uint8_t kLeafPrefix = 0x00;
+constexpr std::uint8_t kNodePrefix = 0x01;
+
+}  // namespace
+
+Digest256 MerkleTree::hash_leaf(std::span<const std::uint8_t> data) noexcept {
+    Sha256 h;
+    h.update(std::span<const std::uint8_t>(&kLeafPrefix, 1));
+    h.update(data);
+    return h.finish();
+}
+
+Digest256 MerkleTree::hash_node(const Digest256& left, const Digest256& right) noexcept {
+    Sha256 h;
+    h.update(std::span<const std::uint8_t>(&kNodePrefix, 1));
+    h.update(left);
+    h.update(right);
+    return h.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest256> leaves) {
+    MCAUTH_EXPECTS(!leaves.empty());
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const auto& below = levels_.back();
+        std::vector<Digest256> level;
+        level.reserve((below.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < below.size(); i += 2)
+            level.push_back(hash_node(below[i], below[i + 1]));
+        if (below.size() % 2 != 0) level.push_back(below.back());  // promote odd tail
+        levels_.push_back(std::move(level));
+    }
+}
+
+MerkleProof MerkleTree::prove(std::size_t leaf_index) const {
+    MCAUTH_EXPECTS(leaf_index < leaf_count());
+    MerkleProof proof;
+    proof.leaf_index = leaf_index;
+    std::size_t index = leaf_index;
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+        const auto& nodes = levels_[level];
+        const std::size_t sibling = index ^ 1u;
+        if (sibling < nodes.size()) {
+            proof.steps.push_back({nodes[sibling], /*sibling_is_left=*/index % 2 == 1});
+            index /= 2;
+        } else {
+            // Promoted trailing node: no hashing at this level. Its position
+            // above is after all the pairs, i.e. floor(nodes.size() / 2).
+            index = nodes.size() / 2;
+        }
+    }
+    return proof;
+}
+
+Digest256 MerkleTree::root_from_proof(const Digest256& leaf, const MerkleProof& proof) {
+    Digest256 node = leaf;
+    for (const MerkleProofStep& step : proof.steps)
+        node = step.sibling_is_left ? hash_node(step.sibling, node)
+                                    : hash_node(node, step.sibling);
+    return node;
+}
+
+bool MerkleTree::verify(const Digest256& leaf, const MerkleProof& proof,
+                        const Digest256& expected_root) {
+    const Digest256 actual = root_from_proof(leaf, proof);
+    return ct_equal(actual, expected_root);
+}
+
+// ------------------------------------------------------------ k-ary trees
+
+Digest256 KaryMerkleTree::hash_group(std::span<const Digest256> children) noexcept {
+    Sha256 h;
+    const std::uint8_t header[2] = {0x02,  // k-ary node domain
+                                    static_cast<std::uint8_t>(children.size())};
+    h.update(std::span<const std::uint8_t>(header, sizeof header));
+    for (const Digest256& child : children) h.update(child);
+    return h.finish();
+}
+
+KaryMerkleTree::KaryMerkleTree(std::vector<Digest256> leaves, std::size_t arity)
+    : arity_(arity) {
+    MCAUTH_EXPECTS(!leaves.empty());
+    MCAUTH_EXPECTS(arity >= 2 && arity <= 255);
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const auto& below = levels_.back();
+        std::vector<Digest256> level;
+        level.reserve((below.size() + arity_ - 1) / arity_);
+        for (std::size_t start = 0; start < below.size(); start += arity_) {
+            const std::size_t count = std::min(arity_, below.size() - start);
+            if (count == 1) {
+                level.push_back(below[start]);  // promote the lone tail node
+            } else {
+                level.push_back(hash_group(
+                    std::span<const Digest256>(below.data() + start, count)));
+            }
+        }
+        levels_.push_back(std::move(level));
+    }
+}
+
+KaryMerkleProof KaryMerkleTree::prove(std::size_t leaf_index) const {
+    MCAUTH_EXPECTS(leaf_index < leaf_count());
+    KaryMerkleProof proof;
+    proof.leaf_index = leaf_index;
+    std::size_t index = leaf_index;
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+        const auto& nodes = levels_[level];
+        const std::size_t start = (index / arity_) * arity_;
+        const std::size_t count = std::min(arity_, nodes.size() - start);
+        if (count == 1) {
+            index /= arity_;  // promoted: no hashing at this level
+            continue;
+        }
+        KaryProofStep step;
+        step.position = static_cast<std::uint32_t>(index - start);
+        for (std::size_t i = 0; i < count; ++i)
+            if (start + i != index) step.siblings.push_back(nodes[start + i]);
+        proof.steps.push_back(std::move(step));
+        index /= arity_;
+    }
+    return proof;
+}
+
+Digest256 KaryMerkleTree::root_from_proof(const Digest256& leaf,
+                                          const KaryMerkleProof& proof) {
+    Digest256 node = leaf;
+    for (const KaryProofStep& step : proof.steps) {
+        if (step.position > step.siblings.size()) return Digest256{};  // malformed
+        std::vector<Digest256> group;
+        group.reserve(step.siblings.size() + 1);
+        // Reassemble the ordered group with our node at its position.
+        for (std::size_t i = 0, s = 0; i < step.siblings.size() + 1; ++i) {
+            if (i == step.position)
+                group.push_back(node);
+            else
+                group.push_back(step.siblings[s++]);
+        }
+        node = hash_group(group);
+    }
+    return node;
+}
+
+bool KaryMerkleTree::verify(const Digest256& leaf, const KaryMerkleProof& proof,
+                            const Digest256& expected_root) {
+    // Reject absurd positions up front (root_from_proof degrades safely,
+    // but a position beyond its group is always malformed).
+    for (const KaryProofStep& step : proof.steps)
+        if (step.position > step.siblings.size()) return false;
+    return ct_equal(root_from_proof(leaf, proof), expected_root);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,109 @@
+// Binary Merkle hash trees.
+//
+// Used twice in this repository:
+//   * the Wong–Lam authentication-tree scheme (every packet ships a leaf
+//     authentication path to a signed root), and
+//   * the Merkle many-time signature that turns Winternitz one-time keys
+//     into a stream signer (crypto/signature.hpp).
+//
+// Interior nodes use domain-separated hashing (leaf vs node prefixes) so a
+// leaf value cannot be confused with an interior node (second-preimage
+// hardening, as in RFC 6962). Trees of any leaf count are supported; odd
+// levels promote the trailing node, so proofs carry explicit sibling-side
+// bits rather than deriving sides from the leaf index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+struct MerkleProofStep {
+    Digest256 sibling{};
+    bool sibling_is_left = false;  // true: sibling is the left input at this level
+};
+
+struct MerkleProof {
+    std::size_t leaf_index = 0;
+    std::vector<MerkleProofStep> steps;  // bottom-up; promoted levels are skipped
+
+    /// Serialized size in bytes (index word + one digest + side byte per step);
+    /// this is the per-packet overhead of the Wong–Lam scheme.
+    std::size_t wire_size() const noexcept {
+        return sizeof(std::uint32_t) + steps.size() * (sizeof(Digest256) + 1);
+    }
+};
+
+class MerkleTree {
+public:
+    /// Build over already-hashed leaf material; `leaves` may be any size >= 1.
+    explicit MerkleTree(std::vector<Digest256> leaves);
+
+    const Digest256& root() const noexcept { return levels_.back().front(); }
+    std::size_t leaf_count() const noexcept { return levels_.front().size(); }
+    std::size_t height() const noexcept { return levels_.size() - 1; }
+
+    MerkleProof prove(std::size_t leaf_index) const;
+
+    /// Recompute the root implied by (leaf, proof).
+    static Digest256 root_from_proof(const Digest256& leaf, const MerkleProof& proof);
+
+    /// Convenience check.
+    static bool verify(const Digest256& leaf, const MerkleProof& proof,
+                       const Digest256& expected_root);
+
+    /// Domain-separated hashes.
+    static Digest256 hash_leaf(std::span<const std::uint8_t> data) noexcept;
+    static Digest256 hash_node(const Digest256& left, const Digest256& right) noexcept;
+
+private:
+    std::vector<std::vector<Digest256>> levels_;  // levels_[0] = leaves
+};
+
+/// Proof step in a k-ary tree: the node's position within its sibling
+/// group and the other group members in order.
+struct KaryProofStep {
+    std::uint32_t position = 0;        // index of our node within the group
+    std::vector<Digest256> siblings;   // the group minus our node, in order
+};
+
+struct KaryMerkleProof {
+    std::size_t leaf_index = 0;
+    std::vector<KaryProofStep> steps;  // bottom-up
+};
+
+/// k-ary Merkle tree — the Wong–Lam authentication-tree degree knob.
+/// Higher arity shortens proofs in LEVELS (ceil(log_k n)) but each level
+/// carries up to k-1 sibling digests, so per-packet proof bytes are
+/// (k-1) * ceil(log_k n) * 32: arity trades verification latency (hash
+/// count) against packet overhead. k = 2 minimizes bytes; larger k
+/// minimizes hashes per verification.
+class KaryMerkleTree {
+public:
+    KaryMerkleTree(std::vector<Digest256> leaves, std::size_t arity);
+
+    const Digest256& root() const noexcept { return levels_.back().front(); }
+    std::size_t leaf_count() const noexcept { return levels_.front().size(); }
+    std::size_t arity() const noexcept { return arity_; }
+    std::size_t height() const noexcept { return levels_.size() - 1; }
+
+    KaryMerkleProof prove(std::size_t leaf_index) const;
+
+    static Digest256 root_from_proof(const Digest256& leaf, const KaryMerkleProof& proof);
+    static bool verify(const Digest256& leaf, const KaryMerkleProof& proof,
+                       const Digest256& expected_root);
+
+    /// Interior node: domain-separated hash over an ordered child group
+    /// (the group size is part of the hash input, so truncated groups
+    /// cannot be confused with full ones).
+    static Digest256 hash_group(std::span<const Digest256> children) noexcept;
+
+private:
+    std::size_t arity_;
+    std::vector<std::vector<Digest256>> levels_;
+};
+
+}  // namespace mcauth

@@ -1,0 +1,94 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+// DER prefix of DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfo[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60,
+                                              0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+                                              0x01, 0x05, 0x00, 0x04, 0x20};
+
+// EMSA-PKCS1-v1_5 encoding: 00 01 FF..FF 00 || DigestInfo || H(m).
+std::vector<std::uint8_t> emsa_encode(std::span<const std::uint8_t> message,
+                                      std::size_t em_len) {
+    const Digest256 digest = Sha256::hash(message);
+    const std::size_t t_len = sizeof kSha256DigestInfo + digest.size();
+    MCAUTH_EXPECTS(em_len >= t_len + 11);
+    std::vector<std::uint8_t> em(em_len, 0xff);
+    em[0] = 0x00;
+    em[1] = 0x01;
+    em[em_len - t_len - 1] = 0x00;
+    std::copy(std::begin(kSha256DigestInfo), std::end(kSha256DigestInfo),
+              em.end() - static_cast<std::ptrdiff_t>(t_len));
+    std::copy(digest.begin(), digest.end(),
+              em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+    return em;
+}
+
+}  // namespace
+
+RsaKeyPair RsaKeyPair::generate(Rng& rng, std::size_t bits) {
+    MCAUTH_EXPECTS(bits >= 256 && bits % 2 == 0);
+    const Bignum e(65537);
+    for (;;) {
+        const Bignum p = Bignum::generate_prime(rng, bits / 2);
+        const Bignum q = Bignum::generate_prime(rng, bits / 2);
+        if (p == q) continue;
+        const Bignum n = p.mul(q);
+        if (n.bit_length() != bits) continue;
+        const Bignum p_1 = p.sub(Bignum(1));
+        const Bignum q_1 = q.sub(Bignum(1));
+        const Bignum phi = p_1.mul(q_1);
+        if (Bignum::gcd(e, phi) != Bignum(1)) continue;
+        const Bignum d = Bignum::mod_inverse(e, phi);
+        RsaKeyPair key{RsaPublicKey{n, e}, d, p, q, d.mod(p_1), d.mod(q_1),
+                       Bignum::mod_inverse(q, p)};
+        return key;
+    }
+}
+
+namespace {
+
+// RSA private-key operation: CRT with Garner recombination when the prime
+// factors are available, plain exponentiation otherwise.
+Bignum rsa_private_op(const RsaKeyPair& key, const Bignum& m) {
+    if (!key.has_crt()) return Bignum::mod_pow(m, key.d, key.pub.n);
+    const Bignum m1 = Bignum::mod_pow(m.mod(key.p), key.d_p, key.p);
+    const Bignum m2 = Bignum::mod_pow(m.mod(key.q), key.d_q, key.q);
+    // h = q_inv * (m1 - m2) mod p, working in non-negative residues.
+    Bignum diff = m1;
+    if (diff < m2.mod(key.p)) diff = diff.add(key.p);
+    diff = diff.sub(m2.mod(key.p));
+    const Bignum h = Bignum::mod_mul(key.q_inv, diff, key.p);
+    return m2.add(h.mul(key.q));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rsa_sign(const RsaKeyPair& key,
+                                   std::span<const std::uint8_t> message) {
+    const std::size_t k = key.pub.modulus_bytes();
+    const auto em = emsa_encode(message, k);
+    const Bignum m = Bignum::from_bytes(em);
+    MCAUTH_ENSURES(m < key.pub.n);
+    const Bignum s = rsa_private_op(key, m);
+    return s.to_bytes(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) {
+    const std::size_t k = key.modulus_bytes();
+    if (signature.size() != k) return false;
+    const Bignum s = Bignum::from_bytes(signature);
+    if (s >= key.n) return false;
+    const Bignum m = Bignum::mod_pow(s, key.e, key.n);
+    const auto em = m.to_bytes(k);
+    const auto expected = emsa_encode(message, k);
+    return ct_equal(em, expected);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,124 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace mcauth {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+    return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+    state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+    buffered_ = 0;
+    total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+        w[t] = (std::uint32_t(block[4 * t]) << 24) | (std::uint32_t(block[4 * t + 1]) << 16) |
+               (std::uint32_t(block[4 * t + 2]) << 8) | std::uint32_t(block[4 * t + 3]);
+    }
+    for (int t = 16; t < 80; ++t)
+        w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+
+    for (int t = 0; t < 80; ++t) {
+        std::uint32_t f = 0;
+        std::uint32_t k = 0;
+        if (t < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+    total_bytes_ += data.size();
+    std::size_t offset = 0;
+    if (buffered_ != 0) {
+        const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+        std::memcpy(buffer_.data() + buffered_, data.data(), take);
+        buffered_ += take;
+        offset += take;
+        if (buffered_ == buffer_.size()) {
+            process_block(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+    while (offset + 64 <= data.size()) {
+        process_block(data.data() + offset);
+        offset += 64;
+    }
+    if (offset < data.size()) {
+        std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+        buffered_ = data.size() - offset;
+    }
+}
+
+void Sha1::update(std::string_view text) noexcept {
+    update(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(text.data()),
+                                         text.size()));
+}
+
+Digest160 Sha1::finish() noexcept {
+    const std::uint64_t bit_length = total_bytes_ * 8;
+    static constexpr std::uint8_t kPad = 0x80;
+    update(std::span<const std::uint8_t>(&kPad, 1));
+    static constexpr std::uint8_t kZero = 0x00;
+    while (buffered_ != 56) update(std::span<const std::uint8_t>(&kZero, 1));
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+    update(std::span<const std::uint8_t>(len_bytes, 8));
+
+    Digest160 digest;
+    for (int i = 0; i < 5; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    return digest;
+}
+
+Digest160 Sha1::hash(std::span<const std::uint8_t> data) noexcept {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+}
+
+Digest160 Sha1::hash(std::string_view text) noexcept {
+    Sha1 h;
+    h.update(text);
+    return h.finish();
+}
+
+}  // namespace mcauth

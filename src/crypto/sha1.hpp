@@ -1,0 +1,37 @@
+// SHA-1 (FIPS 180-4). Included because the 2003-era schemes the paper
+// analyzes were specified over SHA-1/MD5-size digests; the wire-format
+// layer can select it to reproduce period-accurate overhead numbers.
+// (Do not use SHA-1 for new designs; it is here for fidelity, not security.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mcauth {
+
+using Digest160 = std::array<std::uint8_t, 20>;
+
+class Sha1 {
+public:
+    Sha1() noexcept { reset(); }
+
+    void reset() noexcept;
+    void update(std::span<const std::uint8_t> data) noexcept;
+    void update(std::string_view text) noexcept;
+    Digest160 finish() noexcept;
+
+    static Digest160 hash(std::span<const std::uint8_t> data) noexcept;
+    static Digest160 hash(std::string_view text) noexcept;
+
+private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 5> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mcauth

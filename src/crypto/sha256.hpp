@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// This is the hash used for packet linking in every hash-chained scheme and
+// as the compression primitive for HMAC, the TESLA key chain, WOTS and the
+// Merkle trees. A streaming interface is provided so packet headers and
+// payloads can be absorbed without concatenation copies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mcauth {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+public:
+    Sha256() noexcept { reset(); }
+
+    void reset() noexcept;
+    void update(std::span<const std::uint8_t> data) noexcept;
+    void update(std::string_view text) noexcept;
+
+    /// Finalize and return the digest. The object must be reset() before reuse.
+    Digest256 finish() noexcept;
+
+    /// One-shot convenience.
+    static Digest256 hash(std::span<const std::uint8_t> data) noexcept;
+    static Digest256 hash(std::string_view text) noexcept;
+
+    /// Hash the concatenation of two byte spans (common in chaining/trees)
+    /// without materializing the concatenation.
+    static Digest256 hash2(std::span<const std::uint8_t> a,
+                           std::span<const std::uint8_t> b) noexcept;
+
+private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+/// Truncate a digest to `len` bytes (packet overhead control: the paper-era
+/// schemes embed 8-16 byte hashes; truncation is the standard construction).
+std::vector<std::uint8_t> truncate_digest(const Digest256& digest, std::size_t len);
+
+/// Constant-time comparison of equal-length byte strings. Returns false on
+/// length mismatch. Verification paths must not leak match prefixes.
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace mcauth

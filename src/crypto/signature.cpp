@@ -1,0 +1,230 @@
+#include "crypto/signature.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+// ---------------------------------------------------------------- RsaSigner
+
+namespace {
+
+class RsaVerifier final : public SignatureVerifier {
+public:
+    explicit RsaVerifier(RsaPublicKey key) : key_(std::move(key)) {}
+
+    bool verify(std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) const override {
+        return rsa_verify(key_, message, signature);
+    }
+
+private:
+    RsaPublicKey key_;
+};
+
+}  // namespace
+
+RsaSigner::RsaSigner(Rng& rng, std::size_t bits) : key_(RsaKeyPair::generate(rng, bits)) {}
+
+std::vector<std::uint8_t> RsaSigner::sign(std::span<const std::uint8_t> message) {
+    return rsa_sign(key_, message);
+}
+
+std::string RsaSigner::name() const {
+    return "rsa-" + std::to_string(key_.pub.n.bit_length());
+}
+
+std::unique_ptr<SignatureVerifier> RsaSigner::make_verifier() const {
+    return std::make_unique<RsaVerifier>(key_.pub);
+}
+
+// --------------------------------------------------------- MerkleWotsSigner
+//
+// Wire format of a signature:
+//   u32 leaf_index
+//   u16 chain_count      (L)
+//   L x 32-byte chain values
+//   u16 proof_steps      (h)
+//   h x (32-byte sibling + 1 side byte)
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+class WotsSigReader {
+public:
+    explicit WotsSigReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+    bool u32(std::uint32_t& v) noexcept {
+        if (pos_ + 4 > data_.size()) return false;
+        v = 0;
+        for (int b = 0; b < 4; ++b) v |= std::uint32_t(data_[pos_ + b]) << (8 * b);
+        pos_ += 4;
+        return true;
+    }
+
+    bool u16(std::uint16_t& v) noexcept {
+        if (pos_ + 2 > data_.size()) return false;
+        v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool digest(Digest256& d) noexcept {
+        if (pos_ + d.size() > data_.size()) return false;
+        std::memcpy(d.data(), data_.data() + pos_, d.size());
+        pos_ += d.size();
+        return true;
+    }
+
+    bool byte(std::uint8_t& b) noexcept {
+        if (pos_ >= data_.size()) return false;
+        b = data_[pos_++];
+        return true;
+    }
+
+    bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+class MerkleWotsVerifier final : public SignatureVerifier {
+public:
+    MerkleWotsVerifier(Digest256 root, WotsParams params) : root_(root), params_(params) {}
+
+    bool verify(std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) const override {
+        WotsSigReader reader(signature);
+        std::uint32_t leaf_index = 0;
+        std::uint16_t chain_count = 0;
+        if (!reader.u32(leaf_index) || !reader.u16(chain_count)) return false;
+        if (chain_count != params_.total_chunks()) return false;
+
+        WotsSignature wots_sig;
+        wots_sig.chain_values.resize(chain_count);
+        for (auto& v : wots_sig.chain_values)
+            if (!reader.digest(v)) return false;
+
+        std::uint16_t proof_steps = 0;
+        if (!reader.u16(proof_steps)) return false;
+        MerkleProof proof;
+        proof.leaf_index = leaf_index;
+        proof.steps.resize(proof_steps);
+        for (auto& step : proof.steps) {
+            std::uint8_t side = 0;
+            if (!reader.digest(step.sibling) || !reader.byte(side)) return false;
+            step.sibling_is_left = side != 0;
+        }
+        if (!reader.exhausted()) return false;
+
+        const Digest256 message_digest = Sha256::hash(message);
+        const Digest256 wots_pk =
+            WotsKey::recover_public_key(wots_sig, message_digest, params_);
+        const Digest256 leaf = MerkleTree::hash_leaf(wots_pk);
+        return MerkleTree::verify(leaf, proof, root_);
+    }
+
+private:
+    Digest256 root_;
+    WotsParams params_;
+};
+
+}  // namespace
+
+MerkleWotsSigner::MerkleWotsSigner(Rng& rng, std::size_t capacity, WotsParams params)
+    : params_(params), seed_(rng.bytes(32)) {
+    MCAUTH_EXPECTS(capacity >= 1);
+    keys_.reserve(capacity);
+    std::vector<Digest256> leaves;
+    leaves.reserve(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+        keys_.emplace_back(seed_, i, params_);
+        leaves.push_back(MerkleTree::hash_leaf(keys_.back().public_key()));
+    }
+    tree_ = std::make_unique<MerkleTree>(std::move(leaves));
+}
+
+std::vector<std::uint8_t> MerkleWotsSigner::sign(std::span<const std::uint8_t> message) {
+    if (next_ >= keys_.size())
+        throw std::runtime_error("MerkleWotsSigner: one-time key capacity exhausted");
+    const std::size_t index = next_++;
+    const Digest256 message_digest = Sha256::hash(message);
+    const WotsSignature wots_sig = keys_[index].sign(message_digest);
+    const MerkleProof proof = tree_->prove(index);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(signature_bytes());
+    put_u32(out, static_cast<std::uint32_t>(index));
+    put_u16(out, static_cast<std::uint16_t>(wots_sig.chain_values.size()));
+    for (const auto& v : wots_sig.chain_values) out.insert(out.end(), v.begin(), v.end());
+    put_u16(out, static_cast<std::uint16_t>(proof.steps.size()));
+    for (const auto& step : proof.steps) {
+        out.insert(out.end(), step.sibling.begin(), step.sibling.end());
+        out.push_back(step.sibling_is_left ? 1 : 0);
+    }
+    return out;
+}
+
+std::size_t MerkleWotsSigner::signature_bytes() const {
+    return 4 + 2 + params_.signature_bytes() + 2 +
+           tree_->height() * (sizeof(Digest256) + 1);
+}
+
+std::unique_ptr<SignatureVerifier> MerkleWotsSigner::make_verifier() const {
+    return std::make_unique<MerkleWotsVerifier>(tree_->root(), params_);
+}
+
+// --------------------------------------------------------------- HmacSigner
+
+namespace {
+
+class HmacVerifier final : public SignatureVerifier {
+public:
+    HmacVerifier(std::vector<std::uint8_t> key, std::size_t pretend_bytes)
+        : key_(std::move(key)), pretend_bytes_(pretend_bytes) {}
+
+    bool verify(std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) const override {
+        if (signature.size() != pretend_bytes_) return false;
+        const Digest256 mac = hmac_sha256(key_, message);
+        const std::size_t check = std::min(signature.size(), mac.size());
+        return ct_equal(signature.first(check),
+                        std::span<const std::uint8_t>(mac.data(), check));
+    }
+
+private:
+    std::vector<std::uint8_t> key_;
+    std::size_t pretend_bytes_;
+};
+
+}  // namespace
+
+HmacSigner::HmacSigner(Rng& rng, std::size_t pretend_bytes)
+    : key_(rng.bytes(32)), pretend_bytes_(pretend_bytes) {
+    MCAUTH_EXPECTS(pretend_bytes >= 1);
+}
+
+std::vector<std::uint8_t> HmacSigner::sign(std::span<const std::uint8_t> message) {
+    const Digest256 mac = hmac_sha256(key_, message);
+    std::vector<std::uint8_t> out(pretend_bytes_, 0);
+    std::memcpy(out.data(), mac.data(), std::min(out.size(), mac.size()));
+    return out;
+}
+
+std::unique_ptr<SignatureVerifier> HmacSigner::make_verifier() const {
+    return std::make_unique<HmacVerifier>(key_, pretend_bytes_);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,112 @@
+// Signature abstraction used by every signature-amortization scheme.
+//
+// All hash-chained schemes (Rohatgi, EMSS, AC, the Wong–Lam tree) and TESLA's
+// bootstrap packet sign exactly one message per block. The schemes code
+// against this interface so the signer is swappable:
+//
+//   * RsaSigner        - RSASSA-PKCS1-v1_5 over our bignum RSA. The
+//                        period-accurate choice (the paper's l_sign is an
+//                        RSA-1024 signature).
+//   * MerkleWotsSigner - Winternitz one-time signatures under a Merkle root;
+//                        hash-only, so large stream simulations stay cheap
+//                        while still exercising a real sign/verify path.
+//   * HmacSigner       - shared-key MAC masquerading as a signature.
+//                        SIMULATION ONLY: it provides no source
+//                        authentication against colluding receivers (this is
+//                        precisely the multicast MAC problem from §1 of the
+//                        paper); it exists for loss/delay experiments where
+//                        cryptographic asymmetry is irrelevant.
+//
+// A signer hands out a Verifier that holds only public material, mirroring
+// the sender/receiver split of a real deployment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/wots.hpp"
+
+namespace mcauth {
+
+class SignatureVerifier {
+public:
+    virtual ~SignatureVerifier() = default;
+    virtual bool verify(std::span<const std::uint8_t> message,
+                        std::span<const std::uint8_t> signature) const = 0;
+};
+
+class Signer {
+public:
+    virtual ~Signer() = default;
+
+    virtual std::vector<std::uint8_t> sign(std::span<const std::uint8_t> message) = 0;
+
+    /// Nominal signature size in bytes (the paper's l_sign).
+    virtual std::size_t signature_bytes() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /// Verifier holding only public material.
+    virtual std::unique_ptr<SignatureVerifier> make_verifier() const = 0;
+};
+
+/// RSA-backed signer. `bits` is the modulus size.
+class RsaSigner final : public Signer {
+public:
+    RsaSigner(Rng& rng, std::size_t bits);
+
+    std::vector<std::uint8_t> sign(std::span<const std::uint8_t> message) override;
+    std::size_t signature_bytes() const override { return key_.pub.modulus_bytes(); }
+    std::string name() const override;
+    std::unique_ptr<SignatureVerifier> make_verifier() const override;
+
+    const RsaPublicKey& public_key() const noexcept { return key_.pub; }
+
+private:
+    RsaKeyPair key_;
+};
+
+/// Merkle many-time signer over WOTS one-time keys. Capacity is fixed at
+/// construction; sign() consumes keys sequentially and throws once exhausted.
+class MerkleWotsSigner final : public Signer {
+public:
+    MerkleWotsSigner(Rng& rng, std::size_t capacity, WotsParams params = {});
+
+    std::vector<std::uint8_t> sign(std::span<const std::uint8_t> message) override;
+    std::size_t signature_bytes() const override;
+    std::string name() const override { return "merkle-wots"; }
+    std::unique_ptr<SignatureVerifier> make_verifier() const override;
+
+    const Digest256& root() const noexcept { return tree_->root(); }
+    std::size_t remaining() const noexcept { return keys_.size() - next_; }
+
+private:
+    WotsParams params_;
+    std::vector<std::uint8_t> seed_;
+    std::vector<WotsKey> keys_;
+    std::unique_ptr<MerkleTree> tree_;
+    std::size_t next_ = 0;
+};
+
+/// Shared-key MAC pretending to be a signature — simulation only (see above).
+/// `pretend_bytes` lets overhead experiments model any nominal l_sign.
+class HmacSigner final : public Signer {
+public:
+    HmacSigner(Rng& rng, std::size_t pretend_bytes = 128);
+
+    std::vector<std::uint8_t> sign(std::span<const std::uint8_t> message) override;
+    std::size_t signature_bytes() const override { return pretend_bytes_; }
+    std::string name() const override { return "hmac-simulated"; }
+    std::unique_ptr<SignatureVerifier> make_verifier() const override;
+
+private:
+    std::vector<std::uint8_t> key_;
+    std::size_t pretend_bytes_;
+};
+
+}  // namespace mcauth

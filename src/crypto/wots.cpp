@@ -1,0 +1,133 @@
+#include "crypto/wots.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+// One chain step: domain-separated hash so chains cannot be cross-linked.
+Digest256 chain_step(const Digest256& value, std::uint32_t chain_index,
+                     std::uint32_t position) noexcept {
+    Sha256 h;
+    const std::uint8_t tag[] = {
+        'w', 'o', 't', 's',
+        static_cast<std::uint8_t>(chain_index >> 8), static_cast<std::uint8_t>(chain_index),
+        static_cast<std::uint8_t>(position >> 8),    static_cast<std::uint8_t>(position)};
+    h.update(std::span<const std::uint8_t>(tag, sizeof tag));
+    h.update(value);
+    return h.finish();
+}
+
+Digest256 iterate_chain(Digest256 value, std::uint32_t chain_index, std::uint32_t from,
+                        std::uint32_t steps) noexcept {
+    for (std::uint32_t s = 0; s < steps; ++s) value = chain_step(value, chain_index, from + s);
+    return value;
+}
+
+}  // namespace
+
+std::size_t WotsParams::checksum_chunks() const noexcept {
+    // Max checksum = message_chunks * (2^w - 1); count w-bit digits of it.
+    std::uint64_t max_checksum =
+        static_cast<std::uint64_t>(message_chunks()) * (chunk_values() - 1);
+    std::size_t digits = 0;
+    while (max_checksum != 0) {
+        max_checksum >>= w;
+        ++digits;
+    }
+    return digits == 0 ? 1 : digits;
+}
+
+std::vector<std::uint32_t> wots_chunks(const Digest256& digest, WotsParams params) {
+    MCAUTH_EXPECTS(params.w >= 1 && params.w <= 8);
+    std::vector<std::uint32_t> chunks;
+    chunks.reserve(params.total_chunks());
+
+    // Message chunks: w-bit big-endian slices of the digest.
+    const unsigned mask = params.chunk_values() - 1;
+    unsigned bit_buffer = 0;
+    unsigned bits_held = 0;
+    for (std::uint8_t byte : digest) {
+        bit_buffer = (bit_buffer << 8) | byte;
+        bits_held += 8;
+        while (bits_held >= params.w) {
+            bits_held -= params.w;
+            chunks.push_back((bit_buffer >> bits_held) & mask);
+        }
+    }
+    if (bits_held != 0 && chunks.size() < params.message_chunks())
+        chunks.push_back((bit_buffer << (params.w - bits_held)) & mask);
+    MCAUTH_ENSURES(chunks.size() == params.message_chunks());
+
+    // Checksum chunks (little-endian digit order).
+    std::uint64_t checksum = 0;
+    for (std::uint32_t c : chunks) checksum += mask - c;
+    for (std::size_t i = 0; i < params.checksum_chunks(); ++i) {
+        chunks.push_back(static_cast<std::uint32_t>(checksum & mask));
+        checksum >>= params.w;
+    }
+    return chunks;
+}
+
+WotsKey::WotsKey(std::span<const std::uint8_t> seed, std::uint64_t index, WotsParams params)
+    : params_(params) {
+    MCAUTH_EXPECTS(params_.w >= 1 && params_.w <= 8);
+    const std::size_t total = params_.total_chunks();
+    secrets_.reserve(total);
+
+    // secrets_[i] = HMAC(seed, "wots-key" || index || i)
+    for (std::size_t i = 0; i < total; ++i) {
+        std::uint8_t info[8 + 8 + 4];
+        const char label[] = "wots-key";
+        std::copy(label, label + 8, info);
+        for (int b = 0; b < 8; ++b) info[8 + b] = static_cast<std::uint8_t>(index >> (8 * b));
+        for (int b = 0; b < 4; ++b)
+            info[16 + b] = static_cast<std::uint8_t>(static_cast<std::uint32_t>(i) >> (8 * b));
+        secrets_.push_back(hmac_sha256(seed, std::span<const std::uint8_t>(info, sizeof info)));
+    }
+
+    // Public key = H(chain-end_0 || ... || chain-end_{L-1}).
+    const std::uint32_t last = params_.chunk_values() - 1;
+    Sha256 h;
+    for (std::size_t i = 0; i < total; ++i) {
+        const Digest256 end =
+            iterate_chain(secrets_[i], static_cast<std::uint32_t>(i), 0, last);
+        h.update(end);
+    }
+    public_key_ = h.finish();
+}
+
+WotsSignature WotsKey::sign(const Digest256& message_digest) const {
+    const auto chunks = wots_chunks(message_digest, params_);
+    WotsSignature sig;
+    sig.chain_values.reserve(chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        sig.chain_values.push_back(
+            iterate_chain(secrets_[i], static_cast<std::uint32_t>(i), 0, chunks[i]));
+    return sig;
+}
+
+Digest256 WotsKey::recover_public_key(const WotsSignature& sig,
+                                      const Digest256& message_digest, WotsParams params) {
+    const auto chunks = wots_chunks(message_digest, params);
+    MCAUTH_REQUIRE(sig.chain_values.size() == chunks.size());
+    const std::uint32_t last = params.chunk_values() - 1;
+    Sha256 h;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const Digest256 end = iterate_chain(sig.chain_values[i], static_cast<std::uint32_t>(i),
+                                            chunks[i], last - chunks[i]);
+        h.update(end);
+    }
+    return h.finish();
+}
+
+bool WotsKey::verify(const WotsSignature& sig, const Digest256& message_digest,
+                     const Digest256& expected_public_key, WotsParams params) {
+    if (sig.chain_values.size() != params.total_chunks()) return false;
+    const Digest256 recovered = recover_public_key(sig, message_digest, params);
+    return ct_equal(recovered, expected_public_key);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,73 @@
+// Winternitz one-time signatures (WOTS) over SHA-256.
+//
+// Signing a 256-bit digest with Winternitz parameter w (bits per chunk):
+// the digest is cut into L1 = ceil(256/w) chunks; a checksum over
+// (2^w - 1 - chunk) values is appended as L2 more chunks so that increasing
+// any message chunk forces some checksum chunk to *decrease*, which a forger
+// cannot do without inverting the hash chain. Each of the L = L1 + L2 chains
+// starts at a secret derived from a seed via HMAC and is iterated
+// 2^w - 1 times to the public chain end.
+//
+// Together with a Merkle tree over many one-time public keys this gives the
+// fast many-time signer the stream simulator uses (RSA remains available for
+// period-accurate byte counts; WOTS keeps billion-packet simulations cheap).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+struct WotsParams {
+    unsigned w = 4;  // bits per chunk; 4 is a good speed/size tradeoff
+
+    unsigned chunk_values() const noexcept { return 1u << w; }
+    std::size_t message_chunks() const noexcept { return (256 + w - 1) / w; }
+    std::size_t checksum_chunks() const noexcept;
+    std::size_t total_chunks() const noexcept {
+        return message_chunks() + checksum_chunks();
+    }
+    std::size_t signature_bytes() const noexcept {
+        return total_chunks() * sizeof(Digest256);
+    }
+};
+
+struct WotsSignature {
+    std::vector<Digest256> chain_values;  // one partially-iterated chain per chunk
+};
+
+class WotsKey {
+public:
+    /// Derive the one-time key deterministically from (seed, index); the
+    /// Merkle signer uses the index to carve independent keys from one seed.
+    WotsKey(std::span<const std::uint8_t> seed, std::uint64_t index, WotsParams params = {});
+
+    const WotsParams& params() const noexcept { return params_; }
+
+    /// Compressed public key: hash of all chain ends.
+    const Digest256& public_key() const noexcept { return public_key_; }
+
+    WotsSignature sign(const Digest256& message_digest) const;
+
+    /// Recompute the public key a signature implies; comparing against an
+    /// authentic public key (e.g. a Merkle leaf) completes verification.
+    static Digest256 recover_public_key(const WotsSignature& sig,
+                                        const Digest256& message_digest,
+                                        WotsParams params = {});
+
+    static bool verify(const WotsSignature& sig, const Digest256& message_digest,
+                       const Digest256& expected_public_key, WotsParams params = {});
+
+private:
+    WotsParams params_;
+    std::vector<Digest256> secrets_;  // chain starts
+    Digest256 public_key_{};
+};
+
+/// Split digest into w-bit chunks and append the Winternitz checksum chunks.
+std::vector<std::uint32_t> wots_chunks(const Digest256& digest, WotsParams params);
+
+}  // namespace mcauth

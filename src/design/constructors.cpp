@@ -1,0 +1,137 @@
+#include "design/constructors.hpp"
+
+#include <algorithm>
+
+#include "core/authprob.hpp"
+#include "core/metrics.hpp"
+#include "core/topologies.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+DependenceGraph copy_with_name(const DependenceGraph& source, std::string name) {
+    std::vector<std::uint32_t> pos(source.packet_count());
+    for (VertexId v = 0; v < source.packet_count(); ++v) pos[v] = source.send_pos(v);
+    DependenceGraph out(source.packet_count(), std::move(pos), std::move(name));
+    for (const Edge& e : source.graph().edges()) out.add_dependence(e.from, e.to);
+    return out;
+}
+
+}  // namespace
+
+DependenceGraph design_greedy(const DesignGoal& goal, const GreedyDesignOptions& options) {
+    MCAUTH_EXPECTS(goal.n >= 2);
+    MCAUTH_EXPECTS(goal.p >= 0.0 && goal.p < 1.0);
+    MCAUTH_EXPECTS(goal.target_q_min > 0.0 && goal.target_q_min <= 1.0);
+
+    // Spanning chain = the minimal Definition-1-valid graph.
+    DependenceGraph dg = copy_with_name(make_offset_scheme(goal.n, {1}), "greedy-design");
+    const std::size_t edge_cap = options.max_edges == 0 ? 4 * goal.n : options.max_edges;
+
+    while (dg.graph().edge_count() < edge_cap) {
+        const AuthProb prob = recurrence_auth_prob(dg, goal.p);
+        if (prob.q_min >= goal.target_q_min) break;
+
+        // Worst vertex gets one more incoming edge.
+        VertexId worst = 1;
+        for (VertexId v = 1; v < goal.n; ++v)
+            if (prob.q[v] < prob.q[worst]) worst = v;
+
+        // Donor candidates: the root and exponentially-spaced ancestors —
+        // a donor near the root gives a short new path, a near donor gives
+        // a cheap redundant one; evaluate the marginal gain of each.
+        VertexId best_donor = kNoVertex;
+        double best_q = prob.q[worst];
+        for (std::size_t back = 2;; back *= 2) {
+            const VertexId donor =
+                back >= worst ? DependenceGraph::root() : static_cast<VertexId>(worst - back);
+            if (!dg.graph().has_edge(donor, worst)) {
+                // Marginal q_worst if this edge were added (one-step update;
+                // the full recurrence refresh happens next iteration).
+                const double r = donor == DependenceGraph::root() ? 1.0 : 1.0 - goal.p;
+                const double candidate_q =
+                    1.0 - (1.0 - prob.q[worst]) * (1.0 - r * prob.q[donor]);
+                if (candidate_q > best_q + 1e-12) {
+                    best_q = candidate_q;
+                    best_donor = donor;
+                }
+            }
+            if (donor == DependenceGraph::root()) break;
+        }
+        if (best_donor == kNoVertex) break;  // saturated: every donor present
+        dg.add_dependence(best_donor, worst);
+    }
+    return dg;
+}
+
+OffsetDesignResult design_offset_set(const DesignGoal& goal, std::vector<std::size_t> menu) {
+    MCAUTH_EXPECTS(goal.n >= 2);
+    if (menu.empty()) menu = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+    MCAUTH_EXPECTS(menu.size() <= 16);
+    std::sort(menu.begin(), menu.end());
+    menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
+
+    OffsetDesignResult best;
+    std::size_t best_edges = static_cast<std::size_t>(-1);
+    std::size_t best_span = static_cast<std::size_t>(-1);
+
+    const std::size_t subsets = 1ULL << menu.size();
+    for (std::size_t mask = 1; mask < subsets; ++mask) {
+        std::vector<std::size_t> offsets;
+        for (std::size_t k = 0; k < menu.size(); ++k)
+            if (mask & (1ULL << k)) offsets.push_back(menu[k]);
+        // Every valid scheme needs offset 1 or it strands vertex paths into
+        // long stretches reachable only via the root clamp; still, evaluate
+        // all subsets - the recurrence scores them correctly either way.
+        const DependenceGraph dg = make_offset_scheme(goal.n, offsets);
+        if (!dg.is_valid()) continue;
+        const AuthProb prob = recurrence_auth_prob(dg, goal.p);
+        if (prob.q_min < goal.target_q_min) continue;
+        const std::size_t edges = dg.graph().edge_count();
+        const std::size_t span = offsets.back();
+        const bool better = edges < best_edges || (edges == best_edges && span < best_span);
+        if (better) {
+            best.offsets = offsets;
+            best.q_min = prob.q_min;
+            best.feasible = true;
+            best_edges = edges;
+            best_span = span;
+        }
+    }
+    return best;
+}
+
+RandomDesignResult design_random(const DesignGoal& goal, Rng& rng, double tolerance) {
+    MCAUTH_EXPECTS(tolerance > 0.0);
+    RandomDesignResult result;
+
+    auto q_min_at = [&](double edge_prob) {
+        // Average over a few seeds: a single random draw is noisy.
+        double acc = 0.0;
+        constexpr int kDraws = 3;
+        for (int s = 0; s < kDraws; ++s) {
+            Rng draw_rng(rng.next_u64());
+            const DependenceGraph dg = make_random_scheme(goal.n, edge_prob, draw_rng);
+            acc += recurrence_auth_prob(dg, goal.p).q_min;
+        }
+        return acc / kDraws;
+    };
+
+    double lo = 0.0;
+    double hi = 1.0;
+    if (q_min_at(hi) < goal.target_q_min) return result;  // infeasible even saturated
+    while (hi - lo > tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (q_min_at(mid) >= goal.target_q_min)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    result.edge_prob = hi;
+    result.feasible = true;
+    return result;
+}
+
+}  // namespace mcauth

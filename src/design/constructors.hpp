@@ -1,0 +1,73 @@
+// §5 "Design Considerations" made executable: constructors that build
+// dependence-graphs with the minimum number of edges subject to
+// q_min >= target at a given loss rate.
+//
+// The paper sketches three families; all three are implemented:
+//
+//   * greedy edge augmentation ("start with a tree and add edges until the
+//     constraints are satisfied"): start from the spanning chain, and while
+//     the recurrence-evaluated q_min misses the target, give the worst
+//     vertex one more incoming edge, choosing the donor among the root and
+//     exponentially-spaced upstream vertices by marginal gain;
+//
+//   * offset-set optimization (the paper's dynamic-programming angle —
+//     periodic schemes are fully described by their offset set A of Eq. 9,
+//     so optimizing over A is a policy search): exact search over subsets
+//     of a candidate offset menu, returning the feasible set with the
+//     fewest edges (then smallest buffer span as tie-break);
+//
+//   * probabilistic construction ("construct an edge to each earlier vertex
+//     with probability p_x"): binary-search the edge probability to the
+//     smallest value whose graph meets the target.
+//
+// All constructors evaluate candidates with the same recurrence engine the
+// analyses use, so "meets the target" is by the paper's own metric; the
+// abl_designers bench cross-checks the results with Monte-Carlo.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct DesignGoal {
+    std::size_t n = 128;       // block size
+    double p = 0.2;            // design loss rate
+    double target_q_min = 0.9;
+};
+
+struct GreedyDesignOptions {
+    std::size_t max_edges = 0;  // 0 = 4n safety cap
+};
+
+/// Greedy edge augmentation. Always returns a valid graph; if the target is
+/// unreachable within the edge cap, the best-effort graph is returned
+/// (check with recurrence_auth_prob).
+DependenceGraph design_greedy(const DesignGoal& goal, const GreedyDesignOptions& options = {});
+
+struct OffsetDesignResult {
+    std::vector<std::size_t> offsets;  // empty if no feasible subset
+    double q_min = 0.0;
+    bool feasible = false;
+};
+
+/// Exact search over subsets of `menu` (default: 1,2,3,4,6,8,12,16,24,32).
+/// Cost is O(2^|menu| * n * |menu|); menus beyond 16 entries are rejected.
+OffsetDesignResult design_offset_set(const DesignGoal& goal,
+                                     std::vector<std::size_t> menu = {});
+
+struct RandomDesignResult {
+    double edge_prob = 0.0;
+    bool feasible = false;
+};
+
+/// Smallest edge probability (within `tolerance`) whose random graph meets
+/// the target; the returned probability re-seeds deterministically via
+/// make_random_scheme(n, edge_prob, rng).
+RandomDesignResult design_random(const DesignGoal& goal, Rng& rng,
+                                 double tolerance = 1e-3);
+
+}  // namespace mcauth

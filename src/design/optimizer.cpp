@@ -1,0 +1,54 @@
+#include "design/optimizer.hpp"
+
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "net/loss.hpp"
+
+namespace mcauth {
+
+DesignReport evaluate_design(const DependenceGraph& dg, const DesignGoal& goal,
+                             const SchemeParams& params, Rng& rng, std::size_t mc_trials) {
+    DesignReport report;
+    report.name = dg.scheme_name();
+    report.edges = dg.graph().edge_count();
+
+    const GraphMetrics metrics = compute_metrics(dg, params);
+    report.hashes_per_packet = metrics.hashes_per_packet;
+    report.max_receiver_delay = metrics.max_receiver_delay;
+    report.message_buffer_span = metrics.message_buffer_span;
+
+    report.q_min_recurrence = recurrence_auth_prob(dg, goal.p).q_min;
+    BernoulliLoss loss(goal.p);
+    report.q_min_monte_carlo = monte_carlo_auth_prob(dg, loss, rng, mc_trials).q_min;
+    report.meets_target = report.q_min_recurrence >= goal.target_q_min;
+    return report;
+}
+
+std::vector<DesignReport> compare_designs(const DesignGoal& goal, const SchemeParams& params,
+                                          Rng& rng, std::size_t mc_trials) {
+    std::vector<DesignReport> reports;
+
+    reports.push_back(
+        evaluate_design(design_greedy(goal), goal, params, rng, mc_trials));
+
+    if (const auto offsets = design_offset_set(goal); offsets.feasible) {
+        const DependenceGraph dg =
+            make_offset_scheme(goal.n, offsets.offsets, "offset-design");
+        reports.push_back(evaluate_design(dg, goal, params, rng, mc_trials));
+    }
+
+    if (const auto random = design_random(goal, rng); random.feasible) {
+        Rng draw_rng(rng.next_u64());
+        const DependenceGraph dg = make_random_scheme(goal.n, random.edge_prob, draw_rng);
+        reports.push_back(evaluate_design(dg, goal, params, rng, mc_trials));
+    }
+
+    // Hand-designed references at the same block size.
+    reports.push_back(evaluate_design(make_emss(goal.n, 2, 1), goal, params, rng, mc_trials));
+    if (goal.n >= 8)
+        reports.push_back(
+            evaluate_design(make_augmented_chain(goal.n, 3, 3), goal, params, rng, mc_trials));
+    return reports;
+}
+
+}  // namespace mcauth

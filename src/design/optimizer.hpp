@@ -1,0 +1,35 @@
+// Side-by-side evaluation of constructed vs. hand-designed schemes — the
+// harness behind the abl_designers bench and the scheme_designer example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dependence_graph.hpp"
+#include "core/metrics.hpp"
+#include "design/constructors.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+struct DesignReport {
+    std::string name;
+    std::size_t edges = 0;
+    double hashes_per_packet = 0.0;
+    double q_min_recurrence = 0.0;  // the designer's own metric
+    double q_min_monte_carlo = 0.0; // independent check
+    double max_receiver_delay = 0.0;
+    std::size_t message_buffer_span = 0;
+    bool meets_target = false;
+};
+
+/// Evaluate one graph against a goal (recurrence + Monte-Carlo cross-check).
+DesignReport evaluate_design(const DependenceGraph& dg, const DesignGoal& goal,
+                             const SchemeParams& params, Rng& rng,
+                             std::size_t mc_trials = 4000);
+
+/// Run all three §5 constructors plus EMSS/AC references at the same goal.
+std::vector<DesignReport> compare_designs(const DesignGoal& goal, const SchemeParams& params,
+                                          Rng& rng, std::size_t mc_trials = 4000);
+
+}  // namespace mcauth

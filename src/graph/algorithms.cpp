@@ -1,0 +1,321 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+    const std::size_t n = g.vertex_count();
+    std::vector<std::size_t> pending(n);
+    std::deque<VertexId> ready;
+    for (VertexId v = 0; v < n; ++v) {
+        pending[v] = g.in_degree(v);
+        if (pending[v] == 0) ready.push_back(v);
+    }
+    std::vector<VertexId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const VertexId u = ready.front();
+        ready.pop_front();
+        order.push_back(u);
+        for (VertexId v : g.successors(u)) {
+            if (--pending[v] == 0) ready.push_back(v);
+        }
+    }
+    if (order.size() != n) return std::nullopt;  // cycle
+    return order;
+}
+
+bool is_acyclic(const Digraph& g) { return topological_order(g).has_value(); }
+
+std::vector<bool> reachable_from(const Digraph& g, VertexId root) {
+    MCAUTH_EXPECTS(root < g.vertex_count());
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::vector<VertexId> stack{root};
+    seen[root] = true;
+    while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        for (VertexId v : g.successors(u)) {
+            if (!seen[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<bool> reachable_within(const Digraph& g, VertexId root,
+                                   const std::vector<bool>& alive) {
+    MCAUTH_EXPECTS(root < g.vertex_count());
+    MCAUTH_EXPECTS(alive.size() == g.vertex_count());
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::vector<VertexId> stack{root};
+    seen[root] = true;
+    while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        for (VertexId v : g.successors(u)) {
+            if (!seen[v] && alive[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<int> bfs_distances(const Digraph& g, VertexId root) {
+    MCAUTH_EXPECTS(root < g.vertex_count());
+    std::vector<int> dist(g.vertex_count(), -1);
+    std::deque<VertexId> queue{root};
+    dist[root] = 0;
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop_front();
+        for (VertexId v : g.successors(u)) {
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double> count_paths(const Digraph& g, VertexId root, double cap) {
+    MCAUTH_EXPECTS(root < g.vertex_count());
+    const auto order = topological_order(g);
+    MCAUTH_EXPECTS(order.has_value());
+    std::vector<double> counts(g.vertex_count(), 0.0);
+    counts[root] = 1.0;
+    for (VertexId u : *order) {
+        if (counts[u] == 0.0) continue;
+        for (VertexId v : g.successors(u))
+            counts[v] = std::min(cap, counts[v] + counts[u]);
+    }
+    return counts;
+}
+
+std::vector<std::vector<VertexId>> enumerate_paths(const Digraph& g, VertexId root,
+                                                   VertexId target, std::size_t max_paths) {
+    MCAUTH_EXPECTS(root < g.vertex_count() && target < g.vertex_count());
+    MCAUTH_EXPECTS(is_acyclic(g));
+    // Prune to vertices that can still reach the target (reverse DFS).
+    std::vector<bool> reaches_target(g.vertex_count(), false);
+    {
+        std::vector<VertexId> stack{target};
+        reaches_target[target] = true;
+        while (!stack.empty()) {
+            const VertexId u = stack.back();
+            stack.pop_back();
+            for (VertexId p : g.predecessors(u)) {
+                if (!reaches_target[p]) {
+                    reaches_target[p] = true;
+                    stack.push_back(p);
+                }
+            }
+        }
+    }
+
+    std::vector<std::vector<VertexId>> paths;
+    if (!reaches_target[root]) return paths;
+    std::vector<VertexId> current{root};
+
+    // Iterative DFS with explicit successor cursors.
+    std::vector<std::size_t> cursor{0};
+    while (!current.empty() && paths.size() < max_paths) {
+        const VertexId u = current.back();
+        if (u == target) {
+            paths.push_back(current);
+            current.pop_back();
+            cursor.pop_back();
+            continue;
+        }
+        const auto succ = g.successors(u);
+        bool advanced = false;
+        while (cursor.back() < succ.size()) {
+            const VertexId v = succ[cursor.back()++];
+            if (reaches_target[v]) {
+                current.push_back(v);
+                cursor.push_back(0);
+                advanced = true;
+                break;
+            }
+        }
+        if (!advanced && !current.empty() && current.back() == u) {
+            current.pop_back();
+            cursor.pop_back();
+        }
+    }
+    return paths;
+}
+
+std::vector<VertexId> immediate_dominators(const Digraph& g, VertexId root) {
+    MCAUTH_EXPECTS(root < g.vertex_count());
+    const std::size_t n = g.vertex_count();
+
+    // Order reachable vertices by reverse postorder of a DFS from root.
+    std::vector<int> rpo_index(n, -1);
+    std::vector<VertexId> rpo;
+    {
+        std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 open, 2 done
+        std::vector<std::pair<VertexId, std::size_t>> stack{{root, 0}};
+        state[root] = 1;
+        std::vector<VertexId> postorder;
+        while (!stack.empty()) {
+            auto& [u, idx] = stack.back();
+            const auto succ = g.successors(u);
+            if (idx < succ.size()) {
+                const VertexId v = succ[idx++];
+                if (state[v] == 0) {
+                    state[v] = 1;
+                    stack.emplace_back(v, 0);
+                }
+            } else {
+                state[u] = 2;
+                postorder.push_back(u);
+                stack.pop_back();
+            }
+        }
+        rpo.assign(postorder.rbegin(), postorder.rend());
+        for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = static_cast<int>(i);
+    }
+
+    std::vector<VertexId> idom(n, kNoVertex);
+    idom[root] = root;
+
+    auto intersect = [&](VertexId a, VertexId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b]) a = idom[a];
+            while (rpo_index[b] > rpo_index[a]) b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (VertexId u : rpo) {
+            if (u == root) continue;
+            VertexId new_idom = kNoVertex;
+            for (VertexId p : g.predecessors(u)) {
+                if (idom[p] == kNoVertex) continue;  // pred not processed/reachable
+                new_idom = (new_idom == kNoVertex) ? p : intersect(p, new_idom);
+            }
+            if (new_idom != kNoVertex && idom[u] != new_idom) {
+                idom[u] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+std::vector<VertexId> interior_dominators(const std::vector<VertexId>& idom, VertexId root,
+                                          VertexId v) {
+    std::vector<VertexId> out;
+    if (v >= idom.size() || idom[v] == kNoVertex) return out;
+    VertexId cur = idom[v];
+    while (cur != root) {
+        out.push_back(cur);
+        cur = idom[cur];
+        MCAUTH_ENSURES(cur != kNoVertex);
+    }
+    return out;
+}
+
+namespace {
+
+/// Dinic max-flow specialized to unit capacities on the vertex-split network.
+class UnitDinic {
+public:
+    explicit UnitDinic(std::size_t node_count) : head_(node_count, -1) {}
+
+    void add_edge(int u, int v, int capacity) {
+        edges_.push_back({v, head_[u], capacity});
+        head_[u] = static_cast<int>(edges_.size()) - 1;
+        edges_.push_back({u, head_[v], 0});
+        head_[v] = static_cast<int>(edges_.size()) - 1;
+    }
+
+    std::size_t max_flow(int s, int t) {
+        std::size_t flow = 0;
+        while (bfs(s, t)) {
+            iter_ = head_;
+            while (int pushed = dfs(s, t, 1)) flow += static_cast<std::size_t>(pushed);
+        }
+        return flow;
+    }
+
+private:
+    struct FlowEdge {
+        int to;
+        int next;
+        int capacity;
+    };
+
+    bool bfs(int s, int t) {
+        level_.assign(head_.size(), -1);
+        std::deque<int> queue{s};
+        level_[s] = 0;
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (int e = head_[u]; e != -1; e = edges_[e].next) {
+                if (edges_[e].capacity > 0 && level_[edges_[e].to] < 0) {
+                    level_[edges_[e].to] = level_[u] + 1;
+                    queue.push_back(edges_[e].to);
+                }
+            }
+        }
+        return level_[t] >= 0;
+    }
+
+    int dfs(int u, int t, int limit) {
+        if (u == t) return limit;
+        for (int& e = iter_[u]; e != -1; e = edges_[e].next) {
+            FlowEdge& edge = edges_[e];
+            if (edge.capacity > 0 && level_[edge.to] == level_[u] + 1) {
+                const int pushed = dfs(edge.to, t, std::min(limit, edge.capacity));
+                if (pushed > 0) {
+                    edge.capacity -= pushed;
+                    edges_[e ^ 1].capacity += pushed;
+                    return pushed;
+                }
+            }
+        }
+        level_[u] = -2;  // dead end for this phase
+        return 0;
+    }
+
+    std::vector<int> head_;
+    std::vector<int> iter_;
+    std::vector<int> level_;
+    std::vector<FlowEdge> edges_;
+};
+
+}  // namespace
+
+std::size_t vertex_disjoint_paths(const Digraph& g, VertexId s, VertexId t) {
+    MCAUTH_EXPECTS(s < g.vertex_count() && t < g.vertex_count());
+    MCAUTH_EXPECTS(s != t);
+    const int n = static_cast<int>(g.vertex_count());
+    // Node 2v = v_in, 2v+1 = v_out. Interior vertices have capacity 1
+    // between in and out; s and t are uncapacitated.
+    UnitDinic dinic(static_cast<std::size_t>(2 * n));
+    const int inf = n + 1;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const int cap = (v == s || v == t) ? inf : 1;
+        dinic.add_edge(2 * static_cast<int>(v), 2 * static_cast<int>(v) + 1, cap);
+    }
+    for (const Edge& e : g.edges())
+        dinic.add_edge(2 * static_cast<int>(e.from) + 1, 2 * static_cast<int>(e.to), 1);
+    return dinic.max_flow(2 * static_cast<int>(s), 2 * static_cast<int>(t) + 1);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,71 @@
+// Graph algorithms backing the dependence-graph analyses.
+//
+// The paper's central observation is that scheme metrics are graph
+// properties; these are the graph-theoretical tools it appeals to:
+//
+//   * topological order      - drives the recurrence engine (eq. 8-10);
+//   * reachability (masked)  - Monte-Carlo verifiability: which packets can
+//                              still be authenticated given a loss pattern;
+//   * BFS distances          - shortest verification path (bounds, eq. 1);
+//   * path counting/listing  - path multiplicity Θ(i) (bounds, eq. 1);
+//   * vertex-disjoint paths  - Menger diversity: how many losses a packet's
+//                              authentication provably survives;
+//   * dominators             - single points of failure: a dominator of P_i
+//                              other than the root is one packet whose loss
+//                              breaks *every* verification path of P_i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mcauth {
+
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+/// Kahn's algorithm. nullopt if the graph has a cycle.
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+
+bool is_acyclic(const Digraph& g);
+
+/// Vertices reachable from `root` (root itself included).
+std::vector<bool> reachable_from(const Digraph& g, VertexId root);
+
+/// Vertices reachable from `root` traversing only vertices where
+/// `alive[v]` is true. `root` is traversed regardless of its alive bit
+/// (the paper assumes P_sign is always delivered); a dead target is not
+/// reported reachable.
+std::vector<bool> reachable_within(const Digraph& g, VertexId root,
+                                   const std::vector<bool>& alive);
+
+/// BFS hop distances from root; -1 where unreachable.
+std::vector<int> bfs_distances(const Digraph& g, VertexId root);
+
+/// Number of distinct root->v paths per vertex (DAG only), saturating at
+/// `cap` to avoid overflow on dense graphs.
+std::vector<double> count_paths(const Digraph& g, VertexId root,
+                                double cap = 1e18);
+
+/// All root->target paths as vertex sequences, stopping after `max_paths`.
+/// DAG only; intended for small graphs (tests, exact analysis, figures).
+std::vector<std::vector<VertexId>> enumerate_paths(const Digraph& g, VertexId root,
+                                                   VertexId target,
+                                                   std::size_t max_paths = 4096);
+
+/// Immediate dominators from `root` (Cooper–Harvey–Kennedy). idom[root] ==
+/// root; unreachable vertices get kNoVertex. DAG or general graph.
+std::vector<VertexId> immediate_dominators(const Digraph& g, VertexId root);
+
+/// Dominators of `v` strictly between root and v, i.e. packets whose loss
+/// severs every root->v path. Empty means only the root is unavoidable.
+std::vector<VertexId> interior_dominators(const std::vector<VertexId>& idom, VertexId root,
+                                          VertexId v);
+
+/// Maximum number of interior-vertex-disjoint s->t paths (Menger), computed
+/// by Dinic max-flow on the vertex-split network. A direct s->t edge counts
+/// as one path.
+std::size_t vertex_disjoint_paths(const Digraph& g, VertexId s, VertexId t);
+
+}  // namespace mcauth

@@ -1,0 +1,54 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+Digraph::Digraph(std::size_t vertex_count) : out_(vertex_count), in_(vertex_count) {}
+
+VertexId Digraph::add_vertices(std::size_t count) {
+    const auto first = static_cast<VertexId>(out_.size());
+    out_.resize(out_.size() + count);
+    in_.resize(in_.size() + count);
+    return first;
+}
+
+bool Digraph::add_edge(VertexId u, VertexId v) {
+    MCAUTH_EXPECTS(u < vertex_count() && v < vertex_count());
+    MCAUTH_EXPECTS(u != v);
+    if (has_edge(u, v)) return false;
+    out_[u].push_back(v);
+    in_[v].push_back(u);
+    ++edge_count_;
+    return true;
+}
+
+bool Digraph::has_edge(VertexId u, VertexId v) const {
+    MCAUTH_EXPECTS(u < vertex_count() && v < vertex_count());
+    // Probe the smaller of the two adjacency lists.
+    if (out_[u].size() <= in_[v].size())
+        return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+    return std::find(in_[v].begin(), in_[v].end(), u) != in_[v].end();
+}
+
+std::span<const VertexId> Digraph::successors(VertexId u) const {
+    MCAUTH_EXPECTS(u < vertex_count());
+    return out_[u];
+}
+
+std::span<const VertexId> Digraph::predecessors(VertexId u) const {
+    MCAUTH_EXPECTS(u < vertex_count());
+    return in_[u];
+}
+
+std::vector<Edge> Digraph::edges() const {
+    std::vector<Edge> out;
+    out.reserve(edge_count_);
+    for (VertexId u = 0; u < vertex_count(); ++u)
+        for (VertexId v : out_[u]) out.push_back({u, v});
+    return out;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,54 @@
+// A compact directed-graph container.
+//
+// This is the substrate under core/DependenceGraph: vertices are dense
+// integer ids (packets are numbered anyway), and both out- and in-adjacency
+// are maintained because the analyses walk both directions (reachability
+// goes root->leaf; the recurrence engine needs predecessors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcauth {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+    VertexId from;
+    VertexId to;
+};
+
+class Digraph {
+public:
+    Digraph() = default;
+    explicit Digraph(std::size_t vertex_count);
+
+    std::size_t vertex_count() const noexcept { return out_.size(); }
+    std::size_t edge_count() const noexcept { return edge_count_; }
+
+    /// Append vertices; returns the id of the first new vertex.
+    VertexId add_vertices(std::size_t count);
+
+    /// Add edge u -> v. Parallel edges are rejected (returns false) since a
+    /// packet never embeds the same hash twice; self-loops are an error.
+    bool add_edge(VertexId u, VertexId v);
+
+    bool has_edge(VertexId u, VertexId v) const;
+
+    std::span<const VertexId> successors(VertexId u) const;
+    std::span<const VertexId> predecessors(VertexId u) const;
+
+    std::size_t out_degree(VertexId u) const { return successors(u).size(); }
+    std::size_t in_degree(VertexId u) const { return predecessors(u).size(); }
+
+    /// All edges, ordered by (from, insertion order).
+    std::vector<Edge> edges() const;
+
+private:
+    std::vector<std::vector<VertexId>> out_;
+    std::vector<std::vector<VertexId>> in_;
+    std::size_t edge_count_ = 0;
+};
+
+}  // namespace mcauth

@@ -1,0 +1,58 @@
+#include "graph/dot.hpp"
+
+namespace mcauth {
+
+namespace {
+
+std::string default_label(VertexId v) { return "P" + std::to_string(v); }
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+    std::string out = "digraph " + options.graph_name + " {\n";
+    if (options.left_to_right) out += "  rankdir=LR;\n";
+    out += "  node [shape=circle, fontsize=10];\n";
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const std::string label =
+            options.vertex_label ? options.vertex_label(v) : default_label(v);
+        out += "  v" + std::to_string(v) + " [label=\"" + escape(label) + "\"";
+        if (options.emphasize && options.emphasize(v)) out += ", shape=doublecircle";
+        out += "];\n";
+    }
+    for (const Edge& e : g.edges()) {
+        out += "  v" + std::to_string(e.from) + " -> v" + std::to_string(e.to);
+        if (options.edge_label) {
+            out += " [label=\"" + escape(options.edge_label(e.from, e.to)) + "\"]";
+        }
+        out += ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string to_ascii_adjacency(const Digraph& g,
+                               const std::function<std::string(VertexId)>& label) {
+    std::string out;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        out += label ? label(v) : ("P" + std::to_string(v));
+        out += " ->";
+        for (VertexId w : g.successors(v)) {
+            out += ' ';
+            out += label ? label(w) : ("P" + std::to_string(w));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace mcauth

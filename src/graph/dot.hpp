@@ -1,0 +1,29 @@
+// Graphviz DOT export (Figure 1 / Figure 2 reproduction: the paper draws the
+// dependence-graphs of each scheme; we emit them in a renderable form).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace mcauth {
+
+struct DotOptions {
+    std::string graph_name = "dependence_graph";
+    /// Vertex label; default is the vertex id.
+    std::function<std::string(VertexId)> vertex_label;
+    /// Optional edge label (the paper labels edges with i - j).
+    std::function<std::string(VertexId, VertexId)> edge_label;
+    /// Vertices to visually distinguish (e.g. P_sign gets a double circle).
+    std::function<bool(VertexId)> emphasize;
+    bool left_to_right = true;
+};
+
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+/// Compact fixed-width ASCII adjacency rendering for terminal output.
+std::string to_ascii_adjacency(const Digraph& g,
+                               const std::function<std::string(VertexId)>& label = {});
+
+}  // namespace mcauth

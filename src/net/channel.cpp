@@ -1,0 +1,46 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+Channel::Channel(std::unique_ptr<LossModel> loss, std::unique_ptr<DelayModel> delay)
+    : loss_(std::move(loss)), delay_(std::move(delay)) {
+    MCAUTH_EXPECTS(loss_ != nullptr);
+    MCAUTH_EXPECTS(delay_ != nullptr);
+}
+
+std::optional<double> Channel::transmit(double send_time, Rng& rng) {
+    if (loss_->lose_next(rng)) return std::nullopt;
+    return send_time + delay_->sample(rng);
+}
+
+std::vector<Delivery> send_paced_stream(Channel& channel, Rng& rng, std::size_t count,
+                                        double interval, double start_time) {
+    MCAUTH_EXPECTS(interval >= 0.0);
+    std::vector<Delivery> deliveries(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Delivery& d = deliveries[i];
+        d.seq = i;
+        d.send_time = start_time + static_cast<double>(i) * interval;
+        const auto arrival = channel.transmit(d.send_time, rng);
+        d.lost = !arrival.has_value();
+        d.arrival_time = arrival.value_or(0.0);
+    }
+    return deliveries;
+}
+
+std::vector<std::size_t> arrival_order(const std::vector<Delivery>& deliveries) {
+    std::vector<std::size_t> order;
+    order.reserve(deliveries.size());
+    for (std::size_t i = 0; i < deliveries.size(); ++i)
+        if (!deliveries[i].lost) order.push_back(i);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return deliveries[a].arrival_time < deliveries[b].arrival_time;
+    });
+    return order;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,54 @@
+// A best-effort channel: loss model + delay model. Packets that survive get
+// an arrival timestamp; delivery order is arrival order, so out-of-order
+// delivery (which drives TESLA's ξ condition and the random component of
+// receiver delay, eq. 4) emerges whenever sampled delays cross.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+
+namespace mcauth {
+
+class Channel {
+public:
+    Channel(std::unique_ptr<LossModel> loss, std::unique_ptr<DelayModel> delay);
+
+    /// Transmit one packet at `send_time`; returns the arrival time, or
+    /// nullopt if the channel dropped it.
+    std::optional<double> transmit(double send_time, Rng& rng);
+
+    void reset() { loss_->reset(); }
+
+    const LossModel& loss() const noexcept { return *loss_; }
+    const DelayModel& delay() const noexcept { return *delay_; }
+
+    Channel clone() const { return Channel(loss_->clone(), delay_->clone()); }
+
+private:
+    std::unique_ptr<LossModel> loss_;
+    std::unique_ptr<DelayModel> delay_;
+};
+
+/// Outcome of sending one packet of a paced stream.
+struct Delivery {
+    std::uint64_t seq = 0;
+    double send_time = 0.0;
+    double arrival_time = 0.0;  // meaningful only when !lost
+    bool lost = false;
+};
+
+/// Send `count` packets at a fixed pacing interval through the channel.
+/// Returns one entry per packet in *send* order.
+std::vector<Delivery> send_paced_stream(Channel& channel, Rng& rng, std::size_t count,
+                                        double interval, double start_time = 0.0);
+
+/// Indices of surviving packets sorted by arrival time (the order a receiver
+/// actually observes).
+std::vector<std::size_t> arrival_order(const std::vector<Delivery>& deliveries);
+
+}  // namespace mcauth

@@ -1,0 +1,82 @@
+#include "net/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth {
+
+// ------------------------------------------------------------ ConstantDelay
+
+ConstantDelay::ConstantDelay(double delay) : delay_(delay) {
+    MCAUTH_EXPECTS(delay >= 0.0);
+}
+
+std::string ConstantDelay::name() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "constant(%.3g s)", delay_);
+    return buf;
+}
+
+std::unique_ptr<DelayModel> ConstantDelay::clone() const {
+    return std::make_unique<ConstantDelay>(*this);
+}
+
+// ------------------------------------------------------------ GaussianDelay
+
+GaussianDelay::GaussianDelay(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    MCAUTH_EXPECTS(mu >= 0.0);
+    MCAUTH_EXPECTS(sigma >= 0.0);
+}
+
+double GaussianDelay::sample(Rng& rng) {
+    return std::max(0.0, rng.normal(mu_, sigma_));
+}
+
+double GaussianDelay::cdf(double d) const {
+    if (sigma_ == 0.0) return d >= mu_ ? 1.0 : 0.0;
+    return normal_cdf((d - mu_) / sigma_);
+}
+
+std::string GaussianDelay::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "gaussian(mu=%.3g, sigma=%.3g)", mu_, sigma_);
+    return buf;
+}
+
+std::unique_ptr<DelayModel> GaussianDelay::clone() const {
+    return std::make_unique<GaussianDelay>(*this);
+}
+
+// -------------------------------------------------- ShiftedExponentialDelay
+
+ShiftedExponentialDelay::ShiftedExponentialDelay(double offset, double mean_extra)
+    : offset_(offset), mean_extra_(mean_extra) {
+    MCAUTH_EXPECTS(offset >= 0.0);
+    MCAUTH_EXPECTS(mean_extra > 0.0);
+}
+
+double ShiftedExponentialDelay::sample(Rng& rng) {
+    return offset_ + rng.exponential(1.0 / mean_extra_);
+}
+
+double ShiftedExponentialDelay::cdf(double d) const {
+    if (d <= offset_) return 0.0;
+    return 1.0 - std::exp(-(d - offset_) / mean_extra_);
+}
+
+std::string ShiftedExponentialDelay::name() const {
+    char buf[80];
+    std::snprintf(buf, sizeof buf, "shifted-exp(offset=%.3g, mean-extra=%.3g)", offset_,
+                  mean_extra_);
+    return buf;
+}
+
+std::unique_ptr<DelayModel> ShiftedExponentialDelay::clone() const {
+    return std::make_unique<ShiftedExponentialDelay>(*this);
+}
+
+}  // namespace mcauth

@@ -1,0 +1,88 @@
+// End-to-end delay models.
+//
+// §4.1 of the paper justifies a Gaussian end-to-end delay: a packet crosses
+// N routers with i.i.d. queueing delays, so the sum approaches N(mu, sigma^2)
+// (Equation 5). TESLA's authentication probability depends directly on
+// Pr{delay <= T_disclose}, so the delay model is a first-class object here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+class DelayModel {
+public:
+    virtual ~DelayModel() = default;
+
+    /// One end-to-end delay sample (seconds); always >= 0.
+    virtual double sample(Rng& rng) = 0;
+
+    virtual double mean() const = 0;
+    virtual double stddev() const = 0;
+
+    /// Pr{delay <= d} — exact where a closed form exists; used by the
+    /// analytical TESLA evaluation (Equations 6-7).
+    virtual double cdf(double d) const = 0;
+
+    virtual std::string name() const = 0;
+    virtual std::unique_ptr<DelayModel> clone() const = 0;
+};
+
+class ConstantDelay final : public DelayModel {
+public:
+    explicit ConstantDelay(double delay);
+
+    double sample(Rng&) override { return delay_; }
+    double mean() const override { return delay_; }
+    double stddev() const override { return 0.0; }
+    double cdf(double d) const override { return d >= delay_ ? 1.0 : 0.0; }
+    std::string name() const override;
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    double delay_;
+};
+
+/// The paper's Gaussian model, truncated below at zero when sampling (a
+/// negative queueing delay is unphysical; with the mu/sigma regimes of the
+/// paper the truncated mass is negligible, and the analytical cdf stays the
+/// untruncated Gaussian exactly as in Equation 5).
+class GaussianDelay final : public DelayModel {
+public:
+    GaussianDelay(double mu, double sigma);
+
+    double sample(Rng& rng) override;
+    double mean() const override { return mu_; }
+    double stddev() const override { return sigma_; }
+    double cdf(double d) const override;
+    std::string name() const override;
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    double mu_;
+    double sigma_;
+};
+
+/// Propagation offset plus exponential queueing tail; a common heavier-tail
+/// alternative for checking how sensitive TESLA's q_min is to the Gaussian
+/// assumption.
+class ShiftedExponentialDelay final : public DelayModel {
+public:
+    ShiftedExponentialDelay(double offset, double mean_extra);
+
+    double sample(Rng& rng) override;
+    double mean() const override { return offset_ + mean_extra_; }
+    double stddev() const override { return mean_extra_; }
+    double cdf(double d) const override;
+    std::string name() const override;
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    double offset_;
+    double mean_extra_;
+};
+
+}  // namespace mcauth

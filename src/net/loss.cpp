@@ -1,0 +1,202 @@
+#include "net/loss.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+// ------------------------------------------------------------ BernoulliLoss
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+    MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+std::string BernoulliLoss::name() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "bernoulli(p=%.3g)", p_);
+    return buf;
+}
+
+std::unique_ptr<LossModel> BernoulliLoss::clone() const {
+    return std::make_unique<BernoulliLoss>(*this);
+}
+
+// ------------------------------------------------------- GilbertElliottLoss
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                                       double loss_good, double loss_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good), loss_bad_(loss_bad) {
+    MCAUTH_EXPECTS(p_gb_ > 0.0 && p_gb_ <= 1.0);
+    MCAUTH_EXPECTS(p_bg_ > 0.0 && p_bg_ <= 1.0);
+    MCAUTH_EXPECTS(loss_good_ >= 0.0 && loss_good_ <= 1.0);
+    MCAUTH_EXPECTS(loss_bad_ >= 0.0 && loss_bad_ <= 1.0);
+}
+
+GilbertElliottLoss GilbertElliottLoss::from_rate_and_burst(double loss_rate,
+                                                           double mean_burst_length) {
+    MCAUTH_EXPECTS(loss_rate > 0.0 && loss_rate < 1.0);
+    MCAUTH_EXPECTS(mean_burst_length >= 1.0);
+    // With loss_good = 0, loss_bad = 1: stationary loss = pi_bad =
+    // p_gb / (p_gb + p_bg) and mean burst = 1 / p_bg.
+    const double p_bg = 1.0 / mean_burst_length;
+    const double p_gb = loss_rate * p_bg / (1.0 - loss_rate);
+    MCAUTH_REQUIRE(p_gb <= 1.0);
+    return GilbertElliottLoss(p_gb, p_bg, 0.0, 1.0);
+}
+
+bool GilbertElliottLoss::lose_next(Rng& rng) {
+    // State transition first, then loss decision in the new state. The
+    // order is a convention; stationary behaviour is identical.
+    if (in_bad_) {
+        if (rng.bernoulli(p_bg_)) in_bad_ = false;
+    } else {
+        if (rng.bernoulli(p_gb_)) in_bad_ = true;
+    }
+    return rng.bernoulli(in_bad_ ? loss_bad_ : loss_good_);
+}
+
+void GilbertElliottLoss::reset() { in_bad_ = false; }
+
+double GilbertElliottLoss::stationary_loss_rate() const {
+    const double pi_bad = p_gb_ / (p_gb_ + p_bg_);
+    return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+std::string GilbertElliottLoss::name() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "gilbert-elliott(rate=%.3g, burst=%.3g)",
+                  stationary_loss_rate(), mean_burst_length());
+    return buf;
+}
+
+std::unique_ptr<LossModel> GilbertElliottLoss::clone() const {
+    return std::make_unique<GilbertElliottLoss>(*this);
+}
+
+// ---------------------------------------------------------------- MarkovLoss
+
+MarkovLoss::MarkovLoss(std::vector<std::vector<double>> transition,
+                       std::vector<double> loss_prob, bool stationary_start)
+    : transition_(std::move(transition)),
+      loss_prob_(std::move(loss_prob)),
+      stationary_start_(stationary_start),
+      needs_stationary_draw_(stationary_start) {
+    MCAUTH_EXPECTS(!loss_prob_.empty());
+    MCAUTH_EXPECTS(transition_.size() == loss_prob_.size());
+    for (const auto& row : transition_) {
+        MCAUTH_EXPECTS(row.size() == loss_prob_.size());
+        double sum = 0.0;
+        for (double p : row) {
+            MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+            sum += p;
+        }
+        MCAUTH_EXPECTS(std::abs(sum - 1.0) < 1e-9);
+    }
+    for (double p : loss_prob_) MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    if (stationary_start_) stationary_ = stationary_distribution();
+}
+
+bool MarkovLoss::lose_next(Rng& rng) {
+    if (needs_stationary_draw_) {
+        // Draw the pre-stream state from pi; since pi*P = pi the chain is
+        // then stationary at every subsequent decision.
+        needs_stationary_draw_ = false;
+        const double u = rng.uniform();
+        double acc = 0.0;
+        for (std::size_t s = 0; s < stationary_.size(); ++s) {
+            acc += stationary_[s];
+            if (u < acc) {
+                state_ = s;
+                break;
+            }
+        }
+    }
+    // Advance the chain by inverse-CDF over the current row.
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t next = loss_prob_.size() - 1;
+    for (std::size_t s = 0; s < transition_[state_].size(); ++s) {
+        acc += transition_[state_][s];
+        if (u < acc) {
+            next = s;
+            break;
+        }
+    }
+    state_ = next;
+    return rng.bernoulli(loss_prob_[state_]);
+}
+
+std::vector<double> MarkovLoss::stationary_distribution() const {
+    const std::size_t m = loss_prob_.size();
+    std::vector<double> pi(m, 1.0 / static_cast<double>(m));
+    std::vector<double> next(m, 0.0);
+    for (int iter = 0; iter < 10000; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < m; ++j) next[j] += pi[i] * transition_[i][j];
+        double diff = 0.0;
+        for (std::size_t j = 0; j < m; ++j) diff += std::abs(next[j] - pi[j]);
+        pi.swap(next);
+        if (diff < 1e-14) break;
+    }
+    return pi;
+}
+
+double MarkovLoss::stationary_loss_rate() const {
+    const auto pi = stationary_distribution();
+    double rate = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) rate += pi[s] * loss_prob_[s];
+    return rate;
+}
+
+std::string MarkovLoss::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "markov(m=%zu, rate=%.3g)", loss_prob_.size(),
+                  stationary_loss_rate());
+    return buf;
+}
+
+std::unique_ptr<LossModel> MarkovLoss::clone() const {
+    return std::make_unique<MarkovLoss>(*this);
+}
+
+// ----------------------------------------------------------------- TraceLoss
+
+TraceLoss::TraceLoss(std::vector<bool> pattern) : pattern_(std::move(pattern)) {
+    MCAUTH_EXPECTS(!pattern_.empty());
+}
+
+bool TraceLoss::lose_next(Rng& rng) {
+    (void)rng;
+    const bool lost = pattern_[position_];
+    position_ = (position_ + 1) % pattern_.size();
+    return lost;
+}
+
+double TraceLoss::stationary_loss_rate() const {
+    std::size_t lost = 0;
+    for (bool l : pattern_) lost += l ? 1 : 0;
+    return static_cast<double>(lost) / static_cast<double>(pattern_.size());
+}
+
+std::string TraceLoss::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "trace(len=%zu, rate=%.3g)", pattern_.size(),
+                  stationary_loss_rate());
+    return buf;
+}
+
+std::unique_ptr<LossModel> TraceLoss::clone() const {
+    return std::make_unique<TraceLoss>(*this);
+}
+
+std::vector<bool> sample_loss_pattern(LossModel& model, Rng& rng, std::size_t n) {
+    model.reset();
+    std::vector<bool> pattern(n);
+    for (std::size_t i = 0; i < n; ++i) pattern[i] = model.lose_next(rng);
+    return pattern;
+}
+
+}  // namespace mcauth

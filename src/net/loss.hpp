@@ -1,0 +1,149 @@
+// Packet-loss models.
+//
+// The paper analyzes the independent random-loss channel (each packet lost
+// i.i.d. with probability p, §4.1) and names the m-state Markov model as
+// future work. We implement:
+//
+//   * BernoulliLoss      - the paper's analytical model;
+//   * GilbertElliottLoss - the classical 2-state bursty channel (the loss
+//                          pattern the Augmented Chain was designed for);
+//   * MarkovLoss         - general m-state chain with per-state loss
+//                          probabilities (subsumes both of the above).
+//
+// Models are stateful (burstiness needs memory across packets), cheap to
+// clone (Monte-Carlo runs one instance per trial), and report their
+// stationary loss rate so experiments can equalize average loss across
+// models while varying burstiness.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+class LossModel {
+public:
+    virtual ~LossModel() = default;
+
+    /// Decide the fate of the next packet in sequence order.
+    virtual bool lose_next(Rng& rng) = 0;
+
+    /// Return to the initial (stationary) state.
+    virtual void reset() = 0;
+
+    /// Long-run fraction of packets lost.
+    virtual double stationary_loss_rate() const = 0;
+
+    virtual std::string name() const = 0;
+
+    virtual std::unique_ptr<LossModel> clone() const = 0;
+};
+
+/// i.i.d. loss with probability p — the paper's §4.1 model.
+class BernoulliLoss final : public LossModel {
+public:
+    explicit BernoulliLoss(double p);
+
+    bool lose_next(Rng& rng) override { return rng.bernoulli(p_); }
+    void reset() override {}
+    double stationary_loss_rate() const override { return p_; }
+    std::string name() const override;
+    std::unique_ptr<LossModel> clone() const override;
+
+private:
+    double p_;
+};
+
+/// Two-state Gilbert–Elliott channel. In the Good state packets are lost
+/// with probability loss_good (usually 0), in Bad with loss_bad (usually 1).
+/// Transition probabilities are applied per packet.
+class GilbertElliottLoss final : public LossModel {
+public:
+    GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good = 0.0,
+                       double loss_bad = 1.0);
+
+    /// Convenience: pick transition rates to hit a target stationary loss
+    /// rate with a given mean burst length (expected consecutive packets in
+    /// the Bad state), with loss_good = 0 and loss_bad = 1.
+    static GilbertElliottLoss from_rate_and_burst(double loss_rate, double mean_burst_length);
+
+    bool lose_next(Rng& rng) override;
+    void reset() override;
+    double stationary_loss_rate() const override;
+    std::string name() const override;
+    std::unique_ptr<LossModel> clone() const override;
+
+    double mean_burst_length() const { return 1.0 / p_bg_; }
+
+private:
+    double p_gb_;
+    double p_bg_;
+    double loss_good_;
+    double loss_bad_;
+    bool in_bad_ = false;
+};
+
+/// General m-state Markov loss model: row-stochastic transition matrix and a
+/// per-state loss probability. After reset() the chain restarts in state 0,
+/// or — with `stationary_start` — in a state drawn from the stationary
+/// distribution on the next decision (matching the exact-DP analysis in
+/// core/exact_dp.hpp, which assumes a stationary channel).
+class MarkovLoss final : public LossModel {
+public:
+    MarkovLoss(std::vector<std::vector<double>> transition, std::vector<double> loss_prob,
+               bool stationary_start = false);
+
+    bool lose_next(Rng& rng) override;
+    void reset() override {
+        state_ = 0;
+        needs_stationary_draw_ = stationary_start_;
+    }
+    double stationary_loss_rate() const override;
+    std::string name() const override;
+    std::unique_ptr<LossModel> clone() const override;
+
+    std::size_t state_count() const noexcept { return loss_prob_.size(); }
+
+    /// Stationary distribution (power iteration).
+    std::vector<double> stationary_distribution() const;
+
+private:
+    std::vector<std::vector<double>> transition_;
+    std::vector<double> loss_prob_;
+    std::size_t state_ = 0;
+    bool stationary_start_ = false;
+    bool needs_stationary_draw_ = false;
+    std::vector<double> stationary_;  // cached when stationary_start_
+};
+
+/// Replays a recorded loss pattern (e.g. from a packet capture), looping
+/// when exhausted. Deterministic — the Rng is unused — which makes it the
+/// tool for regression-pinning a specific adversarial pattern or comparing
+/// schemes on IDENTICAL loss (paired evaluation, lower variance than
+/// independent sampling).
+class TraceLoss final : public LossModel {
+public:
+    explicit TraceLoss(std::vector<bool> pattern);
+
+    bool lose_next(Rng& rng) override;
+    void reset() override { position_ = 0; }
+    double stationary_loss_rate() const override;
+    std::string name() const override;
+    std::unique_ptr<LossModel> clone() const override;
+
+    std::size_t length() const noexcept { return pattern_.size(); }
+
+private:
+    std::vector<bool> pattern_;
+    std::size_t position_ = 0;
+};
+
+/// Sample a loss pattern for n packets: pattern[i] == true means packet i
+/// was lost. Resets the model first.
+std::vector<bool> sample_loss_pattern(LossModel& model, Rng& rng, std::size_t n);
+
+}  // namespace mcauth

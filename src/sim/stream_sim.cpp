@@ -1,0 +1,374 @@
+#include "sim/stream_sim.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+namespace {
+
+/// Per-index (received, authenticated) tallies across blocks.
+class IndexTally {
+public:
+    explicit IndexTally(std::size_t indices) : received_(indices, 0), verified_(indices, 0) {}
+
+    void on_received(std::size_t index) { ++received_[index]; }
+    void on_authenticated(std::size_t index) { ++verified_[index]; }
+
+    void finalize(SimStats& stats) const {
+        stats.q_by_index.assign(received_.size(), 1.0);
+        stats.empirical_q_min = 1.0;
+        for (std::size_t i = 0; i < received_.size(); ++i) {
+            if (received_[i] == 0) continue;
+            stats.q_by_index[i] = static_cast<double>(verified_[i]) /
+                                  static_cast<double>(received_[i]);
+            stats.empirical_q_min = std::min(stats.empirical_q_min, stats.q_by_index[i]);
+        }
+    }
+
+private:
+    std::vector<std::size_t> received_;
+    std::vector<std::size_t> verified_;
+};
+
+std::vector<std::vector<std::uint8_t>> random_payloads(Rng& rng, std::size_t count,
+                                                       std::size_t bytes) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) payloads.push_back(rng.bytes(bytes));
+    return payloads;
+}
+
+struct Arrival {
+    double time = 0.0;
+    std::size_t packet = 0;  // index into the sent-packet array
+};
+
+/// Transmit packets (with P_sign replicas) and return arrivals sorted by time.
+std::vector<Arrival> transmit_block(const std::vector<AuthPacket>& packets,
+                                    std::size_t sign_index, std::size_t sign_copies,
+                                    Channel& channel, Rng& rng, double start_time,
+                                    double t_transmit, std::size_t& sent_counter) {
+    std::vector<Arrival> arrivals;
+    double clock = start_time;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        // Replicas of P_sign ride immediately after the original.
+        const std::size_t copies = (i == sign_index) ? sign_copies : 1;
+        for (std::size_t c = 0; c < copies; ++c) {
+            ++sent_counter;
+            if (const auto at = channel.transmit(clock, rng)) arrivals.push_back({*at, i});
+            clock += t_transmit;
+        }
+    }
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+    return arrivals;
+}
+
+double mean_overhead(const std::vector<AuthPacket>& packets) {
+    double total = 0.0;
+    for (const AuthPacket& p : packets)
+        total += static_cast<double>(p.wire_size() - p.payload.size());
+    return packets.empty() ? 0.0 : total / static_cast<double>(packets.size());
+}
+
+}  // namespace
+
+SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Channel& channel,
+                            const SimConfig& sim) {
+    MCAUTH_EXPECTS(sim.blocks >= 1);
+    MCAUTH_EXPECTS(sim.sign_copies >= 1);
+    Rng rng(sim.seed);
+    HashChainSender sender(scheme, signer);
+    HashChainReceiver receiver(scheme, signer.make_verifier());
+    const std::size_t n = scheme.block_size;
+    const std::size_t sign_index = sender.topology().send_pos(DependenceGraph::root());
+
+    SimStats stats;
+    IndexTally tally(n);
+    double block_start = 0.0;
+
+    for (std::size_t b = 0; b < sim.blocks; ++b) {
+        const auto payloads = random_payloads(rng, n, sim.payload_bytes);
+        const auto packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        stats.overhead_bytes_per_packet += mean_overhead(packets);
+
+        const auto arrivals = transmit_block(packets, sign_index, sim.sign_copies, channel,
+                                             rng, block_start, sim.t_transmit,
+                                             stats.packets_sent);
+        std::map<std::uint32_t, double> arrival_time;  // first arrival per index
+        for (const Arrival& a : arrivals) {
+            const AuthPacket& pkt = packets[a.packet];
+            if (arrival_time.emplace(pkt.index, a.time).second) {
+                ++stats.packets_received;
+                tally.on_received(pkt.index);
+            }
+            for (const VerifyEvent& ev : receiver.on_packet(pkt)) {
+                switch (ev.status) {
+                    case VerifyStatus::kAuthenticated: {
+                        ++stats.authenticated;
+                        tally.on_authenticated(ev.index);
+                        const auto it = arrival_time.find(ev.index);
+                        MCAUTH_ENSURES(it != arrival_time.end());
+                        stats.receiver_delay.add(a.time - it->second);
+                        break;
+                    }
+                    case VerifyStatus::kRejected:
+                        ++stats.rejected;
+                        break;
+                    case VerifyStatus::kUnverifiable:
+                        ++stats.unverifiable;
+                        break;
+                }
+            }
+            stats.max_buffered_packets =
+                std::max(stats.max_buffered_packets, receiver.buffered_packets());
+        }
+        for (const VerifyEvent& ev :
+             receiver.finish_block(static_cast<std::uint32_t>(b))) {
+            if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
+        }
+        block_start += static_cast<double>(n + sim.sign_copies - 1) * sim.t_transmit;
+    }
+    stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
+    tally.finalize(stats);
+    return stats;
+}
+
+SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& channel,
+                       const SimConfig& sim, double max_clock_skew) {
+    MCAUTH_EXPECTS(sim.blocks >= 1);
+    Rng rng(sim.seed);
+    TeslaSender sender(scheme, signer, rng, /*start_time=*/0.0);
+    TeslaReceiver receiver(scheme, signer.make_verifier(), max_clock_skew);
+
+    // Bootstrap is delivered reliably — the paper's "P_sign always received"
+    // assumption, realized in practice by unicast retransmission at join.
+    MCAUTH_REQUIRE(receiver.on_bootstrap(sender.bootstrap()));
+
+    // Stream sim.blocks * 64 packets; "blocks" only sizes the run here.
+    const std::size_t total_packets = sim.blocks * 64;
+    std::vector<AuthPacket> packets;
+    packets.reserve(total_packets);
+    std::vector<Arrival> arrivals;
+    double clock = sim.t_transmit;  // interval 1 starts at sender time 0
+    SimStats stats;
+    double overhead_sum = 0.0;
+
+    for (std::size_t i = 0; i < total_packets; ++i) {
+        packets.push_back(sender.make_packet(rng.bytes(sim.payload_bytes), clock));
+        overhead_sum +=
+            static_cast<double>(packets.back().wire_size() - sim.payload_bytes);
+        ++stats.packets_sent;
+        if (const auto at = channel.transmit(clock, rng))
+            arrivals.push_back({*at, packets.size() - 1});
+        clock += sim.t_transmit;
+    }
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+
+    IndexTally tally(total_packets);
+    std::vector<double> arrival_of(total_packets, 0.0);
+    for (const Arrival& a : arrivals) {
+        const AuthPacket& pkt = packets[a.packet];
+        ++stats.packets_received;
+        tally.on_received(pkt.index);
+        arrival_of[pkt.index] = a.time;
+        for (const VerifyEvent& ev : receiver.on_packet(pkt, a.time)) {
+            switch (ev.status) {
+                case VerifyStatus::kAuthenticated:
+                    ++stats.authenticated;
+                    tally.on_authenticated(ev.index);
+                    stats.receiver_delay.add(a.time - arrival_of[ev.index]);
+                    break;
+                case VerifyStatus::kRejected:
+                    ++stats.rejected;
+                    break;
+                case VerifyStatus::kUnverifiable:
+                    ++stats.unverifiable;
+                    break;
+            }
+        }
+        stats.max_buffered_packets =
+            std::max(stats.max_buffered_packets, receiver.buffered_packets());
+    }
+    for (const VerifyEvent& ev : receiver.finish())
+        if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
+
+    stats.overhead_bytes_per_packet =
+        total_packets == 0 ? 0.0 : overhead_sum / static_cast<double>(total_packets);
+    tally.finalize(stats);
+    return stats;
+}
+
+SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& channel,
+                      const SimConfig& sim) {
+    MCAUTH_EXPECTS(sim.blocks >= 1);
+    Rng rng(sim.seed);
+    TreeSender sender(scheme, signer);
+    TreeReceiver receiver(scheme, signer.make_verifier());
+    const std::size_t n = scheme.block_size;
+
+    SimStats stats;
+    IndexTally tally(n);
+    double block_start = 0.0;
+    for (std::size_t b = 0; b < sim.blocks; ++b) {
+        const auto payloads = random_payloads(rng, n, sim.payload_bytes);
+        const auto packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        stats.overhead_bytes_per_packet += mean_overhead(packets);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++stats.packets_sent;
+            const double send_time = block_start + static_cast<double>(i) * sim.t_transmit;
+            if (!channel.transmit(send_time, rng)) continue;
+            ++stats.packets_received;
+            tally.on_received(i);
+            const VerifyEvent ev = receiver.on_packet(packets[i]);
+            if (ev.status == VerifyStatus::kAuthenticated) {
+                ++stats.authenticated;
+                tally.on_authenticated(i);
+                stats.receiver_delay.add(0.0);  // individually verifiable
+            } else {
+                ++stats.rejected;
+            }
+        }
+        block_start += static_cast<double>(n) * sim.t_transmit;
+    }
+    stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
+    tally.finalize(stats);
+    return stats;
+}
+
+MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signer& signer,
+                                            const Channel& channel_prototype,
+                                            std::size_t receivers, const SimConfig& sim) {
+    MCAUTH_EXPECTS(receivers >= 1);
+    MCAUTH_EXPECTS(sim.blocks >= 1);
+    Rng rng(sim.seed);
+    HashChainSender sender(scheme, signer);
+    const std::size_t n = scheme.block_size;
+    const std::size_t sign_index = sender.topology().send_pos(DependenceGraph::root());
+
+    // The sender authenticates each block ONCE; all receivers share the
+    // exact same packets (that is the economics of multicast).
+    std::vector<std::vector<AuthPacket>> blocks;
+    blocks.reserve(sim.blocks);
+    for (std::size_t b = 0; b < sim.blocks; ++b)
+        blocks.push_back(
+            sender.make_block(static_cast<std::uint32_t>(b), random_payloads(rng, n,
+                                                                             sim.payload_bytes)));
+
+    MulticastStats stats;
+    stats.receivers = receivers;
+    stats.per_receiver.reserve(receivers);
+
+    // verified_by[b][i] counts receivers that authenticated packet (b, i).
+    std::vector<std::vector<std::size_t>> verified_by(sim.blocks,
+                                                      std::vector<std::size_t>(n, 0));
+
+    for (std::size_t r = 0; r < receivers; ++r) {
+        Channel channel = channel_prototype.clone();
+        Rng recv_rng = rng.fork();
+        HashChainReceiver receiver(scheme, signer.make_verifier());
+        SimStats one;
+        IndexTally tally(n);
+        double block_start = 0.0;
+        for (std::size_t b = 0; b < sim.blocks; ++b) {
+            const auto arrivals =
+                transmit_block(blocks[b], sign_index, sim.sign_copies, channel, recv_rng,
+                               block_start, sim.t_transmit, one.packets_sent);
+            std::map<std::uint32_t, double> arrival_time;
+            for (const Arrival& a : arrivals) {
+                const AuthPacket& pkt = blocks[b][a.packet];
+                if (arrival_time.emplace(pkt.index, a.time).second) {
+                    ++one.packets_received;
+                    tally.on_received(pkt.index);
+                }
+                for (const VerifyEvent& ev : receiver.on_packet(pkt)) {
+                    switch (ev.status) {
+                        case VerifyStatus::kAuthenticated:
+                            ++one.authenticated;
+                            tally.on_authenticated(ev.index);
+                            ++verified_by[b][ev.index];
+                            one.receiver_delay.add(a.time - arrival_time.at(ev.index));
+                            break;
+                        case VerifyStatus::kRejected:
+                            ++one.rejected;
+                            break;
+                        case VerifyStatus::kUnverifiable:
+                            ++one.unverifiable;
+                            break;
+                    }
+                }
+                one.max_buffered_packets =
+                    std::max(one.max_buffered_packets, receiver.buffered_packets());
+            }
+            for (const VerifyEvent& ev :
+                 receiver.finish_block(static_cast<std::uint32_t>(b))) {
+                if (ev.status == VerifyStatus::kUnverifiable) ++one.unverifiable;
+            }
+            block_start += static_cast<double>(n + sim.sign_copies - 1) * sim.t_transmit;
+        }
+        tally.finalize(one);
+        const std::size_t data_packets = sim.blocks * n;
+        stats.verified_fraction.add(static_cast<double>(one.authenticated) /
+                                    static_cast<double>(data_packets));
+        stats.per_receiver.push_back(std::move(one));
+    }
+
+    std::size_t all_count = 0;
+    std::size_t any_count = 0;
+    for (const auto& block : verified_by) {
+        for (std::size_t count : block) {
+            if (count == receivers) ++all_count;
+            if (count > 0) ++any_count;
+        }
+    }
+    const auto total = static_cast<double>(sim.blocks * n);
+    stats.all_receivers_fraction = static_cast<double>(all_count) / total;
+    stats.any_receiver_fraction = static_cast<double>(any_count) / total;
+    return stats;
+}
+
+SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& channel,
+                           const SimConfig& sim) {
+    MCAUTH_EXPECTS(sim.blocks >= 1);
+    MCAUTH_EXPECTS(block_size >= 1);
+    Rng rng(sim.seed);
+    SignEachSender sender(signer);
+    SignEachReceiver receiver(signer.make_verifier());
+
+    SimStats stats;
+    IndexTally tally(block_size);
+    double clock = 0.0;
+    double overhead_sum = 0.0;
+    for (std::size_t b = 0; b < sim.blocks; ++b) {
+        for (std::size_t i = 0; i < block_size; ++i) {
+            const AuthPacket pkt = sender.make_packet(
+                static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(i),
+                rng.bytes(sim.payload_bytes));
+            overhead_sum += static_cast<double>(pkt.wire_size() - sim.payload_bytes);
+            ++stats.packets_sent;
+            if (channel.transmit(clock, rng)) {
+                ++stats.packets_received;
+                tally.on_received(i);
+                const VerifyEvent ev = receiver.on_packet(pkt);
+                if (ev.status == VerifyStatus::kAuthenticated) {
+                    ++stats.authenticated;
+                    tally.on_authenticated(i);
+                    stats.receiver_delay.add(0.0);
+                } else {
+                    ++stats.rejected;
+                }
+            }
+            clock += sim.t_transmit;
+        }
+    }
+    stats.overhead_bytes_per_packet =
+        overhead_sum / static_cast<double>(sim.blocks * block_size);
+    tally.finalize(stats);
+    return stats;
+}
+
+}  // namespace mcauth

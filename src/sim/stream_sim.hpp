@@ -1,0 +1,101 @@
+// End-to-end stream simulation: real codec + simulated channel.
+//
+// This closes the loop on the paper's analysis: the dependence-graph
+// engines *predict* q_min, receiver delay and buffer needs; these pipelines
+// *measure* them by pushing actual signed/hashed/MAC'd bytes through a
+// lossy, delaying, reordering channel and letting the receiving codec
+// authenticate what it can. abl_e2e_validation asserts predicted ==
+// measured (within Monte-Carlo error).
+//
+// Timing model: packets are paced t_transmit apart; arrival order (not send
+// order) drives the receiver; an authenticated packet's receiver delay is
+// the arrival time of the packet that *triggered* its verdict minus its own
+// arrival time (the random+deterministic delay of Eq. 4 combined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"
+#include "auth/sign_each_scheme.hpp"
+#include "auth/tesla_scheme.hpp"
+#include "auth/tree_scheme.hpp"
+#include "net/channel.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth {
+
+struct SimConfig {
+    std::size_t blocks = 8;          // blocks (or, for TESLA, bursts) to stream
+    std::size_t payload_bytes = 256;
+    double t_transmit = 0.01;        // pacing, seconds/packet
+    std::size_t sign_copies = 3;     // replicas of P_sign (the paper's 1/p_s)
+    std::uint64_t seed = 1;
+};
+
+struct SimStats {
+    std::size_t packets_sent = 0;
+    std::size_t packets_received = 0;
+    std::size_t authenticated = 0;
+    std::size_t rejected = 0;
+    std::size_t unverifiable = 0;
+
+    /// Aggregate empirical Pr{authenticated | received} over data packets.
+    double auth_fraction() const {
+        const std::size_t resolved = authenticated + rejected + unverifiable;
+        return resolved == 0 ? 1.0
+                             : static_cast<double>(authenticated) /
+                                   static_cast<double>(resolved);
+    }
+
+    /// Per-transmission-index empirical q (verified/received), min over
+    /// indices with at least one reception — the measured q_min.
+    std::vector<double> q_by_index;
+    double empirical_q_min = 1.0;
+
+    RunningStats receiver_delay;          // seconds, authenticated packets only
+    std::size_t max_buffered_packets = 0; // receiver high-water mark
+    double overhead_bytes_per_packet = 0.0;  // wire - payload, averaged
+};
+
+/// Any dependence-graph scheme (Rohatgi / EMSS / AC / custom topologies).
+SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Channel& channel,
+                            const SimConfig& sim);
+
+/// TESLA. `max_clock_skew` is the receiver's synchronization bound; the
+/// bootstrap is delivered reliably (the paper's P_sign assumption).
+SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& channel,
+                       const SimConfig& sim, double max_clock_skew);
+
+/// Wong–Lam authentication tree.
+SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& channel,
+                      const SimConfig& sim);
+
+/// Sign-each baseline. `block_size` only groups packets for accounting.
+SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& channel,
+                           const SimConfig& sim);
+
+/// Multicast fan-out: ONE sender's blocks delivered to `receivers`
+/// independent receivers, each behind its own clone of `channel_prototype`
+/// (fresh loss state, same statistics). This is the paper's actual setting —
+/// §1's single source, many recipients — and exposes group-level effects
+/// the single-receiver view hides: a packet the sender amortized once must
+/// survive *every* receiver's loss pattern independently.
+struct MulticastStats {
+    std::size_t receivers = 0;
+    std::vector<SimStats> per_receiver;
+
+    /// Aggregate over receivers of the per-receiver verified fraction.
+    RunningStats verified_fraction;
+    /// Fraction of data packets verified by EVERY receiver (group delivery)
+    /// and by AT LEAST one receiver.
+    double all_receivers_fraction = 0.0;
+    double any_receiver_fraction = 0.0;
+};
+
+MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signer& signer,
+                                            const Channel& channel_prototype,
+                                            std::size_t receivers, const SimConfig& sim);
+
+}  // namespace mcauth

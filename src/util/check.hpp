@@ -1,0 +1,52 @@
+// Contract-checking helpers in the spirit of the Core Guidelines' Expects/Ensures.
+//
+// MCAUTH_EXPECTS  - precondition on a public API; throws std::invalid_argument.
+// MCAUTH_ENSURES  - postcondition / internal invariant; throws std::logic_error.
+// MCAUTH_REQUIRE  - runtime condition that depends on external input (files,
+//                   network, message contents); throws std::runtime_error.
+//
+// All three are always on: this library's call sites are analysis tools and
+// simulators, where a silently-violated invariant poisons every number
+// downstream. The cost of a predictable branch is irrelevant next to hashing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcauth {
+
+namespace detail {
+
+[[noreturn]] inline void fail_expects(const char* expr, const char* file, int line) {
+    throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " +
+                                file + ":" + std::to_string(line));
+}
+
+[[noreturn]] inline void fail_ensures(const char* expr, const char* file, int line) {
+    throw std::logic_error(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                           std::to_string(line));
+}
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line) {
+    throw std::runtime_error(std::string("requirement failed: ") + expr + " at " + file +
+                             ":" + std::to_string(line));
+}
+
+}  // namespace detail
+
+}  // namespace mcauth
+
+#define MCAUTH_EXPECTS(cond)                                                 \
+    do {                                                                     \
+        if (!(cond)) ::mcauth::detail::fail_expects(#cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define MCAUTH_ENSURES(cond)                                                 \
+    do {                                                                     \
+        if (!(cond)) ::mcauth::detail::fail_ensures(#cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define MCAUTH_REQUIRE(cond)                                                 \
+    do {                                                                     \
+        if (!(cond)) ::mcauth::detail::fail_require(#cond, __FILE__, __LINE__); \
+    } while (false)

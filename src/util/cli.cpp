@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg.rfind("--", 0) != 0) continue;  // ignore positional arguments
+        arg.remove_prefix(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string_view::npos) {
+            values_.emplace(std::string(arg), "true");
+        } else {
+            values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+        }
+    }
+}
+
+bool CliArgs::has(std::string_view key) const { return values_.find(key) != values_.end(); }
+
+std::string CliArgs::get(std::string_view key, std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+        return std::stoll(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + std::string(key) + " expects an integer, got '" +
+                                    it->second + "'");
+    }
+}
+
+double CliArgs::get_double(std::string_view key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + std::string(key) + " expects a number, got '" +
+                                    it->second + "'");
+    }
+}
+
+bool CliArgs::get_bool(std::string_view key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string CliArgs::summary() const {
+    std::string out;
+    for (const auto& [k, v] : values_) {
+        out += "--";
+        out += k;
+        out += '=';
+        out += v;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace mcauth

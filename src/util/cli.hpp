@@ -1,0 +1,29 @@
+// Minimal --key=value / --flag argument parser for the examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mcauth {
+
+class CliArgs {
+public:
+    CliArgs(int argc, const char* const* argv);
+
+    bool has(std::string_view key) const;
+
+    std::string get(std::string_view key, std::string fallback) const;
+    std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+    double get_double(std::string_view key, double fallback) const;
+    bool get_bool(std::string_view key, bool fallback) const;
+
+    /// Formatted list of all parsed options (for --help echoes).
+    std::string summary() const;
+
+private:
+    std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace mcauth

@@ -1,0 +1,46 @@
+#include "util/hex.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out += kDigits[b >> 4];
+        out += kDigits[b & 0x0f];
+    }
+    return out;
+}
+
+namespace {
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+    MCAUTH_EXPECTS(hex.size() % 2 == 0);
+    std::vector<std::uint8_t> out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_value(hex[i]);
+        const int lo = hex_value(hex[i + 1]);
+        MCAUTH_EXPECTS(hi >= 0 && lo >= 0);
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> ascii_bytes(std::string_view s) {
+    return {s.begin(), s.end()};
+}
+
+}  // namespace mcauth

@@ -1,0 +1,22 @@
+// Hex encoding/decoding for digests and test vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcauth {
+
+/// Lowercase hex string of the byte span.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parse hex (case-insensitive, even length). Throws std::invalid_argument
+/// on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Bytes of an ASCII string (test-vector convenience).
+std::vector<std::uint8_t> ascii_bytes(std::string_view s);
+
+}  // namespace mcauth

@@ -1,0 +1,84 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    MCAUTH_EXPECTS(hi > lo);
+    MCAUTH_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+    idx = std::min(idx, counts_.size() - 1);  // guards x just below hi_ with fp rounding
+    ++counts_[idx];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+    MCAUTH_EXPECTS(i < counts_.size());
+    return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    MCAUTH_EXPECTS(i < counts_.size());
+    return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
+
+double Histogram::quantile(double q) const {
+    MCAUTH_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return lo_;
+    const auto target = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::size_t seen = underflow_;
+    if (seen >= target) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target) return bin_hi(i);
+    }
+    return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::size_t peak = std::max<std::size_t>(1, *std::max_element(counts_.begin(), counts_.end()));
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len =
+            static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) /
+                                                  static_cast<double>(peak) *
+                                                  static_cast<double>(width)));
+        std::snprintf(line, sizeof line, "[%10.4g, %10.4g) %8zu |", bin_lo(i), bin_hi(i),
+                      counts_[i]);
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_ != 0) {
+        std::snprintf(line, sizeof line, "underflow: %zu\n", underflow_);
+        out += line;
+    }
+    if (overflow_ != 0) {
+        std::snprintf(line, sizeof line, "overflow: %zu\n", overflow_);
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,44 @@
+// Fixed-width histogram with under/overflow bins; used for receiver-delay
+// and buffer-occupancy distributions in the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcauth {
+
+class Histogram {
+public:
+    /// Buckets span [lo, hi) in `bins` equal slices; samples outside fall
+    /// into dedicated underflow/overflow counters.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    std::size_t total() const noexcept { return total_; }
+    std::size_t underflow() const noexcept { return underflow_; }
+    std::size_t overflow() const noexcept { return overflow_; }
+    std::size_t bin_count(std::size_t i) const;
+    double bin_lo(std::size_t i) const;
+    double bin_hi(std::size_t i) const;
+    std::size_t bins() const noexcept { return counts_.size(); }
+
+    /// Smallest x such that at least fraction q of samples are <= x
+    /// (bucket upper edge; underflow maps to lo, overflow to hi).
+    double quantile(double q) const;
+
+    /// Multi-line ASCII rendering (for bench/example output).
+    std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+}  // namespace mcauth

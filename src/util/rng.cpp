@@ -1,0 +1,121 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mcauth {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+    // Seeding through SplitMix64 is the construction recommended by the
+    // xoshiro authors: it guarantees a non-zero state and decorrelates
+    // consecutive integer seeds.
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256ss::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+void Xoshiro256ss::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                              0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (1ULL << bit)) {
+                for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= s_[i];
+            }
+            next();
+        }
+    }
+    s_ = acc;
+}
+
+double Rng::uniform() noexcept {
+    // Top 53 bits -> [0,1) double, the canonical conversion.
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+        const std::uint64_t r = gen_.next();
+        if (r >= threshold) return r % n;
+    }
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 is kept away from zero so log() is finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::exponential(double rate) noexcept {
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) noexcept {
+    std::vector<std::uint8_t> out(n);
+    std::size_t i = 0;
+    while (i + 8 <= n) {
+        const std::uint64_t word = gen_.next();
+        for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    if (i < n) {
+        std::uint64_t word = gen_.next();
+        while (i < n) {
+            out[i++] = static_cast<std::uint8_t>(word);
+            word >>= 8;
+        }
+    }
+    return out;
+}
+
+Rng Rng::fork() noexcept {
+    Rng child(gen_.next());
+    return child;
+}
+
+}  // namespace mcauth

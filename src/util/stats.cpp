@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+    MCAUTH_EXPECTS(!sample.empty());
+    MCAUTH_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::sort(sample.begin(), sample.end());
+    if (sample.size() == 1) return sample.front();
+    const double pos = q * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sample.size()) return sample.back();
+    return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+double wilson_halfwidth(double p_hat, std::size_t n, double z) {
+    if (n == 0) return 1.0;
+    const double nn = static_cast<double>(n);
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double spread =
+        z * std::sqrt(p_hat * (1.0 - p_hat) / nn + z2 / (4.0 * nn * nn)) / denom;
+    return spread;
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+    MCAUTH_EXPECTS(p > 0.0 && p < 1.0);
+    // Acklam's algorithm: rational approximations on a central region and
+    // two tails, then one Halley refinement step off the CDF.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    double x = 0.0;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One step of Halley's method sharpens the tail accuracy.
+    const double e = normal_cdf(x) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,49 @@
+// Streaming and batch statistics used by the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcauth {
+
+/// Numerically stable streaming mean/variance (Welford), plus min/max.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    /// Merge another accumulator (parallel reduction / per-block partials).
+    void merge(const RunningStats& other) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return n_ ? min_ : 0.0; }
+    double max() const noexcept { return n_ ? max_ : 0.0; }
+    double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Batch quantile over a copy of the sample (nearest-rank with interpolation).
+double quantile(std::vector<double> sample, double q);
+
+/// Wilson score interval half-width for a binomial proportion estimate;
+/// used to report Monte-Carlo confidence on authentication probabilities.
+double wilson_halfwidth(double p_hat, std::size_t n, double z = 1.96);
+
+/// Standard normal CDF Phi(x), via erfc. This is Equation (5) of the paper:
+/// the Gaussian approximation to end-to-end network delay.
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, ~1e-9 abs
+/// error); used to solve for disclosure delays achieving a target q_min.
+double normal_quantile(double p);
+
+}  // namespace mcauth

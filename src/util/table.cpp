@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace mcauth {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+    MCAUTH_EXPECTS(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    MCAUTH_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string TablePrinter::num(std::size_t v) { return std::to_string(v); }
+
+std::string TablePrinter::num(int v) { return std::to_string(v); }
+
+std::string TablePrinter::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size()) out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+void TablePrinter::write_csv(const std::string& path) const {
+    std::ofstream file(path);
+    MCAUTH_REQUIRE(file.is_open());
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            // Cells are numeric or simple identifiers; quote only if needed.
+            const bool needs_quote = row[c].find_first_of(",\"\n") != std::string::npos;
+            if (needs_quote) {
+                file << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"') file << '"';
+                    file << ch;
+                }
+                file << '"';
+            } else {
+                file << row[c];
+            }
+            if (c + 1 < row.size()) file << ',';
+        }
+        file << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mcauth

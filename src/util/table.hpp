@@ -1,0 +1,39 @@
+// Aligned console tables and CSV emission for the figure-reproduction benches.
+//
+// Every bench prints the series of one paper figure; TablePrinter keeps that
+// output stable and diff-able, and CsvWriter mirrors the same rows to a file
+// for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcauth {
+
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /// Add one row; must match the header arity.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with fixed precision.
+    static std::string num(double v, int precision = 4);
+    static std::string num(std::size_t v);
+    static std::string num(int v);
+
+    /// Render with column alignment and a separator under the header.
+    std::string render() const;
+
+    /// Write the same content as CSV (no alignment padding).
+    void write_csv(const std::string& path) const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcauth

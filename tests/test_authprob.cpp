@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/authprob.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// ------------------------------------------------------------- recurrence
+
+TEST(Recurrence, RohatgiClosedForm) {
+    // Interior of the only path root->i has i-2 vertices (root adjacent to
+    // vertex 1): q_i = (1-p)^(i-1) in hop terms -> q_min = (1-p)^(n-2).
+    const double p = 0.2;
+    const std::size_t n = 12;
+    const auto dg = make_rohatgi(n);
+    const auto prob = recurrence_auth_prob(dg, p);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_NEAR(prob.q[i], std::pow(1.0 - p, static_cast<double>(i - 1)), 1e-12) << i;
+    EXPECT_NEAR(prob.q_min, std::pow(1.0 - p, static_cast<double>(n - 2)), 1e-12);
+}
+
+TEST(Recurrence, AuthTreeIsLossProof) {
+    const auto prob = recurrence_auth_prob(make_auth_tree(32), 0.5);
+    EXPECT_DOUBLE_EQ(prob.q_min, 1.0);
+}
+
+TEST(Recurrence, MatchesPaperEq8ForEmss21) {
+    // Eq. 8: q_i = 1 - [1-(1-p)q_{i-1}][1-(1-p)q_{i-2}], q_1 = q_2 = 1.
+    const double p = 0.25;
+    const std::size_t n = 40;
+    const auto prob = recurrence_auth_prob(make_emss(n, 2, 1), p);
+    std::vector<double> expected(n, 1.0);
+    for (std::size_t i = 3; i < n; ++i)
+        expected[i] = 1.0 - (1.0 - (1.0 - p) * expected[i - 1]) *
+                                (1.0 - (1.0 - p) * expected[i - 2]);
+    for (std::size_t i = 1; i < n; ++i) EXPECT_NEAR(prob.q[i], expected[i], 1e-12) << i;
+}
+
+TEST(Recurrence, Eq8FixedPointForLargeBlocks) {
+    // For E_{2,1} the recurrence converges to q* solving
+    // q = 1 - (1 - (1-p)q)^2, i.e. q* = (2(1-p) - 1) / (1-p)^2 for p < 1/2.
+    const double p = 0.3;
+    const auto prob = recurrence_auth_prob(make_emss(2000, 2, 1), p);
+    const double s = 1.0 - p;
+    const double fixed_point = (2.0 * s - 1.0) / (s * s);
+    EXPECT_NEAR(prob.q_min, fixed_point, 1e-6);
+}
+
+TEST(Recurrence, MatchesPaperEq10ForAugmentedChain) {
+    // Literal two-level recurrence of Eq. 10 vs the generic engine on the
+    // constructed topology. n = K(b+1)+1 keeps every group complete (no
+    // tail clamp), matching the equation's assumptions exactly.
+    const double p = 0.3;
+    const std::size_t a = 3, b = 2, groups = 10;
+    const std::size_t g = b + 1;
+    const std::size_t n = groups * g + 1;
+    const double s = 1.0 - p;
+
+    std::vector<double> q(n, 0.0);
+    q[0] = 1.0;
+    auto factor = [&](std::size_t u) { return u == 0 ? q[u] : s * q[u]; };
+    // First level (chain vertices, ascending x).
+    for (std::size_t x = 1; x * g < n; ++x) {
+        const std::size_t near = (x - 1) * g;
+        const std::size_t far = x >= a ? (x - a) * g : 0;
+        if (near == far) {
+            q[x * g] = factor(near);
+        } else {
+            q[x * g] = 1.0 - (1.0 - factor(near)) * (1.0 - factor(far));
+        }
+    }
+    // Second level (inserted, descending y so (x, y+1) is ready).
+    for (std::size_t x = 0; x < groups; ++x) {
+        for (std::size_t y = b; y >= 1; --y) {
+            const std::size_t i = x * g + y;
+            const std::size_t neighbour = (y < b) ? i + 1 : (x + 1) * g;
+            q[i] = 1.0 - (1.0 - factor(neighbour)) * (1.0 - factor(x * g));
+        }
+    }
+
+    const auto engine = recurrence_auth_prob(make_augmented_chain(n, a, b), p);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(engine.q[i], q[i], 1e-12) << i;
+}
+
+TEST(Recurrence, ZeroLossGivesCertainty) {
+    for (std::size_t n : {8u, 33u}) {
+        EXPECT_DOUBLE_EQ(recurrence_auth_prob(make_emss(n, 2, 1), 0.0).q_min, 1.0);
+        EXPECT_DOUBLE_EQ(recurrence_auth_prob(make_rohatgi(n), 0.0).q_min, 1.0);
+    }
+}
+
+TEST(Recurrence, TotalLossKillsEverythingBeyondRootEdges) {
+    const auto prob = recurrence_auth_prob(make_rohatgi(5), 1.0);
+    EXPECT_DOUBLE_EQ(prob.q[1], 1.0);  // directly carried by P_sign
+    EXPECT_DOUBLE_EQ(prob.q[2], 0.0);
+}
+
+TEST(Recurrence, MonotoneInLossRate) {
+    const auto dg = make_augmented_chain(100, 3, 3);
+    double last = 1.1;
+    for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        const double q = recurrence_auth_prob(dg, p).q_min;
+        EXPECT_LT(q, last + 1e-12) << p;
+        last = q;
+    }
+}
+
+// ------------------------------------------------------------------ exact
+
+TEST(Exact, AgreesWithRecurrenceOnTreeLikeGraphs) {
+    // Where paths never share interior vertices the independence
+    // approximation is exact: Rohatgi (single path) and the star.
+    for (double p : {0.1, 0.4}) {
+        const auto chain = make_rohatgi(12);
+        const auto exact = exact_auth_prob(chain, p);
+        const auto rec = recurrence_auth_prob(chain, p);
+        for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(exact.q[i], rec.q[i], 1e-9);
+    }
+}
+
+TEST(Exact, RecurrenceIsUpperBoundWhenPathsShare) {
+    // Shared interior vertices correlate path failures positively, so the
+    // paper's independence recurrence OVERESTIMATES q (documented finding).
+    for (double p : {0.1, 0.3, 0.5}) {
+        const auto dg = make_emss(14, 2, 1);
+        const auto exact = exact_auth_prob(dg, p);
+        const auto rec = recurrence_auth_prob(dg, p);
+        for (std::size_t i = 1; i < 14; ++i)
+            EXPECT_GE(rec.q[i] + 1e-9, exact.q[i]) << "p=" << p << " i=" << i;
+        EXPECT_GE(rec.q_min + 1e-9, exact.q_min);
+    }
+}
+
+TEST(Exact, RejectsOversizedBlocks) {
+    EXPECT_THROW(exact_auth_prob(make_emss(30, 2, 1), 0.1), std::invalid_argument);
+}
+
+TEST(Exact, DegenerateLossRates) {
+    const auto dg = make_emss(10, 2, 1);
+    EXPECT_DOUBLE_EQ(exact_auth_prob(dg, 0.0).q_min, 1.0);
+    const auto all_lost = exact_auth_prob(dg, 1.0);
+    EXPECT_DOUBLE_EQ(all_lost.q[1], 1.0);  // root-adjacent survives
+    EXPECT_DOUBLE_EQ(all_lost.q[5], 0.0);
+}
+
+// ------------------------------------------------------------ monte carlo
+
+class McVsExact : public ::testing::TestWithParam<double> {};
+
+TEST_P(McVsExact, AgreesWithinConfidence) {
+    const double p = GetParam();
+    const auto dg = make_augmented_chain(18, 2, 2);
+    const auto exact = exact_auth_prob(dg, p);
+    Rng rng(123);
+    BernoulliLoss loss(p);
+    const auto mc = monte_carlo_auth_prob(dg, loss, rng, 60000);
+    for (std::size_t i = 1; i < 18; ++i)
+        EXPECT_NEAR(mc.q[i], exact.q[i], 0.015) << "i=" << i;
+    EXPECT_NEAR(mc.q_min, exact.q_min, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, McVsExact, ::testing::Values(0.05, 0.1, 0.3, 0.5));
+
+TEST(MonteCarlo, HalfwidthShrinksWithTrials) {
+    const auto dg = make_emss(30, 2, 1);
+    Rng rng(5);
+    BernoulliLoss loss(0.3);
+    const auto small = monte_carlo_auth_prob(dg, loss, rng, 500);
+    const auto large = monte_carlo_auth_prob(dg, loss, rng, 50000);
+    EXPECT_GT(small.q_min_halfwidth, large.q_min_halfwidth);
+}
+
+TEST(MonteCarlo, WorksWithBurstyLoss) {
+    const auto dg = make_emss(60, 2, 1);
+    Rng rng(6);
+    auto bursty = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+    const auto mc = monte_carlo_auth_prob(dg, bursty, rng, 20000);
+    EXPECT_GT(mc.q_min, 0.0);
+    EXPECT_LT(mc.q_min, 1.0);
+    // Bursts of ~4 kill E_{2,1}'s short links far harder than i.i.d. loss
+    // at the same rate — the effect the augmented chain was designed for.
+    BernoulliLoss iid(0.2);
+    const auto mc_iid = monte_carlo_auth_prob(dg, iid, rng, 20000);
+    EXPECT_LT(mc.q_min, mc_iid.q_min);
+}
+
+// ----------------------------------------------------------------- bounds
+
+class BoundsContainExact : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundsContainExact, Eq1Sandwich) {
+    const double p = GetParam();
+    for (auto make : {+[](std::size_t n) { return make_emss(n, 2, 1); },
+                      +[](std::size_t n) { return make_augmented_chain(n, 2, 2); },
+                      +[](std::size_t n) { return make_rohatgi(n); }}) {
+        const auto dg = make(16);
+        const auto exact = exact_auth_prob(dg, p);
+        const auto bounds = bounds_auth_prob(dg, p);
+        for (std::size_t i = 1; i < 16; ++i) {
+            EXPECT_LE(bounds.lower[i], exact.q[i] + 1e-9) << "i=" << i << " p=" << p;
+            EXPECT_GE(bounds.upper[i] + 1e-9, exact.q[i]) << "i=" << i << " p=" << p;
+        }
+        EXPECT_LE(bounds.q_min_lower, exact.q_min + 1e-9);
+        EXPECT_GE(bounds.q_min_upper + 1e-9, exact.q_min);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, BoundsContainExact, ::testing::Values(0.1, 0.3, 0.6));
+
+TEST(Bounds, UnreachableVertexBoundsAreZero) {
+    DependenceGraph dg(3, {0, 1, 2}, "broken");
+    dg.add_dependence(0, 1);  // vertex 2 unreachable
+    const auto bounds = bounds_auth_prob(dg, 0.1);
+    EXPECT_DOUBLE_EQ(bounds.lower[2], 0.0);
+    EXPECT_DOUBLE_EQ(bounds.upper[2], 0.0);
+}
+
+// ------------------------------------------------------------------ tesla
+
+TEST(TeslaAnalysis, Eq7ClosedForm) {
+    TeslaParams params;
+    params.n = 500;
+    params.p = 0.2;
+    params.t_disclose = 1.0;
+    params.mu = 0.4;
+    params.sigma = 0.15;
+    const auto analysis = analyze_tesla(params);
+    const double xi = 0.5 * std::erfc(-(1.0 - 0.4) / (0.15 * std::sqrt(2.0)));
+    EXPECT_NEAR(analysis.xi, xi, 1e-12);
+    EXPECT_NEAR(analysis.q_min, (1.0 - 0.2) * xi, 1e-12);
+    // Eq. 6 per packet: λ_i = 1 - p^(n+1-i).
+    EXPECT_NEAR(analysis.q[params.n - 1], (1.0 - 0.2) * xi, 1e-12);
+    EXPECT_NEAR(analysis.q[0], (1.0 - std::pow(0.2, 500.0)) * xi, 1e-12);
+}
+
+TEST(TeslaAnalysis, DelayModelOverload) {
+    TeslaParams params;
+    params.t_disclose = 2.0;
+    params.p = 0.1;
+    const ShiftedExponentialDelay delay(0.5, 0.5);
+    const auto analysis = analyze_tesla(params, delay);
+    EXPECT_NEAR(analysis.xi, delay.cdf(2.0), 1e-12);
+}
+
+TEST(TeslaAnalysis, ZeroJitterStepFunction) {
+    TeslaParams params;
+    params.sigma = 0.0;
+    params.mu = 0.5;
+    params.t_disclose = 1.0;
+    EXPECT_NEAR(analyze_tesla(params).xi, 1.0, 1e-12);
+    params.mu = 1.5;
+    EXPECT_NEAR(analyze_tesla(params).xi, 0.0, 1e-12);
+}
+
+TEST(TeslaMonteCarlo, MatchesClosedForm) {
+    TeslaParams params;
+    params.n = 300;
+    params.p = 0.3;
+    params.t_disclose = 1.0;
+    params.mu = 0.5;
+    params.sigma = 0.2;
+    const auto analysis = analyze_tesla(params);
+    Rng rng(9);
+    BernoulliLoss loss(params.p);
+    GaussianDelay delay(params.mu, params.sigma);
+    const auto mc = monte_carlo_tesla(params, loss, delay, rng, 30000);
+    EXPECT_NEAR(mc.q_min, analysis.q_min, 0.02);
+}
+
+TEST(TeslaDesign, RequiredDisclosureDelayRoundTrips) {
+    // Solve for T, then verify Eq. 7 hits the target exactly.
+    const double mu = 0.3, sigma = 0.12, p = 0.2;
+    for (double target : {0.5, 0.7, 0.75, 0.79}) {
+        const double t = required_disclosure_delay(mu, sigma, p, target);
+        ASSERT_TRUE(std::isfinite(t)) << target;
+        TeslaParams params;
+        params.t_disclose = t;
+        params.mu = mu;
+        params.sigma = sigma;
+        params.p = p;
+        EXPECT_NEAR(analyze_tesla(params).q_min, target, 1e-6) << target;
+    }
+}
+
+TEST(TeslaDesign, UnreachableTargetIsInfinite) {
+    // q_min can never exceed 1 - p.
+    EXPECT_FALSE(std::isfinite(required_disclosure_delay(0.3, 0.1, 0.2, 0.85)));
+    EXPECT_FALSE(std::isfinite(required_disclosure_delay(0.3, 0.1, 0.2, 0.80)));
+}
+
+TEST(TeslaDesign, ZeroJitterNeedsOnlyMeanDelay) {
+    EXPECT_DOUBLE_EQ(required_disclosure_delay(0.4, 0.0, 0.1, 0.5), 0.4);
+}
+
+TEST(TeslaDesign, MonotoneInTarget) {
+    double last = 0.0;
+    for (double target : {0.3, 0.5, 0.6, 0.7}) {
+        const double t = required_disclosure_delay(0.2, 0.1, 0.2, target);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(TeslaGraph, StructureMatchesSection32) {
+    const auto tg = make_tesla_graph(4, 2);
+    EXPECT_EQ(tg.graph.vertex_count(), 9u);
+    // Bootstrap reaches every key node.
+    for (std::size_t i = 1; i <= 4; ++i)
+        EXPECT_TRUE(tg.graph.has_edge(tg.root, tg.key_node(i)));
+    // K_j covers P_i exactly when j >= i.
+    for (std::size_t i = 1; i <= 4; ++i)
+        for (std::size_t j = 1; j <= 4; ++j)
+            EXPECT_EQ(tg.graph.has_edge(tg.key_node(j), tg.message_node(i)), j >= i)
+                << i << "," << j;
+    EXPECT_EQ(tg.labels[tg.message_node(2)], "P2");
+    EXPECT_EQ(tg.labels[tg.key_node(3)], "K(3,2)");
+}
+
+}  // namespace
+}  // namespace mcauth

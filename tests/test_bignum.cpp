@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+Bignum random_bignum(Rng& rng, std::size_t max_bytes) {
+    const std::size_t len = 1 + rng.uniform_below(max_bytes);
+    return Bignum::from_bytes(rng.bytes(len));
+}
+
+// ---------------------------------------------------------- construction
+
+TEST(Bignum, ZeroProperties) {
+    const Bignum z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_FALSE(z.is_odd());
+    EXPECT_EQ(z.bit_length(), 0u);
+    EXPECT_EQ(z.to_u64(), 0u);
+    EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(Bignum, FromU64RoundTrip) {
+    for (std::uint64_t v : {0ULL, 1ULL, 255ULL, 0x100000000ULL, 0xdeadbeefcafebabeULL}) {
+        EXPECT_EQ(Bignum(v).to_u64(), v);
+    }
+}
+
+TEST(Bignum, HexRoundTrip) {
+    const char* cases[] = {"1", "ff", "123456789abcdef0", "1000000000000000000000001"};
+    for (const char* hex : cases) {
+        EXPECT_EQ(Bignum::from_hex(hex).to_hex(), hex);
+    }
+}
+
+TEST(Bignum, BytesRoundTripIgnoresLeadingZeros) {
+    const std::vector<std::uint8_t> bytes{0x00, 0x00, 0x12, 0x34};
+    const Bignum b = Bignum::from_bytes(bytes);
+    EXPECT_EQ(b.to_u64(), 0x1234u);
+    EXPECT_EQ(b.to_bytes(4), bytes);
+    EXPECT_THROW(b.to_bytes(1), std::invalid_argument);  // does not fit
+}
+
+TEST(Bignum, BitAccess) {
+    const Bignum b = Bignum::from_hex("8000000001");
+    EXPECT_TRUE(b.bit(0));
+    EXPECT_FALSE(b.bit(1));
+    EXPECT_TRUE(b.bit(39));
+    EXPECT_FALSE(b.bit(100));
+    EXPECT_EQ(b.bit_length(), 40u);
+}
+
+// ------------------------------------------------------------ comparison
+
+TEST(Bignum, CompareTotalOrder) {
+    const Bignum a(5), b(7), c = Bignum::from_hex("100000000000000000");
+    EXPECT_LT(a, b);
+    EXPECT_GT(c, b);
+    EXPECT_EQ(a, Bignum(5));
+    EXPECT_LE(a, a);
+    EXPECT_GE(c, a);
+    EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------ arithmetic
+
+TEST(Bignum, SmallArithmetic) {
+    EXPECT_EQ(Bignum(3).add(Bignum(4)).to_u64(), 7u);
+    EXPECT_EQ(Bignum(10).sub(Bignum(4)).to_u64(), 6u);
+    EXPECT_EQ(Bignum(6).mul(Bignum(7)).to_u64(), 42u);
+}
+
+TEST(Bignum, CarryPropagation) {
+    const Bignum max32 = Bignum(0xffffffffULL);
+    EXPECT_EQ(max32.add(Bignum(1)).to_u64(), 0x100000000ULL);
+    const Bignum max64 = Bignum(0xffffffffffffffffULL);
+    EXPECT_EQ(max64.add(Bignum(1)).to_hex(), "10000000000000000");
+}
+
+TEST(Bignum, SubRequiresOrdering) {
+    EXPECT_THROW(Bignum(3).sub(Bignum(4)), std::invalid_argument);
+}
+
+TEST(Bignum, AdditionPropertiesRandomized) {
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        const Bignum a = random_bignum(rng, 40);
+        const Bignum b = random_bignum(rng, 40);
+        EXPECT_EQ(a.add(b), b.add(a));              // commutative
+        EXPECT_EQ(a.add(b).sub(b), a);              // inverse
+        EXPECT_EQ(a.add(Bignum()), a);              // identity
+    }
+}
+
+TEST(Bignum, MultiplicationPropertiesRandomized) {
+    Rng rng(43);
+    for (int i = 0; i < 100; ++i) {
+        const Bignum a = random_bignum(rng, 24);
+        const Bignum b = random_bignum(rng, 24);
+        const Bignum c = random_bignum(rng, 24);
+        EXPECT_EQ(a.mul(b), b.mul(a));                         // commutative
+        EXPECT_EQ(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));    // distributive
+        EXPECT_EQ(a.mul(Bignum(1)), a);                        // identity
+        EXPECT_TRUE(a.mul(Bignum()).is_zero());                // annihilator
+    }
+}
+
+TEST(Bignum, ShiftsInverse) {
+    Rng rng(44);
+    for (int i = 0; i < 100; ++i) {
+        const Bignum a = random_bignum(rng, 20);
+        const std::size_t s = rng.uniform_below(70);
+        EXPECT_EQ(a.shifted_left(s).shifted_right(s), a);
+    }
+}
+
+TEST(Bignum, ShiftLeftIsMulByPowerOfTwo) {
+    const Bignum a = Bignum::from_hex("deadbeef");
+    EXPECT_EQ(a.shifted_left(33), a.mul(Bignum(1ULL << 33)));
+}
+
+// --------------------------------------------------------------- division
+
+TEST(Bignum, DivModIdentityRandomized) {
+    Rng rng(45);
+    for (int i = 0; i < 300; ++i) {
+        const Bignum a = random_bignum(rng, 48);
+        Bignum b = random_bignum(rng, 24);
+        if (b.is_zero()) b = Bignum(1);
+        const auto qr = a.divmod(b);
+        EXPECT_EQ(qr.quotient.mul(b).add(qr.remainder), a);
+        EXPECT_LT(qr.remainder, b);
+    }
+}
+
+TEST(Bignum, DivModSmallDivisor) {
+    const Bignum a = Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+    const auto qr = a.divmod(Bignum(7));
+    EXPECT_EQ(qr.quotient.mul(Bignum(7)).add(qr.remainder), a);
+    EXPECT_LT(qr.remainder.to_u64(), 7u);
+}
+
+TEST(Bignum, DivByLargerGivesZeroQuotient) {
+    const auto qr = Bignum(5).divmod(Bignum(100));
+    EXPECT_TRUE(qr.quotient.is_zero());
+    EXPECT_EQ(qr.remainder.to_u64(), 5u);
+}
+
+TEST(Bignum, DivByZeroThrows) {
+    EXPECT_THROW(Bignum(5).divmod(Bignum()), std::invalid_argument);
+}
+
+// Known regression trap for Algorithm D's rare add-back branch: dividends
+// engineered so the trial quotient overestimates.
+TEST(Bignum, KnuthAddBackCase) {
+    const Bignum u = Bignum::from_hex("7fffffff800000010000000000000000");
+    const Bignum v = Bignum::from_hex("800000008000000200000005");
+    const auto qr = u.divmod(v);
+    EXPECT_EQ(qr.quotient.mul(v).add(qr.remainder), u);
+    EXPECT_LT(qr.remainder, v);
+}
+
+// ---------------------------------------------------------------- modular
+
+TEST(Bignum, ModPowKnownValues) {
+    // 3^200 mod 1e9+7 (independently computed)
+    EXPECT_EQ(Bignum::mod_pow(Bignum(3), Bignum(200), Bignum(1000000007)).to_u64(),
+              136318165u);
+    EXPECT_EQ(Bignum::mod_pow(Bignum(2), Bignum(10), Bignum(1000)).to_u64(), 24u);
+    EXPECT_TRUE(Bignum::mod_pow(Bignum(5), Bignum(3), Bignum(1)).is_zero());
+}
+
+TEST(Bignum, ModPowMatchesNaiveRandomized) {
+    Rng rng(46);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t base = rng.uniform_below(1000) + 1;
+        const std::uint64_t exp = rng.uniform_below(30);
+        const std::uint64_t mod = rng.uniform_below(10000) + 2;
+        std::uint64_t expected = 1 % mod;
+        for (std::uint64_t k = 0; k < exp; ++k) expected = expected * base % mod;
+        EXPECT_EQ(Bignum::mod_pow(Bignum(base), Bignum(exp), Bignum(mod)).to_u64(), expected)
+            << base << "^" << exp << " mod " << mod;
+    }
+}
+
+TEST(Bignum, FermatLittleTheorem) {
+    // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+    const Bignum p(1000000007);
+    Rng rng(47);
+    for (int i = 0; i < 20; ++i) {
+        const Bignum a(rng.uniform_below(1000000006) + 1);
+        EXPECT_EQ(Bignum::mod_pow(a, Bignum(1000000006), p), Bignum(1));
+    }
+}
+
+TEST(Bignum, GcdKnownValues) {
+    EXPECT_EQ(Bignum::gcd(Bignum(12), Bignum(18)).to_u64(), 6u);
+    EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(5)).to_u64(), 1u);
+    EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)).to_u64(), 5u);
+}
+
+TEST(Bignum, ModInverseRandomized) {
+    Rng rng(48);
+    const Bignum m(1000000007);  // prime modulus: every nonzero a invertible
+    for (int i = 0; i < 100; ++i) {
+        const Bignum a(rng.uniform_below(1000000006) + 1);
+        const Bignum inv = Bignum::mod_inverse(a, m);
+        EXPECT_EQ(Bignum::mod_mul(a, inv, m), Bignum(1));
+    }
+}
+
+TEST(Bignum, ModInverseCompositeModulus) {
+    // 3 and 10 coprime: inverse exists; 4 and 10 not coprime: throws.
+    EXPECT_EQ(Bignum::mod_inverse(Bignum(3), Bignum(10)).to_u64(), 7u);
+    EXPECT_THROW(Bignum::mod_inverse(Bignum(4), Bignum(10)), std::domain_error);
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(Bignum, RandomBelowStaysBelow) {
+    Rng rng(49);
+    const Bignum bound = Bignum::from_hex("10000000000000001");
+    for (int i = 0; i < 200; ++i) EXPECT_LT(Bignum::random_below(rng, bound), bound);
+}
+
+TEST(Bignum, RandomBitsHasExactWidth) {
+    Rng rng(50);
+    for (std::size_t bits : {8u, 17u, 64u, 127u, 256u}) {
+        EXPECT_EQ(Bignum::random_bits(rng, bits).bit_length(), bits);
+    }
+}
+
+// ------------------------------------------------------------- primality
+
+TEST(Bignum, KnownPrimesPass) {
+    Rng rng(51);
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 7919ULL, 1000000007ULL, 2147483647ULL}) {
+        EXPECT_TRUE(Bignum::is_probable_prime(Bignum(p), rng)) << p;
+    }
+}
+
+TEST(Bignum, KnownCompositesFail) {
+    Rng rng(52);
+    // Includes Carmichael numbers (561, 41041) that fool Fermat tests.
+    for (std::uint64_t c : {1ULL, 4ULL, 561ULL, 41041ULL, 1000000008ULL,
+                            2147483647ULL * 3ULL}) {
+        EXPECT_FALSE(Bignum::is_probable_prime(Bignum(c), rng)) << c;
+    }
+}
+
+TEST(Bignum, GeneratePrimeHasWidthAndPasses) {
+    Rng rng(53);
+    const Bignum p = Bignum::generate_prime(rng, 128, 16);
+    EXPECT_EQ(p.bit_length(), 128u);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(Bignum::is_probable_prime(p, rng));
+}
+
+}  // namespace
+}  // namespace mcauth

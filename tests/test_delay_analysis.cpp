@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/delay_analysis.hpp"
+#include "core/topologies.hpp"
+
+namespace mcauth {
+namespace {
+
+SchemeParams params() {
+    SchemeParams p;
+    p.t_transmit = 0.01;
+    return p;
+}
+
+// ----------------------------------------------------------- completion
+
+TEST(CompletionTimes, DeterministicChainCompletesOnArrival) {
+    const auto dg = make_rohatgi(6);
+    std::vector<double> arrival(6);
+    for (VertexId v = 0; v < 6; ++v) arrival[v] = 0.01 * dg.send_pos(v);
+    const auto completion = completion_times(dg, arrival);
+    for (VertexId v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(completion[v], arrival[v]);
+}
+
+TEST(CompletionTimes, SignLastWaitsForSignature) {
+    const auto dg = make_emss(6, 2, 1);
+    std::vector<double> arrival(6);
+    for (VertexId v = 0; v < 6; ++v) arrival[v] = 0.01 * dg.send_pos(v);
+    const auto completion = completion_times(dg, arrival);
+    const double signature_arrival = arrival[DependenceGraph::root()];
+    for (VertexId v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(completion[v], signature_arrival);
+}
+
+TEST(CompletionTimes, PicksTheFasterPath) {
+    // Diamond where one branch is late: completion uses the early branch.
+    DependenceGraph dg(4, {0, 1, 2, 3}, "diamond");
+    dg.add_dependence(0, 1);
+    dg.add_dependence(0, 2);
+    dg.add_dependence(1, 3);
+    dg.add_dependence(2, 3);
+    const std::vector<double> arrival{0.0, 0.5, 9.0, 0.6};
+    const auto completion = completion_times(dg, arrival);
+    EXPECT_DOUBLE_EQ(completion[3], 0.6);  // via vertex 1, not the late vertex 2
+}
+
+TEST(CompletionTimes, UnreachableIsInfinite) {
+    DependenceGraph dg(3, {0, 1, 2}, "broken");
+    dg.add_dependence(0, 1);
+    const auto completion = completion_times(dg, {0.0, 0.1, 0.2});
+    EXPECT_FALSE(std::isfinite(completion[2]));
+}
+
+// ----------------------------------------------------------- distribution
+
+TEST(DelayDistribution, ZeroJitterReproducesEq4) {
+    // With a constant network delay the random component vanishes and the
+    // distribution collapses onto the deterministic Eq. 4 values.
+    const auto dg = make_emss(20, 2, 1);
+    ConstantDelay no_jitter(0.05);
+    Rng rng(1);
+    const auto dist = receiver_delay_distribution(dg, params(), no_jitter, rng, 50);
+    const auto metrics = compute_metrics(dg, params());
+    for (VertexId v = 0; v < 20; ++v) {
+        EXPECT_NEAR(dist.mean[v], metrics.receiver_delay[v], 1e-9) << v;
+        EXPECT_NEAR(dist.p95[v], metrics.receiver_delay[v], 1e-9) << v;
+    }
+    EXPECT_NEAR(dist.worst_mean, metrics.max_receiver_delay, 1e-9);
+}
+
+TEST(DelayDistribution, JitterAddsRandomComponentToSignFirstChains) {
+    // Rohatgi has t_d = 0, but out-of-order arrival makes the total delay
+    // positive — the paper's "random component exists in networks which may
+    // provide out-of-order deliveries".
+    const auto dg = make_rohatgi(20);
+    GaussianDelay jitter(0.05, 0.02);  // jitter comparable to pacing
+    Rng rng(2);
+    const auto dist = receiver_delay_distribution(dg, params(), jitter, rng, 500);
+    EXPECT_GT(dist.worst_mean, 0.0);
+    EXPECT_GT(dist.worst_p95, dist.worst_mean);
+}
+
+TEST(DelayDistribution, MoreJitterMoreDelay) {
+    const auto dg = make_rohatgi(20);
+    Rng rng(3);
+    GaussianDelay small(0.05, 0.005);
+    const auto low = receiver_delay_distribution(dg, params(), small, rng, 400);
+    GaussianDelay large(0.05, 0.05);
+    const auto high = receiver_delay_distribution(dg, params(), large, rng, 400);
+    EXPECT_LT(low.worst_mean, high.worst_mean);
+}
+
+TEST(DelayDistribution, SignLastDelayDominatedByDeterministicPart) {
+    // For EMSS the block-length wait dwarfs jitter: mean ~ Eq. 4 value.
+    const auto dg = make_emss(40, 2, 1);
+    GaussianDelay jitter(0.05, 0.01);
+    Rng rng(4);
+    const auto dist = receiver_delay_distribution(dg, params(), jitter, rng, 300);
+    const auto metrics = compute_metrics(dg, params());
+    EXPECT_NEAR(dist.worst_mean, metrics.max_receiver_delay, 0.03);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/dependence_graph.hpp"
+
+namespace mcauth {
+namespace {
+
+std::vector<std::uint32_t> identity_pos(std::size_t n) {
+    std::vector<std::uint32_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[i] = static_cast<std::uint32_t>(i);
+    return pos;
+}
+
+std::vector<std::uint32_t> reversed_pos(std::size_t n) {
+    std::vector<std::uint32_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[i] = static_cast<std::uint32_t>(n - 1 - i);
+    return pos;
+}
+
+TEST(DependenceGraph, ConstructionValidatesPermutation) {
+    EXPECT_THROW(DependenceGraph(3, {0, 0, 1}, "dup"), std::invalid_argument);
+    EXPECT_THROW(DependenceGraph(3, {0, 1, 5}, "range"), std::invalid_argument);
+    EXPECT_THROW(DependenceGraph(3, {0, 1}, "short"), std::invalid_argument);
+    EXPECT_NO_THROW(DependenceGraph(3, {2, 0, 1}, "ok"));
+}
+
+TEST(DependenceGraph, SendPosLookupIsInverse) {
+    const DependenceGraph dg(5, reversed_pos(5), "t");
+    for (VertexId v = 0; v < 5; ++v)
+        EXPECT_EQ(dg.vertex_at_send_pos(dg.send_pos(v)), v);
+}
+
+TEST(DependenceGraph, LabelIsSendPosDifference) {
+    DependenceGraph dg(4, reversed_pos(4), "t");
+    dg.add_dependence(0, 1);
+    // vertex 0 at pos 3, vertex 1 at pos 2: label = 3 - 2 = 1 (carrier later)
+    EXPECT_EQ(dg.label(0, 1), 1);
+    DependenceGraph fw(4, identity_pos(4), "t");
+    fw.add_dependence(0, 1);
+    EXPECT_EQ(fw.label(0, 1), -1);  // carrier earlier
+}
+
+TEST(DependenceGraph, ValidityRequiresReachability) {
+    DependenceGraph dg(3, identity_pos(3), "t");
+    dg.add_dependence(0, 1);
+    EXPECT_FALSE(dg.is_valid());
+    const auto unreachable = dg.unreachable_vertices();
+    ASSERT_EQ(unreachable.size(), 1u);
+    EXPECT_EQ(unreachable[0], 2u);
+    dg.add_dependence(1, 2);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_TRUE(dg.unreachable_vertices().empty());
+}
+
+TEST(DependenceGraph, DuplicateDependenceRejected) {
+    DependenceGraph dg(3, identity_pos(3), "t");
+    EXPECT_TRUE(dg.add_dependence(0, 1));
+    EXPECT_FALSE(dg.add_dependence(0, 1));
+}
+
+TEST(DependenceGraph, VerifiableGivenChain) {
+    DependenceGraph dg(4, identity_pos(4), "chain");
+    dg.add_dependence(0, 1);
+    dg.add_dependence(1, 2);
+    dg.add_dependence(2, 3);
+
+    // All received: everything verifiable.
+    auto v = dg.verifiable_given({true, true, true, true});
+    EXPECT_TRUE(v[1] && v[2] && v[3]);
+
+    // Middle lost: chain broken downstream of the break.
+    v = dg.verifiable_given({true, true, false, true});
+    EXPECT_TRUE(v[1]);
+    EXPECT_FALSE(v[2]);  // lost packets are never verifiable
+    EXPECT_FALSE(v[3]);  // path broken
+}
+
+TEST(DependenceGraph, VerifiableGivenDiamondSurvivesOneLoss) {
+    DependenceGraph dg(4, identity_pos(4), "diamond");
+    dg.add_dependence(0, 1);
+    dg.add_dependence(0, 2);
+    dg.add_dependence(1, 3);
+    dg.add_dependence(2, 3);
+    const auto v = dg.verifiable_given({true, false, true, true});
+    EXPECT_TRUE(v[3]);  // survives via vertex 2
+}
+
+TEST(DependenceGraph, RootAssumedDeliveredEvenIfMarkedLost) {
+    DependenceGraph dg(2, identity_pos(2), "t");
+    dg.add_dependence(0, 1);
+    const auto v = dg.verifiable_given({false, true});
+    EXPECT_TRUE(v[1]);  // P_sign assumption (§3)
+}
+
+TEST(DependenceGraph, VerifiableGivenRejectsWrongSize) {
+    DependenceGraph dg(2, identity_pos(2), "t");
+    dg.add_dependence(0, 1);
+    EXPECT_THROW(dg.verifiable_given({true}), std::invalid_argument);
+}
+
+TEST(DependenceGraph, SingleVertexGraphIsValid) {
+    const DependenceGraph dg(1, {0}, "solo");
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_TRUE(dg.verifiable_given({true})[0]);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "design/constructors.hpp"
+#include "design/optimizer.hpp"
+
+namespace mcauth {
+namespace {
+
+DesignGoal goal(std::size_t n, double p, double target) {
+    DesignGoal g;
+    g.n = n;
+    g.p = p;
+    g.target_q_min = target;
+    return g;
+}
+
+// ------------------------------------------------------------------ greedy
+
+TEST(GreedyDesign, MeetsTargetWhenFeasible) {
+    const DesignGoal g = goal(64, 0.2, 0.9);
+    const auto dg = design_greedy(g);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_GE(recurrence_auth_prob(dg, g.p).q_min, g.target_q_min);
+}
+
+TEST(GreedyDesign, BeatsEmssEdgeBudgetForModestTargets) {
+    // The plain chain starts at q_min ~ 0.95^62 ~ 0.04, E_{2,1} would spend
+    // ~2n edges to reach ~0.997; a target of 0.5 should cost the greedy
+    // designer strictly less than the uniform-2-links budget.
+    const DesignGoal easy = goal(64, 0.05, 0.5);
+    const auto dg = design_greedy(easy);
+    EXPECT_GE(recurrence_auth_prob(dg, easy.p).q_min, easy.target_q_min);
+    EXPECT_LT(dg.graph().edge_count(), 125u);  // EMSS E_{2,1} budget at n=64
+    EXPECT_GT(dg.graph().edge_count(), 63u);   // more than the bare chain
+}
+
+TEST(GreedyDesign, EdgeBudgetGrowsWithDifficulty) {
+    const auto lax = design_greedy(goal(64, 0.2, 0.7));
+    const auto strict = design_greedy(goal(64, 0.2, 0.97));
+    EXPECT_LT(lax.graph().edge_count(), strict.graph().edge_count());
+}
+
+TEST(GreedyDesign, RespectsEdgeCap) {
+    GreedyDesignOptions options;
+    options.max_edges = 70;
+    const auto dg = design_greedy(goal(64, 0.4, 0.999), options);
+    EXPECT_LE(dg.graph().edge_count(), 70u);
+}
+
+TEST(GreedyDesign, TrivialTargetReturnsChain) {
+    const auto dg = design_greedy(goal(32, 0.0, 0.9));
+    EXPECT_EQ(dg.graph().edge_count(), 31u);  // p = 0: the chain suffices
+}
+
+// ------------------------------------------------------------- offset sets
+
+TEST(OffsetDesign, FindsFeasibleSet) {
+    const DesignGoal g = goal(128, 0.2, 0.9);
+    const auto result = design_offset_set(g);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GE(result.q_min, g.target_q_min);
+    // Re-evaluate independently.
+    const auto dg = make_offset_scheme(g.n, result.offsets);
+    EXPECT_NEAR(recurrence_auth_prob(dg, g.p).q_min, result.q_min, 1e-12);
+}
+
+TEST(OffsetDesign, MinimalityAgainstBruteForceExpectation) {
+    // At p = 0.2 / target 0.9, a single offset cannot work (chain decays),
+    // so the optimum should use exactly 2 offsets.
+    const auto result = design_offset_set(goal(128, 0.2, 0.9));
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.offsets.size(), 2u);
+}
+
+TEST(OffsetDesign, InfeasibleTargetReported) {
+    // Loss rate 0.6 with target 0.999 cannot be met by the default menu.
+    const auto result = design_offset_set(goal(256, 0.6, 0.999));
+    EXPECT_FALSE(result.feasible);
+    EXPECT_TRUE(result.offsets.empty());
+}
+
+TEST(OffsetDesign, OversizedMenuRejected) {
+    std::vector<std::size_t> menu(17);
+    for (std::size_t i = 0; i < menu.size(); ++i) menu[i] = i + 1;
+    EXPECT_THROW(design_offset_set(goal(64, 0.2, 0.9), menu), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- random
+
+TEST(RandomDesign, FindsFeasibleEdgeProbability) {
+    Rng rng(500);
+    const DesignGoal g = goal(64, 0.2, 0.85);
+    const auto result = design_random(g, rng);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GT(result.edge_prob, 0.0);
+    EXPECT_LE(result.edge_prob, 1.0);
+}
+
+TEST(RandomDesign, HarderTargetNeedsDenserGraphs) {
+    Rng rng(501);
+    const auto lax = design_random(goal(64, 0.2, 0.7), rng);
+    Rng rng2(501);
+    const auto strict = design_random(goal(64, 0.2, 0.97), rng2);
+    ASSERT_TRUE(lax.feasible);
+    ASSERT_TRUE(strict.feasible);
+    EXPECT_LT(lax.edge_prob, strict.edge_prob);
+}
+
+// -------------------------------------------------------------- optimizer
+
+TEST(Optimizer, EvaluateDesignConsistency) {
+    Rng rng(502);
+    const DesignGoal g = goal(48, 0.2, 0.8);
+    const auto report = evaluate_design(make_emss(48, 2, 1), g, SchemeParams{}, rng, 3000);
+    EXPECT_EQ(report.edges, make_emss(48, 2, 1).graph().edge_count());
+    EXPECT_GT(report.q_min_recurrence, 0.0);
+    EXPECT_GT(report.q_min_monte_carlo, 0.0);
+    // Monte-Carlo (true value) never exceeds the optimistic recurrence by
+    // more than sampling noise.
+    EXPECT_LT(report.q_min_monte_carlo, report.q_min_recurrence + 0.05);
+}
+
+TEST(Optimizer, CompareProducesAllFamilies) {
+    Rng rng(503);
+    const auto reports = compare_designs(goal(48, 0.15, 0.85), SchemeParams{}, rng, 1500);
+    EXPECT_GE(reports.size(), 4u);
+    bool greedy_found = false;
+    for (const auto& r : reports) {
+        if (r.name == "greedy-design") {
+            greedy_found = true;
+            EXPECT_TRUE(r.meets_target);
+        }
+    }
+    EXPECT_TRUE(greedy_found);
+}
+
+}  // namespace
+}  // namespace mcauth

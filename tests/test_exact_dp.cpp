@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/authprob.hpp"
+#include "core/exact_dp.hpp"
+#include "core/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// ----------------------------------------------------------- MarkovChannel
+
+TEST(MarkovChannel, BernoulliBasics) {
+    const auto ch = MarkovChannel::bernoulli(0.3);
+    EXPECT_EQ(ch.states(), 1u);
+    EXPECT_NEAR(ch.stationary_loss_rate(), 0.3, 1e-12);
+    EXPECT_NEAR(ch.reversed()[0][0], 1.0, 1e-12);
+}
+
+TEST(MarkovChannel, GilbertElliottRateAndBurst) {
+    const auto ch = MarkovChannel::gilbert_elliott(0.2, 5.0);
+    EXPECT_EQ(ch.states(), 2u);
+    EXPECT_NEAR(ch.stationary_loss_rate(), 0.2, 1e-9);
+    // Mean burst = 1 / P(bad -> good).
+    EXPECT_NEAR(1.0 / ch.transition[1][0], 5.0, 1e-9);
+}
+
+TEST(MarkovChannel, ReversedIsStochasticAndPreservesPi) {
+    const auto ch = MarkovChannel::gilbert_elliott(0.25, 4.0);
+    const auto rev = ch.reversed();
+    for (const auto& row : rev) {
+        double sum = 0.0;
+        for (double x : row) sum += x;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+    // Two-state chains are reversible: the reversal equals the original.
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NEAR(rev[i][j], ch.transition[i][j], 1e-9);
+}
+
+TEST(MarkovChannel, ToLossModelMatchesRate) {
+    const auto ch = MarkovChannel::gilbert_elliott(0.15, 3.0);
+    const auto model = ch.to_loss_model();
+    EXPECT_NEAR(model->stationary_loss_rate(), 0.15, 1e-9);
+    // Stationary start: the empirical rate matches from packet one, without
+    // a good-state transient.
+    Rng rng(1);
+    std::size_t lost = 0;
+    const std::size_t trials = 200000;
+    for (std::size_t t = 0; t < trials; ++t) {
+        model->reset();
+        lost += model->lose_next(rng) ? 1 : 0;  // FIRST decision of each trial
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / trials, 0.15, 0.005);
+}
+
+// ------------------------------------------------------ DP vs ground truth
+
+struct DpCase {
+    std::vector<std::size_t> offsets;
+    double p;
+};
+
+class DpMatchesExhaustive : public ::testing::TestWithParam<DpCase> {};
+
+TEST_P(DpMatchesExhaustive, AllVerticesAgree) {
+    const auto& [offsets, p] = GetParam();
+    const std::size_t n = 16;
+    const auto dg = make_offset_scheme(n, offsets);
+    const auto brute = exact_auth_prob(dg, p);
+    const auto dp = exact_offset_auth_prob(n, offsets, MarkovChannel::bernoulli(p));
+    for (std::size_t v = 1; v < n; ++v)
+        EXPECT_NEAR(dp.q[v], brute.q[v], 1e-10) << "v=" << v;
+    EXPECT_NEAR(dp.q_min, brute.q_min, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DpMatchesExhaustive,
+                         ::testing::Values(DpCase{{1}, 0.2}, DpCase{{1, 2}, 0.1},
+                                           DpCase{{1, 2}, 0.3}, DpCase{{1, 2}, 0.5},
+                                           DpCase{{1, 3}, 0.3}, DpCase{{2, 5}, 0.3},
+                                           DpCase{{1, 2, 4}, 0.4}, DpCase{{1, 6}, 0.25}));
+
+TEST(ExactDp, RohatgiClosedFormUnderBernoulli) {
+    const double p = 0.25;
+    const auto dp = exact_offset_auth_prob(20, {1}, MarkovChannel::bernoulli(p));
+    for (std::size_t v = 1; v < 20; ++v)
+        EXPECT_NEAR(dp.q[v], std::pow(1.0 - p, static_cast<double>(v - 1)), 1e-12);
+}
+
+TEST(ExactDp, NeverExceedsPaperRecurrence) {
+    // Shared-path correlation only hurts: the exact value is bounded above
+    // by the paper's independence recurrence, at every vertex.
+    for (double p : {0.1, 0.3, 0.5}) {
+        const std::size_t n = 300;
+        const auto rec = recurrence_auth_prob(make_emss(n, 2, 1), p);
+        const auto dp = exact_offset_auth_prob(n, {1, 2}, MarkovChannel::bernoulli(p));
+        for (std::size_t v = 1; v < n; ++v)
+            EXPECT_LE(dp.q[v], rec.q[v] + 1e-9) << "p=" << p << " v=" << v;
+    }
+}
+
+TEST(ExactDp, MatchesMonteCarloUnderBurstyLoss) {
+    const std::size_t n = 60;
+    const std::vector<std::size_t> offsets{1, 4};
+    const auto channel = MarkovChannel::gilbert_elliott(0.2, 3.0);
+    const auto dp = exact_offset_auth_prob(n, offsets, channel);
+
+    const auto dg = make_offset_scheme(n, offsets);
+    const auto loss = channel.to_loss_model();
+    Rng rng(7);
+    const auto mc = monte_carlo_auth_prob(dg, *loss, rng, 120000);
+    for (std::size_t v = 1; v < n; v += 7)
+        EXPECT_NEAR(dp.q[v], mc.q[v], 0.01) << "v=" << v;
+    EXPECT_NEAR(dp.q_min, mc.q_min, 0.01);
+}
+
+TEST(ExactDp, BurstsHurtShortOffsetsMore) {
+    const std::size_t n = 200;
+    const double rate = 0.2;
+    const auto iid = MarkovChannel::bernoulli(rate);
+    const auto bursty = MarkovChannel::gilbert_elliott(rate, 6.0);
+    // Short-span scheme: bursts are catastrophic.
+    const double short_iid = exact_offset_auth_prob(n, {1, 2}, iid).q_min;
+    const double short_bursty = exact_offset_auth_prob(n, {1, 2}, bursty).q_min;
+    EXPECT_LT(short_bursty, short_iid);
+    // Wide-span scheme: bursts hurt far less.
+    const double wide_bursty = exact_offset_auth_prob(n, {1, 12}, bursty).q_min;
+    EXPECT_GT(wide_bursty, short_bursty);
+}
+
+TEST(ExactDp, QDecreasesWithDistanceFromRoot) {
+    const auto dp = exact_offset_auth_prob(100, {1, 2}, MarkovChannel::bernoulli(0.2));
+    for (std::size_t v = 3; v < 100; ++v) EXPECT_LE(dp.q[v], dp.q[v - 1] + 1e-12);
+}
+
+TEST(ExactDp, ZeroAndTotalLoss) {
+    const auto none = exact_offset_auth_prob(50, {1, 2}, MarkovChannel::bernoulli(0.0));
+    EXPECT_DOUBLE_EQ(none.q_min, 1.0);
+    const auto all = exact_offset_auth_prob(50, {1, 2}, MarkovChannel::bernoulli(1.0));
+    EXPECT_DOUBLE_EQ(all.q[1], 1.0);  // root-adjacent
+    EXPECT_DOUBLE_EQ(all.q[5], 0.0);
+}
+
+TEST(ExactDp, WindowCapEnforced) {
+    EXPECT_THROW(
+        exact_offset_auth_prob(100, {1, 30}, MarkovChannel::bernoulli(0.1), 1 << 16),
+        std::invalid_argument);
+}
+
+TEST(ExactDp, InputValidation) {
+    EXPECT_THROW(exact_offset_auth_prob(100, {}, MarkovChannel::bernoulli(0.1)),
+                 std::invalid_argument);
+    EXPECT_THROW(exact_offset_auth_prob(100, {0}, MarkovChannel::bernoulli(0.1)),
+                 std::invalid_argument);
+    EXPECT_THROW(exact_offset_auth_prob(1, {1}, MarkovChannel::bernoulli(0.1)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+Digraph diamond() {
+    // 0 -> 1 -> 3, 0 -> 2 -> 3
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    return g;
+}
+
+// ----------------------------------------------------------------- basics
+
+TEST(Digraph, AddAndQueryEdges) {
+    Digraph g(3);
+    EXPECT_TRUE(g.add_edge(0, 1));
+    EXPECT_FALSE(g.add_edge(0, 1));  // parallel edge rejected
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(1, 0));
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.out_degree(0), 1u);
+    EXPECT_EQ(g.in_degree(1), 1u);
+}
+
+TEST(Digraph, SelfLoopRejected) {
+    Digraph g(2);
+    EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Digraph, OutOfRangeRejected) {
+    Digraph g(2);
+    EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Digraph, AddVerticesExtends) {
+    Digraph g(2);
+    const VertexId first = g.add_vertices(3);
+    EXPECT_EQ(first, 2u);
+    EXPECT_EQ(g.vertex_count(), 5u);
+    EXPECT_TRUE(g.add_edge(0, 4));
+}
+
+TEST(Digraph, EdgesListsAll) {
+    const Digraph g = diamond();
+    const auto edges = g.edges();
+    EXPECT_EQ(edges.size(), 4u);
+}
+
+// ------------------------------------------------------------------- topo
+
+TEST(Topological, OrdersDag) {
+    const Digraph g = diamond();
+    const auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(4);
+    for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+    for (const Edge& e : g.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(Topological, DetectsCycle) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    EXPECT_FALSE(topological_order(g).has_value());
+    EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topological, EmptyEdgeGraphIsAcyclic) {
+    EXPECT_TRUE(is_acyclic(Digraph(5)));
+}
+
+// ----------------------------------------------------------- reachability
+
+TEST(Reachability, FullAndMasked) {
+    const Digraph g = diamond();
+    const auto all = reachable_from(g, 0);
+    EXPECT_TRUE(all[0] && all[1] && all[2] && all[3]);
+
+    std::vector<bool> alive{true, false, true, true};  // vertex 1 lost
+    const auto masked = reachable_within(g, 0, alive);
+    EXPECT_TRUE(masked[0]);
+    EXPECT_FALSE(masked[1]);
+    EXPECT_TRUE(masked[2]);
+    EXPECT_TRUE(masked[3]);  // still reachable via 2
+
+    alive = {true, false, false, true};  // both middles lost
+    const auto cut = reachable_within(g, 0, alive);
+    EXPECT_FALSE(cut[3]);
+}
+
+TEST(Reachability, RootTraversedEvenIfMaskedDead) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    const std::vector<bool> alive{false, true};
+    const auto r = reachable_within(g, 0, alive);
+    EXPECT_TRUE(r[1]);  // paper: P_sign always delivered
+}
+
+TEST(BfsDistances, HopCounts) {
+    const Digraph g = diamond();
+    const auto dist = bfs_distances(g, 0);
+    EXPECT_EQ(dist[0], 0);
+    EXPECT_EQ(dist[1], 1);
+    EXPECT_EQ(dist[2], 1);
+    EXPECT_EQ(dist[3], 2);
+}
+
+TEST(BfsDistances, UnreachableIsMinusOne) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    EXPECT_EQ(bfs_distances(g, 0)[2], -1);
+}
+
+// ------------------------------------------------------------ path counts
+
+TEST(CountPaths, DiamondHasTwo) {
+    const auto counts = count_paths(diamond(), 0);
+    EXPECT_DOUBLE_EQ(counts[3], 2.0);
+    EXPECT_DOUBLE_EQ(counts[1], 1.0);
+    EXPECT_DOUBLE_EQ(counts[0], 1.0);
+}
+
+TEST(CountPaths, LadderGrowsFibonacci) {
+    // Chain with skips: i -> i+1, i -> i+2 gives Fibonacci path counts.
+    Digraph g(10);
+    for (VertexId i = 0; i < 9; ++i) g.add_edge(i, i + 1);
+    for (VertexId i = 0; i < 8; ++i) g.add_edge(i, i + 2);
+    const auto counts = count_paths(g, 0);
+    double a = 1.0, b = 1.0;
+    for (std::size_t i = 1; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(counts[i], b) << i;
+        const double next = a + b;
+        a = b;
+        b = next;
+    }
+}
+
+TEST(CountPaths, SaturatesAtCap) {
+    Digraph g(40);
+    for (VertexId i = 0; i < 39; ++i) g.add_edge(i, i + 1);
+    for (VertexId i = 0; i < 38; ++i) g.add_edge(i, i + 2);
+    const auto counts = count_paths(g, 0, 100.0);
+    EXPECT_DOUBLE_EQ(counts[39], 100.0);
+}
+
+TEST(EnumeratePaths, MatchesCountOnSmallGraphs) {
+    Rng rng(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        Digraph g(8);
+        for (VertexId u = 0; u < 8; ++u)
+            for (VertexId v = u + 1; v < 8; ++v)
+                if (rng.bernoulli(0.35)) g.add_edge(u, v);
+        const auto counts = count_paths(g, 0);
+        for (VertexId t = 1; t < 8; ++t) {
+            const auto paths = enumerate_paths(g, 0, t);
+            EXPECT_DOUBLE_EQ(counts[t], static_cast<double>(paths.size()))
+                << "trial " << trial << " target " << t;
+            for (const auto& path : paths) {
+                ASSERT_GE(path.size(), 2u);
+                EXPECT_EQ(path.front(), 0u);
+                EXPECT_EQ(path.back(), t);
+                for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+            }
+        }
+    }
+}
+
+TEST(EnumeratePaths, RespectsLimit) {
+    Digraph g(12);
+    for (VertexId i = 0; i < 11; ++i) g.add_edge(i, i + 1);
+    for (VertexId i = 0; i < 10; ++i) g.add_edge(i, i + 2);
+    const auto paths = enumerate_paths(g, 0, 11, 5);
+    EXPECT_EQ(paths.size(), 5u);
+}
+
+// -------------------------------------------------------------- dominators
+
+TEST(Dominators, ChainEveryAncestorDominates) {
+    Digraph g(5);
+    for (VertexId i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+    const auto idom = immediate_dominators(g, 0);
+    for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(idom[v], v - 1);
+    const auto doms = interior_dominators(idom, 0, 4);
+    EXPECT_EQ(doms.size(), 3u);  // vertices 3, 2, 1
+}
+
+TEST(Dominators, DiamondMergePointDominatedOnlyByRoot) {
+    const auto idom = immediate_dominators(diamond(), 0);
+    EXPECT_EQ(idom[3], 0u);
+    EXPECT_TRUE(interior_dominators(idom, 0, 3).empty());
+}
+
+TEST(Dominators, UnreachableGetsNoVertex) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    const auto idom = immediate_dominators(g, 0);
+    EXPECT_EQ(idom[2], kNoVertex);
+    EXPECT_TRUE(interior_dominators(idom, 0, 2).empty());
+}
+
+TEST(Dominators, BridgeVertexDetected) {
+    // 0 -> {1,2} -> 3 -> {4,5} -> 6 : vertex 3 dominates 4, 5, 6.
+    Digraph g(7);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(3, 5);
+    g.add_edge(4, 6);
+    g.add_edge(5, 6);
+    const auto idom = immediate_dominators(g, 0);
+    const auto doms6 = interior_dominators(idom, 0, 6);
+    ASSERT_EQ(doms6.size(), 1u);
+    EXPECT_EQ(doms6[0], 3u);
+}
+
+// ---------------------------------------------------------- disjoint paths
+
+TEST(DisjointPaths, DiamondHasTwo) {
+    EXPECT_EQ(vertex_disjoint_paths(diamond(), 0, 3), 2u);
+}
+
+TEST(DisjointPaths, ChainHasOne) {
+    Digraph g(5);
+    for (VertexId i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+    EXPECT_EQ(vertex_disjoint_paths(g, 0, 4), 1u);
+}
+
+TEST(DisjointPaths, DirectEdgeCountsAsOne) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    EXPECT_EQ(vertex_disjoint_paths(g, 0, 1), 1u);
+}
+
+TEST(DisjointPaths, BottleneckLimits) {
+    // Two paths that both squeeze through vertex 3.
+    Digraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(3, 5);
+    g.add_edge(4, 5);  // extra edge, still only 1 disjoint path 0->5
+    EXPECT_EQ(vertex_disjoint_paths(g, 0, 5), 1u);
+}
+
+TEST(DisjointPaths, ParallelLanes) {
+    // k fully disjoint lanes of length 2.
+    const std::size_t k = 4;
+    Digraph g(2 + 2 * k);
+    const VertexId s = 0, t = 1;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+        const VertexId a = static_cast<VertexId>(2 + 2 * lane);
+        const VertexId b = a + 1;
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, t);
+    }
+    EXPECT_EQ(vertex_disjoint_paths(g, s, t), k);
+}
+
+TEST(DisjointPaths, MengerAgreesWithDominators) {
+    // Property: if a vertex has an interior dominator, its disjoint-path
+    // count must be exactly 1, and vice versa (Menger's theorem).
+    Rng rng(9);
+    for (int trial = 0; trial < 25; ++trial) {
+        Digraph g(12);
+        for (VertexId i = 1; i < 12; ++i)
+            g.add_edge(i - 1, i);  // spine keeps everything reachable
+        for (VertexId u = 0; u < 12; ++u)
+            for (VertexId v = u + 2; v < 12; ++v)
+                if (rng.bernoulli(0.2)) g.add_edge(u, v);
+        const auto idom = immediate_dominators(g, 0);
+        for (VertexId v = 2; v < 12; ++v) {
+            const bool has_dominator = !interior_dominators(idom, 0, v).empty();
+            const std::size_t disjoint = vertex_disjoint_paths(g, 0, v);
+            EXPECT_EQ(has_dominator, disjoint == 1)
+                << "trial " << trial << " vertex " << v << " disjoint " << disjoint;
+        }
+    }
+}
+
+// -------------------------------------------------------------------- dot
+
+TEST(Dot, ContainsVerticesAndEdges) {
+    const std::string dot = to_dot(diamond());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+    EXPECT_NE(dot.find("v2 -> v3"), std::string::npos);
+}
+
+TEST(Dot, CustomLabelsAndEmphasis) {
+    DotOptions opts;
+    opts.vertex_label = [](VertexId v) { return "N" + std::to_string(v); };
+    opts.emphasize = [](VertexId v) { return v == 0; };
+    opts.edge_label = [](VertexId u, VertexId v) {
+        return std::to_string(static_cast<int>(u) - static_cast<int>(v));
+    };
+    const std::string dot = to_dot(diamond(), opts);
+    EXPECT_NE(dot.find("N3"), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"-1\""), std::string::npos);
+}
+
+TEST(Dot, AsciiAdjacencyListsSuccessors) {
+    const std::string ascii = to_ascii_adjacency(diamond());
+    EXPECT_NE(ascii.find("P0 -> P1 P2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcauth

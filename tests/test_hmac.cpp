@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA256.
+struct HmacVector {
+    const char* key_hex;
+    const char* data_hex;
+    const char* mac_hex;
+};
+
+class HmacSha256KnownAnswer : public ::testing::TestWithParam<HmacVector> {};
+
+TEST_P(HmacSha256KnownAnswer, MatchesRfc4231) {
+    const auto& v = GetParam();
+    const auto key = from_hex(v.key_hex);
+    const auto data = from_hex(v.data_hex);
+    EXPECT_EQ(to_hex(hmac_sha256(key, data)), v.mac_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4231, HmacSha256KnownAnswer,
+    ::testing::Values(
+        // Case 1
+        HmacVector{"0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b", "4869205468657265",
+                   "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+        // Case 2 ("Jefe", "what do ya want for nothing?")
+        HmacVector{"4a656665", "7768617420646f2079612077616e7420666f72206e6f7468696e673f",
+                   "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+        // Case 3 (20x 0xaa key, 50x 0xdd data)
+        HmacVector{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                   "dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd"
+                   "dddddddddddddddddddddddddddddddddddd",
+                   "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
+        // Case 6 (131-byte key, hashed down)
+        HmacVector{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaa",
+                   "54657374205573696e67204c6172676572205468616e20426c6f636b2d53697a"
+                   "65204b6579202d2048617368204b6579204669727374",
+                   "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"}));
+
+TEST(HmacSha256, StreamingMatchesOneShot) {
+    Rng rng(1);
+    const auto key = rng.bytes(32);
+    const auto data = rng.bytes(200);
+    HmacSha256 mac(key);
+    mac.update(std::span<const std::uint8_t>(data.data(), 100));
+    mac.update(std::span<const std::uint8_t>(data.data() + 100, 100));
+    EXPECT_EQ(mac.finish(), hmac_sha256(key, data));
+}
+
+TEST(HmacSha256, KeySensitivity) {
+    Rng rng(2);
+    auto key = rng.bytes(32);
+    const auto data = rng.bytes(64);
+    const auto mac1 = hmac_sha256(key, data);
+    key[0] ^= 1;
+    const auto mac2 = hmac_sha256(key, data);
+    EXPECT_NE(mac1, mac2);
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+    Rng rng(3);
+    const auto key = rng.bytes(32);
+    auto data = rng.bytes(64);
+    const auto mac1 = hmac_sha256(key, data);
+    data[63] ^= 0x80;
+    const auto mac2 = hmac_sha256(key, data);
+    EXPECT_NE(mac1, mac2);
+}
+
+TEST(HmacSha256, EmptyMessageIsDefined) {
+    const auto key = from_hex("0b0b0b0b");
+    const auto mac = hmac_sha256(key, {});
+    EXPECT_EQ(mac.size(), 32u);
+}
+
+// RFC 2202 test vectors for HMAC-SHA1.
+TEST(HmacSha1, Rfc2202Case1) {
+    const auto key = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+    const auto data = from_hex("4869205468657265");  // "Hi There"
+    EXPECT_EQ(to_hex(hmac_sha1(key, data)), "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+    const auto key = from_hex("4a656665");  // "Jefe"
+    const auto data = from_hex("7768617420646f2079612077616e7420666f72206e6f7468696e673f");
+    EXPECT_EQ(to_hex(hmac_sha1(key, data)), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keychain.hpp"
+#include "util/hex.hpp"
+
+namespace mcauth {
+namespace {
+
+std::vector<std::uint8_t> seed() { return from_hex("00112233445566778899aabbccddeeff"); }
+
+TEST(TeslaKeyChain, ChainLinksBackward) {
+    const TeslaKeyChain chain(seed(), 16);
+    EXPECT_EQ(chain.length(), 16u);
+    for (std::size_t i = 1; i <= 16; ++i) {
+        EXPECT_EQ(tesla_chain_step(chain.key(i)), chain.key(i - 1)) << "i=" << i;
+    }
+}
+
+TEST(TeslaKeyChain, CommitmentIsKeyZero) {
+    const TeslaKeyChain chain(seed(), 8);
+    EXPECT_EQ(chain.commitment(), chain.key(0));
+}
+
+TEST(TeslaKeyChain, MacKeysDifferFromChainKeys) {
+    const TeslaKeyChain chain(seed(), 8);
+    for (std::size_t i = 1; i <= 8; ++i) {
+        EXPECT_NE(to_hex(chain.mac_key(i)), to_hex(chain.key(i)));
+    }
+}
+
+TEST(TeslaKeyChain, DeterministicFromSeed) {
+    const TeslaKeyChain a(seed(), 8);
+    const TeslaKeyChain b(seed(), 8);
+    EXPECT_EQ(a.key(5), b.key(5));
+}
+
+TEST(TeslaKeyChain, DifferentSeedsDiffer) {
+    const TeslaKeyChain a(seed(), 8);
+    const TeslaKeyChain b(from_hex("ff"), 8);
+    EXPECT_NE(to_hex(a.key(5)), to_hex(b.key(5)));
+}
+
+TEST(TeslaKeyChain, BoundsChecked) {
+    const TeslaKeyChain chain(seed(), 4);
+    EXPECT_THROW(chain.key(5), std::invalid_argument);
+    EXPECT_THROW(chain.mac_key(0), std::invalid_argument);  // interval 0 has no MAC key
+}
+
+TEST(TeslaKeyVerifier, AcceptsForwardDisclosures) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    EXPECT_TRUE(verifier.accept(3, chain.key(3)));
+    EXPECT_EQ(verifier.last_index(), 3u);
+    EXPECT_TRUE(verifier.accept(4, chain.key(4)));
+    EXPECT_TRUE(verifier.accept(10, chain.key(10)));  // gap of 6: walk-back repair
+    EXPECT_EQ(verifier.last_index(), 10u);
+}
+
+TEST(TeslaKeyVerifier, RejectsStaleAndReplayed) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    EXPECT_TRUE(verifier.accept(5, chain.key(5)));
+    EXPECT_FALSE(verifier.accept(5, chain.key(5)));  // replay
+    EXPECT_FALSE(verifier.accept(3, chain.key(3)));  // stale
+    EXPECT_EQ(verifier.last_index(), 5u);
+}
+
+TEST(TeslaKeyVerifier, RejectsForgedKey) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    TeslaKey forged = chain.key(3);
+    forged[0] ^= 1;
+    EXPECT_FALSE(verifier.accept(3, forged));
+    EXPECT_EQ(verifier.last_index(), 0u);  // trust anchor unmoved
+}
+
+TEST(TeslaKeyVerifier, RejectsKeyUnderWrongIndex) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    // Real key 4 presented as key 5 must fail (index binding).
+    EXPECT_FALSE(verifier.accept(5, chain.key(4)));
+}
+
+TEST(TeslaKeyVerifier, WalkCapGuardsCpu) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    EXPECT_FALSE(verifier.accept(1u << 30, chain.key(8), /*max_walk=*/100));
+}
+
+TEST(TeslaKeyVerifier, KeyForWalksBack) {
+    const TeslaKeyChain chain(seed(), 16);
+    TeslaKeyVerifier verifier(chain.commitment());
+    ASSERT_TRUE(verifier.accept(10, chain.key(10)));
+    for (std::size_t i = 0; i <= 10; ++i) {
+        const auto key = verifier.key_for(i);
+        ASSERT_TRUE(key.has_value()) << i;
+        EXPECT_EQ(*key, chain.key(i)) << i;
+    }
+    EXPECT_FALSE(verifier.key_for(11).has_value());  // not yet disclosed
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/topologies.hpp"
+
+namespace mcauth {
+namespace {
+
+SchemeParams params_with(double t_transmit) {
+    SchemeParams p;
+    p.hash_bytes = 16.0;
+    p.signature_bytes = 128.0;
+    p.t_transmit = t_transmit;
+    p.sign_copies = 1.0;
+    return p;
+}
+
+// --------------------------------------------------------------- overhead
+
+TEST(Metrics, Eq2HashesPerPacket) {
+    const auto dg = make_rohatgi(10);  // 9 edges
+    const auto m = compute_metrics(dg, params_with(0.01));
+    EXPECT_DOUBLE_EQ(m.hashes_per_packet, 0.9);
+    EXPECT_EQ(m.edge_count, 9u);
+}
+
+TEST(Metrics, Eq3OverheadBytes) {
+    const auto dg = make_rohatgi(10);
+    const auto m = compute_metrics(dg, params_with(0.01));
+    // (128 * 1 + 16 * 9) / 10
+    EXPECT_DOUBLE_EQ(m.overhead_bytes_per_packet, (128.0 + 16.0 * 9.0) / 10.0);
+}
+
+TEST(Metrics, SignCopiesScaleSignatureTerm) {
+    const auto dg = make_rohatgi(10);
+    SchemeParams p = params_with(0.01);
+    p.sign_copies = 3.0;
+    const auto m = compute_metrics(dg, p);
+    EXPECT_DOUBLE_EQ(m.overhead_bytes_per_packet, (128.0 * 3.0 + 16.0 * 9.0) / 10.0);
+}
+
+TEST(Metrics, MaxOutDegreeEmss) {
+    const auto m = compute_metrics(make_emss(50, 3, 1), params_with(0.01));
+    EXPECT_EQ(m.max_out_degree, 3u);
+}
+
+// ------------------------------------------------------------------ delay
+
+TEST(Metrics, RohatgiHasZeroReceiverDelay) {
+    // The paper's example: sign-first chains verify on arrival.
+    const auto m = compute_metrics(make_rohatgi(20), params_with(0.01));
+    EXPECT_DOUBLE_EQ(m.max_receiver_delay, 0.0);
+}
+
+TEST(Metrics, AuthTreeHasZeroReceiverDelay) {
+    const auto m = compute_metrics(make_auth_tree(16), params_with(0.01));
+    EXPECT_DOUBLE_EQ(m.max_receiver_delay, 0.0);
+}
+
+TEST(Metrics, EmssDelayIsEq4) {
+    // Eq. 4: sign-last schemes wait (n - i) * T_transmit for the signature;
+    // the first-sent packet (vertex n-1, position 0) waits (n-1) slots.
+    const std::size_t n = 25;
+    const double t = 0.02;
+    const auto dg = make_emss(n, 2, 1);
+    const auto m = compute_metrics(dg, params_with(t));
+    EXPECT_NEAR(m.max_receiver_delay, static_cast<double>(n - 1) * t, 1e-12);
+    for (VertexId v = 1; v < n; ++v) {
+        const double expected =
+            (static_cast<double>(n - 1) - static_cast<double>(dg.send_pos(v))) * t;
+        EXPECT_NEAR(m.receiver_delay[v], expected, 1e-12) << v;
+    }
+}
+
+TEST(Metrics, LatestNeededPositionBottleneck) {
+    // Hand graph: root sent LAST (pos 2); v1 sent first (pos 0), v2 in the
+    // middle (pos 1); edges root->v1, root->v2, v2->v1. The root sits on
+    // every verification path, so both vertices wait for position 2.
+    DependenceGraph dg(3, {2, 0, 1}, "hand");
+    dg.add_dependence(0, 1);
+    dg.add_dependence(0, 2);
+    dg.add_dependence(2, 1);
+    const auto latest = latest_needed_position(dg);
+    EXPECT_EQ(latest[1], 2u);
+    EXPECT_EQ(latest[2], 2u);
+}
+
+// ---------------------------------------------------------------- buffers
+
+TEST(Metrics, RohatgiBuffersMatchPaperExample) {
+    // §3 example: "1 hash buffer and no message buffer is needed".
+    const auto m = compute_metrics(make_rohatgi(15), params_with(0.01));
+    EXPECT_EQ(m.hash_buffer_span, 1u);
+    EXPECT_EQ(m.message_buffer_span, 0u);
+}
+
+TEST(Metrics, EmssMessageBufferSpansLongestBackLink) {
+    // E_{2,d}: hashes carried 1 and 1+d transmissions later.
+    const auto m = compute_metrics(make_emss(40, 2, 5), params_with(0.01));
+    EXPECT_EQ(m.hash_buffer_span, 0u);
+    EXPECT_EQ(m.message_buffer_span, 6u);
+}
+
+TEST(Metrics, AugmentedChainHasBothDirections) {
+    // AC embeds hashes forward (zig-zag from earlier-sent packets) and
+    // backward (chain packets after), so both buffer spans are nonzero.
+    const auto m = compute_metrics(make_augmented_chain(40, 3, 3), params_with(0.01));
+    EXPECT_GT(m.message_buffer_span, 0u);
+}
+
+// -------------------------------------------------------------- diversity
+
+TEST(Diversity, RohatgiChainIsAllDominators) {
+    const auto d = compute_diversity(make_rohatgi(10));
+    EXPECT_EQ(d.min_disjoint_paths, 1u);
+    EXPECT_EQ(d.max_interior_dominators, 8u);   // farthest vertex
+    EXPECT_EQ(d.critical_vertices.size(), 8u);  // every interior vertex
+}
+
+TEST(Diversity, AuthTreeHasNoCriticalVertices) {
+    const auto d = compute_diversity(make_auth_tree(12));
+    EXPECT_EQ(d.max_interior_dominators, 0u);
+    EXPECT_TRUE(d.critical_vertices.empty());
+    EXPECT_EQ(d.min_disjoint_paths, 1u);  // one direct edge each
+}
+
+TEST(Diversity, EmssDeepVerticesHaveTwoDisjointPaths) {
+    const auto dg = make_emss(20, 2, 1);
+    const auto d = compute_diversity(dg);
+    // Root-adjacent vertices have a single (direct) path; deeper vertices
+    // enjoy two vertex-disjoint routes.
+    EXPECT_EQ(d.disjoint_paths[1], 1u);
+    for (VertexId v = 3; v < 20; ++v) EXPECT_EQ(d.disjoint_paths[v], 2u) << v;
+    EXPECT_EQ(d.max_interior_dominators, 0u);
+}
+
+TEST(Diversity, DisjointPathsNeverExceedInDegree) {
+    const auto dg = make_augmented_chain(30, 3, 2);
+    const auto d = compute_diversity(dg);
+    for (VertexId v = 1; v < 30; ++v)
+        EXPECT_LE(d.disjoint_paths[v], std::max<std::size_t>(dg.graph().in_degree(v), 1u));
+}
+
+}  // namespace
+}  // namespace mcauth

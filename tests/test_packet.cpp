@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "auth/packet.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+AuthPacket sample_packet(Rng& rng) {
+    AuthPacket pkt;
+    pkt.block_id = 7;
+    pkt.index = 42;
+    pkt.kind = PacketKind::kData;
+    pkt.payload = rng.bytes(100);
+    pkt.hashes.push_back({3, rng.bytes(16)});
+    pkt.hashes.push_back({9, rng.bytes(16)});
+    pkt.signature = rng.bytes(64);
+    pkt.mac_interval = 5;
+    pkt.mac = rng.bytes(16);
+    pkt.disclosed_interval = 3;
+    pkt.disclosed_key = rng.bytes(32);
+    return pkt;
+}
+
+bool packets_equal(const AuthPacket& a, const AuthPacket& b) {
+    if (a.block_id != b.block_id || a.index != b.index || a.kind != b.kind) return false;
+    if (a.block_size != b.block_size) return false;
+    if (a.payload != b.payload || a.signature != b.signature) return false;
+    if (a.mac_interval != b.mac_interval || a.mac != b.mac) return false;
+    if (a.disclosed_interval != b.disclosed_interval || a.disclosed_key != b.disclosed_key)
+        return false;
+    if (a.hashes.size() != b.hashes.size()) return false;
+    for (std::size_t i = 0; i < a.hashes.size(); ++i)
+        if (a.hashes[i].target != b.hashes[i].target ||
+            a.hashes[i].digest != b.hashes[i].digest)
+            return false;
+    return true;
+}
+
+TEST(Packet, EncodeDecodeRoundTrip) {
+    Rng rng(1);
+    const AuthPacket pkt = sample_packet(rng);
+    const auto wire = pkt.encode();
+    const auto decoded = AuthPacket::decode(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(packets_equal(pkt, *decoded));
+}
+
+TEST(Packet, RoundTripRandomized) {
+    Rng rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        AuthPacket pkt;
+        pkt.block_id = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.index = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.block_size = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.kind = static_cast<PacketKind>(rng.uniform_below(3));
+        pkt.payload = rng.bytes(rng.uniform_below(300));
+        const std::size_t hash_count = rng.uniform_below(5);
+        for (std::size_t i = 0; i < hash_count; ++i)
+            pkt.hashes.push_back({static_cast<std::uint32_t>(rng.next_u64()),
+                                  rng.bytes(8 + rng.uniform_below(25))});
+        if (rng.bernoulli(0.5)) pkt.signature = rng.bytes(rng.uniform_below(200));
+        if (rng.bernoulli(0.3)) {
+            pkt.mac = rng.bytes(16);
+            pkt.mac_interval = static_cast<std::uint32_t>(rng.next_u64());
+            pkt.disclosed_interval = static_cast<std::uint32_t>(rng.next_u64());
+            pkt.disclosed_key = rng.bytes(32);
+        }
+        const auto decoded = AuthPacket::decode(pkt.encode());
+        ASSERT_TRUE(decoded.has_value()) << trial;
+        EXPECT_TRUE(packets_equal(pkt, *decoded)) << trial;
+    }
+}
+
+TEST(Packet, EmptyPacketRoundTrips) {
+    const AuthPacket pkt;
+    const auto decoded = AuthPacket::decode(pkt.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(packets_equal(pkt, *decoded));
+}
+
+TEST(Packet, DecodeRejectsTruncation) {
+    Rng rng(3);
+    const auto wire = sample_packet(rng).encode();
+    // Every strict prefix must fail to decode (no partial reads).
+    for (std::size_t len : {0u, 1u, 5u, 20u}) {
+        EXPECT_FALSE(AuthPacket::decode(std::span<const std::uint8_t>(wire.data(), len))
+                         .has_value())
+            << len;
+    }
+    EXPECT_FALSE(AuthPacket::decode(
+                     std::span<const std::uint8_t>(wire.data(), wire.size() - 1))
+                     .has_value());
+}
+
+TEST(Packet, DecodeRejectsTrailingGarbage) {
+    Rng rng(4);
+    auto wire = sample_packet(rng).encode();
+    wire.push_back(0x00);
+    EXPECT_FALSE(AuthPacket::decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsBadVersionAndKind) {
+    Rng rng(5);
+    auto wire = sample_packet(rng).encode();
+    auto bad_version = wire;
+    bad_version[0] = 99;
+    EXPECT_FALSE(AuthPacket::decode(bad_version).has_value());
+    auto bad_kind = wire;
+    bad_kind[1] = 9;
+    EXPECT_FALSE(AuthPacket::decode(bad_kind).has_value());
+}
+
+TEST(Packet, AuthenticatedBytesExcludeVerificationMaterial) {
+    Rng rng(6);
+    AuthPacket pkt = sample_packet(rng);
+    const auto before = pkt.authenticated_bytes();
+    pkt.signature = rng.bytes(99);
+    pkt.mac = rng.bytes(20);
+    pkt.disclosed_key = rng.bytes(32);
+    pkt.disclosed_interval = 1234;
+    EXPECT_EQ(pkt.authenticated_bytes(), before);
+}
+
+TEST(Packet, AuthenticatedBytesCoverIdentityPayloadAndHashes) {
+    Rng rng(7);
+    const AuthPacket base = sample_packet(rng);
+    const auto reference = base.authenticated_bytes();
+
+    AuthPacket changed = base;
+    changed.payload[0] ^= 1;
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+
+    changed = base;
+    changed.index += 1;
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+
+    changed = base;
+    changed.block_id += 1;
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+
+    changed = base;
+    changed.block_size += 1;  // geometry is integrity-relevant
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+
+    changed = base;
+    changed.hashes[0].digest[0] ^= 1;
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+
+    changed = base;
+    changed.mac_interval += 1;  // TESLA binds the claimed interval
+    EXPECT_NE(changed.authenticated_bytes(), reference);
+}
+
+TEST(Packet, DigestTruncatesToRequestedLength) {
+    Rng rng(8);
+    const AuthPacket pkt = sample_packet(rng);
+    EXPECT_EQ(pkt.digest(16).size(), 16u);
+    EXPECT_EQ(pkt.digest(32).size(), 32u);
+    // Truncation is a prefix of the full digest.
+    const auto d16 = pkt.digest(16);
+    const auto d32 = pkt.digest(32);
+    EXPECT_TRUE(std::equal(d16.begin(), d16.end(), d32.begin()));
+}
+
+TEST(Packet, WireSizeMatchesEncoding) {
+    Rng rng(9);
+    const AuthPacket pkt = sample_packet(rng);
+    EXPECT_EQ(pkt.wire_size(), pkt.encode().size());
+}
+
+TEST(Packet, DecodeFuzzNeverCrashes) {
+    // Random byte strings must decode to nullopt or to a packet that
+    // re-encodes consistently — never crash, never over-read.
+    Rng rng(10);
+    std::size_t decoded_ok = 0;
+    for (int trial = 0; trial < 5000; ++trial) {
+        const auto junk = rng.bytes(rng.uniform_below(120));
+        const auto decoded = AuthPacket::decode(junk);
+        if (decoded.has_value()) {
+            ++decoded_ok;
+            EXPECT_EQ(decoded->encode(), junk);  // canonical form round-trips
+        }
+    }
+    // Almost all random strings are malformed; a handful may parse.
+    EXPECT_LT(decoded_ok, 50u);
+}
+
+TEST(Packet, DecodeBitflipFuzzRoundTripsOrRejects) {
+    Rng rng(11);
+    const auto wire = sample_packet(rng).encode();
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto mutated = wire;
+        mutated[rng.uniform_below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_below(8));
+        const auto decoded = AuthPacket::decode(mutated);
+        if (decoded.has_value()) EXPECT_EQ(decoded->encode(), mutated);
+    }
+}
+
+TEST(Packet, OversizedSectionRejectedAtEncode) {
+    AuthPacket pkt;
+    pkt.payload.assign(70000, 0);  // > u16 length prefix
+    EXPECT_THROW(pkt.encode(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcauth

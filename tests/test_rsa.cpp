@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "crypto/signature.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// Key generation is the slow part; share one 512-bit pair across tests.
+class RsaTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        Rng rng(1001);
+        key_ = new RsaKeyPair(RsaKeyPair::generate(rng, 512));
+    }
+    static void TearDownTestSuite() {
+        delete key_;
+        key_ = nullptr;
+    }
+    static RsaKeyPair* key_;
+};
+
+RsaKeyPair* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyHasRequestedModulusSize) {
+    EXPECT_EQ(key_->pub.n.bit_length(), 512u);
+    EXPECT_EQ(key_->pub.modulus_bytes(), 64u);
+    EXPECT_EQ(key_->pub.e.to_u64(), 65537u);
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+    const auto msg = ascii_bytes("stream block 42");
+    const auto sig = rsa_sign(*key_, msg);
+    EXPECT_EQ(sig.size(), 64u);
+    EXPECT_TRUE(rsa_verify(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, TamperedMessageFails) {
+    const auto msg = ascii_bytes("stream block 42");
+    const auto sig = rsa_sign(*key_, msg);
+    EXPECT_FALSE(rsa_verify(key_->pub, ascii_bytes("stream block 43"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureFails) {
+    const auto msg = ascii_bytes("stream block 42");
+    auto sig = rsa_sign(*key_, msg);
+    sig[10] ^= 0x01;
+    EXPECT_FALSE(rsa_verify(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, WrongLengthSignatureFails) {
+    const auto msg = ascii_bytes("x");
+    auto sig = rsa_sign(*key_, msg);
+    sig.pop_back();
+    EXPECT_FALSE(rsa_verify(key_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureIsDeterministic) {
+    const auto msg = ascii_bytes("deterministic");
+    EXPECT_EQ(rsa_sign(*key_, msg), rsa_sign(*key_, msg));
+}
+
+TEST_F(RsaTest, EmptyMessageSignable) {
+    const std::vector<std::uint8_t> empty;
+    const auto sig = rsa_sign(*key_, empty);
+    EXPECT_TRUE(rsa_verify(key_->pub, empty, sig));
+}
+
+TEST_F(RsaTest, WrongKeyFails) {
+    Rng rng(1002);
+    const RsaKeyPair other = RsaKeyPair::generate(rng, 512);
+    const auto msg = ascii_bytes("cross-key");
+    const auto sig = rsa_sign(*key_, msg);
+    EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureValueIsInRange) {
+    const auto msg = ascii_bytes("range");
+    const auto sig = rsa_sign(*key_, msg);
+    EXPECT_LT(Bignum::from_bytes(sig), key_->pub.n);
+}
+
+TEST_F(RsaTest, CrtComponentsAreConsistent) {
+    ASSERT_TRUE(key_->has_crt());
+    EXPECT_EQ(key_->p.mul(key_->q), key_->pub.n);
+    EXPECT_EQ(key_->d.mod(key_->p.sub(Bignum(1))), key_->d_p);
+    EXPECT_EQ(key_->d.mod(key_->q.sub(Bignum(1))), key_->d_q);
+    EXPECT_EQ(Bignum::mod_mul(key_->q_inv, key_->q, key_->p), Bignum(1));
+}
+
+TEST_F(RsaTest, CrtSignatureEqualsPlainExponentiation) {
+    // CRT is an optimization, not a different signature: stripping the CRT
+    // fields must produce byte-identical output.
+    RsaKeyPair plain = *key_;
+    plain.p = plain.q = plain.d_p = plain.d_q = plain.q_inv = Bignum();
+    ASSERT_FALSE(plain.has_crt());
+    for (const char* msg : {"a", "block 7", "the quick brown fox"}) {
+        EXPECT_EQ(rsa_sign(*key_, ascii_bytes(msg)), rsa_sign(plain, ascii_bytes(msg)))
+            << msg;
+    }
+}
+
+// ----------------------------------------------------- Signer interface
+
+TEST(RsaSigner, InterfaceRoundTrip) {
+    Rng rng(1003);
+    RsaSigner signer(rng, 512);
+    EXPECT_EQ(signer.signature_bytes(), 64u);
+    EXPECT_EQ(signer.name(), "rsa-512");
+    const auto msg = ascii_bytes("interface");
+    const auto sig = signer.sign(msg);
+    const auto verifier = signer.make_verifier();
+    EXPECT_TRUE(verifier->verify(msg, sig));
+    EXPECT_FALSE(verifier->verify(ascii_bytes("other"), sig));
+}
+
+TEST(HmacSigner, SimulationSignerRoundTrip) {
+    Rng rng(1004);
+    HmacSigner signer(rng, 128);
+    EXPECT_EQ(signer.signature_bytes(), 128u);
+    const auto msg = ascii_bytes("simulated");
+    const auto sig = signer.sign(msg);
+    EXPECT_EQ(sig.size(), 128u);
+    const auto verifier = signer.make_verifier();
+    EXPECT_TRUE(verifier->verify(msg, sig));
+    EXPECT_FALSE(verifier->verify(ascii_bytes("no"), sig));
+    auto bad = sig;
+    bad[0] ^= 1;
+    EXPECT_FALSE(verifier->verify(msg, bad));
+}
+
+}  // namespace
+}  // namespace mcauth

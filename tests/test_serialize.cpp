@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/authprob.hpp"
+#include "core/serialize.hpp"
+#include "core/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+bool graphs_equal(const DependenceGraph& a, const DependenceGraph& b) {
+    if (a.packet_count() != b.packet_count()) return false;
+    if (a.scheme_name() != b.scheme_name()) return false;
+    for (VertexId v = 0; v < a.packet_count(); ++v)
+        if (a.send_pos(v) != b.send_pos(v)) return false;
+    if (a.graph().edge_count() != b.graph().edge_count()) return false;
+    for (const Edge& e : a.graph().edges())
+        if (!b.graph().has_edge(e.from, e.to)) return false;
+    return true;
+}
+
+TEST(Serialize, RoundTripsEveryBuiltinTopology) {
+    Rng rng(1);
+    const DependenceGraph graphs[] = {
+        make_rohatgi(12),          make_auth_tree(9),
+        make_emss(20, 2, 1),       make_emss(17, 3, 4),
+        make_augmented_chain(21, 3, 3), make_random_scheme(15, 0.2, rng)};
+    for (const auto& dg : graphs) {
+        const auto text = to_text(dg);
+        const auto parsed = dependence_graph_from_text(text);
+        EXPECT_TRUE(graphs_equal(dg, parsed)) << dg.scheme_name();
+    }
+}
+
+TEST(Serialize, CommentsAndBlankLinesAccepted) {
+    const char* text = R"(# designed scheme, 2026-07-04
+mcauth-dependence-graph v1
+name offsets {1,2}
+packets 3
+
+# reversed indexing
+sendpos 2 1 0
+edge 0 1
+edge 0 2
+edge 1 2
+end
+)";
+    const auto dg = dependence_graph_from_text(text);
+    EXPECT_EQ(dg.packet_count(), 3u);
+    EXPECT_EQ(dg.scheme_name(), "offsets {1,2}");
+    EXPECT_TRUE(dg.graph().has_edge(1, 2));
+    EXPECT_TRUE(dg.is_valid());
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+    EXPECT_THROW(dependence_graph_from_text("name x\npackets 2\n"), std::runtime_error);
+}
+
+TEST(Serialize, RejectsBadSendposArity) {
+    const char* too_few =
+        "mcauth-dependence-graph v1\nname x\npackets 3\nsendpos 0 1\nedge 0 1\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(too_few), std::runtime_error);
+    const char* too_many =
+        "mcauth-dependence-graph v1\nname x\npackets 2\nsendpos 0 1 2\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(too_many), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNonPermutationSendpos) {
+    const char* dup =
+        "mcauth-dependence-graph v1\nname x\npackets 2\nsendpos 0 0\nedge 0 1\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(dup), std::runtime_error);
+}
+
+TEST(Serialize, RejectsEdgeOutOfRangeAndSelfLoop) {
+    const char* out_of_range =
+        "mcauth-dependence-graph v1\nname x\npackets 2\nsendpos 0 1\nedge 0 5\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(out_of_range), std::runtime_error);
+    const char* self_loop =
+        "mcauth-dependence-graph v1\nname x\npackets 2\nsendpos 0 1\nedge 1 1\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(self_loop), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCyclicGraph) {
+    const char* cyclic =
+        "mcauth-dependence-graph v1\nname x\npackets 3\nsendpos 0 1 2\n"
+        "edge 0 1\nedge 1 2\nedge 2 1\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(cyclic), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnreachableVertices) {
+    const char* stranded =
+        "mcauth-dependence-graph v1\nname x\npackets 3\nsendpos 0 1 2\nedge 0 1\nend\n";
+    EXPECT_THROW(dependence_graph_from_text(stranded), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingEnd) {
+    const char* unterminated =
+        "mcauth-dependence-graph v1\nname x\npackets 2\nsendpos 0 1\nedge 0 1\n";
+    EXPECT_THROW(dependence_graph_from_text(unterminated), std::runtime_error);
+}
+
+TEST(Serialize, ParsedGraphAnalyzesIdentically) {
+    // End-to-end: serialize a designed scheme, parse it back, and get the
+    // same q_min — the deployment path for §5 designs.
+    const auto original = make_emss(30, 2, 3);
+    const auto parsed = dependence_graph_from_text(to_text(original));
+    const double q1 = recurrence_auth_prob(original, 0.2).q_min;
+    const double q2 = recurrence_auth_prob(parsed, 0.2).q_min;
+    EXPECT_DOUBLE_EQ(q1, q2);
+}
+
+}  // namespace
+}  // namespace mcauth

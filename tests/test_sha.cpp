@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// ---------------------------------------------------------- SHA-256 (FIPS)
+
+struct ShaVector {
+    const char* message;
+    const char* digest;
+};
+
+class Sha256KnownAnswer : public ::testing::TestWithParam<ShaVector> {};
+
+TEST_P(Sha256KnownAnswer, MatchesFips) {
+    const auto& [message, digest] = GetParam();
+    EXPECT_EQ(to_hex(Sha256::hash(message)), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips180, Sha256KnownAnswer,
+    ::testing::Values(
+        ShaVector{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        ShaVector{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+        ShaVector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                  "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+        ShaVector{"The quick brown fox jumps over the lazy dog",
+                  "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"}));
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShotAtAllSplitPoints) {
+    Rng rng(1);
+    const auto data = rng.bytes(300);
+    const auto expected = Sha256::hash(data);
+    for (std::size_t split : {0u, 1u, 63u, 64u, 65u, 128u, 299u, 300u}) {
+        Sha256 h;
+        h.update(std::span<const std::uint8_t>(data.data(), split));
+        h.update(std::span<const std::uint8_t>(data.data() + split, data.size() - split));
+        EXPECT_EQ(h.finish(), expected) << "split=" << split;
+    }
+}
+
+TEST(Sha256, Hash2EqualsConcatenation) {
+    Rng rng(2);
+    const auto a = rng.bytes(100);
+    const auto b = rng.bytes(50);
+    auto concat = a;
+    concat.insert(concat.end(), b.begin(), b.end());
+    EXPECT_EQ(Sha256::hash2(a, b), Sha256::hash(concat));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+    Sha256 h;
+    h.update("garbage");
+    (void)h.finish();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(to_hex(h.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, AvalancheOnSingleBitFlip) {
+    Rng rng(3);
+    auto data = rng.bytes(64);
+    const auto d1 = Sha256::hash(data);
+    data[10] ^= 0x01;
+    const auto d2 = Sha256::hash(data);
+    int differing_bits = 0;
+    for (std::size_t i = 0; i < d1.size(); ++i)
+        differing_bits += __builtin_popcount(static_cast<unsigned>(d1[i] ^ d2[i]));
+    EXPECT_GT(differing_bits, 80);  // ~128 expected
+    EXPECT_LT(differing_bits, 176);
+}
+
+// ------------------------------------------------------------------ SHA-1
+
+class Sha1KnownAnswer : public ::testing::TestWithParam<ShaVector> {};
+
+TEST_P(Sha1KnownAnswer, MatchesFips) {
+    const auto& [message, digest] = GetParam();
+    EXPECT_EQ(to_hex(Sha1::hash(message)), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips180, Sha1KnownAnswer,
+    ::testing::Values(
+        ShaVector{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+        ShaVector{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+        ShaVector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                  "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+        ShaVector{"The quick brown fox jumps over the lazy dog",
+                  "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"}));
+
+TEST(Sha1, StreamingMatchesOneShot) {
+    Rng rng(4);
+    const auto data = rng.bytes(200);
+    Sha1 h;
+    h.update(std::span<const std::uint8_t>(data.data(), 77));
+    h.update(std::span<const std::uint8_t>(data.data() + 77, data.size() - 77));
+    EXPECT_EQ(h.finish(), Sha1::hash(data));
+}
+
+// ------------------------------------------------------------ helpers
+
+TEST(TruncateDigest, PrefixAndBounds) {
+    const Digest256 d = Sha256::hash("abc");
+    const auto t = truncate_digest(d, 16);
+    EXPECT_EQ(t.size(), 16u);
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), d.begin()));
+    EXPECT_THROW(truncate_digest(d, 0), std::invalid_argument);
+    EXPECT_THROW(truncate_digest(d, 33), std::invalid_argument);
+}
+
+TEST(CtEqual, Semantics) {
+    const std::vector<std::uint8_t> a{1, 2, 3};
+    const std::vector<std::uint8_t> b{1, 2, 3};
+    const std::vector<std::uint8_t> c{1, 2, 4};
+    const std::vector<std::uint8_t> d{1, 2};
+    EXPECT_TRUE(ct_equal(a, b));
+    EXPECT_FALSE(ct_equal(a, c));
+    EXPECT_FALSE(ct_equal(a, d));
+    EXPECT_TRUE(ct_equal(std::span<const std::uint8_t>{}, std::span<const std::uint8_t>{}));
+}
+
+}  // namespace
+}  // namespace mcauth

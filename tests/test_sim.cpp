@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "sim/stream_sim.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+Channel lossless_channel() {
+    return Channel(std::make_unique<BernoulliLoss>(0.0),
+                   std::make_unique<ConstantDelay>(0.05));
+}
+
+Channel lossy_channel(double p) {
+    return Channel(std::make_unique<BernoulliLoss>(p),
+                   std::make_unique<GaussianDelay>(0.05, 0.01));
+}
+
+SimConfig quick_sim(std::size_t blocks = 4) {
+    SimConfig cfg;
+    cfg.blocks = blocks;
+    cfg.payload_bytes = 64;
+    cfg.t_transmit = 0.01;
+    cfg.sign_copies = 3;
+    cfg.seed = 99;
+    return cfg;
+}
+
+// -------------------------------------------------------------- hash chain
+
+TEST(StreamSim, LosslessHashChainAuthenticatesAll) {
+    Rng rng(1);
+    MerkleWotsSigner signer(rng, 16);
+    Channel channel = lossless_channel();
+    const auto stats =
+        run_hash_chain_sim(emss_config(16, 2, 1), signer, channel, quick_sim());
+    EXPECT_EQ(stats.authenticated, 4u * 16u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.unverifiable, 0u);
+    EXPECT_DOUBLE_EQ(stats.empirical_q_min, 1.0);
+    EXPECT_GT(stats.overhead_bytes_per_packet, 0.0);
+}
+
+TEST(StreamSim, LossyEmpiricalQMinNearExactPrediction) {
+    // The headline cross-validation: measured q_min from real crypto over a
+    // lossy channel matches the exact dependence-graph computation.
+    const double p = 0.2;
+    const std::size_t n = 18;
+    Rng rng(2);
+    MerkleWotsSigner signer(rng, 64);
+    Channel channel = lossy_channel(p);
+    SimConfig cfg = quick_sim(/*blocks=*/50);
+    const auto stats = run_hash_chain_sim(emss_config(n, 2, 1), signer, channel, cfg);
+
+    const auto exact = exact_auth_prob(make_emss(n, 2, 1), p);
+    // 50 blocks is small; allow a generous but meaningful tolerance.
+    EXPECT_NEAR(stats.empirical_q_min, exact.q_min, 0.15);
+    EXPECT_LT(stats.empirical_q_min, 1.0);
+}
+
+TEST(StreamSim, RohatgiSuffersUnderLossMoreThanEmss) {
+    Rng rng(3);
+    MerkleWotsSigner signer(rng, 64);
+    SimConfig cfg = quick_sim(/*blocks=*/25);
+    Channel c1 = lossy_channel(0.25);
+    const auto rohatgi = run_hash_chain_sim(rohatgi_config(24), signer, c1, cfg);
+    Channel c2 = lossy_channel(0.25);
+    const auto emss = run_hash_chain_sim(emss_config(24, 2, 1), signer, c2, cfg);
+    EXPECT_LT(rohatgi.auth_fraction(), emss.auth_fraction());
+}
+
+TEST(StreamSim, RohatgiHasZeroReceiverDelayInArrivalOrder) {
+    // Sign-first chains authenticate each packet on arrival when delivery
+    // is in order (constant delay keeps it in order).
+    Rng rng(4);
+    MerkleWotsSigner signer(rng, 16);
+    Channel channel = lossless_channel();
+    const auto stats = run_hash_chain_sim(rohatgi_config(16), signer, channel, quick_sim());
+    EXPECT_DOUBLE_EQ(stats.receiver_delay.max(), 0.0);
+}
+
+TEST(StreamSim, EmssReceiverDelayWaitsForSignature) {
+    Rng rng(5);
+    MerkleWotsSigner signer(rng, 16);
+    Channel channel = lossless_channel();
+    SimConfig cfg = quick_sim();
+    const auto stats = run_hash_chain_sim(emss_config(16, 2, 1), signer, channel, cfg);
+    // First packet waits ~ (n-1) * t_transmit for the signature packet.
+    EXPECT_NEAR(stats.receiver_delay.max(), 15.0 * cfg.t_transmit, 0.5 * cfg.t_transmit);
+    EXPECT_GE(stats.max_buffered_packets, 15u);
+}
+
+// ------------------------------------------------------------------- tesla
+
+TEST(StreamSim, TeslaTimelyStreamAuthenticates) {
+    Rng rng(6);
+    MerkleWotsSigner signer(rng, 4);
+    TeslaConfig tesla;
+    tesla.interval_duration = 0.05;
+    tesla.disclosure_lag = 2;
+    tesla.chain_length = 4096;
+    Channel channel = lossless_channel();
+    SimConfig cfg = quick_sim();
+    cfg.t_transmit = 0.01;
+    const auto stats = run_tesla_sim(tesla, signer, channel, cfg, /*skew=*/0.005);
+    // Constant 50 ms delay < T_disclose = 100 ms: all but the tail verify.
+    EXPECT_GT(stats.auth_fraction(), 0.9);
+    EXPECT_EQ(stats.rejected, 0u);
+    // Receiver delay is about T_disclose (keys arrive ~2 intervals later).
+    EXPECT_GT(stats.receiver_delay.mean(), 0.03);
+    EXPECT_LT(stats.receiver_delay.mean(), 0.2);
+}
+
+TEST(StreamSim, TeslaLateDeliveryDropsEverything) {
+    Rng rng(7);
+    MerkleWotsSigner signer(rng, 4);
+    TeslaConfig tesla;
+    tesla.interval_duration = 0.05;
+    tesla.disclosure_lag = 2;
+    tesla.chain_length = 4096;
+    // Delay of 1 s >> T_disclose = 0.1 s: the ξ condition kills everything.
+    Channel channel(std::make_unique<BernoulliLoss>(0.0),
+                    std::make_unique<ConstantDelay>(1.0));
+    const auto stats = run_tesla_sim(tesla, signer, channel, quick_sim(), 0.005);
+    EXPECT_EQ(stats.authenticated, 0u);
+    EXPECT_DOUBLE_EQ(stats.empirical_q_min, 0.0);
+}
+
+TEST(StreamSim, TeslaRobustToHeavyLoss) {
+    Rng rng(8);
+    MerkleWotsSigner signer(rng, 4);
+    TeslaConfig tesla;
+    tesla.interval_duration = 0.05;
+    tesla.disclosure_lag = 3;
+    tesla.chain_length = 4096;
+    Channel channel(std::make_unique<BernoulliLoss>(0.4),
+                    std::make_unique<ConstantDelay>(0.05));
+    const auto stats = run_tesla_sim(tesla, signer, channel, quick_sim(8), 0.005);
+    // λ robustness: received packets verify almost surely despite 40% loss
+    // (only the stream tail misses its keys).
+    EXPECT_GT(stats.auth_fraction(), 0.8);
+}
+
+// ----------------------------------------------------------- tree and sign
+
+TEST(StreamSim, TreeIsLossProof) {
+    Rng rng(9);
+    MerkleWotsSigner signer(rng, 8);
+    Channel channel = lossy_channel(0.5);
+    const auto stats = run_tree_sim(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16},
+                                    signer, channel, quick_sim());
+    EXPECT_DOUBLE_EQ(stats.empirical_q_min, 1.0);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_DOUBLE_EQ(stats.receiver_delay.max(), 0.0);
+}
+
+TEST(StreamSim, SignEachIsLossProofAndExpensive) {
+    Rng rng(10);
+    MerkleWotsSigner signer(rng, 256);
+    Channel channel = lossy_channel(0.5);
+    SimConfig cfg = quick_sim(2);
+    const auto stats = run_sign_each_sim(16, signer, channel, cfg);
+    EXPECT_DOUBLE_EQ(stats.empirical_q_min, 1.0);
+    // Overhead is a full signature per packet.
+    EXPECT_GT(stats.overhead_bytes_per_packet,
+              static_cast<double>(signer.signature_bytes()));
+}
+
+// --------------------------------------------------------------- multicast
+
+TEST(MulticastSim, LosslessEveryReceiverVerifiesEverything) {
+    Rng rng(20);
+    MerkleWotsSigner signer(rng, 8);
+    const Channel prototype(std::make_unique<BernoulliLoss>(0.0),
+                            std::make_unique<ConstantDelay>(0.05));
+    const auto stats = run_multicast_hash_chain_sim(emss_config(12, 2, 1), signer,
+                                                    prototype, 5, quick_sim(2));
+    EXPECT_EQ(stats.receivers, 5u);
+    EXPECT_EQ(stats.per_receiver.size(), 5u);
+    EXPECT_DOUBLE_EQ(stats.all_receivers_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(stats.any_receiver_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(stats.verified_fraction.mean(), 1.0);
+}
+
+TEST(MulticastSim, GroupDeliveryDecaysWithReceiverCount) {
+    // Independent per-receiver loss: Pr{ALL receivers verify a packet}
+    // shrinks with the group size even though each receiver's own rate is
+    // constant — the group-scale effect the multicast setting creates.
+    Rng rng(21);
+    MerkleWotsSigner signer(rng, 64);
+    const Channel prototype(std::make_unique<BernoulliLoss>(0.2),
+                            std::make_unique<ConstantDelay>(0.05));
+    SimConfig cfg = quick_sim(10);
+    const auto small = run_multicast_hash_chain_sim(emss_config(16, 2, 1), signer,
+                                                    prototype, 2, cfg);
+    const auto large = run_multicast_hash_chain_sim(emss_config(16, 2, 1), signer,
+                                                    prototype, 12, cfg);
+    EXPECT_GT(small.all_receivers_fraction, large.all_receivers_fraction);
+    EXPECT_GE(large.any_receiver_fraction, large.all_receivers_fraction);
+    // Per-receiver experience is group-size independent (same channel law).
+    EXPECT_NEAR(small.verified_fraction.mean(), large.verified_fraction.mean(), 0.1);
+}
+
+TEST(MulticastSim, ReceiversSeeIndependentLossPatterns) {
+    Rng rng(22);
+    MerkleWotsSigner signer(rng, 16);
+    const Channel prototype(std::make_unique<BernoulliLoss>(0.3),
+                            std::make_unique<ConstantDelay>(0.05));
+    const auto stats = run_multicast_hash_chain_sim(emss_config(16, 2, 1), signer,
+                                                    prototype, 4, quick_sim(4));
+    // With independent 30% loss it is (astronomically) unlikely that all
+    // receivers received identical packet counts.
+    std::set<std::size_t> received_counts;
+    for (const auto& r : stats.per_receiver) received_counts.insert(r.packets_received);
+    EXPECT_GT(received_counts.size(), 1u);
+}
+
+TEST(StreamSim, OverheadOrdering) {
+    // tree > emss overhead per packet; both > 0 (paper Fig. 10 shape).
+    Rng rng(11);
+    MerkleWotsSigner signer(rng, 64);
+    SimConfig cfg = quick_sim(2);
+    Channel c1 = lossless_channel();
+    const auto emss = run_hash_chain_sim(emss_config(16, 2, 1), signer, c1, cfg);
+    Channel c2 = lossless_channel();
+    const auto tree =
+        run_tree_sim(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16}, signer, c2, cfg);
+    EXPECT_GT(tree.overhead_bytes_per_packet, emss.overhead_bytes_per_packet);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "auth/stream_auth.hpp"
+#include "core/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+HashChainConfig streaming_config() {
+    HashChainConfig cfg = emss_config(/*block_size=*/0 + 64, 2, 1);
+    return cfg;
+}
+
+struct StreamPipe {
+    explicit StreamPipe(StreamingOptions options = {}, std::uint64_t seed = 1000)
+        : rng(seed),
+          signer(rng, 64),
+          sender(streaming_config(), signer, options),
+          verifier(streaming_config(), signer.make_verifier()) {}
+
+    Rng rng;
+    MerkleWotsSigner signer;
+    StreamingAuthenticator sender;
+    StreamingVerifier verifier;
+};
+
+TEST(StreamingAuthenticator, CutsAtSizeCap) {
+    StreamingOptions options;
+    options.max_block = 8;
+    StreamPipe pipe(options);
+    std::size_t emitted_blocks = 0;
+    for (int i = 0; i < 24; ++i) {
+        const auto packets = pipe.sender.push(pipe.rng.bytes(40), 0.001 * i);
+        if (!packets.empty()) {
+            ++emitted_blocks;
+            EXPECT_EQ(packets.size(), 8u);
+            for (const auto& pkt : packets) EXPECT_EQ(pkt.block_size, 8u);
+        }
+    }
+    EXPECT_EQ(emitted_blocks, 3u);
+    EXPECT_EQ(pipe.sender.pending(), 0u);
+}
+
+TEST(StreamingAuthenticator, CutsAtLatencyDeadline) {
+    StreamingOptions options;
+    options.max_block = 100;
+    options.max_latency = 0.05;
+    StreamPipe pipe(options);
+    EXPECT_TRUE(pipe.sender.push(pipe.rng.bytes(40), 0.00).empty());
+    EXPECT_TRUE(pipe.sender.push(pipe.rng.bytes(40), 0.01).empty());
+    // Third payload arrives past the deadline of the first: cut now.
+    const auto packets = pipe.sender.push(pipe.rng.bytes(40), 0.06);
+    EXPECT_EQ(packets.size(), 3u);
+}
+
+TEST(StreamingAuthenticator, FlushEmitsTail) {
+    StreamPipe pipe;
+    pipe.sender.push(pipe.rng.bytes(40), 0.0);
+    pipe.sender.push(pipe.rng.bytes(40), 0.001);
+    pipe.sender.push(pipe.rng.bytes(40), 0.002);
+    const auto packets = pipe.sender.flush(0.01);
+    EXPECT_EQ(packets.size(), 3u);
+    EXPECT_EQ(pipe.sender.pending(), 0u);
+    EXPECT_TRUE(pipe.sender.flush(0.02).empty());  // nothing left
+}
+
+TEST(StreamingAuthenticator, FlushPadsSingletonTail) {
+    StreamPipe pipe;
+    pipe.sender.push(pipe.rng.bytes(40), 0.0);
+    const auto packets = pipe.sender.flush(0.01);
+    ASSERT_EQ(packets.size(), 2u);  // padded to min_block
+    EXPECT_EQ(packets[0].payload, packets[1].payload);
+}
+
+TEST(StreamingRoundTrip, VariableBlocksAllAuthenticate) {
+    StreamingOptions options;
+    options.max_block = 16;
+    options.max_latency = 0.03;
+    StreamPipe pipe(options);
+
+    // Irregular arrival pattern: bursts and pauses -> blocks of many sizes.
+    std::vector<AuthPacket> wire;
+    double now = 0.0;
+    Rng pacing(9);
+    std::size_t payloads = 0;
+    for (int i = 0; i < 150; ++i) {
+        now += pacing.bernoulli(0.1) ? 0.05 : 0.002;  // occasional pauses
+        auto packets = pipe.sender.push(pipe.rng.bytes(60), now);
+        wire.insert(wire.end(), packets.begin(), packets.end());
+        ++payloads;
+    }
+    auto tail = pipe.sender.flush(now + 1.0);
+    wire.insert(wire.end(), tail.begin(), tail.end());
+    ASSERT_GE(wire.size(), payloads);  // padding can add at most one
+
+    // Verify a block-size spread actually happened.
+    std::set<std::uint32_t> sizes;
+    for (const auto& pkt : wire) sizes.insert(pkt.block_size);
+    EXPECT_GE(sizes.size(), 2u);
+
+    std::size_t authenticated = 0;
+    for (const auto& pkt : wire)
+        for (const auto& ev : pipe.verifier.on_packet(pkt))
+            if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    for (const auto& ev : pipe.verifier.finish_all())
+        EXPECT_NE(ev.status, VerifyStatus::kAuthenticated);
+    EXPECT_EQ(authenticated, wire.size());
+}
+
+TEST(StreamingRoundTrip, SurvivesLossWithinBlocks) {
+    StreamingOptions options;
+    options.max_block = 12;
+    StreamPipe pipe(options);
+    std::vector<AuthPacket> wire;
+    for (int i = 0; i < 60; ++i) {
+        auto packets = pipe.sender.push(pipe.rng.bytes(60), 0.001 * i);
+        wire.insert(wire.end(), packets.begin(), packets.end());
+    }
+    // Drop every 7th packet except signature packets (paper assumption).
+    std::size_t authenticated = 0, resolved = 0;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        if (i % 7 == 3 && wire[i].kind != PacketKind::kSignature) continue;
+        for (const auto& ev : pipe.verifier.on_packet(wire[i])) {
+            ++resolved;
+            if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+        }
+    }
+    EXPECT_GT(authenticated, 0u);
+    EXPECT_GE(resolved, authenticated);
+}
+
+TEST(StreamingVerifier, ForgedGeometryCannotAuthenticate) {
+    StreamPipe pipe;
+    auto packets = pipe.sender.push(pipe.rng.bytes(60), 0.0);
+    for (int i = 1; i < 8; ++i) {
+        auto more = pipe.sender.push(pipe.rng.bytes(60), 0.001 * i);
+        packets.insert(packets.end(), more.begin(), more.end());
+    }
+    auto tail = pipe.sender.flush(1.0);
+    packets.insert(packets.end(), tail.begin(), tail.end());
+    ASSERT_FALSE(packets.empty());
+
+    AuthPacket forged = packets.front();
+    forged.block_size = 4;  // lie about geometry
+    std::size_t authenticated = 0;
+    for (const auto& ev : pipe.verifier.on_packet(forged))
+        if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    EXPECT_EQ(authenticated, 0u);
+}
+
+TEST(StreamingVerifier, AbsurdGeometryIgnored) {
+    StreamPipe pipe;
+    AuthPacket bogus;
+    bogus.block_size = 0xffffffffu;  // must not allocate a 4G-vertex graph
+    bogus.index = 5;
+    EXPECT_TRUE(pipe.verifier.on_packet(bogus).empty());
+    bogus.block_size = 1;
+    EXPECT_TRUE(pipe.verifier.on_packet(bogus).empty());
+}
+
+TEST(HashChainReceiver, DosGuardEvictsOldestBlock) {
+    HashChainConfig cfg = emss_config(8, 2, 1);
+    cfg.max_open_blocks = 3;
+    Rng rng(5);
+    MerkleWotsSigner signer(rng, 8);
+    HashChainSender sender(cfg, signer);
+    HashChainReceiver receiver(cfg, signer.make_verifier());
+
+    std::vector<std::vector<std::uint8_t>> payloads(8);
+    for (auto& p : payloads) p = rng.bytes(20);
+
+    // Open 3 blocks with one data packet each (never the signature).
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        const auto packets = sender.make_block(b, payloads);
+        EXPECT_TRUE(receiver.on_packet(packets[0]).empty());
+    }
+    EXPECT_EQ(receiver.buffered_packets(), 3u);
+
+    // A 4th block evicts block 0: its pending packet resolves unverifiable.
+    const auto packets = sender.make_block(3, payloads);
+    const auto events = receiver.on_packet(packets[0]);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].block_id, 0u);
+    EXPECT_EQ(events[0].status, VerifyStatus::kUnverifiable);
+    EXPECT_EQ(receiver.buffered_packets(), 3u);  // still capped
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "auth/tesla_scheme.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+TeslaConfig small_config() {
+    TeslaConfig cfg;
+    cfg.interval_duration = 0.1;
+    cfg.disclosure_lag = 2;   // T_disclose = 0.2 s
+    cfg.chain_length = 64;
+    cfg.mac_bytes = 16;
+    return cfg;
+}
+
+struct TeslaPipe {
+    explicit TeslaPipe(TeslaConfig config = small_config(), double skew = 0.01,
+                       std::uint64_t seed = 300)
+        : rng(seed),
+          signer(rng, 2),
+          sender(config, signer, rng, /*start_time=*/0.0),
+          receiver(config, signer.make_verifier(), skew) {}
+
+    Rng rng;
+    MerkleWotsSigner signer;
+    TeslaSender sender;
+    TeslaReceiver receiver;
+};
+
+TEST(Tesla, BootstrapVerifies) {
+    TeslaPipe pipe;
+    EXPECT_FALSE(pipe.receiver.bootstrapped());
+    EXPECT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    EXPECT_TRUE(pipe.receiver.bootstrapped());
+}
+
+TEST(Tesla, TamperedBootstrapRejected) {
+    TeslaPipe pipe;
+    auto boot = pipe.sender.bootstrap();
+    boot.payload[0] ^= 1;
+    EXPECT_FALSE(pipe.receiver.on_bootstrap(boot));
+    EXPECT_FALSE(pipe.receiver.bootstrapped());
+}
+
+TEST(Tesla, PacketsBeforeBootstrapAreDropped) {
+    TeslaPipe pipe;
+    const auto pkt = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);
+    EXPECT_TRUE(pipe.receiver.on_packet(pkt, 0.1).empty());
+}
+
+TEST(Tesla, IntervalAssignment) {
+    TeslaPipe pipe;
+    EXPECT_EQ(pipe.sender.interval_of(0.0), 1u);
+    EXPECT_EQ(pipe.sender.interval_of(0.05), 1u);
+    EXPECT_EQ(pipe.sender.interval_of(0.1), 2u);
+    EXPECT_EQ(pipe.sender.interval_of(0.95), 10u);
+}
+
+TEST(Tesla, TimelyStreamFullyAuthenticates) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+
+    // 40 packets, 25 ms apart, arriving with 10 ms delay (well under
+    // T_disclose = 200 ms). Keys disclosed 2 intervals later unlock them.
+    std::size_t authenticated = 0;
+    for (int i = 0; i < 40; ++i) {
+        const double send_time = 0.025 * i;
+        const auto pkt = pipe.sender.make_packet(pipe.rng.bytes(50), send_time);
+        for (const auto& ev : pipe.receiver.on_packet(pkt, send_time + 0.010))
+            if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    }
+    for (const auto& ev : pipe.receiver.finish())
+        EXPECT_EQ(ev.status, VerifyStatus::kUnverifiable);
+    // Packets of the last 2 intervals never see their keys (stream ended),
+    // everything else must have authenticated.
+    EXPECT_GE(authenticated, 30u);
+}
+
+TEST(Tesla, LatePacketDroppedUnverified) {
+    // SECURITY: a packet arriving after its key's disclosure time could be
+    // forged by anyone who saw the key — it must NOT authenticate.
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    const auto pkt = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);  // interval 1
+    // Key for interval 1 disclosed in interval 3 (t >= 0.2). Arrival at 0.5
+    // is far past it.
+    const auto events = pipe.receiver.on_packet(pkt, 0.5);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].status, VerifyStatus::kUnverifiable);
+}
+
+TEST(Tesla, ClockSkewTightensTheDeadline) {
+    // With skew almost equal to T_disclose, even a fast packet is unsafe.
+    TeslaConfig cfg = small_config();
+    TeslaPipe pipe(cfg, /*skew=*/0.25);
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    const auto pkt = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);
+    const auto events = pipe.receiver.on_packet(pkt, 0.06);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].status, VerifyStatus::kUnverifiable);
+}
+
+TEST(Tesla, ForgedMacRejectedOnceKeyArrives) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    auto pkt = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);
+    pkt.payload[0] ^= 1;  // MAC no longer matches
+    EXPECT_TRUE(pipe.receiver.on_packet(pkt, 0.06).empty());  // buffered
+
+    // Stream on until the key for interval 1 is disclosed (interval 3).
+    bool saw_rejection = false;
+    for (int i = 0; i < 8; ++i) {
+        const double t = 0.2 + 0.05 * i;
+        const auto later = pipe.sender.make_packet(pipe.rng.bytes(50), t);
+        for (const auto& ev : pipe.receiver.on_packet(later, t + 0.01))
+            if (ev.status == VerifyStatus::kRejected) saw_rejection = true;
+    }
+    EXPECT_TRUE(saw_rejection);
+}
+
+TEST(Tesla, LostDisclosureRecoveredByLaterKey) {
+    // The λ robustness property: key for interval i can be recovered from
+    // ANY later packet's disclosure by walking the one-way chain.
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+
+    const auto pkt1 = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);  // interval 1
+    EXPECT_TRUE(pipe.receiver.on_packet(pkt1, 0.06).empty());             // buffered
+
+    // All packets of intervals 3 and 4 (which disclose keys 1 and 2) are
+    // LOST. A packet from interval 7 (disclosing key 5) arrives and must
+    // retroactively authenticate interval 1.
+    const auto pkt7 = pipe.sender.make_packet(pipe.rng.bytes(50), 0.65);
+    std::size_t authenticated = 0;
+    for (const auto& ev : pipe.receiver.on_packet(pkt7, 0.66))
+        if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    EXPECT_EQ(authenticated, 1u);
+    EXPECT_EQ(pipe.receiver.buffered_packets(), 1u);  // pkt7 itself waits
+}
+
+TEST(Tesla, ForgedDisclosedKeyDoesNotAdvanceTrust) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    const auto good = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);
+    EXPECT_TRUE(pipe.receiver.on_packet(good, 0.06).empty());
+
+    auto attack = pipe.sender.make_packet(pipe.rng.bytes(50), 0.65);
+    ASSERT_FALSE(attack.disclosed_key.empty());
+    attack.disclosed_key[0] ^= 1;  // forged chain key
+    // The forged key fails chain verification, so the buffered packet from
+    // interval 1 must NOT be released by it.
+    for (const auto& ev : pipe.receiver.on_packet(attack, 0.66))
+        EXPECT_NE(ev.status, VerifyStatus::kAuthenticated);
+    EXPECT_GE(pipe.receiver.buffered_packets(), 2u);
+}
+
+TEST(Tesla, FinishFlushesBufferAsUnverifiable) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    pipe.receiver.on_packet(pipe.sender.make_packet(pipe.rng.bytes(50), 0.05), 0.06);
+    const auto events = pipe.receiver.finish();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].status, VerifyStatus::kUnverifiable);
+    EXPECT_EQ(pipe.receiver.buffered_packets(), 0u);
+}
+
+TEST(Tesla, ChainExhaustionThrows) {
+    TeslaConfig cfg = small_config();
+    cfg.chain_length = 2;
+    TeslaPipe pipe(cfg);
+    EXPECT_NO_THROW(pipe.sender.make_packet(pipe.rng.bytes(10), 0.15));  // interval 2
+    EXPECT_THROW(pipe.sender.make_packet(pipe.rng.bytes(10), 0.25),      // interval 3
+                 std::runtime_error);
+}
+
+TEST(Tesla, OverheadFields) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    // Interval 1-2 packets cannot disclose yet (nothing old enough).
+    const auto early = pipe.sender.make_packet(pipe.rng.bytes(50), 0.05);
+    EXPECT_EQ(early.disclosed_interval, 0u);
+    EXPECT_TRUE(early.disclosed_key.empty());
+    EXPECT_EQ(early.mac.size(), 16u);
+    // Interval 3 packets disclose key 1.
+    const auto later = pipe.sender.make_packet(pipe.rng.bytes(50), 0.25);
+    EXPECT_EQ(later.disclosed_interval, 1u);
+    EXPECT_EQ(later.disclosed_key.size(), 32u);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "core/topologies.hpp"
+
+namespace mcauth {
+namespace {
+
+// ----------------------------------------------------------------- Rohatgi
+
+TEST(Rohatgi, StructureIsSimpleChain) {
+    const auto dg = make_rohatgi(6);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_EQ(dg.graph().edge_count(), 5u);
+    for (VertexId i = 1; i < 6; ++i) {
+        EXPECT_TRUE(dg.graph().has_edge(i - 1, i));
+        EXPECT_EQ(dg.graph().in_degree(i), 1u);
+    }
+    // Signature travels FIRST: vertex 0 at send position 0.
+    EXPECT_EQ(dg.send_pos(DependenceGraph::root()), 0u);
+}
+
+TEST(Rohatgi, AllLabelsMinusOne) {
+    const auto dg = make_rohatgi(5);
+    for (const Edge& e : dg.graph().edges()) EXPECT_EQ(dg.label(e.from, e.to), -1);
+}
+
+TEST(Rohatgi, RejectsTinyBlocks) {
+    EXPECT_THROW(make_rohatgi(1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- auth tree
+
+TEST(AuthTree, StarFromRoot) {
+    const auto dg = make_auth_tree(8);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_EQ(dg.graph().edge_count(), 7u);
+    EXPECT_EQ(dg.graph().out_degree(DependenceGraph::root()), 7u);
+    for (VertexId i = 1; i < 8; ++i) EXPECT_EQ(dg.graph().in_degree(i), 1u);
+}
+
+TEST(AuthTree, EveryVertexSurvivesAnyOtherLoss) {
+    const auto dg = make_auth_tree(6);
+    std::vector<bool> received(6, false);
+    received[4] = true;  // only packet 4 arrives
+    const auto v = dg.verifiable_given(received);
+    EXPECT_TRUE(v[4]);
+}
+
+// -------------------------------------------------------------------- EMSS
+
+TEST(Emss, E21MatchesPaperStructure) {
+    const auto dg = make_emss(8, 2, 1);
+    EXPECT_TRUE(dg.is_valid());
+    // Signature travels LAST: vertex 0 at send position n-1.
+    EXPECT_EQ(dg.send_pos(DependenceGraph::root()), 7u);
+    // Vertex i linked from i-1 and i-2 (clamped to root).
+    for (VertexId i = 3; i < 8; ++i) {
+        EXPECT_TRUE(dg.graph().has_edge(i - 1, i));
+        EXPECT_TRUE(dg.graph().has_edge(i - 2, i));
+        EXPECT_EQ(dg.graph().in_degree(i), 2u);
+    }
+    // Root carries the first two vertices directly (i.c. of Eq. 8).
+    EXPECT_TRUE(dg.graph().has_edge(0, 1));
+    EXPECT_TRUE(dg.graph().has_edge(0, 2));
+}
+
+TEST(Emss, OffsetsWithSeparation) {
+    const auto dg = make_emss(20, 2, 5);  // offsets {1, 6}
+    for (VertexId i = 7; i < 20; ++i) {
+        EXPECT_TRUE(dg.graph().has_edge(i - 1, i));
+        EXPECT_TRUE(dg.graph().has_edge(i - 6, i));
+    }
+}
+
+TEST(Emss, EdgeCountFormula) {
+    // Each vertex has m incoming edges except root-clamped duplicates merge.
+    const std::size_t n = 100, m = 3, d = 2;
+    const auto dg = make_emss(n, m, d);
+    // Vertices far from root contribute m edges each; near-root vertices
+    // de-duplicate clamped edges. Just check the asymptotic band.
+    EXPECT_GE(dg.graph().edge_count(), (n - 1) * m - 3 * m * d);
+    EXPECT_LE(dg.graph().edge_count(), (n - 1) * m);
+}
+
+TEST(Emss, NameEncodesParameters) {
+    EXPECT_EQ(make_emss(8, 2, 1).scheme_name(), "emss(m=2,d=1)");
+}
+
+class EmssParams : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(EmssParams, AlwaysValidAndAcyclic) {
+    const auto [m, d] = GetParam();
+    const auto dg = make_emss(64, m, d);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_TRUE(is_acyclic(dg.graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EmssParams,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                                            ::testing::Values(1, 2, 4, 8, 16)));
+
+// ----------------------------------------------------------- offset scheme
+
+TEST(OffsetScheme, RohatgiIsOffsetOne) {
+    const auto chain = make_offset_scheme(10, {1});
+    EXPECT_EQ(chain.graph().edge_count(), 9u);
+    for (VertexId i = 1; i < 10; ++i) EXPECT_TRUE(chain.graph().has_edge(i - 1, i));
+}
+
+TEST(OffsetScheme, RejectsZeroOffset) {
+    EXPECT_THROW(make_offset_scheme(10, {0}), std::invalid_argument);
+    EXPECT_THROW(make_offset_scheme(10, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- augmented chain
+
+TEST(AugmentedChain, MatchesEq10Structure) {
+    // C_{a=2, b=2}: groups of 3 — chain vertex at i % 3 == 0.
+    const std::size_t n = 15, a = 2, b = 2, g = b + 1;
+    const auto dg = make_augmented_chain(n, a, b);
+    EXPECT_TRUE(dg.is_valid());
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t x = i / g, y = i % g;
+        if (y == 0) {
+            // Chain vertex: carried by previous chain vertex and a-th previous.
+            EXPECT_TRUE(dg.graph().has_edge(static_cast<VertexId>((x - 1) * g),
+                                            static_cast<VertexId>(i)))
+                << i;
+            const std::size_t far = x >= a ? (x - a) * g : 0;
+            EXPECT_TRUE(dg.graph().has_edge(static_cast<VertexId>(far),
+                                            static_cast<VertexId>(i)))
+                << i;
+        } else {
+            // Inserted vertex: carried by its group's chain vertex...
+            EXPECT_TRUE(dg.graph().has_edge(static_cast<VertexId>(x * g),
+                                            static_cast<VertexId>(i)))
+                << i;
+            // ...and its zig-zag neighbour (root clamp when the block ends
+            // mid-group).
+            const std::size_t neighbour = (y < b) ? i + 1 : (x + 1) * g;
+            EXPECT_TRUE(dg.graph().has_edge(
+                static_cast<VertexId>(neighbour < n ? neighbour : 0),
+                static_cast<VertexId>(i)))
+                << i;
+        }
+    }
+}
+
+TEST(AugmentedChain, InsertedVerticesHaveTwoIncomingEdges) {
+    // Including the truncated tail group: the root clamp keeps the
+    // "linked to two other packets" invariant everywhere.
+    const auto dg = make_augmented_chain(25, 3, 3);
+    const std::size_t g = 4;
+    for (VertexId i = 1; i < 25; ++i) {
+        if (i % g != 0) {
+            EXPECT_EQ(dg.graph().in_degree(i), 2u) << i;
+        }
+    }
+}
+
+TEST(AugmentedChain, ParameterValidation) {
+    EXPECT_THROW(make_augmented_chain(10, 1, 2), std::invalid_argument);  // a >= 2
+    EXPECT_THROW(make_augmented_chain(10, 2, 0), std::invalid_argument);  // b >= 1
+}
+
+class AcParams
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(AcParams, AlwaysValidAndAcyclic) {
+    const auto [n, a, b] = GetParam();
+    const auto dg = make_augmented_chain(n, a, b);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_TRUE(is_acyclic(dg.graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AcParams,
+                         ::testing::Combine(::testing::Values(10, 17, 32, 100),
+                                            ::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 2, 3, 7)));
+
+// ------------------------------------------------------------ random scheme
+
+TEST(RandomScheme, AlwaysValidThanksToSpine) {
+    Rng rng(77);
+    for (double p_edge : {0.0, 0.05, 0.3}) {
+        const auto dg = make_random_scheme(40, p_edge, rng);
+        EXPECT_TRUE(dg.is_valid()) << p_edge;
+        EXPECT_GE(dg.graph().edge_count(), 39u);  // at least the spine
+    }
+}
+
+TEST(RandomScheme, ExtraEdgeCapRespected) {
+    Rng rng(78);
+    const auto dg = make_random_scheme(50, 1.0, rng, 3);
+    for (VertexId v = 1; v < 50; ++v)
+        EXPECT_LE(dg.graph().in_degree(v), 4u);  // spine + 3 extras
+}
+
+TEST(RandomScheme, ZeroProbabilityIsPlainChain) {
+    Rng rng(79);
+    const auto dg = make_random_scheme(20, 0.0, rng);
+    EXPECT_EQ(dg.graph().edge_count(), 19u);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "auth/tree_scheme.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> payloads_for(Rng& rng, std::size_t n) {
+    std::vector<std::vector<std::uint8_t>> out;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(rng.bytes(80));
+    return out;
+}
+
+struct TreePipe {
+    explicit TreePipe(TreeSchemeConfig config, std::uint64_t seed = 200)
+        : rng(seed),
+          signer(rng, 4),
+          sender(config, signer),
+          receiver(config, signer.make_verifier()) {}
+
+    Rng rng;
+    MerkleWotsSigner signer;
+    TreeSender sender;
+    TreeReceiver receiver;
+};
+
+class TreeBlockSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeBlockSizes, EveryPacketIndividuallyVerifiable) {
+    const std::size_t n = GetParam();
+    TreePipe pipe(TreeSchemeConfig{.block_size = n, .hash_bytes = 16});
+    const auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, n));
+    ASSERT_EQ(packets.size(), n);
+    // Verify in isolation and in arbitrary subsets: no inter-packet state.
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto ev = pipe.receiver.on_packet(packets[i]);
+        EXPECT_EQ(ev.status, VerifyStatus::kAuthenticated) << i;
+        EXPECT_EQ(ev.index, i);
+    }
+}
+
+// Odd block sizes exercise promoted Merkle nodes end-to-end.
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeBlockSizes, ::testing::Values(2, 3, 5, 8, 13, 16, 33));
+
+TEST(TreeScheme, SurvivesTotalLossOfOtherPackets) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16});
+    const auto packets = pipe.sender.make_block(7, payloads_for(pipe.rng, 16));
+    // Only one packet arrives; it still verifies.
+    const auto ev = pipe.receiver.on_packet(packets[11]);
+    EXPECT_EQ(ev.status, VerifyStatus::kAuthenticated);
+}
+
+TEST(TreeScheme, TamperedPayloadRejected) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    packets[2].payload[5] ^= 1;
+    EXPECT_EQ(pipe.receiver.on_packet(packets[2]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, TamperedProofRejected) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    packets[2].hashes[0].digest[0] ^= 1;
+    EXPECT_EQ(pipe.receiver.on_packet(packets[2]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, ReassignedIndexRejected) {
+    // Swapping a packet's claimed index must fail: the leaf binds identity.
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    packets[2].index = 3;
+    EXPECT_EQ(pipe.receiver.on_packet(packets[2]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, CrossBlockReplayRejected) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    packets[2].block_id = 1;  // replay into another block
+    EXPECT_EQ(pipe.receiver.on_packet(packets[2]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, MalformedProofEntryRejectedGracefully) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    packets[2].hashes[0].digest.resize(5);  // not a full digest
+    EXPECT_EQ(pipe.receiver.on_packet(packets[2]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, OverheadIsLogarithmicPathPlusSignature) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16});
+    const auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 16));
+    for (const auto& pkt : packets) {
+        EXPECT_EQ(pkt.hashes.size(), 4u);  // log2(16) path entries
+        EXPECT_FALSE(pkt.signature.empty());
+    }
+}
+
+class TreeArity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeArity, RoundTripAndTamperAtAnyDegree) {
+    const std::size_t arity = GetParam();
+    TreePipe pipe(TreeSchemeConfig{.block_size = 27, .hash_bytes = 16, .arity = arity});
+    auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 27));
+    for (std::size_t i = 0; i < 27; ++i) {
+        EXPECT_EQ(pipe.receiver.on_packet(packets[i]).status,
+                  VerifyStatus::kAuthenticated)
+            << "arity " << arity << " i " << i;
+    }
+    packets[5].payload[0] ^= 1;
+    EXPECT_EQ(pipe.receiver.on_packet(packets[5]).status, VerifyStatus::kRejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TreeArity, ::testing::Values(2, 3, 4, 5, 27));
+
+TEST(TreeScheme, ArityTradesLevelsForBytes) {
+    // The Wong-Lam degree tradeoff: higher arity -> fewer proof levels but
+    // more sibling bytes per level.
+    const std::size_t n = 64;
+    Rng rng(300);
+    MerkleWotsSigner signer(rng, 4);
+    auto overhead_at = [&](std::size_t arity) {
+        TreeSender sender(TreeSchemeConfig{.block_size = n, .hash_bytes = 16, .arity = arity},
+                          signer);
+        Rng data_rng(7);
+        std::vector<std::vector<std::uint8_t>> payloads;
+        for (std::size_t i = 0; i < n; ++i) payloads.push_back(data_rng.bytes(50));
+        const auto packets = sender.make_block(0, payloads);
+        return std::pair{packets[0].hashes.size(),               // levels
+                         packets[0].wire_size() - 50};           // overhead bytes
+    };
+    const auto [levels2, bytes2] = overhead_at(2);
+    const auto [levels8, bytes8] = overhead_at(8);
+    EXPECT_EQ(levels2, 6u);  // log2(64)
+    EXPECT_EQ(levels8, 2u);  // log8(64)
+    EXPECT_LT(levels8, levels2);
+    EXPECT_GT(bytes8, bytes2);  // 2 levels x 7 siblings > 6 levels x 1
+}
+
+TEST(TreeScheme, MixedArityIsRejectedCrossways) {
+    // A packet built at arity 8 must not verify at a receiver expecting
+    // arity 2 (group sizes exceed the configured degree).
+    Rng rng(301);
+    MerkleWotsSigner signer(rng, 4);
+    TreeSender sender(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16, .arity = 8},
+                      signer);
+    TreeReceiver receiver(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16, .arity = 2},
+                          signer.make_verifier());
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (int i = 0; i < 16; ++i) payloads.push_back(rng.bytes(40));
+    const auto packets = sender.make_block(0, payloads);
+    EXPECT_EQ(receiver.on_packet(packets[3]).status, VerifyStatus::kRejected);
+}
+
+TEST(TreeScheme, AllPacketsShareOneSignature) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    const auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    for (std::size_t i = 1; i < packets.size(); ++i)
+        EXPECT_EQ(packets[i].signature, packets[0].signature);
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/hex.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mcauth {
+namespace {
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformBelowCoversSupportWithoutBias) {
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) ++counts[rng.uniform_below(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / 10 - 600);
+        EXPECT_LT(c, draws / 10 + 600);
+    }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(5);
+    int hits = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateEndpoints) {
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(9);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BytesLengthAndDeterminism) {
+    Rng a(21), b(21);
+    const auto x = a.bytes(37);
+    const auto y = b.bytes(37);
+    EXPECT_EQ(x.size(), 37u);
+    EXPECT_EQ(x, y);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(31);
+    Rng child = a.fork();
+    // Child stream should not replay the parent stream.
+    Rng fresh(31);
+    fresh.next_u64();  // consume the value used for forking
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child.next_u64() == fresh.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, JumpChangesState) {
+    Xoshiro256ss a(1);
+    Xoshiro256ss b(1);
+    b.jump();
+    EXPECT_NE(a.next(), b.next());
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+    RunningStats all, a, b;
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal();
+        all.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+    std::vector<double> v{5, 1, 4, 2, 3};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenRanks) {
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+    }
+}
+
+TEST(WilsonHalfwidth, ShrinksWithSamples) {
+    const double w100 = wilson_halfwidth(0.5, 100);
+    const double w10000 = wilson_halfwidth(0.5, 10000);
+    EXPECT_GT(w100, w10000);
+    EXPECT_NEAR(w10000, 0.0098, 0.001);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BinningAndOverflow) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(-1.0);
+    h.add(10.0);
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileMatchesMass) {
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    const std::string out = h.render();
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TablePrinter, AlignsAndCounts) {
+    TablePrinter t({"a", "long_header"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+    EXPECT_EQ(t.rows(), 2u);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatting) {
+    EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::num(std::size_t{42}), "42");
+}
+
+// ------------------------------------------------------------------- hex
+
+TEST(Hex, RoundTrip) {
+    const std::vector<std::uint8_t> bytes{0x00, 0xff, 0x10, 0xab};
+    EXPECT_EQ(to_hex(bytes), "00ff10ab");
+    EXPECT_EQ(from_hex("00ff10ab"), bytes);
+    EXPECT_EQ(from_hex("00FF10AB"), bytes);
+}
+
+TEST(Hex, RejectsMalformed) {
+    EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+    EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+// ------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+    const char* argv[] = {"prog", "--n=100", "--p=0.25", "--verbose", "positional"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.get_int("n", 0), 100);
+    EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+    EXPECT_TRUE(args.get_bool("verbose", false));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsNonNumeric) {
+    const char* argv[] = {"prog", "--n=abc"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- check
+
+TEST(Check, MacrosThrowTypedExceptions) {
+    EXPECT_THROW(MCAUTH_EXPECTS(false), std::invalid_argument);
+    EXPECT_THROW(MCAUTH_ENSURES(false), std::logic_error);
+    EXPECT_THROW(MCAUTH_REQUIRE(false), std::runtime_error);
+    EXPECT_NO_THROW(MCAUTH_EXPECTS(true));
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/wots.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+// ------------------------------------------------------------------ WOTS
+
+TEST(WotsParams, ChunkCountsForW4) {
+    WotsParams p{.w = 4};
+    EXPECT_EQ(p.message_chunks(), 64u);
+    EXPECT_EQ(p.checksum_chunks(), 3u);  // max checksum 64*15=960 -> 3 hex digits
+    EXPECT_EQ(p.total_chunks(), 67u);
+}
+
+TEST(WotsParams, ChunkCountsForW8) {
+    WotsParams p{.w = 8};
+    EXPECT_EQ(p.message_chunks(), 32u);
+    EXPECT_EQ(p.checksum_chunks(), 2u);  // max 32*255=8160 -> 2 base-256 digits
+}
+
+TEST(WotsChunks, ChecksumInvariant) {
+    // Sum of message chunks plus checksum value must be constant: raising
+    // any message chunk must lower the checksum (the WOTS security core).
+    Rng rng(1);
+    WotsParams p{.w = 4};
+    for (int trial = 0; trial < 50; ++trial) {
+        Digest256 d;
+        const auto bytes = rng.bytes(d.size());
+        std::copy(bytes.begin(), bytes.end(), d.begin());
+        const auto chunks = wots_chunks(d, p);
+        ASSERT_EQ(chunks.size(), p.total_chunks());
+        std::uint64_t msg_sum = 0;
+        for (std::size_t i = 0; i < p.message_chunks(); ++i) msg_sum += chunks[i];
+        std::uint64_t checksum = 0;
+        for (std::size_t i = 0; i < p.checksum_chunks(); ++i)
+            checksum += std::uint64_t(chunks[p.message_chunks() + i]) << (4 * i);
+        EXPECT_EQ(msg_sum + checksum, p.message_chunks() * 15);
+    }
+}
+
+TEST(WotsChunks, AllValuesWithinRange) {
+    Rng rng(2);
+    for (unsigned w : {1u, 2u, 4u, 8u}) {
+        WotsParams p{.w = w};
+        Digest256 d;
+        const auto bytes = rng.bytes(d.size());
+        std::copy(bytes.begin(), bytes.end(), d.begin());
+        for (std::uint32_t c : wots_chunks(d, p)) EXPECT_LT(c, p.chunk_values());
+    }
+}
+
+TEST(Wots, SignVerifyRoundTrip) {
+    const auto seed = from_hex("aabbccdd");
+    WotsKey key(seed, 0);
+    const Digest256 digest = Sha256::hash("message");
+    const auto sig = key.sign(digest);
+    EXPECT_TRUE(WotsKey::verify(sig, digest, key.public_key()));
+}
+
+TEST(Wots, DifferentMessageFails) {
+    const auto seed = from_hex("aabbccdd");
+    WotsKey key(seed, 0);
+    const auto sig = key.sign(Sha256::hash("message"));
+    EXPECT_FALSE(WotsKey::verify(sig, Sha256::hash("другое"), key.public_key()));
+}
+
+TEST(Wots, TamperedChainValueFails) {
+    const auto seed = from_hex("aabbccdd");
+    WotsKey key(seed, 0);
+    const Digest256 digest = Sha256::hash("message");
+    auto sig = key.sign(digest);
+    sig.chain_values[5][0] ^= 1;
+    EXPECT_FALSE(WotsKey::verify(sig, digest, key.public_key()));
+}
+
+TEST(Wots, DistinctIndicesGiveDistinctKeys) {
+    const auto seed = from_hex("0102030405060708");
+    WotsKey k0(seed, 0), k1(seed, 1);
+    EXPECT_NE(to_hex(k0.public_key()), to_hex(k1.public_key()));
+}
+
+TEST(Wots, WrongChunkCountRejected) {
+    const auto seed = from_hex("aa");
+    WotsKey key(seed, 0);
+    auto sig = key.sign(Sha256::hash("m"));
+    sig.chain_values.pop_back();
+    EXPECT_FALSE(WotsKey::verify(sig, Sha256::hash("m"), key.public_key()));
+}
+
+// ---------------------------------------------------------------- Merkle
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+    const std::size_t count = GetParam();
+    std::vector<Digest256> leaves;
+    std::vector<Digest256> leaf_values;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto data = ascii_bytes("leaf-" + std::to_string(i));
+        leaf_values.push_back(MerkleTree::hash_leaf(data));
+        leaves.push_back(leaf_values.back());
+    }
+    const MerkleTree tree(leaves);
+    EXPECT_EQ(tree.leaf_count(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto proof = tree.prove(i);
+        EXPECT_TRUE(MerkleTree::verify(leaf_values[i], proof, tree.root())) << "leaf " << i;
+    }
+}
+
+// Odd sizes exercise the promoted-node path; powers of two the clean path.
+INSTANTIATE_TEST_SUITE_P(VariousSizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 33, 64));
+
+TEST(Merkle, WrongLeafFails) {
+    std::vector<Digest256> leaves;
+    for (int i = 0; i < 8; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("leaf" + std::to_string(i))));
+    const MerkleTree tree(leaves);
+    const auto proof = tree.prove(3);
+    EXPECT_FALSE(MerkleTree::verify(leaves[4], proof, tree.root()));
+}
+
+TEST(Merkle, TamperedSiblingFails) {
+    std::vector<Digest256> leaves;
+    for (int i = 0; i < 8; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("leaf" + std::to_string(i))));
+    const MerkleTree tree(leaves);
+    auto proof = tree.prove(3);
+    proof.steps[1].sibling[0] ^= 1;
+    EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+}
+
+TEST(Merkle, FlippedSideBitFails) {
+    std::vector<Digest256> leaves;
+    for (int i = 0; i < 8; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("leaf" + std::to_string(i))));
+    const MerkleTree tree(leaves);
+    auto proof = tree.prove(2);
+    proof.steps[0].sibling_is_left = !proof.steps[0].sibling_is_left;
+    EXPECT_FALSE(MerkleTree::verify(leaves[2], proof, tree.root()));
+}
+
+TEST(Merkle, LeafAndNodeDomainsSeparated) {
+    // A leaf hash of some bytes must differ from a node hash of the same
+    // bytes split in two — the domain prefixes prevent type confusion.
+    const Digest256 a = Sha256::hash("a");
+    const Digest256 b = Sha256::hash("b");
+    std::vector<std::uint8_t> concat;
+    concat.insert(concat.end(), a.begin(), a.end());
+    concat.insert(concat.end(), b.begin(), b.end());
+    EXPECT_NE(to_hex(MerkleTree::hash_node(a, b)), to_hex(MerkleTree::hash_leaf(concat)));
+}
+
+TEST(Merkle, SingleLeafTreeRootIsLeaf) {
+    const Digest256 leaf = MerkleTree::hash_leaf(ascii_bytes("only"));
+    const MerkleTree tree({leaf});
+    EXPECT_EQ(tree.root(), leaf);
+    EXPECT_EQ(tree.height(), 0u);
+    EXPECT_TRUE(tree.prove(0).steps.empty());
+}
+
+TEST(Merkle, ProofWireSizeGrowsLogarithmically) {
+    std::vector<Digest256> leaves(64, Sha256::hash("x"));
+    const MerkleTree tree(leaves);
+    EXPECT_EQ(tree.prove(0).steps.size(), 6u);  // log2(64)
+}
+
+// ------------------------------------------------------------ k-ary trees
+
+class KaryMerkleSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KaryMerkleSweep, AllProofsVerify) {
+    const auto [count, arity] = GetParam();
+    std::vector<Digest256> leaves;
+    for (std::size_t i = 0; i < count; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("leaf-" + std::to_string(i))));
+    const KaryMerkleTree tree(leaves, arity);
+    EXPECT_EQ(tree.leaf_count(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto proof = tree.prove(i);
+        EXPECT_TRUE(KaryMerkleTree::verify(leaves[i], proof, tree.root()))
+            << "leaf " << i << " arity " << arity;
+        // Every step's group fits the arity.
+        for (const auto& step : proof.steps) {
+            EXPECT_LT(step.siblings.size(), arity);
+            EXPECT_LE(step.position, step.siblings.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndArities, KaryMerkleSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 7, 8, 9, 16, 27, 30,
+                                                              64, 81),
+                                            ::testing::Values(2, 3, 4, 8)));
+
+TEST(KaryMerkle, HeightIsLogArity) {
+    std::vector<Digest256> leaves(81, Sha256::hash("x"));
+    EXPECT_EQ(KaryMerkleTree(leaves, 3).height(), 4u);   // 3^4 = 81
+    EXPECT_EQ(KaryMerkleTree(leaves, 9).height(), 2u);   // 9^2 = 81
+    EXPECT_EQ(KaryMerkleTree(leaves, 81).height(), 1u);  // flat
+}
+
+TEST(KaryMerkle, WrongLeafAndTamperFail) {
+    std::vector<Digest256> leaves;
+    for (int i = 0; i < 27; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("l" + std::to_string(i))));
+    const KaryMerkleTree tree(leaves, 3);
+    auto proof = tree.prove(10);
+    EXPECT_FALSE(KaryMerkleTree::verify(leaves[11], proof, tree.root()));
+    proof.steps[1].siblings[0][0] ^= 1;
+    EXPECT_FALSE(KaryMerkleTree::verify(leaves[10], proof, tree.root()));
+}
+
+TEST(KaryMerkle, WrongPositionFails) {
+    std::vector<Digest256> leaves;
+    for (int i = 0; i < 9; ++i)
+        leaves.push_back(MerkleTree::hash_leaf(ascii_bytes("l" + std::to_string(i))));
+    const KaryMerkleTree tree(leaves, 3);
+    auto proof = tree.prove(4);
+    proof.steps[0].position = (proof.steps[0].position + 1) % 3;
+    EXPECT_FALSE(KaryMerkleTree::verify(leaves[4], proof, tree.root()));
+    proof.steps[0].position = 99;  // absurd
+    EXPECT_FALSE(KaryMerkleTree::verify(leaves[4], proof, tree.root()));
+}
+
+TEST(KaryMerkle, TruncatedGroupsAreDomainSeparated) {
+    // A 2-child group must not collide with a 3-child group sharing a
+    // prefix — the child count is hashed.
+    const Digest256 a = Sha256::hash("a"), b = Sha256::hash("b"), c = Sha256::hash("c");
+    const Digest256 g2 = KaryMerkleTree::hash_group(std::array<Digest256, 2>{a, b});
+    const Digest256 g3 = KaryMerkleTree::hash_group(std::array<Digest256, 3>{a, b, c});
+    EXPECT_NE(to_hex(g2), to_hex(g3));
+}
+
+TEST(KaryMerkle, RejectsBadArity) {
+    std::vector<Digest256> leaves(4, Sha256::hash("x"));
+    EXPECT_THROW(KaryMerkleTree(leaves, 1), std::invalid_argument);
+    EXPECT_THROW(KaryMerkleTree(leaves, 256), std::invalid_argument);
+}
+
+// ----------------------------------------------------- MerkleWotsSigner
+
+TEST(MerkleWotsSigner, SignsUpToCapacityThenThrows) {
+    Rng rng(3);
+    MerkleWotsSigner signer(rng, 4);
+    const auto verifier = signer.make_verifier();
+    for (int i = 0; i < 4; ++i) {
+        const auto msg = ascii_bytes("msg" + std::to_string(i));
+        const auto sig = signer.sign(msg);
+        EXPECT_TRUE(verifier->verify(msg, sig)) << i;
+    }
+    EXPECT_EQ(signer.remaining(), 0u);
+    EXPECT_THROW(signer.sign(ascii_bytes("over")), std::runtime_error);
+}
+
+TEST(MerkleWotsSigner, CrossMessageVerificationFails) {
+    Rng rng(4);
+    MerkleWotsSigner signer(rng, 2);
+    const auto verifier = signer.make_verifier();
+    const auto sig = signer.sign(ascii_bytes("first"));
+    EXPECT_FALSE(verifier->verify(ascii_bytes("second"), sig));
+}
+
+TEST(MerkleWotsSigner, TruncatedSignatureFails) {
+    Rng rng(5);
+    MerkleWotsSigner signer(rng, 2);
+    const auto verifier = signer.make_verifier();
+    auto sig = signer.sign(ascii_bytes("msg"));
+    sig.resize(sig.size() - 1);
+    EXPECT_FALSE(verifier->verify(ascii_bytes("msg"), sig));
+}
+
+TEST(MerkleWotsSigner, SignatureBytesMatchesActual) {
+    Rng rng(6);
+    MerkleWotsSigner signer(rng, 8);
+    const auto sig = signer.sign(ascii_bytes("size-check"));
+    EXPECT_EQ(sig.size(), signer.signature_bytes());
+}
+
+TEST(MerkleWotsSigner, GarbageBytesFailGracefully) {
+    Rng rng(7);
+    MerkleWotsSigner signer(rng, 2);
+    const auto verifier = signer.make_verifier();
+    EXPECT_FALSE(verifier->verify(ascii_bytes("m"), rng.bytes(100)));
+    EXPECT_FALSE(verifier->verify(ascii_bytes("m"), {}));
+}
+
+}  // namespace
+}  // namespace mcauth
