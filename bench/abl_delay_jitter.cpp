@@ -15,7 +15,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_delay_jitter");
     bench::note("[abl7] Receiver-delay distribution vs network jitter; n = 64, "
                 "T_transmit = 10 ms, mean path delay 50 ms");
     SchemeParams params;

@@ -11,7 +11,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_designers");
     bench::note("[abl3] §5 designers vs EMSS/AC at matched q_min targets (recurrence metric)");
     SchemeParams params;
     Rng rng(21);

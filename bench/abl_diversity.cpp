@@ -17,7 +17,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_diversity");
     bench::note("[abl5] Diversity metrics vs measured robustness, n = 120");
     const std::size_t kN = 120;
 

@@ -11,14 +11,16 @@
 #include "core/authprob.hpp"
 #include "core/topologies.hpp"
 #include "sim/stream_sim.hpp"
+#include "util/check.hpp"
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl4", /*default_seed=*/31);
     bench::note("[abl4] Predicted vs measured q_min (real codecs over a lossy channel)");
 
     TablePrinter table({"scheme", "n", "p", "predicted", "measured", "delta"});
-    Rng rng(31);
+    Rng rng(bm.seed());
     MerkleWotsSigner signer(rng, 1024);
 
     struct Case {
@@ -55,6 +57,8 @@ int main() {
             Channel channel(std::make_unique<BernoulliLoss>(p),
                             std::make_unique<GaussianDelay>(0.01, 0.002));
             const auto stats = run_hash_chain_sim(c.config, signer, channel, sim);
+            // A sim that resolved nothing reports NaN, never a fake 1.0.
+            MCAUTH_REQUIRE(std::isfinite(stats.auth_fraction()));
 
             table.add_row({c.config.name, std::to_string(n), TablePrinter::num(p, 1),
                            TablePrinter::num(predicted, 4),

@@ -14,7 +14,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_exact_dp");
     bench::note("[abl6] Exact transfer-matrix DP vs the paper's recurrence, n = 1000");
 
     bench::section("i.i.d. loss: q_min exact vs recurrence");

@@ -23,7 +23,8 @@ double mc_q_min(const DependenceGraph& dg, LossModel& loss, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_markov_loss");
     bench::note("[abl2] Bursty loss (rate fixed at 0.2), q_min by Monte-Carlo, n = 500");
     const double kRate = 0.2;
     const std::size_t kN = 500;

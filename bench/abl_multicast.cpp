@@ -11,7 +11,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_multicast");
     bench::note("[abl8] Multicast fan-out: group delivery vs receiver count; "
                 "p = 0.15, n = 24, 12 blocks");
     Rng rng(81);

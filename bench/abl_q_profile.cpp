@@ -15,7 +15,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_q_profile");
     bench::note("[abl10] q_i profiles (exact) and TESLA delay-model sensitivity");
 
     bench::section("(a) exact q_i vs vertex index, n = 200, p = 0.15");

@@ -17,7 +17,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_recurrence_accuracy");
     bench::note("[abl1] Recurrence (paper) vs exact vs Monte-Carlo vs Eq.1 bounds");
 
     bench::section("small blocks (exact ground truth), n = 18");

@@ -9,7 +9,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "abl_tree_arity");
     bench::note("[abl9] Wong-Lam authentication-tree arity sweep; n = 256, payload 256 B");
     Rng rng(91);
     HmacSigner signer(rng, 128);  // 128 B stand-in so rows isolate the path cost

@@ -1,10 +1,36 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared harness for the figure-reproduction benches.
+//
+// Every bench main constructs a BenchMain first thing:
+//
+//   int main(int argc, char** argv) {
+//       bench::BenchMain bm(argc, argv, "abl4");
+//       ...
+//   }
+//
+// which gives every binary a uniform flag surface (parsed by util/cli):
+//
+//   --seed=N           base RNG seed (default per-bench)
+//   --warmup=N         run the workload N extra times first, then discard
+//                      metrics (only meaningful with BenchMain::run)
+//   --repeat=N         measured repetitions (only meaningful with run)
+//   --obs=0|1          runtime switch for mcauth_obs instrumentation
+//   --metrics-out=F    dump the obs metrics registry to F as JSON at exit
+//   --trace-out=F      record trace events and dump Chrome trace-event JSON
+//                      to F at exit (open in chrome://tracing or Perfetto)
+//
+// Metrics/trace files are written from the destructor, so a bench needs no
+// explicit flush. This is the repo's machine-readable perf trajectory: the
+// same binary that prints a paper figure also exports where its time went.
 #pragma once
 
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <string>
+#include <utility>
 
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace mcauth::bench {
@@ -22,5 +48,72 @@ inline void emit(const TablePrinter& table, const std::string& csv_name) {
     std::filesystem::create_directories("bench_out", ec);
     if (!ec) table.write_csv("bench_out/" + csv_name + ".csv");
 }
+
+class BenchMain {
+public:
+    BenchMain(int argc, const char* const* argv, std::string name,
+              std::uint64_t default_seed = 1)
+        : args_(argc, argv), name_(std::move(name)) {
+        seed_ = static_cast<std::uint64_t>(
+            args_.get_int("seed", static_cast<std::int64_t>(default_seed)));
+        warmup_ = static_cast<std::size_t>(args_.get_int("warmup", 0));
+        repeat_ = static_cast<std::size_t>(args_.get_int("repeat", 1));
+        metrics_out_ = args_.get("metrics-out", "");
+        trace_out_ = args_.get("trace-out", "");
+        obs::set_enabled(args_.get_bool("obs", true));
+        if (!trace_out_.empty()) obs::set_trace_enabled(true);
+    }
+
+    BenchMain(const BenchMain&) = delete;
+    BenchMain& operator=(const BenchMain&) = delete;
+
+    ~BenchMain() { flush(); }
+
+    const CliArgs& args() const noexcept { return args_; }
+    const std::string& name() const noexcept { return name_; }
+    std::uint64_t seed() const noexcept { return seed_; }
+    std::size_t repeat() const noexcept { return repeat_; }
+
+    /// Warmup/repeat driver: `body(seed)` runs `warmup` times with metrics
+    /// discarded afterwards, then `repeat` measured times with distinct
+    /// seeds. Benches with a single natural pass can ignore this and just
+    /// rely on the destructor's export.
+    void run(const std::function<void(std::uint64_t)>& body) {
+        for (std::size_t w = 0; w < warmup_; ++w) body(seed_ + w);
+        if (warmup_ > 0) {
+            obs::registry().reset();
+            obs::TraceRecorder::global().clear();
+        }
+        for (std::size_t r = 0; r < repeat_; ++r) body(seed_ + warmup_ + r);
+    }
+
+    /// Write --metrics-out/--trace-out files; idempotent, called at exit.
+    void flush() {
+        if (flushed_) return;
+        flushed_ = true;
+        if (!metrics_out_.empty()) {
+            if (obs::registry().write_json(metrics_out_))
+                note("metrics: " + metrics_out_);
+            else
+                note("metrics: FAILED to write " + metrics_out_);
+        }
+        if (!trace_out_.empty()) {
+            if (obs::TraceRecorder::global().write_json(trace_out_))
+                note("trace: " + trace_out_ + " (open in chrome://tracing or Perfetto)");
+            else
+                note("trace: FAILED to write " + trace_out_);
+        }
+    }
+
+private:
+    CliArgs args_;
+    std::string name_;
+    std::uint64_t seed_ = 1;
+    std::size_t warmup_ = 0;
+    std::size_t repeat_ = 1;
+    std::string metrics_out_;
+    std::string trace_out_;
+    bool flushed_ = false;
+};
 
 }  // namespace mcauth::bench

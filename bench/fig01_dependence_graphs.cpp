@@ -41,7 +41,8 @@ void show(const DependenceGraph& dg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig01_dependence_graphs");
     bench::note("[fig01] Dependence-graphs of the four §2 schemes (small n for legibility)");
     show(make_rohatgi(8));
     show(make_auth_tree(8));

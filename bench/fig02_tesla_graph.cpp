@@ -14,7 +14,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig02_tesla_graph");
     bench::note("[fig02] TESLA dependence-graph, n=6 packets, disclosure lag a=2");
     const TeslaGraph tg = make_tesla_graph(6, 2);
 

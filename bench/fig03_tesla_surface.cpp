@@ -10,7 +10,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig03_tesla_surface");
     bench::note("[fig03] TESLA q_min vs mu = alpha*T and sigma; T_disclose = 1 s, n = 1000");
     const double kDisclose = 1.0;
     const double alphas[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};

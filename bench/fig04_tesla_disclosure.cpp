@@ -10,7 +10,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig04_tesla_disclosure");
     bench::note("[fig04] TESLA q_min vs normalized T_disclose/sigma and p; n = 1000");
     const double ratios[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
     const double losses[] = {0.1, 0.3, 0.5, 0.7, 0.9};

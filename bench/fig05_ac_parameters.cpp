@@ -11,7 +11,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig05_ac_parameters");
     bench::note("[fig05] Augmented chain C_{a,b}: q_min vs a and b; n = 1000");
     const std::size_t kN = 1000;
     const std::size_t a_values[] = {2, 3, 4, 5, 6, 8};

@@ -8,7 +8,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig06_ac_insertion");
     bench::note("[fig06] AC with fixed first-level length L = 150: q_min vs b (n grows)");
     const std::size_t kFirstLevel = 150;
     const std::size_t kA = 3;

@@ -11,7 +11,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig07_emss_parameters");
     bench::note("[fig07] EMSS E_{m,d}: q_min vs m (at d=1) and vs d (at m=2); n = 1000");
     const std::size_t kN = 1000;
 

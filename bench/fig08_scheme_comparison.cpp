@@ -28,7 +28,8 @@ double tesla_q_min(std::size_t n, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig08_scheme_comparison");
     bench::note("[fig08] Scheme comparison (TESLA: T=1s, mu=0.2s, sigma=0.1s)");
 
     bench::section("(a) q_min vs packet loss rate p, n = 1000");

@@ -11,7 +11,8 @@
 
 using namespace mcauth;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig09_blocksize_closeup");
     bench::note("[fig09] Close-up: q_min vs n for TESLA / EMSS / AC at p = 0.1 and 0.5");
     for (double p : {0.1, 0.5}) {
         bench::section("p = " + TablePrinter::num(p, 1));

@@ -59,7 +59,8 @@ void add(TablePrinter& table, const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "fig10_overhead_delay");
     bench::note("[fig10] Overhead and delay; n = 128, l_hash = 16 B, l_sign = RSA-1024");
     SchemeParams params;
     params.hash_bytes = 16;

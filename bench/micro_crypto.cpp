@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "auth/hash_chain_scheme.hpp"
+#include "bench_common.hpp"
 #include "auth/tesla_scheme.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/merkle.hpp"
@@ -169,3 +170,14 @@ BENCHMARK(BM_TeslaKeyChainBuild)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillise
 
 }  // namespace
 }  // namespace mcauth
+
+// Custom main (instead of benchmark_main) so the uniform mcauth flag surface
+// (--metrics-out/--trace-out/--obs, see bench_common.hpp) works here too;
+// benchmark::Initialize strips its own flags and leaves ours alone.
+int main(int argc, char** argv) {
+    mcauth::bench::BenchMain bm(argc, argv, "micro_crypto");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -20,6 +21,8 @@ double min_over_non_root(const std::vector<double>& q) {
 
 AuthProb recurrence_auth_prob(const DependenceGraph& dg, double p) {
     MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+    MCAUTH_OBS_COUNT("core.recurrence.calls");
+    MCAUTH_OBS_COUNT_N("core.recurrence.vertex_evals", dg.packet_count());
     const auto order = topological_order(dg.graph());
     MCAUTH_EXPECTS(order.has_value());
 
@@ -69,6 +72,7 @@ AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n)
     // mask corresponds to vertex k+1; set bit = received.
     const std::size_t free_vertices = n - 1;
     const std::uint64_t mask_count = 1ULL << free_vertices;
+    MCAUTH_OBS_COUNT_N("core.exact.subset_evals", mask_count);
 
     std::vector<double> verif_prob(n, 0.0);
     std::vector<bool> received(n, false);
@@ -104,6 +108,7 @@ AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n)
 MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
                                          Rng& rng, std::size_t trials) {
     MCAUTH_EXPECTS(trials >= 1);
+    MCAUTH_OBS_COUNT_N("core.montecarlo.trials", trials);
     const std::size_t n = dg.packet_count();
     std::vector<std::size_t> received_count(n, 0);
     std::vector<std::size_t> verified_count(n, 0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -79,6 +80,8 @@ AuthProb exact_offset_auth_prob(std::size_t n, const std::vector<std::size_t>& o
     MCAUTH_EXPECTS(window < 63);
     const std::size_t mask_count = std::size_t{1} << window;
     MCAUTH_EXPECTS(m * mask_count <= max_states);
+    MCAUTH_OBS_COUNT("core.exact_dp.calls");
+    MCAUTH_OBS_COUNT_N("core.exact_dp.state_transitions", (n - 1) * m * mask_count);
 
     // Bit (a-1) of a window mask = "vertex v-a is received AND verifiable".
     // Precompute, per vertex-depth regime, which offsets overshoot into the

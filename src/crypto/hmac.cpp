@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace mcauth {
 
 namespace {
@@ -42,6 +44,7 @@ HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
 }
 
 Digest256 HmacSha256::finish() noexcept {
+    MCAUTH_OBS_COUNT("crypto.hmac_sha256.ops");
     const Digest256 inner_digest = inner_.finish();
     Sha256 outer;
     outer.update(opad_key_);
@@ -58,6 +61,7 @@ Digest256 hmac_sha256(std::span<const std::uint8_t> key,
 
 Digest160 hmac_sha1(std::span<const std::uint8_t> key,
                     std::span<const std::uint8_t> message) noexcept {
+    MCAUTH_OBS_COUNT("crypto.hmac_sha1.ops");
     const auto block = block_key_sha1(key);
     std::array<std::uint8_t, 64> ipad_key{};
     std::array<std::uint8_t, 64> opad_key{};

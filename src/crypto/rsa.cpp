@@ -1,6 +1,7 @@
 #include "crypto/rsa.hpp"
 
 #include "crypto/sha256.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -71,6 +72,8 @@ Bignum rsa_private_op(const RsaKeyPair& key, const Bignum& m) {
 
 std::vector<std::uint8_t> rsa_sign(const RsaKeyPair& key,
                                    std::span<const std::uint8_t> message) {
+    MCAUTH_OBS_COUNT("crypto.rsa.sign.ops");
+    MCAUTH_OBS_SPAN("crypto.rsa.sign");
     const std::size_t k = key.pub.modulus_bytes();
     const auto em = emsa_encode(message, k);
     const Bignum m = Bignum::from_bytes(em);
@@ -81,6 +84,8 @@ std::vector<std::uint8_t> rsa_sign(const RsaKeyPair& key,
 
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
                 std::span<const std::uint8_t> signature) {
+    MCAUTH_OBS_COUNT("crypto.rsa.verify.ops");
+    MCAUTH_OBS_SPAN("crypto.rsa.verify");
     const std::size_t k = key.modulus_bytes();
     if (signature.size() != k) return false;
     const Bignum s = Bignum::from_bytes(signature);

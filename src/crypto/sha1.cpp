@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace mcauth {
 
 namespace {
@@ -89,6 +91,8 @@ void Sha1::update(std::string_view text) noexcept {
 }
 
 Digest160 Sha1::finish() noexcept {
+    MCAUTH_OBS_COUNT("crypto.sha1.ops");
+    MCAUTH_OBS_COUNT_N("crypto.sha1.bytes", total_bytes_);
     const std::uint64_t bit_length = total_bytes_ * 8;
     static constexpr std::uint8_t kPad = 0x80;
     update(std::span<const std::uint8_t>(&kPad, 1));

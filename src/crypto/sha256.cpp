@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -107,6 +108,8 @@ void Sha256::update(std::string_view text) noexcept {
 }
 
 Digest256 Sha256::finish() noexcept {
+    MCAUTH_OBS_COUNT("crypto.sha256.ops");
+    MCAUTH_OBS_COUNT_N("crypto.sha256.bytes", total_bytes_);
     const std::uint64_t bit_length = total_bytes_ * 8;
     static constexpr std::uint8_t kPad = 0x80;
     update(std::span<const std::uint8_t>(&kPad, 1));

@@ -1,6 +1,7 @@
 #include "crypto/wots.hpp"
 
 #include "crypto/hmac.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -100,6 +101,7 @@ WotsKey::WotsKey(std::span<const std::uint8_t> seed, std::uint64_t index, WotsPa
 }
 
 WotsSignature WotsKey::sign(const Digest256& message_digest) const {
+    MCAUTH_OBS_COUNT("crypto.wots.sign.ops");
     const auto chunks = wots_chunks(message_digest, params_);
     WotsSignature sig;
     sig.chain_values.reserve(chunks.size());
@@ -111,6 +113,7 @@ WotsSignature WotsKey::sign(const Digest256& message_digest) const {
 
 Digest256 WotsKey::recover_public_key(const WotsSignature& sig,
                                       const Digest256& message_digest, WotsParams params) {
+    MCAUTH_OBS_COUNT("crypto.wots.verify.ops");
     const auto chunks = wots_chunks(message_digest, params);
     MCAUTH_REQUIRE(sig.chain_values.size() == chunks.size());
     const std::uint32_t last = params.chunk_values() - 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -13,8 +14,17 @@ Channel::Channel(std::unique_ptr<LossModel> loss, std::unique_ptr<DelayModel> de
 }
 
 std::optional<double> Channel::transmit(double send_time, Rng& rng) {
-    if (loss_->lose_next(rng)) return std::nullopt;
-    return send_time + delay_->sample(rng);
+    MCAUTH_OBS_COUNT("channel.sent");
+    if (loss_->lose_next(rng)) {
+        MCAUTH_OBS_COUNT("channel.dropped");
+        return std::nullopt;
+    }
+    MCAUTH_OBS_COUNT("channel.delivered");
+    const double delay = delay_->sample(rng);
+    // Simulated (not wall-clock) delay, recorded on the ns scale so the
+    // histogram layer can be shared with real latencies.
+    MCAUTH_OBS_RECORD_NS("channel.delay", delay * 1e9);
+    return send_time + delay;
 }
 
 std::vector<Delivery> send_paced_stream(Channel& channel, Rng& rng, std::size_t count,

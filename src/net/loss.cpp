@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -11,6 +12,12 @@ namespace mcauth {
 
 BernoulliLoss::BernoulliLoss(double p) : p_(p) {
     MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+bool BernoulliLoss::lose_next(Rng& rng) {
+    const bool lost = rng.bernoulli(p_);
+    if (lost) MCAUTH_OBS_COUNT("net.loss.bernoulli.dropped");
+    return lost;
 }
 
 std::string BernoulliLoss::name() const {
@@ -54,7 +61,9 @@ bool GilbertElliottLoss::lose_next(Rng& rng) {
     } else {
         if (rng.bernoulli(p_gb_)) in_bad_ = true;
     }
-    return rng.bernoulli(in_bad_ ? loss_bad_ : loss_good_);
+    const bool lost = rng.bernoulli(in_bad_ ? loss_bad_ : loss_good_);
+    if (lost) MCAUTH_OBS_COUNT("net.loss.gilbert_elliott.dropped");
+    return lost;
 }
 
 void GilbertElliottLoss::reset() { in_bad_ = false; }
@@ -125,7 +134,9 @@ bool MarkovLoss::lose_next(Rng& rng) {
         }
     }
     state_ = next;
-    return rng.bernoulli(loss_prob_[state_]);
+    const bool lost = rng.bernoulli(loss_prob_[state_]);
+    if (lost) MCAUTH_OBS_COUNT("net.loss.markov.dropped");
+    return lost;
 }
 
 std::vector<double> MarkovLoss::stationary_distribution() const {
@@ -172,6 +183,7 @@ bool TraceLoss::lose_next(Rng& rng) {
     (void)rng;
     const bool lost = pattern_[position_];
     position_ = (position_ + 1) % pattern_.size();
+    if (lost) MCAUTH_OBS_COUNT("net.loss.trace.dropped");
     return lost;
 }
 

@@ -48,7 +48,7 @@ class BernoulliLoss final : public LossModel {
 public:
     explicit BernoulliLoss(double p);
 
-    bool lose_next(Rng& rng) override { return rng.bernoulli(p_); }
+    bool lose_next(Rng& rng) override;
     void reset() override {}
     double stationary_loss_rate() const override { return p_; }
     std::string name() const override;

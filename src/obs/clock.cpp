@@ -1,0 +1,30 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace mcauth::obs {
+
+namespace {
+
+SteadyClock steady_clock_instance;
+std::atomic<const Clock*> clock_override{nullptr};
+
+}  // namespace
+
+std::uint64_t SteadyClock::now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const Clock& clock() noexcept {
+    const Clock* c = clock_override.load(std::memory_order_acquire);
+    return c ? *c : steady_clock_instance;
+}
+
+const Clock* set_clock(const Clock* c) noexcept {
+    return clock_override.exchange(c, std::memory_order_acq_rel);
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,52 @@
+// Monotonic clock abstraction for the observability layer.
+//
+// Every timestamp in mcauth_obs (ScopedTimer spans, trace events) is read
+// through the process-wide `clock()` so tests can install a FakeClock and
+// make timing-dependent assertions deterministic. The default is the
+// steady (monotonic) clock; wall clocks are never used — spans must not go
+// backwards across NTP adjustments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mcauth::obs {
+
+class Clock {
+public:
+    virtual ~Clock() = default;
+
+    /// Nanoseconds since an arbitrary fixed origin; monotone non-decreasing.
+    virtual std::uint64_t now_ns() const noexcept = 0;
+};
+
+/// std::chrono::steady_clock — the production clock.
+class SteadyClock final : public Clock {
+public:
+    std::uint64_t now_ns() const noexcept override;
+};
+
+/// Manually advanced clock for deterministic tests.
+class FakeClock final : public Clock {
+public:
+    std::uint64_t now_ns() const noexcept override {
+        return now_.load(std::memory_order_relaxed);
+    }
+    void set_ns(std::uint64_t t) noexcept { now_.store(t, std::memory_order_relaxed); }
+    void advance_ns(std::uint64_t d) noexcept {
+        now_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> now_{0};
+};
+
+/// The process clock all obs timestamps are read from.
+const Clock& clock() noexcept;
+
+/// Install `c` as the process clock (nullptr restores the steady clock).
+/// Returns the previous override, nullptr if the steady clock was active.
+/// The caller keeps ownership of `c` and must outlive all readers.
+const Clock* set_clock(const Clock* c) noexcept;
+
+}  // namespace mcauth::obs

@@ -1,0 +1,272 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "util/table.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::atomic<bool> obs_enabled{true};
+std::atomic<bool> obs_trace_enabled{false};
+
+/// Minimal JSON string escaper (metric names are ASCII identifiers, but a
+/// scheme name like `emss(2,1)` must still round-trip safely).
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    return out;
+}
+
+std::string format_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return obs_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { obs_enabled.store(on, std::memory_order_relaxed); }
+
+bool trace_enabled() noexcept {
+    return obs_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) noexcept {
+    obs_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- LatencyHistogram
+
+void LatencyHistogram::record_ns(std::uint64_t ns) noexcept {
+    const auto bucket = static_cast<std::size_t>(std::bit_width(ns));
+    counts_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (ns < cur && !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (ns > cur && !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t LatencyHistogram::min_ns() const noexcept {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const {
+    return counts_.at(i).load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_ns(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= kBuckets) i = kBuckets - 1;
+    return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        if (static_cast<double>(seen) >= target && seen > 0)
+            return bucket_upper_ns(i);
+    }
+    return bucket_upper_ns(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() noexcept {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>())
+                 .first;
+    return *it->second;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_values()
+    const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+MetricsRegistry::histogram_entries() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+    return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counter_values()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauge_values()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(name) + "\": " + format_double(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histogram_entries()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(name) + "\": {";
+        out += "\"count\": " + std::to_string(h->count());
+        out += ", \"sum_ns\": " + std::to_string(h->sum_ns());
+        out += ", \"min_ns\": " + std::to_string(h->min_ns());
+        out += ", \"max_ns\": " + std::to_string(h->max_ns());
+        out += ", \"mean_ns\": " + format_double(h->mean_ns());
+        out += ", \"p50_ns\": " + std::to_string(h->quantile_ns(0.50));
+        out += ", \"p90_ns\": " + std::to_string(h->quantile_ns(0.90));
+        out += ", \"p99_ns\": " + std::to_string(h->quantile_ns(0.99));
+        out += ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+            const std::uint64_t c = h->bucket_count(i);
+            if (c == 0) continue;
+            if (!first_bucket) out += ", ";
+            first_bucket = false;
+            out += "{\"le_ns\": " + std::to_string(LatencyHistogram::bucket_upper_ns(i)) +
+                   ", \"count\": " + std::to_string(c) + "}";
+        }
+        out += "]}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string MetricsRegistry::render_table() const {
+    std::string out;
+    const auto counters = counter_values();
+    const auto gauges = gauge_values();
+    const auto histograms = histogram_entries();
+
+    if (!counters.empty()) {
+        TablePrinter table({"counter", "value"});
+        for (const auto& [name, value] : counters)
+            table.add_row({name, std::to_string(value)});
+        out += table.render();
+    }
+    if (!gauges.empty()) {
+        TablePrinter table({"gauge", "value"});
+        for (const auto& [name, value] : gauges)
+            table.add_row({name, TablePrinter::num(value, 4)});
+        out += table.render();
+    }
+    if (!histograms.empty()) {
+        TablePrinter table({"histogram", "count", "mean_us", "p50_us", "p99_us", "max_us"});
+        for (const auto& [name, h] : histograms) {
+            table.add_row({name, std::to_string(h->count()),
+                           TablePrinter::num(h->mean_ns() / 1e3, 3),
+                           TablePrinter::num(static_cast<double>(h->quantile_ns(0.50)) / 1e3, 3),
+                           TablePrinter::num(static_cast<double>(h->quantile_ns(0.99)) / 1e3, 3),
+                           TablePrinter::num(static_cast<double>(h->max_ns()) / 1e3, 3)});
+        }
+        out += table.render();
+    }
+    return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+}
+
+MetricsRegistry& registry() noexcept {
+    static MetricsRegistry instance;
+    return instance;
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,137 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms.
+//
+// Design constraints (this layer sits under per-packet hot paths):
+//   * increments are plain relaxed atomics — no locks, no allocation;
+//   * registration (name -> object) takes a mutex, but call sites cache the
+//     returned reference (see the MCAUTH_OBS_* macros in obs/obs.hpp), so
+//     the map is consulted once per call site, not per event;
+//   * object addresses are stable for the life of the process, so cached
+//     references never dangle;
+//   * everything is gated on a runtime flag (`enabled()`); the compile-time
+//     switch MCAUTH_OBS_ENABLED removes the call sites entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcauth::obs {
+
+/// Runtime master switch for all instrumentation (default: on). Counters
+/// and histograms stop mutating when off; exporters still work.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Separate opt-in for trace-event recording (default: off — the ring
+/// buffer write per span begin/end is heavier than a counter bump).
+bool trace_enabled() noexcept;
+void set_trace_enabled(bool on) noexcept;
+
+/// Monotone event count.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (buffer occupancy, remaining key capacity, ...).
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(double d) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+        }
+    }
+    double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram over nanoseconds. Bucket i holds samples
+/// whose bit width is i (i.e. [2^(i-1), 2^i - 1]; bucket 0 holds exactly 0),
+/// so record_ns() is a bit_width + one relaxed increment — no search, no
+/// floating point on the hot path.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void record_ns(std::uint64_t ns) noexcept;
+
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum_ns() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    /// 0 when empty.
+    std::uint64_t min_ns() const noexcept;
+    std::uint64_t max_ns() const noexcept { return max_.load(std::memory_order_relaxed); }
+    double mean_ns() const noexcept;
+
+    std::uint64_t bucket_count(std::size_t i) const;
+    /// Inclusive upper edge of bucket i (2^i - 1; bucket 0 -> 0).
+    static std::uint64_t bucket_upper_ns(std::size_t i);
+
+    /// Smallest bucket upper edge covering at least fraction q of samples;
+    /// 0 when empty. An upper bound on the true quantile (bucket-resolution).
+    std::uint64_t quantile_ns(double q) const;
+
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name -> metric map. One process-wide instance (`registry()`); separate
+/// instances are constructible for tests.
+class MetricsRegistry {
+public:
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    LatencyHistogram& histogram(std::string_view name);
+
+    /// Zero every metric, keeping registrations (and cached references) valid.
+    void reset();
+
+    /// Sorted snapshots for exporters.
+    std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+    std::vector<std::pair<std::string, double>> gauge_values() const;
+    std::vector<std::pair<std::string, const LatencyHistogram*>> histogram_entries() const;
+
+    /// {"counters":{...},"gauges":{...},"histograms":{...}} dump.
+    std::string to_json() const;
+    /// Human-readable report rendered with util/table.
+    std::string render_table() const;
+    /// Write to_json() to `path`; false on I/O failure.
+    bool write_json(const std::string& path) const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every MCAUTH_OBS_* macro records into.
+MetricsRegistry& registry() noexcept;
+
+}  // namespace mcauth::obs

@@ -1,0 +1,86 @@
+// mcauth_obs — cross-cutting observability: metrics, spans, traces.
+//
+// Instrumentation sites use the macros below, never the classes directly:
+//
+//   MCAUTH_OBS_COUNT("crypto.sha256.ops");              // +1
+//   MCAUTH_OBS_COUNT_N("crypto.sha256.bytes", n);       // +n
+//   MCAUTH_OBS_GAUGE_SET("sim.buffered", depth);        // level
+//   MCAUTH_OBS_RECORD_NS("channel.delay", ns);          // histogram sample
+//   MCAUTH_OBS_SPAN("sim.verify");                      // RAII span to the
+//                                                       // histogram + trace
+//   MCAUTH_OBS_INSTANT("sim.block_done");               // trace marker
+//
+// Keys must be string literals: each macro resolves its registry entry once
+// (function-local static) and thereafter costs one relaxed-atomic op behind
+// a runtime `obs::enabled()` check. Compiling with MCAUTH_OBS_ENABLED=0
+// removes every site entirely, so predicted-vs-measured benches can prove
+// the instrumentation itself is not part of the measurement.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+#ifndef MCAUTH_OBS_ENABLED
+#define MCAUTH_OBS_ENABLED 1
+#endif
+
+#if MCAUTH_OBS_ENABLED
+
+#define MCAUTH_OBS_CONCAT_INNER(a, b) a##b
+#define MCAUTH_OBS_CONCAT(a, b) MCAUTH_OBS_CONCAT_INNER(a, b)
+
+#define MCAUTH_OBS_COUNT_N(key, n)                                      \
+    do {                                                                \
+        if (::mcauth::obs::enabled()) {                                 \
+            static ::mcauth::obs::Counter& mcauth_obs_counter_ =        \
+                ::mcauth::obs::registry().counter(key);                 \
+            mcauth_obs_counter_.add(static_cast<std::uint64_t>(n));     \
+        }                                                               \
+    } while (0)
+
+#define MCAUTH_OBS_COUNT(key) MCAUTH_OBS_COUNT_N(key, 1)
+
+#define MCAUTH_OBS_GAUGE_SET(key, v)                                    \
+    do {                                                                \
+        if (::mcauth::obs::enabled()) {                                 \
+            static ::mcauth::obs::Gauge& mcauth_obs_gauge_ =            \
+                ::mcauth::obs::registry().gauge(key);                   \
+            mcauth_obs_gauge_.set(static_cast<double>(v));              \
+        }                                                               \
+    } while (0)
+
+#define MCAUTH_OBS_RECORD_NS(key, ns)                                    \
+    do {                                                                 \
+        if (::mcauth::obs::enabled()) {                                  \
+            static ::mcauth::obs::LatencyHistogram& mcauth_obs_hist_ =   \
+                ::mcauth::obs::registry().histogram(key);                \
+            mcauth_obs_hist_.record_ns(static_cast<std::uint64_t>(ns));  \
+        }                                                                \
+    } while (0)
+
+#define MCAUTH_OBS_SPAN(key)                                                   \
+    ::mcauth::obs::ScopedTimer MCAUTH_OBS_CONCAT(mcauth_obs_span_, __LINE__)(  \
+        [] {                                                                   \
+            static ::mcauth::obs::LatencyHistogram& mcauth_obs_span_hist_ =    \
+                ::mcauth::obs::registry().histogram(key);                      \
+            return &mcauth_obs_span_hist_;                                     \
+        }(),                                                                   \
+        key)
+
+#define MCAUTH_OBS_INSTANT(key)                                           \
+    do {                                                                  \
+        if (::mcauth::obs::enabled() && ::mcauth::obs::trace_enabled())   \
+            ::mcauth::obs::TraceRecorder::global().record(key, 'i');      \
+    } while (0)
+
+#else  // !MCAUTH_OBS_ENABLED
+
+#define MCAUTH_OBS_COUNT_N(key, n) ((void)0)
+#define MCAUTH_OBS_COUNT(key) ((void)0)
+#define MCAUTH_OBS_GAUGE_SET(key, v) ((void)0)
+#define MCAUTH_OBS_RECORD_NS(key, ns) ((void)0)
+#define MCAUTH_OBS_SPAN(key) ((void)0)
+#define MCAUTH_OBS_INSTANT(key) ((void)0)
+
+#endif  // MCAUTH_OBS_ENABLED

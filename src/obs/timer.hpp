@@ -1,0 +1,55 @@
+// RAII span timer feeding a latency histogram and (optionally) the global
+// trace recorder.
+//
+// Prefer the MCAUTH_OBS_SPAN(key) macro from obs/obs.hpp at instrumentation
+// sites: it caches the histogram lookup per call site and compiles away
+// entirely when MCAUTH_OBS_ENABLED is 0. Construct ScopedTimer directly only
+// when the histogram is already at hand (tests, dynamic metric names).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mcauth::obs {
+
+class ScopedTimer {
+public:
+    /// `name` must outlive the global trace recorder (string literal).
+    /// `hist` may be null (trace-only span).
+    ScopedTimer(LatencyHistogram* hist, const char* name) noexcept : name_(name) {
+        if (!enabled()) return;
+        hist_ = hist;
+        active_ = true;
+        tracing_ = trace_enabled();
+        start_ns_ = clock().now_ns();
+        if (tracing_) TraceRecorder::global().record_at(name_, 'B', start_ns_);
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() { stop(); }
+
+    /// End the span early; subsequent stop()s are no-ops.
+    void stop() noexcept {
+        if (!active_) return;
+        active_ = false;
+        const std::uint64_t end_ns = clock().now_ns();
+        if (tracing_) TraceRecorder::global().record_at(name_, 'E', end_ns);
+        // A swapped FakeClock may move backwards between begin and end.
+        if (hist_ != nullptr)
+            hist_->record_ns(end_ns >= start_ns_ ? end_ns - start_ns_ : 0);
+    }
+
+private:
+    LatencyHistogram* hist_ = nullptr;
+    const char* name_;
+    std::uint64_t start_ns_ = 0;
+    bool active_ = false;
+    bool tracing_ = false;
+};
+
+}  // namespace mcauth::obs

@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "obs/clock.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::uint32_t this_thread_id() noexcept {
+    // Stable, compact per-thread id for the trace "tid" field. Hash collisions
+    // would only merge two threads' lanes in the viewer — harmless.
+    static thread_local const std::uint32_t tid = static_cast<std::uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffffu);
+    return tid;
+}
+
+std::string json_escape_name(const char* name) {
+    std::string out;
+    for (const char* p = name; *p != '\0'; ++p) {
+        const char ch = *p;
+        if (ch == '"' || ch == '\\') {
+            out += '\\';
+            out += ch;
+        } else if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out += buf;
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : ring_(capacity) {
+    MCAUTH_EXPECTS(capacity >= 1);
+}
+
+void TraceRecorder::record(const char* name, char phase) noexcept {
+    record_at(name, phase, clock().now_ns());
+}
+
+void TraceRecorder::record_at(const char* name, char phase,
+                              std::uint64_t ts_ns) noexcept {
+    const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& slot = ring_[idx % ring_.size()];
+    slot.name = name;
+    slot.phase = phase;
+    slot.ts_ns = ts_ns;
+    slot.tid = this_thread_id();
+}
+
+std::size_t TraceRecorder::size() const noexcept {
+    const std::uint64_t n = recorded();
+    return n < ring_.size() ? static_cast<std::size_t>(n) : ring_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+    const std::uint64_t n = recorded();
+    return n > ring_.size() ? n - ring_.size() : 0;
+}
+
+void TraceRecorder::clear() noexcept { next_.store(0, std::memory_order_relaxed); }
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+    const std::uint64_t n = recorded();
+    const std::size_t cap = ring_.size();
+    const std::size_t count = n < cap ? static_cast<std::size_t>(n) : cap;
+    const std::size_t start = n > cap ? static_cast<std::size_t>(n % cap) : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(ring_[(start + i) % cap]);
+    return out;
+}
+
+std::string TraceRecorder::to_json() const {
+    std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent& ev : snapshot()) {
+        if (ev.name == nullptr) continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        char ts[48];
+        // Chrome expects microseconds; keep nanosecond resolution as decimals.
+        std::snprintf(ts, sizeof ts, "%llu.%03llu",
+                      static_cast<unsigned long long>(ev.ts_ns / 1000),
+                      static_cast<unsigned long long>(ev.ts_ns % 1000));
+        out += "  {\"name\": \"" + json_escape_name(ev.name) + "\", \"cat\": \"mcauth\"";
+        out += ", \"ph\": \"";
+        out += ev.phase;
+        out += "\", \"pid\": 1, \"tid\": " + std::to_string(ev.tid);
+        out += ", \"ts\": ";
+        out += ts;
+        if (ev.phase == 'i') out += ", \"s\": \"t\"";
+        out += "}";
+    }
+    out += first ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+}
+
+TraceRecorder& TraceRecorder::global() {
+    static TraceRecorder instance;
+    return instance;
+}
+
+}  // namespace mcauth::obs

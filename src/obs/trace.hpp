@@ -1,0 +1,69 @@
+// Bounded trace-event recorder with Chrome trace-event JSON export.
+//
+// A TraceRecorder is a fixed-capacity ring buffer of begin/end/instant
+// events. Recording is one relaxed fetch_add plus four stores — when the
+// ring wraps, the oldest events are overwritten (a trace is a window onto
+// the recent past, never an unbounded allocation). The export format is the
+// Chrome trace-event JSON array understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev): load the file and the ScopedTimer spans from
+// the simulator render as a flame graph per phase.
+//
+// Event names must be string literals (or otherwise outlive the recorder):
+// only the pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcauth::obs {
+
+struct TraceEvent {
+    const char* name = nullptr;
+    char phase = 'i';  // 'B' begin, 'E' end, 'i' instant
+    std::uint64_t ts_ns = 0;
+    std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+public:
+    static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+    explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+    /// Record with a timestamp from obs::clock() and the calling thread's id.
+    void record(const char* name, char phase) noexcept;
+    /// Record with an explicit timestamp (ScopedTimer reads the clock once
+    /// and shares the value between histogram and trace).
+    void record_at(const char* name, char phase, std::uint64_t ts_ns) noexcept;
+
+    std::size_t capacity() const noexcept { return ring_.size(); }
+    /// Events currently retained (<= capacity).
+    std::size_t size() const noexcept;
+    /// Events ever recorded.
+    std::uint64_t recorded() const noexcept {
+        return next_.load(std::memory_order_relaxed);
+    }
+    /// Events lost to ring wraparound.
+    std::uint64_t dropped() const noexcept;
+
+    void clear() noexcept;
+
+    /// Retained events, oldest first.
+    std::vector<TraceEvent> snapshot() const;
+
+    /// Chrome trace-event JSON ({"traceEvents": [...]}; ts in microseconds).
+    std::string to_json() const;
+    /// Write to_json() to `path`; false on I/O failure.
+    bool write_json(const std::string& path) const;
+
+    /// The process-wide recorder ScopedTimer spans feed.
+    static TraceRecorder& global();
+
+private:
+    std::vector<TraceEvent> ring_;
+    std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace mcauth::obs

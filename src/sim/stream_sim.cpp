@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -53,13 +56,17 @@ std::vector<Arrival> transmit_block(const std::vector<AuthPacket>& packets,
                                     double t_transmit, std::size_t& sent_counter) {
     std::vector<Arrival> arrivals;
     double clock = start_time;
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-        // Replicas of P_sign ride immediately after the original.
-        const std::size_t copies = (i == sign_index) ? sign_copies : 1;
-        for (std::size_t c = 0; c < copies; ++c) {
-            ++sent_counter;
-            if (const auto at = channel.transmit(clock, rng)) arrivals.push_back({*at, i});
-            clock += t_transmit;
+    {
+        MCAUTH_OBS_SPAN("sim.channel");
+        for (std::size_t i = 0; i < packets.size(); ++i) {
+            // Replicas of P_sign ride immediately after the original.
+            const std::size_t copies = (i == sign_index) ? sign_copies : 1;
+            for (std::size_t c = 0; c < copies; ++c) {
+                ++sent_counter;
+                if (const auto at = channel.transmit(clock, rng))
+                    arrivals.push_back({*at, i});
+                clock += t_transmit;
+            }
         }
     }
     std::stable_sort(arrivals.begin(), arrivals.end(),
@@ -72,6 +79,30 @@ double mean_overhead(const std::vector<AuthPacket>& packets) {
     for (const AuthPacket& p : packets)
         total += static_cast<double>(p.wire_size() - p.payload.size());
     return packets.empty() ? 0.0 : total / static_cast<double>(packets.size());
+}
+
+/// Flush one run's tallies into the metrics registry, globally and per
+/// scheme. Scheme names are dynamic, so this bypasses the static-caching
+/// macros; it runs once per sim, not per packet.
+void record_scheme_stats(const std::string& scheme, const SimStats& s) {
+#if MCAUTH_OBS_ENABLED
+    if (!obs::enabled()) return;
+    auto& reg = obs::registry();
+    const std::string prefix = "sim." + scheme + ".";
+    reg.counter(prefix + "sent").add(s.packets_sent);
+    reg.counter(prefix + "received").add(s.packets_received);
+    reg.counter(prefix + "authenticated").add(s.authenticated);
+    reg.counter(prefix + "rejected").add(s.rejected);
+    reg.counter(prefix + "unverifiable").add(s.unverifiable);
+    reg.counter("sim.packets_sent").add(s.packets_sent);
+    reg.counter("sim.packets_received").add(s.packets_received);
+    reg.counter("sim.authenticated").add(s.authenticated);
+    reg.counter("sim.rejected").add(s.rejected);
+    reg.counter("sim.unverifiable").add(s.unverifiable);
+#else
+    (void)scheme;
+    (void)s;
+#endif
 }
 
 }  // namespace
@@ -92,39 +123,56 @@ SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Chann
 
     for (std::size_t b = 0; b < sim.blocks; ++b) {
         const auto payloads = random_payloads(rng, n, sim.payload_bytes);
-        const auto packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        std::vector<AuthPacket> packets;
+        {
+            MCAUTH_OBS_SPAN("sim.sign");
+            packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        }
         stats.overhead_bytes_per_packet += mean_overhead(packets);
 
-        const auto arrivals = transmit_block(packets, sign_index, sim.sign_copies, channel,
-                                             rng, block_start, sim.t_transmit,
-                                             stats.packets_sent);
-        std::map<std::uint32_t, double> arrival_time;  // first arrival per index
-        for (const Arrival& a : arrivals) {
-            const AuthPacket& pkt = packets[a.packet];
-            if (arrival_time.emplace(pkt.index, a.time).second) {
-                ++stats.packets_received;
-                tally.on_received(pkt.index);
-            }
-            for (const VerifyEvent& ev : receiver.on_packet(pkt)) {
-                switch (ev.status) {
-                    case VerifyStatus::kAuthenticated: {
-                        ++stats.authenticated;
-                        tally.on_authenticated(ev.index);
-                        const auto it = arrival_time.find(ev.index);
-                        MCAUTH_ENSURES(it != arrival_time.end());
-                        stats.receiver_delay.add(a.time - it->second);
-                        break;
-                    }
-                    case VerifyStatus::kRejected:
-                        ++stats.rejected;
-                        break;
-                    case VerifyStatus::kUnverifiable:
-                        ++stats.unverifiable;
-                        break;
+        std::vector<Arrival> arrivals;
+        {
+            MCAUTH_OBS_SPAN("sim.emit");
+            arrivals = transmit_block(packets, sign_index, sim.sign_copies, channel,
+                                      rng, block_start, sim.t_transmit,
+                                      stats.packets_sent);
+        }
+        {
+            MCAUTH_OBS_SPAN("sim.receive");
+            std::map<std::uint32_t, double> arrival_time;  // first arrival per index
+            for (const Arrival& a : arrivals) {
+                const AuthPacket& pkt = packets[a.packet];
+                if (arrival_time.emplace(pkt.index, a.time).second) {
+                    ++stats.packets_received;
+                    tally.on_received(pkt.index);
                 }
+                std::vector<VerifyEvent> events;
+                {
+                    MCAUTH_OBS_SPAN("sim.verify");
+                    events = receiver.on_packet(pkt);
+                }
+                for (const VerifyEvent& ev : events) {
+                    switch (ev.status) {
+                        case VerifyStatus::kAuthenticated: {
+                            ++stats.authenticated;
+                            tally.on_authenticated(ev.index);
+                            const auto it = arrival_time.find(ev.index);
+                            MCAUTH_ENSURES(it != arrival_time.end());
+                            stats.receiver_delay.add(a.time - it->second);
+                            break;
+                        }
+                        case VerifyStatus::kRejected:
+                            ++stats.rejected;
+                            break;
+                        case VerifyStatus::kUnverifiable:
+                            ++stats.unverifiable;
+                            break;
+                    }
+                }
+                stats.max_buffered_packets =
+                    std::max(stats.max_buffered_packets, receiver.buffered_packets());
+                MCAUTH_OBS_GAUGE_SET("sim.buffered_packets", receiver.buffered_packets());
             }
-            stats.max_buffered_packets =
-                std::max(stats.max_buffered_packets, receiver.buffered_packets());
         }
         for (const VerifyEvent& ev :
              receiver.finish_block(static_cast<std::uint32_t>(b))) {
@@ -134,6 +182,7 @@ SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Chann
     }
     stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
     tally.finalize(stats);
+    record_scheme_stats(scheme.name, stats);
     return stats;
 }
 
@@ -158,12 +207,18 @@ SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& chann
     double overhead_sum = 0.0;
 
     for (std::size_t i = 0; i < total_packets; ++i) {
-        packets.push_back(sender.make_packet(rng.bytes(sim.payload_bytes), clock));
+        {
+            MCAUTH_OBS_SPAN("sim.sign");
+            packets.push_back(sender.make_packet(rng.bytes(sim.payload_bytes), clock));
+        }
         overhead_sum +=
             static_cast<double>(packets.back().wire_size() - sim.payload_bytes);
         ++stats.packets_sent;
-        if (const auto at = channel.transmit(clock, rng))
-            arrivals.push_back({*at, packets.size() - 1});
+        {
+            MCAUTH_OBS_SPAN("sim.emit");
+            if (const auto at = channel.transmit(clock, rng))
+                arrivals.push_back({*at, packets.size() - 1});
+        }
         clock += sim.t_transmit;
     }
     std::stable_sort(arrivals.begin(), arrivals.end(),
@@ -176,7 +231,12 @@ SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& chann
         ++stats.packets_received;
         tally.on_received(pkt.index);
         arrival_of[pkt.index] = a.time;
-        for (const VerifyEvent& ev : receiver.on_packet(pkt, a.time)) {
+        std::vector<VerifyEvent> events;
+        {
+            MCAUTH_OBS_SPAN("sim.verify");
+            events = receiver.on_packet(pkt, a.time);
+        }
+        for (const VerifyEvent& ev : events) {
             switch (ev.status) {
                 case VerifyStatus::kAuthenticated:
                     ++stats.authenticated;
@@ -200,6 +260,7 @@ SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& chann
     stats.overhead_bytes_per_packet =
         total_packets == 0 ? 0.0 : overhead_sum / static_cast<double>(total_packets);
     tally.finalize(stats);
+    record_scheme_stats("tesla", stats);
     return stats;
 }
 
@@ -216,7 +277,11 @@ SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& c
     double block_start = 0.0;
     for (std::size_t b = 0; b < sim.blocks; ++b) {
         const auto payloads = random_payloads(rng, n, sim.payload_bytes);
-        const auto packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        std::vector<AuthPacket> packets;
+        {
+            MCAUTH_OBS_SPAN("sim.sign");
+            packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+        }
         stats.overhead_bytes_per_packet += mean_overhead(packets);
         for (std::size_t i = 0; i < n; ++i) {
             ++stats.packets_sent;
@@ -224,7 +289,11 @@ SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& c
             if (!channel.transmit(send_time, rng)) continue;
             ++stats.packets_received;
             tally.on_received(i);
-            const VerifyEvent ev = receiver.on_packet(packets[i]);
+            VerifyEvent ev;
+            {
+                MCAUTH_OBS_SPAN("sim.verify");
+                ev = receiver.on_packet(packets[i]);
+            }
             if (ev.status == VerifyStatus::kAuthenticated) {
                 ++stats.authenticated;
                 tally.on_authenticated(i);
@@ -237,6 +306,7 @@ SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& c
     }
     stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
     tally.finalize(stats);
+    record_scheme_stats("tree", stats);
     return stats;
 }
 
@@ -254,10 +324,12 @@ MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signe
     // exact same packets (that is the economics of multicast).
     std::vector<std::vector<AuthPacket>> blocks;
     blocks.reserve(sim.blocks);
-    for (std::size_t b = 0; b < sim.blocks; ++b)
-        blocks.push_back(
-            sender.make_block(static_cast<std::uint32_t>(b), random_payloads(rng, n,
-                                                                             sim.payload_bytes)));
+    {
+        MCAUTH_OBS_SPAN("sim.sign");
+        for (std::size_t b = 0; b < sim.blocks; ++b)
+            blocks.push_back(sender.make_block(static_cast<std::uint32_t>(b),
+                                               random_payloads(rng, n, sim.payload_bytes)));
+    }
 
     MulticastStats stats;
     stats.receivers = receivers;
@@ -311,9 +383,11 @@ MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signe
             block_start += static_cast<double>(n + sim.sign_copies - 1) * sim.t_transmit;
         }
         tally.finalize(one);
+        record_scheme_stats(scheme.name, one);
         const std::size_t data_packets = sim.blocks * n;
         stats.verified_fraction.add(static_cast<double>(one.authenticated) /
                                     static_cast<double>(data_packets));
+        stats.receiver_delay_all.merge(one.receiver_delay);
         stats.per_receiver.push_back(std::move(one));
     }
 
@@ -345,15 +419,24 @@ SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& chan
     double overhead_sum = 0.0;
     for (std::size_t b = 0; b < sim.blocks; ++b) {
         for (std::size_t i = 0; i < block_size; ++i) {
-            const AuthPacket pkt = sender.make_packet(
-                static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(i),
-                rng.bytes(sim.payload_bytes));
+            std::optional<AuthPacket> made;
+            {
+                MCAUTH_OBS_SPAN("sim.sign");
+                made = sender.make_packet(static_cast<std::uint32_t>(b),
+                                          static_cast<std::uint32_t>(i),
+                                          rng.bytes(sim.payload_bytes));
+            }
+            const AuthPacket& pkt = *made;
             overhead_sum += static_cast<double>(pkt.wire_size() - sim.payload_bytes);
             ++stats.packets_sent;
             if (channel.transmit(clock, rng)) {
                 ++stats.packets_received;
                 tally.on_received(i);
-                const VerifyEvent ev = receiver.on_packet(pkt);
+                VerifyEvent ev;
+                {
+                    MCAUTH_OBS_SPAN("sim.verify");
+                    ev = receiver.on_packet(pkt);
+                }
                 if (ev.status == VerifyStatus::kAuthenticated) {
                     ++stats.authenticated;
                     tally.on_authenticated(i);
@@ -368,6 +451,7 @@ SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& chan
     stats.overhead_bytes_per_packet =
         overhead_sum / static_cast<double>(sim.blocks * block_size);
     tally.finalize(stats);
+    record_scheme_stats("sign-each", stats);
     return stats;
 }
 

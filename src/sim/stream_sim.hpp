@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "auth/hash_chain_scheme.hpp"
@@ -42,9 +43,12 @@ struct SimStats {
     std::size_t unverifiable = 0;
 
     /// Aggregate empirical Pr{authenticated | received} over data packets.
+    /// NaN when nothing was resolved (e.g. every packet lost): a sim with no
+    /// evidence must not report a perfect score. Callers asserting on sim
+    /// health should require std::isfinite(auth_fraction()).
     double auth_fraction() const {
         const std::size_t resolved = authenticated + rejected + unverifiable;
-        return resolved == 0 ? 1.0
+        return resolved == 0 ? std::numeric_limits<double>::quiet_NaN()
                              : static_cast<double>(authenticated) /
                                    static_cast<double>(resolved);
     }
@@ -88,6 +92,10 @@ struct MulticastStats {
 
     /// Aggregate over receivers of the per-receiver verified fraction.
     RunningStats verified_fraction;
+    /// All receivers' authenticated-packet delays merged into one
+    /// accumulator (RunningStats::merge — Welford partials combine without
+    /// precision loss, the same mechanism per-thread obs stats would use).
+    RunningStats receiver_delay_all;
     /// Fraction of data packets verified by EVERY receiver (group delivery)
     /// and by AT LEAST one receiver.
     double all_receivers_fraction = 0.0;

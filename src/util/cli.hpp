@@ -1,4 +1,5 @@
-// Minimal --key=value / --flag argument parser for the examples and benches.
+// Minimal --key=value / --key value / --flag argument parser for the
+// examples and benches.
 #pragma once
 
 #include <cstdint>

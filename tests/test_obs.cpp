@@ -1,0 +1,467 @@
+// mcauth_obs: registry semantics, deterministic timing via FakeClock, trace
+// ring wraparound, and golden checks that the exporters emit well-formed
+// JSON (the trace file must parse as the Chrome trace-event schema).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace mcauth::obs {
+namespace {
+
+// ------------------------------------------------------- mini JSON parser
+//
+// Just enough JSON to validate the exporters: objects, arrays, strings,
+// numbers, booleans, null. No escapes beyond \" \\ \/ \n \t (the exporters
+// only emit metric names, which are dotted identifiers).
+
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool has(const std::string& key) const { return object.count(key) != 0; }
+    const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    bool parse(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out)) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+            ++pos_;
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != c) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        skip_ws();
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return parse_object(out);
+            case '[': return parse_array(out);
+            case '"': return parse_string(out);
+            case 't':
+            case 'f': return parse_bool(out);
+            case 'n': return parse_null(out);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_object(JsonValue& out) {
+        out.kind = JsonValue::Kind::kObject;
+        if (!consume('{')) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+            JsonValue key;
+            if (!parse_string(key)) return false;
+            if (!consume(':')) return false;
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            out.object.emplace(key.string, std::move(value));
+            if (consume(',')) continue;
+            return consume('}');
+        }
+    }
+
+    bool parse_array(JsonValue& out) {
+        out.kind = JsonValue::Kind::kArray;
+        if (!consume('[')) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            out.array.push_back(std::move(value));
+            if (consume(',')) continue;
+            return consume(']');
+        }
+    }
+
+    bool parse_string(JsonValue& out) {
+        out.kind = JsonValue::Kind::kString;
+        if (!consume('"')) return false;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return false;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': c = '"'; break;
+                    case '\\': c = '\\'; break;
+                    case '/': c = '/'; break;
+                    case 'n': c = '\n'; break;
+                    case 't': c = '\t'; break;
+                    default: return false;
+                }
+            }
+            out.string.push_back(c);
+        }
+        return pos_ < text_.size() && text_[pos_++] == '"';
+    }
+
+    bool parse_bool(JsonValue& out) {
+        out.kind = JsonValue::Kind::kBool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        return false;
+    }
+
+    bool parse_null(JsonValue& out) {
+        out.kind = JsonValue::Kind::kNull;
+        if (text_.compare(pos_, 4, "null") != 0) return false;
+        pos_ += 4;
+        return true;
+    }
+
+    bool parse_number(JsonValue& out) {
+        out.kind = JsonValue::Kind::kNumber;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) return false;
+        try {
+            out.number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue parse_json_or_die(const std::string& text) {
+    JsonValue v;
+    JsonParser parser(text);
+    EXPECT_TRUE(parser.parse(v)) << "unparseable JSON:\n" << text;
+    return v;
+}
+
+// Every test restores the process-global obs state it touches.
+class ObsTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        set_clock(nullptr);
+        set_enabled(true);
+        set_trace_enabled(false);
+    }
+};
+
+// ------------------------------------------------------------------ metrics
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAddReset) {
+    Gauge g;
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramEmptyIsZeroed) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum_ns(), 0u);
+    EXPECT_EQ(h.min_ns(), 0u);
+    EXPECT_EQ(h.max_ns(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+    EXPECT_EQ(h.quantile_ns(0.5), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsByBitWidth) {
+    LatencyHistogram h;
+    h.record_ns(0);     // bucket 0
+    h.record_ns(1);     // bucket 1: [1, 1]
+    h.record_ns(5);     // bucket 3: [4, 7]
+    h.record_ns(7);     // bucket 3
+    h.record_ns(1000);  // bucket 10: [512, 1023]
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum_ns(), 1013u);
+    EXPECT_EQ(h.min_ns(), 0u);
+    EXPECT_EQ(h.max_ns(), 1000u);
+    EXPECT_EQ(h.bucket_count(0), 1u);
+    EXPECT_EQ(h.bucket_count(1), 1u);
+    EXPECT_EQ(h.bucket_count(3), 2u);
+    EXPECT_EQ(h.bucket_count(10), 1u);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(3), 7u);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(10), 1023u);
+    // 3/5 of samples are <= 7ns, so p50's covering bucket edge is 7.
+    EXPECT_EQ(h.quantile_ns(0.5), 7u);
+    EXPECT_EQ(h.quantile_ns(1.0), 1023u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableIdentity) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("x.ops");
+    Counter& b = reg.counter("x.ops");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(reg.counter("x.ops").value(), 3u);
+    // Distinct kinds under the same name coexist (separate namespaces).
+    reg.gauge("x.ops").set(1.0);
+    EXPECT_EQ(reg.counter("x.ops").value(), 3u);
+}
+
+TEST_F(ObsTest, RegistryResetKeepsRegistrations) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("a");
+    reg.histogram("h").record_ns(9);
+    reg.gauge("g").set(4.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);  // cached reference still valid, value zeroed
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.counter_values().size(), 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonParsesAndRoundTripsValues) {
+    MetricsRegistry reg;
+    reg.counter("crypto.sha256.ops").add(7);
+    reg.gauge("sim.buffered_packets").set(3.0);
+    reg.histogram("sim.verify").record_ns(100);
+    reg.histogram("sim.verify").record_ns(200);
+
+    const JsonValue root = parse_json_or_die(reg.to_json());
+    ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+    ASSERT_TRUE(root.has("counters"));
+    ASSERT_TRUE(root.has("gauges"));
+    ASSERT_TRUE(root.has("histograms"));
+    EXPECT_DOUBLE_EQ(root.at("counters").at("crypto.sha256.ops").number, 7.0);
+    EXPECT_DOUBLE_EQ(root.at("gauges").at("sim.buffered_packets").number, 3.0);
+
+    const JsonValue& h = root.at("histograms").at("sim.verify");
+    EXPECT_DOUBLE_EQ(h.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(h.at("sum_ns").number, 300.0);
+    EXPECT_DOUBLE_EQ(h.at("min_ns").number, 100.0);
+    EXPECT_DOUBLE_EQ(h.at("max_ns").number, 200.0);
+    ASSERT_TRUE(h.has("buckets"));
+    ASSERT_EQ(h.at("buckets").kind, JsonValue::Kind::kArray);
+    ASSERT_FALSE(h.at("buckets").array.empty());
+    for (const JsonValue& bucket : h.at("buckets").array) {
+        EXPECT_TRUE(bucket.has("le_ns"));
+        EXPECT_TRUE(bucket.has("count"));
+    }
+}
+
+TEST_F(ObsTest, RenderTableMentionsEveryMetric) {
+    MetricsRegistry reg;
+    reg.counter("a.ops").add(1);
+    reg.gauge("b.level").set(2.0);
+    reg.histogram("c.span").record_ns(5);
+    const std::string table = reg.render_table();
+    EXPECT_NE(table.find("a.ops"), std::string::npos);
+    EXPECT_NE(table.find("b.level"), std::string::npos);
+    EXPECT_NE(table.find("c.span"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- timer
+
+TEST_F(ObsTest, ScopedTimerRecordsFakeClockDelta) {
+    FakeClock fake;
+    set_clock(&fake);
+    LatencyHistogram h;
+    {
+        ScopedTimer t(&h, "span");
+        fake.advance_ns(5'000'000);  // 5 ms
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum_ns(), 5'000'000u);
+    EXPECT_EQ(h.min_ns(), 5'000'000u);
+}
+
+TEST_F(ObsTest, ScopedTimerStopIsIdempotent) {
+    FakeClock fake;
+    set_clock(&fake);
+    LatencyHistogram h;
+    ScopedTimer t(&h, "span");
+    fake.advance_ns(10);
+    t.stop();
+    fake.advance_ns(10);
+    t.stop();  // no second sample
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum_ns(), 10u);
+}
+
+TEST_F(ObsTest, ScopedTimerDisabledRecordsNothing) {
+    set_enabled(false);
+    FakeClock fake;
+    set_clock(&fake);
+    LatencyHistogram h;
+    {
+        ScopedTimer t(&h, "span");
+        fake.advance_ns(100);
+    }
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, ScopedTimerFeedsTraceWhenEnabled) {
+    FakeClock fake;
+    fake.set_ns(1'000);
+    set_clock(&fake);
+    set_trace_enabled(true);
+    TraceRecorder::global().clear();
+    LatencyHistogram h;
+    {
+        ScopedTimer t(&h, "traced_span");
+        fake.advance_ns(2'000);
+    }
+    set_trace_enabled(false);
+    const auto events = TraceRecorder::global().snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_EQ(events[0].ts_ns, 1'000u);
+    EXPECT_EQ(events[1].phase, 'E');
+    EXPECT_EQ(events[1].ts_ns, 3'000u);
+    EXPECT_STREQ(events[0].name, "traced_span");
+    TraceRecorder::global().clear();
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST_F(ObsTest, TraceRingWrapsKeepingNewest) {
+    FakeClock fake;
+    set_clock(&fake);
+    TraceRecorder rec(8);
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        fake.set_ns(i);
+        rec.record("e", 'i');
+    }
+    EXPECT_EQ(rec.capacity(), 8u);
+    EXPECT_EQ(rec.size(), 8u);
+    EXPECT_EQ(rec.recorded(), 12u);
+    EXPECT_EQ(rec.dropped(), 4u);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    // Oldest retained first: timestamps 4..11.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].ts_ns, i + 4) << "slot " << i;
+    rec.clear();
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST_F(ObsTest, TraceJsonIsChromeTraceEventSchema) {
+    FakeClock fake;
+    set_clock(&fake);
+    TraceRecorder rec(16);
+    fake.set_ns(1'500);  // 1.5 us
+    rec.record("phase_a", 'B');
+    fake.set_ns(4'000);
+    rec.record("phase_a", 'E');
+    fake.set_ns(5'000);
+    rec.record("marker", 'i');
+
+    const JsonValue root = parse_json_or_die(rec.to_json());
+    ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+    ASSERT_TRUE(root.has("traceEvents"));
+    const JsonValue& events = root.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+    ASSERT_EQ(events.array.size(), 3u);
+    for (const JsonValue& ev : events.array) {
+        ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+        EXPECT_TRUE(ev.has("name"));
+        EXPECT_TRUE(ev.has("cat"));
+        EXPECT_TRUE(ev.has("pid"));
+        EXPECT_TRUE(ev.has("tid"));
+        EXPECT_TRUE(ev.has("ts"));
+        ASSERT_TRUE(ev.has("ph"));
+        const std::string& ph = ev.at("ph").string;
+        EXPECT_TRUE(ph == "B" || ph == "E" || ph == "i") << ph;
+    }
+    EXPECT_EQ(events.array[0].at("name").string, "phase_a");
+    EXPECT_DOUBLE_EQ(events.array[0].at("ts").number, 1.5);  // us
+    EXPECT_DOUBLE_EQ(events.array[1].at("ts").number, 4.0);
+    // Instant events carry thread scope.
+    EXPECT_EQ(events.array[2].at("ph").string, "i");
+    EXPECT_TRUE(events.array[2].has("s"));
+}
+
+// ------------------------------------------------------------------- macros
+
+#if MCAUTH_OBS_ENABLED
+
+TEST_F(ObsTest, MacrosFeedTheGlobalRegistry) {
+    registry().counter("test_obs.macro.ops").reset();
+    registry().histogram("test_obs.macro.span").reset();
+    FakeClock fake;
+    set_clock(&fake);
+
+    MCAUTH_OBS_COUNT("test_obs.macro.ops");
+    MCAUTH_OBS_COUNT_N("test_obs.macro.ops", 4);
+    MCAUTH_OBS_GAUGE_SET("test_obs.macro.level", 9);
+    {
+        MCAUTH_OBS_SPAN("test_obs.macro.span");
+        fake.advance_ns(77);
+    }
+    EXPECT_EQ(registry().counter("test_obs.macro.ops").value(), 5u);
+    EXPECT_DOUBLE_EQ(registry().gauge("test_obs.macro.level").value(), 9.0);
+    EXPECT_EQ(registry().histogram("test_obs.macro.span").count(), 1u);
+    EXPECT_EQ(registry().histogram("test_obs.macro.span").sum_ns(), 77u);
+}
+
+TEST_F(ObsTest, MacrosRespectRuntimeDisable) {
+    registry().counter("test_obs.disabled.ops").reset();
+    set_enabled(false);
+    MCAUTH_OBS_COUNT("test_obs.disabled.ops");
+    set_enabled(true);
+    EXPECT_EQ(registry().counter("test_obs.disabled.ops").value(), 0u);
+}
+
+#endif  // MCAUTH_OBS_ENABLED
+
+}  // namespace
+}  // namespace mcauth::obs

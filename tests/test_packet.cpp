@@ -194,7 +194,9 @@ TEST(Packet, DecodeBitflipFuzzRoundTripsOrRejects) {
         mutated[rng.uniform_below(mutated.size())] ^=
             static_cast<std::uint8_t>(1u << rng.uniform_below(8));
         const auto decoded = AuthPacket::decode(mutated);
-        if (decoded.has_value()) EXPECT_EQ(decoded->encode(), mutated);
+        if (decoded.has_value()) {
+            EXPECT_EQ(decoded->encode(), mutated);
+        }
     }
 }
 

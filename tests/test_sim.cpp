@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "core/authprob.hpp"
@@ -31,6 +32,41 @@ SimConfig quick_sim(std::size_t blocks = 4) {
 }
 
 // -------------------------------------------------------------- hash chain
+
+TEST(StreamSim, AuthFractionIsNaNWithoutEvidence) {
+    // Zero resolved packets must not read as a perfect score.
+    SimStats empty;
+    EXPECT_TRUE(std::isnan(empty.auth_fraction()));
+    SimStats some;
+    some.authenticated = 3;
+    some.rejected = 1;
+    EXPECT_DOUBLE_EQ(some.auth_fraction(), 0.75);
+}
+
+TEST(StreamSim, TotalLossYieldsNaNAuthFraction) {
+    Rng rng(2);
+    MerkleWotsSigner signer(rng, 16);
+    Channel channel(std::make_unique<BernoulliLoss>(1.0),
+                    std::make_unique<ConstantDelay>(0.0));
+    const auto stats =
+        run_hash_chain_sim(emss_config(16, 2, 1), signer, channel, quick_sim());
+    EXPECT_EQ(stats.packets_received, 0u);
+    EXPECT_FALSE(std::isfinite(stats.auth_fraction()));
+}
+
+TEST(MulticastSim, MergedDelayMatchesPerReceiverDelays) {
+    Rng rng(24);
+    MerkleWotsSigner signer(rng, 8);
+    const Channel prototype(std::make_unique<BernoulliLoss>(0.1),
+                            std::make_unique<ConstantDelay>(0.05));
+    const auto stats = run_multicast_hash_chain_sim(emss_config(12, 2, 1), signer,
+                                                    prototype, 4, quick_sim(2));
+    RunningStats expected;
+    for (const SimStats& one : stats.per_receiver) expected.merge(one.receiver_delay);
+    EXPECT_EQ(stats.receiver_delay_all.count(), expected.count());
+    EXPECT_DOUBLE_EQ(stats.receiver_delay_all.mean(), expected.mean());
+    EXPECT_DOUBLE_EQ(stats.receiver_delay_all.variance(), expected.variance());
+}
 
 TEST(StreamSim, LosslessHashChainAuthenticatesAll) {
     Rng rng(1);

@@ -155,6 +155,61 @@ TEST(RunningStats, MergeEqualsSingleStream) {
     EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
 }
 
+TEST(RunningStats, MergeMatchesNaiveTwoPassOnUnevenSplits) {
+    // Welford parallel-combine vs a naive two-pass mean/variance over the
+    // concatenation, for deliberately lopsided partition sizes.
+    Rng rng(23);
+    const std::vector<std::pair<std::size_t, std::size_t>> splits{
+        {1, 999}, {10, 990}, {500, 500}, {997, 3}};
+    for (const auto& [na, nb] : splits) {
+        std::vector<double> values;
+        RunningStats a, b;
+        for (std::size_t i = 0; i < na; ++i) {
+            const double x = rng.normal() * 3.0 + 10.0;
+            values.push_back(x);
+            a.add(x);
+        }
+        for (std::size_t i = 0; i < nb; ++i) {
+            const double x = rng.normal() * 0.5 - 4.0;  // different regime
+            values.push_back(x);
+            b.add(x);
+        }
+        a.merge(b);
+
+        double sum = 0.0;
+        for (double x : values) sum += x;
+        const double mean = sum / static_cast<double>(values.size());
+        double ss = 0.0;
+        for (double x : values) ss += (x - mean) * (x - mean);
+        const double variance = ss / static_cast<double>(values.size() - 1);
+
+        EXPECT_EQ(a.count(), values.size()) << na << "+" << nb;
+        EXPECT_NEAR(a.mean(), mean, 1e-10) << na << "+" << nb;
+        EXPECT_NEAR(a.variance(), variance, 1e-9) << na << "+" << nb;
+    }
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentityBothWays) {
+    RunningStats a;
+    for (double x : {1.0, 2.0, 6.0}) a.add(x);
+    const double mean = a.mean();
+    const double variance = a.variance();
+
+    RunningStats empty;
+    a.merge(empty);  // merging in nothing changes nothing
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_DOUBLE_EQ(a.variance(), variance);
+
+    RunningStats fresh;
+    fresh.merge(a);  // merging into nothing copies everything
+    EXPECT_EQ(fresh.count(), 3u);
+    EXPECT_DOUBLE_EQ(fresh.mean(), mean);
+    EXPECT_DOUBLE_EQ(fresh.variance(), variance);
+    EXPECT_EQ(fresh.min(), 1.0);
+    EXPECT_EQ(fresh.max(), 6.0);
+}
+
 TEST(Quantile, MedianAndExtremes) {
     std::vector<double> v{5, 1, 4, 2, 3};
     EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
@@ -254,13 +309,31 @@ TEST(Hex, RejectsMalformed) {
 // ------------------------------------------------------------------- cli
 
 TEST(Cli, ParsesKeyValueAndFlags) {
-    const char* argv[] = {"prog", "--n=100", "--p=0.25", "--verbose", "positional"};
+    // A bare flag followed by another --option stays a flag; space-separated
+    // values belong to the option before them.
+    const char* argv[] = {"prog", "--n=100", "--p=0.25", "--verbose", "--k=1"};
     CliArgs args(5, argv);
     EXPECT_EQ(args.get_int("n", 0), 100);
     EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
     EXPECT_TRUE(args.get_bool("verbose", false));
     EXPECT_FALSE(args.has("missing"));
     EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+    const char* argv[] = {"prog", "--seed", "42", "--metrics-out", "m.json", "--obs"};
+    CliArgs args(6, argv);
+    EXPECT_EQ(args.get_int("seed", 0), 42);
+    EXPECT_EQ(args.get("metrics-out", ""), "m.json");
+    EXPECT_TRUE(args.get_bool("obs", false));  // trailing bare flag
+}
+
+TEST(Cli, MixedFormsCoexist) {
+    const char* argv[] = {"prog", "--a=1", "--b", "2", "--c"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.get_int("a", 0), 1);
+    EXPECT_EQ(args.get_int("b", 0), 2);
+    EXPECT_TRUE(args.get_bool("c", false));
 }
 
 TEST(Cli, RejectsNonNumeric) {
