@@ -8,64 +8,75 @@
 // larger d) or AC's long first-level links (span a*(b+1)) resist; TESLA is
 // nearly indifferent (any one key disclosure after the burst repairs it);
 // Rohatgi is hopeless everywhere.
+//
+// Every (scheme, burst) Monte-Carlo cell is fanned across the thread pool
+// by SweepRunner; each cell derives its seed from (base seed, cell index),
+// so the tables are byte-identical for any --threads value.
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/tesla.hpp"
 #include "core/topologies.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
-
-namespace {
-
-double mc_q_min(const DependenceGraph& dg, LossModel& loss, Rng& rng) {
-    return monte_carlo_auth_prob(dg, loss, rng, 3000).q_min;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
     bench::BenchMain bm(argc, argv, "abl_markov_loss");
     bench::note("[abl2] Bursty loss (rate fixed at 0.2), q_min by Monte-Carlo, n = 500");
     const double kRate = 0.2;
     const std::size_t kN = 500;
+    const std::uint64_t base_seed = bm.seed();
+    const exec::SweepRunner sweep;
 
     bench::section("Gilbert-Elliott, mean burst length sweep");
     {
-        TablePrinter table({"burst", "rohatgi", "emss(2,1)", "emss(2,8)", "emss(2,16)",
-                            "ac(3,3)", "tesla"});
-        Rng rng(11);
         const auto rohatgi = make_rohatgi(kN);
         const auto emss21 = make_emss(kN, 2, 1);
         const auto emss28 = make_emss(kN, 2, 8);
         const auto emss216 = make_emss(kN, 2, 16);
         const auto ac33 = make_augmented_chain(kN, 3, 3);
-        for (double burst : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        const DependenceGraph* graphs[] = {&rohatgi, &emss21, &emss28, &emss216, &ac33};
+        const double bursts[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+
+        // Column 6 of each row is TESLA; columns 0-4 are the chained schemes.
+        struct Cell {
+            double burst;
+            int column;  // 0..4 = graphs[], 5 = tesla
+        };
+        std::vector<Cell> grid;
+        for (double burst : bursts)
+            for (int col = 0; col < 6; ++col) grid.push_back({burst, col});
+
+        const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t i) {
             std::unique_ptr<LossModel> loss;
-            if (burst <= 1.0) {
+            if (c.burst <= 1.0) {
                 loss = std::make_unique<BernoulliLoss>(kRate);
             } else {
                 loss = std::make_unique<GilbertElliottLoss>(
-                    GilbertElliottLoss::from_rate_and_burst(kRate, burst));
+                    GilbertElliottLoss::from_rate_and_burst(kRate, c.burst));
             }
-            TeslaParams tesla;
-            tesla.n = kN;
-            tesla.t_disclose = 1.0;
-            tesla.mu = 0.2;
-            tesla.sigma = 0.1;
-            tesla.p = kRate;
-            GaussianDelay delay(tesla.mu, tesla.sigma);
-            auto tesla_loss = loss->clone();
-            Rng tesla_rng(rng.next_u64());
-            const double tesla_q =
-                monte_carlo_tesla(tesla, *tesla_loss, delay, tesla_rng, 2000).q_min;
+            const std::uint64_t cell_seed = exec::derive_stream_seed(base_seed, i);
+            if (c.column == 5) {
+                TeslaParams tesla;
+                tesla.n = kN;
+                tesla.t_disclose = 1.0;
+                tesla.mu = 0.2;
+                tesla.sigma = 0.1;
+                tesla.p = kRate;
+                const GaussianDelay delay(tesla.mu, tesla.sigma);
+                return monte_carlo_tesla(tesla, *loss, delay, cell_seed, 2000).q_min;
+            }
+            return monte_carlo_auth_prob(*graphs[c.column], *loss, cell_seed, 3000).q_min;
+        });
 
-            table.add_row({TablePrinter::num(burst, 0),
-                           TablePrinter::num(mc_q_min(rohatgi, *loss, rng), 4),
-                           TablePrinter::num(mc_q_min(emss21, *loss, rng), 4),
-                           TablePrinter::num(mc_q_min(emss28, *loss, rng), 4),
-                           TablePrinter::num(mc_q_min(emss216, *loss, rng), 4),
-                           TablePrinter::num(mc_q_min(ac33, *loss, rng), 4),
-                           TablePrinter::num(tesla_q, 4)});
+        TablePrinter table({"burst", "rohatgi", "emss(2,1)", "emss(2,8)", "emss(2,16)",
+                            "ac(3,3)", "tesla"});
+        std::size_t i = 0;
+        for (double burst : bursts) {
+            std::vector<std::string> row{TablePrinter::num(burst, 0)};
+            for (int col = 0; col < 6; ++col) row.push_back(TablePrinter::num(q_min[i++], 4));
+            table.add_row(row);
         }
         bench::emit(table, "abl2_gilbert");
     }
@@ -74,13 +85,11 @@ int main(int argc, char** argv) {
     {
         // Good: lossless. Degraded: 30% loss. Outage: total loss. Dwell
         // times tuned so the stationary loss rate is ~0.2.
-        MarkovLoss markov({{0.90, 0.08, 0.02},
-                           {0.20, 0.70, 0.10},
-                           {0.30, 0.10, 0.60}},
-                          {0.0, 0.3, 1.0});
+        const MarkovLoss markov({{0.90, 0.08, 0.02},
+                                 {0.20, 0.70, 0.10},
+                                 {0.30, 0.10, 0.60}},
+                                {0.0, 0.3, 1.0});
         bench::note("model: " + markov.name());
-        TablePrinter table({"scheme", "q_min(mc)"});
-        Rng rng(13);
         struct Case {
             const char* name;
             DependenceGraph dg;
@@ -88,10 +97,15 @@ int main(int argc, char** argv) {
                      {"emss(2,1)", make_emss(kN, 2, 1)},
                      {"emss(2,16)", make_emss(kN, 2, 16)},
                      {"ac(3,3)", make_augmented_chain(kN, 3, 3)}};
-        for (auto& c : cases) {
-            auto loss = markov.clone();
-            table.add_row({c.name, TablePrinter::num(mc_q_min(c.dg, *loss, rng), 4)});
-        }
+        const auto q_min = sweep.map<double>(std::size(cases), [&](std::size_t i) {
+            // Offset past the Gilbert-Elliott grid so no cell reuses a stream.
+            const std::uint64_t cell_seed = exec::derive_stream_seed(base_seed, 1000 + i);
+            return monte_carlo_auth_prob(cases[i].dg, markov, cell_seed, 3000).q_min;
+        });
+
+        TablePrinter table({"scheme", "q_min(mc)"});
+        for (std::size_t i = 0; i < std::size(cases); ++i)
+            table.add_row({cases[i].name, TablePrinter::num(q_min[i], 4)});
         bench::emit(table, "abl2_markov3");
     }
     bench::note("\nreading: across each row, schemes whose link spans exceed the burst"

@@ -11,66 +11,116 @@
 // (rec -> fixed point ~0.82 at p=0.3 vs true ~0.4 and decaying with n).
 // The paper's *comparative* conclusions survive because all chained
 // schemes are evaluated with the same optimism.
+//
+// Rows are fanned across the thread pool by SweepRunner; each Monte-Carlo
+// row derives its seed from (base seed, row index), so the tables are
+// byte-identical for any --threads value.
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/topologies.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
 int main(int argc, char** argv) {
     bench::BenchMain bm(argc, argv, "abl_recurrence_accuracy");
     bench::note("[abl1] Recurrence (paper) vs exact vs Monte-Carlo vs Eq.1 bounds");
+    const exec::SweepRunner sweep;
 
     bench::section("small blocks (exact ground truth), n = 18");
     {
+        struct Case {
+            const char* name;
+            DependenceGraph (*make)(std::size_t);
+        };
+        const Case cases[] = {
+            {"rohatgi", +[](std::size_t n) { return make_rohatgi(n); }},
+            {"emss(2,1)", +[](std::size_t n) { return make_emss(n, 2, 1); }},
+            {"emss(3,1)", +[](std::size_t n) { return make_emss(n, 3, 1); }},
+            {"ac(2,2)", +[](std::size_t n) { return make_augmented_chain(n, 2, 2); }}};
+        const double losses[] = {0.1, 0.3, 0.5};
+
+        struct Row {
+            double p;
+            const Case* c;
+        };
+        std::vector<Row> grid;
+        for (double p : losses)
+            for (const Case& c : cases) grid.push_back({p, &c});
+
+        struct RowResult {
+            double lower = 0, exact = 0, rec = 0, upper = 0;
+        };
+        const auto results =
+            sweep.map_grid<RowResult>(grid, [](const Row& r, std::size_t) {
+                const auto dg = r.c->make(18);
+                RowResult out;
+                out.exact = exact_auth_prob(dg, r.p).q_min;
+                out.rec = recurrence_auth_prob(dg, r.p).q_min;
+                const auto bounds = bounds_auth_prob(dg, r.p);
+                out.lower = bounds.q_min_lower;
+                out.upper = bounds.q_min_upper;
+                return out;
+            });
+
         TablePrinter table({"scheme", "p", "lower(eq1)", "exact", "recurrence", "upper(eq1)",
                             "rec-exact"});
-        Rng rng(1);
-        for (double p : {0.1, 0.3, 0.5}) {
-            struct Case {
-                const char* name;
-                DependenceGraph dg;
-            } cases[] = {{"rohatgi", make_rohatgi(18)},
-                         {"emss(2,1)", make_emss(18, 2, 1)},
-                         {"emss(3,1)", make_emss(18, 3, 1)},
-                         {"ac(2,2)", make_augmented_chain(18, 2, 2)}};
-            for (auto& c : cases) {
-                const auto exact = exact_auth_prob(c.dg, p);
-                const auto rec = recurrence_auth_prob(c.dg, p);
-                const auto bounds = bounds_auth_prob(c.dg, p);
-                table.add_row({c.name, TablePrinter::num(p, 1),
-                               TablePrinter::num(bounds.q_min_lower, 4),
-                               TablePrinter::num(exact.q_min, 4),
-                               TablePrinter::num(rec.q_min, 4),
-                               TablePrinter::num(bounds.q_min_upper, 4),
-                               TablePrinter::num(rec.q_min - exact.q_min, 4)});
-            }
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const auto& r = results[i];
+            table.add_row({grid[i].c->name, TablePrinter::num(grid[i].p, 1),
+                           TablePrinter::num(r.lower, 4), TablePrinter::num(r.exact, 4),
+                           TablePrinter::num(r.rec, 4), TablePrinter::num(r.upper, 4),
+                           TablePrinter::num(r.rec - r.exact, 4)});
         }
         bench::emit(table, "abl1_small");
     }
 
     bench::section("paper-scale blocks (Monte-Carlo ground truth), n = 1000");
     {
+        struct Case {
+            const char* name;
+            DependenceGraph (*make)(std::size_t);
+        };
+        const Case cases[] = {
+            {"emss(2,1)", +[](std::size_t n) { return make_emss(n, 2, 1); }},
+            {"emss(4,1)", +[](std::size_t n) { return make_emss(n, 4, 1); }},
+            {"ac(3,3)", +[](std::size_t n) { return make_augmented_chain(n, 3, 3); }}};
+        const double losses[] = {0.1, 0.3, 0.5};
+
+        struct Row {
+            double p;
+            const Case* c;
+        };
+        std::vector<Row> grid;
+        for (double p : losses)
+            for (const Case& c : cases) grid.push_back({p, &c});
+
+        struct RowResult {
+            double rec = 0, mc = 0, hw = 0;
+        };
+        const std::uint64_t base_seed = bm.seed();
+        const auto results =
+            sweep.map_grid<RowResult>(grid, [&](const Row& r, std::size_t i) {
+                const auto dg = r.c->make(1000);
+                RowResult out;
+                out.rec = recurrence_auth_prob(dg, r.p).q_min;
+                const BernoulliLoss loss(r.p);
+                const auto mc = monte_carlo_auth_prob(
+                    dg, loss, exec::derive_stream_seed(base_seed, i), 3000);
+                out.mc = mc.q_min;
+                out.hw = mc.q_min_halfwidth;
+                return out;
+            });
+
         TablePrinter table(
             {"scheme", "p", "recurrence", "monte-carlo", "mc 95% hw", "rec-mc"});
-        Rng rng(2);
-        for (double p : {0.1, 0.3, 0.5}) {
-            struct Case {
-                const char* name;
-                DependenceGraph dg;
-            } cases[] = {{"emss(2,1)", make_emss(1000, 2, 1)},
-                         {"emss(4,1)", make_emss(1000, 4, 1)},
-                         {"ac(3,3)", make_augmented_chain(1000, 3, 3)}};
-            for (auto& c : cases) {
-                const auto rec = recurrence_auth_prob(c.dg, p);
-                BernoulliLoss loss(p);
-                const auto mc = monte_carlo_auth_prob(c.dg, loss, rng, 3000);
-                table.add_row({c.name, TablePrinter::num(p, 1),
-                               TablePrinter::num(rec.q_min, 4),
-                               TablePrinter::num(mc.q_min, 4),
-                               TablePrinter::num(mc.q_min_halfwidth, 4),
-                               TablePrinter::num(rec.q_min - mc.q_min, 4)});
-            }
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const auto& r = results[i];
+            table.add_row({grid[i].c->name, TablePrinter::num(grid[i].p, 1),
+                           TablePrinter::num(r.rec, 4), TablePrinter::num(r.mc, 4),
+                           TablePrinter::num(r.hw, 4),
+                           TablePrinter::num(r.rec - r.mc, 4)});
         }
         bench::emit(table, "abl1_large");
     }

@@ -10,6 +10,9 @@
 // which gives every binary a uniform flag surface (parsed by util/cli):
 //
 //   --seed=N           base RNG seed (default per-bench)
+//   --threads=N        lanes for the global exec::ThreadPool (default:
+//                      hardware concurrency; 1 = the serial path). Output
+//                      is bit-identical for any value — see DESIGN.md §7.
 //   --warmup=N         run the workload N extra times first, then discard
 //                      metrics (only meaningful with BenchMain::run)
 //   --repeat=N         measured repetitions (only meaningful with run)
@@ -29,6 +32,7 @@
 #include <string>
 #include <utility>
 
+#include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -62,6 +66,9 @@ public:
         trace_out_ = args_.get("trace-out", "");
         obs::set_enabled(args_.get_bool("obs", true));
         if (!trace_out_.empty()) obs::set_trace_enabled(true);
+        threads_ = static_cast<std::size_t>(args_.get_int(
+            "threads", static_cast<std::int64_t>(exec::hardware_threads())));
+        exec::ThreadPool::set_global_thread_count(threads_);
     }
 
     BenchMain(const BenchMain&) = delete;
@@ -73,6 +80,7 @@ public:
     const std::string& name() const noexcept { return name_; }
     std::uint64_t seed() const noexcept { return seed_; }
     std::size_t repeat() const noexcept { return repeat_; }
+    std::size_t threads() const noexcept { return threads_; }
 
     /// Warmup/repeat driver: `body(seed)` runs `warmup` times with metrics
     /// discarded afterwards, then `repeat` measured times with distinct
@@ -111,6 +119,7 @@ private:
     std::uint64_t seed_ = 1;
     std::size_t warmup_ = 0;
     std::size_t repeat_ = 1;
+    std::size_t threads_ = 1;
     std::string metrics_out_;
     std::string trace_out_;
     bool flushed_ = false;

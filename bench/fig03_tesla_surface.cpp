@@ -5,8 +5,13 @@
 // Expected shape (paper): q_min falls as either mu or sigma grows; with
 // mu, sigma << T_disclose the scheme sits at its loss-limited plateau
 // (1 - p), and the cliff arrives as mu approaches T_disclose.
+//
+// The (p, sigma, alpha) grid is fanned across the thread pool by
+// SweepRunner; cells come back in index order, so the tables are
+// byte-identical for any --threads value.
 #include "bench_common.hpp"
 #include "core/tesla.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
@@ -16,23 +21,37 @@ int main(int argc, char** argv) {
     const double kDisclose = 1.0;
     const double alphas[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
     const double sigmas[] = {0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8};
+    const double losses[] = {0.1, 0.3, 0.5};
 
-    for (double p : {0.1, 0.3, 0.5}) {
+    struct Cell {
+        double p, sigma, alpha;
+    };
+    std::vector<Cell> grid;
+    for (double p : losses)
+        for (double sigma : sigmas)
+            for (double alpha : alphas) grid.push_back({p, sigma, alpha});
+
+    const exec::SweepRunner sweep;
+    const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t) {
+        TeslaParams params;
+        params.n = 1000;
+        params.t_disclose = kDisclose;
+        params.mu = c.alpha * kDisclose;
+        params.sigma = c.sigma;
+        params.p = c.p;
+        return analyze_tesla(params).q_min;
+    });
+
+    std::size_t i = 0;
+    for (double p : losses) {
         bench::section("q_min surface at packet loss p = " + TablePrinter::num(p, 1));
         std::vector<std::string> header{"sigma\\alpha"};
         for (double a : alphas) header.push_back(TablePrinter::num(a, 1));
         TablePrinter table(header);
         for (double sigma : sigmas) {
             std::vector<std::string> row{TablePrinter::num(sigma, 2)};
-            for (double alpha : alphas) {
-                TeslaParams params;
-                params.n = 1000;
-                params.t_disclose = kDisclose;
-                params.mu = alpha * kDisclose;
-                params.sigma = sigma;
-                params.p = p;
-                row.push_back(TablePrinter::num(analyze_tesla(params).q_min, 4));
-            }
+            for (std::size_t a = 0; a < std::size(alphas); ++a)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
         bench::emit(table, "fig03_p" + TablePrinter::num(p, 1));

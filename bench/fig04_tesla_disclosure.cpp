@@ -5,8 +5,12 @@
 // Expected shape (paper): TESLA is robust to packet loss once T_disclose is
 // large relative to mu and sigma — the p-dependence is exactly (1 - p), and
 // the T/sigma axis saturates quickly (jitter absorbed by the margin).
+//
+// Grid cells are fanned across the thread pool by SweepRunner (index-order
+// results: output is byte-identical for any --threads value).
 #include "bench_common.hpp"
 #include "core/tesla.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
@@ -15,23 +19,37 @@ int main(int argc, char** argv) {
     bench::note("[fig04] TESLA q_min vs normalized T_disclose/sigma and p; n = 1000");
     const double ratios[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
     const double losses[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+    const double alphas[] = {0.25, 0.5, 0.75};
 
-    for (double alpha : {0.25, 0.5, 0.75}) {
+    struct Cell {
+        double alpha, p, ratio;
+    };
+    std::vector<Cell> grid;
+    for (double alpha : alphas)
+        for (double p : losses)
+            for (double ratio : ratios) grid.push_back({alpha, p, ratio});
+
+    const exec::SweepRunner sweep;
+    const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t) {
+        TeslaParams params;
+        params.n = 1000;
+        params.t_disclose = 1.0;
+        params.sigma = 1.0 / c.ratio;  // T/sigma = ratio with T = 1
+        params.mu = c.alpha;
+        params.p = c.p;
+        return analyze_tesla(params).q_min;
+    });
+
+    std::size_t i = 0;
+    for (double alpha : alphas) {
         bench::section("mu = " + TablePrinter::num(alpha, 2) + " * T_disclose");
         std::vector<std::string> header{"p\\(T/sigma)"};
         for (double r : ratios) header.push_back(TablePrinter::num(r, 1));
         TablePrinter table(header);
         for (double p : losses) {
             std::vector<std::string> row{TablePrinter::num(p, 1)};
-            for (double ratio : ratios) {
-                TeslaParams params;
-                params.n = 1000;
-                params.t_disclose = 1.0;
-                params.sigma = 1.0 / ratio;  // T/sigma = ratio with T = 1
-                params.mu = alpha;
-                params.p = p;
-                row.push_back(TablePrinter::num(analyze_tesla(params).q_min, 4));
-            }
+            for (std::size_t r = 0; r < std::size(ratios); ++r)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
         bench::emit(table, "fig04_alpha" + TablePrinter::num(alpha, 2));

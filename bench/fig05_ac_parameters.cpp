@@ -5,9 +5,14 @@
 // Expected shape (paper): q_min drops when either a or b DEcreases... more
 // precisely, with n fixed, larger a and b shorten the first-level chain's
 // depth and raise q_min; small a with large group count is the weak corner.
+//
+// Each cell builds a 1000-vertex graph and runs the recurrence — the
+// expensive part — so the (p, a, b) grid is fanned across the thread pool
+// by SweepRunner (index-order results: byte-identical for any --threads).
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/topologies.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
@@ -17,18 +22,33 @@ int main(int argc, char** argv) {
     const std::size_t kN = 1000;
     const std::size_t a_values[] = {2, 3, 4, 5, 6, 8};
     const std::size_t b_values[] = {1, 2, 3, 4, 5, 7};
+    const double losses[] = {0.1, 0.3, 0.5};
 
-    for (double p : {0.1, 0.3, 0.5}) {
+    struct Cell {
+        double p;
+        std::size_t a, b;
+    };
+    std::vector<Cell> grid;
+    for (double p : losses)
+        for (std::size_t a : a_values)
+            for (std::size_t b : b_values) grid.push_back({p, a, b});
+
+    const exec::SweepRunner sweep;
+    const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t) {
+        const auto dg = make_augmented_chain(kN, c.a, c.b);
+        return recurrence_auth_prob(dg, c.p).q_min;
+    });
+
+    std::size_t i = 0;
+    for (double p : losses) {
         bench::section("q_min at p = " + TablePrinter::num(p, 1));
         std::vector<std::string> header{"a\\b"};
         for (std::size_t b : b_values) header.push_back(std::to_string(b));
         TablePrinter table(header);
         for (std::size_t a : a_values) {
             std::vector<std::string> row{std::to_string(a)};
-            for (std::size_t b : b_values) {
-                const auto dg = make_augmented_chain(kN, a, b);
-                row.push_back(TablePrinter::num(recurrence_auth_prob(dg, p).q_min, 4));
-            }
+            for (std::size_t b = 0; b < std::size(b_values); ++b)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
         bench::emit(table, "fig05_p" + TablePrinter::num(p, 1));

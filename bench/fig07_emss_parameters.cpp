@@ -5,28 +5,55 @@
 // links than that buy little. And q_min is much LESS sensitive to d — only
 // d beyond ~20% of n moves it visibly (links overshooting toward the root
 // clamp and shorten paths).
+//
+// Both sub-sweeps build a 1000-vertex graph per cell, so the cells are
+// fanned across the thread pool by SweepRunner (index-order results:
+// byte-identical for any --threads).
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/topologies.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
+
+namespace {
+
+struct Cell {
+    double p;
+    std::size_t m, d;
+};
+
+std::vector<double> sweep_emss(const std::vector<Cell>& grid, std::size_t n) {
+    const exec::SweepRunner sweep;
+    return sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t) {
+        return recurrence_auth_prob(make_emss(n, c.m, c.d), c.p).q_min;
+    });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     bench::BenchMain bm(argc, argv, "fig07_emss_parameters");
     bench::note("[fig07] EMSS E_{m,d}: q_min vs m (at d=1) and vs d (at m=2); n = 1000");
     const std::size_t kN = 1000;
+    const double losses[] = {0.1, 0.3, 0.5};
 
     bench::section("q_min vs m (d = 1)");
     {
         const std::size_t m_values[] = {1, 2, 3, 4, 5, 6, 8};
+        std::vector<Cell> grid;
+        for (double p : losses)
+            for (std::size_t m : m_values) grid.push_back({p, m, 1});
+        const auto q_min = sweep_emss(grid, kN);
+
         std::vector<std::string> header{"p\\m"};
         for (std::size_t m : m_values) header.push_back(std::to_string(m));
         TablePrinter table(header);
-        for (double p : {0.1, 0.3, 0.5}) {
+        std::size_t i = 0;
+        for (double p : losses) {
             std::vector<std::string> row{TablePrinter::num(p, 1)};
-            for (std::size_t m : m_values)
-                row.push_back(
-                    TablePrinter::num(recurrence_auth_prob(make_emss(kN, m, 1), p).q_min, 4));
+            for (std::size_t m = 0; m < std::size(m_values); ++m)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
         bench::emit(table, "fig07_vs_m");
@@ -35,14 +62,19 @@ int main(int argc, char** argv) {
     bench::section("q_min vs d (m = 2)");
     {
         const std::size_t d_values[] = {1, 2, 5, 10, 20, 50, 100, 200, 300, 450};
+        std::vector<Cell> grid;
+        for (double p : losses)
+            for (std::size_t d : d_values) grid.push_back({p, 2, d});
+        const auto q_min = sweep_emss(grid, kN);
+
         std::vector<std::string> header{"p\\d"};
         for (std::size_t d : d_values) header.push_back(std::to_string(d));
         TablePrinter table(header);
-        for (double p : {0.1, 0.3, 0.5}) {
+        std::size_t i = 0;
+        for (double p : losses) {
             std::vector<std::string> row{TablePrinter::num(p, 1)};
-            for (std::size_t d : d_values)
-                row.push_back(
-                    TablePrinter::num(recurrence_auth_prob(make_emss(kN, 2, d), p).q_min, 4));
+            for (std::size_t d = 0; d < std::size(d_values); ++d)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
         bench::emit(table, "fig07_vs_d");

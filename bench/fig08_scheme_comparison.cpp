@@ -7,23 +7,43 @@
 // (with T_disclose comfortably above mu and sigma) degrades only as (1-p)
 // and overtakes EMSS/AC at high loss, while EMSS/AC can edge it out at
 // small p where TESLA pays its xi < 1 delay tax.
+//
+// Every (scheme, axis-point) cell — graph construction plus recurrence —
+// is fanned across the thread pool by SweepRunner (index-order results:
+// byte-identical for any --threads).
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/tesla.hpp"
 #include "core/topologies.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
 namespace {
 
-double tesla_q_min(std::size_t n, double p) {
-    TeslaParams params;
-    params.n = n;
-    params.t_disclose = 1.0;
-    params.mu = 0.2;
-    params.sigma = 0.1;
-    params.p = p;
-    return analyze_tesla(params).q_min;
+enum class Scheme { kRohatgi, kTree, kTesla, kEmss21, kAc33 };
+
+constexpr Scheme kSchemes[] = {Scheme::kRohatgi, Scheme::kTree, Scheme::kTesla,
+                               Scheme::kEmss21, Scheme::kAc33};
+
+double scheme_q_min(Scheme s, std::size_t n, double p) {
+    switch (s) {
+        case Scheme::kRohatgi: return recurrence_auth_prob(make_rohatgi(n), p).q_min;
+        case Scheme::kTree: return recurrence_auth_prob(make_auth_tree(n), p).q_min;
+        case Scheme::kTesla: {
+            TeslaParams params;
+            params.n = n;
+            params.t_disclose = 1.0;
+            params.mu = 0.2;
+            params.sigma = 0.1;
+            params.p = p;
+            return analyze_tesla(params).q_min;
+        }
+        case Scheme::kEmss21: return recurrence_auth_prob(make_emss(n, 2, 1), p).q_min;
+        case Scheme::kAc33:
+            return recurrence_auth_prob(make_augmented_chain(n, 3, 3), p).q_min;
+    }
+    return 0.0;
 }
 
 }  // namespace
@@ -31,39 +51,52 @@ double tesla_q_min(std::size_t n, double p) {
 int main(int argc, char** argv) {
     bench::BenchMain bm(argc, argv, "fig08_scheme_comparison");
     bench::note("[fig08] Scheme comparison (TESLA: T=1s, mu=0.2s, sigma=0.1s)");
+    const exec::SweepRunner sweep;
+
+    struct Cell {
+        Scheme scheme;
+        std::size_t n;
+        double p;
+    };
 
     bench::section("(a) q_min vs packet loss rate p, n = 1000");
     {
+        const double losses[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+        std::vector<Cell> grid;
+        for (double p : losses)
+            for (Scheme s : kSchemes) grid.push_back({s, 1000, p});
+        const auto q_min = sweep.map_grid<double>(grid, [](const Cell& c, std::size_t) {
+            return scheme_q_min(c.scheme, c.n, c.p);
+        });
+
         TablePrinter table({"p", "rohatgi", "auth-tree", "tesla", "emss(2,1)", "ac(3,3)"});
-        const std::size_t n = 1000;
-        const auto rohatgi = make_rohatgi(n);
-        const auto tree = make_auth_tree(n);
-        const auto emss = make_emss(n, 2, 1);
-        const auto ac = make_augmented_chain(n, 3, 3);
-        for (double p : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-            table.add_row({TablePrinter::num(p, 2),
-                           TablePrinter::num(recurrence_auth_prob(rohatgi, p).q_min, 4),
-                           TablePrinter::num(recurrence_auth_prob(tree, p).q_min, 4),
-                           TablePrinter::num(tesla_q_min(n, p), 4),
-                           TablePrinter::num(recurrence_auth_prob(emss, p).q_min, 4),
-                           TablePrinter::num(recurrence_auth_prob(ac, p).q_min, 4)});
+        std::size_t i = 0;
+        for (double p : losses) {
+            std::vector<std::string> row{TablePrinter::num(p, 2)};
+            for (std::size_t s = 0; s < std::size(kSchemes); ++s)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
+            table.add_row(row);
         }
         bench::emit(table, "fig08a_vs_p");
     }
 
     bench::section("(b) q_min vs block size n, p = 0.1");
     {
+        const std::size_t sizes[] = {50, 100, 200, 500, 1000, 2000};
+        std::vector<Cell> grid;
+        for (std::size_t n : sizes)
+            for (Scheme s : kSchemes) grid.push_back({s, n, 0.1});
+        const auto q_min = sweep.map_grid<double>(grid, [](const Cell& c, std::size_t) {
+            return scheme_q_min(c.scheme, c.n, c.p);
+        });
+
         TablePrinter table({"n", "rohatgi", "auth-tree", "tesla", "emss(2,1)", "ac(3,3)"});
-        const double p = 0.1;
-        for (std::size_t n : {50u, 100u, 200u, 500u, 1000u, 2000u}) {
-            table.add_row(
-                {std::to_string(n),
-                 TablePrinter::num(recurrence_auth_prob(make_rohatgi(n), p).q_min, 4),
-                 TablePrinter::num(recurrence_auth_prob(make_auth_tree(n), p).q_min, 4),
-                 TablePrinter::num(tesla_q_min(n, p), 4),
-                 TablePrinter::num(recurrence_auth_prob(make_emss(n, 2, 1), p).q_min, 4),
-                 TablePrinter::num(
-                     recurrence_auth_prob(make_augmented_chain(n, 3, 3), p).q_min, 4)});
+        std::size_t i = 0;
+        for (std::size_t n : sizes) {
+            std::vector<std::string> row{std::to_string(n)};
+            for (std::size_t s = 0; s < std::size(kSchemes); ++s)
+                row.push_back(TablePrinter::num(q_min[i++], 4));
+            table.add_row(row);
         }
         bench::emit(table, "fig08b_vs_n");
     }

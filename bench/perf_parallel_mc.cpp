@@ -1,0 +1,198 @@
+// Parallel Monte-Carlo throughput: trials/sec at 1/2/4/8 pool threads for
+// the two heaviest randomized workloads in the bench suite —
+//
+//   * the abl_recurrence_accuracy large-block grid (monte_carlo_auth_prob
+//     over EMSS/AC graphs at n = 1000), and
+//   * a fig03-style TESLA surface evaluated by monte_carlo_tesla instead of
+//     the closed form (per-cell trials over the (p, sigma, alpha) grid).
+//
+// Besides throughput, each thread count's q_min checksum is compared: the
+// determinism contract (DESIGN.md §7) says they must be bit-identical, and
+// this bench fails loudly if they are not. Results land in
+// bench_out/BENCH_parallel_mc.json.
+//
+// Note: on machines with fewer hardware threads than the sweep's lane
+// counts the extra lanes time-slice, so the speedup column saturates at the
+// core count — the checksum comparison is meaningful regardless.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/authprob.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+struct WorkloadResult {
+    std::size_t trials = 0;  // total Monte-Carlo trials executed
+    double seconds = 0;
+    double checksum = 0;  // sum of per-cell q_min (bit-identity probe)
+};
+
+double now_seconds() {
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+WorkloadResult run_authprob_grid(std::uint64_t base_seed) {
+    constexpr std::size_t kN = 1000;
+    constexpr std::size_t kTrials = 3000;
+    const auto emss21 = make_emss(kN, 2, 1);
+    const auto emss41 = make_emss(kN, 4, 1);
+    const auto ac33 = make_augmented_chain(kN, 3, 3);
+    const DependenceGraph* graphs[] = {&emss21, &emss41, &ac33};
+    const double losses[] = {0.1, 0.3, 0.5};
+
+    struct Cell {
+        const DependenceGraph* dg;
+        double p;
+    };
+    std::vector<Cell> grid;
+    for (double p : losses)
+        for (const DependenceGraph* dg : graphs) grid.push_back({dg, p});
+
+    const exec::SweepRunner sweep;
+    WorkloadResult out;
+    out.trials = grid.size() * kTrials;
+    const double t0 = now_seconds();
+    const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t i) {
+        const BernoulliLoss loss(c.p);
+        return monte_carlo_auth_prob(*c.dg, loss, exec::derive_stream_seed(base_seed, i),
+                                     kTrials)
+            .q_min;
+    });
+    out.seconds = now_seconds() - t0;
+    for (double q : q_min) out.checksum += q;
+    return out;
+}
+
+WorkloadResult run_tesla_surface(std::uint64_t base_seed) {
+    constexpr std::size_t kTrials = 1000;
+    const double alphas[] = {0.2, 0.5, 0.8};
+    const double sigmas[] = {0.05, 0.2};
+    const double losses[] = {0.1, 0.3};
+
+    struct Cell {
+        double p, sigma, alpha;
+    };
+    std::vector<Cell> grid;
+    for (double p : losses)
+        for (double sigma : sigmas)
+            for (double alpha : alphas) grid.push_back({p, sigma, alpha});
+
+    const exec::SweepRunner sweep;
+    WorkloadResult out;
+    out.trials = grid.size() * kTrials;
+    const double t0 = now_seconds();
+    const auto q_min = sweep.map_grid<double>(grid, [&](const Cell& c, std::size_t i) {
+        TeslaParams params;
+        params.n = 1000;
+        params.t_disclose = 1.0;
+        params.mu = c.alpha * params.t_disclose;
+        params.sigma = c.sigma;
+        params.p = c.p;
+        const BernoulliLoss loss(c.p);
+        const GaussianDelay delay(params.mu, params.sigma);
+        return monte_carlo_tesla(params, loss, delay,
+                                 exec::derive_stream_seed(base_seed, i), kTrials)
+            .q_min;
+    });
+    out.seconds = now_seconds() - t0;
+    for (double q : q_min) out.checksum += q;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_parallel_mc");
+    bench::note("[perf] Parallel Monte-Carlo throughput and thread-count bit-identity");
+    bench::note("hardware threads: " + std::to_string(exec::hardware_threads()));
+
+    struct Workload {
+        const char* name;
+        WorkloadResult (*run)(std::uint64_t);
+    };
+    const Workload workloads[] = {
+        {"abl_recurrence_accuracy_mc", &run_authprob_grid},
+        {"fig03_tesla_surface_mc", &run_tesla_surface},
+    };
+    const std::size_t thread_counts[] = {1, 2, 4, 8};
+
+    struct Record {
+        const char* workload;
+        std::size_t threads;
+        WorkloadResult r;
+    };
+    std::vector<Record> records;
+    bool deterministic = true;
+
+    for (const Workload& w : workloads) {
+        bench::section(w.name);
+        TablePrinter table({"threads", "trials", "seconds", "trials/sec", "vs 1 thread"});
+        double serial_rate = 0;
+        double reference_checksum = 0;
+        for (std::size_t t : thread_counts) {
+            exec::ThreadPool::set_global_thread_count(t);
+            const WorkloadResult r = w.run(bm.seed());
+            const double rate = r.seconds > 0 ? static_cast<double>(r.trials) / r.seconds
+                                              : 0.0;
+            if (t == 1) {
+                serial_rate = rate;
+                reference_checksum = r.checksum;
+            } else if (r.checksum != reference_checksum) {
+                deterministic = false;
+                bench::note("DETERMINISM VIOLATION at threads=" + std::to_string(t));
+            }
+            table.add_row({std::to_string(t), std::to_string(r.trials),
+                           TablePrinter::num(r.seconds, 3), TablePrinter::num(rate, 0),
+                           TablePrinter::num(serial_rate > 0 ? rate / serial_rate : 0.0,
+                                             2)});
+            records.push_back({w.name, t, r});
+        }
+        bench::emit(table, std::string("perf_parallel_mc_") + w.name);
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_parallel_mc.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"perf_parallel_mc\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"hardware_threads\": %zu,\n", exec::hardware_threads());
+        std::fprintf(f, "  \"deterministic_across_thread_counts\": %s,\n",
+                     deterministic ? "true" : "false");
+        std::fprintf(f, "  \"results\": [\n");
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const Record& rec = records[i];
+            const double rate =
+                rec.r.seconds > 0 ? static_cast<double>(rec.r.trials) / rec.r.seconds
+                                  : 0.0;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"threads\": %zu, \"trials\": %zu, "
+                         "\"seconds\": %.6f, \"trials_per_sec\": %.1f, "
+                         "\"qmin_checksum\": %.17g}%s\n",
+                         rec.workload, rec.threads, rec.r.trials, rec.r.seconds, rate,
+                         rec.r.checksum, i + 1 < records.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    if (!deterministic) {
+        bench::note("RESULT: FAIL — outputs varied with thread count");
+        return 1;
+    }
+    bench::note("RESULT: OK — q_min checksums bit-identical at 1/2/4/8 threads");
+    return 0;
+}

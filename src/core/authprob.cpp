@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -11,10 +14,15 @@ namespace mcauth {
 
 namespace {
 
+/// NaN entries (Monte-Carlo vertices never received: 0/0, unresolved) are
+/// skipped; all-NaN yields NaN.
 double min_over_non_root(const std::vector<double>& q) {
-    double q_min = 1.0;
-    for (std::size_t v = 1; v < q.size(); ++v) q_min = std::min(q_min, q[v]);
-    return q_min;
+    double q_min = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t v = 1; v < q.size(); ++v) {
+        if (std::isnan(q[v])) continue;
+        if (std::isnan(q_min) || q[v] < q_min) q_min = q[v];
+    }
+    return q.size() <= 1 ? 1.0 : q_min;
 }
 
 }  // namespace
@@ -105,28 +113,66 @@ AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n)
     return result;
 }
 
-MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
-                                         Rng& rng, std::size_t trials) {
-    MCAUTH_EXPECTS(trials >= 1);
-    MCAUTH_OBS_COUNT_N("core.montecarlo.trials", trials);
-    const std::size_t n = dg.packet_count();
-    std::vector<std::size_t> received_count(n, 0);
-    std::vector<std::size_t> verified_count(n, 0);
-    std::vector<bool> received(n);
+namespace {
 
-    for (std::size_t t = 0; t < trials; ++t) {
-        loss.reset();
+struct TrialCounts {
+    std::vector<std::uint64_t> received;
+    std::vector<std::uint64_t> verified;
+};
+
+/// One shard of the Monte-Carlo loop: own RNG stream, own loss-model clone,
+/// own scratch buffers — the per-trial body allocates nothing.
+void run_auth_prob_shard(const DependenceGraph& dg, const LossModel& loss_proto,
+                         Rng rng, std::size_t shard_trials, TrialCounts& counts) {
+    const std::size_t n = dg.packet_count();
+    counts.received.assign(n, 0);
+    counts.verified.assign(n, 0);
+    const auto loss = loss_proto.clone();
+    VerifyScratch ws(n);
+
+    for (std::size_t t = 0; t < shard_trials; ++t) {
+        loss->reset();
         // Loss decisions are drawn in *transmission* order so bursty models
         // correlate adjacent transmissions, then mapped back to vertex ids.
         for (std::uint32_t pos = 0; pos < n; ++pos)
-            received[dg.vertex_at_send_pos(pos)] = !loss.lose_next(rng);
-        received[DependenceGraph::root()] = true;
-        const auto verifiable = dg.verifiable_given(received);
+            ws.received[dg.vertex_at_send_pos(pos)] = loss->lose_next(rng) ? 0 : 1;
+        dg.verifiable_into(ws);  // forces the root received
         for (std::size_t v = 1; v < n; ++v) {
-            if (received[v]) {
-                ++received_count[v];
-                if (verifiable[v]) ++verified_count[v];
+            if (ws.received[v]) {
+                ++counts.received[v];
+                if (ws.verifiable[v]) ++counts.verified[v];
             }
+        }
+    }
+}
+
+}  // namespace
+
+MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
+                                         const LossModel& loss, std::uint64_t seed,
+                                         std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    MCAUTH_OBS_COUNT_N("core.montecarlo.trials", trials);
+    const std::size_t n = dg.packet_count();
+
+    // Shard decomposition and shard seeds depend only on (trials, seed), so
+    // the merged counts — and everything derived from them — are identical
+    // for any thread count (ordered merge of per-shard partials).
+    const exec::ShardedTrials shards(trials, seed);
+    std::vector<TrialCounts> parts(shards.shard_count());
+    exec::ThreadPool::global().parallel_for(
+        shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s)
+                run_auth_prob_shard(dg, loss, shards.shard_rng(s), shards.shard_trials(s),
+                                    parts[s]);
+        });
+
+    std::vector<std::uint64_t> received_count(n, 0);
+    std::vector<std::uint64_t> verified_count(n, 0);
+    for (const TrialCounts& part : parts) {
+        for (std::size_t v = 1; v < n; ++v) {
+            received_count[v] += part.received[v];
+            verified_count[v] += part.verified[v];
         }
     }
 
@@ -135,16 +181,23 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& l
     result.q.assign(n, 1.0);
     std::size_t argmin = 0;
     for (std::size_t v = 1; v < n; ++v) {
+        // 0/0 — the vertex never arrived, the conditional is unresolved.
         result.q[v] = received_count[v] == 0
-                          ? 1.0
+                          ? std::numeric_limits<double>::quiet_NaN()
                           : static_cast<double>(verified_count[v]) /
                                 static_cast<double>(received_count[v]);
-        if (result.q[v] < result.q[argmin]) argmin = v;
+        if (result.q[v] < result.q[argmin]) argmin = v;  // NaN never selected
     }
     result.q_min = min_over_non_root(result.q);
     if (argmin != 0)
         result.q_min_halfwidth = wilson_halfwidth(result.q[argmin], received_count[argmin]);
     return result;
+}
+
+MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
+                                         Rng& rng, std::size_t trials) {
+    return monte_carlo_auth_prob(dg, static_cast<const LossModel&>(loss), rng.next_u64(),
+                                 trials);
 }
 
 AuthProbBounds bounds_auth_prob(const DependenceGraph& dg, double p,

@@ -47,12 +47,26 @@ AuthProb recurrence_auth_prob(const DependenceGraph& dg, double p);
 AuthProb exact_auth_prob(const DependenceGraph& dg, double p, std::size_t max_n = 24);
 
 struct MonteCarloAuthProb {
+    /// Per-vertex conditional estimate; NaN where the vertex was never
+    /// received across all trials (0/0 — unresolved, like
+    /// SimStats::auth_fraction()). q_min skips NaN entries.
     std::vector<double> q;
     double q_min = 1.0;
     double q_min_halfwidth = 0.0;  // 95% Wilson half-width at the argmin vertex
     std::size_t trials = 0;
 };
 
+/// Sampled q under any LossModel. Trials are sharded deterministically from
+/// (seed, shard_index) and fanned across the global exec::ThreadPool with
+/// an ordered merge: the result is bit-identical for ANY thread count, and
+/// depends only on (dg, loss, seed, trials). The loss model is cloned per
+/// shard and reset per trial; the caller's instance is never mutated.
+MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
+                                         const LossModel& loss, std::uint64_t seed,
+                                         std::size_t trials);
+
+/// Compatibility shim: draws the base seed from `rng` (one next_u64() call)
+/// and runs the seeded engine above.
 MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
                                          Rng& rng, std::size_t trials);
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -37,40 +39,104 @@ std::vector<double> completion_times(const DependenceGraph& dg,
     return cost;
 }
 
-DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
-                                              const SchemeParams& params,
-                                              DelayModel& jitter, Rng& rng,
-                                              std::size_t trials) {
-    MCAUTH_EXPECTS(trials >= 1);
+void completion_times_topo(const DependenceGraph& dg,
+                           const std::vector<VertexId>& order,
+                           const std::vector<double>& arrival,
+                           std::vector<double>& out) {
     const std::size_t n = dg.packet_count();
-    std::vector<std::vector<double>> samples(n);
-    for (auto& s : samples) s.reserve(trials);
-
-    std::vector<double> arrival(n);
-    for (std::size_t t = 0; t < trials; ++t) {
-        for (VertexId v = 0; v < n; ++v)
-            arrival[v] = static_cast<double>(dg.send_pos(v)) * params.t_transmit +
-                         jitter.sample(rng);
-        const auto completion = completion_times(dg, arrival);
-        for (VertexId v = 0; v < n; ++v) {
-            if (!std::isfinite(completion[v])) continue;  // unreachable vertex
-            samples[v].push_back(completion[v] - arrival[v]);
+    MCAUTH_EXPECTS(order.size() == n && arrival.size() == n);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    out.assign(n, kInf);
+    out[DependenceGraph::root()] = arrival[DependenceGraph::root()];
+    for (VertexId u : order) {
+        const double c = out[u];
+        if (c == kInf) continue;  // unreachable
+        for (VertexId v : dg.graph().successors(u)) {
+            const double candidate = std::max(c, arrival[v]);
+            if (candidate < out[v]) out[v] = candidate;
         }
     }
+}
+
+namespace {
+
+/// One shard of delay samples, flat layout [v * shard_trials + t];
+/// unreachable vertices hold +inf and are skipped at merge time.
+void run_delay_shard(const DependenceGraph& dg, const SchemeParams& params,
+                     const std::vector<VertexId>& order, const DelayModel& jitter_proto,
+                     Rng rng, std::size_t shard_trials, std::vector<double>& samples) {
+    const std::size_t n = dg.packet_count();
+    samples.assign(n * shard_trials, std::numeric_limits<double>::infinity());
+    const auto jitter = jitter_proto.clone();
+    std::vector<double> arrival(n);
+    std::vector<double> completion;
+    completion.reserve(n);
+
+    for (std::size_t t = 0; t < shard_trials; ++t) {
+        for (VertexId v = 0; v < n; ++v)
+            arrival[v] = static_cast<double>(dg.send_pos(v)) * params.t_transmit +
+                         jitter->sample(rng);
+        completion_times_topo(dg, order, arrival, completion);
+        for (VertexId v = 0; v < n; ++v) {
+            if (!std::isfinite(completion[v])) continue;  // unreachable vertex
+            samples[v * shard_trials + t] = completion[v] - arrival[v];
+        }
+    }
+}
+
+}  // namespace
+
+DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
+                                              const SchemeParams& params,
+                                              const DelayModel& jitter,
+                                              std::uint64_t seed, std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    const std::size_t n = dg.packet_count();
+    const auto order = topological_order(dg.graph());
+    MCAUTH_EXPECTS(order.has_value());  // Definition 1 graphs are DAGs
+
+    const exec::ShardedTrials shards(trials, seed);
+    std::vector<std::vector<double>> parts(shards.shard_count());
+    exec::ThreadPool::global().parallel_for(
+        shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s)
+                run_delay_shard(dg, params, *order, jitter, shards.shard_rng(s),
+                                shards.shard_trials(s), parts[s]);
+        });
 
     DelayDistribution out;
     out.mean.assign(n, 0.0);
     out.p95.assign(n, 0.0);
+    std::vector<double> merged;
+    merged.reserve(trials);
     for (VertexId v = 0; v < n; ++v) {
-        if (samples[v].empty()) continue;
+        // Ordered merge: shard s contributes its trials in shard order, so
+        // the per-vertex sample sequence matches the serial trial order.
+        merged.clear();
+        for (std::size_t s = 0; s < shards.shard_count(); ++s) {
+            const std::size_t st = shards.shard_trials(s);
+            for (std::size_t t = 0; t < st; ++t) {
+                const double x = parts[s][v * st + t];
+                if (std::isfinite(x)) merged.push_back(x);
+            }
+        }
+        if (merged.empty()) continue;
         double sum = 0.0;
-        for (double x : samples[v]) sum += x;
-        out.mean[v] = sum / static_cast<double>(samples[v].size());
-        out.p95[v] = quantile(samples[v], 0.95);
+        for (double x : merged) sum += x;
+        out.mean[v] = sum / static_cast<double>(merged.size());
+        out.p95[v] = quantile(merged, 0.95);
         out.worst_mean = std::max(out.worst_mean, out.mean[v]);
         out.worst_p95 = std::max(out.worst_p95, out.p95[v]);
     }
     return out;
+}
+
+DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
+                                              const SchemeParams& params,
+                                              DelayModel& jitter, Rng& rng,
+                                              std::size_t trials) {
+    return receiver_delay_distribution(dg, params, static_cast<const DelayModel&>(jitter),
+                                       rng.next_u64(), trials);
 }
 
 }  // namespace mcauth

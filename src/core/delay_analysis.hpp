@@ -42,6 +42,27 @@ struct DelayDistribution {
 std::vector<double> completion_times(const DependenceGraph& dg,
                                      const std::vector<double>& arrival);
 
+/// The allocation-free core of the Monte-Carlo loop: same values as
+/// completion_times (bit-identical — min/max are exact), but a single
+/// relaxation pass over a precomputed topological order instead of a heap,
+/// writing into a caller-owned buffer. `order` must be a topological order
+/// of dg.graph(); `out` is resized to packet_count().
+void completion_times_topo(const DependenceGraph& dg,
+                           const std::vector<VertexId>& order,
+                           const std::vector<double>& arrival,
+                           std::vector<double>& out);
+
+/// Trials are sharded deterministically from (seed, shard_index) and fanned
+/// across the global exec::ThreadPool with an ordered merge: bit-identical
+/// results for any thread count. The jitter model is cloned per shard.
+DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
+                                              const SchemeParams& params,
+                                              const DelayModel& jitter,
+                                              std::uint64_t seed,
+                                              std::size_t trials = 2000);
+
+/// Compatibility shim: draws the base seed from `rng` and runs the seeded
+/// engine above.
 DelayDistribution receiver_delay_distribution(const DependenceGraph& dg,
                                               const SchemeParams& params,
                                               DelayModel& jitter, Rng& rng,

@@ -56,4 +56,15 @@ std::vector<bool> DependenceGraph::verifiable_given(const std::vector<bool>& rec
     return verifiable;
 }
 
+void DependenceGraph::verifiable_into(VerifyScratch& ws) const {
+    const std::size_t n = packet_count();
+    MCAUTH_EXPECTS(ws.received.size() == n && ws.verifiable.size() == n);
+    ws.received[root()] = 1;  // P_sign assumed delivered
+    reachable_within_into(graph_, root(), ws.received.data(), ws.verifiable.data(),
+                          ws.stack);
+    // A lost packet is never "verifiable" even though a path to it may exist.
+    for (std::size_t v = 0; v < n; ++v)
+        if (!ws.received[v]) ws.verifiable[v] = 0;
+}
+
 }  // namespace mcauth

@@ -25,6 +25,21 @@
 
 namespace mcauth {
 
+/// Reusable per-thread workspace for the Monte-Carlo verifiability hot
+/// path: one of these per shard keeps the trial loop allocation-free
+/// (DependenceGraph::verifiable_into). Byte masks instead of vector<bool>
+/// so reads/writes are single stores with no bit arithmetic.
+struct VerifyScratch {
+    explicit VerifyScratch(std::size_t packet_count)
+        : received(packet_count, 0), verifiable(packet_count, 0) {
+        stack.reserve(packet_count);
+    }
+
+    std::vector<std::uint8_t> received;    // input: caller fills per trial
+    std::vector<std::uint8_t> verifiable;  // output of verifiable_into
+    std::vector<VertexId> stack;           // DFS scratch
+};
+
 class DependenceGraph {
 public:
     /// `send_pos[v]` is the transmission position of vertex v; must be a
@@ -63,6 +78,12 @@ public:
     /// returned as verifiable iff it was received and a fully-received
     /// root-path to it exists.
     std::vector<bool> verifiable_given(const std::vector<bool>& received) const;
+
+    /// Allocation-free verifiable_given for Monte-Carlo trial loops: reads
+    /// ws.received (forcing the root received, mutating ws.received[root]),
+    /// writes ws.verifiable. Buffers must be sized to packet_count() —
+    /// construct the scratch with VerifyScratch(packet_count()).
+    void verifiable_into(VerifyScratch& ws) const;
 
 private:
     Digraph graph_;

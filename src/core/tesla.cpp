@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -52,51 +54,102 @@ double required_disclosure_delay(double mu, double sigma, double p, double targe
     return mu + sigma * normal_quantile(required_xi);
 }
 
-TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
-                                  DelayModel& delay, Rng& rng, std::size_t trials) {
-    MCAUTH_EXPECTS(trials >= 1);
-    const std::size_t n = params.n;
-    std::vector<std::size_t> received_count(n, 0);
-    std::vector<std::size_t> verified_count(n, 0);
-    std::vector<bool> data_lost(n);
-    std::vector<bool> carrier_lost(n);
+namespace {
 
-    for (std::size_t t = 0; t < trials; ++t) {
-        loss.reset();
-        for (std::size_t i = 0; i < n; ++i) data_lost[i] = loss.lose_next(rng);
+struct TeslaCounts {
+    std::vector<std::uint64_t> received;
+    std::vector<std::uint64_t> verified;
+};
+
+/// One shard: own RNG stream, own model clones, buffers reused across
+/// trials — nothing allocates inside the trial loop.
+void run_tesla_shard(const TeslaParams& params, const LossModel& loss_proto,
+                     const DelayModel& delay_proto, Rng rng, std::size_t shard_trials,
+                     TeslaCounts& counts) {
+    const std::size_t n = params.n;
+    counts.received.assign(n, 0);
+    counts.verified.assign(n, 0);
+    const auto loss = loss_proto.clone();
+    const auto delay = delay_proto.clone();
+    std::vector<std::uint8_t> received_timely(n);
+    std::vector<std::uint8_t> carrier_lost(n);
+
+    for (std::size_t t = 0; t < shard_trials; ++t) {
+        loss->reset();
+        for (std::size_t i = 0; i < n; ++i)
+            received_timely[i] = loss->lose_next(rng) ? 0 : 1;
         // Key carriers form their own transmission sequence (paper's
         // independence assumption); bursty models correlate within it.
-        loss.reset();
-        for (std::size_t i = 0; i < n; ++i) carrier_lost[i] = loss.lose_next(rng);
+        loss->reset();
+        for (std::size_t i = 0; i < n; ++i)
+            carrier_lost[i] = loss->lose_next(rng) ? 1 : 0;
 
-        // key_available[i]: some K_j with j >= i arrived — suffix scan.
-        bool suffix_any = false;
-        std::vector<bool> key_available(n);
-        for (std::size_t i = n; i-- > 0;) {
-            suffix_any = suffix_any || !carrier_lost[i];
-            key_available[i] = suffix_any;
-        }
-
+        // Delay draws stay in forward packet order (one per received
+        // packet); received_timely narrows to "received AND before the
+        // disclosure deadline".
         for (std::size_t i = 0; i < n; ++i) {
-            if (data_lost[i]) continue;
-            ++received_count[i];
-            const bool timely = delay.sample(rng) <= params.t_disclose;
-            if (key_available[i] && timely) ++verified_count[i];
+            if (!received_timely[i]) continue;
+            ++counts.received[i];
+            if (delay->sample(rng) > params.t_disclose) received_timely[i] = 0;
+        }
+        // key_available for packet i means some K_j with j >= i arrived —
+        // the suffix scan folds into the backward counting pass.
+        bool key_available = false;
+        for (std::size_t i = n; i-- > 0;) {
+            key_available = key_available || !carrier_lost[i];
+            if (received_timely[i] && key_available) ++counts.verified[i];
+        }
+    }
+}
+
+}  // namespace
+
+TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& loss,
+                                  const DelayModel& delay, std::uint64_t seed,
+                                  std::size_t trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    const std::size_t n = params.n;
+
+    const exec::ShardedTrials shards(trials, seed);
+    std::vector<TeslaCounts> parts(shards.shard_count());
+    exec::ThreadPool::global().parallel_for(
+        shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s)
+                run_tesla_shard(params, loss, delay, shards.shard_rng(s),
+                                shards.shard_trials(s), parts[s]);
+        });
+
+    std::vector<std::uint64_t> received_count(n, 0);
+    std::vector<std::uint64_t> verified_count(n, 0);
+    for (const TeslaCounts& part : parts) {
+        for (std::size_t i = 0; i < n; ++i) {
+            received_count[i] += part.received[i];
+            verified_count[i] += part.verified[i];
         }
     }
 
     TeslaMonteCarlo result;
     result.trials = trials;
     result.q.assign(n, 1.0);
-    result.q_min = 1.0;
+    result.q_min = std::numeric_limits<double>::quiet_NaN();
     for (std::size_t i = 0; i < n; ++i) {
+        // 0/0 — packet never arrived, the conditional is unresolved.
         result.q[i] = received_count[i] == 0
-                          ? 1.0
+                          ? std::numeric_limits<double>::quiet_NaN()
                           : static_cast<double>(verified_count[i]) /
                                 static_cast<double>(received_count[i]);
-        result.q_min = std::min(result.q_min, result.q[i]);
+        if (std::isnan(result.q[i])) continue;
+        if (std::isnan(result.q_min) || result.q[i] < result.q_min)
+            result.q_min = result.q[i];
     }
     return result;
+}
+
+TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
+                                  DelayModel& delay, Rng& rng, std::size_t trials) {
+    return monte_carlo_tesla(params, static_cast<const LossModel&>(loss),
+                             static_cast<const DelayModel&>(delay), rng.next_u64(),
+                             trials);
 }
 
 VertexId TeslaGraph::message_node(std::size_t i) const {

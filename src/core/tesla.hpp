@@ -58,6 +58,8 @@ TeslaAnalysis analyze_tesla(const TeslaParams& params, const DelayModel& delay);
 double required_disclosure_delay(double mu, double sigma, double p, double target_q_min);
 
 struct TeslaMonteCarlo {
+    /// NaN where packet i was never received across all trials (0/0,
+    /// unresolved conditional); q_min skips NaN entries.
     std::vector<double> q;
     double q_min = 0.0;
     std::size_t trials = 0;
@@ -66,7 +68,15 @@ struct TeslaMonteCarlo {
 /// Sampled verification under arbitrary loss/delay models (the paper's
 /// future-work loss models plug in here). Follows the paper's independence
 /// assumption: key-carrier losses are drawn independently of data-packet
-/// losses.
+/// losses. Trials are sharded deterministically from (seed, shard_index)
+/// and run on the global exec::ThreadPool; the result is bit-identical for
+/// any thread count. Loss and delay models are cloned per shard.
+TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& loss,
+                                  const DelayModel& delay, std::uint64_t seed,
+                                  std::size_t trials);
+
+/// Compatibility shim: draws the base seed from `rng` and runs the seeded
+/// engine above.
 TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
                                   DelayModel& delay, Rng& rng, std::size_t trials);
 

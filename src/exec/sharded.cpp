@@ -1,0 +1,40 @@
+#include "exec/sharded.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth::exec {
+
+namespace {
+
+// SplitMix64's additive constant (the golden-ratio gamma); spreads shard
+// indices across the 64-bit space before the finalizer mixes them.
+constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+    const std::uint64_t stream = SplitMix64(seed).next();
+    return SplitMix64(stream ^ (kGoldenGamma * (index + 1))).next();
+}
+
+ShardedTrials::ShardedTrials(std::size_t trials, std::uint64_t seed,
+                             std::size_t shard_size)
+    : trials_(trials), seed_(seed), shard_size_(shard_size) {
+    MCAUTH_EXPECTS(shard_size_ >= 1);
+    shard_count_ = (trials_ + shard_size_ - 1) / shard_size_;
+    stream_ = SplitMix64(seed).next();
+}
+
+std::size_t ShardedTrials::shard_trials(std::size_t i) const noexcept {
+    const std::size_t begin = shard_begin(i);
+    if (begin >= trials_) return 0;
+    const std::size_t rest = trials_ - begin;
+    return rest < shard_size_ ? rest : shard_size_;
+}
+
+std::uint64_t ShardedTrials::shard_seed(std::size_t i) const noexcept {
+    return SplitMix64(stream_ ^ (kGoldenGamma * (static_cast<std::uint64_t>(i) + 1)))
+        .next();
+}
+
+}  // namespace mcauth::exec

@@ -1,0 +1,68 @@
+// Deterministic sharding of Monte-Carlo trials.
+//
+// ShardedTrials cuts a trial budget into fixed-size shards and derives an
+// independent RNG stream per shard from (seed, shard_index) through
+// SplitMix64. Because the shard boundaries and shard seeds are functions of
+// (trials, seed, shard_size) ONLY — never of the thread count — a
+// Monte-Carlo engine that runs one shard per chunk and merges shard results
+// in shard order produces bit-identical output whether the shards execute
+// on 1 thread or 64. That is the determinism contract every parallel engine
+// in core/ is built on (DESIGN.md §7).
+//
+// The shard-seeding scheme: the user seed is first expanded by one
+// SplitMix64 step (decorrelating consecutive integer seeds, exactly like
+// Xoshiro256ss's own seeding), then each shard's seed is one further
+// SplitMix64 step of (stream ^ golden_gamma * (index + 1)). Each shard Rng
+// is therefore a fresh xoshiro256** instance on its own statistically
+// independent stream — the same construction as Rng::fork(), made
+// index-addressable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mcauth::exec {
+
+/// The (seed, index) -> stream-seed map shared by ShardedTrials and the
+/// sweep benches: expand the user seed one SplitMix64 step, perturb by the
+/// golden-ratio gamma times (index + 1), finalize with one more step.
+/// A pure function — the foundation of the thread-count-independence
+/// guarantee for every randomized grid point and trial shard.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) noexcept;
+
+class ShardedTrials {
+public:
+    /// Small enough to give a 10^5-trial budget ~25 shards to balance
+    /// across a pool, large enough that per-shard setup (LossModel clone,
+    /// scratch buffers) is noise against thousands of trials of work.
+    static constexpr std::size_t kDefaultShardSize = 4096;
+
+    ShardedTrials(std::size_t trials, std::uint64_t seed,
+                  std::size_t shard_size = kDefaultShardSize);
+
+    std::size_t trials() const noexcept { return trials_; }
+    std::uint64_t seed() const noexcept { return seed_; }
+    std::size_t shard_size() const noexcept { return shard_size_; }
+    /// ceil(trials / shard_size); 0 when trials == 0.
+    std::size_t shard_count() const noexcept { return shard_count_; }
+
+    /// First global trial index of shard i.
+    std::size_t shard_begin(std::size_t i) const noexcept { return i * shard_size_; }
+    /// Trials in shard i (== shard_size except possibly the last shard).
+    std::size_t shard_trials(std::size_t i) const noexcept;
+
+    /// The shard's RNG seed — a pure function of (seed, i).
+    std::uint64_t shard_seed(std::size_t i) const noexcept;
+    Rng shard_rng(std::size_t i) const noexcept { return Rng(shard_seed(i)); }
+
+private:
+    std::size_t trials_;
+    std::uint64_t seed_;
+    std::size_t shard_size_;
+    std::size_t shard_count_;
+    std::uint64_t stream_;  // SplitMix64-expanded base seed
+};
+
+}  // namespace mcauth::exec

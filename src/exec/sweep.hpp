@@ -1,0 +1,52 @@
+// SweepRunner — fan independent parameter-grid points across the pool.
+//
+// The figure benches evaluate a function at every point of a small grid
+// (loss rate x scheme, alpha x sigma, a x b, ...). Each point is
+// independent and often expensive (a graph construction plus an analysis,
+// or a whole Monte-Carlo run), which is exactly ElKabbany & Aslan's second
+// level of parallelism. SweepRunner::map evaluates all points on the
+// global (or a given) pool and returns the results IN INDEX ORDER, so
+// table assembly — and therefore figure output — is byte-identical for any
+// thread count. Points needing randomness must derive their seed from
+// their index (exec/sharded.hpp), never share an Rng across points.
+//
+// Use parallel_for directly when chunk bodies share scratch state; use
+// SweepRunner when every point is an isolated pure function of its index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace mcauth::exec {
+
+class SweepRunner {
+public:
+    SweepRunner() : pool_(&ThreadPool::global()) {}
+    explicit SweepRunner(ThreadPool& pool) : pool_(&pool) {}
+
+    /// out[i] = fn(i) for i in [0, count); one grid point per chunk.
+    /// T must be default-constructible; fn must be safe to call
+    /// concurrently for distinct indices.
+    template <typename T, typename Fn>
+    std::vector<T> map(std::size_t count, Fn&& fn) const {
+        std::vector<T> out(count);
+        pool_->parallel_for(count, 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+        });
+        return out;
+    }
+
+    /// out[i] = fn(grid[i], i): the common explicit-grid spelling.
+    template <typename T, typename Point, typename Fn>
+    std::vector<T> map_grid(const std::vector<Point>& grid, Fn&& fn) const {
+        return map<T>(grid.size(),
+                      [&](std::size_t i) { return fn(grid[i], i); });
+    }
+
+private:
+    ThreadPool* pool_;
+};
+
+}  // namespace mcauth::exec

@@ -1,0 +1,142 @@
+#include "exec/thread_pool.hpp"
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::exec {
+
+namespace {
+
+// A chunk body running inside a pool job must not submit a nested parallel
+// job (the pool runs one job at a time); nested calls degrade to inline
+// serial execution instead.
+thread_local bool in_pool_job = false;
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t lanes = threads == 0 ? 1 : threads;
+    workers_.reserve(lanes - 1);
+    for (std::size_t i = 0; i + 1 < lanes; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stop_ || (current_ != nullptr && epoch_ != seen); });
+        if (stop_) return;
+        seen = epoch_;
+        const std::shared_ptr<Job> job = current_;  // ref keeps job alive
+        lock.unlock();
+        in_pool_job = true;
+        drain(*job, /*stolen=*/true);
+        in_pool_job = false;
+        lock.lock();
+    }
+}
+
+std::size_t ThreadPool::drain(Job& job, bool stolen) {
+    std::size_t ran = 0;
+    for (;;) {
+        const std::size_t c = job.next.fetch_add(1, std::memory_order_acq_rel);
+        if (c >= job.chunks) break;
+        MCAUTH_OBS_GAUGE_SET("exec.pool.queue_depth", job.chunks - c - 1);
+        if (stolen) MCAUTH_OBS_COUNT("exec.pool.steals");
+        job.run(c);
+        ++ran;
+        // Release the chunk's effects into `done`; the submitter's acquire
+        // load of done == chunks makes every body's writes visible to it.
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            idle_.notify_all();
+        }
+    }
+    return ran;
+}
+
+void ThreadPool::parallel_for_chunks(std::size_t chunks,
+                                     std::function<void(std::size_t)> fn) {
+    if (chunks == 0) return;
+    MCAUTH_OBS_COUNT("exec.pool.parallel_for.calls");
+    MCAUTH_OBS_COUNT_N("exec.pool.chunks", chunks);
+    if (workers_.empty() || chunks == 1 || in_pool_job) {
+        for (std::size_t c = 0; c < chunks; ++c) fn(c);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->chunks = chunks;
+    job->run = std::move(fn);
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        current_ = job;
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    in_pool_job = true;
+    drain(*job, /*stolen=*/false);
+    in_pool_job = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->chunks;
+    });
+    current_.reset();  // workers still inside drain() hold their own ref
+    MCAUTH_OBS_GAUGE_SET("exec.pool.queue_depth", 0);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+    MCAUTH_EXPECTS(grain >= 1);
+    if (n == 0) return;
+    parallel_for_chunks(chunk_count(n, grain), [&](std::size_t c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = begin + grain < n ? begin + grain : n;
+        body(begin, end);
+    });
+}
+
+namespace {
+
+std::mutex global_pool_mu;
+std::unique_ptr<ThreadPool> global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+    const std::lock_guard<std::mutex> lock(global_pool_mu);
+    if (!global_pool) {
+        global_pool = std::make_unique<ThreadPool>(hardware_threads());
+        MCAUTH_OBS_GAUGE_SET("exec.pool.threads", global_pool->thread_count());
+    }
+    return *global_pool;
+}
+
+void ThreadPool::set_global_thread_count(std::size_t threads) {
+    const std::size_t lanes = threads == 0 ? hardware_threads() : threads;
+    const std::lock_guard<std::mutex> lock(global_pool_mu);
+    if (global_pool && global_pool->thread_count() == lanes) return;
+    global_pool = std::make_unique<ThreadPool>(lanes);
+    MCAUTH_OBS_GAUGE_SET("exec.pool.threads", lanes);
+}
+
+std::size_t ThreadPool::global_thread_count() { return global().thread_count(); }
+
+}  // namespace mcauth::exec

@@ -1,0 +1,120 @@
+// mcauth_exec — deterministic parallel execution engine.
+//
+// A small fixed-size thread pool built for the Monte-Carlo and sweep
+// workloads in core/ and bench/: a caller submits one chunked job at a
+// time (parallel_for / parallel_reduce over an index range), the calling
+// thread participates in the work, and chunks are claimed dynamically by
+// an atomic cursor so stragglers self-balance.
+//
+// The determinism contract (see DESIGN.md §7): the *decomposition* of work
+// into chunks depends only on (n, grain) — never on the thread count — and
+// parallel_reduce combines per-chunk partials strictly in chunk order after
+// the barrier. Any computation whose chunk bodies are pure functions of
+// their index range therefore produces bit-identical results on 1 thread
+// and on 64. Randomized workloads get the same guarantee by deriving
+// per-chunk RNG streams from (seed, chunk_index) — see exec/sharded.hpp.
+//
+// A pool constructed with `threads == 1` spawns no workers at all and runs
+// every job inline on the caller: `--threads=1` is exactly the serial path.
+// Nested parallel_for calls from inside a chunk body also run inline (no
+// deadlock, no oversubscription).
+//
+// Observability (obs registry):
+//   exec.pool.parallel_for.calls  jobs submitted
+//   exec.pool.chunks              chunks executed in total
+//   exec.pool.steals              chunks claimed by a pool worker rather
+//                                 than the submitting thread
+//   exec.pool.queue_depth         chunks still unclaimed (gauge)
+//   exec.pool.threads             configured lane count (gauge)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcauth::exec {
+
+/// std::thread::hardware_concurrency clamped to >= 1.
+std::size_t hardware_threads() noexcept;
+
+class ThreadPool {
+public:
+    /// `threads` counts execution lanes INCLUDING the submitting thread:
+    /// ThreadPool(4) spawns 3 workers, ThreadPool(1) spawns none.
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Execution lanes (workers + caller); >= 1.
+    std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+    /// Run body(begin, end) over disjoint chunks covering [0, n), each of
+    /// size `grain` (last one smaller). Blocks until every chunk finished.
+    /// The body must be safe to run concurrently on disjoint ranges.
+    void parallel_for(std::size_t n, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// Map chunks of [0, n) through `map(begin, end) -> T`, then fold the
+    /// partials IN CHUNK ORDER with `reduce(acc, partial) -> T`. The ordered
+    /// fold is what makes floating-point reductions independent of the
+    /// thread count.
+    template <typename T, typename MapFn, typename ReduceFn>
+    T parallel_reduce(std::size_t n, std::size_t grain, T init, MapFn&& map,
+                      ReduceFn&& reduce) {
+        const std::size_t chunks = chunk_count(n, grain);
+        std::vector<T> partials(chunks);
+        parallel_for_chunks(chunks, [&](std::size_t c) {
+            const std::size_t begin = c * grain;
+            const std::size_t end = begin + grain < n ? begin + grain : n;
+            partials[c] = map(begin, end);
+        });
+        T acc = std::move(init);
+        for (std::size_t c = 0; c < chunks; ++c)
+            acc = reduce(std::move(acc), std::move(partials[c]));
+        return acc;
+    }
+
+    static constexpr std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+        return grain == 0 ? 0 : (n + grain - 1) / grain;
+    }
+
+    /// The process-wide pool (lazily built with hardware_threads() lanes).
+    static ThreadPool& global();
+    /// Rebuild the global pool with `threads` lanes (0 = hardware_threads()).
+    /// Not safe while another thread is submitting to the global pool; call
+    /// it from startup code (BenchMain does, from --threads).
+    static void set_global_thread_count(std::size_t threads);
+    static std::size_t global_thread_count();
+
+private:
+    struct Job {
+        std::size_t chunks = 0;
+        std::function<void(std::size_t)> run;  // chunk index -> work
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+    };
+
+    /// Run fn(c) for every chunk index c in [0, chunks), work-shared across
+    /// the pool; the caller participates.
+    void parallel_for_chunks(std::size_t chunks, std::function<void(std::size_t)> fn);
+    void worker_loop();
+    /// Claim-and-run loop; returns chunks this thread executed.
+    std::size_t drain(Job& job, bool stolen);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;  // workers: a new job or stop
+    std::condition_variable idle_;  // submitter: job complete
+    std::shared_ptr<Job> current_;  // guarded by mu_
+    std::uint64_t epoch_ = 0;       // guarded by mu_; bumped per job
+    bool stop_ = false;             // guarded by mu_
+};
+
+}  // namespace mcauth::exec

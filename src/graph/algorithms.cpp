@@ -69,6 +69,26 @@ std::vector<bool> reachable_within(const Digraph& g, VertexId root,
     return seen;
 }
 
+void reachable_within_into(const Digraph& g, VertexId root, const std::uint8_t* alive,
+                           std::uint8_t* seen, std::vector<VertexId>& stack) {
+    const std::size_t n = g.vertex_count();
+    MCAUTH_EXPECTS(root < n);
+    std::fill(seen, seen + n, std::uint8_t{0});
+    stack.clear();
+    stack.push_back(root);
+    seen[root] = 1;
+    while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        for (VertexId v : g.successors(u)) {
+            if (!seen[v] && alive[v]) {
+                seen[v] = 1;
+                stack.push_back(v);
+            }
+        }
+    }
+}
+
 std::vector<int> bfs_distances(const Digraph& g, VertexId root) {
     MCAUTH_EXPECTS(root < g.vertex_count());
     std::vector<int> dist(g.vertex_count(), -1);

@@ -40,6 +40,13 @@ std::vector<bool> reachable_from(const Digraph& g, VertexId root);
 std::vector<bool> reachable_within(const Digraph& g, VertexId root,
                                    const std::vector<bool>& alive);
 
+/// Allocation-free reachable_within for Monte-Carlo hot loops: `alive` and
+/// `seen` are byte masks of length g.vertex_count() (nonzero = true) and
+/// `stack` is caller-owned scratch, all reused across calls. `seen` is
+/// fully overwritten. Semantics match reachable_within exactly.
+void reachable_within_into(const Digraph& g, VertexId root, const std::uint8_t* alive,
+                           std::uint8_t* seen, std::vector<VertexId>& stack);
+
 /// BFS hop distances from root; -1 where unreachable.
 std::vector<int> bfs_distances(const Digraph& g, VertexId root);
 

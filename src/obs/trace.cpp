@@ -39,7 +39,8 @@ std::string json_escape_name(const char* name) {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder(std::size_t capacity) : ring_(capacity) {
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(std::make_unique<Slot[]>(capacity)), capacity_(capacity) {
     MCAUTH_EXPECTS(capacity >= 1);
 }
 
@@ -50,33 +51,58 @@ void TraceRecorder::record(const char* name, char phase) noexcept {
 void TraceRecorder::record_at(const char* name, char phase,
                               std::uint64_t ts_ns) noexcept {
     const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
-    TraceEvent& slot = ring_[idx % ring_.size()];
-    slot.name = name;
-    slot.phase = phase;
-    slot.ts_ns = ts_ns;
-    slot.tid = this_thread_id();
+    Slot& slot = ring_[idx % capacity_];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.phase.store(phase, std::memory_order_relaxed);
+    slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    slot.tid.store(this_thread_id(), std::memory_order_relaxed);
+    // Publish: the stamp is the reader's proof the fields above are complete.
+    slot.seq.store(idx + 1, std::memory_order_release);
 }
 
 std::size_t TraceRecorder::size() const noexcept {
     const std::uint64_t n = recorded();
-    return n < ring_.size() ? static_cast<std::size_t>(n) : ring_.size();
+    return n < capacity_ ? static_cast<std::size_t>(n) : capacity_;
 }
 
 std::uint64_t TraceRecorder::dropped() const noexcept {
     const std::uint64_t n = recorded();
-    return n > ring_.size() ? n - ring_.size() : 0;
+    return n > capacity_ ? n - capacity_ : 0;
 }
 
-void TraceRecorder::clear() noexcept { next_.store(0, std::memory_order_relaxed); }
+void TraceRecorder::clear() noexcept {
+    next_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < capacity_; ++i)
+        ring_[i].seq.store(0, std::memory_order_relaxed);
+}
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
     const std::uint64_t n = recorded();
-    const std::size_t cap = ring_.size();
+    const std::size_t cap = capacity_;
     const std::size_t count = n < cap ? static_cast<std::size_t>(n) : cap;
     const std::size_t start = n > cap ? static_cast<std::size_t>(n % cap) : 0;
     std::vector<TraceEvent> out;
     out.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) out.push_back(ring_[(start + i) % cap]);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Slot& slot = ring_[(start + i) % cap];
+        // Seqlock-style validated copy: stamp before, fields, stamp after.
+        // A changed or zero stamp means a writer was mid-overwrite (or the
+        // slot was cleared) — drop the slot rather than emit a torn event.
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+            if (s1 == 0) break;
+            TraceEvent ev;
+            ev.name = slot.name.load(std::memory_order_relaxed);
+            ev.phase = slot.phase.load(std::memory_order_relaxed);
+            ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+            ev.tid = slot.tid.load(std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (slot.seq.load(std::memory_order_relaxed) == s1) {
+                out.push_back(ev);
+                break;
+            }
+        }
+    }
     return out;
 }
 

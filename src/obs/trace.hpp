@@ -1,12 +1,21 @@
 // Bounded trace-event recorder with Chrome trace-event JSON export.
 //
 // A TraceRecorder is a fixed-capacity ring buffer of begin/end/instant
-// events. Recording is one relaxed fetch_add plus four stores — when the
-// ring wraps, the oldest events are overwritten (a trace is a window onto
-// the recent past, never an unbounded allocation). The export format is the
-// Chrome trace-event JSON array understood by chrome://tracing and Perfetto
-// (https://ui.perfetto.dev): load the file and the ScopedTimer spans from
-// the simulator render as a flame graph per phase.
+// events. Recording is one relaxed fetch_add plus a handful of relaxed
+// atomic stores — when the ring wraps, the oldest events are overwritten (a
+// trace is a window onto the recent past, never an unbounded allocation).
+// The export format is the Chrome trace-event JSON array understood by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev): load the file
+// and the ScopedTimer spans from the simulator render as a flame graph per
+// phase.
+//
+// Concurrency: every slot field is an atomic, and each slot carries a
+// sequence stamp (the event ordinal + 1) published with release ordering
+// after the fields. snapshot() validates the stamp before and after copying
+// a slot and skips slots caught mid-overwrite, so readers never observe a
+// half-written event and TSan sees no data race. If the ring wraps all the
+// way around during one snapshot copy, a slot can surface the newer event
+// in place of the older — consistent with the overwrite semantics above.
 //
 // Event names must be string literals (or otherwise outlive the recorder):
 // only the pointer is stored.
@@ -14,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,7 +48,7 @@ public:
     /// and shares the value between histogram and trace).
     void record_at(const char* name, char phase, std::uint64_t ts_ns) noexcept;
 
-    std::size_t capacity() const noexcept { return ring_.size(); }
+    std::size_t capacity() const noexcept { return capacity_; }
     /// Events currently retained (<= capacity).
     std::size_t size() const noexcept;
     /// Events ever recorded.
@@ -48,9 +58,12 @@ public:
     /// Events lost to ring wraparound.
     std::uint64_t dropped() const noexcept;
 
+    /// Reset to empty. Safe against concurrent recording (no torn reads
+    /// result), but events racing with the reset may land in either epoch.
     void clear() noexcept;
 
-    /// Retained events, oldest first.
+    /// Retained events, oldest first. Slots being overwritten while the
+    /// snapshot runs are skipped rather than returned torn.
     std::vector<TraceEvent> snapshot() const;
 
     /// Chrome trace-event JSON ({"traceEvents": [...]}; ts in microseconds).
@@ -62,7 +75,19 @@ public:
     static TraceRecorder& global();
 
 private:
-    std::vector<TraceEvent> ring_;
+    // One ring slot. `seq` is 0 while never written, else the writing
+    // event's ordinal + 1, stored with release ordering after the payload
+    // fields — the reader's validity check and ordering anchor.
+    struct Slot {
+        std::atomic<std::uint64_t> seq{0};
+        std::atomic<const char*> name{nullptr};
+        std::atomic<std::uint64_t> ts_ns{0};
+        std::atomic<std::uint32_t> tid{0};
+        std::atomic<char> phase{'i'};
+    };
+
+    std::unique_ptr<Slot[]> ring_;  // atomics are immovable; unique_ptr array
+    std::size_t capacity_;
     std::atomic<std::uint64_t> next_{0};
 };
 

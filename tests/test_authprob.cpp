@@ -189,6 +189,66 @@ TEST(MonteCarlo, WorksWithBurstyLoss) {
     EXPECT_LT(mc.q_min, mc_iid.q_min);
 }
 
+namespace {
+
+/// Always loses one fixed transmission position; others i.i.d. with rate p.
+/// Lets a test force received_count == 0 for exactly one vertex.
+class DropPositionLoss final : public LossModel {
+public:
+    DropPositionLoss(std::uint32_t position, double p) : position_(position), p_(p) {}
+
+    bool lose_next(Rng& rng) override {
+        const bool lost = next_ == position_ ? true : rng.bernoulli(p_);
+        ++next_;
+        return lost;
+    }
+    void reset() override { next_ = 0; }
+    double stationary_loss_rate() const override { return p_; }
+    std::string name() const override { return "drop-position"; }
+    std::unique_ptr<LossModel> clone() const override {
+        return std::make_unique<DropPositionLoss>(position_, p_);
+    }
+
+private:
+    std::uint32_t position_;
+    double p_;
+    std::uint32_t next_ = 0;
+};
+
+}  // namespace
+
+TEST(MonteCarlo, NeverReceivedVertexIsNaNAndSkippedByQMin) {
+    // Regression: a vertex with received_count == 0 used to report
+    // q[v] = 1.0 — an unresolved 0/0 conditional dressed up as certainty,
+    // inconsistent with SimStats::auth_fraction(). It must be NaN, and
+    // q_min must skip it instead of going NaN itself.
+    const auto dg = make_emss(20, 2, 1);
+    const std::uint32_t dropped_pos = 7;
+    const VertexId dropped = dg.vertex_at_send_pos(dropped_pos);
+    ASSERT_NE(dropped, DependenceGraph::root());
+    DropPositionLoss loss(dropped_pos, 0.1);
+    const auto mc = monte_carlo_auth_prob(dg, loss, 42, 4000);
+    EXPECT_TRUE(std::isnan(mc.q[dropped])) << mc.q[dropped];
+    EXPECT_FALSE(std::isnan(mc.q_min));
+    EXPECT_GT(mc.q_min, 0.0);
+    for (std::size_t v = 1; v < dg.packet_count(); ++v) {
+        if (v == dropped) continue;
+        EXPECT_FALSE(std::isnan(mc.q[v])) << v;
+        EXPECT_LE(mc.q_min, mc.q[v]) << v;  // minimum over the resolved entries
+    }
+}
+
+TEST(MonteCarlo, AllVerticesUnreceivedYieldsNaNQMin) {
+    // Every non-root packet lost in every trial: every conditional is 0/0,
+    // so the minimum itself is unresolved.
+    const auto dg = make_emss(10, 2, 1);
+    BernoulliLoss loss(1.0);
+    const auto mc = monte_carlo_auth_prob(dg, loss, 42, 200);
+    for (std::size_t v = 1; v < dg.packet_count(); ++v)
+        EXPECT_TRUE(std::isnan(mc.q[v])) << v;
+    EXPECT_TRUE(std::isnan(mc.q_min));
+}
+
 // ----------------------------------------------------------------- bounds
 
 class BoundsContainExact : public ::testing::TestWithParam<double> {};

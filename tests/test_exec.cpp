@@ -1,0 +1,347 @@
+// mcauth_exec: thread pool, deterministic sharding, and the determinism
+// contract (DESIGN.md §7) — parallel results must be bit-identical to the
+// serial path for any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/authprob.hpp"
+#include "core/delay_analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/algorithms.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+using exec::ShardedTrials;
+using exec::SweepRunner;
+using exec::ThreadPool;
+
+// Restore the global pool so a test changing --threads-equivalent state
+// can't leak into the rest of the suite.
+class GlobalPoolGuard {
+public:
+    GlobalPoolGuard() : saved_(ThreadPool::global_thread_count()) {}
+    ~GlobalPoolGuard() { ThreadPool::set_global_thread_count(saved_); }
+
+private:
+    std::size_t saved_;
+};
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        ThreadPool pool(threads);
+        for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+            for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+                std::vector<std::atomic<int>> hits(n);
+                pool.parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+                    ASSERT_LE(begin, end);
+                    ASSERT_LE(end, n);
+                    for (std::size_t i = begin; i < end; ++i)
+                        hits[i].fetch_add(1, std::memory_order_relaxed);
+                });
+                for (std::size_t i = 0; i < n; ++i)
+                    EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                                 << " grain=" << grain << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    const auto caller = std::this_thread::get_id();
+    pool.parallel_for(16, 4, [&](std::size_t, std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(8, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            pool.parallel_for(8, 1, [&](std::size_t b, std::size_t e) {
+                total.fetch_add(e - b, std::memory_order_relaxed);
+            });
+    });
+    EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPool, ChunkCount) {
+    EXPECT_EQ(ThreadPool::chunk_count(0, 4), 0u);
+    EXPECT_EQ(ThreadPool::chunk_count(1, 4), 1u);
+    EXPECT_EQ(ThreadPool::chunk_count(8, 4), 2u);
+    EXPECT_EQ(ThreadPool::chunk_count(9, 4), 3u);
+    EXPECT_EQ(ThreadPool::chunk_count(9, 0), 0u);  // degenerate grain
+}
+
+TEST(ThreadPool, ParallelReduceIsOrderedAndThreadCountInvariant) {
+    // A sum of doubles with wildly mixed magnitudes: any reordering of the
+    // fold would change the rounding. The ordered chunk fold must make the
+    // result EXACTLY equal across thread counts.
+    const std::size_t n = 10000;
+    auto value = [](std::size_t i) {
+        return std::pow(-1.0, static_cast<double>(i % 2)) *
+               std::pow(1.5, static_cast<double>(i % 40)) / (static_cast<double>(i) + 1.0);
+    };
+    auto run = [&](std::size_t threads) {
+        ThreadPool pool(threads);
+        return pool.parallel_reduce<double>(
+            n, 64, 0.0,
+            [&](std::size_t begin, std::size_t end) {
+                double s = 0.0;
+                for (std::size_t i = begin; i < end; ++i) s += value(i);
+                return s;
+            },
+            [](double acc, double partial) { return acc + partial; });
+    };
+    const double serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(8));
+}
+
+// --------------------------------------------------------- sharded trials
+
+TEST(ShardedTrials, FewerTrialsThanShardSizeMakesOneShard) {
+    const ShardedTrials sharded(100, 42, 4096);
+    EXPECT_EQ(sharded.shard_count(), 1u);
+    EXPECT_EQ(sharded.shard_trials(0), 100u);
+    EXPECT_EQ(sharded.shard_trials(1), 0u);  // past the end
+}
+
+TEST(ShardedTrials, ExactMultipleFillsEveryShard) {
+    const ShardedTrials sharded(8192, 42, 4096);
+    EXPECT_EQ(sharded.shard_count(), 2u);
+    EXPECT_EQ(sharded.shard_trials(0), 4096u);
+    EXPECT_EQ(sharded.shard_trials(1), 4096u);
+    EXPECT_EQ(sharded.shard_begin(1), 4096u);
+}
+
+TEST(ShardedTrials, RemainderLandsInLastShard) {
+    const ShardedTrials sharded(10000, 42, 4096);
+    EXPECT_EQ(sharded.shard_count(), 3u);
+    EXPECT_EQ(sharded.shard_trials(0), 4096u);
+    EXPECT_EQ(sharded.shard_trials(1), 4096u);
+    EXPECT_EQ(sharded.shard_trials(2), 10000u - 2u * 4096u);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < sharded.shard_count(); ++i)
+        total += sharded.shard_trials(i);
+    EXPECT_EQ(total, 10000u);
+}
+
+TEST(ShardedTrials, ZeroTrialsMakesZeroShards) {
+    const ShardedTrials sharded(0, 42, 4096);
+    EXPECT_EQ(sharded.shard_count(), 0u);
+}
+
+TEST(ShardedTrials, ShardSeedsAreDeterministicAndDistinct) {
+    const ShardedTrials a(100000, 7);
+    const ShardedTrials b(100000, 7);
+    const ShardedTrials c(100000, 8);
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < a.shard_count(); ++i) {
+        EXPECT_EQ(a.shard_seed(i), b.shard_seed(i)) << i;  // pure in (seed, i)
+        EXPECT_NE(a.shard_seed(i), c.shard_seed(i)) << i;  // seed-sensitive
+        seen.insert(a.shard_seed(i));
+    }
+    EXPECT_EQ(seen.size(), a.shard_count());  // no colliding streams
+}
+
+TEST(ShardedTrials, ShardSeedMatchesDeriveStreamSeed) {
+    // The benches derive per-cell seeds through the same map the shards
+    // use; keep the two spellings locked together.
+    const ShardedTrials sharded(100000, 1234);
+    for (std::size_t i = 0; i < sharded.shard_count(); ++i)
+        EXPECT_EQ(sharded.shard_seed(i), exec::derive_stream_seed(1234, i)) << i;
+}
+
+// --------------------------------------------- stream independence (stats)
+
+// Fraction of agreeing bits between two 64-bit streams; for independent
+// streams this is binomial around 0.5 with sd ~ sqrt(0.25 / bits).
+double bit_agreement(Rng& a, Rng& b, std::size_t words) {
+    std::uint64_t agree = 0;
+    for (std::size_t i = 0; i < words; ++i)
+        agree += static_cast<std::uint64_t>(
+            std::popcount(~(a.next_u64() ^ b.next_u64())));
+    return static_cast<double>(agree) / (64.0 * static_cast<double>(words));
+}
+
+TEST(RngStreams, ForkProducesAnIndependentStream) {
+    Rng parent(2024);
+    Rng child = parent.fork();
+    // 2^18 bits -> sd ~ 0.001; +-0.01 is a ~10-sigma band (no flakes).
+    const double agreement = bit_agreement(parent, child, 4096);
+    EXPECT_NEAR(agreement, 0.5, 0.01);
+}
+
+TEST(RngStreams, JumpCarvesANonOverlappingStream) {
+    Xoshiro256ss a(99);
+    Xoshiro256ss b(99);
+    b.jump();
+    std::uint64_t agree = 0;
+    const std::size_t words = 4096;
+    for (std::size_t i = 0; i < words; ++i)
+        agree += static_cast<std::uint64_t>(std::popcount(~(a.next() ^ b.next())));
+    const double agreement = static_cast<double>(agree) / (64.0 * words);
+    EXPECT_NEAR(agreement, 0.5, 0.01);
+}
+
+TEST(RngStreams, ShardStreamsAreMutuallyIndependent) {
+    const ShardedTrials sharded(100000, 5);
+    Rng s0 = sharded.shard_rng(0);
+    Rng s1 = sharded.shard_rng(1);
+    EXPECT_NEAR(bit_agreement(s0, s1, 4096), 0.5, 0.01);
+    // Consecutive integer base seeds must also decorrelate (SplitMix64
+    // expansion): the classic failure mode of naive (seed + i) schemes.
+    Rng t0(exec::derive_stream_seed(1, 0));
+    Rng t1(exec::derive_stream_seed(2, 0));
+    EXPECT_NEAR(bit_agreement(t0, t1, 4096), 0.5, 0.01);
+}
+
+// ------------------------------------- parallel vs serial bit-identity
+
+// EXPECT_EQ with NaN == NaN treated as equal (NaN marks never-received).
+void expect_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+        EXPECT_EQ(a[i], b[i]) << i;
+    }
+}
+
+TEST(BitIdentity, MonteCarloAuthProbMatchesSerial) {
+    GlobalPoolGuard guard;
+    const auto dg = make_emss(64, 2, 1);
+    const BernoulliLoss loss(0.3);
+    ThreadPool::set_global_thread_count(1);
+    const auto serial = monte_carlo_auth_prob(dg, loss, 77, 5000);
+    ThreadPool::set_global_thread_count(8);
+    const auto parallel = monte_carlo_auth_prob(dg, loss, 77, 5000);
+    expect_bitwise_equal(serial.q, parallel.q);
+    EXPECT_EQ(serial.q_min, parallel.q_min);
+    EXPECT_EQ(serial.q_min_halfwidth, parallel.q_min_halfwidth);
+}
+
+TEST(BitIdentity, MonteCarloAuthProbBurstyLoss) {
+    // The stateful (bursty) model exercises the per-shard clone path.
+    GlobalPoolGuard guard;
+    const auto dg = make_augmented_chain(48, 3, 3);
+    const auto loss = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+    ThreadPool::set_global_thread_count(1);
+    const auto serial = monte_carlo_auth_prob(dg, loss, 909, 6000);
+    ThreadPool::set_global_thread_count(8);
+    const auto parallel = monte_carlo_auth_prob(dg, loss, 909, 6000);
+    expect_bitwise_equal(serial.q, parallel.q);
+    EXPECT_EQ(serial.q_min, parallel.q_min);
+}
+
+TEST(BitIdentity, MonteCarloTeslaMatchesSerial) {
+    GlobalPoolGuard guard;
+    TeslaParams params;
+    params.n = 200;
+    params.t_disclose = 1.0;
+    params.mu = 0.4;
+    params.sigma = 0.2;
+    params.p = 0.2;
+    const BernoulliLoss loss(params.p);
+    const GaussianDelay delay(params.mu, params.sigma);
+    ThreadPool::set_global_thread_count(1);
+    const auto serial = monte_carlo_tesla(params, loss, delay, 31, 6000);
+    ThreadPool::set_global_thread_count(8);
+    const auto parallel = monte_carlo_tesla(params, loss, delay, 31, 6000);
+    expect_bitwise_equal(serial.q, parallel.q);
+    EXPECT_EQ(serial.q_min, parallel.q_min);
+}
+
+TEST(BitIdentity, ReceiverDelayDistributionMatchesSerial) {
+    GlobalPoolGuard guard;
+    const auto dg = make_emss(80, 2, 1);
+    const SchemeParams params;
+    const GaussianDelay jitter(0.05, 0.02);
+    ThreadPool::set_global_thread_count(1);
+    const auto serial = receiver_delay_distribution(dg, params, jitter, 55, 2000);
+    ThreadPool::set_global_thread_count(8);
+    const auto parallel = receiver_delay_distribution(dg, params, jitter, 55, 2000);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.p95, parallel.p95);
+    EXPECT_EQ(serial.worst_mean, parallel.worst_mean);
+    EXPECT_EQ(serial.worst_p95, parallel.worst_p95);
+}
+
+TEST(BitIdentity, SweepRunnerReturnsIndexOrderForAnyThreadCount) {
+    auto run = [](std::size_t threads) {
+        ThreadPool pool(threads);
+        const SweepRunner sweep(pool);
+        return sweep.map<double>(97, [](std::size_t i) {
+            // Seed-derived per-point randomness, as the benches do.
+            Rng rng(exec::derive_stream_seed(3, i));
+            return rng.uniform() + static_cast<double>(i);
+        });
+    };
+    const auto serial = run(1);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_GE(serial[i], static_cast<double>(i));  // landed at its own index
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(8));
+}
+
+// -------------------------------------------------- hot-path equivalences
+
+TEST(HotPath, CompletionTimesTopoMatchesHeapVersion) {
+    const auto dg = make_emss(120, 3, 2);
+    const auto order = topological_order(dg.graph());
+    ASSERT_TRUE(order.has_value());
+    Rng rng(17);
+    std::vector<double> arrival(dg.packet_count());
+    std::vector<double> out;
+    for (int round = 0; round < 5; ++round) {
+        for (double& a : arrival) a = rng.uniform(0.0, 3.0);
+        const auto reference = completion_times(dg, arrival);
+        completion_times_topo(dg, *order, arrival, out);
+        ASSERT_EQ(reference.size(), out.size());
+        for (std::size_t v = 0; v < out.size(); ++v)
+            EXPECT_EQ(reference[v], out[v]) << "round " << round << " v " << v;
+    }
+}
+
+TEST(HotPath, VerifiableIntoMatchesVerifiableGiven) {
+    const auto dg = make_augmented_chain(40, 2, 3);
+    Rng rng(23);
+    VerifyScratch scratch(dg.packet_count());
+    for (int round = 0; round < 20; ++round) {
+        std::vector<bool> received(dg.packet_count());
+        for (std::size_t v = 0; v < dg.packet_count(); ++v) {
+            const bool r = rng.bernoulli(0.6);
+            received[v] = r;
+            scratch.received[v] = r ? 1 : 0;
+        }
+        received[DependenceGraph::root()] = true;
+        const auto reference = dg.verifiable_given(received);
+        dg.verifiable_into(scratch);
+        for (std::size_t v = 0; v < dg.packet_count(); ++v)
+            EXPECT_EQ(reference[v], scratch.verifiable[v] != 0) << "v " << v;
+    }
+}
+
+}  // namespace
+}  // namespace mcauth
