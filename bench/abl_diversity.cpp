@@ -10,10 +10,16 @@
 // We tabulate both against Monte-Carlo q_min under i.i.d. and bursty loss.
 // Expected: schemes ranked by min-disjoint-paths rank identically under
 // loss; schemes with dominators (rohatgi) collapse.
+//
+// Rows fan across the thread pool via SweepRunner and each Monte-Carlo run
+// derives its seed from (base seed, run index), so the table is
+// byte-identical for any --threads value (DESIGN.md §7).
 #include "bench_common.hpp"
 #include "core/authprob.hpp"
 #include "core/metrics.hpp"
 #include "core/topologies.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
 
 using namespace mcauth;
 
@@ -24,7 +30,6 @@ int main(int argc, char** argv) {
 
     TablePrinter table({"scheme", "edges", "min disj paths", "max dominators",
                         "#critical", "q_min iid p=.2", "q_min burst4 p=.2"});
-    Rng rng(41);
     Rng scheme_rng(42);
 
     struct Case {
@@ -39,19 +44,35 @@ int main(int argc, char** argv) {
     cases.push_back({"ac(3,3)", make_augmented_chain(kN, 3, 3)});
     cases.push_back({"random(.02)", make_random_scheme(kN, 0.02, scheme_rng)});
 
-    for (const auto& c : cases) {
+    struct RowResult {
+        double q_iid = 0, q_burst = 0;
+    };
+    const exec::SweepRunner sweep;
+    const std::uint64_t base_seed = bm.seed();
+    const auto mc = sweep.map_grid<RowResult>(cases, [&](const Case& c, std::size_t i) {
+        RowResult out;
+        const BernoulliLoss iid(0.2);
+        out.q_iid = monte_carlo_auth_prob(c.dg, iid,
+                                          exec::derive_stream_seed(base_seed, 2 * i),
+                                          4000)
+                        .q_min;
+        const auto bursty = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+        out.q_burst = monte_carlo_auth_prob(
+                          c.dg, bursty, exec::derive_stream_seed(base_seed, 2 * i + 1),
+                          4000)
+                          .q_min;
+        return out;
+    });
+
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& c = cases[i];
         const DiversityMetrics div = compute_diversity(c.dg);
-
-        BernoulliLoss iid(0.2);
-        const double q_iid = monte_carlo_auth_prob(c.dg, iid, rng, 4000).q_min;
-        auto bursty = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
-        const double q_burst = monte_carlo_auth_prob(c.dg, bursty, rng, 4000).q_min;
-
         table.add_row({c.name, std::to_string(c.dg.graph().edge_count()),
                        std::to_string(div.min_disjoint_paths),
                        std::to_string(div.max_interior_dominators),
                        std::to_string(div.critical_vertices.size()),
-                       TablePrinter::num(q_iid, 4), TablePrinter::num(q_burst, 4)});
+                       TablePrinter::num(mc[i].q_iid, 4),
+                       TablePrinter::num(mc[i].q_burst, 4)});
     }
     bench::emit(table, "abl5");
     bench::note("\nreading: max-dominators > 0 predicts collapse (rohatgi); among the"

@@ -20,6 +20,12 @@
 //   --metrics-out=F    dump the obs metrics registry to F as JSON at exit
 //   --trace-out=F      record trace events and dump Chrome trace-event JSON
 //                      to F at exit (open in chrome://tracing or Perfetto)
+//   --help             print the flag surface and exit
+//
+// Unknown --key flags are REJECTED with a usage message (a mistyped
+// `--thread=8` used to silently run serial); `--benchmark_*` passes through
+// for the google-benchmark binaries, and a bench with extra flags of its
+// own declares them via the `extra_keys` constructor argument.
 //
 // Metrics/trace files are written from the destructor, so a bench needs no
 // explicit flush. This is the repo's machine-readable perf trajectory: the
@@ -27,10 +33,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
@@ -55,9 +64,14 @@ inline void emit(const TablePrinter& table, const std::string& csv_name) {
 
 class BenchMain {
 public:
+    /// `extra_keys`: additional flags this particular bench understands,
+    /// beyond the shared surface below; anything else on the command line
+    /// aborts with a usage message.
     BenchMain(int argc, const char* const* argv, std::string name,
-              std::uint64_t default_seed = 1)
+              std::uint64_t default_seed = 1,
+              std::vector<std::string_view> extra_keys = {})
         : args_(argc, argv), name_(std::move(name)) {
+        reject_unknown_flags(extra_keys);
         seed_ = static_cast<std::uint64_t>(
             args_.get_int("seed", static_cast<std::int64_t>(default_seed)));
         warmup_ = static_cast<std::size_t>(args_.get_int("warmup", 0));
@@ -114,6 +128,31 @@ public:
     }
 
 private:
+    void reject_unknown_flags(const std::vector<std::string_view>& extra_keys) const {
+        static constexpr std::string_view kSharedKeys[] = {
+            "seed", "threads", "warmup", "repeat", "obs", "metrics-out",
+            "trace-out", "help"};
+        // google-benchmark binaries (micro_crypto) construct BenchMain
+        // before benchmark::Initialize strips its flags, so --benchmark_*
+        // must pass through untouched.
+        static constexpr std::string_view kSharedPrefixes[] = {"benchmark_"};
+
+        std::vector<std::string_view> known(std::begin(kSharedKeys),
+                                            std::end(kSharedKeys));
+        known.insert(known.end(), extra_keys.begin(), extra_keys.end());
+        const auto unknown = args_.unknown_keys(known, kSharedPrefixes);
+        if (unknown.empty() && !args_.has("help")) return;
+
+        std::FILE* out = unknown.empty() ? stdout : stderr;
+        for (const std::string& key : unknown)
+            std::fprintf(out, "%s: unknown option --%s\n", name_.c_str(), key.c_str());
+        std::fprintf(out, "usage: %s [--key=value ...]\n  known options:", name_.c_str());
+        for (std::string_view key : known)
+            std::fprintf(out, " --%.*s", static_cast<int>(key.size()), key.data());
+        std::fprintf(out, "\n  (see bench/bench_common.hpp for semantics)\n");
+        std::exit(unknown.empty() ? 0 : 2);
+    }
+
     CliArgs args_;
     std::string name_;
     std::uint64_t seed_ = 1;

@@ -1,0 +1,224 @@
+// Bit-sliced vs scalar Monte-Carlo throughput. The bit-sliced engine
+// (exec/bitslice.hpp, DESIGN.md §8) packs 64 trials into each machine word;
+// this bench measures what that buys on the engines' own workloads —
+//
+//   * monte_carlo_auth_prob on EMSS E_{2,1} at n = 128 under i.i.d. loss
+//     (the headline: sampling + propagation both collapse to word ops),
+//   * the same graph under bursty Gilbert-Elliott loss (per-lane chain
+//     state; sampling stays word-at-a-time but not bulk), and
+//   * monte_carlo_tesla at n = 200 (word-parallel loss + per-lane delay
+//     draws),
+//
+// each at 1/2/4/8 pool threads for BOTH engines. Every (engine, threads)
+// cell must produce a bit-identical q_min checksum — the per-trial stream
+// contract (DESIGN.md §8) — and the bench fails loudly if any differs.
+// Results land in bench_out/BENCH_bitslice_mc.json (same schema as
+// BENCH_parallel_mc.json plus an "engine" field and per-workload
+// single-thread speedups).
+//
+// Note: on machines with fewer hardware threads than the sweep's lane
+// counts the extra lanes time-slice, so scaling columns saturate at the
+// core count — the checksum comparisons are meaningful regardless.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/authprob.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "exec/bitslice.hpp"
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
+#include "net/delay.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+struct WorkloadResult {
+    std::size_t trials = 0;
+    double seconds = 0;
+    double checksum = 0;  // sum over per-vertex q (bit-identity probe)
+};
+
+double now_seconds() {
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+double profile_checksum(const std::vector<double>& q) {
+    double sum = 0;
+    for (double v : q)
+        if (v == v) sum += v;  // NaN-safe: unresolved vertices excluded
+    return sum;
+}
+
+WorkloadResult run_authprob_bernoulli(std::uint64_t seed, McEngine engine) {
+    constexpr std::size_t kTrials = 200000;
+    const auto dg = make_emss(128, 2, 1);
+    const BernoulliLoss loss(0.2);
+    WorkloadResult out;
+    out.trials = kTrials;
+    const double t0 = now_seconds();
+    const auto mc = monte_carlo_auth_prob(dg, loss, seed, kTrials, engine);
+    out.seconds = now_seconds() - t0;
+    out.checksum = profile_checksum(mc.q);
+    return out;
+}
+
+WorkloadResult run_authprob_gilbert(std::uint64_t seed, McEngine engine) {
+    constexpr std::size_t kTrials = 100000;
+    const auto dg = make_emss(128, 2, 1);
+    const auto loss = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+    WorkloadResult out;
+    out.trials = kTrials;
+    const double t0 = now_seconds();
+    const auto mc = monte_carlo_auth_prob(dg, loss, seed, kTrials, engine);
+    out.seconds = now_seconds() - t0;
+    out.checksum = profile_checksum(mc.q);
+    return out;
+}
+
+WorkloadResult run_tesla(std::uint64_t seed, McEngine engine) {
+    constexpr std::size_t kTrials = 50000;
+    TeslaParams params;
+    params.n = 200;
+    params.t_disclose = 1.0;
+    params.mu = 0.6;
+    params.sigma = 0.25;
+    params.p = 0.2;
+    const BernoulliLoss loss(params.p);
+    const GaussianDelay delay(params.mu, params.sigma);
+    WorkloadResult out;
+    out.trials = kTrials;
+    const double t0 = now_seconds();
+    const auto mc = monte_carlo_tesla(params, loss, delay, seed, kTrials, engine);
+    out.seconds = now_seconds() - t0;
+    out.checksum = profile_checksum(mc.q);
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_bitslice_mc");
+    bench::note("[perf] Bit-sliced vs scalar Monte-Carlo engines (DESIGN.md §8)");
+    bench::note("hardware threads: " + std::to_string(exec::hardware_threads()));
+
+    struct Workload {
+        const char* name;
+        WorkloadResult (*run)(std::uint64_t, McEngine);
+    };
+    const Workload workloads[] = {
+        {"authprob_bernoulli_n128", &run_authprob_bernoulli},
+        {"authprob_gilbert_elliott_n128", &run_authprob_gilbert},
+        {"tesla_gaussian_n200", &run_tesla},
+    };
+    const std::size_t thread_counts[] = {1, 2, 4, 8};
+    constexpr int kRepeats = 2;  // best-of: absorbs scheduler noise
+
+    struct Record {
+        const char* workload;
+        const char* engine;
+        std::size_t threads;
+        WorkloadResult r;
+    };
+    std::vector<Record> records;
+    struct Speedup {
+        const char* workload;
+        double factor;
+    };
+    std::vector<Speedup> speedups;
+    bool identical = true;
+
+    for (const Workload& w : workloads) {
+        bench::section(w.name);
+        TablePrinter table(
+            {"engine", "threads", "trials", "seconds", "trials/sec", "vs scalar@1"});
+        double scalar_serial_rate = 0;
+        double reference_checksum = 0;
+        bool have_reference = false;
+        double bitsliced_serial_rate = 0;
+        for (McEngine engine : {McEngine::kScalar, McEngine::kBitsliced}) {
+            const char* engine_name = engine == McEngine::kScalar ? "scalar" : "bitsliced";
+            for (std::size_t t : thread_counts) {
+                exec::ThreadPool::set_global_thread_count(t);
+                WorkloadResult r = w.run(bm.seed(), engine);
+                for (int rep = 1; rep < kRepeats; ++rep) {
+                    const WorkloadResult again = w.run(bm.seed(), engine);
+                    if (again.checksum != r.checksum) identical = false;
+                    if (again.seconds < r.seconds) r = again;
+                }
+                const double rate =
+                    r.seconds > 0 ? static_cast<double>(r.trials) / r.seconds : 0.0;
+                if (!have_reference) {
+                    reference_checksum = r.checksum;
+                    have_reference = true;
+                } else if (r.checksum != reference_checksum) {
+                    identical = false;
+                    bench::note(std::string("BIT-IDENTITY VIOLATION: ") + engine_name +
+                                " threads=" + std::to_string(t));
+                }
+                if (t == 1 && engine == McEngine::kScalar) scalar_serial_rate = rate;
+                if (t == 1 && engine == McEngine::kBitsliced) bitsliced_serial_rate = rate;
+                table.add_row(
+                    {engine_name, std::to_string(t), std::to_string(r.trials),
+                     TablePrinter::num(r.seconds, 3), TablePrinter::num(rate, 0),
+                     TablePrinter::num(
+                         scalar_serial_rate > 0 ? rate / scalar_serial_rate : 0.0, 2)});
+                records.push_back({w.name, engine_name, t, r});
+            }
+        }
+        const double factor =
+            scalar_serial_rate > 0 ? bitsliced_serial_rate / scalar_serial_rate : 0.0;
+        speedups.push_back({w.name, factor});
+        bench::note("single-thread speedup: " + TablePrinter::num(factor, 1) + "x");
+        bench::emit(table, std::string("perf_bitslice_mc_") + w.name);
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_bitslice_mc.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"perf_bitslice_mc\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"hardware_threads\": %zu,\n", exec::hardware_threads());
+        std::fprintf(f, "  \"deterministic_across_thread_counts\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(f, "  \"cross_engine_identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(f, "  \"single_thread_speedup\": {\n");
+        for (std::size_t i = 0; i < speedups.size(); ++i)
+            std::fprintf(f, "    \"%s\": %.2f%s\n", speedups[i].workload,
+                         speedups[i].factor, i + 1 < speedups.size() ? "," : "");
+        std::fprintf(f, "  },\n");
+        std::fprintf(f, "  \"results\": [\n");
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const Record& rec = records[i];
+            const double rate =
+                rec.r.seconds > 0 ? static_cast<double>(rec.r.trials) / rec.r.seconds
+                                  : 0.0;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"engine\": \"%s\", "
+                         "\"threads\": %zu, \"trials\": %zu, \"seconds\": %.6f, "
+                         "\"trials_per_sec\": %.1f, \"qmin_checksum\": %.17g}%s\n",
+                         rec.workload, rec.engine, rec.threads, rec.r.trials,
+                         rec.r.seconds, rate, rec.r.checksum,
+                         i + 1 < records.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    if (!identical) {
+        bench::note("RESULT: FAIL — engines or thread counts disagreed");
+        return 1;
+    }
+    bench::note("RESULT: OK — scalar and bit-sliced checksums bit-identical at "
+                "1/2/4/8 threads");
+    return 0;
+}

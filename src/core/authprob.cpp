@@ -1,11 +1,14 @@
 #include "core/authprob.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
+#include "exec/bitslice.hpp"
 #include "exec/sharded.hpp"
 #include "exec/thread_pool.hpp"
+#include "graph/csr.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -120,17 +123,21 @@ struct TrialCounts {
     std::vector<std::uint64_t> verified;
 };
 
-/// One shard of the Monte-Carlo loop: own RNG stream, own loss-model clone,
-/// own scratch buffers — the per-trial body allocates nothing.
-void run_auth_prob_shard(const DependenceGraph& dg, const LossModel& loss_proto,
-                         Rng rng, std::size_t shard_trials, TrialCounts& counts) {
+/// One scalar shard: trials [first, first + count), each on its own RNG
+/// stream derived from (seed, trial_index) — the stream contract the
+/// bit-sliced engine transposes lane-for-trial. Own loss-model clone, own
+/// scratch buffers; the per-trial body allocates nothing.
+void run_auth_prob_shard_scalar(const DependenceGraph& dg, const LossModel& loss_proto,
+                                std::uint64_t seed, std::size_t first,
+                                std::size_t count, TrialCounts& counts) {
     const std::size_t n = dg.packet_count();
     counts.received.assign(n, 0);
     counts.verified.assign(n, 0);
     const auto loss = loss_proto.clone();
     VerifyScratch ws(n);
 
-    for (std::size_t t = 0; t < shard_trials; ++t) {
+    for (std::size_t t = first; t < first + count; ++t) {
+        Rng rng(exec::derive_stream_seed(seed, t));
         loss->reset();
         // Loss decisions are drawn in *transmission* order so bursty models
         // correlate adjacent transmissions, then mapped back to vertex ids.
@@ -146,26 +153,91 @@ void run_auth_prob_shard(const DependenceGraph& dg, const LossModel& loss_proto,
     }
 }
 
+/// One bit-sliced shard: a run of 64-lane batches. Per batch, sample 64
+/// loss patterns into per-vertex alive words (lane l = trial
+/// batch_first_trial + l, on the same per-trial stream the scalar engine
+/// uses), resolve verifiability for all 64 trials in one topological sweep,
+/// and accumulate counts by popcount. Ghost lanes of the ragged final batch
+/// are masked out before counting.
+void run_auth_prob_shard_bitsliced(const DependenceGraph& dg, const CsrView& csr,
+                                   const LossModel& loss_proto,
+                                   const exec::BitslicedTrials& bt, std::size_t s,
+                                   TrialCounts& counts) {
+    const std::size_t n = dg.packet_count();
+    counts.received.assign(n, 0);
+    counts.verified.assign(n, 0);
+    const auto batched = loss_proto.make_batched();
+    std::vector<Rng> lanes;
+    std::vector<std::uint64_t> lost(n, 0);  // transmission-position major
+    std::vector<std::uint64_t> alive(n, 0);
+    std::vector<std::uint64_t> reach(n, 0);
+
+    const std::size_t begin = bt.shard_batch_begin(s);
+    const std::size_t end = begin + bt.shard_batches(s);
+    for (std::size_t b = begin; b < end; ++b) {
+        bt.seed_lanes(b, lanes);
+        batched->reset();
+        // Loss decisions are drawn in *transmission* order (bulk, one call
+        // for the whole sequence — the Bernoulli sampler's lane-major fast
+        // path lives behind this), then scattered back to vertex ids.
+        batched->sample_block(lanes.data(), lost.data(), n);
+        for (std::uint32_t pos = 0; pos < n; ++pos)
+            alive[dg.vertex_at_send_pos(pos)] = ~lost[pos];
+        // The sweep treats the root as alive regardless of its sampled word
+        // (P_sign assumed delivered), exactly like verifiable_into.
+        reachable_within_bitsliced(csr, DependenceGraph::root(), alive.data(),
+                                   reach.data());
+        const std::uint64_t active = bt.active_mask(b);
+        for (std::size_t v = 1; v < n; ++v) {
+            counts.received[v] += static_cast<std::uint64_t>(
+                std::popcount(alive[v] & active));
+            // reach[v] already has the alive bit folded in, so it is the
+            // "received AND verifiable" word directly.
+            counts.verified[v] += static_cast<std::uint64_t>(
+                std::popcount(reach[v] & active));
+        }
+    }
+}
+
 }  // namespace
 
 MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
                                          const LossModel& loss, std::uint64_t seed,
-                                         std::size_t trials) {
+                                         std::size_t trials, McEngine engine) {
     MCAUTH_EXPECTS(trials >= 1);
     MCAUTH_OBS_COUNT_N("core.montecarlo.trials", trials);
     const std::size_t n = dg.packet_count();
 
-    // Shard decomposition and shard seeds depend only on (trials, seed), so
-    // the merged counts — and everything derived from them — are identical
-    // for any thread count (ordered merge of per-shard partials).
-    const exec::ShardedTrials shards(trials, seed);
-    std::vector<TrialCounts> parts(shards.shard_count());
-    exec::ThreadPool::global().parallel_for(
-        shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t s = begin; s < end; ++s)
-                run_auth_prob_shard(dg, loss, shards.shard_rng(s), shards.shard_trials(s),
-                                    parts[s]);
-        });
+    // Both decompositions depend only on (trials, seed), and each trial's
+    // variates depend only on (seed, trial_index), so the merged counts —
+    // and everything derived from them — are identical for any thread
+    // count AND either engine (ordered merge of per-shard partials of
+    // order-invariant integer sums).
+    std::vector<TrialCounts> parts;
+    if (engine == McEngine::kBitsliced) {
+        const CsrView csr(dg.graph());
+        const exec::BitslicedTrials bt(trials, seed);
+        MCAUTH_OBS_COUNT_N("core.bitslice.batches", bt.batch_count());
+        MCAUTH_OBS_COUNT_N("core.bitslice.ghost_lanes",
+                           bt.batch_count() * exec::BitslicedTrials::kLanes - trials);
+        MCAUTH_OBS_COUNT_N("core.bitslice.word_ops",
+                           bt.batch_count() * (dg.graph().edge_count() + n));
+        parts.resize(bt.shard_count());
+        exec::ThreadPool::global().parallel_for(
+            bt.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s)
+                    run_auth_prob_shard_bitsliced(dg, csr, loss, bt, s, parts[s]);
+            });
+    } else {
+        const exec::ShardedTrials shards(trials, seed);
+        parts.resize(shards.shard_count());
+        exec::ThreadPool::global().parallel_for(
+            shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s)
+                    run_auth_prob_shard_scalar(dg, loss, seed, shards.shard_begin(s),
+                                               shards.shard_trials(s), parts[s]);
+            });
+    }
 
     std::vector<std::uint64_t> received_count(n, 0);
     std::vector<std::uint64_t> verified_count(n, 0);
@@ -179,6 +251,7 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
     MonteCarloAuthProb result;
     result.trials = trials;
     result.q.assign(n, 1.0);
+    result.halfwidth.assign(n, 0.0);  // root stays 0: exact by assumption
     std::size_t argmin = 0;
     for (std::size_t v = 1; v < n; ++v) {
         // 0/0 — the vertex never arrived, the conditional is unresolved.
@@ -186,11 +259,13 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
                           ? std::numeric_limits<double>::quiet_NaN()
                           : static_cast<double>(verified_count[v]) /
                                 static_cast<double>(received_count[v]);
+        result.halfwidth[v] = received_count[v] == 0
+                                  ? std::numeric_limits<double>::quiet_NaN()
+                                  : wilson_halfwidth(result.q[v], received_count[v]);
         if (result.q[v] < result.q[argmin]) argmin = v;  // NaN never selected
     }
     result.q_min = min_over_non_root(result.q);
-    if (argmin != 0)
-        result.q_min_halfwidth = wilson_halfwidth(result.q[argmin], received_count[argmin]);
+    if (argmin != 0) result.q_min_halfwidth = result.halfwidth[argmin];
     return result;
 }
 

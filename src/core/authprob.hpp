@@ -31,10 +31,13 @@
 #include <vector>
 
 #include "core/dependence_graph.hpp"
+#include "exec/bitslice.hpp"
 #include "net/loss.hpp"
 #include "util/rng.hpp"
 
 namespace mcauth {
+
+using exec::McEngine;
 
 struct AuthProb {
     std::vector<double> q;  // per vertex; q[0] (root) == 1
@@ -51,19 +54,28 @@ struct MonteCarloAuthProb {
     /// received across all trials (0/0 — unresolved, like
     /// SimStats::auth_fraction()). q_min skips NaN entries.
     std::vector<double> q;
+    /// Per-vertex 95% Wilson half-width of q[v] (NaN where q[v] is NaN;
+    /// 0 at the root, which is exact by assumption).
+    std::vector<double> halfwidth;
     double q_min = 1.0;
-    double q_min_halfwidth = 0.0;  // 95% Wilson half-width at the argmin vertex
+    double q_min_halfwidth = 0.0;  // == halfwidth[argmin]
     std::size_t trials = 0;
 };
 
-/// Sampled q under any LossModel. Trials are sharded deterministically from
-/// (seed, shard_index) and fanned across the global exec::ThreadPool with
-/// an ordered merge: the result is bit-identical for ANY thread count, and
-/// depends only on (dg, loss, seed, trials). The loss model is cloned per
-/// shard and reset per trial; the caller's instance is never mutated.
+/// Sampled q under any LossModel. Trial t draws its variates from an
+/// independent stream seeded by derive_stream_seed(seed, t), so the merged
+/// counts depend only on (dg, loss, seed, trials) — not on the thread
+/// count, the shard decomposition, or the engine: the default bit-sliced
+/// engine (64 trials per word, exec/bitslice.hpp + graph/csr.hpp) and the
+/// scalar reference produce bit-identical results (DESIGN.md §8). Work is
+/// fanned across the global exec::ThreadPool with an ordered merge. The
+/// loss model is never mutated: the scalar engine clones it per shard and
+/// resets per trial, the bit-sliced engine samples its make_batched() form
+/// reset per batch.
 MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
                                          const LossModel& loss, std::uint64_t seed,
-                                         std::size_t trials);
+                                         std::size_t trials,
+                                         McEngine engine = McEngine::kBitsliced);
 
 /// Compatibility shim: draws the base seed from `rng` (one next_u64() call)
 /// and runs the seeded engine above.

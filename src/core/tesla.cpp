@@ -1,11 +1,14 @@
 #include "core/tesla.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
+#include "exec/bitslice.hpp"
 #include "exec/sharded.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -61,11 +64,12 @@ struct TeslaCounts {
     std::vector<std::uint64_t> verified;
 };
 
-/// One shard: own RNG stream, own model clones, buffers reused across
-/// trials — nothing allocates inside the trial loop.
-void run_tesla_shard(const TeslaParams& params, const LossModel& loss_proto,
-                     const DelayModel& delay_proto, Rng rng, std::size_t shard_trials,
-                     TeslaCounts& counts) {
+/// One scalar shard: trials [first, first + count), each on its own RNG
+/// stream derived from (seed, trial_index); own model clones, buffers
+/// reused across trials — nothing allocates inside the trial loop.
+void run_tesla_shard_scalar(const TeslaParams& params, const LossModel& loss_proto,
+                            const DelayModel& delay_proto, std::uint64_t seed,
+                            std::size_t first, std::size_t count, TeslaCounts& counts) {
     const std::size_t n = params.n;
     counts.received.assign(n, 0);
     counts.verified.assign(n, 0);
@@ -74,7 +78,8 @@ void run_tesla_shard(const TeslaParams& params, const LossModel& loss_proto,
     std::vector<std::uint8_t> received_timely(n);
     std::vector<std::uint8_t> carrier_lost(n);
 
-    for (std::size_t t = 0; t < shard_trials; ++t) {
+    for (std::size_t t = first; t < first + count; ++t) {
+        Rng rng(exec::derive_stream_seed(seed, t));
         loss->reset();
         for (std::size_t i = 0; i < n; ++i)
             received_timely[i] = loss->lose_next(rng) ? 0 : 1;
@@ -102,22 +107,100 @@ void run_tesla_shard(const TeslaParams& params, const LossModel& loss_proto,
     }
 }
 
+/// One bit-sliced shard: 64-lane batches over the same per-trial streams.
+/// Loss sampling is word-at-a-time through the batched adapter; delay draws
+/// stay per-lane (lane l draws from its own stream for exactly the packets
+/// the scalar trial draws for, in the same forward packet order, so lane
+/// variate sequences match the scalar engine bit-for-bit). The key
+/// availability suffix scan and all counting collapse to word ops.
+void run_tesla_shard_bitsliced(const TeslaParams& params, const LossModel& loss_proto,
+                               const DelayModel& delay_proto,
+                               const exec::BitslicedTrials& bt, std::size_t s,
+                               TeslaCounts& counts) {
+    const std::size_t n = params.n;
+    counts.received.assign(n, 0);
+    counts.verified.assign(n, 0);
+    const auto batched = loss_proto.make_batched();
+    const auto delay = delay_proto.clone();
+    std::vector<Rng> lanes;
+    std::vector<std::uint64_t> timely(n, 0);      // bit l: lane l received in time
+    std::vector<std::uint64_t> carrier_ok(n, 0);  // bit l: lane l's carrier arrived
+
+    const std::size_t begin = bt.shard_batch_begin(s);
+    const std::size_t end = begin + bt.shard_batches(s);
+    for (std::size_t b = begin; b < end; ++b) {
+        bt.seed_lanes(b, lanes);
+        batched->reset();
+        batched->sample_block(lanes.data(), timely.data(), n);
+        // Key carriers form their own transmission sequence (paper's
+        // independence assumption); bursty models correlate within it.
+        batched->reset();
+        batched->sample_block(lanes.data(), carrier_ok.data(), n);
+        // sample_block yields "lost" words; flip in place to "arrived".
+        for (std::size_t i = 0; i < n; ++i) {
+            timely[i] = ~timely[i];
+            carrier_ok[i] = ~carrier_ok[i];
+        }
+
+        const std::uint64_t active = bt.active_mask(b);
+        // Delay draws in forward packet order, one per received packet per
+        // lane; the received count is taken before the deadline narrows
+        // `timely`, matching the scalar loop.
+        for (std::size_t i = 0; i < n; ++i) {
+            counts.received[i] += static_cast<std::uint64_t>(
+                std::popcount(timely[i] & active));
+            std::uint64_t pending = timely[i];
+            while (pending) {
+                const int l = std::countr_zero(pending);
+                pending &= pending - 1;
+                if (delay->sample(lanes[static_cast<std::size_t>(l)]) >
+                    params.t_disclose)
+                    timely[i] &= ~(1ULL << l);
+            }
+        }
+        // key_available for packet i means some K_j with j >= i arrived —
+        // the suffix scan is one OR per packet across all 64 lanes.
+        std::uint64_t key_available = 0;
+        for (std::size_t i = n; i-- > 0;) {
+            key_available |= carrier_ok[i];
+            counts.verified[i] += static_cast<std::uint64_t>(
+                std::popcount(timely[i] & key_available & active));
+        }
+    }
+}
+
 }  // namespace
 
 TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& loss,
                                   const DelayModel& delay, std::uint64_t seed,
-                                  std::size_t trials) {
+                                  std::size_t trials, McEngine engine) {
     MCAUTH_EXPECTS(trials >= 1);
     const std::size_t n = params.n;
 
-    const exec::ShardedTrials shards(trials, seed);
-    std::vector<TeslaCounts> parts(shards.shard_count());
-    exec::ThreadPool::global().parallel_for(
-        shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t s = begin; s < end; ++s)
-                run_tesla_shard(params, loss, delay, shards.shard_rng(s),
-                                shards.shard_trials(s), parts[s]);
-        });
+    std::vector<TeslaCounts> parts;
+    if (engine == McEngine::kBitsliced) {
+        const exec::BitslicedTrials bt(trials, seed);
+        MCAUTH_OBS_COUNT_N("core.bitslice.batches", bt.batch_count());
+        MCAUTH_OBS_COUNT_N("core.bitslice.ghost_lanes",
+                           bt.batch_count() * exec::BitslicedTrials::kLanes - trials);
+        MCAUTH_OBS_COUNT_N("core.bitslice.word_ops", bt.batch_count() * 3 * n);
+        parts.resize(bt.shard_count());
+        exec::ThreadPool::global().parallel_for(
+            bt.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s)
+                    run_tesla_shard_bitsliced(params, loss, delay, bt, s, parts[s]);
+            });
+    } else {
+        const exec::ShardedTrials shards(trials, seed);
+        parts.resize(shards.shard_count());
+        exec::ThreadPool::global().parallel_for(
+            shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s)
+                    run_tesla_shard_scalar(params, loss, delay, seed,
+                                           shards.shard_begin(s), shards.shard_trials(s),
+                                           parts[s]);
+            });
+    }
 
     std::vector<std::uint64_t> received_count(n, 0);
     std::vector<std::uint64_t> verified_count(n, 0);

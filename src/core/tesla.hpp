@@ -21,12 +21,15 @@
 #include <string>
 #include <vector>
 
+#include "exec/bitslice.hpp"
 #include "graph/digraph.hpp"
 #include "net/delay.hpp"
 #include "net/loss.hpp"
 #include "util/rng.hpp"
 
 namespace mcauth {
+
+using exec::McEngine;
 
 struct TeslaParams {
     std::size_t n = 1000;       // packets in the chain's lifetime
@@ -68,12 +71,16 @@ struct TeslaMonteCarlo {
 /// Sampled verification under arbitrary loss/delay models (the paper's
 /// future-work loss models plug in here). Follows the paper's independence
 /// assumption: key-carrier losses are drawn independently of data-packet
-/// losses. Trials are sharded deterministically from (seed, shard_index)
-/// and run on the global exec::ThreadPool; the result is bit-identical for
-/// any thread count. Loss and delay models are cloned per shard.
+/// losses. Trial t draws from an independent stream seeded by
+/// derive_stream_seed(seed, t) and work runs on the global
+/// exec::ThreadPool; the result is bit-identical for any thread count and
+/// for either engine (the default bit-sliced engine packs 64 trials per
+/// word, with per-lane delay draws — DESIGN.md §8). Loss and delay models
+/// are never mutated (cloned/batched per shard).
 TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& loss,
                                   const DelayModel& delay, std::uint64_t seed,
-                                  std::size_t trials);
+                                  std::size_t trials,
+                                  McEngine engine = McEngine::kBitsliced);
 
 /// Compatibility shim: draws the base seed from `rng` and runs the seeded
 /// engine above.

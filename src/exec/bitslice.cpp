@@ -1,0 +1,46 @@
+#include "exec/bitslice.hpp"
+
+#include "exec/sharded.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::exec {
+
+BitslicedTrials::BitslicedTrials(std::size_t trials, std::uint64_t seed,
+                                 std::size_t batches_per_shard)
+    : trials_(trials), seed_(seed), batches_per_shard_(batches_per_shard) {
+    MCAUTH_EXPECTS(batches_per_shard_ >= 1);
+    batch_count_ = (trials_ + kLanes - 1) / kLanes;
+    shard_count_ = (batch_count_ + batches_per_shard_ - 1) / batches_per_shard_;
+}
+
+std::size_t BitslicedTrials::shard_batches(std::size_t s) const noexcept {
+    const std::size_t begin = shard_batch_begin(s);
+    if (begin >= batch_count_) return 0;
+    const std::size_t rest = batch_count_ - begin;
+    return rest < batches_per_shard_ ? rest : batches_per_shard_;
+}
+
+std::size_t BitslicedTrials::batch_trials(std::size_t b) const noexcept {
+    const std::size_t first = batch_first_trial(b);
+    if (first >= trials_) return 0;
+    const std::size_t rest = trials_ - first;
+    return rest < kLanes ? rest : kLanes;
+}
+
+std::uint64_t BitslicedTrials::active_mask(std::size_t b) const noexcept {
+    const std::size_t count = batch_trials(b);
+    return count >= kLanes ? ~0ULL : (1ULL << count) - 1;
+}
+
+std::uint64_t BitslicedTrials::trial_seed(std::size_t t) const noexcept {
+    return derive_stream_seed(seed_, t);
+}
+
+void BitslicedTrials::seed_lanes(std::size_t b, std::vector<Rng>& lanes) const {
+    lanes.clear();
+    lanes.reserve(kLanes);
+    const std::size_t first = batch_first_trial(b);
+    for (std::size_t l = 0; l < kLanes; ++l) lanes.emplace_back(trial_seed(first + l));
+}
+
+}  // namespace mcauth::exec

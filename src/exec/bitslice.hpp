@@ -1,0 +1,86 @@
+// Bit-sliced decomposition of a Monte-Carlo trial budget: 64 trials per
+// machine word.
+//
+// BitslicedTrials cuts `trials` into batches of 64 lanes — lane l of batch
+// b is global trial b*64 + l — and groups batches into shards for the
+// thread-pool fan-out, mirroring ShardedTrials. Every trial owns an
+// independent RNG stream derived from (seed, trial_index) through
+// derive_stream_seed, and that per-trial stream is the whole determinism
+// story: a scalar engine iterating trials one at a time and a bit-sliced
+// engine sampling 64 lanes per call consume EXACTLY the same variates per
+// trial, so integer hit/received counts (order-invariant sums over trials)
+// come out bit-identical between engines, across thread counts, and across
+// any shard/batch decomposition (DESIGN.md §8).
+//
+// The last batch may be ragged; active_mask() has a 1 for every lane that
+// corresponds to a real trial, and engines AND it in before popcount
+// accumulation. Ghost lanes still sample (their streams are unused
+// elsewhere), keeping the per-word sampling loop branch-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcauth::exec {
+
+/// Which Monte-Carlo implementation to run. Both produce bit-identical
+/// results (same per-trial RNG streams); kBitsliced is the fast path and
+/// the default, kScalar is the reference the equivalence tests and the
+/// perf_bitslice_mc bench compare against.
+enum class McEngine { kBitsliced, kScalar };
+
+class BitslicedTrials {
+public:
+    static constexpr std::size_t kLanes = 64;
+
+    /// 64 batches (4096 trials) per shard — the same trials-per-shard as
+    /// ShardedTrials::kDefaultShardSize, for the same load-balance /
+    /// per-shard-setup trade-off.
+    static constexpr std::size_t kDefaultBatchesPerShard = 64;
+
+    BitslicedTrials(std::size_t trials, std::uint64_t seed,
+                    std::size_t batches_per_shard = kDefaultBatchesPerShard);
+
+    std::size_t trials() const noexcept { return trials_; }
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// ceil(trials / 64); 0 when trials == 0.
+    std::size_t batch_count() const noexcept { return batch_count_; }
+    /// ceil(batch_count / batches_per_shard); 0 when trials == 0.
+    std::size_t shard_count() const noexcept { return shard_count_; }
+
+    /// First batch index of shard s.
+    std::size_t shard_batch_begin(std::size_t s) const noexcept {
+        return s * batches_per_shard_;
+    }
+    /// Batches in shard s (== batches_per_shard except possibly the last).
+    std::size_t shard_batches(std::size_t s) const noexcept;
+
+    /// Global index of the trial in lane 0 of batch b.
+    std::size_t batch_first_trial(std::size_t b) const noexcept { return b * kLanes; }
+    /// Real trials in batch b (== kLanes except possibly the last batch).
+    std::size_t batch_trials(std::size_t b) const noexcept;
+    /// Low batch_trials(b) bits set — AND into any word before popcounting
+    /// so ghost lanes never reach the counts.
+    std::uint64_t active_mask(std::size_t b) const noexcept;
+
+    /// The RNG seed of global trial t — the same pure function of
+    /// (seed, t) the scalar engine seeds each trial with.
+    std::uint64_t trial_seed(std::size_t t) const noexcept;
+
+    /// Fill `lanes` with the kLanes per-trial RNGs of batch b (ghost lanes
+    /// included). The vector is cleared and refilled; reuse one per shard.
+    void seed_lanes(std::size_t b, std::vector<Rng>& lanes) const;
+
+private:
+    std::size_t trials_;
+    std::uint64_t seed_;
+    std::size_t batches_per_shard_;
+    std::size_t batch_count_;
+    std::size_t shard_count_;
+};
+
+}  // namespace mcauth::exec

@@ -1,0 +1,98 @@
+// CSR (compressed sparse row) packing of a Digraph, plus the bit-sliced
+// reachability kernel built on it.
+//
+// Digraph stores one heap vector per vertex — fine for construction and the
+// analytical engines, but the Monte-Carlo hot path wants the whole edge set
+// in two flat arrays so a propagation sweep touches contiguous memory. A
+// CsrView snapshots a Digraph into CSR form (both directions) and caches a
+// topological order, which is what makes ONE propagation pass sufficient:
+// every predecessor of v is finalized before v is visited, so no fixed-point
+// iteration is needed on a DAG.
+//
+// reachable_within_bitsliced is the word-parallel counterpart of
+// graph/algorithms.hpp's reachable_within: bit l of alive[v] / reach[v]
+// belongs to trial lane l, and 64 independent loss patterns are resolved by
+// the same AND/OR sweep (see exec/bitslice.hpp for the lane <-> trial
+// mapping and DESIGN.md §8 for the contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+/// Immutable CSR snapshot of a DAG. Construction asserts acyclicity (the
+/// cached topological order is what the bit-sliced kernel's one-pass
+/// guarantee rests on).
+class CsrView {
+public:
+    explicit CsrView(const Digraph& g) {
+        const std::size_t n = g.vertex_count();
+        const auto order = topological_order(g);
+        MCAUTH_EXPECTS(order.has_value());  // cyclic graphs have no valid sweep order
+        topo_ = *order;
+
+        succ_offset_.resize(n + 1, 0);
+        pred_offset_.resize(n + 1, 0);
+        succ_.reserve(g.edge_count());
+        pred_.reserve(g.edge_count());
+        for (std::size_t v = 0; v < n; ++v) {
+            const auto succs = g.successors(static_cast<VertexId>(v));
+            succ_.insert(succ_.end(), succs.begin(), succs.end());
+            succ_offset_[v + 1] = static_cast<std::uint32_t>(succ_.size());
+            const auto preds = g.predecessors(static_cast<VertexId>(v));
+            pred_.insert(pred_.end(), preds.begin(), preds.end());
+            pred_offset_[v + 1] = static_cast<std::uint32_t>(pred_.size());
+        }
+    }
+
+    std::size_t vertex_count() const noexcept { return topo_.size(); }
+    std::size_t edge_count() const noexcept { return succ_.size(); }
+
+    std::span<const VertexId> successors(VertexId v) const noexcept {
+        return {succ_.data() + succ_offset_[v], succ_.data() + succ_offset_[v + 1]};
+    }
+    std::span<const VertexId> predecessors(VertexId v) const noexcept {
+        return {pred_.data() + pred_offset_[v], pred_.data() + pred_offset_[v + 1]};
+    }
+
+    /// A topological order of all vertices (not just those reachable from
+    /// any particular root).
+    std::span<const VertexId> topo_order() const noexcept { return topo_; }
+
+private:
+    std::vector<std::uint32_t> succ_offset_;
+    std::vector<std::uint32_t> pred_offset_;
+    std::vector<VertexId> succ_;
+    std::vector<VertexId> pred_;
+    std::vector<VertexId> topo_;
+};
+
+/// 64-lane reachable_within: bit l of alive[v] says whether vertex v is
+/// alive in trial lane l, and on return bit l of reach[v] says whether v is
+/// reachable from `root` through alive vertices in that lane. Semantics per
+/// lane match reachable_within exactly: the root is traversed regardless of
+/// its alive bit, every other vertex needs its own alive bit AND a reachable
+/// predecessor. `alive` and `reach` must hold vertex_count() words; `reach`
+/// is fully overwritten. One pass in topological order suffices because
+/// every predecessor's word is final before its successors are combined.
+inline void reachable_within_bitsliced(const CsrView& csr, VertexId root,
+                                       const std::uint64_t* alive, std::uint64_t* reach) {
+    for (VertexId v : csr.topo_order()) {
+        if (v == root) {
+            reach[v] = ~0ULL;
+            continue;
+        }
+        std::uint64_t from_preds = 0;
+        for (VertexId u : csr.predecessors(v)) from_preds |= reach[u];
+        reach[v] = from_preds & alive[v];
+    }
+}
+
+}  // namespace mcauth

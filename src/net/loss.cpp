@@ -1,5 +1,7 @@
 #include "net/loss.hpp"
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
@@ -7,6 +9,274 @@
 #include "util/check.hpp"
 
 namespace mcauth {
+
+namespace {
+
+constexpr std::size_t kLanes = BatchedLossModel::kLanes;
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3 recursive
+/// block-swap; 6 stages of masked swaps, ~400 word ops). This variant maps
+/// row r bit c to row 63-c bit 63-r, i.e. transpose across the
+/// anti-diagonal; callers compensate by mirroring their row/bit indexing.
+void transpose64_antidiag(std::uint64_t a[64]) {
+    std::uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+            const std::uint64_t t = (a[k] ^ (a[k | j] >> j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= (t << j);
+        }
+    }
+}
+
+// ------------------------------------------------------- batched samplers
+//
+// Each sampler must consume, per lane, exactly the variates the scalar
+// lose_next consumes from the same Rng (test_net's lane-vs-scalar
+// equivalence suite pins this). Obs drop counters accumulate popcounts, so
+// counter totals also match the scalar engine's per-drop increments.
+
+/// Correctness-by-construction fallback: 64 independent clones. Any
+/// LossModel subclass — including ones defined outside this library — gets
+/// this for free; it is also the reference the specialized samplers are
+/// tested against.
+class CloneFanoutBatchedLoss final : public BatchedLossModel {
+public:
+    explicit CloneFanoutBatchedLoss(const LossModel& proto) {
+        for (auto& lane : lanes_) lane = proto.clone();
+        reset();
+    }
+
+    void reset() override {
+        for (auto& lane : lanes_) lane->reset();
+    }
+
+    std::uint64_t lose_next64(Rng* lane_rngs) override {
+        std::uint64_t lost = 0;
+        for (std::size_t l = 0; l < kLanes; ++l)
+            lost |= static_cast<std::uint64_t>(lanes_[l]->lose_next(lane_rngs[l])) << l;
+        return lost;
+    }
+
+private:
+    std::array<std::unique_ptr<LossModel>, kLanes> lanes_;
+};
+
+/// Stateless i.i.d. lanes; the inner loop inlines Rng::bernoulli's exact
+/// arithmetic (top-53-bit uniform < p) because this is the innermost loop
+/// of the bit-sliced engine's headline workload. The p <= 0 / p >= 1
+/// short-circuits consume no variate, same as Rng::bernoulli.
+class BatchedBernoulliLoss final : public BatchedLossModel {
+public:
+    explicit BatchedBernoulliLoss(double p) : p_(p) {}
+
+    void reset() override {}
+
+    std::uint64_t lose_next64(Rng* lane_rngs) override {
+        if (p_ <= 0.0) return 0;
+        std::uint64_t lost = 0;
+        if (p_ >= 1.0) {
+            lost = ~0ULL;
+        } else {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                const double u =
+                    static_cast<double>(lane_rngs[l].next_u64() >> 11) * 0x1.0p-53;
+                lost |= static_cast<std::uint64_t>(u < p_) << l;
+            }
+        }
+        MCAUTH_OBS_COUNT_N("net.loss.bernoulli.dropped", std::popcount(lost));
+        return lost;
+    }
+
+    /// Lane-major bulk path: each lane's generator is copied into a local
+    /// (register-resident — its address never escapes, so the compiler can
+    /// keep the xoshiro state out of memory) and drawn `count` times before
+    /// moving to the next lane. Per-lane draw order is packet-ascending,
+    /// identical to the packet-major loop above, so results are
+    /// bit-identical — only the lane/packet loop nest is interchanged.
+    ///
+    /// The compare uses an exact integer threshold instead of a double
+    /// compare: with m = x >> 11 (so u = m * 2^-53 exactly — m < 2^53 and
+    /// power-of-two scaling is lossless) and T = ceil(p * 2^53) (also exact:
+    /// p * 2^53 is a lossless scaling of p's significand),
+    ///   u < p  <=>  m < p * 2^53  <=>  m < T
+    /// both when p * 2^53 is an integer (then T equals it) and when it is
+    /// not (then m < p * 2^53 <=> m <= floor <=> m < ceil).
+    void sample_block(Rng* lane_rngs, std::uint64_t* out, std::size_t count) override {
+        if (p_ <= 0.0) {
+            for (std::size_t k = 0; k < count; ++k) out[k] = 0;
+            return;
+        }
+        if (p_ >= 1.0) {
+            for (std::size_t k = 0; k < count; ++k) out[k] = ~0ULL;
+            MCAUTH_OBS_COUNT_N("net.loss.bernoulli.dropped", kLanes * count);
+            return;
+        }
+        const std::uint64_t threshold =
+            static_cast<std::uint64_t>(std::ceil(p_ * 0x1.0p53));
+        // Packets are processed in chunks of 64 so each lane's decisions
+        // accumulate into ONE register word (no per-draw memory write at
+        // all); a 64x64 bit transpose then flips the chunk from lane-major
+        // to packet-major. Lane l is written to row 63-l with packet k at
+        // bit 63-k, so the anti-diagonal transpose lands packet k's word at
+        // row k with lane l at bit l — `out` convention exactly.
+        std::size_t done = 0;
+        while (done < count) {
+            const std::size_t chunk = count - done < 64 ? count - done : 64;
+            std::uint64_t words[kLanes];
+            Rng::bernoulli_bits64(lane_rngs, threshold, chunk, words);
+            // Mirror for the anti-diagonal transpose: lane l to row 63-l,
+            // packet k to bit 63-k (the kernel packs MSB-first, so a ragged
+            // chunk just needs a slide; the vacated low bits are zero-filled
+            // ghosts). The transpose then lands packet k's word at row k
+            // with lane l at bit l — `out` convention exactly.
+            std::uint64_t lane_bits[kLanes];
+            for (std::size_t l = 0; l < kLanes; ++l)
+                lane_bits[63 - l] = words[l] << (64 - chunk);
+            transpose64_antidiag(lane_bits);
+            for (std::size_t k = 0; k < chunk; ++k) out[done + k] = lane_bits[k];
+            done += chunk;
+        }
+#if MCAUTH_OBS_ENABLED
+        // The popcount reduction itself hides behind the runtime switch —
+        // it is per-batch work that only exists to feed the counter.
+        if (obs::enabled()) {
+            std::size_t dropped = 0;
+            for (std::size_t k = 0; k < count; ++k) dropped += std::popcount(out[k]);
+            MCAUTH_OBS_COUNT_N("net.loss.bernoulli.dropped", dropped);
+        }
+#endif
+    }
+
+private:
+    double p_;
+};
+
+/// Per-lane Good/Bad state packed into one word; transitions and loss
+/// decisions replay GilbertElliottLoss::lose_next per lane (including
+/// Rng::bernoulli's no-draw edge cases for probabilities 0 and 1, which are
+/// the common loss_good/loss_bad values).
+class BatchedGilbertElliottLoss final : public BatchedLossModel {
+public:
+    BatchedGilbertElliottLoss(double p_gb, double p_bg, double loss_good, double loss_bad)
+        : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {}
+
+    void reset() override { in_bad_ = 0; }
+
+    std::uint64_t lose_next64(Rng* lane_rngs) override {
+        std::uint64_t lost = 0;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            Rng& rng = lane_rngs[l];
+            const std::uint64_t bit = 1ULL << l;
+            if (in_bad_ & bit) {
+                if (rng.bernoulli(p_bg_)) in_bad_ &= ~bit;
+            } else {
+                if (rng.bernoulli(p_gb_)) in_bad_ |= bit;
+            }
+            lost |= static_cast<std::uint64_t>(
+                        rng.bernoulli((in_bad_ & bit) ? loss_bad_ : loss_good_))
+                    << l;
+        }
+        MCAUTH_OBS_COUNT_N("net.loss.gilbert_elliott.dropped", std::popcount(lost));
+        return lost;
+    }
+
+private:
+    double p_gb_;
+    double p_bg_;
+    double loss_good_;
+    double loss_bad_;
+    std::uint64_t in_bad_ = 0;
+};
+
+/// Per-lane chain state in a flat array; the optional stationary pre-draw
+/// and the inverse-CDF row walk replay MarkovLoss::lose_next per lane.
+class BatchedMarkovLoss final : public BatchedLossModel {
+public:
+    BatchedMarkovLoss(std::vector<std::vector<double>> transition,
+                      std::vector<double> loss_prob, bool stationary_start,
+                      std::vector<double> stationary)
+        : transition_(std::move(transition)),
+          loss_prob_(std::move(loss_prob)),
+          stationary_start_(stationary_start),
+          stationary_(std::move(stationary)) {
+        reset();
+    }
+
+    void reset() override {
+        state_.fill(0);
+        needs_stationary_ = stationary_start_ ? ~0ULL : 0;
+    }
+
+    std::uint64_t lose_next64(Rng* lane_rngs) override {
+        std::uint64_t lost = 0;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            Rng& rng = lane_rngs[l];
+            std::size_t state = state_[l];
+            if (needs_stationary_ & (1ULL << l)) {
+                needs_stationary_ &= ~(1ULL << l);
+                const double u = rng.uniform();
+                double acc = 0.0;
+                for (std::size_t s = 0; s < stationary_.size(); ++s) {
+                    acc += stationary_[s];
+                    if (u < acc) {
+                        state = s;
+                        break;
+                    }
+                }
+            }
+            const double u = rng.uniform();
+            double acc = 0.0;
+            std::size_t next = loss_prob_.size() - 1;
+            for (std::size_t s = 0; s < transition_[state].size(); ++s) {
+                acc += transition_[state][s];
+                if (u < acc) {
+                    next = s;
+                    break;
+                }
+            }
+            state_[l] = static_cast<std::uint8_t>(next);
+            lost |= static_cast<std::uint64_t>(rng.bernoulli(loss_prob_[next])) << l;
+        }
+        MCAUTH_OBS_COUNT_N("net.loss.markov.dropped", std::popcount(lost));
+        return lost;
+    }
+
+private:
+    std::vector<std::vector<double>> transition_;
+    std::vector<double> loss_prob_;
+    bool stationary_start_;
+    std::vector<double> stationary_;
+    std::array<std::uint8_t, kLanes> state_{};
+    std::uint64_t needs_stationary_ = 0;
+};
+
+/// All lanes replay the same recorded pattern in lock-step (no variates
+/// consumed), so one shared position broadcasts to a full word.
+class BatchedTraceLoss final : public BatchedLossModel {
+public:
+    explicit BatchedTraceLoss(std::vector<bool> pattern) : pattern_(std::move(pattern)) {}
+
+    void reset() override { position_ = 0; }
+
+    std::uint64_t lose_next64(Rng* lane_rngs) override {
+        (void)lane_rngs;
+        const std::uint64_t lost = pattern_[position_] ? ~0ULL : 0;
+        position_ = (position_ + 1) % pattern_.size();
+        MCAUTH_OBS_COUNT_N("net.loss.trace.dropped", std::popcount(lost));
+        return lost;
+    }
+
+private:
+    std::vector<bool> pattern_;
+    std::size_t position_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchedLossModel> LossModel::make_batched() const {
+    return std::make_unique<CloneFanoutBatchedLoss>(*this);
+}
 
 // ------------------------------------------------------------ BernoulliLoss
 
@@ -28,6 +298,10 @@ std::string BernoulliLoss::name() const {
 
 std::unique_ptr<LossModel> BernoulliLoss::clone() const {
     return std::make_unique<BernoulliLoss>(*this);
+}
+
+std::unique_ptr<BatchedLossModel> BernoulliLoss::make_batched() const {
+    return std::make_unique<BatchedBernoulliLoss>(p_);
 }
 
 // ------------------------------------------------------- GilbertElliottLoss
@@ -82,6 +356,11 @@ std::string GilbertElliottLoss::name() const {
 
 std::unique_ptr<LossModel> GilbertElliottLoss::clone() const {
     return std::make_unique<GilbertElliottLoss>(*this);
+}
+
+std::unique_ptr<BatchedLossModel> GilbertElliottLoss::make_batched() const {
+    return std::make_unique<BatchedGilbertElliottLoss>(p_gb_, p_bg_, loss_good_,
+                                                       loss_bad_);
 }
 
 // ---------------------------------------------------------------- MarkovLoss
@@ -173,6 +452,14 @@ std::unique_ptr<LossModel> MarkovLoss::clone() const {
     return std::make_unique<MarkovLoss>(*this);
 }
 
+std::unique_ptr<BatchedLossModel> MarkovLoss::make_batched() const {
+    // The flat sampler packs lane states into bytes; a chain wider than
+    // that falls back to the generic adapter.
+    if (state_count() > 255) return LossModel::make_batched();
+    return std::make_unique<BatchedMarkovLoss>(transition_, loss_prob_,
+                                               stationary_start_, stationary_);
+}
+
 // ----------------------------------------------------------------- TraceLoss
 
 TraceLoss::TraceLoss(std::vector<bool> pattern) : pattern_(std::move(pattern)) {
@@ -202,6 +489,10 @@ std::string TraceLoss::name() const {
 
 std::unique_ptr<LossModel> TraceLoss::clone() const {
     return std::make_unique<TraceLoss>(*this);
+}
+
+std::unique_ptr<BatchedLossModel> TraceLoss::make_batched() const {
+    return std::make_unique<BatchedTraceLoss>(pattern_);
 }
 
 std::vector<bool> sample_loss_pattern(LossModel& model, Rng& rng, std::size_t n) {

@@ -25,6 +25,43 @@
 
 namespace mcauth {
 
+/// 64 independent replicas of a loss model advanced in lock-step, one per
+/// bit lane — the sampling adapter for the bit-sliced Monte-Carlo engine
+/// (exec/bitslice.hpp). The contract that makes scalar and bit-sliced
+/// engines bit-identical: lane l of lose_next64 consumes EXACTLY the
+/// variates LossModel::lose_next would consume from lane_rngs[l] and makes
+/// the same decision. The default adapter guarantees this by literally
+/// running 64 clones; the specialized Bernoulli / Gilbert-Elliott / Markov
+/// overrides keep per-lane state in flat arrays instead (no virtual call
+/// per lane, no heap clone per lane) and are covered by
+/// lane-vs-scalar equivalence tests.
+class BatchedLossModel {
+public:
+    static constexpr std::size_t kLanes = 64;
+
+    virtual ~BatchedLossModel() = default;
+
+    /// Return every lane to the initial state (LossModel::reset per lane).
+    virtual void reset() = 0;
+
+    /// Decide the fate of the next packet in all 64 lanes: bit l of the
+    /// result is 1 iff lane l lost the packet, drawn from lane_rngs[l].
+    /// `lane_rngs` must point at kLanes generators.
+    virtual std::uint64_t lose_next64(Rng* lane_rngs) = 0;
+
+    /// Decide `count` packets at once: out[k] is what lose_next64 would
+    /// have returned for the k-th call (out is fully overwritten). The
+    /// default simply loops; the Bernoulli override walks lane-major —
+    /// each lane's generator stays in registers across the whole packet
+    /// sequence instead of round-tripping through memory per packet —
+    /// which is where the bit-sliced engine's single-thread speedup
+    /// comes from. Per-lane variate order is unchanged (packet-ascending),
+    /// so the scalar-equivalence contract is unaffected.
+    virtual void sample_block(Rng* lane_rngs, std::uint64_t* out, std::size_t count) {
+        for (std::size_t k = 0; k < count; ++k) out[k] = lose_next64(lane_rngs);
+    }
+};
+
 class LossModel {
 public:
     virtual ~LossModel() = default;
@@ -41,6 +78,13 @@ public:
     virtual std::string name() const = 0;
 
     virtual std::unique_ptr<LossModel> clone() const = 0;
+
+    /// A 64-lane batched sampler over independent replicas of this model,
+    /// starting from the initial (reset) state. The base implementation
+    /// fans out over 64 clone()s, so every LossModel — including ones
+    /// defined outside this header — gets a correct batched form for free;
+    /// the in-tree models override it with flat per-lane state.
+    virtual std::unique_ptr<BatchedLossModel> make_batched() const;
 };
 
 /// i.i.d. loss with probability p — the paper's §4.1 model.
@@ -53,6 +97,7 @@ public:
     double stationary_loss_rate() const override { return p_; }
     std::string name() const override;
     std::unique_ptr<LossModel> clone() const override;
+    std::unique_ptr<BatchedLossModel> make_batched() const override;
 
 private:
     double p_;
@@ -76,6 +121,7 @@ public:
     double stationary_loss_rate() const override;
     std::string name() const override;
     std::unique_ptr<LossModel> clone() const override;
+    std::unique_ptr<BatchedLossModel> make_batched() const override;
 
     double mean_burst_length() const { return 1.0 / p_bg_; }
 
@@ -105,6 +151,7 @@ public:
     double stationary_loss_rate() const override;
     std::string name() const override;
     std::unique_ptr<LossModel> clone() const override;
+    std::unique_ptr<BatchedLossModel> make_batched() const override;
 
     std::size_t state_count() const noexcept { return loss_prob_.size(); }
 
@@ -134,6 +181,7 @@ public:
     double stationary_loss_rate() const override;
     std::string name() const override;
     std::unique_ptr<LossModel> clone() const override;
+    std::unique_ptr<BatchedLossModel> make_batched() const override;
 
     std::size_t length() const noexcept { return pattern_.size(); }
 

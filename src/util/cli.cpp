@@ -60,6 +60,34 @@ bool CliArgs::get_bool(std::string_view key, bool fallback) const {
     return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> CliArgs::keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [k, v] : values_) out.push_back(k);
+    return out;
+}
+
+std::vector<std::string> CliArgs::unknown_keys(
+    std::span<const std::string_view> known,
+    std::span<const std::string_view> known_prefixes) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : values_) {
+        bool matched = false;
+        for (std::string_view candidate : known) {
+            if (k == candidate) {
+                matched = true;
+                break;
+            }
+        }
+        for (std::string_view prefix : known_prefixes) {
+            if (matched) break;
+            matched = k.rfind(prefix, 0) == 0;
+        }
+        if (!matched) out.push_back(k);
+    }
+    return out;
+}
+
 std::string CliArgs::summary() const {
     std::string out;
     for (const auto& [k, v] : values_) {

@@ -4,8 +4,10 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mcauth {
 
@@ -19,6 +21,17 @@ public:
     std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
     double get_double(std::string_view key, double fallback) const;
     bool get_bool(std::string_view key, bool fallback) const;
+
+    /// All keys present on the command line, in sorted order.
+    std::vector<std::string> keys() const;
+
+    /// Keys that are neither in `known` nor start with one of
+    /// `known_prefixes` — typo detection for harnesses that own the whole
+    /// flag surface (a mistyped `--thread=8` should fail loudly, not
+    /// silently fall back to a default).
+    std::vector<std::string> unknown_keys(
+        std::span<const std::string_view> known,
+        std::span<const std::string_view> known_prefixes = {}) const;
 
     /// Formatted list of all parsed options (for --help echoes).
     std::string summary() const;

@@ -1,35 +1,24 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <cstddef>
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define MCAUTH_RNG_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define MCAUTH_RNG_HAVE_AVX2_KERNEL 0
+#endif
 
 namespace mcauth {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+    // (next() lives in the header so hot loops can inline it.)
     // Seeding through SplitMix64 is the construction recommended by the
     // xoshiro authors: it guarantees a non-zero state and decorrelates
     // consecutive integer seeds.
     SplitMix64 sm(seed);
     for (auto& word : s_) word = sm.next();
-}
-
-std::uint64_t Xoshiro256ss::next() noexcept {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
 }
 
 void Xoshiro256ss::jump() noexcept {
@@ -116,6 +105,122 @@ std::vector<std::uint8_t> Rng::bytes(std::size_t n) noexcept {
 Rng Rng::fork() noexcept {
     Rng child(gen_.next());
     return child;
+}
+
+namespace {
+
+/// Portable bulk kernel: two scalar generators interleaved so their serial
+/// xoshiro dependency chains overlap (a single chain is latency-bound).
+/// Decisions accumulate MSB-first into one register word per lane — no
+/// per-draw memory traffic.
+void bernoulli_bits64_scalar(Rng* rngs, std::uint64_t threshold, std::size_t count,
+                             std::uint64_t* words) noexcept {
+    for (std::size_t l = 0; l < 64; l += 2) {
+        Rng a = rngs[l];
+        Rng b = rngs[l + 1];
+        std::uint64_t wa = 0;
+        std::uint64_t wb = 0;
+        for (std::size_t k = 0; k < count; ++k) {
+            // Branchless: a data-dependent `if` here would mispredict at
+            // rate min(p, 1-p) per draw and dominate the loop.
+            wa = (wa << 1) | static_cast<std::uint64_t>((a.next_u64() >> 11) < threshold);
+            wb = (wb << 1) | static_cast<std::uint64_t>((b.next_u64() >> 11) < threshold);
+        }
+        words[l] = wa;
+        words[l + 1] = wb;
+        rngs[l] = a;
+        rngs[l + 1] = b;
+    }
+}
+
+}  // namespace
+
+#if MCAUTH_RNG_HAVE_AVX2_KERNEL
+
+/// AVX2 bulk kernel: four generators per 256-bit vector (state transposed
+/// to struct-of-arrays in registers), replaying xoshiro256** step-for-step
+/// in 64-bit vector integer arithmetic:
+///
+///   * `* 5` and `* 9` become shift-and-add (AVX2 has no 64-bit multiply);
+///   * rotl is a pair of shifts + or;
+///   * the threshold compare uses SIGNED vector compare, which is exact
+///     here because both operands are < 2^53 (positive in two's
+///     complement).
+///
+/// Every operation is exact integer arithmetic, so the decisions — and the
+/// post-call generator states — are bit-identical to the scalar kernel.
+__attribute__((target("avx2"))) void Rng::bernoulli_bits64_avx2(
+    Rng* rngs, std::uint64_t threshold, std::size_t count,
+    std::uint64_t* words) noexcept {
+    const __m256i thr = _mm256_set1_epi64x(static_cast<long long>(threshold));
+    for (std::size_t l = 0; l < 64; l += 4) {
+        auto& g0 = rngs[l].gen_.s_;
+        auto& g1 = rngs[l + 1].gen_.s_;
+        auto& g2 = rngs[l + 2].gen_.s_;
+        auto& g3 = rngs[l + 3].gen_.s_;
+        __m256i s0 = _mm256_set_epi64x(static_cast<long long>(g3[0]),
+                                       static_cast<long long>(g2[0]),
+                                       static_cast<long long>(g1[0]),
+                                       static_cast<long long>(g0[0]));
+        __m256i s1 = _mm256_set_epi64x(static_cast<long long>(g3[1]),
+                                       static_cast<long long>(g2[1]),
+                                       static_cast<long long>(g1[1]),
+                                       static_cast<long long>(g0[1]));
+        __m256i s2 = _mm256_set_epi64x(static_cast<long long>(g3[2]),
+                                       static_cast<long long>(g2[2]),
+                                       static_cast<long long>(g1[2]),
+                                       static_cast<long long>(g0[2]));
+        __m256i s3 = _mm256_set_epi64x(static_cast<long long>(g3[3]),
+                                       static_cast<long long>(g2[3]),
+                                       static_cast<long long>(g1[3]),
+                                       static_cast<long long>(g0[3]));
+        __m256i w = _mm256_setzero_si256();
+        for (std::size_t k = 0; k < count; ++k) {
+            // result = rotl(s1 * 5, 7) * 9
+            const __m256i x5 = _mm256_add_epi64(_mm256_slli_epi64(s1, 2), s1);
+            const __m256i rot =
+                _mm256_or_si256(_mm256_slli_epi64(x5, 7), _mm256_srli_epi64(x5, 57));
+            const __m256i res = _mm256_add_epi64(_mm256_slli_epi64(rot, 3), rot);
+            // hit = (res >> 11) < threshold, as an all-ones/all-zeros mask;
+            // >> 63 of the mask is the 0/1 decision bit.
+            const __m256i hit = _mm256_cmpgt_epi64(thr, _mm256_srli_epi64(res, 11));
+            w = _mm256_or_si256(_mm256_slli_epi64(w, 1), _mm256_srli_epi64(hit, 63));
+            // xoshiro state update
+            const __m256i t = _mm256_slli_epi64(s1, 17);
+            s2 = _mm256_xor_si256(s2, s0);
+            s3 = _mm256_xor_si256(s3, s1);
+            s1 = _mm256_xor_si256(s1, s2);
+            s0 = _mm256_xor_si256(s0, s3);
+            s2 = _mm256_xor_si256(s2, t);
+            s3 = _mm256_or_si256(_mm256_slli_epi64(s3, 45), _mm256_srli_epi64(s3, 19));
+        }
+        alignas(32) std::uint64_t back[4][4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(back[0]), s0);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(back[1]), s1);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(back[2]), s2);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(back[3]), s3);
+        for (int word = 0; word < 4; ++word) {
+            g0[static_cast<std::size_t>(word)] = back[word][0];
+            g1[static_cast<std::size_t>(word)] = back[word][1];
+            g2[static_cast<std::size_t>(word)] = back[word][2];
+            g3[static_cast<std::size_t>(word)] = back[word][3];
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + l), w);
+    }
+}
+
+#endif  // MCAUTH_RNG_HAVE_AVX2_KERNEL
+
+void Rng::bernoulli_bits64(Rng* rngs, std::uint64_t threshold, std::size_t count,
+                           std::uint64_t* words) noexcept {
+#if MCAUTH_RNG_HAVE_AVX2_KERNEL
+    static const bool have_avx2 = __builtin_cpu_supports("avx2");
+    if (have_avx2) {
+        bernoulli_bits64_avx2(rngs, threshold, count, words);
+        return;
+    }
+#endif
+    bernoulli_bits64_scalar(rngs, threshold, count, words);
 }
 
 }  // namespace mcauth

@@ -42,7 +42,21 @@ public:
 
     explicit Xoshiro256ss(std::uint64_t seed) noexcept;
 
-    std::uint64_t next() noexcept;
+    /// Defined here (not in rng.cpp) so bulk consumers — the bit-sliced
+    /// engine's lane-major samplers draw thousands of variates from a
+    /// register-resident local copy — inline the step instead of paying a
+    /// call and a state round-trip through memory per draw.
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /// UniformRandomBitGenerator interface so the class composes with <random>.
     std::uint64_t operator()() noexcept { return next(); }
@@ -53,6 +67,12 @@ public:
     void jump() noexcept;
 
 private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    friend class Rng;  // bulk samplers (Rng::bernoulli_bits64) step raw state
+
     std::array<std::uint64_t, 4> s_{};
 };
 
@@ -90,7 +110,27 @@ public:
     /// Derive an independent child generator (distinct stream).
     Rng fork() noexcept;
 
+    /// Bulk Bernoulli over 64 independent generators: for each lane l and
+    /// draw k in [0, count), count <= 64, decide
+    ///     (rngs[l].next_u64() >> 11) < threshold
+    /// consuming exactly one variate per decision per lane (identical to
+    /// what a `uniform() < p` with threshold == ceil(p * 2^53) would
+    /// consume and decide, for p in (0,1)). words[l] receives lane l's
+    /// decisions packed MSB-first: draw k at bit (count-1-k).
+    ///
+    /// Dispatches at runtime to an AVX2 kernel (4 generators per vector)
+    /// when the CPU has it; the portable fallback interleaves two scalar
+    /// generators. Pure integer arithmetic either way, so results are
+    /// bit-identical across paths and machines.
+    static void bernoulli_bits64(Rng* rngs, std::uint64_t threshold, std::size_t count,
+                                 std::uint64_t* words) noexcept;
+
 private:
+    /// AVX2 specialization of bernoulli_bits64 (defined, and only
+    /// referenced, on x86-64 GCC/Clang builds).
+    static void bernoulli_bits64_avx2(Rng* rngs, std::uint64_t threshold,
+                                      std::size_t count, std::uint64_t* words) noexcept;
+
     Xoshiro256ss gen_;
     double cached_normal_ = 0.0;
     bool has_cached_normal_ = false;

@@ -1,0 +1,304 @@
+// Bit-sliced Monte-Carlo engine (exec/bitslice.hpp, graph/csr.hpp) and the
+// cross-engine determinism contract of DESIGN.md §8: for the same (seed,
+// trials), the bit-sliced and scalar engines — at any thread count — must
+// produce bit-identical counts, because lane l of batch b runs trial
+// b*64 + l on exactly the RNG stream the scalar engine gives that trial.
+//
+// The suite carries the `perf-smoke` ctest label: it is the cheap
+// every-build proof that the fast path computes the same thing as the
+// reference path (256 trials per engine per model), and tsan-smoke runs it
+// under TSan so the bit-sliced shard fan-out is race-checked too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/authprob.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "exec/bitslice.hpp"
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+
+namespace mcauth {
+namespace {
+
+using exec::BitslicedTrials;
+using exec::ThreadPool;
+
+class GlobalPoolGuard {
+public:
+    GlobalPoolGuard() : saved_(ThreadPool::global_thread_count()) {}
+    ~GlobalPoolGuard() { ThreadPool::set_global_thread_count(saved_); }
+
+private:
+    std::size_t saved_;
+};
+
+// --------------------------------------------------------- trial geometry
+
+TEST(BitslicedTrials, SingleTrialStillOccupiesOneBatch) {
+    const BitslicedTrials bt(1, 99);
+    EXPECT_EQ(bt.trials(), 1u);
+    EXPECT_EQ(bt.batch_count(), 1u);
+    EXPECT_EQ(bt.shard_count(), 1u);
+    EXPECT_EQ(bt.active_mask(0), 1ULL);
+    EXPECT_EQ(bt.batch_trials(0), 1u);
+}
+
+TEST(BitslicedTrials, ExactMultipleHasNoGhostLanes) {
+    const BitslicedTrials bt(256, 7);
+    EXPECT_EQ(bt.batch_count(), 4u);
+    for (std::size_t b = 0; b < 4; ++b) {
+        EXPECT_EQ(bt.active_mask(b), ~0ULL) << b;
+        EXPECT_EQ(bt.batch_trials(b), 64u) << b;
+        EXPECT_EQ(bt.batch_first_trial(b), 64 * b) << b;
+    }
+}
+
+TEST(BitslicedTrials, RaggedFinalBatchMasksGhostLanes) {
+    const BitslicedTrials bt(130, 7);
+    EXPECT_EQ(bt.batch_count(), 3u);
+    EXPECT_EQ(bt.batch_trials(2), 2u);
+    EXPECT_EQ(bt.active_mask(2), 0x3ULL);
+}
+
+TEST(BitslicedTrials, ShardsPartitionBatches) {
+    // 1000 batches at 64 trials each, 3 batches per shard.
+    const BitslicedTrials bt(64000, 7, 3);
+    EXPECT_EQ(bt.batch_count(), 1000u);
+    EXPECT_EQ(bt.shard_count(), 334u);  // 333 full + 1 remainder
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < bt.shard_count(); ++s) {
+        EXPECT_EQ(bt.shard_batch_begin(s), covered) << s;
+        covered += bt.shard_batches(s);
+    }
+    EXPECT_EQ(covered, bt.batch_count());
+}
+
+TEST(BitslicedTrials, TrialSeedMatchesScalarEngineStreams) {
+    // The whole §8 contract hangs on this equality: lane streams ARE the
+    // scalar per-trial streams.
+    const std::uint64_t seed = 0xfeedf00dULL;
+    const BitslicedTrials bt(200, seed);
+    for (std::size_t t : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                          std::size_t{199}}) {
+        EXPECT_EQ(bt.trial_seed(t), exec::derive_stream_seed(seed, t)) << t;
+    }
+}
+
+TEST(BitslicedTrials, SeedLanesCoversGhostLanesHarmlessly) {
+    // Ghost lanes of the ragged final batch get their own (unused) streams,
+    // so seed_lanes always yields exactly 64 generators.
+    const BitslicedTrials bt(70, 5);
+    std::vector<Rng> lanes;
+    bt.seed_lanes(1, lanes);
+    ASSERT_EQ(lanes.size(), 64u);
+    Rng expect(bt.trial_seed(70));  // first ghost lane of batch 1
+    EXPECT_EQ(lanes[6].next_u64(), expect.next_u64());
+}
+
+// ------------------------------------------------------------------- CSR
+
+TEST(CsrView, MirrorsDigraphAdjacency) {
+    const auto dg = make_emss(40, 3, 2);
+    const CsrView csr(dg.graph());
+    EXPECT_EQ(csr.vertex_count(), dg.graph().vertex_count());
+    EXPECT_EQ(csr.edge_count(), dg.graph().edge_count());
+    for (VertexId v = 0; v < csr.vertex_count(); ++v) {
+        const auto succ = csr.successors(v);
+        const auto expect = dg.graph().successors(v);
+        ASSERT_EQ(succ.size(), expect.size()) << v;
+        for (std::size_t i = 0; i < succ.size(); ++i) EXPECT_EQ(succ[i], expect[i]);
+        const auto pred = csr.predecessors(v);
+        const auto expect_pred = dg.graph().predecessors(v);
+        ASSERT_EQ(pred.size(), expect_pred.size()) << v;
+        for (std::size_t i = 0; i < pred.size(); ++i) EXPECT_EQ(pred[i], expect_pred[i]);
+    }
+}
+
+TEST(CsrView, TopoOrderIsCached) {
+    const auto dg = make_augmented_chain(30, 2, 2);
+    const CsrView csr(dg.graph());
+    const auto order = topological_order(dg.graph());
+    ASSERT_TRUE(order.has_value());
+    ASSERT_EQ(csr.topo_order().size(), order->size());
+    for (std::size_t i = 0; i < order->size(); ++i)
+        EXPECT_EQ(csr.topo_order()[i], (*order)[i]);
+}
+
+TEST(CsrView, BitslicedReachabilityMatchesScalarPerLane) {
+    const auto dg = make_emss(48, 3, 4);
+    const CsrView csr(dg.graph());
+    const std::size_t n = dg.packet_count();
+    Rng rng(11);
+
+    // 64 random alive patterns, one per lane; the word sweep must agree
+    // with 64 scalar verifiable_given evaluations.
+    std::vector<std::vector<bool>> received(64, std::vector<bool>(n));
+    std::vector<std::uint64_t> alive(n, 0);
+    for (std::size_t l = 0; l < 64; ++l) {
+        for (std::size_t v = 0; v < n; ++v) {
+            received[l][v] = rng.bernoulli(0.6);
+            if (received[l][v]) alive[v] |= 1ULL << l;
+        }
+        received[l][DependenceGraph::root()] = true;  // verifiable_given forces root
+    }
+    alive[DependenceGraph::root()] = ~0ULL;
+
+    std::vector<std::uint64_t> reach(n, 0);
+    reachable_within_bitsliced(csr, DependenceGraph::root(), alive.data(), reach.data());
+    for (std::size_t l = 0; l < 64; ++l) {
+        const auto verifiable = dg.verifiable_given(received[l]);
+        for (std::size_t v = 1; v < n; ++v) {
+            const bool bit = (reach[v] >> l) & 1ULL;
+            EXPECT_EQ(bit, verifiable[v] && received[l][v]) << "lane " << l << " v " << v;
+        }
+    }
+}
+
+// ----------------------------------------------- cross-engine bit-identity
+//
+// 256 trials: 4 full batches — enough to cross shard-internal batch
+// boundaries while staying cheap enough for every-build + TSan runs.
+
+constexpr std::size_t kSmokeTrials = 256;
+
+void expect_same_profile(const std::vector<double>& a, const std::vector<double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t v = 0; v < a.size(); ++v) {
+        if (std::isnan(a[v])) {
+            EXPECT_TRUE(std::isnan(b[v])) << v;
+        } else {
+            EXPECT_EQ(a[v], b[v]) << v;  // bit-identical, not just close
+        }
+    }
+}
+
+void expect_engines_agree(const DependenceGraph& dg, const LossModel& loss,
+                          std::uint64_t seed) {
+    GlobalPoolGuard guard;
+    const auto scalar = monte_carlo_auth_prob(dg, loss, seed, kSmokeTrials,
+                                              McEngine::kScalar);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool::set_global_thread_count(threads);
+        const auto bitsliced = monte_carlo_auth_prob(dg, loss, seed, kSmokeTrials,
+                                                     McEngine::kBitsliced);
+        expect_same_profile(scalar.q, bitsliced.q);
+        expect_same_profile(scalar.halfwidth, bitsliced.halfwidth);
+    }
+}
+
+TEST(EngineIdentity, AuthProbBernoulli) {
+    expect_engines_agree(make_emss(64, 2, 1), BernoulliLoss(0.2), 101);
+}
+
+TEST(EngineIdentity, AuthProbBernoulliDegenerateRates) {
+    const auto dg = make_emss(32, 2, 1);
+    expect_engines_agree(dg, BernoulliLoss(0.0), 102);
+    expect_engines_agree(dg, BernoulliLoss(1.0), 103);
+}
+
+TEST(EngineIdentity, AuthProbGilbertElliott) {
+    expect_engines_agree(make_augmented_chain(64, 2, 2),
+                         GilbertElliottLoss::from_rate_and_burst(0.25, 4.0), 104);
+}
+
+TEST(EngineIdentity, AuthProbMarkov) {
+    const MarkovLoss markov({{0.9, 0.08, 0.02}, {0.2, 0.7, 0.1}, {0.3, 0.1, 0.6}},
+                            {0.0, 0.3, 1.0}, /*stationary_start=*/true);
+    expect_engines_agree(make_emss(64, 3, 1), markov, 105);
+}
+
+TEST(EngineIdentity, AuthProbTrace) {
+    // Deterministic model: also pins the exact expected counts.
+    const TraceLoss trace({false, false, true, false, true, false, false});
+    expect_engines_agree(make_rohatgi(48), trace, 106);
+}
+
+TEST(EngineIdentity, AuthProbRaggedTrialCounts) {
+    const auto dg = make_emss(48, 2, 1);
+    const BernoulliLoss loss(0.3);
+    for (std::size_t trials : {std::size_t{1}, std::size_t{63}, std::size_t{65},
+                               std::size_t{129}}) {
+        const auto scalar = monte_carlo_auth_prob(dg, loss, 107, trials,
+                                                  McEngine::kScalar);
+        const auto bitsliced = monte_carlo_auth_prob(dg, loss, 107, trials,
+                                                     McEngine::kBitsliced);
+        expect_same_profile(scalar.q, bitsliced.q);
+        EXPECT_EQ(scalar.trials, bitsliced.trials);
+    }
+}
+
+TEST(EngineIdentity, Tesla) {
+    GlobalPoolGuard guard;
+    TeslaParams params;
+    params.n = 100;
+    params.t_disclose = 1.0;
+    params.mu = 0.7;
+    params.sigma = 0.3;
+    params.p = 0.25;
+    const BernoulliLoss loss(params.p);
+    const GaussianDelay delay(params.mu, params.sigma);
+    const auto scalar = monte_carlo_tesla(params, loss, delay, 108, kSmokeTrials,
+                                          McEngine::kScalar);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool::set_global_thread_count(threads);
+        const auto bitsliced = monte_carlo_tesla(params, loss, delay, 108, kSmokeTrials,
+                                                 McEngine::kBitsliced);
+        expect_same_profile(scalar.q, bitsliced.q);
+    }
+}
+
+TEST(EngineIdentity, TeslaBurstyCarriers) {
+    const auto ge = GilbertElliottLoss::from_rate_and_burst(0.2, 6.0);
+    TeslaParams params;
+    params.n = 80;
+    params.t_disclose = 0.8;
+    params.mu = 0.5;
+    params.sigma = 0.2;
+    params.p = 0.2;
+    const GaussianDelay delay(params.mu, params.sigma);
+    const auto scalar = monte_carlo_tesla(params, ge, delay, 109, kSmokeTrials,
+                                          McEngine::kScalar);
+    const auto bitsliced = monte_carlo_tesla(params, ge, delay, 109, kSmokeTrials,
+                                             McEngine::kBitsliced);
+    expect_same_profile(scalar.q, bitsliced.q);
+}
+
+// ------------------------------------------------------------- halfwidths
+
+TEST(Halfwidth, PerVertexWilsonIntervalsCoverTruth) {
+    // Engines already agree bit-for-bit above; here check the NEW halfwidth
+    // field is sane: present per vertex, NaN exactly where q is NaN, and
+    // q_min_halfwidth echoes the argmin vertex.
+    const auto dg = make_emss(64, 2, 1);
+    const BernoulliLoss loss(0.2);
+    const auto mc = monte_carlo_auth_prob(dg, loss, 110, 4000);
+    ASSERT_EQ(mc.halfwidth.size(), mc.q.size());
+    EXPECT_EQ(mc.halfwidth[DependenceGraph::root()], 0.0);
+    for (std::size_t v = 1; v < mc.q.size(); ++v) {
+        if (std::isnan(mc.q[v])) {
+            EXPECT_TRUE(std::isnan(mc.halfwidth[v])) << v;
+            continue;
+        }
+        EXPECT_GT(mc.halfwidth[v], 0.0) << v;
+        EXPECT_LT(mc.halfwidth[v], 0.5) << v;
+    }
+    // q_min_halfwidth is the halfwidth at the argmin vertex.
+    std::size_t argmin = 0;
+    for (std::size_t v = 1; v < mc.q.size(); ++v) {
+        if (std::isnan(mc.q[v])) continue;
+        if (argmin == 0 || mc.q[v] < mc.q[argmin]) argmin = v;
+    }
+    ASSERT_NE(argmin, 0u);
+    EXPECT_EQ(mc.q_min_halfwidth, mc.halfwidth[argmin]);
+}
+
+}  // namespace
+}  // namespace mcauth

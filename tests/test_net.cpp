@@ -138,6 +138,204 @@ TEST(LossModels, ClonesAreIndependent) {
     for (int i = 0; i < 100; ++i) EXPECT_EQ(ge.lose_next(a), clone->lose_next(b));
 }
 
+// ------------------------------------------------- clone/reset round-trips
+
+TEST(LossModels, GilbertElliottCloneMidBurstContinuesTheBurst) {
+    // Force the chain into Bad (p_gb = 1, p_bg ~ 0): a clone taken
+    // mid-burst must keep losing, and resetting the clone must return IT to
+    // Good without touching the original.
+    GilbertElliottLoss ge(1.0, 1e-12, 0.0, 1.0);
+    Rng rng(30);
+    ASSERT_TRUE(ge.lose_next(rng));  // now mid-burst
+    auto clone = ge.clone();
+    Rng a(31);
+    for (int i = 0; i < 20; ++i) EXPECT_TRUE(clone->lose_next(a)) << i;
+    clone->reset();
+    // After reset the clone re-enters Bad only via a fresh Good->Bad
+    // transition; with a tame chain it stays Good.
+    GilbertElliottLoss tame(1e-12, 0.5, 0.0, 1.0);
+    auto tame_clone = tame.clone();
+    tame_clone->reset();
+    Rng b(32);
+    for (int i = 0; i < 20; ++i) EXPECT_FALSE(tame_clone->lose_next(b)) << i;
+    // The original is still mid-burst: cloning and resetting never mutated it.
+    Rng c(33);
+    EXPECT_TRUE(ge.lose_next(c));
+}
+
+TEST(LossModels, MarkovCloneAfterResetReplaysStationaryRate) {
+    // stationary_start: reset() re-arms the stationary pre-draw, and a
+    // clone must round-trip that flag — its empirical rate matches the
+    // stationary rate from the first decision on.
+    MarkovLoss markov({{0.95, 0.05}, {0.4, 0.6}}, {0.0, 1.0}, /*stationary_start=*/true);
+    Rng rng(34);
+    for (int i = 0; i < 17; ++i) markov.lose_next(rng);  // wander off the start state
+    auto clone = markov.clone();
+    clone->reset();
+    Rng a(35);
+    int lost = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        lost += clone->lose_next(a) ? 1 : 0;
+        clone->reset();  // fresh stationary draw every decision
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / n, markov.stationary_loss_rate(), 0.01);
+    // Original is unmutated by the clone's traffic: it continues its own
+    // walk exactly like an untouched twin driven identically.
+    MarkovLoss twin({{0.95, 0.05}, {0.4, 0.6}}, {0.0, 1.0}, true);
+    Rng b2(34);
+    for (int i = 0; i < 17; ++i) twin.lose_next(b2);
+    Rng c1(36), c2(36);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(markov.lose_next(c1), twin.lose_next(c2)) << i;
+}
+
+TEST(LossModels, TraceCloneThenResetRewindsOnlyTheClone) {
+    TraceLoss trace({true, false, false, true});
+    Rng rng(37);
+    trace.lose_next(rng);
+    trace.lose_next(rng);  // position 2
+    auto clone = trace.clone();
+    clone->reset();
+    EXPECT_TRUE(clone->lose_next(rng));   // rewound to position 0
+    EXPECT_FALSE(trace.lose_next(rng));   // original still at position 2
+    EXPECT_TRUE(trace.lose_next(rng));    // ... and 3
+}
+
+// ----------------------------------------------------- batched (64-lane)
+
+/// Out-of-tree model exercising the generic clone-fanout batched adapter:
+/// stateful (position-dependent drops) and NOT overriding make_batched.
+class EveryThirdLoss final : public LossModel {
+public:
+    bool lose_next(Rng& rng) override {
+        const bool lost = next_ % 3 == 2 || rng.bernoulli(0.1);
+        ++next_;
+        return lost;
+    }
+    void reset() override { next_ = 0; }
+    double stationary_loss_rate() const override { return 1.0 / 3.0 + 0.1 * 2.0 / 3.0; }
+    std::string name() const override { return "every-third"; }
+    std::unique_ptr<LossModel> clone() const override {
+        auto copy = std::make_unique<EveryThirdLoss>();
+        copy->next_ = next_;
+        return copy;
+    }
+
+private:
+    std::uint32_t next_ = 0;
+};
+
+/// 64 scalar replicas stepped one packet at a time — the reference the
+/// batched word must match lane-for-lane, variate-for-variate.
+void expect_batched_matches_scalar(const LossModel& proto, std::uint64_t seed,
+                                   std::size_t packets) {
+    auto batched = proto.make_batched();
+    std::vector<std::unique_ptr<LossModel>> scalar;
+    std::vector<Rng> batched_rngs;
+    std::vector<Rng> scalar_rngs;
+    for (std::size_t l = 0; l < 64; ++l) {
+        scalar.push_back(proto.clone());
+        scalar.back()->reset();
+        batched_rngs.emplace_back(seed + l);
+        scalar_rngs.emplace_back(seed + l);
+    }
+    batched->reset();
+    for (std::size_t i = 0; i < packets; ++i) {
+        const std::uint64_t word = batched->lose_next64(batched_rngs.data());
+        for (std::size_t l = 0; l < 64; ++l) {
+            const bool expect = scalar[l]->lose_next(scalar_rngs[l]);
+            EXPECT_EQ((word >> l) & 1ULL, expect ? 1ULL : 0ULL) << "packet " << i
+                                                                << " lane " << l;
+        }
+    }
+    // Lane generators consumed exactly the scalar variate counts.
+    for (std::size_t l = 0; l < 64; ++l)
+        EXPECT_EQ(batched_rngs[l].next_u64(), scalar_rngs[l].next_u64()) << l;
+}
+
+TEST(BatchedLoss, BernoulliLaneVsScalar) {
+    expect_batched_matches_scalar(BernoulliLoss(0.3), 500, 100);
+}
+
+TEST(BatchedLoss, BernoulliDegenerateRatesConsumeNoVariates) {
+    expect_batched_matches_scalar(BernoulliLoss(0.0), 501, 50);
+    expect_batched_matches_scalar(BernoulliLoss(1.0), 502, 50);
+}
+
+TEST(BatchedLoss, GilbertElliottLaneVsScalar) {
+    expect_batched_matches_scalar(GilbertElliottLoss::from_rate_and_burst(0.2, 4.0), 503,
+                                  200);
+}
+
+TEST(BatchedLoss, GilbertElliottDegenerateLossProbsLaneVsScalar) {
+    // loss_good/loss_bad strictly between 0 and 1 exercise the per-packet
+    // bernoulli draw in BOTH states.
+    expect_batched_matches_scalar(GilbertElliottLoss(0.1, 0.3, 0.05, 0.9), 504, 200);
+}
+
+TEST(BatchedLoss, MarkovLaneVsScalar) {
+    expect_batched_matches_scalar(
+        MarkovLoss({{0.9, 0.08, 0.02}, {0.2, 0.7, 0.1}, {0.3, 0.1, 0.6}}, {0.0, 0.3, 1.0}),
+        505, 200);
+}
+
+TEST(BatchedLoss, MarkovStationaryStartLaneVsScalar) {
+    expect_batched_matches_scalar(MarkovLoss({{0.95, 0.05}, {0.4, 0.6}}, {0.0, 1.0},
+                                             /*stationary_start=*/true),
+                                  506, 100);
+}
+
+TEST(BatchedLoss, TraceLaneVsScalar) {
+    expect_batched_matches_scalar(TraceLoss({true, false, false, true, false}), 507, 23);
+}
+
+TEST(BatchedLoss, GenericAdapterCoversOutOfTreeModels) {
+    expect_batched_matches_scalar(EveryThirdLoss(), 508, 100);
+}
+
+/// sample_block must be exactly a loop of lose_next64 — same words, same
+/// per-lane generator states afterwards — for any count, including ragged
+/// (< 64) and multi-chunk (> 64) ones.
+void expect_block_matches_stepwise(const LossModel& proto, std::uint64_t seed,
+                                   std::size_t count) {
+    auto stepwise = proto.make_batched();
+    auto block = proto.make_batched();
+    std::vector<Rng> step_rngs;
+    std::vector<Rng> block_rngs;
+    for (std::size_t l = 0; l < 64; ++l) {
+        step_rngs.emplace_back(seed + l);
+        block_rngs.emplace_back(seed + l);
+    }
+    stepwise->reset();
+    block->reset();
+    std::vector<std::uint64_t> expect(count);
+    for (std::size_t k = 0; k < count; ++k)
+        expect[k] = stepwise->lose_next64(step_rngs.data());
+    std::vector<std::uint64_t> got(count, 0xdeadbeefULL);
+    block->sample_block(block_rngs.data(), got.data(), count);
+    for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(got[k], expect[k]) << k;
+    for (std::size_t l = 0; l < 64; ++l)
+        EXPECT_EQ(block_rngs[l].next_u64(), step_rngs[l].next_u64()) << l;
+}
+
+TEST(BatchedLoss, BernoulliBlockMatchesStepwise) {
+    for (std::size_t count : {std::size_t{1}, std::size_t{37}, std::size_t{64},
+                              std::size_t{65}, std::size_t{200}}) {
+        expect_block_matches_stepwise(BernoulliLoss(0.3), 600 + count, count);
+    }
+}
+
+TEST(BatchedLoss, BernoulliBlockDegenerateRates) {
+    expect_block_matches_stepwise(BernoulliLoss(0.0), 700, 70);
+    expect_block_matches_stepwise(BernoulliLoss(1.0), 701, 70);
+}
+
+TEST(BatchedLoss, DefaultBlockMatchesStepwiseForStatefulModels) {
+    expect_block_matches_stepwise(GilbertElliottLoss::from_rate_and_burst(0.2, 4.0), 702,
+                                  100);
+    expect_block_matches_stepwise(TraceLoss({true, false, true}), 703, 10);
+}
+
 // ------------------------------------------------------------------- trace
 
 TEST(TraceLoss, ReplaysPatternAndLoops) {

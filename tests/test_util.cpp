@@ -342,6 +342,47 @@ TEST(Cli, RejectsNonNumeric) {
     EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
 }
 
+TEST(Cli, KeysAreSorted) {
+    const char* argv[] = {"prog", "--zeta=1", "--alpha", "--mid", "3"};
+    CliArgs args(5, argv);
+    const auto keys = args.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "mid");
+    EXPECT_EQ(keys[2], "zeta");
+}
+
+TEST(Cli, UnknownKeysFlagsTypos) {
+    // The motivating bug: `--thread=8` (missing the s) used to silently run
+    // serial; unknown_keys is how harnesses catch it.
+    const char* argv[] = {"prog", "--thread=8", "--seed=1", "--warmup"};
+    CliArgs args(4, argv);
+    const std::string_view known[] = {"seed", "threads", "warmup"};
+    const auto unknown = args.unknown_keys(known);
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "thread");
+}
+
+TEST(Cli, UnknownKeysHonorsPrefixes) {
+    // Pass-through namespaces (e.g. google-benchmark's benchmark_* flags)
+    // are declared by prefix.
+    const char* argv[] = {"prog", "--benchmark_filter=sha", "--benchmark_min_time=2",
+                          "--bench=oops"};
+    CliArgs args(4, argv);
+    const std::string_view known[] = {"seed"};
+    const std::string_view prefixes[] = {"benchmark_"};
+    const auto unknown = args.unknown_keys(known, prefixes);
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "bench");  // prefix must match fully, not loosely
+}
+
+TEST(Cli, UnknownKeysEmptyWhenAllKnown) {
+    const char* argv[] = {"prog", "--seed=1", "--threads", "4"};
+    CliArgs args(4, argv);
+    const std::string_view known[] = {"seed", "threads"};
+    EXPECT_TRUE(args.unknown_keys(known).empty());
+}
+
 // ----------------------------------------------------------------- check
 
 TEST(Check, MacrosThrowTypedExceptions) {
