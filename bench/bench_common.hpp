@@ -17,9 +17,16 @@
 //                      metrics (only meaningful with BenchMain::run)
 //   --repeat=N         measured repetitions (only meaningful with run)
 //   --obs=0|1          runtime switch for mcauth_obs instrumentation
+//   --progress=0|1     live per-shard throughput/ETA on stderr + the
+//                      exec.progress.* gauges (default off; stderr only,
+//                      so figure outputs stay byte-identical either way)
 //   --metrics-out=F    dump the obs metrics registry to F as JSON at exit
 //   --trace-out=F      record trace events and dump Chrome trace-event JSON
 //                      to F at exit (open in chrome://tracing or Perfetto)
+//   --manifest-out=F   write the run-provenance manifest (DESIGN.md §9) to
+//                      F at exit; default bench_out/<name>.manifest.json,
+//                      empty value disables. The note goes to stderr so
+//                      stdout stays identical to pre-manifest builds.
 //   --help             print the flag surface and exit
 //
 // Unknown --key flags are REJECTED with a usage message (a mistyped
@@ -27,22 +34,35 @@
 // for the google-benchmark binaries, and a bench with extra flags of its
 // own declares them via the `extra_keys` constructor argument.
 //
-// Metrics/trace files are written from the destructor, so a bench needs no
-// explicit flush. This is the repo's machine-readable perf trajectory: the
-// same binary that prints a paper figure also exports where its time went.
+// Hardware counters: `perf()` hands out a lazily-opened obs::PerfCounterSet
+// (cycles/instructions/cache/branch events, DESIGN.md §9) that degrades to
+// inert when perf_event_open is denied; BenchMain::run brackets each
+// measured repeat with an obs::PerfRegion and keeps per-repeat wall times,
+// readings, and obs-counter deltas (MetricsRegistry::snapshot/delta) so a
+// bench can report per-repeat numbers instead of process-cumulative ones.
+//
+// Metrics/trace/manifest files are written from the destructor, so a bench
+// needs no explicit flush. This is the repo's machine-readable perf
+// trajectory: the same binary that prints a paper figure also exports where
+// its time went and on what hardware/toolchain it was measured.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
 #include "obs/obs.hpp"
+#include "obs/perfctr.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -78,7 +98,9 @@ public:
         repeat_ = static_cast<std::size_t>(args_.get_int("repeat", 1));
         metrics_out_ = args_.get("metrics-out", "");
         trace_out_ = args_.get("trace-out", "");
+        manifest_out_ = args_.get("manifest-out", "bench_out/" + name_ + ".manifest.json");
         obs::set_enabled(args_.get_bool("obs", true));
+        obs::set_progress_enabled(args_.get_bool("progress", false));
         if (!trace_out_.empty()) obs::set_trace_enabled(true);
         threads_ = static_cast<std::size_t>(args_.get_int(
             "threads", static_cast<std::int64_t>(exec::hardware_threads())));
@@ -96,20 +118,65 @@ public:
     std::size_t repeat() const noexcept { return repeat_; }
     std::size_t threads() const noexcept { return threads_; }
 
+    /// The shared hardware-counter set (opened on first use; inert when
+    /// perf_event_open is unavailable — see obs/perfctr.hpp).
+    obs::PerfCounterSet& perf() {
+        if (!perf_) perf_ = std::make_unique<obs::PerfCounterSet>();
+        return *perf_;
+    }
+
+    /// Run-provenance manifest for this invocation, with the obs counter
+    /// snapshot taken at call time. Embed `.to_json(indent)` into any
+    /// machine-readable output the bench writes.
+    obs::RunManifest manifest() {
+        return obs::RunManifest::collect(name_, seed_, threads_, warmup_, repeat_);
+    }
+
     /// Warmup/repeat driver: `body(seed)` runs `warmup` times with metrics
     /// discarded afterwards, then `repeat` measured times with distinct
-    /// seeds. Benches with a single natural pass can ignore this and just
-    /// rely on the destructor's export.
+    /// seeds, each measured repeat bracketed by a PerfRegion and an obs
+    /// snapshot so per-repeat counters/readings are available afterwards.
+    /// Benches with a single natural pass can ignore this and just rely on
+    /// the destructor's export.
     void run(const std::function<void(std::uint64_t)>& body) {
         for (std::size_t w = 0; w < warmup_; ++w) body(seed_ + w);
         if (warmup_ > 0) {
             obs::registry().reset();
             obs::TraceRecorder::global().clear();
         }
-        for (std::size_t r = 0; r < repeat_; ++r) body(seed_ + warmup_ + r);
+        repeat_seconds_.clear();
+        repeat_perf_.clear();
+        repeat_metrics_.clear();
+        for (std::size_t r = 0; r < repeat_; ++r) {
+            const obs::MetricsSnapshot before = obs::registry().snapshot();
+            obs::PerfReading reading;
+            const std::uint64_t t0 = obs::clock().now_ns();
+            {
+                const obs::PerfRegion region(perf(), &reading);
+                body(seed_ + warmup_ + r);
+            }
+            const std::uint64_t t1 = obs::clock().now_ns();
+            repeat_seconds_.push_back(
+                t1 >= t0 ? static_cast<double>(t1 - t0) / 1e9 : 0.0);
+            repeat_perf_.push_back(reading);
+            repeat_metrics_.push_back(
+                obs::delta(obs::registry().snapshot(), before));
+        }
     }
 
-    /// Write --metrics-out/--trace-out files; idempotent, called at exit.
+    /// Per-measured-repeat records from the last run() (empty before).
+    const std::vector<double>& repeat_seconds() const noexcept {
+        return repeat_seconds_;
+    }
+    const std::vector<obs::PerfReading>& repeat_perf() const noexcept {
+        return repeat_perf_;
+    }
+    const std::vector<obs::MetricsSnapshot>& repeat_metrics() const noexcept {
+        return repeat_metrics_;
+    }
+
+    /// Write --metrics-out/--trace-out/--manifest-out files; idempotent,
+    /// called at exit.
     void flush() {
         if (flushed_) return;
         flushed_ = true;
@@ -125,13 +192,28 @@ public:
             else
                 note("trace: FAILED to write " + trace_out_);
         }
+        if (!manifest_out_.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(
+                std::filesystem::path(manifest_out_).parent_path(), ec);
+            std::ofstream out(manifest_out_);
+            if (out) {
+                out << manifest().to_json() << "\n";
+                // stderr, not stdout: figure stdout must stay byte-identical
+                // to pre-manifest builds.
+                std::fprintf(stderr, "manifest: %s\n", manifest_out_.c_str());
+            } else {
+                std::fprintf(stderr, "manifest: FAILED to write %s\n",
+                             manifest_out_.c_str());
+            }
+        }
     }
 
 private:
     void reject_unknown_flags(const std::vector<std::string_view>& extra_keys) const {
         static constexpr std::string_view kSharedKeys[] = {
-            "seed", "threads", "warmup", "repeat", "obs", "metrics-out",
-            "trace-out", "help"};
+            "seed", "threads", "warmup", "repeat", "obs", "progress",
+            "metrics-out", "trace-out", "manifest-out", "help"};
         // google-benchmark binaries (micro_crypto) construct BenchMain
         // before benchmark::Initialize strips its flags, so --benchmark_*
         // must pass through untouched.
@@ -161,6 +243,11 @@ private:
     std::size_t threads_ = 1;
     std::string metrics_out_;
     std::string trace_out_;
+    std::string manifest_out_;
+    std::unique_ptr<obs::PerfCounterSet> perf_;
+    std::vector<double> repeat_seconds_;
+    std::vector<obs::PerfReading> repeat_perf_;
+    std::vector<obs::MetricsSnapshot> repeat_metrics_;
     bool flushed_ = false;
 };
 

@@ -12,13 +12,19 @@
 // each at 1/2/4/8 pool threads for BOTH engines. Every (engine, threads)
 // cell must produce a bit-identical q_min checksum — the per-trial stream
 // contract (DESIGN.md §8) — and the bench fails loudly if any differs.
-// Results land in bench_out/BENCH_bitslice_mc.json (same schema as
-// BENCH_parallel_mc.json plus an "engine" field and per-workload
-// single-thread speedups).
+//
+// Results land in bench_out/BENCH_bitslice_mc.json in the schema-v2
+// envelope (DESIGN.md §9): a top-level "manifest" object records where the
+// numbers came from, every cell keeps its per-repeat times in
+// "seconds_repeats" (seconds = min over repeats, the number the
+// bench_compare gate uses, with the spread widening the tolerance), and
+// the obs counter deltas of the best repeat ride along per cell. Each cell
+// runs max(2, --repeat) times.
 //
 // Note: on machines with fewer hardware threads than the sweep's lane
 // counts the extra lanes time-slice, so scaling columns saturate at the
 // core count — the checksum comparisons are meaningful regardless.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -115,13 +121,17 @@ int main(int argc, char** argv) {
         {"tesla_gaussian_n200", &run_tesla},
     };
     const std::size_t thread_counts[] = {1, 2, 4, 8};
-    constexpr int kRepeats = 2;  // best-of: absorbs scheduler noise
+    // Best-of absorbs scheduler noise; the full repeat vector is kept so
+    // bench_compare can widen its tolerance by the observed spread.
+    const std::size_t repeats = std::max<std::size_t>(2, bm.repeat());
 
     struct Record {
         const char* workload;
         const char* engine;
         std::size_t threads;
-        WorkloadResult r;
+        WorkloadResult r;                   // best (min-seconds) repeat
+        std::vector<double> seconds_repeats;
+        obs::MetricsSnapshot counters;      // obs counter delta, best repeat
     };
     std::vector<Record> records;
     struct Speedup {
@@ -143,12 +153,25 @@ int main(int argc, char** argv) {
             const char* engine_name = engine == McEngine::kScalar ? "scalar" : "bitsliced";
             for (std::size_t t : thread_counts) {
                 exec::ThreadPool::set_global_thread_count(t);
-                WorkloadResult r = w.run(bm.seed(), engine);
-                for (int rep = 1; rep < kRepeats; ++rep) {
-                    const WorkloadResult again = w.run(bm.seed(), engine);
-                    if (again.checksum != r.checksum) identical = false;
-                    if (again.seconds < r.seconds) r = again;
+                Record rec{w.name, engine_name, t, {}, {}, {}};
+                for (std::size_t rep = 0; rep < repeats; ++rep) {
+                    const obs::MetricsSnapshot before = obs::registry().snapshot();
+                    const WorkloadResult attempt = w.run(bm.seed(), engine);
+                    obs::MetricsSnapshot used =
+                        obs::delta(obs::registry().snapshot(), before);
+                    rec.seconds_repeats.push_back(attempt.seconds);
+                    if (rep == 0) {
+                        rec.r = attempt;
+                        rec.counters = std::move(used);
+                        continue;
+                    }
+                    if (attempt.checksum != rec.r.checksum) identical = false;
+                    if (attempt.seconds < rec.r.seconds) {
+                        rec.r = attempt;
+                        rec.counters = std::move(used);
+                    }
                 }
+                const WorkloadResult& r = rec.r;
                 const double rate =
                     r.seconds > 0 ? static_cast<double>(r.trials) / r.seconds : 0.0;
                 if (!have_reference) {
@@ -166,7 +189,7 @@ int main(int argc, char** argv) {
                      TablePrinter::num(r.seconds, 3), TablePrinter::num(rate, 0),
                      TablePrinter::num(
                          scalar_serial_rate > 0 ? rate / scalar_serial_rate : 0.0, 2)});
-                records.push_back({w.name, engine_name, t, r});
+                records.push_back(std::move(rec));
             }
         }
         const double factor =
@@ -180,14 +203,18 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories("bench_out", ec);
     const char* path = "bench_out/BENCH_bitslice_mc.json";
     if (std::FILE* f = std::fopen(path, "w")) {
-        std::fprintf(f, "{\n  \"bench\": \"perf_bitslice_mc\",\n");
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"perf_bitslice_mc\",\n");
         std::fprintf(f, "  \"seed\": %llu,\n",
                      static_cast<unsigned long long>(bm.seed()));
         std::fprintf(f, "  \"hardware_threads\": %zu,\n", exec::hardware_threads());
+        std::fprintf(f, "  \"repeats\": %zu,\n", repeats);
         std::fprintf(f, "  \"deterministic_across_thread_counts\": %s,\n",
                      identical ? "true" : "false");
         std::fprintf(f, "  \"cross_engine_identical\": %s,\n",
                      identical ? "true" : "false");
+        std::fprintf(f, "  \"manifest\": %s,\n", bm.manifest().to_json(2).c_str());
         std::fprintf(f, "  \"single_thread_speedup\": {\n");
         for (std::size_t i = 0; i < speedups.size(); ++i)
             std::fprintf(f, "    \"%s\": %.2f%s\n", speedups[i].workload,
@@ -201,11 +228,22 @@ int main(int argc, char** argv) {
                                   : 0.0;
             std::fprintf(f,
                          "    {\"workload\": \"%s\", \"engine\": \"%s\", "
-                         "\"threads\": %zu, \"trials\": %zu, \"seconds\": %.6f, "
-                         "\"trials_per_sec\": %.1f, \"qmin_checksum\": %.17g}%s\n",
+                         "\"threads\": %zu, \"trials\": %zu, \"seconds\": %.6f,\n"
+                         "     \"seconds_repeats\": [",
                          rec.workload, rec.engine, rec.threads, rec.r.trials,
-                         rec.r.seconds, rate, rec.r.checksum,
-                         i + 1 < records.size() ? "," : "");
+                         rec.r.seconds);
+            for (std::size_t s = 0; s < rec.seconds_repeats.size(); ++s)
+                std::fprintf(f, "%s%.6f", s ? ", " : "", rec.seconds_repeats[s]);
+            std::fprintf(f,
+                         "],\n     \"trials_per_sec\": %.1f, \"qmin_checksum\": %.17g,\n"
+                         "     \"counters\": {",
+                         rate, rec.r.checksum);
+            for (std::size_t c = 0; c < rec.counters.counters.size(); ++c)
+                std::fprintf(f, "%s\"%s\": %llu", c ? ", " : "",
+                             obs::json_escape(rec.counters.counters[c].first).c_str(),
+                             static_cast<unsigned long long>(
+                                 rec.counters.counters[c].second));
+            std::fprintf(f, "}}%s\n", i + 1 < records.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);

@@ -213,6 +213,9 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
     // and everything derived from them — are identical for any thread
     // count AND either engine (ordered merge of per-shard partials of
     // order-invariant integer sums).
+    // Inert unless --progress / obs::set_progress_enabled: stderr-only
+    // throughput line + exec.progress.* gauges, ticked per finished shard.
+    obs::ProgressReporter progress("mc.authprob", trials);
     std::vector<TrialCounts> parts;
     if (engine == McEngine::kBitsliced) {
         const CsrView csr(dg.graph());
@@ -225,17 +228,21 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
         parts.resize(bt.shard_count());
         exec::ThreadPool::global().parallel_for(
             bt.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-                for (std::size_t s = begin; s < end; ++s)
+                for (std::size_t s = begin; s < end; ++s) {
                     run_auth_prob_shard_bitsliced(dg, csr, loss, bt, s, parts[s]);
+                    progress.tick(bt.shard_batches(s) * exec::BitslicedTrials::kLanes);
+                }
             });
     } else {
         const exec::ShardedTrials shards(trials, seed);
         parts.resize(shards.shard_count());
         exec::ThreadPool::global().parallel_for(
             shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-                for (std::size_t s = begin; s < end; ++s)
+                for (std::size_t s = begin; s < end; ++s) {
                     run_auth_prob_shard_scalar(dg, loss, seed, shards.shard_begin(s),
                                                shards.shard_trials(s), parts[s]);
+                    progress.tick(shards.shard_trials(s));
+                }
             });
     }
 

@@ -177,6 +177,9 @@ TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& lo
     MCAUTH_EXPECTS(trials >= 1);
     const std::size_t n = params.n;
 
+    // Inert unless --progress / obs::set_progress_enabled: stderr-only
+    // throughput line + exec.progress.* gauges, ticked per finished shard.
+    obs::ProgressReporter progress("mc.tesla", trials);
     std::vector<TeslaCounts> parts;
     if (engine == McEngine::kBitsliced) {
         const exec::BitslicedTrials bt(trials, seed);
@@ -187,18 +190,22 @@ TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& lo
         parts.resize(bt.shard_count());
         exec::ThreadPool::global().parallel_for(
             bt.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-                for (std::size_t s = begin; s < end; ++s)
+                for (std::size_t s = begin; s < end; ++s) {
                     run_tesla_shard_bitsliced(params, loss, delay, bt, s, parts[s]);
+                    progress.tick(bt.shard_batches(s) * exec::BitslicedTrials::kLanes);
+                }
             });
     } else {
         const exec::ShardedTrials shards(trials, seed);
         parts.resize(shards.shard_count());
         exec::ThreadPool::global().parallel_for(
             shards.shard_count(), 1, [&](std::size_t begin, std::size_t end) {
-                for (std::size_t s = begin; s < end; ++s)
+                for (std::size_t s = begin; s < end; ++s) {
                     run_tesla_shard_scalar(params, loss, delay, seed,
                                            shards.shard_begin(s), shards.shard_trials(s),
                                            parts[s]);
+                    progress.tick(shards.shard_trials(s));
+                }
             });
     }
 

@@ -1,0 +1,274 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::string fmt(double v, int digits = 1) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return buf;
+}
+
+std::string fmt_pct(double frac, int digits = 1) {
+    return fmt(frac * 100.0, digits) + "%";
+}
+
+}  // namespace
+
+std::string BenchEntry::key() const {
+    std::string k = workload;
+    if (!engine.empty()) k += "/" + engine;
+    k += "@" + std::to_string(threads) + "t";
+    return k;
+}
+
+double BenchEntry::repeat_spread() const noexcept {
+    if (seconds_repeats.size() < 2) return 0.0;
+    const auto [lo, hi] =
+        std::minmax_element(seconds_repeats.begin(), seconds_repeats.end());
+    if (*lo <= 0.0) return 0.0;
+    return (*hi - *lo) / *lo;
+}
+
+bool load_bench_file(const std::string& text, BenchFile& out, std::string& error) {
+    std::string parse_error;
+    const auto doc = JsonValue::parse(text, &parse_error);
+    if (!doc.has_value()) {
+        error = "not valid JSON: " + parse_error;
+        return false;
+    }
+    if (!doc->is_object()) {
+        error = "top level is not a JSON object";
+        return false;
+    }
+    const JsonValue* manifest = doc->find("manifest");
+    if (manifest == nullptr || !manifest->is_object()) {
+        error =
+            "pre-manifest result file (no \"manifest\" object) — regenerate it "
+            "with the current bench binaries before comparing";
+        return false;
+    }
+    out = BenchFile{};
+    out.schema_version = static_cast<int>(manifest->get_uint("schema_version", 0));
+    if (out.schema_version != 2) {
+        error = "unsupported schema_version " + std::to_string(out.schema_version) +
+                " (this tool understands version 2)";
+        return false;
+    }
+    out.bench = manifest->get_string("bench");
+    out.seed = manifest->get_uint("seed");
+    out.git_revision = manifest->get_string("git_revision");
+    out.compiler = manifest->get_string("compiler");
+    out.compiler_flags = manifest->get_string("compiler_flags");
+    out.build_type = manifest->get_string("build_type");
+    out.sanitizer = manifest->get_string("sanitizer");
+    out.cpu_model = manifest->get_string("cpu_model");
+    out.cpu_avx2 = manifest->get_bool("cpu_avx2");
+    out.bitslice_avx2_dispatch = manifest->get_bool("bitslice_avx2_dispatch");
+    out.hardware_threads =
+        static_cast<std::size_t>(manifest->get_uint("hardware_threads"));
+    out.threads = static_cast<std::size_t>(manifest->get_uint("threads"));
+
+    const JsonValue* results = doc->find("results");
+    if (results == nullptr || !results->is_array()) {
+        error = "missing \"results\" array";
+        return false;
+    }
+    for (const JsonValue& row : results->array()) {
+        if (!row.is_object()) {
+            error = "non-object entry in \"results\"";
+            return false;
+        }
+        BenchEntry e;
+        e.workload = row.get_string("workload");
+        e.engine = row.get_string("engine");
+        e.threads = static_cast<std::size_t>(row.get_uint("threads"));
+        e.trials = row.get_uint("trials");
+        e.seconds = row.get_double("seconds");
+        e.trials_per_sec = row.get_double("trials_per_sec");
+        if (const JsonValue* reps = row.find("seconds_repeats");
+            reps != nullptr && reps->is_array())
+            for (const JsonValue& r : reps->array())
+                e.seconds_repeats.push_back(r.as_double());
+        if (e.workload.empty()) {
+            error = "results entry without a \"workload\"";
+            return false;
+        }
+        out.entries.push_back(std::move(e));
+    }
+    return true;
+}
+
+bool load_bench_file_path(const std::string& path, BenchFile& out,
+                          std::string& error) {
+    std::ifstream in(path);
+    if (!in) {
+        error = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!load_bench_file(buf.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+const char* verdict_name(Verdict v) noexcept {
+    switch (v) {
+        case Verdict::kImproved: return "improved";
+        case Verdict::kWithinNoise: return "within noise";
+        case Verdict::kRegressed: return "REGRESSED";
+        case Verdict::kMissingInCurrent: return "MISSING in current";
+        case Verdict::kOnlyInCurrent: return "new entry";
+    }
+    return "?";
+}
+
+bool CompareReport::has_regression() const noexcept {
+    for (const Comparison& c : rows)
+        if (c.verdict == Verdict::kRegressed ||
+            c.verdict == Verdict::kMissingInCurrent)
+            return true;
+    return false;
+}
+
+CompareReport compare_bench_files(const BenchFile& base, const BenchFile& cur,
+                                  const CompareOptions& opts) {
+    CompareReport report;
+
+    // Hard incompatibilities: the numbers answer different questions.
+    if (base.bench != cur.bench) {
+        report.incompatible = true;
+        report.incompatible_reason =
+            "different benches: \"" + base.bench + "\" vs \"" + cur.bench + "\"";
+        return report;
+    }
+    if (base.seed != cur.seed) {
+        report.incompatible = true;
+        report.incompatible_reason = "different seeds: " + std::to_string(base.seed) +
+                                     " vs " + std::to_string(cur.seed);
+        return report;
+    }
+
+    // Soft mismatches: comparable, but the reader must see them.
+    const auto warn_if = [&](bool differ, const std::string& what,
+                             const std::string& a, const std::string& b) {
+        if (!differ) return;
+        report.warnings.push_back(what + " differs: \"" + a + "\" vs \"" + b + "\"");
+    };
+    warn_if(base.cpu_model != cur.cpu_model, "cpu_model", base.cpu_model,
+            cur.cpu_model);
+    warn_if(base.compiler != cur.compiler, "compiler", base.compiler, cur.compiler);
+    warn_if(base.compiler_flags != cur.compiler_flags, "compiler_flags",
+            base.compiler_flags, cur.compiler_flags);
+    warn_if(base.build_type != cur.build_type, "build_type", base.build_type,
+            cur.build_type);
+    warn_if(base.sanitizer != cur.sanitizer, "sanitizer", base.sanitizer,
+            cur.sanitizer);
+    warn_if(base.hardware_threads != cur.hardware_threads, "hardware_threads",
+            std::to_string(base.hardware_threads),
+            std::to_string(cur.hardware_threads));
+    warn_if(base.cpu_avx2 != cur.cpu_avx2, "cpu_avx2",
+            base.cpu_avx2 ? "true" : "false", cur.cpu_avx2 ? "true" : "false");
+    warn_if(base.bitslice_avx2_dispatch != cur.bitslice_avx2_dispatch,
+            "bitslice_avx2_dispatch", base.bitslice_avx2_dispatch ? "true" : "false",
+            cur.bitslice_avx2_dispatch ? "true" : "false");
+    if (opts.strict_host && !report.warnings.empty()) {
+        report.incompatible = true;
+        report.incompatible_reason =
+            "--strict-host: " + report.warnings.front() +
+            (report.warnings.size() > 1
+                 ? " (+" + std::to_string(report.warnings.size() - 1) + " more)"
+                 : "");
+        return report;
+    }
+
+    const auto find_entry = [](const BenchFile& f,
+                               const std::string& key) -> const BenchEntry* {
+        for (const BenchEntry& e : f.entries)
+            if (e.key() == key) return &e;
+        return nullptr;
+    };
+
+    for (const BenchEntry& b : base.entries) {
+        Comparison c;
+        c.key = b.key();
+        c.base_rate = b.trials_per_sec;
+        const BenchEntry* n = find_entry(cur, c.key);
+        if (n == nullptr) {
+            c.verdict = Verdict::kMissingInCurrent;
+            report.rows.push_back(std::move(c));
+            continue;
+        }
+        if (n->trials != b.trials) {
+            report.incompatible = true;
+            report.incompatible_reason = "entry " + c.key + " ran " +
+                                         std::to_string(b.trials) + " vs " +
+                                         std::to_string(n->trials) + " trials";
+            return report;
+        }
+        c.cur_rate = n->trials_per_sec;
+        c.noise = std::max(b.repeat_spread(), n->repeat_spread());
+        c.threshold = opts.rel_tol + c.noise;
+        c.ratio = c.base_rate > 0 ? c.cur_rate / c.base_rate : 0.0;
+        if (c.ratio < 1.0 - c.threshold)
+            c.verdict = Verdict::kRegressed;
+        else if (c.ratio > 1.0 + c.threshold)
+            c.verdict = Verdict::kImproved;
+        else
+            c.verdict = Verdict::kWithinNoise;
+        report.rows.push_back(std::move(c));
+    }
+    for (const BenchEntry& n : cur.entries) {
+        if (find_entry(base, n.key()) != nullptr) continue;
+        Comparison c;
+        c.key = n.key();
+        c.cur_rate = n.trials_per_sec;
+        c.verdict = Verdict::kOnlyInCurrent;
+        report.rows.push_back(std::move(c));
+    }
+    return report;
+}
+
+std::string CompareReport::render_markdown(const BenchFile& base,
+                                           const BenchFile& cur) const {
+    std::string out;
+    out += "## bench_compare: " + base.bench + "\n\n";
+    out += "baseline `" + base.git_revision + "` vs current `" + cur.git_revision +
+           "`\n\n";
+    if (incompatible) {
+        out += "**INCOMPATIBLE**: " + incompatible_reason + "\n";
+        return out;
+    }
+    for (const std::string& w : warnings) out += "- warning: " + w + "\n";
+    if (!warnings.empty()) out += "\n";
+    out +=
+        "| entry | baseline trials/s | current trials/s | delta | tolerance | "
+        "verdict |\n";
+    out += "|---|---:|---:|---:|---:|---|\n";
+    for (const Comparison& c : rows) {
+        const bool both = c.verdict != Verdict::kMissingInCurrent &&
+                          c.verdict != Verdict::kOnlyInCurrent;
+        out += "| " + c.key + " | ";
+        out += (c.verdict == Verdict::kOnlyInCurrent ? "-" : fmt(c.base_rate, 0)) +
+               " | ";
+        out += (c.verdict == Verdict::kMissingInCurrent ? "-" : fmt(c.cur_rate, 0)) +
+               " | ";
+        out += (both ? fmt_pct(c.ratio - 1.0) : std::string("-")) + " | ";
+        out += (both ? "±" + fmt_pct(c.threshold) : std::string("-")) + " | ";
+        out += std::string(verdict_name(c.verdict)) + " |\n";
+    }
+    return out;
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,116 @@
+// Noise-aware comparison of two BENCH_*.json result files — the library
+// behind tools/bench_compare (DESIGN.md §9).
+//
+// The comparison contract:
+//
+//   * Inputs must be schema-v2 files with an embedded RunManifest.
+//     Pre-manifest files (the PR-2/3 era schema) are refused with an
+//     explicit "regenerate" message, never a parse error.
+//   * Hard incompatibilities — different bench, different seed, an entry
+//     whose trial count changed — abort the comparison: such numbers are
+//     provably not comparable and diffing them would manufacture noise.
+//   * Soft mismatches — different CPU, compiler, flags, git revision —
+//     become warnings in the report (or hard failures under strict_host):
+//     the numbers still diff meaningfully, the reader just needs to know.
+//   * Per entry, the gated metric is trials/sec from the min-of-repeats
+//     time. The effective tolerance is rel_tol + the larger of the two
+//     files' repeat spreads ((max-min)/min over seconds_repeats): a noisy
+//     machine automatically widens its own gate instead of flapping.
+//
+// Verdicts: improved / within-noise / regressed, plus missing-in-current
+// (treated as a regression — a silently dropped workload must not pass)
+// and only-in-current (informational).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcauth::obs {
+
+struct BenchEntry {
+    std::string workload;
+    std::string engine;  ///< "" for benches without an engine dimension
+    std::size_t threads = 0;
+    std::uint64_t trials = 0;
+    double seconds = 0;                   ///< min over repeats
+    std::vector<double> seconds_repeats;  ///< every repeat's time (may be empty)
+    double trials_per_sec = 0;
+
+    /// Row identity inside a file: "workload[/engine]@Nt".
+    std::string key() const;
+    /// (max-min)/min over seconds_repeats; 0 with fewer than two repeats.
+    double repeat_spread() const noexcept;
+};
+
+struct BenchFile {
+    int schema_version = 0;
+    std::string bench;
+    std::uint64_t seed = 0;
+    // Manifest fields consulted for comparability / warnings.
+    std::string git_revision;
+    std::string compiler;
+    std::string compiler_flags;
+    std::string build_type;
+    std::string sanitizer;
+    std::string cpu_model;
+    bool cpu_avx2 = false;
+    bool bitslice_avx2_dispatch = false;
+    std::size_t hardware_threads = 0;
+    std::size_t threads = 0;
+    std::vector<BenchEntry> entries;
+};
+
+/// Parse a BENCH_*.json with embedded manifest from `text`. Returns false
+/// with a one-line diagnostic in `error`; a syntactically valid file
+/// without a manifest gets the explicit pre-manifest message.
+bool load_bench_file(const std::string& text, BenchFile& out, std::string& error);
+/// Same, reading from `path` (adds the path to diagnostics).
+bool load_bench_file_path(const std::string& path, BenchFile& out,
+                          std::string& error);
+
+enum class Verdict {
+    kImproved,
+    kWithinNoise,
+    kRegressed,
+    kMissingInCurrent,
+    kOnlyInCurrent,
+};
+
+const char* verdict_name(Verdict v) noexcept;
+
+struct Comparison {
+    std::string key;
+    double base_rate = 0;   ///< baseline trials/sec
+    double cur_rate = 0;    ///< current trials/sec
+    double ratio = 0;       ///< cur/base; 0 when either side missing
+    double noise = 0;       ///< repeat-spread component of the tolerance
+    double threshold = 0;   ///< rel_tol + noise, the band actually applied
+    Verdict verdict = Verdict::kWithinNoise;
+};
+
+struct CompareOptions {
+    /// Floor on the relative tolerance band, before the repeat-spread
+    /// widening. 0.05 = a 5% rate drop on a noiseless pair is a regression.
+    double rel_tol = 0.05;
+    /// Treat hardware/toolchain mismatches (normally warnings) as
+    /// incompatible: for gating on a dedicated, stable box.
+    bool strict_host = false;
+};
+
+struct CompareReport {
+    bool incompatible = false;
+    std::string incompatible_reason;
+    std::vector<std::string> warnings;
+    std::vector<Comparison> rows;
+
+    bool has_regression() const noexcept;
+    /// Markdown: manifest warnings, then a per-entry verdict table.
+    std::string render_markdown(const BenchFile& base, const BenchFile& cur) const;
+};
+
+CompareReport compare_bench_files(const BenchFile& base, const BenchFile& cur,
+                                  const CompareOptions& opts = {});
+
+}  // namespace mcauth::obs

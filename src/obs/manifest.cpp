@@ -1,0 +1,159 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
+#include "util/rng.hpp"
+
+// Build facts injected by src/obs/CMakeLists.txt at configure time. The git
+// revision therefore reflects the last *configure*, not necessarily the
+// last commit — CMake reconfigures on every CMakeLists change, which in
+// practice tracks the PR granularity the manifests care about.
+#ifndef MCAUTH_GIT_DESCRIBE
+#define MCAUTH_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MCAUTH_CXX_FLAGS
+#define MCAUTH_CXX_FLAGS "unknown"
+#endif
+#ifndef MCAUTH_BUILD_TYPE
+#define MCAUTH_BUILD_TYPE "unknown"
+#endif
+#ifndef MCAUTH_SANITIZE_NAME
+#define MCAUTH_SANITIZE_NAME ""
+#endif
+
+namespace mcauth::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return std::string("Clang ") + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return std::string("GNU ") + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+std::string cpu_model_name() {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        if (line.compare(0, 10, "model name") != 0) continue;
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        return line.substr(start);
+    }
+    return "unknown";
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+std::string utc_timestamp() {
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+}  // namespace
+
+RunManifest RunManifest::collect(std::string bench, std::uint64_t seed,
+                                 std::size_t threads, std::size_t warmup,
+                                 std::size_t repeat) {
+    RunManifest m;
+    m.bench = std::move(bench);
+    m.git_revision = MCAUTH_GIT_DESCRIBE;
+    m.compiler = compiler_id();
+    m.compiler_flags = MCAUTH_CXX_FLAGS;
+    m.build_type = MCAUTH_BUILD_TYPE;
+    m.sanitizer = MCAUTH_SANITIZE_NAME;
+#if MCAUTH_OBS_ENABLED
+    m.obs_compiled_in = true;
+#else
+    m.obs_compiled_in = false;
+#endif
+    m.cpu_model = cpu_model_name();
+    m.cpu_avx2 = cpu_has_avx2();
+    m.bitslice_avx2_dispatch = Rng::bernoulli_bits64_uses_avx2();
+    const unsigned hw = std::thread::hardware_concurrency();
+    m.hardware_threads = hw == 0 ? 1 : hw;
+    m.threads = threads;
+    m.seed = seed;
+    m.warmup = warmup;
+    m.repeat = repeat;
+    m.timestamp_utc = utc_timestamp();
+    {
+        const PerfCounterSet probe;
+        m.perf_counters = probe.available() ? "available" : "unavailable";
+    }
+    for (const auto& [name, value] : registry().counter_values())
+        m.metrics_counters.emplace_back(name, value);
+    return m;
+}
+
+std::string RunManifest::to_json(int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
+    const std::string field_pad = pad + "  ";
+    std::string out = "{\n";
+    const auto str = [&](const char* name, const std::string& v, bool comma = true) {
+        out += field_pad + "\"" + name + "\": \"" + json_escape(v) + "\"";
+        out += comma ? ",\n" : "\n";
+    };
+    const auto boolean = [&](const char* name, bool v) {
+        out += field_pad + "\"" + name + "\": " + (v ? "true" : "false") + ",\n";
+    };
+    const auto uint = [&](const char* name, std::uint64_t v) {
+        out += field_pad + "\"" + name + "\": " + std::to_string(v) + ",\n";
+    };
+
+    uint("schema_version", static_cast<std::uint64_t>(schema_version));
+    str("bench", bench);
+    str("git_revision", git_revision);
+    str("compiler", compiler);
+    str("compiler_flags", compiler_flags);
+    str("build_type", build_type);
+    str("sanitizer", sanitizer);
+    boolean("obs_compiled_in", obs_compiled_in);
+    str("cpu_model", cpu_model);
+    boolean("cpu_avx2", cpu_avx2);
+    boolean("bitslice_avx2_dispatch", bitslice_avx2_dispatch);
+    uint("hardware_threads", hardware_threads);
+    uint("threads", threads);
+    uint("seed", seed);
+    uint("warmup", warmup);
+    uint("repeat", repeat);
+    str("timestamp_utc", timestamp_utc);
+    str("perf_counters", perf_counters);
+    out += field_pad + "\"metrics_counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : metrics_counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += field_pad + "  \"" + json_escape(name) + "\": " + std::to_string(value);
+    }
+    out += first ? "}\n" : "\n" + field_pad + "}\n";
+    out += pad + "}";
+    return out;
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,67 @@
+// Run provenance manifest: the "where did this number come from" record
+// embedded in every BENCH_*.json (DESIGN.md §9).
+//
+// Two benchmark results are comparable only when the things that move the
+// needle — code revision, compiler and flags, CPU and its SIMD dispatch,
+// thread count, seed — are either equal or their differences are visible.
+// RunManifest captures exactly that set. collect() fills it from the build
+// (git describe / compiler / flags are injected by CMake at configure
+// time), the machine (/proc/cpuinfo, AVX2 dispatch decision, perf-counter
+// availability) and the run parameters; to_json() renders a fixed field
+// order so manifests diff cleanly and golden tests can compare strings.
+//
+// bench_compare (tools/) refuses to diff two results whose manifests make
+// them incomparable (different seed or trial counts) and warns on the
+// soft mismatches (different CPU, compiler, flags) — "comparable or
+// provably not".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcauth::obs {
+
+struct RunManifest {
+    /// Version of the BENCH_*.json envelope this manifest rides in; bump on
+    /// any incompatible change to either. bench_compare hard-fails on
+    /// files whose version it does not understand.
+    static constexpr int kSchemaVersion = 2;
+
+    int schema_version = kSchemaVersion;
+    std::string bench;            ///< bench binary name (BenchMain name)
+    std::string git_revision;     ///< `git describe --always --dirty` at configure
+    std::string compiler;         ///< e.g. "GNU 13.3.0", "Clang 18.1.3"
+    std::string compiler_flags;   ///< optimisation-relevant CXX flags
+    std::string build_type;       ///< CMAKE_BUILD_TYPE
+    std::string sanitizer;        ///< MCAUTH_SANITIZE ("" = none)
+    bool obs_compiled_in = true;  ///< MCAUTH_OBS_ENABLED at compile time
+    std::string cpu_model;        ///< /proc/cpuinfo "model name"
+    bool cpu_avx2 = false;        ///< CPU reports AVX2
+    bool bitslice_avx2_dispatch = false;  ///< kernel the Bernoulli sampler chose
+    std::size_t hardware_threads = 0;
+    std::size_t threads = 0;  ///< configured pool lanes for this run
+    std::uint64_t seed = 0;
+    std::size_t warmup = 0;
+    std::size_t repeat = 0;
+    std::string timestamp_utc;  ///< ISO-8601, second resolution
+    std::string perf_counters;  ///< "available" | "unavailable"
+    /// Obs counter snapshot attached at emit time (process totals at the
+    /// moment the manifest was written); informational, never gated on.
+    std::vector<std::pair<std::string, std::uint64_t>> metrics_counters;
+
+    /// Fill every field from the build, the machine and the run parameters.
+    /// Deterministic except for timestamp_utc and the machine probes.
+    static RunManifest collect(std::string bench, std::uint64_t seed,
+                               std::size_t threads, std::size_t warmup,
+                               std::size_t repeat);
+
+    /// Render as a JSON object with a fixed field order. Every line after
+    /// the first is prefixed by `indent` spaces, the closing brace included,
+    /// so the object embeds cleanly at any depth of a hand-rolled writer.
+    std::string to_json(int indent = 0) const;
+};
+
+}  // namespace mcauth::obs

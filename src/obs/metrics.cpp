@@ -13,6 +13,14 @@ namespace {
 std::atomic<bool> obs_enabled{true};
 std::atomic<bool> obs_trace_enabled{false};
 
+std::string format_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
 /// Minimal JSON string escaper (metric names are ASCII identifiers, but a
 /// scheme name like `emss(2,1)` must still round-trip safely).
 std::string json_escape(std::string_view s) {
@@ -37,14 +45,6 @@ std::string json_escape(std::string_view s) {
     }
     return out;
 }
-
-std::string format_double(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return buf;
-}
-
-}  // namespace
 
 bool enabled() noexcept { return obs_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) noexcept { obs_enabled.store(on, std::memory_order_relaxed); }
@@ -140,6 +140,51 @@ LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
         it = histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>())
                  .first;
     return *it->second;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const noexcept {
+    for (const auto& [n, v] : counters)
+        if (n == name) return v;
+    return fallback;
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& newer, const MetricsSnapshot& older) {
+    MetricsSnapshot out;
+    out.counters.reserve(newer.counters.size());
+    for (const auto& [name, value] : newer.counters) {
+        const std::uint64_t before = older.counter_or(name, 0);
+        out.counters.emplace_back(name, value >= before ? value - before : 0);
+    }
+    out.gauges = newer.gauges;  // levels pass through
+    out.histograms.reserve(newer.histograms.size());
+    for (const auto& [name, totals] : newer.histograms) {
+        MetricsSnapshot::HistogramTotals before;
+        for (const auto& [n, t] : older.histograms)
+            if (n == name) {
+                before = t;
+                break;
+            }
+        MetricsSnapshot::HistogramTotals d;
+        d.count = totals.count >= before.count ? totals.count - before.count : 0;
+        d.sum_ns = totals.sum_ns >= before.sum_ns ? totals.sum_ns - before.sum_ns : 0;
+        out.histograms.emplace_back(name, d);
+    }
+    return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        snap.histograms.emplace_back(
+            name, MetricsSnapshot::HistogramTotals{h->count(), h->sum_ns()});
+    return snap;
 }
 
 void MetricsRegistry::reset() {

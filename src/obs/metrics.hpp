@@ -101,6 +101,29 @@ private:
     std::atomic<std::uint64_t> max_{0};
 };
 
+/// Point-in-time copy of every metric's accumulable state, for per-region
+/// (per-repeat, per-phase) reporting: snapshot before and after, then
+/// delta(). All name lists are sorted.
+struct MetricsSnapshot {
+    struct HistogramTotals {
+        std::uint64_t count = 0;
+        std::uint64_t sum_ns = 0;
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramTotals>> histograms;
+
+    /// Counter value by name; `fallback` when absent.
+    std::uint64_t counter_or(std::string_view name,
+                             std::uint64_t fallback = 0) const noexcept;
+};
+
+/// `newer` minus `older`: counters and histogram totals subtract (an entry
+/// missing from `older` counts from zero; a counter that went backwards —
+/// reset() between the snapshots — clamps to 0 rather than wrapping).
+/// Gauges are levels, not accumulators, so the newer level passes through.
+MetricsSnapshot delta(const MetricsSnapshot& newer, const MetricsSnapshot& older);
+
 /// Name -> metric map. One process-wide instance (`registry()`); separate
 /// instances are constructible for tests.
 class MetricsRegistry {
@@ -108,6 +131,10 @@ public:
     Counter& counter(std::string_view name);
     Gauge& gauge(std::string_view name);
     LatencyHistogram& histogram(std::string_view name);
+
+    /// Capture every metric's current value (one lock, no allocation on the
+    /// hot path — callers are bench harnesses, not instrumentation sites).
+    MetricsSnapshot snapshot() const;
 
     /// Zero every metric, keeping registrations (and cached references) valid.
     void reset();
@@ -133,5 +160,9 @@ private:
 
 /// The process-wide registry every MCAUTH_OBS_* macro records into.
 MetricsRegistry& registry() noexcept;
+
+/// Escape `s` for embedding in a JSON string literal (shared by every
+/// hand-rolled exporter in the obs layer).
+std::string json_escape(std::string_view s);
 
 }  // namespace mcauth::obs

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 

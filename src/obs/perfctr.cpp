@@ -1,0 +1,172 @@
+#include "obs/perfctr.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mcauth::obs {
+
+namespace {
+
+std::atomic<bool> forced_unavailable_flag{false};
+
+#if defined(__linux__)
+
+struct EventSpec {
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+// Order matches the PerfReading fields read back in read_all().
+constexpr EventSpec kEvents[PerfCounterSet::kEventCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int open_event(const EventSpec& spec) noexcept {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.size = sizeof attr;
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;  // user-space work only; also needs less privilege
+    attr.exclude_hv = 1;
+    attr.inherit = 1;  // pool workers count too: the regions bracket
+                       // parallel_for fan-outs
+    // pid=0, cpu=-1: this process (and, via inherit, its children) on any CPU.
+    const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+    return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+double PerfReading::ipc() const noexcept {
+    if (cycles <= 0 || instructions < 0) return std::nan("");
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double PerfReading::cache_miss_rate() const noexcept {
+    if (cache_references <= 0 || cache_misses < 0) return std::nan("");
+    return static_cast<double>(cache_misses) / static_cast<double>(cache_references);
+}
+
+double PerfReading::branch_miss_rate() const noexcept {
+    if (branches <= 0 || branch_misses < 0) return std::nan("");
+    return static_cast<double>(branch_misses) / static_cast<double>(branches);
+}
+
+std::string PerfReading::to_json() const {
+    if (!available) return "\"unavailable\"";
+    std::string out = "{";
+    bool first = true;
+    const auto field = [&](const char* name, std::int64_t v) {
+        if (v < 0) return;
+        if (!first) out += ", ";
+        first = false;
+        out += std::string("\"") + name + "\": " + std::to_string(v);
+    };
+    const auto ratio = [&](const char* name, double v) {
+        if (std::isnan(v)) return;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.4f", v);
+        if (!first) out += ", ";
+        first = false;
+        out += std::string("\"") + name + "\": " + buf;
+    };
+    field("cycles", cycles);
+    field("instructions", instructions);
+    ratio("ipc", ipc());
+    field("cache_references", cache_references);
+    field("cache_misses", cache_misses);
+    ratio("cache_miss_rate", cache_miss_rate());
+    field("branches", branches);
+    field("branch_misses", branch_misses);
+    ratio("branch_miss_rate", branch_miss_rate());
+    out += "}";
+    return out;
+}
+
+PerfCounterSet::PerfCounterSet() {
+    for (int& fd : fds_) fd = -1;
+#if defined(__linux__)
+    if (forced_unavailable()) return;
+    for (int i = 0; i < kEventCount; ++i) fds_[i] = open_event(kEvents[i]);
+#endif
+}
+
+PerfCounterSet::~PerfCounterSet() {
+#if defined(__linux__)
+    for (const int fd : fds_)
+        if (fd >= 0) close(fd);
+#endif
+}
+
+bool PerfCounterSet::available() const noexcept {
+    for (const int fd : fds_)
+        if (fd >= 0) return true;
+    return false;
+}
+
+void PerfCounterSet::start() noexcept {
+#if defined(__linux__)
+    for (const int fd : fds_) {
+        if (fd < 0) continue;
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+}
+
+PerfReading PerfCounterSet::stop() noexcept {
+#if defined(__linux__)
+    for (const int fd : fds_)
+        if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+#endif
+    return read();
+}
+
+PerfReading PerfCounterSet::read() const noexcept {
+    PerfReading r;
+    std::int64_t* const slots[kEventCount] = {
+        &r.cycles,       &r.instructions, &r.cache_references,
+        &r.cache_misses, &r.branches,     &r.branch_misses,
+    };
+#if defined(__linux__)
+    for (int i = 0; i < kEventCount; ++i) {
+        if (fds_[i] < 0) continue;
+        std::uint64_t value = 0;
+        if (::read(fds_[i], &value, sizeof value) == sizeof value) {
+            *slots[i] = static_cast<std::int64_t>(value);
+            r.available = true;
+        }
+    }
+#else
+    (void)slots;
+#endif
+    return r;
+}
+
+void PerfCounterSet::set_forced_unavailable(bool on) noexcept {
+    forced_unavailable_flag.store(on, std::memory_order_relaxed);
+}
+
+bool PerfCounterSet::forced_unavailable() noexcept {
+    return forced_unavailable_flag.load(std::memory_order_relaxed);
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,116 @@
+// Hardware performance counters via perf_event_open (Linux).
+//
+// PerfCounterSet opens one fd per counter (cycles, instructions, cache
+// references/misses, branches/branch-misses) scoped to the calling thread
+// plus its children, and PerfRegion brackets a region of interest:
+//
+//     obs::PerfCounterSet counters;            // open once per bench
+//     obs::PerfReading reading;
+//     {
+//         obs::PerfRegion region(counters, &reading);
+//         workload();
+//     }   // reading now holds cycles/instructions/... for the region
+//
+// Degradation is the design center, not an afterthought: perf_event_open is
+// routinely denied inside containers and CI sandboxes
+// (kernel.perf_event_paranoid, seccomp), and an individual event can be
+// unsupported on a given machine even when the syscall works. A counter
+// that failed to open reads as -1 — "unavailable", never a fake zero — and
+// a set where nothing opened has available() == false but is still safe to
+// start/stop, so instrumented code needs no #ifdefs and no error paths.
+// PerfRegion composes with ScopedTimer/MCAUTH_OBS_SPAN by simple
+// juxtaposition (both are scope-bound; wall time comes from the span, the
+// counter deltas from the region).
+//
+// set_forced_unavailable(true) makes every subsequently constructed set
+// behave as if the syscall was denied — the fallback path is testable on
+// machines where the real thing works.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcauth::obs {
+
+/// Counter deltas for one start()/stop() interval. A value of -1 means the
+/// underlying event could not be opened or read; ratios derived from
+/// unavailable inputs are NaN.
+struct PerfReading {
+    static constexpr std::int64_t kUnavailable = -1;
+
+    bool available = false;  ///< at least one counter delivered a value
+    std::int64_t cycles = kUnavailable;
+    std::int64_t instructions = kUnavailable;
+    std::int64_t cache_references = kUnavailable;
+    std::int64_t cache_misses = kUnavailable;
+    std::int64_t branches = kUnavailable;
+    std::int64_t branch_misses = kUnavailable;
+
+    /// Instructions per cycle; NaN unless both counters delivered.
+    double ipc() const noexcept;
+    /// cache_misses / cache_references in [0,1]; NaN unless both delivered.
+    double cache_miss_rate() const noexcept;
+    /// branch_misses / branches in [0,1]; NaN unless both delivered.
+    double branch_miss_rate() const noexcept;
+
+    /// `"unavailable"` (a JSON string) when !available, else an object with
+    /// only the counters that delivered plus derived ratios:
+    /// {"cycles": N, "instructions": N, "ipc": 1.84, ...}.
+    std::string to_json() const;
+};
+
+class PerfCounterSet {
+public:
+    /// Opens the event fds; never throws. On any platform or in any sandbox
+    /// where nothing can be opened the set is inert: available() == false,
+    /// start()/stop() are no-ops, readings come back unavailable.
+    PerfCounterSet();
+    ~PerfCounterSet();
+
+    PerfCounterSet(const PerfCounterSet&) = delete;
+    PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+    /// True when at least one hardware event opened.
+    bool available() const noexcept;
+
+    /// Zero and enable all opened counters.
+    void start() noexcept;
+    /// Disable and read; counters that failed to open (or read) are
+    /// kUnavailable in the result.
+    PerfReading stop() noexcept;
+    /// Read without disabling (counters keep running).
+    PerfReading read() const noexcept;
+
+    /// Test/CI hook: when true, every PerfCounterSet constructed afterwards
+    /// acts as if perf_event_open was denied. Does not affect live sets.
+    static void set_forced_unavailable(bool on) noexcept;
+    static bool forced_unavailable() noexcept;
+
+    static constexpr int kEventCount = 6;
+
+private:
+    int fds_[kEventCount];  // -1 = event unavailable
+};
+
+/// RAII bracket: starts `set` on construction, stops it and stores the
+/// reading into `*out` (if non-null) on destruction.
+class PerfRegion {
+public:
+    PerfRegion(PerfCounterSet& set, PerfReading* out) noexcept
+        : set_(set), out_(out) {
+        set_.start();
+    }
+    ~PerfRegion() {
+        const PerfReading r = set_.stop();
+        if (out_ != nullptr) *out_ = r;
+    }
+
+    PerfRegion(const PerfRegion&) = delete;
+    PerfRegion& operator=(const PerfRegion&) = delete;
+
+private:
+    PerfCounterSet& set_;
+    PerfReading* out_;
+};
+
+}  // namespace mcauth::obs

@@ -1,0 +1,110 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::atomic<bool> progress_flag{false};
+
+/// "6.1M" style compaction so the line stays one terminal row wide.
+std::string human_rate(double per_sec) {
+    char buf[32];
+    if (per_sec >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.1fG", per_sec / 1e9);
+    else if (per_sec >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.1fM", per_sec / 1e6);
+    else if (per_sec >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1fk", per_sec / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f", per_sec);
+    return buf;
+}
+
+}  // namespace
+
+bool progress_enabled() noexcept {
+    return progress_flag.load(std::memory_order_relaxed);
+}
+
+void set_progress_enabled(bool on) noexcept {
+    progress_flag.store(on, std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(const char* label, std::uint64_t total_units,
+                                   const char* unit,
+                                   std::uint64_t min_interval_ns) noexcept
+    : label_(label), unit_(unit), total_(total_units),
+      min_interval_ns_(min_interval_ns) {
+    if (!progress_enabled()) return;
+    active_ = true;
+    start_ns_ = clock().now_ns();
+    last_print_ns_.store(start_ns_, std::memory_order_relaxed);
+}
+
+ProgressReporter::~ProgressReporter() {
+    if (!active_ || emitted_.load(std::memory_order_relaxed) == 0) return;
+    // Close the in-place line with a final complete one.
+    std::fprintf(stderr, "\r%s\n", format_line().c_str());
+}
+
+void ProgressReporter::tick(std::uint64_t units) noexcept {
+    if (!active_) return;
+    done_.fetch_add(units, std::memory_order_relaxed);
+    const std::uint64_t now = clock().now_ns();
+    std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
+    if (now < last + min_interval_ns_) return;
+    // One shard wins the right to print this interval; losers just return.
+    if (!last_print_ns_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed))
+        return;
+    emit(now);
+}
+
+void ProgressReporter::emit(std::uint64_t now_ns) noexcept {
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "\r%s", format_line().c_str());
+    std::fflush(stderr);
+    if (!enabled()) return;
+    static Gauge& g_done = registry().gauge("exec.progress.done");
+    static Gauge& g_total = registry().gauge("exec.progress.total");
+    static Gauge& g_rate = registry().gauge("exec.progress.rate");
+    static Gauge& g_eta = registry().gauge("exec.progress.eta_s");
+    const std::uint64_t done = done_.load(std::memory_order_relaxed);
+    const double elapsed_s =
+        now_ns >= start_ns_ ? static_cast<double>(now_ns - start_ns_) / 1e9 : 0.0;
+    const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0;
+    g_done.set(static_cast<double>(done));
+    g_total.set(static_cast<double>(total_));
+    g_rate.set(rate);
+    g_eta.set(rate > 0 && total_ > done
+                  ? static_cast<double>(total_ - done) / rate
+                  : 0.0);
+}
+
+std::string ProgressReporter::format_line() const {
+    const std::uint64_t done = done_.load(std::memory_order_relaxed);
+    const std::uint64_t now = clock().now_ns();
+    const double elapsed_s =
+        now >= start_ns_ ? static_cast<double>(now - start_ns_) / 1e9 : 0.0;
+    const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0;
+    const double pct =
+        total_ > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total_)
+                   : 0.0;
+    const double eta_s =
+        rate > 0 && total_ > done
+            ? static_cast<double>(total_ - done) / rate
+            : 0.0;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "[%s] %llu/%llu %s (%.1f%%)  %s/s  eta %.1fs",
+                  label_, static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), unit_, pct,
+                  human_rate(rate).c_str(), eta_s);
+    return buf;
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,84 @@
+// Rate-limited live progress for long Monte-Carlo runs.
+//
+// The Monte-Carlo engines (core/authprob.cpp, core/tesla.cpp) construct a
+// ProgressReporter around each run and tick() it once per completed shard
+// from whichever pool thread finished it. When progress is disabled — the
+// default — the reporter is inert: construction stores one relaxed load,
+// tick() is a single branch, nothing is printed and no metric moves, so
+// engines can instantiate it unconditionally and figure outputs stay
+// byte-identical (progress writes to *stderr* only, never stdout/CSV).
+//
+// Enabled (`--progress` on any BenchMain bench, or set_progress_enabled),
+// it maintains a throughput/ETA line:
+//
+//     [mc.authprob] 122880/200000 trials (61.4%)  6.1M/s  eta 0.0s
+//
+// rewritten in place at most once per min_interval_ns (default 200ms) of
+// obs::clock() time — the clock indirection makes the rate limit testable
+// with FakeClock — plus exec.progress.* gauges for scrapers:
+//
+//     exec.progress.done        units completed so far
+//     exec.progress.total       units in this run
+//     exec.progress.rate        units/sec since construction
+//     exec.progress.eta_s       remaining / rate
+//
+// Concurrency: done_ is a relaxed fetch_add; printing is elected by a CAS
+// on the last-print timestamp so exactly one shard's completion wins each
+// interval and the stderr line never interleaves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mcauth::obs {
+
+/// Master switch for live progress (default: off). Independent of
+/// enabled(): progress is chatty and opt-in per run, not a metric.
+bool progress_enabled() noexcept;
+void set_progress_enabled(bool on) noexcept;
+
+class ProgressReporter {
+public:
+    /// `label` must outlive the reporter (string literal at engine sites).
+    /// `unit` names what is being counted (e.g. "trials").
+    explicit ProgressReporter(const char* label, std::uint64_t total_units,
+                              const char* unit = "trials",
+                              std::uint64_t min_interval_ns = 200'000'000) noexcept;
+    /// Prints a final 100% line (newline-terminated) if any line was shown.
+    ~ProgressReporter();
+
+    ProgressReporter(const ProgressReporter&) = delete;
+    ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+    /// Record `units` more work done; thread-safe, callable from pool
+    /// workers. No-op when the reporter was constructed disabled.
+    void tick(std::uint64_t units) noexcept;
+
+    bool active() const noexcept { return active_; }
+    std::uint64_t done() const noexcept {
+        return done_.load(std::memory_order_relaxed);
+    }
+    /// Times a status line was emitted (tests assert the rate limit here
+    /// rather than scraping stderr).
+    std::uint64_t emitted_lines() const noexcept {
+        return emitted_.load(std::memory_order_relaxed);
+    }
+    /// The status line as it would print now (no side effects).
+    std::string format_line() const;
+
+private:
+    void emit(std::uint64_t now_ns) noexcept;
+
+    const char* label_;
+    const char* unit_;
+    std::uint64_t total_;
+    std::uint64_t min_interval_ns_;
+    bool active_ = false;
+    std::uint64_t start_ns_ = 0;
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<std::uint64_t> last_print_ns_{0};
+    std::atomic<std::uint64_t> emitted_{0};
+};
+
+}  // namespace mcauth::obs

@@ -1,0 +1,275 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace mcauth {
+
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+    bool parse_document(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing characters after document");
+        return true;
+    }
+
+private:
+    bool fail(const std::string& what) {
+        if (error_ != nullptr && error_->empty())
+            *error_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != c) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return parse_object(out);
+            case '[': return parse_array(out);
+            case '"': {
+                std::string s;
+                if (!parse_string(s)) return false;
+                out = JsonValue::make_string(std::move(s));
+                return true;
+            }
+            case 't':
+                if (!consume_literal("true")) return fail("bad literal");
+                out = JsonValue::make_bool(true);
+                return true;
+            case 'f':
+                if (!consume_literal("false")) return fail("bad literal");
+                out = JsonValue::make_bool(false);
+                return true;
+            case 'n':
+                if (!consume_literal("null")) return fail("bad literal");
+                out = JsonValue::make_null();
+                return true;
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_object(JsonValue& out) {
+        if (!consume('{')) return fail("expected '{'");
+        JsonValue::Object obj;
+        skip_ws();
+        if (consume('}')) {
+            out = JsonValue::make_object(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (!parse_string(key)) return fail("expected object key");
+            if (!consume(':')) return fail("expected ':'");
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            obj.insert_or_assign(std::move(key), std::move(value));
+            if (consume(',')) continue;
+            if (consume('}')) break;
+            return fail("expected ',' or '}'");
+        }
+        out = JsonValue::make_object(std::move(obj));
+        return true;
+    }
+
+    bool parse_array(JsonValue& out) {
+        if (!consume('[')) return fail("expected '['");
+        JsonValue::Array arr;
+        skip_ws();
+        if (consume(']')) {
+            out = JsonValue::make_array(std::move(arr));
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            arr.push_back(std::move(value));
+            if (consume(',')) continue;
+            if (consume(']')) break;
+            return fail("expected ',' or ']'");
+        }
+        out = JsonValue::make_array(std::move(arr));
+        return true;
+    }
+
+    void append_utf8(std::string& s, unsigned cp) {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected '\"'");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) return fail("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else return fail("bad \\u escape");
+                    }
+                    // Surrogate pairs are not emitted by any of our writers;
+                    // map them to U+FFFD rather than erroring.
+                    if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_number(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) return fail("expected value");
+        double value = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc{} || ptr != text_.data() + pos_)
+            return fail("bad number");
+        out = JsonValue::make_number(value);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text, std::string* error) {
+    if (error != nullptr) error->clear();
+    JsonValue out;
+    Parser parser(text, error);
+    if (!parser.parse_document(out)) return std::nullopt;
+    return out;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+    if (!is_object()) return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::get_string(std::string_view key, std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->string_ : std::move(fallback);
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::get_uint(std::string_view key, std::uint64_t fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr ? v->as_uint(fallback) : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr ? v->as_bool(fallback) : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    v.array_ = std::move(a);
+    return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    v.object_ = std::move(o);
+    return v;
+}
+
+}  // namespace mcauth

@@ -1,0 +1,92 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Just enough JSON for the tooling that reads our own machine-readable
+// outputs back in (bench_compare parsing BENCH_*.json manifests, tests
+// validating exporter output): objects, arrays, strings (with the standard
+// escapes incl. \uXXXX for the BMP), numbers, booleans, null. Numbers are
+// held as double — our emitters never exceed 53-bit integer precision for
+// anything a reader gates on (counts, thread counts, seeds are echoed as
+// strings where exactness matters).
+//
+// Not a serializer: emission stays with the hand-rolled fprintf writers so
+// emitted files remain diff-stable; this is the *reading* half only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcauth {
+
+class JsonValue {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue, std::less<>>;
+
+    /// Parse `text` as a single JSON document (trailing garbage rejected).
+    /// On failure returns nullopt and, when `error` is non-null, a one-line
+    /// diagnostic with the byte offset.
+    static std::optional<JsonValue> parse(std::string_view text,
+                                          std::string* error = nullptr);
+
+    Kind kind() const noexcept { return kind_; }
+    bool is_null() const noexcept { return kind_ == Kind::kNull; }
+    bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+    bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+    bool is_string() const noexcept { return kind_ == Kind::kString; }
+    bool is_array() const noexcept { return kind_ == Kind::kArray; }
+    bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+    bool as_bool(bool fallback = false) const noexcept {
+        return is_bool() ? bool_ : fallback;
+    }
+    double as_double(double fallback = 0.0) const noexcept {
+        return is_number() ? number_ : fallback;
+    }
+    std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+        return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+    }
+    std::uint64_t as_uint(std::uint64_t fallback = 0) const noexcept {
+        return is_number() && number_ >= 0 ? static_cast<std::uint64_t>(number_)
+                                           : fallback;
+    }
+    const std::string& as_string() const noexcept { return string_; }
+
+    const Array& array() const noexcept { return array_; }
+    const Object& object() const noexcept { return object_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* find(std::string_view key) const noexcept;
+    bool has(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+    /// Convenience: member `key` as string/number with fallback when the
+    /// member is absent or of the wrong kind.
+    std::string get_string(std::string_view key, std::string fallback = "") const;
+    double get_double(std::string_view key, double fallback = 0.0) const;
+    std::uint64_t get_uint(std::string_view key, std::uint64_t fallback = 0) const;
+    bool get_bool(std::string_view key, bool fallback = false) const;
+
+    // Construction (tests and programmatic fixtures).
+    JsonValue() = default;
+    static JsonValue make_null() { return JsonValue(); }
+    static JsonValue make_bool(bool b);
+    static JsonValue make_number(double v);
+    static JsonValue make_string(std::string s);
+    static JsonValue make_array(Array a);
+    static JsonValue make_object(Object o);
+
+private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+}  // namespace mcauth

@@ -214,13 +214,21 @@ __attribute__((target("avx2"))) void Rng::bernoulli_bits64_avx2(
 void Rng::bernoulli_bits64(Rng* rngs, std::uint64_t threshold, std::size_t count,
                            std::uint64_t* words) noexcept {
 #if MCAUTH_RNG_HAVE_AVX2_KERNEL
-    static const bool have_avx2 = __builtin_cpu_supports("avx2");
-    if (have_avx2) {
+    if (bernoulli_bits64_uses_avx2()) {
         bernoulli_bits64_avx2(rngs, threshold, count, words);
         return;
     }
 #endif
     bernoulli_bits64_scalar(rngs, threshold, count, words);
+}
+
+bool Rng::bernoulli_bits64_uses_avx2() noexcept {
+#if MCAUTH_RNG_HAVE_AVX2_KERNEL
+    static const bool have_avx2 = __builtin_cpu_supports("avx2");
+    return have_avx2;
+#else
+    return false;
+#endif
 }
 
 }  // namespace mcauth

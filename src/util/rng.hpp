@@ -125,6 +125,11 @@ public:
     static void bernoulli_bits64(Rng* rngs, std::uint64_t threshold, std::size_t count,
                                  std::uint64_t* words) noexcept;
 
+    /// True when bernoulli_bits64 dispatches to the AVX2 kernel on this
+    /// machine (provenance for bench manifests; both paths are
+    /// bit-identical, so this never changes results — only throughput).
+    static bool bernoulli_bits64_uses_avx2() noexcept;
+
 private:
     /// AVX2 specialization of bernoulli_bits64 (defined, and only
     /// referenced, on x86-64 GCC/Clang builds).

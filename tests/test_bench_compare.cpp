@@ -1,0 +1,269 @@
+// obs::bench_compare: the loader's refusal contract (pre-manifest files,
+// unknown schema versions), the hard/soft compatibility split, and the
+// noise-aware verdict bands (rel_tol floor widened by repeat spread).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_compare.hpp"
+
+namespace mcauth::obs {
+namespace {
+
+// ------------------------------------------------------------------ loader
+
+std::string v2_file_json(const std::string& bench = "perf_x",
+                         std::uint64_t seed = 1) {
+    return "{\n"
+           "  \"schema_version\": 2,\n"
+           "  \"bench\": \"" + bench + "\",\n"
+           "  \"manifest\": {\n"
+           "    \"schema_version\": 2,\n"
+           "    \"bench\": \"" + bench + "\",\n"
+           "    \"seed\": " + std::to_string(seed) + ",\n"
+           "    \"git_revision\": \"abc123\",\n"
+           "    \"compiler\": \"GNU 12.2.0\",\n"
+           "    \"compiler_flags\": \"-O2\",\n"
+           "    \"build_type\": \"RelWithDebInfo\",\n"
+           "    \"sanitizer\": \"\",\n"
+           "    \"cpu_model\": \"Fake CPU\",\n"
+           "    \"cpu_avx2\": true,\n"
+           "    \"bitslice_avx2_dispatch\": true,\n"
+           "    \"hardware_threads\": 8,\n"
+           "    \"threads\": 4\n"
+           "  },\n"
+           "  \"results\": [\n"
+           "    {\"workload\": \"w1\", \"engine\": \"scalar\", \"threads\": 1,\n"
+           "     \"trials\": 1000, \"seconds\": 2.0,\n"
+           "     \"seconds_repeats\": [2.0, 2.1], \"trials_per_sec\": 500.0}\n"
+           "  ]\n"
+           "}\n";
+}
+
+TEST(BenchCompareLoader, ParsesV2File) {
+    BenchFile f;
+    std::string error;
+    ASSERT_TRUE(load_bench_file(v2_file_json(), f, error)) << error;
+    EXPECT_EQ(f.schema_version, 2);
+    EXPECT_EQ(f.bench, "perf_x");
+    EXPECT_EQ(f.seed, 1u);
+    EXPECT_EQ(f.cpu_model, "Fake CPU");
+    EXPECT_TRUE(f.cpu_avx2);
+    EXPECT_EQ(f.hardware_threads, 8u);
+    ASSERT_EQ(f.entries.size(), 1u);
+    EXPECT_EQ(f.entries[0].key(), "w1/scalar@1t");
+    EXPECT_EQ(f.entries[0].trials, 1000u);
+    EXPECT_DOUBLE_EQ(f.entries[0].trials_per_sec, 500.0);
+    ASSERT_EQ(f.entries[0].seconds_repeats.size(), 2u);
+    EXPECT_NEAR(f.entries[0].repeat_spread(), 0.05, 1e-12);
+}
+
+// The refusal the ISSUE demands verbatim: a pre-manifest (PR-2/3 era) file
+// gets an explicit "regenerate" message, not a confusing parse error.
+TEST(BenchCompareLoader, RefusesPreManifestFile) {
+    const std::string old_schema =
+        "{\"bench\": \"perf_x\", \"seed\": 1, \"results\": []}";
+    BenchFile f;
+    std::string error;
+    EXPECT_FALSE(load_bench_file(old_schema, f, error));
+    EXPECT_NE(error.find("pre-manifest"), std::string::npos) << error;
+    EXPECT_NE(error.find("regenerate"), std::string::npos) << error;
+}
+
+TEST(BenchCompareLoader, RefusesUnknownSchemaVersion) {
+    std::string json = v2_file_json();
+    const auto pos = json.find("\"schema_version\": 2,\n    \"bench\"");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, 20, "\"schema_version\": 9,");
+    BenchFile f;
+    std::string error;
+    EXPECT_FALSE(load_bench_file(json, f, error));
+    EXPECT_NE(error.find("schema_version 9"), std::string::npos) << error;
+}
+
+TEST(BenchCompareLoader, RefusesGarbage) {
+    BenchFile f;
+    std::string error;
+    EXPECT_FALSE(load_bench_file("not json at all", f, error));
+    EXPECT_NE(error.find("not valid JSON"), std::string::npos) << error;
+    EXPECT_FALSE(load_bench_file("[1, 2]", f, error));
+    EXPECT_FALSE(load_bench_file_path("/nonexistent/path.json", f, error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+// -------------------------------------------------------------- comparison
+
+BenchEntry entry(const std::string& workload, double seconds,
+                 std::vector<double> repeats = {}, std::uint64_t trials = 1000) {
+    BenchEntry e;
+    e.workload = workload;
+    e.engine = "scalar";
+    e.threads = 1;
+    e.trials = trials;
+    e.seconds = seconds;
+    e.seconds_repeats = std::move(repeats);
+    e.trials_per_sec = seconds > 0 ? static_cast<double>(trials) / seconds : 0;
+    return e;
+}
+
+BenchFile file_with(std::vector<BenchEntry> entries) {
+    BenchFile f;
+    f.schema_version = 2;
+    f.bench = "perf_x";
+    f.seed = 1;
+    f.cpu_model = "Fake CPU";
+    f.compiler = "GNU 12.2.0";
+    f.compiler_flags = "-O2";
+    f.build_type = "RelWithDebInfo";
+    f.hardware_threads = 8;
+    f.entries = std::move(entries);
+    return f;
+}
+
+TEST(BenchCompare, SelfCompareIsCleanWithinNoise) {
+    const BenchFile f = file_with({entry("w1", 2.0), entry("w2", 1.0)});
+    const CompareReport report = compare_bench_files(f, f);
+    EXPECT_FALSE(report.incompatible);
+    EXPECT_TRUE(report.warnings.empty());
+    EXPECT_FALSE(report.has_regression());
+    ASSERT_EQ(report.rows.size(), 2u);
+    for (const Comparison& c : report.rows) {
+        EXPECT_EQ(c.verdict, Verdict::kWithinNoise);
+        EXPECT_DOUBLE_EQ(c.ratio, 1.0);
+        EXPECT_DOUBLE_EQ(c.threshold, 0.05);  // rel_tol floor, no spread
+    }
+}
+
+TEST(BenchCompare, ImprovementAndRegressionVerdicts) {
+    const BenchFile base = file_with({entry("fast", 2.0), entry("slow", 2.0)});
+    // "fast" got 2x faster, "slow" got 25% slower (rate 500 -> 400).
+    const BenchFile cur = file_with({entry("fast", 1.0), entry("slow", 2.5)});
+    const CompareReport report = compare_bench_files(base, cur);
+    ASSERT_EQ(report.rows.size(), 2u);
+    EXPECT_EQ(report.rows[0].verdict, Verdict::kImproved);
+    EXPECT_DOUBLE_EQ(report.rows[0].ratio, 2.0);
+    EXPECT_EQ(report.rows[1].verdict, Verdict::kRegressed);
+    EXPECT_DOUBLE_EQ(report.rows[1].ratio, 0.8);
+    EXPECT_TRUE(report.has_regression());
+}
+
+// The noise model: a file whose repeats spread 20% widens the band to
+// rel_tol + 0.20, so the same 15% drop that would regress on a quiet
+// machine is within noise on the noisy one.
+TEST(BenchCompare, RepeatSpreadWidensTheTolerance) {
+    const BenchFile quiet_base = file_with({entry("w", 2.0, {2.0, 2.0})});
+    const BenchFile noisy_base = file_with({entry("w", 2.0, {2.0, 2.4})});
+    const BenchFile cur = file_with({entry("w", 2.35)});  // ~14.9% rate drop
+
+    const CompareReport on_quiet = compare_bench_files(quiet_base, cur);
+    ASSERT_EQ(on_quiet.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(on_quiet.rows[0].threshold, 0.05);
+    EXPECT_EQ(on_quiet.rows[0].verdict, Verdict::kRegressed);
+
+    const CompareReport on_noisy = compare_bench_files(noisy_base, cur);
+    ASSERT_EQ(on_noisy.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(on_noisy.rows[0].noise, 0.4 / 2.0);
+    EXPECT_DOUBLE_EQ(on_noisy.rows[0].threshold, 0.25);
+    EXPECT_EQ(on_noisy.rows[0].verdict, Verdict::kWithinNoise);
+}
+
+TEST(BenchCompare, CurrentSideSpreadAlsoWidens) {
+    const BenchFile base = file_with({entry("w", 2.0)});
+    const BenchFile cur = file_with({entry("w", 2.3, {2.3, 2.76})});
+    const CompareReport report = compare_bench_files(base, cur);
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.rows[0].noise, 0.2);
+    EXPECT_EQ(report.rows[0].verdict, Verdict::kWithinNoise);
+}
+
+// A workload that vanished from the current run is a REGRESSION, not a
+// silent pass; a brand-new workload is informational only.
+TEST(BenchCompare, MissingAndExtraEntries) {
+    const BenchFile base = file_with({entry("kept", 2.0), entry("dropped", 2.0)});
+    const BenchFile cur = file_with({entry("kept", 2.0), entry("added", 2.0)});
+    const CompareReport report = compare_bench_files(base, cur);
+    ASSERT_EQ(report.rows.size(), 3u);
+    EXPECT_EQ(report.rows[0].verdict, Verdict::kWithinNoise);
+    EXPECT_EQ(report.rows[1].verdict, Verdict::kMissingInCurrent);
+    EXPECT_EQ(report.rows[2].verdict, Verdict::kOnlyInCurrent);
+    EXPECT_TRUE(report.has_regression());  // the missing one gates
+}
+
+TEST(BenchCompare, DifferentBenchOrSeedIsIncompatible) {
+    BenchFile base = file_with({entry("w", 2.0)});
+    BenchFile cur = base;
+    cur.bench = "perf_y";
+    EXPECT_TRUE(compare_bench_files(base, cur).incompatible);
+    cur = base;
+    cur.seed = 99;
+    const CompareReport report = compare_bench_files(base, cur);
+    EXPECT_TRUE(report.incompatible);
+    EXPECT_NE(report.incompatible_reason.find("seed"), std::string::npos);
+}
+
+TEST(BenchCompare, ChangedTrialCountIsIncompatible) {
+    const BenchFile base = file_with({entry("w", 2.0, {}, 1000)});
+    const BenchFile cur = file_with({entry("w", 2.0, {}, 2000)});
+    const CompareReport report = compare_bench_files(base, cur);
+    EXPECT_TRUE(report.incompatible);
+    EXPECT_NE(report.incompatible_reason.find("trials"), std::string::npos);
+}
+
+TEST(BenchCompare, HostMismatchWarnsButCompares) {
+    const BenchFile base = file_with({entry("w", 2.0)});
+    BenchFile cur = base;
+    cur.cpu_model = "Other CPU";
+    cur.compiler = "Clang 18.1.3";
+    const CompareReport report = compare_bench_files(base, cur);
+    EXPECT_FALSE(report.incompatible);
+    ASSERT_EQ(report.warnings.size(), 2u);
+    EXPECT_NE(report.warnings[0].find("cpu_model"), std::string::npos);
+    EXPECT_NE(report.warnings[1].find("compiler"), std::string::npos);
+    ASSERT_EQ(report.rows.size(), 1u);  // still compared
+
+    CompareOptions strict;
+    strict.strict_host = true;
+    const CompareReport gated = compare_bench_files(base, cur, strict);
+    EXPECT_TRUE(gated.incompatible);
+    EXPECT_NE(gated.incompatible_reason.find("strict-host"), std::string::npos);
+}
+
+TEST(BenchCompare, CustomRelTol) {
+    const BenchFile base = file_with({entry("w", 2.0)});
+    const BenchFile cur = file_with({entry("w", 2.2)});  // ~9.1% rate drop
+    CompareOptions loose;
+    loose.rel_tol = 0.10;
+    EXPECT_FALSE(compare_bench_files(base, cur, loose).has_regression());
+    CompareOptions tight;
+    tight.rel_tol = 0.02;
+    EXPECT_TRUE(compare_bench_files(base, cur, tight).has_regression());
+}
+
+TEST(BenchCompare, MarkdownRenderHasTableAndVerdicts) {
+    BenchFile base = file_with({entry("w1", 2.0), entry("gone", 2.0)});
+    base.git_revision = "base-rev";
+    BenchFile cur = file_with({entry("w1", 4.0)});
+    cur.git_revision = "cur-rev";
+    const CompareReport report = compare_bench_files(base, cur);
+    const std::string md = report.render_markdown(base, cur);
+    EXPECT_NE(md.find("## bench_compare: perf_x"), std::string::npos) << md;
+    EXPECT_NE(md.find("`base-rev`"), std::string::npos);
+    EXPECT_NE(md.find("`cur-rev`"), std::string::npos);
+    EXPECT_NE(md.find("| entry | baseline trials/s |"), std::string::npos);
+    EXPECT_NE(md.find("| w1/scalar@1t |"), std::string::npos);
+    EXPECT_NE(md.find("REGRESSED"), std::string::npos);     // slowdown row
+    EXPECT_NE(md.find("MISSING in current"), std::string::npos);
+}
+
+TEST(BenchCompare, MarkdownRenderShowsIncompatibility) {
+    BenchFile base = file_with({entry("w", 2.0)});
+    BenchFile cur = base;
+    cur.seed = 2;
+    const CompareReport report = compare_bench_files(base, cur);
+    const std::string md = report.render_markdown(base, cur);
+    EXPECT_NE(md.find("**INCOMPATIBLE**"), std::string::npos) << md;
+    EXPECT_EQ(md.find("| entry |"), std::string::npos);  // no table
+}
+
+}  // namespace
+}  // namespace mcauth::obs

@@ -1,0 +1,137 @@
+// obs::RunManifest: a golden-file test pinning the exact JSON rendering
+// (field order, indentation, embedding contract) with hand-set fields, and
+// sanity checks on collect()'s machine/build probes. The golden string IS
+// the schema: any change to the renderer shows up as a full-string diff
+// here and must come with a schema_version bump.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace mcauth::obs {
+namespace {
+
+/// Fully hand-set manifest — collect() is intentionally NOT used, so the
+/// rendering is deterministic on every machine.
+RunManifest golden_manifest() {
+    RunManifest m;
+    m.bench = "perf_fake";
+    m.git_revision = "v1.2.3-4-gabcdef0";
+    m.compiler = "GNU 12.2.0";
+    m.compiler_flags = "-O2 -g -DNDEBUG";
+    m.build_type = "RelWithDebInfo";
+    m.sanitizer = "";
+    m.obs_compiled_in = true;
+    m.cpu_model = "Fake CPU \"quoted\" @ 3.0GHz";
+    m.cpu_avx2 = true;
+    m.bitslice_avx2_dispatch = false;
+    m.hardware_threads = 8;
+    m.threads = 4;
+    m.seed = 42;
+    m.warmup = 1;
+    m.repeat = 3;
+    m.timestamp_utc = "2026-08-06T12:00:00Z";
+    m.perf_counters = "unavailable";
+    m.metrics_counters = {{"core.bitslice.batches", 10},
+                          {"exec.pool.tasks", 7}};
+    return m;
+}
+
+TEST(ManifestTest, GoldenJsonRendering) {
+    const std::string expected =
+        "{\n"
+        "  \"schema_version\": 2,\n"
+        "  \"bench\": \"perf_fake\",\n"
+        "  \"git_revision\": \"v1.2.3-4-gabcdef0\",\n"
+        "  \"compiler\": \"GNU 12.2.0\",\n"
+        "  \"compiler_flags\": \"-O2 -g -DNDEBUG\",\n"
+        "  \"build_type\": \"RelWithDebInfo\",\n"
+        "  \"sanitizer\": \"\",\n"
+        "  \"obs_compiled_in\": true,\n"
+        "  \"cpu_model\": \"Fake CPU \\\"quoted\\\" @ 3.0GHz\",\n"
+        "  \"cpu_avx2\": true,\n"
+        "  \"bitslice_avx2_dispatch\": false,\n"
+        "  \"hardware_threads\": 8,\n"
+        "  \"threads\": 4,\n"
+        "  \"seed\": 42,\n"
+        "  \"warmup\": 1,\n"
+        "  \"repeat\": 3,\n"
+        "  \"timestamp_utc\": \"2026-08-06T12:00:00Z\",\n"
+        "  \"perf_counters\": \"unavailable\",\n"
+        "  \"metrics_counters\": {\n"
+        "    \"core.bitslice.batches\": 10,\n"
+        "    \"exec.pool.tasks\": 7\n"
+        "  }\n"
+        "}";
+    EXPECT_EQ(golden_manifest().to_json(), expected);
+}
+
+// indent=N prefixes every line AFTER the first with N spaces (closing brace
+// included), so `"manifest": %s` embeds at depth N of a hand-rolled writer.
+TEST(ManifestTest, IndentedRenderingEmbedsCleanly) {
+    const std::string flat = golden_manifest().to_json(0);
+    const std::string indented = golden_manifest().to_json(2);
+    // Same content line by line, two extra leading spaces from line 2 on.
+    std::size_t fpos = flat.find('\n'), ipos = indented.find('\n');
+    EXPECT_EQ(flat.substr(0, fpos), indented.substr(0, ipos));
+    while (fpos != std::string::npos) {
+        const std::size_t fend = flat.find('\n', fpos + 1);
+        const std::size_t iend = indented.find('\n', ipos + 1);
+        EXPECT_EQ("  " + flat.substr(fpos + 1, fend - fpos - 1),
+                  indented.substr(ipos + 1, iend - ipos - 1));
+        fpos = fend;
+        ipos = iend;
+    }
+    // And the whole thing embeds as a value in a larger document.
+    std::string error;
+    const auto doc =
+        JsonValue::parse("{\n  \"manifest\": " + indented + "\n}", &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->find("manifest")->get_string("bench"), "perf_fake");
+}
+
+TEST(ManifestTest, EmptyCountersRenderAsEmptyObject) {
+    RunManifest m = golden_manifest();
+    m.metrics_counters.clear();
+    const std::string json = m.to_json();
+    EXPECT_NE(json.find("\"metrics_counters\": {}"), std::string::npos) << json;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(json, &error).has_value()) << error;
+}
+
+TEST(ManifestTest, CollectFillsEveryField) {
+    registry().counter("test_manifest.probe").add(3);
+    const RunManifest m = RunManifest::collect("perf_x", 7, 2, 1, 5);
+    EXPECT_EQ(m.schema_version, RunManifest::kSchemaVersion);
+    EXPECT_EQ(m.bench, "perf_x");
+    EXPECT_EQ(m.seed, 7u);
+    EXPECT_EQ(m.threads, 2u);
+    EXPECT_EQ(m.warmup, 1u);
+    EXPECT_EQ(m.repeat, 5u);
+    EXPECT_FALSE(m.git_revision.empty());
+    EXPECT_FALSE(m.compiler.empty());
+    EXPECT_NE(m.compiler, "unknown");  // this test IS compiled by something
+    EXPECT_FALSE(m.cpu_model.empty());
+    EXPECT_GE(m.hardware_threads, 1u);
+    // ISO-8601 second resolution: 2026-08-06T12:34:56Z.
+    ASSERT_EQ(m.timestamp_utc.size(), 20u) << m.timestamp_utc;
+    EXPECT_EQ(m.timestamp_utc[4], '-');
+    EXPECT_EQ(m.timestamp_utc[10], 'T');
+    EXPECT_EQ(m.timestamp_utc[19], 'Z');
+    EXPECT_TRUE(m.perf_counters == "available" || m.perf_counters == "unavailable")
+        << m.perf_counters;
+    // The obs counter snapshot rides along.
+    bool saw_probe = false;
+    for (const auto& [name, value] : m.metrics_counters)
+        if (name == "test_manifest.probe") saw_probe = value >= 3;
+    EXPECT_TRUE(saw_probe);
+    // And the whole collected manifest renders as valid JSON.
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(m.to_json(), &error).has_value()) << error;
+}
+
+}  // namespace
+}  // namespace mcauth::obs

@@ -183,6 +183,7 @@ protected:
         set_clock(nullptr);
         set_enabled(true);
         set_trace_enabled(false);
+        set_progress_enabled(false);
     }
 };
 
@@ -306,6 +307,163 @@ TEST_F(ObsTest, RenderTableMentionsEveryMetric) {
     EXPECT_NE(table.find("a.ops"), std::string::npos);
     EXPECT_NE(table.find("b.level"), std::string::npos);
     EXPECT_NE(table.find("c.span"), std::string::npos);
+}
+
+// Pins the bucket boundary rule exactly at the power-of-two edges: bucket i
+// is [2^(i-1), 2^i - 1] (bit_width), so 2^k lands in bucket k+1, NOT k —
+// the off-by-one a "log2 bucket" reading of the scheme would get wrong.
+TEST_F(ObsTest, HistogramPowerOfTwoBoundaries) {
+    LatencyHistogram h;
+    h.record_ns(0);     // bucket 0: exactly zero
+    h.record_ns(1023);  // bit_width 10 -> bucket 10 (its top edge)
+    h.record_ns(1024);  // bit_width 11 -> bucket 11 (its bottom edge)
+    EXPECT_EQ(h.bucket_count(0), 1u);
+    EXPECT_EQ(h.bucket_count(10), 1u);
+    EXPECT_EQ(h.bucket_count(11), 1u);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(10), 1023u);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(11), 2047u);
+    // Every bucket's upper edge + 1 lands in the NEXT bucket.
+    for (std::size_t i = 1; i + 1 < LatencyHistogram::kBuckets; ++i) {
+        LatencyHistogram edge;
+        edge.record_ns(LatencyHistogram::bucket_upper_ns(i));
+        edge.record_ns(LatencyHistogram::bucket_upper_ns(i) + 1);
+        EXPECT_EQ(edge.bucket_count(i), 1u) << "upper edge of bucket " << i;
+        EXPECT_EQ(edge.bucket_count(i + 1), 1u) << "first of bucket " << i + 1;
+    }
+}
+
+// A sample wider than the last bucket's edge must still be COUNTED (clamped
+// into bucket 63), with the exact value preserved in sum/max — overflow must
+// never silently drop samples.
+TEST_F(ObsTest, HistogramOverflowSampleClampsToLastBucket) {
+    LatencyHistogram h;
+    const std::uint64_t huge = (std::uint64_t{1} << 63) + 5;  // bit_width 64
+    h.record_ns(huge);
+    h.record_ns(~std::uint64_t{0});  // max representable
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 2u);
+    EXPECT_EQ(h.max_ns(), ~std::uint64_t{0});
+    EXPECT_EQ(h.min_ns(), huge);
+    // The reported upper edge saturates at 2^63 - 1; the true sample may
+    // exceed it, which max_ns() exposes exactly.
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(LatencyHistogram::kBuckets - 1),
+              (std::uint64_t{1} << 63) - 1);
+    EXPECT_GT(h.max_ns(),
+              LatencyHistogram::bucket_upper_ns(LatencyHistogram::kBuckets - 1));
+}
+
+// ---------------------------------------------------------------- snapshots
+
+TEST_F(ObsTest, SnapshotCapturesEveryKind) {
+    MetricsRegistry reg;
+    reg.counter("c.ops").add(7);
+    reg.gauge("g.level").set(2.5);
+    reg.histogram("h.span").record_ns(100);
+    reg.histogram("h.span").record_ns(300);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_or("c.ops"), 7u);
+    EXPECT_EQ(snap.counter_or("absent", 42u), 42u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].first, "g.level");
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].second.count, 2u);
+    EXPECT_EQ(snap.histograms[0].second.sum_ns, 400u);
+}
+
+TEST_F(ObsTest, DeltaSubtractsCountersAndHistograms) {
+    MetricsRegistry reg;
+    reg.counter("c.ops").add(10);
+    reg.histogram("h.span").record_ns(50);
+    reg.gauge("g.level").set(1.0);
+    const MetricsSnapshot before = reg.snapshot();
+
+    reg.counter("c.ops").add(5);
+    reg.counter("c.fresh").add(3);  // born between the snapshots
+    reg.histogram("h.span").record_ns(70);
+    reg.gauge("g.level").set(9.0);
+    const MetricsSnapshot after = reg.snapshot();
+
+    const MetricsSnapshot d = delta(after, before);
+    EXPECT_EQ(d.counter_or("c.ops"), 5u);
+    EXPECT_EQ(d.counter_or("c.fresh"), 3u);  // missing-in-older counts from 0
+    ASSERT_EQ(d.histograms.size(), 1u);
+    EXPECT_EQ(d.histograms[0].second.count, 1u);
+    EXPECT_EQ(d.histograms[0].second.sum_ns, 70u);
+    // Gauges are levels, not accumulators: the newer level passes through.
+    ASSERT_EQ(d.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(d.gauges[0].second, 9.0);
+}
+
+TEST_F(ObsTest, DeltaClampsBackwardsCounterToZero) {
+    MetricsRegistry reg;
+    reg.counter("c.ops").add(10);
+    const MetricsSnapshot before = reg.snapshot();
+    reg.reset();  // counter goes backwards between the snapshots
+    reg.counter("c.ops").add(2);
+    const MetricsSnapshot d = delta(reg.snapshot(), before);
+    EXPECT_EQ(d.counter_or("c.ops"), 0u);  // clamped, not wrapped to ~2^64
+}
+
+// ----------------------------------------------------------------- progress
+
+TEST_F(ObsTest, ProgressReporterDisabledIsInert) {
+    set_progress_enabled(false);
+    ProgressReporter p("test.run", 1000);
+    EXPECT_FALSE(p.active());
+    p.tick(500);
+    EXPECT_EQ(p.done(), 0u);  // disabled reporter never counts
+    EXPECT_EQ(p.emitted_lines(), 0u);
+}
+
+TEST_F(ObsTest, ProgressReporterRateLimitsByClock) {
+    FakeClock fake;
+    fake.set_ns(1'000'000);
+    set_clock(&fake);
+    set_progress_enabled(true);
+    ProgressReporter p("test.run", 1000, "trials", /*min_interval_ns=*/100);
+
+    p.tick(10);  // clock unmoved since construction: inside the interval
+    EXPECT_EQ(p.done(), 10u);
+    EXPECT_EQ(p.emitted_lines(), 0u);
+
+    fake.advance_ns(100);  // exactly one interval elapsed
+    p.tick(10);
+    EXPECT_EQ(p.emitted_lines(), 1u);
+    p.tick(10);  // same instant: the interval gate closes again
+    EXPECT_EQ(p.emitted_lines(), 1u);
+
+    fake.advance_ns(100);
+    p.tick(10);
+    EXPECT_EQ(p.emitted_lines(), 2u);
+    EXPECT_EQ(p.done(), 40u);
+    set_progress_enabled(false);
+}
+
+TEST_F(ObsTest, ProgressReporterFormatsAndSetsGauges) {
+    FakeClock fake;
+    fake.set_ns(0);
+    set_clock(&fake);
+    set_progress_enabled(true);
+    ProgressReporter p("mc.test", 200, "trials", /*min_interval_ns=*/1);
+
+    fake.advance_ns(1'000'000'000);  // 1 s
+    p.tick(100);                     // 100 trials in 1 s
+    const std::string line = p.format_line();
+    EXPECT_NE(line.find("[mc.test]"), std::string::npos) << line;
+    EXPECT_NE(line.find("100/200 trials"), std::string::npos) << line;
+    EXPECT_NE(line.find("(50.0%)"), std::string::npos) << line;
+    EXPECT_NE(line.find("100/s"), std::string::npos) << line;
+    EXPECT_NE(line.find("eta 1.0s"), std::string::npos) << line;
+
+#if MCAUTH_OBS_ENABLED
+    EXPECT_DOUBLE_EQ(registry().gauge("exec.progress.done").value(), 100.0);
+    EXPECT_DOUBLE_EQ(registry().gauge("exec.progress.total").value(), 200.0);
+    EXPECT_DOUBLE_EQ(registry().gauge("exec.progress.rate").value(), 100.0);
+    EXPECT_DOUBLE_EQ(registry().gauge("exec.progress.eta_s").value(), 1.0);
+#endif
+    set_progress_enabled(false);
 }
 
 // -------------------------------------------------------------------- timer

@@ -1,0 +1,91 @@
+// bench_compare — the noise-aware benchmark regression gate (DESIGN.md §9).
+//
+//   bench_compare BASELINE.json CURRENT.json [--rel-tol=0.05]
+//                 [--report-only] [--strict-host]
+//
+// Diffs two manifest-bearing BENCH_*.json files (e.g. the committed
+// bench_out/BENCH_bitslice_mc.json baseline vs a fresh run) and prints a
+// markdown verdict table.
+//
+// Exit codes:
+//   0  comparable, no regression (or --report-only suppressed the gate)
+//   1  at least one entry regressed beyond its noise-aware threshold, or
+//      an entry present in the baseline is missing from the current run
+//   2  usage error, unreadable/pre-manifest file, or incompatible
+//      manifests (different bench/seed/trials; any mismatch under
+//      --strict-host) — never suppressed, even by --report-only
+//
+// --report-only is for shared CI runners whose timing is untrustworthy:
+// the table still prints and schema/manifest problems still hard-fail, but
+// a timing regression alone does not.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* argv0, bool requested) {
+    std::fprintf(requested ? stdout : stderr,
+                 "usage: %s BASELINE.json CURRENT.json [--rel-tol=0.05] "
+                 "[--report-only] [--strict-host]\n",
+                 argv0);
+    return requested ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mcauth;
+
+    std::vector<std::string> paths;
+    std::vector<const char*> flag_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            flag_argv.push_back(argv[i]);
+        else
+            paths.emplace_back(argv[i]);
+    }
+    const CliArgs args(static_cast<int>(flag_argv.size()), flag_argv.data());
+    static constexpr std::string_view kKnown[] = {"rel-tol", "report-only",
+                                                  "strict-host", "help"};
+    const auto unknown = args.unknown_keys(kKnown);
+    if (!unknown.empty()) {
+        for (const std::string& key : unknown)
+            std::fprintf(stderr, "bench_compare: unknown option --%s\n", key.c_str());
+        return usage(argv[0], false);
+    }
+    if (args.has("help")) return usage(argv[0], true);
+    if (paths.size() != 2) return usage(argv[0], false);
+
+    obs::CompareOptions opts;
+    opts.rel_tol = args.get_double("rel-tol", opts.rel_tol);
+    opts.strict_host = args.get_bool("strict-host", false);
+    const bool report_only = args.get_bool("report-only", false);
+
+    obs::BenchFile base, cur;
+    std::string error;
+    if (!obs::load_bench_file_path(paths[0], base, error)) {
+        std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+        return 2;
+    }
+    if (!obs::load_bench_file_path(paths[1], cur, error)) {
+        std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+        return 2;
+    }
+
+    const obs::CompareReport report = obs::compare_bench_files(base, cur, opts);
+    std::printf("%s", report.render_markdown(base, cur).c_str());
+
+    if (report.incompatible) return 2;
+    if (report.has_regression()) {
+        if (report_only) {
+            std::printf("\nregression detected, exit suppressed by --report-only\n");
+            return 0;
+        }
+        return 1;
+    }
+    return 0;
+}
