@@ -44,8 +44,7 @@ int main(int argc, char** argv) {
                 predicted = exact_auth_prob(dg, p).q_min;
             } else {
                 BernoulliLoss loss(p);
-                Rng mc_rng(rng.next_u64());
-                predicted = monte_carlo_auth_prob(dg, loss, mc_rng, 64000).q_min;
+                predicted = monte_carlo_auth_prob(dg, loss, rng.next_u64(), 64000).q_min;
             }
 
             SimConfig sim;

@@ -10,40 +10,42 @@
 //
 // Every (scheme, axis-point) cell — graph construction plus recurrence —
 // is fanned across the thread pool by SweepRunner (index-order results:
-// byte-identical for any --threads).
+// byte-identical for any --threads). The schemes come from the
+// SchemeFactory predictor registry, so a scheme registered out-of-tree
+// shows up here by adding one SchemeSpec to kColumns.
+#include "auth/scheme.hpp"
 #include "bench_common.hpp"
-#include "core/authprob.hpp"
-#include "core/tesla.hpp"
-#include "core/topologies.hpp"
 #include "exec/sweep.hpp"
 
 using namespace mcauth;
 
 namespace {
 
-enum class Scheme { kRohatgi, kTree, kTesla, kEmss21, kAc33 };
+struct Column {
+    const char* header;
+    SchemeSpec spec;
+};
 
-constexpr Scheme kSchemes[] = {Scheme::kRohatgi, Scheme::kTree, Scheme::kTesla,
-                               Scheme::kEmss21, Scheme::kAc33};
+std::vector<Column> make_columns() {
+    std::vector<Column> cols;
+    cols.push_back({"rohatgi", {}});
+    cols.back().spec.kind = "rohatgi";
+    cols.push_back({"auth-tree", {}});
+    cols.back().spec.kind = "tree";
+    cols.push_back({"tesla", {}});
+    cols.back().spec.kind = "tesla";
+    cols.back().spec.params = {{"t_disclose", 1.0}, {"mu", 0.2}, {"sigma", 0.1}};
+    cols.push_back({"emss(2,1)", {}});
+    cols.back().spec.kind = "emss";
+    cols.back().spec.params = {{"m", 2}, {"d", 1}};
+    cols.push_back({"ac(3,3)", {}});
+    cols.back().spec.kind = "ac";
+    cols.back().spec.params = {{"a", 3}, {"b", 3}};
+    return cols;
+}
 
-double scheme_q_min(Scheme s, std::size_t n, double p) {
-    switch (s) {
-        case Scheme::kRohatgi: return recurrence_auth_prob(make_rohatgi(n), p).q_min;
-        case Scheme::kTree: return recurrence_auth_prob(make_auth_tree(n), p).q_min;
-        case Scheme::kTesla: {
-            TeslaParams params;
-            params.n = n;
-            params.t_disclose = 1.0;
-            params.mu = 0.2;
-            params.sigma = 0.1;
-            params.p = p;
-            return analyze_tesla(params).q_min;
-        }
-        case Scheme::kEmss21: return recurrence_auth_prob(make_emss(n, 2, 1), p).q_min;
-        case Scheme::kAc33:
-            return recurrence_auth_prob(make_augmented_chain(n, 3, 3), p).q_min;
-    }
-    return 0.0;
+double scheme_q_min(const SchemeSpec& spec, std::size_t n, double p) {
+    return SchemeFactory::instance().predicted_q_min(spec, n, p);
 }
 
 }  // namespace
@@ -54,9 +56,15 @@ int main(int argc, char** argv) {
     const exec::SweepRunner sweep;
 
     struct Cell {
-        Scheme scheme;
+        const SchemeSpec* spec;
         std::size_t n;
         double p;
+    };
+    const std::vector<Column> columns = make_columns();
+    const auto make_headers = [&](const char* axis) {
+        std::vector<std::string> headers{axis};
+        for (const Column& c : columns) headers.push_back(c.header);
+        return headers;
     };
 
     bench::section("(a) q_min vs packet loss rate p, n = 1000");
@@ -64,16 +72,16 @@ int main(int argc, char** argv) {
         const double losses[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
         std::vector<Cell> grid;
         for (double p : losses)
-            for (Scheme s : kSchemes) grid.push_back({s, 1000, p});
+            for (const Column& c : columns) grid.push_back({&c.spec, 1000, p});
         const auto q_min = sweep.map_grid<double>(grid, [](const Cell& c, std::size_t) {
-            return scheme_q_min(c.scheme, c.n, c.p);
+            return scheme_q_min(*c.spec, c.n, c.p);
         });
 
-        TablePrinter table({"p", "rohatgi", "auth-tree", "tesla", "emss(2,1)", "ac(3,3)"});
+        TablePrinter table(make_headers("p"));
         std::size_t i = 0;
         for (double p : losses) {
             std::vector<std::string> row{TablePrinter::num(p, 2)};
-            for (std::size_t s = 0; s < std::size(kSchemes); ++s)
+            for (std::size_t s = 0; s < columns.size(); ++s)
                 row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }
@@ -85,16 +93,16 @@ int main(int argc, char** argv) {
         const std::size_t sizes[] = {50, 100, 200, 500, 1000, 2000};
         std::vector<Cell> grid;
         for (std::size_t n : sizes)
-            for (Scheme s : kSchemes) grid.push_back({s, n, 0.1});
+            for (const Column& c : columns) grid.push_back({&c.spec, n, 0.1});
         const auto q_min = sweep.map_grid<double>(grid, [](const Cell& c, std::size_t) {
-            return scheme_q_min(c.scheme, c.n, c.p);
+            return scheme_q_min(*c.spec, c.n, c.p);
         });
 
-        TablePrinter table({"n", "rohatgi", "auth-tree", "tesla", "emss(2,1)", "ac(3,3)"});
+        TablePrinter table(make_headers("n"));
         std::size_t i = 0;
         for (std::size_t n : sizes) {
             std::vector<std::string> row{std::to_string(n)};
-            for (std::size_t s = 0; s < std::size(kSchemes); ++s)
+            for (std::size_t s = 0; s < columns.size(); ++s)
                 row.push_back(TablePrinter::num(q_min[i++], 4));
             table.add_row(row);
         }

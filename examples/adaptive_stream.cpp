@@ -1,0 +1,58 @@
+// Adaptive streaming: the closed loop from DESIGN.md §10 in ~60 lines.
+//
+//   build/examples/adaptive_stream [--receivers=4] [--blocks=30] [--storm=0.3]
+//
+// Receivers estimate their channel online (EWMA rate + Gilbert-Elliott
+// burst fit) and report it back over a lossy NACK path; the sender
+// re-invokes the §5 graph designer at block boundaries when the estimate
+// drifts past the hysteresis band. We stream through a calm channel, then
+// flip to a storm and watch the loop re-converge while a frozen design
+// would be losing authenticability.
+#include <cstdio>
+
+#include "mcauth.hpp"
+
+using namespace mcauth;
+
+int main(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    const auto receivers = static_cast<std::size_t>(args.get_int("receivers", 4));
+    const auto blocks = static_cast<std::size_t>(args.get_int("blocks", 30));
+    const double storm = args.get_double("storm", 0.3);
+
+    adapt::SessionOptions opts;
+    opts.receivers = receivers;
+    opts.block_size = 32;
+    opts.payload_bytes = 64;
+    opts.seed = 7;
+    opts.controller.target_q_min = 0.85;
+    opts.controller.conservative_prior = 0.05;  // start from a sunny design
+
+    Rng signer_rng(42);
+    MerkleWotsSigner signer(signer_rng, 4 * blocks + 8);
+    adapt::AdaptiveSession session(opts, signer);
+
+    std::printf("adaptive multicast authentication: %zu receivers, target q_min %.2f\n\n",
+                receivers, opts.controller.target_q_min);
+
+    struct Phase {
+        const char* name;
+        double p;
+    };
+    const Phase phases[] = {{"calm  p=0.05", 0.05}, {"storm", storm}, {"calm  p=0.05", 0.05}};
+    for (const Phase& phase : phases) {
+        const BernoulliLoss loss(phase.p);
+        const adapt::WindowStats w = session.run_window(loss, blocks);
+        std::printf("%-14s est_loss %.3f  q_min %.3f  edges/pkt %.2f  "
+                    "sign_copies %zu  redesigns %llu (suppressed %llu)\n",
+                    phase.name, w.estimated_loss, w.q_min, w.edges_per_packet,
+                    w.sign_copies, static_cast<unsigned long long>(w.redesigns),
+                    static_cast<unsigned long long>(w.suppressed));
+    }
+
+    std::printf("\nthe sender redesigned its dependence graph when the estimate crossed\n"
+                "the hysteresis band; receivers kept verifying through every redesign\n"
+                "because authentication follows the hashes in the packets, not an\n"
+                "out-of-band topology agreement.\n");
+    return 0;
+}

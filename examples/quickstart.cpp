@@ -10,12 +10,7 @@
 //   4. compare        = measured verification rate vs the prediction.
 #include <cstdio>
 
-#include "core/authprob.hpp"
-#include "core/exact_dp.hpp"
-#include "core/metrics.hpp"
-#include "core/topologies.hpp"
-#include "sim/stream_sim.hpp"
-#include "util/cli.hpp"
+#include "mcauth.hpp"
 
 using namespace mcauth;
 

@@ -10,13 +10,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/authprob.hpp"
-#include "core/serialize.hpp"
-#include "core/topologies.hpp"
-#include "design/constructors.hpp"
-#include "design/optimizer.hpp"
-#include "graph/dot.hpp"
-#include "util/cli.hpp"
+#include "mcauth.hpp"
 
 using namespace mcauth;
 

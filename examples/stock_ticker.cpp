@@ -11,12 +11,7 @@
 // check, loss-repair by later keys, and (with --tamper) forgery rejection.
 #include <cstdio>
 
-#include "auth/tesla_scheme.hpp"
-#include "core/tesla.hpp"
-#include "crypto/signature.hpp"
-#include "net/channel.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
+#include "mcauth.hpp"
 
 using namespace mcauth;
 

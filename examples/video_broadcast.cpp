@@ -10,10 +10,7 @@
 // EMSS E_{2,1} and EMSS E_{2,8} on identical loss patterns.
 #include <cstdio>
 
-#include "core/authprob.hpp"
-#include "core/topologies.hpp"
-#include "sim/stream_sim.hpp"
-#include "util/cli.hpp"
+#include "mcauth.hpp"
 
 using namespace mcauth;
 
@@ -83,7 +80,7 @@ int main(int argc, char** argv) {
           {"emss(2,8)", make_emss(gop, 2, 8)},
           {"ac(3,3)", make_augmented_chain(gop, 3, 3)}}) {
         auto loss_copy = ge->clone();
-        const auto mc = monte_carlo_auth_prob(dg, *loss_copy, mc_rng, 20000);
+        const auto mc = monte_carlo_auth_prob(dg, *loss_copy, mc_rng.next_u64(), 20000);
         std::printf("  %-12s predicted q_min = %.4f\n", name.c_str(), mc.q_min);
     }
 

@@ -1,0 +1,132 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "design/constructors.hpp"
+#include "net/loss.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::adapt {
+
+AdaptiveController::AdaptiveController(AdaptiveOptions options, std::uint64_t seed)
+    : options_(options),
+      seed_(seed),
+      aggregator_(FeedbackAggregator::Options{options.conservative_prior,
+                                              options.feedback_timeout_blocks}),
+      designed_for_loss_(options.conservative_prior),
+      sign_copies_(options.base_sign_copies),
+      cache_(std::make_shared<std::map<std::size_t, DependenceGraph>>()) {
+    MCAUTH_EXPECTS(options.target_q_min > 0.0 && options.target_q_min <= 1.0);
+    MCAUTH_EXPECTS(options.design_margin >= 0.0);
+    MCAUTH_EXPECTS(options.hysteresis >= 0.0);
+    MCAUTH_EXPECTS(options.base_sign_copies >= 1);
+    MCAUTH_EXPECTS(options.max_sign_copies >= options.base_sign_copies);
+    MCAUTH_EXPECTS(options.max_design_loss > 0.0 && options.max_design_loss < 1.0);
+    MCAUTH_EXPECTS(options.max_edges_per_packet >= 1);
+    MCAUTH_EXPECTS(options.mc_trials > 0);
+    last_estimate_.loss_rate = options.conservative_prior;
+}
+
+bool AdaptiveController::on_feedback(const FeedbackReport& report) {
+    return aggregator_.on_report(report);
+}
+
+bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
+    const FeedbackAggregator::Aggregate agg =
+        aggregator_.aggregate(next_block, options_.prior_decay);
+    last_estimate_ = agg;
+    MCAUTH_OBS_GAUGE_SET("adapt.ctrl.estimated_loss", agg.loss_rate);
+
+    // Signature-loss streaks: a lost P_sign caps every q_i in the block
+    // (Eq. 2), so replication is the one knob that matters. Escalate
+    // multiplicatively while receivers report sig-less blocks, relax one
+    // halving step once the streaks clear.
+    if (agg.max_sig_streak >= options_.sig_streak_escalate) {
+        const std::size_t escalated = std::min(options_.max_sign_copies, sign_copies_ * 2);
+        if (escalated != sign_copies_) {
+            sign_copies_ = escalated;
+            MCAUTH_OBS_COUNT("adapt.ctrl.sign_copies_escalated");
+        }
+    } else if (agg.max_sig_streak == 0 && sign_copies_ > options_.base_sign_copies) {
+        sign_copies_ = std::max(options_.base_sign_copies, sign_copies_ / 2);
+    }
+    MCAUTH_OBS_GAUGE_SET("adapt.ctrl.sign_copies", sign_copies_);
+
+    const double clamped = std::min(agg.loss_rate, options_.max_design_loss);
+    // Dead band on the burstiness bit too: a regime change bypasses the
+    // loss-rate hysteresis below, so a burst estimate hovering near the
+    // threshold would otherwise flap the flag and thrash redesigns. Enter
+    // bursty mode at the threshold, leave it only 25% below.
+    const bool bursty =
+        !agg.starved && agg.mean_burst >= (designed_bursty_
+                                               ? options_.burst_threshold / 1.25
+                                               : options_.burst_threshold);
+
+    // Hysteresis: a small drift is absorbed by the design margin; only a
+    // move past the dead band (or a burstiness regime change) justifies
+    // paying for a redesign.
+    const double delta = std::abs(clamped - designed_for_loss_);
+    const bool wants_redesign =
+        !ever_redesigned_ || delta > options_.hysteresis || bursty != designed_bursty_;
+    if (!wants_redesign) return false;
+
+    // Redesign budget: never redesign more often than once per
+    // min_blocks_between_redesigns blocks.
+    if (ever_redesigned_ &&
+        next_block - last_redesign_block_ < options_.min_blocks_between_redesigns) {
+        ++suppressed_;
+        MCAUTH_OBS_COUNT("adapt.ctrl.redesign_suppressed");
+        return false;
+    }
+
+    designed_for_loss_ = clamped;
+    designed_for_burst_ = bursty ? agg.mean_burst : 1.0;
+    designed_bursty_ = bursty;
+    last_redesign_block_ = next_block;
+    ever_redesigned_ = true;
+    ++redesigns_;
+    cache_ = std::make_shared<std::map<std::size_t, DependenceGraph>>();
+    MCAUTH_OBS_COUNT("adapt.ctrl.redesigns");
+    MCAUTH_OBS_GAUGE_SET("adapt.ctrl.designed_for_loss", designed_for_loss_);
+    return true;
+}
+
+std::function<DependenceGraph(std::size_t)> AdaptiveController::topology() const {
+    // Everything is captured by value (the cache by shared_ptr), so the
+    // factory keeps working — with the design it was handed out for —
+    // even after the controller redesigns or is destroyed.
+    const double design_loss = designed_for_loss_;
+    const double burst = designed_for_burst_;
+    const bool bursty = designed_bursty_;
+    const double target = std::min(1.0, options_.target_q_min + options_.design_margin);
+    const std::size_t edges_per_packet = options_.max_edges_per_packet;
+    const std::size_t trials = options_.mc_trials;
+    const std::uint64_t seed = seed_ ^ (redesigns_ * 0x9e3779b97f4a7c15ULL);
+    auto cache = cache_;
+
+    return [=](std::size_t n) -> DependenceGraph {
+        if (auto it = cache->find(n); it != cache->end()) return it->second;
+
+        DesignGoal goal;
+        goal.n = n;
+        goal.p = design_loss;
+        goal.target_q_min = target;
+        GreedyDesignOptions opts;
+        opts.max_edges = edges_per_packet * n;
+
+        // from_rate_and_burst needs loss in (0,1); the bursty flag implies
+        // observed losses, but a decayed EWMA can read ~0 — floor it.
+        const double ge_rate = std::clamp(design_loss, 1e-3, 0.999);
+        DependenceGraph dg =
+            bursty ? design_greedy_channel(
+                         goal, GilbertElliottLoss::from_rate_and_burst(ge_rate, burst),
+                         seed, trials, opts)
+                   : design_greedy(goal, opts);
+        MCAUTH_OBS_COUNT("adapt.ctrl.designs_built");
+        return cache->emplace(n, std::move(dg)).first->second;
+    };
+}
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,106 @@
+// Sender-side control loop: feedback in, topology out (DESIGN.md §10).
+//
+// At every block boundary the controller fuses the latest receiver
+// reports (feedback.hpp), decides whether the current dependence-graph
+// design still covers the worst fresh receiver, and if not re-invokes the
+// §5 greedy designer at the new operating point:
+//
+//   * i.i.d.-looking loss  -> design_greedy at the recurrence engine's
+//     Bernoulli model (fast, analytic);
+//   * bursty loss (mean burst >= burst_threshold) -> design_greedy_channel
+//     scored by seeded Monte-Carlo under the FITTED Gilbert-Elliott
+//     channel, because the recurrence's independence assumption
+//     understates burst damage.
+//
+// Two dampers keep the loop from thrashing:
+//
+//   * hysteresis — redesign only when the estimated loss moved more than
+//     `hysteresis` away from the rate the current design was built for;
+//   * redesign budget — at most one redesign per
+//     `min_blocks_between_redesigns` blocks (graph design costs real CPU,
+//     and per-cut churn would defeat the topology cache).
+//
+// Robustness behaviours (each unit-tested in tests/test_adapt.cpp):
+//
+//   * feedback starvation -> the aggregate decays toward a conservative
+//     prior, so a loss storm that eats the NACK path drives the design
+//     toward MORE protection, not stale optimism;
+//   * signature-loss streaks -> sign_copies escalates multiplicatively up
+//     to max_sign_copies (a lost P_sign kills the whole block, Eq. 2's
+//     q_i <= q_sign), and relaxes back when streaks clear;
+//   * estimates are clamped to max_design_loss so a pathological report
+//     cannot demand an infeasible design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "adapt/feedback.hpp"
+#include "core/dependence_graph.hpp"
+
+namespace mcauth::adapt {
+
+struct AdaptiveOptions {
+    double target_q_min = 0.9;      // the guarantee to hold per receiver
+    double design_margin = 0.05;    // design for target + margin (noise headroom)
+    double hysteresis = 0.03;       // redesign only if |est - designed_for| > this
+    std::uint32_t min_blocks_between_redesigns = 4;
+    std::uint32_t feedback_timeout_blocks = 8;
+    double conservative_prior = 0.3;
+    double prior_decay = 0.25;      // starvation decay weight per boundary
+    std::size_t base_sign_copies = 3;
+    std::size_t max_sign_copies = 8;
+    std::uint32_t sig_streak_escalate = 2;  // escalate at this many sig-less blocks
+    double max_design_loss = 0.6;   // clamp for the design operating point
+    double burst_threshold = 1.75;  // mean burst above this -> GE-scored design
+    std::size_t mc_trials = 512;    // Monte-Carlo budget per candidate rescore
+    std::size_t max_edges_per_packet = 4;
+};
+
+class AdaptiveController {
+public:
+    AdaptiveController(AdaptiveOptions options, std::uint64_t seed);
+
+    /// Fold in one (possibly delayed/duplicated) receiver report.
+    /// Returns false when rejected as stale.
+    bool on_feedback(const FeedbackReport& report);
+
+    /// Run the decision loop before the sender cuts block `next_block`.
+    /// Returns true when the topology changed (caller should push
+    /// topology() into its StreamingAuthenticator).
+    bool on_block_boundary(std::uint32_t next_block);
+
+    /// Topology factory for StreamingAuthenticator::set_topology. Memoizes
+    /// per block size: design_greedy_channel is far too expensive to run
+    /// on every cut, and StreamingAuthenticator invokes the factory once
+    /// per cut. The cache resets on redesign.
+    std::function<DependenceGraph(std::size_t)> topology() const;
+
+    std::size_t sign_copies() const noexcept { return sign_copies_; }
+    double designed_for_loss() const noexcept { return designed_for_loss_; }
+    double estimated_loss() const noexcept { return last_estimate_.loss_rate; }
+    bool last_design_bursty() const noexcept { return designed_bursty_; }
+    std::uint64_t redesigns() const noexcept { return redesigns_; }
+    std::uint64_t suppressed() const noexcept { return suppressed_; }
+
+private:
+    AdaptiveOptions options_;
+    std::uint64_t seed_;
+    FeedbackAggregator aggregator_;
+    FeedbackAggregator::Aggregate last_estimate_;
+    double designed_for_loss_;
+    double designed_for_burst_ = 1.0;
+    bool designed_bursty_ = false;
+    std::size_t sign_copies_;
+    std::uint32_t last_redesign_block_ = 0;
+    bool ever_redesigned_ = false;
+    std::uint64_t redesigns_ = 0;
+    std::uint64_t suppressed_ = 0;
+    // Shared with factories already handed out; reset (fresh map) on
+    // redesign so in-flight factories keep their old designs.
+    std::shared_ptr<std::map<std::size_t, DependenceGraph>> cache_;
+};
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,79 @@
+#include "adapt/estimator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcauth::adapt {
+
+// ---------------------------------------------------- EwmaLossEstimator
+
+EwmaLossEstimator::EwmaLossEstimator(double alpha, double prior)
+    : alpha_(alpha), rate_(prior) {
+    MCAUTH_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+    MCAUTH_EXPECTS(prior >= 0.0 && prior <= 1.0);
+}
+
+void EwmaLossEstimator::observe(std::size_t packets, std::size_t losses) {
+    MCAUTH_EXPECTS(losses <= packets);
+    if (packets == 0) return;
+    const double window_rate = static_cast<double>(losses) / static_cast<double>(packets);
+    rate_ += alpha_ * (window_rate - rate_);
+    samples_ += packets;
+}
+
+void EwmaLossEstimator::decay_toward(double prior, double weight) {
+    MCAUTH_EXPECTS(prior >= 0.0 && prior <= 1.0);
+    MCAUTH_EXPECTS(weight >= 0.0 && weight <= 1.0);
+    rate_ += weight * (prior - rate_);
+}
+
+// ----------------------------------------------- GilbertElliottEstimator
+
+void GilbertElliottEstimator::observe_packet(bool lost) {
+    if (lost) {
+        ++lost_;
+        if (!in_run_) {
+            ++runs_;
+            in_run_ = true;
+        }
+    } else {
+        ++good_;
+        in_run_ = false;
+    }
+}
+
+void GilbertElliottEstimator::observe(const bool* lost, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) observe_packet(lost[i]);
+}
+
+void GilbertElliottEstimator::decay(double keep) {
+    MCAUTH_EXPECTS(keep > 0.0 && keep <= 1.0);
+    good_ *= keep;
+    lost_ *= keep;
+    runs_ *= keep;
+}
+
+ChannelEstimate GilbertElliottEstimator::estimate() const {
+    ChannelEstimate est;
+    est.samples = static_cast<std::size_t>(good_ + lost_);
+    if (runs_ <= 0.0 || lost_ <= 0.0) return est;  // all-good channel so far
+
+    const auto clamp01 = [](double v) { return std::clamp(v, 1e-9, 1.0); };
+    est.p_bg = clamp01(runs_ / lost_);
+    // All-lost stream: no good packets to estimate entry rate from; pin the
+    // channel at its observed extreme rather than divide by zero.
+    est.p_gb = good_ <= 0.0 ? 1.0 : clamp01(runs_ / good_);
+    est.loss_rate = est.p_gb / (est.p_gb + est.p_bg);
+    est.mean_burst = lost_ / runs_;
+    return est;
+}
+
+void GilbertElliottEstimator::reset() {
+    good_ = 0;
+    lost_ = 0;
+    runs_ = 0;
+    in_run_ = false;
+}
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,105 @@
+// Online channel estimation at the receiver (DESIGN.md §10).
+//
+// The §5 designers need a loss rate p (and, for bursty channels, a burst
+// length) to size the dependence graph. In the paper these are design-time
+// constants; the adaptive loop instead estimates them online from the
+// pattern of received/missing packets and feeds them back to the sender.
+//
+// Two estimators, composed by ReceiverMonitor (monitor.hpp):
+//
+//   * EwmaLossEstimator — exponentially-weighted Bernoulli rate over
+//     per-block (received, lost) counts. The EWMA discounts old regimes
+//     geometrically, so a loss-rate step of any size is tracked within
+//     ~1/alpha blocks. decay_toward() lets the *sender-side* aggregator
+//     relax a stale estimate to a conservative prior when feedback stops
+//     arriving (loss storms kill the feedback channel exactly when the
+//     estimate matters most — see FeedbackAggregator).
+//
+//   * GilbertElliottEstimator — method-of-moments fit of a two-state
+//     loss channel from the observed run-length statistics. With
+//     loss_good = 0 and loss_bad = 1 (the classic GE special case used by
+//     net/loss.hpp's MarkovLoss), every loss run is one visit to the bad
+//     state, so
+//         p_bg = runs / lost_packets      (bad -> good exit rate)
+//         p_gb = runs / good_packets      (good -> bad entry rate)
+//         stationary loss = p_gb / (p_gb + p_bg)
+//         mean burst      = lost / runs = 1 / p_bg
+//     These are exactly the inverse of GilbertElliottLoss::
+//     from_rate_and_burst, so the controller can rebuild the fitted
+//     channel for Monte-Carlo-scored redesign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcauth::adapt {
+
+/// What a receiver believes about its channel — the payload of a feedback
+/// report and the input to the sender's redesign decision.
+struct ChannelEstimate {
+    double loss_rate = 0.0;   // stationary P(packet lost)
+    double mean_burst = 1.0;  // mean loss-run length (1 = independent losses)
+    double p_gb = 0.0;        // fitted good->bad transition probability
+    double p_bg = 1.0;        // fitted bad->good transition probability
+    std::size_t samples = 0;  // packets observed so far
+};
+
+class EwmaLossEstimator {
+public:
+    /// `alpha` is the per-observation blending weight (higher = faster
+    /// tracking, noisier estimate). `prior` seeds the estimate before any
+    /// data arrives.
+    explicit EwmaLossEstimator(double alpha = 0.3, double prior = 0.1);
+
+    /// Fold in one window of `packets` transmissions of which `losses`
+    /// were lost. Windows with zero packets are ignored.
+    void observe(std::size_t packets, std::size_t losses);
+
+    /// Relax the estimate toward `prior` by blending weight `weight` in
+    /// [0,1] — used when the estimate is going stale without fresh data.
+    void decay_toward(double prior, double weight);
+
+    double loss_rate() const noexcept { return rate_; }
+    std::size_t samples() const noexcept { return samples_; }
+
+private:
+    double alpha_;
+    double rate_;
+    std::size_t samples_ = 0;
+};
+
+class GilbertElliottEstimator {
+public:
+    /// Feed one packet outcome in transmission order.
+    void observe_packet(bool lost);
+
+    /// Feed a whole block's outcomes (index order = transmission order for
+    /// the data slots a receiver tracks).
+    void observe(const bool* lost, std::size_t count);
+
+    /// Exponential forgetting: scale all run statistics by `keep` in
+    /// (0, 1]. Called once per block by ReceiverMonitor, this turns the
+    /// cumulative fit into a sliding-window one (effective window
+    /// ~ block_size / (1 - keep) packets) so a regime switch washes out in
+    /// blocks, not in the whole session history.
+    void decay(double keep);
+
+    /// Method-of-moments fit. With no losses observed yet, reports the
+    /// degenerate all-good channel (loss 0, burst 1). Fitted transition
+    /// probabilities are clamped to (0, 1].
+    ChannelEstimate estimate() const;
+
+    double lost_packets() const noexcept { return lost_; }
+    double loss_runs() const noexcept { return runs_; }
+
+    void reset();
+
+private:
+    // double, not size_t: decay() scales these fractionally.
+    double good_ = 0;
+    double lost_ = 0;
+    double runs_ = 0;
+    bool in_run_ = false;
+};
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,124 @@
+#include "adapt/feedback.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::adapt {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FeedbackReport::encode() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(kWireSize);
+    put_u32(out, receiver_id);
+    put_u32(out, seq);
+    put_u32(out, last_block);
+    put_u32(out, window_packets);
+    put_u32(out, window_losses);
+    put_f64(out, est_loss_rate);
+    put_f64(out, est_mean_burst);
+    put_u32(out, sig_loss_streak);
+    MCAUTH_ENSURES(out.size() == kWireSize);
+    return out;
+}
+
+std::optional<FeedbackReport> FeedbackReport::decode(const std::uint8_t* data,
+                                                     std::size_t size) {
+    if (data == nullptr || size != kWireSize) return std::nullopt;
+    FeedbackReport r;
+    r.receiver_id = get_u32(data);
+    r.seq = get_u32(data + 4);
+    r.last_block = get_u32(data + 8);
+    r.window_packets = get_u32(data + 12);
+    r.window_losses = get_u32(data + 16);
+    r.est_loss_rate = get_f64(data + 20);
+    r.est_mean_burst = get_f64(data + 28);
+    r.sig_loss_streak = get_u32(data + 36);
+    if (!(r.est_loss_rate >= 0.0 && r.est_loss_rate <= 1.0)) return std::nullopt;
+    if (!(r.est_mean_burst >= 1.0)) return std::nullopt;
+    if (r.window_losses > r.window_packets) return std::nullopt;
+    return r;
+}
+
+FeedbackAggregator::FeedbackAggregator() : FeedbackAggregator(Options{}) {}
+
+FeedbackAggregator::FeedbackAggregator(Options options)
+    : options_(options), starved_rate_(options.conservative_prior) {
+    MCAUTH_EXPECTS(options.conservative_prior >= 0.0 && options.conservative_prior <= 1.0);
+    MCAUTH_EXPECTS(options.freshness_blocks >= 1);
+}
+
+bool FeedbackAggregator::on_report(const FeedbackReport& report) {
+    auto it = latest_.find(report.receiver_id);
+    if (it != latest_.end() && report.seq <= it->second.seq) {
+        ++stale_rejections_;
+        MCAUTH_OBS_COUNT("adapt.feedback.stale_rejected");
+        return false;
+    }
+    latest_[report.receiver_id] = report;
+    MCAUTH_OBS_COUNT("adapt.feedback.accepted");
+    return true;
+}
+
+FeedbackAggregator::Aggregate FeedbackAggregator::aggregate(std::uint32_t current_block,
+                                                            double decay_weight) {
+    Aggregate agg;
+    for (const auto& [id, report] : latest_) {
+        const std::uint32_t age =
+            current_block >= report.last_block ? current_block - report.last_block : 0;
+        if (age > options_.freshness_blocks) continue;
+        ++agg.fresh_receivers;
+        if (report.est_loss_rate >= agg.loss_rate) {
+            agg.loss_rate = report.est_loss_rate;
+            agg.mean_burst = report.est_mean_burst;
+        }
+        agg.max_sig_streak = std::max(agg.max_sig_streak, report.sig_loss_streak);
+    }
+
+    if (agg.fresh_receivers == 0) {
+        // Feedback blackout: every report is stale (or none ever arrived).
+        // Trusting the last estimate would under-protect exactly when the
+        // channel turned hostile, so decay toward the conservative prior.
+        agg.starved = true;
+        starved_rate_ += decay_weight * (options_.conservative_prior - starved_rate_);
+        agg.loss_rate = starved_rate_;
+        agg.mean_burst = 1.0;
+        MCAUTH_OBS_COUNT("adapt.feedback.starved");
+    } else {
+        starved_rate_ = agg.loss_rate;
+    }
+    MCAUTH_OBS_GAUGE_SET("adapt.feedback.fresh_receivers",
+                         static_cast<std::int64_t>(agg.fresh_receivers));
+    return agg;
+}
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,88 @@
+// NACK-style feedback channel between receivers and the sender.
+//
+// Receivers periodically report their channel estimate upstream. The
+// feedback channel is itself lossy (it usually shares fate with the
+// forward channel), so the protocol is built to degrade gracefully:
+//
+//   * reports are idempotent state snapshots, not deltas — losing any
+//     prefix of them costs freshness, never correctness;
+//   * each report carries a per-receiver sequence number; the aggregator
+//     keeps last-writer-wins per receiver, so reordered or duplicated
+//     reports cannot roll the estimate backwards;
+//   * staleness is tracked in sender blocks: a receiver whose newest
+//     report is older than `freshness_blocks` stops contributing, and
+//     when EVERY receiver goes stale (a loss storm eating the feedback
+//     path) the aggregate decays toward a conservative prior instead of
+//     trusting a sunny pre-storm estimate.
+//
+// Aggregation is worst-case (max loss rate over fresh receivers): the
+// paper's q_min guarantee is per-receiver, so the design must cover the
+// unluckiest listener, not the average one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "adapt/estimator.hpp"
+
+namespace mcauth::adapt {
+
+/// Wire form of one receiver->sender report. Fixed-size little-endian
+/// encoding (kWireSize bytes); doubles travel as IEEE-754 bit patterns.
+struct FeedbackReport {
+    std::uint32_t receiver_id = 0;
+    std::uint32_t seq = 0;             // per-receiver, monotone
+    std::uint32_t last_block = 0;      // newest sender block observed
+    std::uint32_t window_packets = 0;  // transmissions covered by this report
+    std::uint32_t window_losses = 0;
+    double est_loss_rate = 0.0;        // receiver's EWMA estimate
+    double est_mean_burst = 1.0;       // receiver's GE burst estimate
+    std::uint32_t sig_loss_streak = 0; // consecutive blocks with no signature seen
+
+    static constexpr std::size_t kWireSize = 6 * 4 + 2 * 8;
+
+    std::vector<std::uint8_t> encode() const;
+    static std::optional<FeedbackReport> decode(const std::uint8_t* data, std::size_t size);
+};
+
+/// Sender-side fusion of per-receiver reports into one channel picture.
+class FeedbackAggregator {
+public:
+    struct Options {
+        double conservative_prior = 0.3;  // assumed loss when starved of feedback
+        std::uint32_t freshness_blocks = 8;
+    };
+
+    struct Aggregate {
+        double loss_rate = 0.0;        // max over fresh receivers
+        double mean_burst = 1.0;       // burst estimate of the lossiest fresh receiver
+        std::uint32_t max_sig_streak = 0;
+        std::size_t fresh_receivers = 0;
+        bool starved = false;          // no fresh reports at all
+    };
+
+    FeedbackAggregator();
+    explicit FeedbackAggregator(Options options);
+
+    /// Fold in one report. Returns false (and ignores it) when a newer
+    /// report from the same receiver has already been seen.
+    bool on_report(const FeedbackReport& report);
+
+    /// Fuse the current per-receiver state as of sender block
+    /// `current_block`. When starved, loss_rate is the last aggregate
+    /// decayed toward the conservative prior by `decay_weight` per call.
+    Aggregate aggregate(std::uint32_t current_block, double decay_weight = 0.25);
+
+    std::size_t known_receivers() const noexcept { return latest_.size(); }
+    std::size_t stale_rejections() const noexcept { return stale_rejections_; }
+
+private:
+    Options options_;
+    std::map<std::uint32_t, FeedbackReport> latest_;  // receiver_id -> newest
+    double starved_rate_;                             // decaying estimate while starved
+    std::size_t stale_rejections_ = 0;
+};
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,57 @@
+#include "adapt/monitor.hpp"
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::adapt {
+
+ReceiverMonitor::ReceiverMonitor(std::uint32_t receiver_id)
+    : ReceiverMonitor(receiver_id, Options{}) {}
+
+ReceiverMonitor::ReceiverMonitor(std::uint32_t receiver_id, Options options)
+    : receiver_id_(receiver_id),
+      options_(options),
+      rate_(options.ewma_alpha, options.prior_loss) {
+    MCAUTH_EXPECTS(options.report_every_blocks >= 1);
+    MCAUTH_EXPECTS(options.ge_decay > 0.0 && options.ge_decay <= 1.0);
+}
+
+void ReceiverMonitor::on_block(std::uint32_t block_id, const std::vector<bool>& received,
+                               bool signature_seen) {
+    ge_.decay(options_.ge_decay);  // before observing: newest block at full weight
+    std::size_t losses = 0;
+    for (bool ok : received) {
+        ge_.observe_packet(!ok);
+        if (!ok) ++losses;
+    }
+    rate_.observe(received.size(), losses);
+    sig_streak_ = signature_seen ? 0 : sig_streak_ + 1;
+    last_block_ = block_id;
+    window_packets_ += static_cast<std::uint32_t>(received.size());
+    window_losses_ += static_cast<std::uint32_t>(losses);
+    ++blocks_since_report_;
+    MCAUTH_OBS_COUNT("adapt.monitor.blocks");
+    MCAUTH_OBS_COUNT_N("adapt.monitor.losses", losses);
+}
+
+std::optional<FeedbackReport> ReceiverMonitor::maybe_report() {
+    if (blocks_since_report_ < options_.report_every_blocks) return std::nullopt;
+
+    FeedbackReport report;
+    report.receiver_id = receiver_id_;
+    report.seq = ++next_seq_;
+    report.last_block = last_block_;
+    report.window_packets = window_packets_;
+    report.window_losses = window_losses_;
+    report.est_loss_rate = rate_.loss_rate();
+    report.est_mean_burst = ge_.estimate().mean_burst;
+    report.sig_loss_streak = sig_streak_;
+
+    blocks_since_report_ = 0;
+    window_packets_ = 0;
+    window_losses_ = 0;
+    MCAUTH_OBS_COUNT("adapt.monitor.reports");
+    return report;
+}
+
+}  // namespace mcauth::adapt

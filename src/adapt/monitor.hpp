@@ -1,0 +1,65 @@
+// Receiver-side observation point of the adaptive loop.
+//
+// A ReceiverMonitor sits next to a StreamingVerifier: after each block
+// closes, the session tells it which data slots arrived and whether any
+// signature copy was seen. It drives both estimators (estimator.hpp) and
+// periodically emits a FeedbackReport for the (lossy) feedback channel.
+//
+// The monitor never needs the dependence graph — it observes raw arrival
+// bitmaps, which is exactly the information a real receiver has regardless
+// of which topology the sender is currently using. That independence is
+// what lets the sender redesign per block without coordinating receivers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adapt/estimator.hpp"
+#include "adapt/feedback.hpp"
+
+namespace mcauth::adapt {
+
+class ReceiverMonitor {
+public:
+    struct Options {
+        double ewma_alpha = 0.3;           // EWMA tracking speed
+        double prior_loss = 0.1;           // estimate before any data
+        // Per-block forgetting factor for the burst-structure fit: the GE
+        // estimator's effective window is ~ block_size / (1 - ge_decay)
+        // packets, so a regime switch stops dominating the burst estimate
+        // within ~10 blocks instead of lingering for the whole session.
+        double ge_decay = 0.9;
+        std::uint32_t report_every_blocks = 2;
+    };
+
+    explicit ReceiverMonitor(std::uint32_t receiver_id);
+    ReceiverMonitor(std::uint32_t receiver_id, Options options);
+
+    /// Record one closed block: `received[i]` for each of the block's data
+    /// slots (transmission order), plus whether any signature copy landed.
+    void on_block(std::uint32_t block_id, const std::vector<bool>& received,
+                  bool signature_seen);
+
+    /// Non-empty every `report_every_blocks` closed blocks. The report
+    /// snapshots current state (idempotent — safe to lose or duplicate).
+    std::optional<FeedbackReport> maybe_report();
+
+    const EwmaLossEstimator& rate() const noexcept { return rate_; }
+    ChannelEstimate channel() const { return ge_.estimate(); }
+    std::uint32_t sig_loss_streak() const noexcept { return sig_streak_; }
+
+private:
+    std::uint32_t receiver_id_;
+    Options options_;
+    EwmaLossEstimator rate_;
+    GilbertElliottEstimator ge_;
+    std::uint32_t next_seq_ = 0;
+    std::uint32_t last_block_ = 0;
+    std::uint32_t blocks_since_report_ = 0;
+    std::uint32_t window_packets_ = 0;
+    std::uint32_t window_losses_ = 0;
+    std::uint32_t sig_streak_ = 0;
+};
+
+}  // namespace mcauth::adapt

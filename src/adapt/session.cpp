@@ -1,0 +1,207 @@
+#include "adapt/session.hpp"
+
+#include <algorithm>
+
+#include "core/topologies.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::adapt {
+
+namespace {
+
+constexpr double kTransmitSlot = 0.01;  // nominal sender clock step per packet
+
+HashChainConfig sender_config(const SessionOptions& options,
+                              const AdaptiveController& controller) {
+    HashChainConfig config;
+    config.topology = controller.topology();
+    config.block_size = options.block_size;
+    config.hash_bytes = options.hash_bytes;
+    config.name = "adaptive-tx";
+    return config;
+}
+
+HashChainConfig receiver_config(const SessionOptions& options) {
+    // Canonical spine: only the (shared, signature-last) send_pos mapping
+    // matters for verification — the HashRefs in the packets carry the
+    // actual edge structure of whatever design the sender currently uses.
+    HashChainConfig config;
+    config.topology = [](std::size_t n) { return make_offset_scheme(n, {1}); };
+    config.block_size = options.block_size;
+    config.hash_bytes = options.hash_bytes;
+    config.name = "adaptive-rx";
+    return config;
+}
+
+}  // namespace
+
+struct AdaptiveSession::ReceiverState {
+    ReceiverState(std::uint32_t id, const SessionOptions& options, Signer& signer)
+        : verifier(receiver_config(options), signer.make_verifier()),
+          monitor(id, options.monitor) {}
+
+    std::unique_ptr<LossModel> channel;  // cloned from the regime per window
+    StreamingVerifier verifier;
+    ReceiverMonitor monitor;
+};
+
+AdaptiveSession::AdaptiveSession(SessionOptions options, Signer& signer)
+    : options_(options),
+      rng_(options.seed),
+      controller_(options.controller, options.seed ^ 0xada9d7ULL),
+      sender_(sender_config(options, controller_),
+              signer,
+              StreamingOptions{options.block_size, 2, 1e9}) {
+    MCAUTH_EXPECTS(options.receivers >= 1);
+    MCAUTH_EXPECTS(options.block_size >= 2);
+    MCAUTH_EXPECTS(options.feedback_loss >= 0.0 && options.feedback_loss <= 1.0);
+    for (std::size_t r = 0; r < options_.receivers; ++r)
+        receivers_.push_back(
+            std::make_unique<ReceiverState>(static_cast<std::uint32_t>(r), options_, signer));
+}
+
+AdaptiveSession::~AdaptiveSession() = default;
+
+void AdaptiveSession::set_feedback_loss(double loss) {
+    MCAUTH_EXPECTS(loss >= 0.0 && loss <= 1.0);
+    options_.feedback_loss = loss;
+}
+
+WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blocks) {
+    MCAUTH_EXPECTS(blocks >= 1);
+    WindowStats window;
+    window.blocks = blocks;
+    const std::uint64_t redesigns_before = controller_.redesigns();
+    const std::uint64_t suppressed_before = controller_.suppressed();
+
+    for (auto& r : receivers_) r->channel = regime.clone();
+
+    const std::size_t n = options_.block_size;
+    std::vector<std::uint64_t> received_count(n, 0);
+    std::vector<std::uint64_t> auth_count(n, 0);
+    double overhead_sum = 0.0;
+    std::uint64_t sent_transmissions = 0;
+    std::uint64_t channel_transmissions = 0;
+    std::uint64_t channel_losses = 0;
+
+    for (std::size_t b = 0; b < blocks; ++b) {
+        if (options_.adaptive && controller_.on_block_boundary(next_block_))
+            sender_.set_topology(controller_.topology());
+        const std::size_t sign_copies = options_.adaptive
+                                            ? controller_.sign_copies()
+                                            : options_.controller.base_sign_copies;
+
+        // Cut one full block through the streaming sender.
+        std::vector<AuthPacket> packets;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto cut = sender_.push(rng_.bytes(options_.payload_bytes), clock_);
+            clock_ += kTransmitSlot;
+            if (!cut.empty()) packets = std::move(cut);
+        }
+        MCAUTH_ENSURES(packets.size() == n);
+        const std::uint32_t block_id = packets.front().block_id;
+
+        // Transmission schedule: every packet once, P_sign replicated with
+        // the extra copies spread evenly through the block — back-to-back
+        // replicas share fate under burst loss, which defeats the point of
+        // replicating. The canonical copy still goes last (send_pos
+        // contract shared by every §5 design).
+        const AuthPacket& sig = packets.back();
+        MCAUTH_ENSURES(sig.kind == PacketKind::kSignature);
+        const std::size_t extra = sign_copies - 1;
+        std::vector<const AuthPacket*> schedule;
+        schedule.reserve(n + extra);
+        const std::size_t stride = std::max<std::size_t>(1, (n - 1) / (extra + 1));
+        std::size_t inserted = 0;
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            schedule.push_back(&packets[i]);
+            if (inserted < extra && (i + 1) % stride == 0) {
+                schedule.push_back(&sig);
+                ++inserted;
+            }
+        }
+        schedule.push_back(&sig);
+        for (const AuthPacket* pkt : schedule) {
+            overhead_sum +=
+                static_cast<double>(pkt->wire_size()) -
+                static_cast<double>(options_.payload_bytes);
+            ++sent_transmissions;
+        }
+
+        for (auto& r : receivers_) {
+            std::vector<bool> arrived(schedule.size(), false);
+            bool signature_seen = false;
+            std::vector<VerifyEvent> events;
+            for (std::size_t t = 0; t < schedule.size(); ++t) {
+                const bool lost = r->channel->lose_next(rng_);
+                ++channel_transmissions;
+                if (lost) {
+                    ++channel_losses;
+                    continue;
+                }
+                arrived[t] = true;
+                const AuthPacket& pkt = *schedule[t];
+                if (pkt.kind == PacketKind::kSignature) signature_seen = true;
+                auto resolved = r->verifier.on_packet(pkt);
+                events.insert(events.end(), resolved.begin(), resolved.end());
+            }
+            auto tail = r->verifier.finish_block(block_id);
+            events.insert(events.end(), tail.begin(), tail.end());
+            for (const VerifyEvent& ev : events) {
+                if (ev.block_id != block_id || ev.index >= n) continue;
+                ++received_count[ev.index];
+                if (ev.status == VerifyStatus::kAuthenticated) ++auth_count[ev.index];
+            }
+
+            r->monitor.on_block(block_id, arrived, signature_seen);
+            auto report = r->monitor.maybe_report();
+            if (report && options_.adaptive) {
+                ++window.feedback_sent;
+                if (rng_.bernoulli(options_.feedback_loss)) continue;  // NACK lost
+                ++window.feedback_delivered;
+                const auto wire = report->encode();
+                const auto decoded = FeedbackReport::decode(wire.data(), wire.size());
+                MCAUTH_ENSURES(decoded.has_value());
+                if (!controller_.on_feedback(*decoded)) ++window.feedback_stale;
+            }
+        }
+        ++next_block_;
+        MCAUTH_OBS_COUNT("adapt.session.blocks");
+    }
+
+    std::uint64_t received_total = 0;
+    std::uint64_t auth_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        received_total += received_count[i];
+        auth_total += auth_count[i];
+        if (received_count[i] == 0) continue;
+        const double q =
+            static_cast<double>(auth_count[i]) / static_cast<double>(received_count[i]);
+        window.q_min = std::min(window.q_min, q);
+    }
+    window.auth_fraction = received_total == 0
+                               ? 0.0
+                               : static_cast<double>(auth_total) /
+                                     static_cast<double>(received_total);
+    window.true_loss = channel_transmissions == 0
+                           ? 0.0
+                           : static_cast<double>(channel_losses) /
+                                 static_cast<double>(channel_transmissions);
+    window.overhead_bytes =
+        sent_transmissions == 0 ? 0.0 : overhead_sum / static_cast<double>(sent_transmissions);
+    window.estimated_loss = options_.adaptive ? controller_.estimated_loss() : 0.0;
+    window.sign_copies = options_.adaptive ? controller_.sign_copies()
+                                           : options_.controller.base_sign_copies;
+    window.redesigns = controller_.redesigns() - redesigns_before;
+    window.suppressed = controller_.suppressed() - suppressed_before;
+    // The memoized factory makes this cheap: the design for size n is
+    // already cached unless a redesign just happened on the last boundary.
+    window.edges_per_packet =
+        static_cast<double>(controller_.topology()(n).graph().edge_count()) /
+        static_cast<double>(n);
+    MCAUTH_OBS_GAUGE_SET("adapt.session.q_min", window.q_min);
+    return window;
+}
+
+}  // namespace mcauth::adapt

@@ -1,0 +1,102 @@
+// End-to-end closed loop: one adaptive sender, N monitored receivers.
+//
+// AdaptiveSession wires the whole DESIGN.md §10 pipeline together:
+//
+//   StreamingAuthenticator --(lossy forward channel xN)--> StreamingVerifier
+//            ^                                                  |
+//            |                                           ReceiverMonitor
+//   AdaptiveController <--(lossy NACK feedback channel)--  FeedbackReport
+//
+// run_window() drives `blocks` blocks through a given loss regime and
+// returns measured per-window statistics; calling it repeatedly with
+// different regimes simulates channel drift while ALL loop state
+// (estimators, aggregator, hysteresis, sign_copies) persists across
+// windows — that persistence is the whole point, it is what the
+// abl_adaptive_loss bench measures against a static baseline.
+//
+// Receivers verify with the canonical spine topology even though the
+// sender redesigns freely: hash-chain verification cascades through the
+// HashRefs embedded in the packets themselves, and every §5 design
+// transmits P_sign last, so the transmission-order -> vertex mapping the
+// receiver derives is the same for every design. No out-of-band topology
+// agreement, so redesign needs no receiver coordination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/monitor.hpp"
+#include "auth/stream_auth.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth::adapt {
+
+struct SessionOptions {
+    std::size_t receivers = 4;
+    std::size_t block_size = 64;
+    std::size_t payload_bytes = 64;
+    std::size_t hash_bytes = 16;
+    std::uint64_t seed = 1;
+    double feedback_loss = 0.1;  // Bernoulli drop rate on the NACK path
+    /// false = static baseline: the initial design is kept forever and no
+    /// feedback is consumed (what a paper-§5 offline design would do).
+    bool adaptive = true;
+    AdaptiveOptions controller;
+    ReceiverMonitor::Options monitor;
+};
+
+/// Measured over one run_window() call.
+struct WindowStats {
+    /// min over transmission indices of (authenticated / received), pooled
+    /// across receivers and blocks — the measured counterpart of the
+    /// paper's q_min = min_i P{verifiable | received}.
+    double q_min = 1.0;
+    double auth_fraction = 0.0;      // authenticated / received, pooled
+    double edges_per_packet = 0.0;   // current design's edge density
+    double overhead_bytes = 0.0;     // mean non-payload wire bytes per packet
+    double estimated_loss = 0.0;     // controller's view (adaptive only)
+    double true_loss = 0.0;          // measured over all transmissions
+    std::size_t sign_copies = 0;
+    std::uint64_t redesigns = 0;     // within this window
+    std::uint64_t suppressed = 0;    // within this window
+    std::uint64_t feedback_sent = 0;
+    std::uint64_t feedback_delivered = 0;
+    std::uint64_t feedback_stale = 0;
+    std::size_t blocks = 0;
+};
+
+class AdaptiveSession {
+public:
+    /// The signer is borrowed and must outlive the session; its capacity
+    /// must cover every block the session will ever cut.
+    AdaptiveSession(SessionOptions options, Signer& signer);
+    ~AdaptiveSession();
+
+    /// Stream `blocks` blocks through `regime` (cloned per receiver, so
+    /// each receiver sees an independent channel with the same law) and
+    /// return the window's measured stats.
+    WindowStats run_window(const LossModel& regime, std::size_t blocks);
+
+    /// Change the NACK-path drop rate mid-session (1.0 = total feedback
+    /// blackout — the storm scenario).
+    void set_feedback_loss(double loss);
+
+    const AdaptiveController& controller() const noexcept { return controller_; }
+    std::uint32_t blocks_streamed() const noexcept { return next_block_; }
+
+private:
+    struct ReceiverState;
+
+    SessionOptions options_;
+    Rng rng_;
+    AdaptiveController controller_;
+    StreamingAuthenticator sender_;
+    std::vector<std::unique_ptr<ReceiverState>> receivers_;
+    std::uint32_t next_block_ = 0;
+    double clock_ = 0.0;
+};
+
+}  // namespace mcauth::adapt

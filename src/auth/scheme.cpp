@@ -1,0 +1,317 @@
+#include "auth/scheme.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/authprob.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+#include "util/check.hpp"
+
+namespace mcauth {
+
+std::vector<AuthPacket> SchemeSender::make_block(
+    std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads) {
+    (void)block_id;
+    (void)payloads;
+    throw std::logic_error("SchemeSender: make_block not supported by this scheme");
+}
+
+AuthPacket SchemeSender::make_packet(std::uint32_t block_id, std::uint32_t index,
+                                     std::vector<std::uint8_t> payload, double send_time) {
+    (void)block_id;
+    (void)index;
+    (void)payload;
+    (void)send_time;
+    throw std::logic_error("SchemeSender: make_packet not supported by this scheme");
+}
+
+// ------------------------------------------------------------- hash chain
+
+HashChainSchemeSender::HashChainSchemeSender(HashChainConfig config, Signer& signer)
+    : sender_(std::move(config), signer) {
+    traits_.delivery = SchemeTraits::Delivery::kBlockArrivalOrder;
+    traits_.pacing = SchemeTraits::Pacing::kBlockIncremental;
+    traits_.payloads_upfront = true;
+    traits_.per_block_finish = true;
+    traits_.replicate_signature = true;
+}
+
+std::vector<AuthPacket> HashChainSchemeSender::make_block(
+    std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads) {
+    return sender_.make_block(block_id, payloads);
+}
+
+HashChainSchemeReceiver::HashChainSchemeReceiver(
+    HashChainConfig config, std::unique_ptr<SignatureVerifier> verifier)
+    : receiver_(std::move(config), std::move(verifier)) {}
+
+std::vector<VerifyEvent> HashChainSchemeReceiver::on_packet(const AuthPacket& packet,
+                                                            double arrival_time) {
+    (void)arrival_time;  // cascades are arrival-driven, not clock-driven
+    return receiver_.on_packet(packet);
+}
+
+std::vector<VerifyEvent> HashChainSchemeReceiver::finish_block(std::uint32_t block_id) {
+    return receiver_.finish_block(block_id);
+}
+
+std::vector<VerifyEvent> HashChainSchemeReceiver::finish_all() {
+    return receiver_.finish_all();
+}
+
+std::size_t HashChainSchemeReceiver::buffered_packets() const {
+    return receiver_.buffered_packets();
+}
+
+// ------------------------------------------------------------------- tree
+
+TreeSchemeSender::TreeSchemeSender(TreeSchemeConfig config, Signer& signer)
+    : sender_(config, signer) {
+    traits_.delivery = SchemeTraits::Delivery::kSendOrder;
+    traits_.pacing = SchemeTraits::Pacing::kBlockMultiplicative;
+    traits_.payloads_upfront = true;
+    traits_.per_block_finish = false;  // every verdict is immediate
+}
+
+std::vector<AuthPacket> TreeSchemeSender::make_block(
+    std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads) {
+    return sender_.make_block(block_id, payloads);
+}
+
+TreeSchemeReceiver::TreeSchemeReceiver(TreeSchemeConfig config,
+                                       std::unique_ptr<SignatureVerifier> verifier)
+    : receiver_(config, std::move(verifier)) {}
+
+std::vector<VerifyEvent> TreeSchemeReceiver::on_packet(const AuthPacket& packet,
+                                                       double arrival_time) {
+    (void)arrival_time;
+    return {receiver_.on_packet(packet)};
+}
+
+// -------------------------------------------------------------- sign-each
+
+SignEachSchemeSender::SignEachSchemeSender(Signer& signer) : sender_(signer) {
+    traits_.delivery = SchemeTraits::Delivery::kSendOrder;
+    traits_.pacing = SchemeTraits::Pacing::kContinuousIncremental;
+    traits_.payloads_upfront = false;
+    traits_.per_block_finish = false;
+}
+
+AuthPacket SignEachSchemeSender::make_packet(std::uint32_t block_id, std::uint32_t index,
+                                             std::vector<std::uint8_t> payload,
+                                             double send_time) {
+    (void)send_time;  // signatures carry no timing
+    return sender_.make_packet(block_id, index, std::move(payload));
+}
+
+SignEachSchemeReceiver::SignEachSchemeReceiver(std::unique_ptr<SignatureVerifier> verifier)
+    : receiver_(std::move(verifier)) {}
+
+std::vector<VerifyEvent> SignEachSchemeReceiver::on_packet(const AuthPacket& packet,
+                                                           double arrival_time) {
+    (void)arrival_time;
+    return {receiver_.on_packet(packet)};
+}
+
+// ------------------------------------------------------------------ tesla
+
+TeslaSchemeSender::TeslaSchemeSender(TeslaConfig config, Signer& signer, Rng& rng,
+                                     double start_time)
+    : sender_(config, signer, rng, start_time) {
+    traits_.delivery = SchemeTraits::Delivery::kStreamArrivalOrder;
+    traits_.pacing = SchemeTraits::Pacing::kContinuousIncremental;
+    traits_.payloads_upfront = false;
+    traits_.per_block_finish = false;
+    traits_.stream_tally = true;
+    traits_.clock_start_slots = 1.0;  // interval 1 starts at sender time 0
+}
+
+AuthPacket TeslaSchemeSender::make_packet(std::uint32_t block_id, std::uint32_t index,
+                                          std::vector<std::uint8_t> payload,
+                                          double send_time) {
+    (void)block_id;  // TESLA numbers packets itself, per sender
+    (void)index;
+    return sender_.make_packet(std::move(payload), send_time);
+}
+
+TeslaSchemeReceiver::TeslaSchemeReceiver(TeslaConfig config,
+                                         std::unique_ptr<SignatureVerifier> verifier,
+                                         double max_clock_skew)
+    : receiver_(config, std::move(verifier), max_clock_skew) {}
+
+bool TeslaSchemeReceiver::on_preamble(const AuthPacket& packet) {
+    return receiver_.on_bootstrap(packet);
+}
+
+std::vector<VerifyEvent> TeslaSchemeReceiver::on_packet(const AuthPacket& packet,
+                                                        double arrival_time) {
+    return receiver_.on_packet(packet, arrival_time);
+}
+
+std::vector<VerifyEvent> TeslaSchemeReceiver::finish_all() { return receiver_.finish(); }
+
+std::size_t TeslaSchemeReceiver::buffered_packets() const {
+    return receiver_.buffered_packets();
+}
+
+// ----------------------------------------------------------------- factory
+
+namespace {
+
+SchemePair make_hash_chain_pair(HashChainConfig config, Signer& signer) {
+    SchemePair pair;
+    pair.receiver =
+        std::make_unique<HashChainSchemeReceiver>(config, signer.make_verifier());
+    pair.sender = std::make_unique<HashChainSchemeSender>(std::move(config), signer);
+    return pair;
+}
+
+void register_builtins(SchemeFactory& factory) {
+    factory.register_scheme(
+        "rohatgi",
+        [](const SchemeSpec& spec, Signer& signer, Rng&) {
+            return make_hash_chain_pair(
+                rohatgi_config(spec.block_size, spec.hash_bytes), signer);
+        },
+        [](const SchemeSpec&, std::size_t n, double p) {
+            return recurrence_auth_prob(make_rohatgi(n), p).q_min;
+        });
+    factory.register_scheme(
+        "emss",
+        [](const SchemeSpec& spec, Signer& signer, Rng&) {
+            const auto m = static_cast<std::size_t>(spec.param("m", 2));
+            const auto d = static_cast<std::size_t>(spec.param("d", 1));
+            return make_hash_chain_pair(
+                emss_config(spec.block_size, m, d, spec.hash_bytes), signer);
+        },
+        [](const SchemeSpec& spec, std::size_t n, double p) {
+            const auto m = static_cast<std::size_t>(spec.param("m", 2));
+            const auto d = static_cast<std::size_t>(spec.param("d", 1));
+            return recurrence_auth_prob(make_emss(n, m, d), p).q_min;
+        });
+    factory.register_scheme(
+        "ac",
+        [](const SchemeSpec& spec, Signer& signer, Rng&) {
+            const auto a = static_cast<std::size_t>(spec.param("a", 3));
+            const auto b = static_cast<std::size_t>(spec.param("b", 3));
+            return make_hash_chain_pair(
+                augmented_chain_config(spec.block_size, a, b, spec.hash_bytes), signer);
+        },
+        [](const SchemeSpec& spec, std::size_t n, double p) {
+            const auto a = static_cast<std::size_t>(spec.param("a", 3));
+            const auto b = static_cast<std::size_t>(spec.param("b", 3));
+            return recurrence_auth_prob(make_augmented_chain(n, a, b), p).q_min;
+        });
+    factory.register_scheme(
+        "tree",
+        [](const SchemeSpec& spec, Signer& signer, Rng&) {
+            TreeSchemeConfig config;
+            config.block_size = spec.block_size;
+            config.hash_bytes = spec.hash_bytes;
+            config.arity = static_cast<std::size_t>(spec.param("arity", 2));
+            SchemePair pair;
+            pair.sender = std::make_unique<TreeSchemeSender>(config, signer);
+            pair.receiver =
+                std::make_unique<TreeSchemeReceiver>(config, signer.make_verifier());
+            return pair;
+        },
+        [](const SchemeSpec&, std::size_t n, double p) {
+            return recurrence_auth_prob(make_auth_tree(n), p).q_min;
+        });
+    factory.register_scheme(
+        "sign-each",
+        [](const SchemeSpec&, Signer& signer, Rng&) {
+            SchemePair pair;
+            pair.sender = std::make_unique<SignEachSchemeSender>(signer);
+            pair.receiver =
+                std::make_unique<SignEachSchemeReceiver>(signer.make_verifier());
+            return pair;
+        },
+        [](const SchemeSpec&, std::size_t, double) { return 1.0; });
+    factory.register_scheme(
+        "tesla",
+        [](const SchemeSpec& spec, Signer& signer, Rng& rng) {
+            TeslaConfig config;
+            config.interval_duration = spec.param("interval", 0.1);
+            config.disclosure_lag = static_cast<std::size_t>(spec.param("lag", 2));
+            config.chain_length = static_cast<std::size_t>(spec.param("chain", 1024));
+            config.mac_bytes = spec.hash_bytes;
+            SchemePair pair;
+            pair.sender = std::make_unique<TeslaSchemeSender>(
+                config, signer, rng, spec.param("start", 0.0));
+            pair.receiver = std::make_unique<TeslaSchemeReceiver>(
+                config, signer.make_verifier(), spec.param("skew", 0.01));
+            return pair;
+        },
+        [](const SchemeSpec& spec, std::size_t n, double p) {
+            TeslaParams params;
+            params.n = n;
+            params.t_disclose = spec.param("t_disclose", 1.0);
+            params.mu = spec.param("mu", 0.2);
+            params.sigma = spec.param("sigma", 0.1);
+            params.p = p;
+            return analyze_tesla(params).q_min;
+        });
+}
+
+}  // namespace
+
+SchemeFactory& SchemeFactory::instance() {
+    static SchemeFactory factory = [] {
+        SchemeFactory f;
+        register_builtins(f);
+        return f;
+    }();
+    return factory;
+}
+
+void SchemeFactory::register_scheme(std::string kind, Builder builder,
+                                    Predictor predictor) {
+    MCAUTH_EXPECTS(!kind.empty());
+    MCAUTH_EXPECTS(builder != nullptr);
+    for (Entry& e : entries_) {
+        if (e.kind == kind) {  // re-registration replaces (test fakes)
+            e.builder = std::move(builder);
+            e.predictor = std::move(predictor);
+            return;
+        }
+    }
+    entries_.push_back({std::move(kind), std::move(builder), std::move(predictor)});
+}
+
+bool SchemeFactory::has(const std::string& kind) const {
+    for (const Entry& e : entries_)
+        if (e.kind == kind) return true;
+    return false;
+}
+
+std::vector<std::string> SchemeFactory::kinds() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.kind);
+    return out;
+}
+
+const SchemeFactory::Entry& SchemeFactory::entry(const std::string& kind) const {
+    for (const Entry& e : entries_)
+        if (e.kind == kind) return e;
+    throw std::invalid_argument("SchemeFactory: unknown scheme kind '" + kind + "'");
+}
+
+SchemePair SchemeFactory::create(const SchemeSpec& spec, Signer& signer, Rng& rng) const {
+    SchemePair pair = entry(spec.kind).builder(spec, signer, rng);
+    MCAUTH_ENSURES(pair.sender != nullptr && pair.receiver != nullptr);
+    return pair;
+}
+
+double SchemeFactory::predicted_q_min(const SchemeSpec& spec, std::size_t n,
+                                      double p) const {
+    const Entry& e = entry(spec.kind);
+    if (!e.predictor) return std::numeric_limits<double>::quiet_NaN();
+    return e.predictor(spec, n, p);
+}
+
+}  // namespace mcauth

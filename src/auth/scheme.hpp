@@ -1,0 +1,320 @@
+// The unified scheme surface: every multicast-authentication codec in the
+// repo — hash-chained signature amortization (Rohatgi / EMSS / AC / §5
+// designs), the Wong–Lam authentication tree, the sign-each baseline and
+// TESLA — behind one polymorphic SchemeSender / SchemeReceiver pair, plus a
+// name-keyed SchemeFactory registry.
+//
+// The interface deliberately exposes *driving traits* alongside the codec
+// calls: the schemes differ not only in how packets are built and verified
+// but in how a stream of them must be driven (does the signature packet get
+// replicated? are verdicts immediate or do they cascade out of arrival
+// order? is the q-tally per block index or per stream index?). sim's
+// run_scheme_sim consumes the traits so ONE driver replaces the four
+// parallel per-scheme loops it grew historically — and the adaptive loop
+// (adapt/) gets every scheme for free.
+//
+// The concrete codec classes (HashChainSender, TreeSender, TeslaSender,
+// SignEachSender and their receivers) stay public: the interface wraps,
+// it does not replace. The legacy run_*_sim entry points remain as thin
+// adapters over the generic driver for one release.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/hash_chain_scheme.hpp"
+#include "auth/sign_each_scheme.hpp"
+#include "auth/tesla_scheme.hpp"
+#include "auth/tree_scheme.hpp"
+#include "crypto/signature.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+
+/// How a stream driver must pace, replicate and deliver a scheme's packets.
+/// These are *reproducibility contracts*, not tuning knobs: the pacing enum
+/// in particular pins the exact floating-point arithmetic of send-time
+/// generation so the unified driver is bit-identical to the historical
+/// per-scheme loops.
+struct SchemeTraits {
+    enum class Delivery : std::uint8_t {
+        /// Collect one block's survivors, sort by arrival time, then feed
+        /// the receiver (verification cascades out of send order).
+        kBlockArrivalOrder,
+        /// Sort survivors of the WHOLE stream once at the end (TESLA: key
+        /// disclosure crosses block boundaries, so must delivery).
+        kStreamArrivalOrder,
+        /// Feed survivors immediately in send order (per-packet-verifiable
+        /// schemes: arrival order cannot matter).
+        kSendOrder,
+    };
+    enum class Pacing : std::uint8_t {
+        /// clock += t per transmission, continuing across blocks; block
+        /// boundaries jump by one multiply (the hash-chain sim's layout).
+        kBlockIncremental,
+        /// One clock, += t per transmission, never reset (TESLA/sign-each).
+        kContinuousIncremental,
+        /// send = block_start + i * t; block_start += n * t (tree sim).
+        kBlockMultiplicative,
+    };
+
+    Delivery delivery = Delivery::kBlockArrivalOrder;
+    Pacing pacing = Pacing::kBlockIncremental;
+    /// Draw the whole block's payloads before encoding (block codecs), vs
+    /// drawing payload and transmitting packet-by-packet (stream codecs).
+    /// Also selects the overhead accounting: per-block mean-of-means vs
+    /// per-packet running sum.
+    bool payloads_upfront = true;
+    /// Close each block at the receiver after its transmission window.
+    bool per_block_finish = true;
+    /// q tally indexed over the whole stream (TESLA's global packet index)
+    /// instead of the within-block transmission index.
+    bool stream_tally = false;
+    /// Initial send clock, in units of t_transmit (TESLA starts at 1).
+    double clock_start_slots = 0.0;
+    /// Replicate the kSignature packet sim.sign_copies times (the paper's
+    /// P_sign delivery assumption). Off for schemes where every packet
+    /// carries a signature (sign-each) or none does (TESLA data packets).
+    bool replicate_signature = false;
+};
+
+class SchemeSender {
+public:
+    virtual ~SchemeSender() = default;
+
+    virtual const SchemeTraits& traits() const noexcept = 0;
+    /// Stable display/metrics name ("emss(m=2,d=1)", "tesla", ...).
+    virtual std::string name() const = 0;
+
+    /// Packets that must reach every receiver reliably before the stream
+    /// (TESLA's signed bootstrap). Empty for most schemes.
+    virtual std::vector<AuthPacket> preamble() { return {}; }
+
+    /// Block-at-once encoding; required when traits().payloads_upfront.
+    virtual std::vector<AuthPacket> make_block(
+        std::uint32_t block_id, const std::vector<std::vector<std::uint8_t>>& payloads);
+
+    /// Per-packet encoding at a known send time; required when
+    /// !traits().payloads_upfront.
+    virtual AuthPacket make_packet(std::uint32_t block_id, std::uint32_t index,
+                                   std::vector<std::uint8_t> payload, double send_time);
+};
+
+class SchemeReceiver {
+public:
+    virtual ~SchemeReceiver() = default;
+
+    /// Deliver a preamble packet; false = invalid (driver aborts the run).
+    virtual bool on_preamble(const AuthPacket& packet) {
+        (void)packet;
+        return true;
+    }
+
+    /// Deliver one surviving packet at its arrival time. Returns every
+    /// verdict newly resolved by this arrival.
+    virtual std::vector<VerifyEvent> on_packet(const AuthPacket& packet,
+                                               double arrival_time) = 0;
+
+    /// Close one block (traits().per_block_finish schemes).
+    virtual std::vector<VerifyEvent> finish_block(std::uint32_t block_id) {
+        (void)block_id;
+        return {};
+    }
+
+    /// End of stream: flush everything still pending.
+    virtual std::vector<VerifyEvent> finish_all() { return {}; }
+
+    /// Receiver buffer gauge (0 for stateless schemes).
+    virtual std::size_t buffered_packets() const { return 0; }
+};
+
+// ---------------------------------------------------------------- adapters
+
+/// Any dependence-graph scheme: wraps HashChainSender/HashChainReceiver.
+class HashChainSchemeSender final : public SchemeSender {
+public:
+    HashChainSchemeSender(HashChainConfig config, Signer& signer);
+
+    const SchemeTraits& traits() const noexcept override { return traits_; }
+    std::string name() const override { return sender_.config().name; }
+    std::vector<AuthPacket> make_block(
+        std::uint32_t block_id,
+        const std::vector<std::vector<std::uint8_t>>& payloads) override;
+
+    const HashChainSender& inner() const noexcept { return sender_; }
+
+private:
+    HashChainSender sender_;
+    SchemeTraits traits_;
+};
+
+class HashChainSchemeReceiver final : public SchemeReceiver {
+public:
+    HashChainSchemeReceiver(HashChainConfig config,
+                            std::unique_ptr<SignatureVerifier> verifier);
+
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet,
+                                       double arrival_time) override;
+    std::vector<VerifyEvent> finish_block(std::uint32_t block_id) override;
+    std::vector<VerifyEvent> finish_all() override;
+    std::size_t buffered_packets() const override;
+
+private:
+    HashChainReceiver receiver_;
+};
+
+/// Wong–Lam authentication tree.
+class TreeSchemeSender final : public SchemeSender {
+public:
+    TreeSchemeSender(TreeSchemeConfig config, Signer& signer);
+
+    const SchemeTraits& traits() const noexcept override { return traits_; }
+    std::string name() const override { return "tree"; }
+    std::vector<AuthPacket> make_block(
+        std::uint32_t block_id,
+        const std::vector<std::vector<std::uint8_t>>& payloads) override;
+
+private:
+    TreeSender sender_;
+    SchemeTraits traits_;
+};
+
+class TreeSchemeReceiver final : public SchemeReceiver {
+public:
+    TreeSchemeReceiver(TreeSchemeConfig config,
+                       std::unique_ptr<SignatureVerifier> verifier);
+
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet,
+                                       double arrival_time) override;
+
+private:
+    TreeReceiver receiver_;
+};
+
+/// Sign-each baseline.
+class SignEachSchemeSender final : public SchemeSender {
+public:
+    explicit SignEachSchemeSender(Signer& signer);
+
+    const SchemeTraits& traits() const noexcept override { return traits_; }
+    std::string name() const override { return "sign-each"; }
+    AuthPacket make_packet(std::uint32_t block_id, std::uint32_t index,
+                           std::vector<std::uint8_t> payload, double send_time) override;
+
+private:
+    SignEachSender sender_;
+    SchemeTraits traits_;
+};
+
+class SignEachSchemeReceiver final : public SchemeReceiver {
+public:
+    explicit SignEachSchemeReceiver(std::unique_ptr<SignatureVerifier> verifier);
+
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet,
+                                       double arrival_time) override;
+
+private:
+    SignEachReceiver receiver_;
+};
+
+/// TESLA. Construction consumes variates from `rng` (key-chain seed), so
+/// callers that need reproducibility construct the sender before drawing
+/// payloads from the same generator — exactly what run_tesla_sim did.
+class TeslaSchemeSender final : public SchemeSender {
+public:
+    TeslaSchemeSender(TeslaConfig config, Signer& signer, Rng& rng, double start_time);
+
+    const SchemeTraits& traits() const noexcept override { return traits_; }
+    std::string name() const override { return "tesla"; }
+    std::vector<AuthPacket> preamble() override { return {sender_.bootstrap()}; }
+    AuthPacket make_packet(std::uint32_t block_id, std::uint32_t index,
+                           std::vector<std::uint8_t> payload, double send_time) override;
+
+private:
+    TeslaSender sender_;
+    SchemeTraits traits_;
+};
+
+class TeslaSchemeReceiver final : public SchemeReceiver {
+public:
+    TeslaSchemeReceiver(TeslaConfig config, std::unique_ptr<SignatureVerifier> verifier,
+                        double max_clock_skew);
+
+    bool on_preamble(const AuthPacket& packet) override;
+    std::vector<VerifyEvent> on_packet(const AuthPacket& packet,
+                                       double arrival_time) override;
+    std::vector<VerifyEvent> finish_all() override;
+    std::size_t buffered_packets() const override;
+
+private:
+    TeslaReceiver receiver_;
+};
+
+// ----------------------------------------------------------------- factory
+
+/// A scheme instantiation request: registry key + the parameters the
+/// builder understands (numeric, by name — "m", "d", "a", "b", "arity",
+/// "interval", "lag", "chain", "skew"...). Unknown params are ignored by
+/// builders; missing ones take the registered defaults.
+struct SchemeSpec {
+    std::string kind;
+    std::size_t block_size = 64;
+    std::size_t hash_bytes = 16;
+    std::map<std::string, double> params;
+
+    double param(const std::string& key, double fallback) const {
+        const auto it = params.find(key);
+        return it == params.end() ? fallback : it->second;
+    }
+};
+
+struct SchemePair {
+    std::unique_ptr<SchemeSender> sender;
+    std::unique_ptr<SchemeReceiver> receiver;
+};
+
+/// Name-keyed scheme registry. Built-in kinds: "rohatgi", "emss", "ac",
+/// "offsets" is intentionally absent (offset sets are not nameable by two
+/// doubles), "tree", "sign-each", "tesla". register_scheme() lets
+/// out-of-tree schemes join every factory-driven harness (sim, benches,
+/// conformance tests) without touching them.
+class SchemeFactory {
+public:
+    /// Builds a ready-to-stream sender/receiver pair. `rng` is for schemes
+    /// whose construction draws randomness (TESLA's key chain).
+    using Builder = std::function<SchemePair(const SchemeSpec&, Signer&, Rng&)>;
+    /// Analytic q_min predictor at block size n, i.i.d. loss rate p — the
+    /// recurrence/closed-form column of the paper's figures (fig08 iterates
+    /// the registry instead of switching over an enum).
+    using Predictor = std::function<double(const SchemeSpec&, std::size_t, double)>;
+
+    /// The process-wide registry, with built-ins registered on first use.
+    static SchemeFactory& instance();
+
+    void register_scheme(std::string kind, Builder builder, Predictor predictor = {});
+    bool has(const std::string& kind) const;
+    /// Registered kinds in registration order (built-ins first).
+    std::vector<std::string> kinds() const;
+
+    /// Throws std::invalid_argument for unknown kinds.
+    SchemePair create(const SchemeSpec& spec, Signer& signer, Rng& rng) const;
+    /// NaN when the kind has no registered predictor.
+    double predicted_q_min(const SchemeSpec& spec, std::size_t n, double p) const;
+
+private:
+    struct Entry {
+        std::string kind;
+        Builder builder;
+        Predictor predictor;
+    };
+    const Entry& entry(const std::string& kind) const;
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace mcauth

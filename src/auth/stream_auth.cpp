@@ -35,6 +35,11 @@ std::vector<AuthPacket> StreamingAuthenticator::push(std::vector<std::uint8_t> p
     return {};
 }
 
+void StreamingAuthenticator::set_topology(std::function<DependenceGraph(std::size_t)> topology) {
+    MCAUTH_EXPECTS(topology != nullptr);
+    config_.topology = std::move(topology);
+}
+
 std::vector<AuthPacket> StreamingAuthenticator::flush(double now, bool force) {
     (void)now;
     if (pending_.empty()) return {};
@@ -100,6 +105,15 @@ std::vector<VerifyEvent> StreamingVerifier::on_packet(const AuthPacket& packet) 
     if (packet.block_size < 2 || packet.block_size > kMaxGeometry) return {};
     if (packet.index >= packet.block_size) return {};
     return receiver_for(packet.block_size).on_packet(packet);
+}
+
+std::vector<VerifyEvent> StreamingVerifier::finish_block(std::uint32_t block_id) {
+    std::vector<VerifyEvent> events;
+    for (auto& [size, receiver] : by_size_) {
+        auto partial = receiver->finish_block(block_id);
+        events.insert(events.end(), partial.begin(), partial.end());
+    }
+    return events;
 }
 
 std::vector<VerifyEvent> StreamingVerifier::finish_all() {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -51,6 +52,15 @@ public:
     /// `force` is false.
     std::vector<AuthPacket> flush(double now, bool force = true);
 
+    /// Swap the topology factory used for subsequent cuts — the adaptive
+    /// loop's redesign hook (adapt/controller.hpp). Blocks already emitted
+    /// are unaffected; receivers follow with no out-of-band agreement
+    /// because geometry and hash targets ride inside the signed packets.
+    /// The new factory must keep the P_sign packet last in transmission
+    /// order (all §5 designers do), so existing verifiers' index->vertex
+    /// mapping stays aligned.
+    void set_topology(std::function<DependenceGraph(std::size_t)> topology);
+
     std::size_t pending() const noexcept { return pending_.size(); }
     std::uint32_t blocks_emitted() const noexcept { return next_block_; }
 
@@ -71,6 +81,11 @@ public:
 
     /// Route a packet by its declared block geometry.
     std::vector<VerifyEvent> on_packet(const AuthPacket& packet);
+
+    /// Close one block (by id) across all geometries — the streaming analog
+    /// of HashChainReceiver::finish_block, used by the adaptive session to
+    /// drain per-block state as soon as the sender moves on.
+    std::vector<VerifyEvent> finish_block(std::uint32_t block_id);
 
     /// Close all open blocks across all geometries.
     std::vector<VerifyEvent> finish_all();

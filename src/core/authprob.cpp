@@ -276,12 +276,6 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
     return result;
 }
 
-MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
-                                         Rng& rng, std::size_t trials) {
-    return monte_carlo_auth_prob(dg, static_cast<const LossModel&>(loss), rng.next_u64(),
-                                 trials);
-}
-
 AuthProbBounds bounds_auth_prob(const DependenceGraph& dg, double p,
                                 double path_count_cap) {
     MCAUTH_EXPECTS(p >= 0.0 && p <= 1.0);

@@ -33,7 +33,6 @@
 #include "core/dependence_graph.hpp"
 #include "exec/bitslice.hpp"
 #include "net/loss.hpp"
-#include "util/rng.hpp"
 
 namespace mcauth {
 
@@ -76,11 +75,6 @@ MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg,
                                          const LossModel& loss, std::uint64_t seed,
                                          std::size_t trials,
                                          McEngine engine = McEngine::kBitsliced);
-
-/// Compatibility shim: draws the base seed from `rng` (one next_u64() call)
-/// and runs the seeded engine above.
-MonteCarloAuthProb monte_carlo_auth_prob(const DependenceGraph& dg, LossModel& loss,
-                                         Rng& rng, std::size_t trials);
 
 struct AuthProbBounds {
     std::vector<double> lower;

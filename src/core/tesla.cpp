@@ -235,13 +235,6 @@ TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& lo
     return result;
 }
 
-TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
-                                  DelayModel& delay, Rng& rng, std::size_t trials) {
-    return monte_carlo_tesla(params, static_cast<const LossModel&>(loss),
-                             static_cast<const DelayModel&>(delay), rng.next_u64(),
-                             trials);
-}
-
 VertexId TeslaGraph::message_node(std::size_t i) const {
     MCAUTH_EXPECTS(i >= 1 && 2 * i - 1 < graph.vertex_count());
     return static_cast<VertexId>(2 * i - 1);

@@ -25,7 +25,6 @@
 #include "graph/digraph.hpp"
 #include "net/delay.hpp"
 #include "net/loss.hpp"
-#include "util/rng.hpp"
 
 namespace mcauth {
 
@@ -81,11 +80,6 @@ TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, const LossModel& lo
                                   const DelayModel& delay, std::uint64_t seed,
                                   std::size_t trials,
                                   McEngine engine = McEngine::kBitsliced);
-
-/// Compatibility shim: draws the base seed from `rng` and runs the seeded
-/// engine above.
-TeslaMonteCarlo monte_carlo_tesla(const TeslaParams& params, LossModel& loss,
-                                  DelayModel& delay, Rng& rng, std::size_t trials);
 
 /// The §3.2 / Figure 2 graph: vertex 0 is the bootstrap (root), then for
 /// each packet i in [1, n] a message node and a key node. Returned with

@@ -1,6 +1,7 @@
 #include "design/constructors.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/authprob.hpp"
 #include "core/metrics.hpp"
@@ -61,6 +62,56 @@ DependenceGraph design_greedy(const DesignGoal& goal, const GreedyDesignOptions&
             if (donor == DependenceGraph::root()) break;
         }
         if (best_donor == kNoVertex) break;  // saturated: every donor present
+        dg.add_dependence(best_donor, worst);
+    }
+    return dg;
+}
+
+DependenceGraph design_greedy_channel(const DesignGoal& goal, const LossModel& loss,
+                                      std::uint64_t seed, std::size_t trials,
+                                      const GreedyDesignOptions& options) {
+    MCAUTH_EXPECTS(goal.n >= 2);
+    MCAUTH_EXPECTS(goal.target_q_min > 0.0 && goal.target_q_min <= 1.0);
+    MCAUTH_EXPECTS(trials > 0);
+
+    DependenceGraph dg = copy_with_name(make_offset_scheme(goal.n, {1}), "greedy-channel");
+    const std::size_t edge_cap = options.max_edges == 0 ? 4 * goal.n : options.max_edges;
+    const double p_eff = loss.stationary_loss_rate();
+
+    // A never-received vertex has an undefined conditional q (NaN); for
+    // design purposes it cannot be improved by edges, so score it as fine.
+    const auto resolved = [](double q) { return std::isnan(q) ? 1.0 : q; };
+
+    while (dg.graph().edge_count() < edge_cap) {
+        const MonteCarloAuthProb prob = monte_carlo_auth_prob(dg, loss, seed, trials);
+        if (prob.q_min >= goal.target_q_min) break;
+
+        VertexId worst = 1;
+        for (VertexId v = 1; v < goal.n; ++v)
+            if (resolved(prob.q[v]) < resolved(prob.q[worst])) worst = v;
+        const double q_worst = resolved(prob.q[worst]);
+
+        // Same donor menu as design_greedy; the marginal-gain estimate uses
+        // the channel's stationary rate as the independence-approximation
+        // discount (bursts correlate adjacent losses, so this is a heuristic
+        // pre-filter — the Monte-Carlo rescore next iteration is what counts).
+        VertexId best_donor = kNoVertex;
+        double best_q = q_worst;
+        for (std::size_t back = 2;; back *= 2) {
+            const VertexId donor =
+                back >= worst ? DependenceGraph::root() : static_cast<VertexId>(worst - back);
+            if (!dg.graph().has_edge(donor, worst)) {
+                const double r = donor == DependenceGraph::root() ? 1.0 : 1.0 - p_eff;
+                const double candidate_q =
+                    1.0 - (1.0 - q_worst) * (1.0 - r * resolved(prob.q[donor]));
+                if (candidate_q > best_q + 1e-12) {
+                    best_q = candidate_q;
+                    best_donor = donor;
+                }
+            }
+            if (donor == DependenceGraph::root()) break;
+        }
+        if (best_donor == kNoVertex) break;
         dg.add_dependence(best_donor, worst);
     }
     return dg;

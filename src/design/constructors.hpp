@@ -26,9 +26,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/dependence_graph.hpp"
+#include "net/loss.hpp"
 #include "util/rng.hpp"
 
 namespace mcauth {
@@ -47,6 +49,18 @@ struct GreedyDesignOptions {
 /// unreachable within the edge cap, the best-effort graph is returned
 /// (check with recurrence_auth_prob).
 DependenceGraph design_greedy(const DesignGoal& goal, const GreedyDesignOptions& options = {});
+
+/// Greedy edge augmentation scored under an ARBITRARY loss model (the
+/// recurrence engine assumes i.i.d. Bernoulli loss, which understates burst
+/// damage under Gilbert-Elliott channels). Candidates are evaluated with
+/// the seeded Monte-Carlo engine, so the result is deterministic for a
+/// given (goal, loss, seed, trials). `goal.p` is ignored except as the
+/// marginal-gain heuristic's correlation discount; the channel's own
+/// stationary_loss_rate() drives donor scoring. Used by the adaptive
+/// controller (adapt/controller.hpp) when feedback reports bursty loss.
+DependenceGraph design_greedy_channel(const DesignGoal& goal, const LossModel& loss,
+                                      std::uint64_t seed, std::size_t trials = 512,
+                                      const GreedyDesignOptions& options = {});
 
 struct OffsetDesignResult {
     std::vector<std::size_t> offsets;  // empty if no feasible subset

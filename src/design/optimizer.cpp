@@ -19,7 +19,7 @@ DesignReport evaluate_design(const DependenceGraph& dg, const DesignGoal& goal,
 
     report.q_min_recurrence = recurrence_auth_prob(dg, goal.p).q_min;
     BernoulliLoss loss(goal.p);
-    report.q_min_monte_carlo = monte_carlo_auth_prob(dg, loss, rng, mc_trials).q_min;
+    report.q_min_monte_carlo = monte_carlo_auth_prob(dg, loss, rng.next_u64(), mc_trials).q_min;
     report.meets_target = report.q_min_recurrence >= goal.target_q_min;
     return report;
 }

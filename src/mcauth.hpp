@@ -1,0 +1,104 @@
+// Umbrella header: the full public surface of the mcauth library.
+//
+// Applications (the examples/ programs, downstream experiments) include
+// this one header and link the mcauth_* static libraries; internal code
+// keeps including the fine-grained module headers so that layering
+// violations stay visible in the include lists.
+//
+// Layering (see DESIGN.md §1) — each group below may only depend on the
+// groups above it:
+//
+//   util    primitives: rng, stats, check, cli, json, table
+//   obs     observability: metrics, tracing, manifests, bench gates
+//   graph   digraphs + CSR + algorithms + DOT
+//   crypto  hashes, HMAC, Merkle/WOTS signatures, RSA
+//   exec    thread pool, sharded Monte-Carlo, bit-sliced engine
+//   net     loss/delay channel models
+//   core    the paper's objects: dependence graphs, q recurrence/exact/MC,
+//           TESLA analysis, topology constructors, metrics, serialization
+//   design  §5 designers + design-space optimizer
+//   auth    runnable schemes behind SchemeSender/SchemeReceiver, streaming
+//   adapt   closed-loop adaptive authentication (DESIGN.md §10)
+//   sim     end-to-end stream simulator
+#pragma once
+
+// util
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/hex.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+// obs
+#include "obs/bench_compare.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/perfctr.hpp"
+#include "obs/progress.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+// graph
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+
+// crypto
+#include "crypto/hmac.hpp"
+#include "crypto/keychain.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/wots.hpp"
+
+// exec
+#include "exec/bitslice.hpp"
+#include "exec/sharded.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+// net
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+
+// core
+#include "core/authprob.hpp"
+#include "core/delay_analysis.hpp"
+#include "core/dependence_graph.hpp"
+#include "core/exact_dp.hpp"
+#include "core/metrics.hpp"
+#include "core/serialize.hpp"
+#include "core/tesla.hpp"
+#include "core/topologies.hpp"
+
+// design
+#include "design/constructors.hpp"
+#include "design/optimizer.hpp"
+
+// auth
+#include "auth/hash_chain_scheme.hpp"
+#include "auth/packet.hpp"
+#include "auth/scheme.hpp"
+#include "auth/sign_each_scheme.hpp"
+#include "auth/stream_auth.hpp"
+#include "auth/tesla_scheme.hpp"
+#include "auth/tree_scheme.hpp"
+
+// adapt
+#include "adapt/controller.hpp"
+#include "adapt/estimator.hpp"
+#include "adapt/feedback.hpp"
+#include "adapt/monitor.hpp"
+#include "adapt/session.hpp"
+
+// sim
+#include "sim/stream_sim.hpp"

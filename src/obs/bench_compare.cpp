@@ -65,6 +65,8 @@ bool load_bench_file(const std::string& text, BenchFile& out, std::string& error
     }
     out.bench = manifest->get_string("bench");
     out.seed = manifest->get_uint("seed");
+    out.metric = doc->get_string("metric");
+    if (out.metric.empty()) out.metric = "trials_per_sec";
     out.git_revision = manifest->get_string("git_revision");
     out.compiler = manifest->get_string("compiler");
     out.compiler_flags = manifest->get_string("compiler_flags");
@@ -93,7 +95,7 @@ bool load_bench_file(const std::string& text, BenchFile& out, std::string& error
         e.threads = static_cast<std::size_t>(row.get_uint("threads"));
         e.trials = row.get_uint("trials");
         e.seconds = row.get_double("seconds");
-        e.trials_per_sec = row.get_double("trials_per_sec");
+        e.trials_per_sec = row.get_double(out.metric);
         if (const JsonValue* reps = row.find("seconds_repeats");
             reps != nullptr && reps->is_array())
             for (const JsonValue& r : reps->array())
@@ -157,6 +159,12 @@ CompareReport compare_bench_files(const BenchFile& base, const BenchFile& cur,
         report.incompatible = true;
         report.incompatible_reason = "different seeds: " + std::to_string(base.seed) +
                                      " vs " + std::to_string(cur.seed);
+        return report;
+    }
+    if (base.metric != cur.metric) {
+        report.incompatible = true;
+        report.incompatible_reason = "different gated metrics: \"" + base.metric +
+                                     "\" vs \"" + cur.metric + "\"";
         return report;
     }
 
@@ -252,17 +260,22 @@ std::string CompareReport::render_markdown(const BenchFile& base,
     }
     for (const std::string& w : warnings) out += "- warning: " + w + "\n";
     if (!warnings.empty()) out += "\n";
-    out +=
-        "| entry | baseline trials/s | current trials/s | delta | tolerance | "
-        "verdict |\n";
+    const std::string metric =
+        base.metric.empty() || base.metric == "trials_per_sec" ? "trials/s"
+                                                               : base.metric;
+    out += "| entry | baseline " + metric + " | current " + metric +
+           " | delta | tolerance | verdict |\n";
     out += "|---|---:|---:|---:|---:|---|\n";
+    // Throughput-scale values read best as integers; fractional metrics
+    // (q_min and friends) need the decimals.
+    const auto fmt_metric = [](double v) { return fmt(v, v < 1000.0 ? 4 : 0); };
     for (const Comparison& c : rows) {
         const bool both = c.verdict != Verdict::kMissingInCurrent &&
                           c.verdict != Verdict::kOnlyInCurrent;
         out += "| " + c.key + " | ";
-        out += (c.verdict == Verdict::kOnlyInCurrent ? "-" : fmt(c.base_rate, 0)) +
+        out += (c.verdict == Verdict::kOnlyInCurrent ? "-" : fmt_metric(c.base_rate)) +
                " | ";
-        out += (c.verdict == Verdict::kMissingInCurrent ? "-" : fmt(c.cur_rate, 0)) +
+        out += (c.verdict == Verdict::kMissingInCurrent ? "-" : fmt_metric(c.cur_rate)) +
                " | ";
         out += (both ? fmt_pct(c.ratio - 1.0) : std::string("-")) + " | ";
         out += (both ? "±" + fmt_pct(c.threshold) : std::string("-")) + " | ";

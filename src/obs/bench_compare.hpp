@@ -36,7 +36,7 @@ struct BenchEntry {
     std::uint64_t trials = 0;
     double seconds = 0;                   ///< min over repeats
     std::vector<double> seconds_repeats;  ///< every repeat's time (may be empty)
-    double trials_per_sec = 0;
+    double trials_per_sec = 0;  ///< the gated value (named by BenchFile::metric)
 
     /// Row identity inside a file: "workload[/engine]@Nt".
     std::string key() const;
@@ -48,6 +48,12 @@ struct BenchFile {
     int schema_version = 0;
     std::string bench;
     std::uint64_t seed = 0;
+    /// Name of the gated per-entry value, read from the file's top-level
+    /// "metric" field; "trials_per_sec" when absent. Higher is better
+    /// either way — quality benches (e.g. BENCH_adaptive.json) gate on
+    /// "q_min" through the same noise-aware machinery. Files with
+    /// different metrics are incomparable.
+    std::string metric;
     // Manifest fields consulted for comparability / warnings.
     std::string git_revision;
     std::string compiler;

@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -107,142 +108,55 @@ void record_scheme_stats(const std::string& scheme, const SimStats& s) {
 
 }  // namespace
 
-SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Channel& channel,
-                            const SimConfig& sim) {
+SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel& channel,
+                        std::size_t block_size, const SimConfig& sim, Rng& rng) {
     MCAUTH_EXPECTS(sim.blocks >= 1);
-    MCAUTH_EXPECTS(sim.sign_copies >= 1);
-    Rng rng(sim.seed);
-    HashChainSender sender(scheme, signer);
-    HashChainReceiver receiver(scheme, signer.make_verifier());
-    const std::size_t n = scheme.block_size;
-    const std::size_t sign_index = sender.topology().send_pos(DependenceGraph::root());
+    MCAUTH_EXPECTS(block_size >= 1);
+    const SchemeTraits& traits = sender.traits();
+    if (traits.replicate_signature) MCAUTH_EXPECTS(sim.sign_copies >= 1);
+    using Delivery = SchemeTraits::Delivery;
+    using Pacing = SchemeTraits::Pacing;
 
+    // Preamble packets are delivered reliably — the paper's "P_sign always
+    // received" assumption, realized in practice by unicast retransmission
+    // at join (TESLA's signed bootstrap).
+    for (const AuthPacket& pkt : sender.preamble())
+        MCAUTH_REQUIRE(receiver.on_preamble(pkt));
+
+    const std::size_t n = block_size;
     SimStats stats;
-    IndexTally tally(n);
+    IndexTally tally(traits.stream_tally ? sim.blocks * n : n);
+    // First arrival time per packet index — per block for block-scoped
+    // schemes (indices repeat across blocks), stream-wide otherwise.
+    std::map<std::uint32_t, double> first_arrival;
+    double overhead_sum = 0.0;  // per-packet accounting (!payloads_upfront)
+
+    // Pacing state; see SchemeTraits::Pacing for the exact arithmetic each
+    // mode pins (kept expression-for-expression identical to the historical
+    // per-scheme loops so SimStats stay bit-identical).
+    double clock = traits.clock_start_slots * sim.t_transmit;
     double block_start = 0.0;
 
-    for (std::size_t b = 0; b < sim.blocks; ++b) {
-        const auto payloads = random_payloads(rng, n, sim.payload_bytes);
-        std::vector<AuthPacket> packets;
-        {
-            MCAUTH_OBS_SPAN("sim.sign");
-            packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+    const auto deliver = [&](const AuthPacket& pkt, double at) {
+        if (first_arrival.emplace(pkt.index, at).second) {
+            ++stats.packets_received;
+            tally.on_received(pkt.index);
         }
-        stats.overhead_bytes_per_packet += mean_overhead(packets);
-
-        std::vector<Arrival> arrivals;
-        {
-            MCAUTH_OBS_SPAN("sim.emit");
-            arrivals = transmit_block(packets, sign_index, sim.sign_copies, channel,
-                                      rng, block_start, sim.t_transmit,
-                                      stats.packets_sent);
-        }
-        {
-            MCAUTH_OBS_SPAN("sim.receive");
-            std::map<std::uint32_t, double> arrival_time;  // first arrival per index
-            for (const Arrival& a : arrivals) {
-                const AuthPacket& pkt = packets[a.packet];
-                if (arrival_time.emplace(pkt.index, a.time).second) {
-                    ++stats.packets_received;
-                    tally.on_received(pkt.index);
-                }
-                std::vector<VerifyEvent> events;
-                {
-                    MCAUTH_OBS_SPAN("sim.verify");
-                    events = receiver.on_packet(pkt);
-                }
-                for (const VerifyEvent& ev : events) {
-                    switch (ev.status) {
-                        case VerifyStatus::kAuthenticated: {
-                            ++stats.authenticated;
-                            tally.on_authenticated(ev.index);
-                            const auto it = arrival_time.find(ev.index);
-                            MCAUTH_ENSURES(it != arrival_time.end());
-                            stats.receiver_delay.add(a.time - it->second);
-                            break;
-                        }
-                        case VerifyStatus::kRejected:
-                            ++stats.rejected;
-                            break;
-                        case VerifyStatus::kUnverifiable:
-                            ++stats.unverifiable;
-                            break;
-                    }
-                }
-                stats.max_buffered_packets =
-                    std::max(stats.max_buffered_packets, receiver.buffered_packets());
-                MCAUTH_OBS_GAUGE_SET("sim.buffered_packets", receiver.buffered_packets());
-            }
-        }
-        for (const VerifyEvent& ev :
-             receiver.finish_block(static_cast<std::uint32_t>(b))) {
-            if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
-        }
-        block_start += static_cast<double>(n + sim.sign_copies - 1) * sim.t_transmit;
-    }
-    stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
-    tally.finalize(stats);
-    record_scheme_stats(scheme.name, stats);
-    return stats;
-}
-
-SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& channel,
-                       const SimConfig& sim, double max_clock_skew) {
-    MCAUTH_EXPECTS(sim.blocks >= 1);
-    Rng rng(sim.seed);
-    TeslaSender sender(scheme, signer, rng, /*start_time=*/0.0);
-    TeslaReceiver receiver(scheme, signer.make_verifier(), max_clock_skew);
-
-    // Bootstrap is delivered reliably — the paper's "P_sign always received"
-    // assumption, realized in practice by unicast retransmission at join.
-    MCAUTH_REQUIRE(receiver.on_bootstrap(sender.bootstrap()));
-
-    // Stream sim.blocks * 64 packets; "blocks" only sizes the run here.
-    const std::size_t total_packets = sim.blocks * 64;
-    std::vector<AuthPacket> packets;
-    packets.reserve(total_packets);
-    std::vector<Arrival> arrivals;
-    double clock = sim.t_transmit;  // interval 1 starts at sender time 0
-    SimStats stats;
-    double overhead_sum = 0.0;
-
-    for (std::size_t i = 0; i < total_packets; ++i) {
-        {
-            MCAUTH_OBS_SPAN("sim.sign");
-            packets.push_back(sender.make_packet(rng.bytes(sim.payload_bytes), clock));
-        }
-        overhead_sum +=
-            static_cast<double>(packets.back().wire_size() - sim.payload_bytes);
-        ++stats.packets_sent;
-        {
-            MCAUTH_OBS_SPAN("sim.emit");
-            if (const auto at = channel.transmit(clock, rng))
-                arrivals.push_back({*at, packets.size() - 1});
-        }
-        clock += sim.t_transmit;
-    }
-    std::stable_sort(arrivals.begin(), arrivals.end(),
-                     [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
-
-    IndexTally tally(total_packets);
-    std::vector<double> arrival_of(total_packets, 0.0);
-    for (const Arrival& a : arrivals) {
-        const AuthPacket& pkt = packets[a.packet];
-        ++stats.packets_received;
-        tally.on_received(pkt.index);
-        arrival_of[pkt.index] = a.time;
         std::vector<VerifyEvent> events;
         {
             MCAUTH_OBS_SPAN("sim.verify");
-            events = receiver.on_packet(pkt, a.time);
+            events = receiver.on_packet(pkt, at);
         }
         for (const VerifyEvent& ev : events) {
             switch (ev.status) {
-                case VerifyStatus::kAuthenticated:
+                case VerifyStatus::kAuthenticated: {
                     ++stats.authenticated;
                     tally.on_authenticated(ev.index);
-                    stats.receiver_delay.add(a.time - arrival_of[ev.index]);
+                    const auto it = first_arrival.find(ev.index);
+                    MCAUTH_ENSURES(it != first_arrival.end());
+                    stats.receiver_delay.add(at - it->second);
                     break;
+                }
                 case VerifyStatus::kRejected:
                     ++stats.rejected;
                     break;
@@ -253,61 +167,162 @@ SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& chann
         }
         stats.max_buffered_packets =
             std::max(stats.max_buffered_packets, receiver.buffered_packets());
+        MCAUTH_OBS_GAUGE_SET("sim.buffered_packets", receiver.buffered_packets());
+    };
+
+    // Stream-delivery schemes accumulate every survivor and deliver once,
+    // sorted, after the last block (key disclosure crosses block bounds).
+    std::vector<AuthPacket> stream_packets;
+    std::vector<Arrival> stream_arrivals;
+
+    for (std::size_t b = 0; b < sim.blocks; ++b) {
+        if (traits.pacing == Pacing::kBlockIncremental) clock = block_start;
+        std::size_t transmissions = 0;
+        std::vector<Arrival> arrivals;  // this block's survivors
+
+        if (traits.payloads_upfront) {
+            const auto payloads = random_payloads(rng, n, sim.payload_bytes);
+            std::vector<AuthPacket> packets;
+            {
+                MCAUTH_OBS_SPAN("sim.sign");
+                packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
+            }
+            stats.overhead_bytes_per_packet += mean_overhead(packets);
+            {
+                MCAUTH_OBS_SPAN("sim.emit");
+                for (std::size_t i = 0; i < packets.size(); ++i) {
+                    const AuthPacket& pkt = packets[i];
+                    // Replicas of P_sign ride immediately after the original.
+                    const std::size_t copies =
+                        (traits.replicate_signature && pkt.kind == PacketKind::kSignature)
+                            ? sim.sign_copies
+                            : 1;
+                    for (std::size_t c = 0; c < copies; ++c) {
+                        ++stats.packets_sent;
+                        ++transmissions;
+                        const double send_time =
+                            traits.pacing == Pacing::kBlockMultiplicative
+                                ? block_start + static_cast<double>(i) * sim.t_transmit
+                                : clock;
+                        const auto at = channel.transmit(send_time, rng);
+                        if (traits.pacing != Pacing::kBlockMultiplicative)
+                            clock += sim.t_transmit;
+                        if (!at) continue;
+                        if (traits.delivery == Delivery::kSendOrder)
+                            deliver(pkt, *at);
+                        else
+                            arrivals.push_back({*at, i});
+                    }
+                }
+            }
+            if (traits.delivery == Delivery::kBlockArrivalOrder) {
+                std::stable_sort(arrivals.begin(), arrivals.end(),
+                                 [](const Arrival& a, const Arrival& b2) {
+                                     return a.time < b2.time;
+                                 });
+                MCAUTH_OBS_SPAN("sim.receive");
+                for (const Arrival& a : arrivals) deliver(packets[a.packet], a.time);
+            } else {
+                MCAUTH_ENSURES(arrivals.empty());
+            }
+        } else {
+            // Stream codecs: payload drawn, packet built and transmitted one
+            // at a time (the codec may be stateful in send time).
+            for (std::size_t i = 0; i < n; ++i) {
+                AuthPacket pkt;
+                {
+                    MCAUTH_OBS_SPAN("sim.sign");
+                    pkt = sender.make_packet(static_cast<std::uint32_t>(b),
+                                             static_cast<std::uint32_t>(i),
+                                             rng.bytes(sim.payload_bytes), clock);
+                }
+                overhead_sum +=
+                    static_cast<double>(pkt.wire_size() - sim.payload_bytes);
+                ++stats.packets_sent;
+                ++transmissions;
+                std::optional<double> at;
+                {
+                    MCAUTH_OBS_SPAN("sim.emit");
+                    at = channel.transmit(clock, rng);
+                }
+                if (at) {
+                    if (traits.delivery == Delivery::kSendOrder) {
+                        deliver(pkt, *at);
+                    } else {
+                        stream_packets.push_back(std::move(pkt));
+                        stream_arrivals.push_back({*at, stream_packets.size() - 1});
+                    }
+                }
+                clock += sim.t_transmit;
+            }
+        }
+
+        if (traits.per_block_finish) {
+            for (const VerifyEvent& ev :
+                 receiver.finish_block(static_cast<std::uint32_t>(b))) {
+                if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
+            }
+        }
+        if (traits.pacing == Pacing::kBlockIncremental)
+            block_start += static_cast<double>(transmissions) * sim.t_transmit;
+        else if (traits.pacing == Pacing::kBlockMultiplicative)
+            block_start += static_cast<double>(n) * sim.t_transmit;
+        if (traits.delivery != Delivery::kStreamArrivalOrder) first_arrival.clear();
     }
-    for (const VerifyEvent& ev : receiver.finish())
+
+    if (traits.delivery == Delivery::kStreamArrivalOrder) {
+        std::stable_sort(stream_arrivals.begin(), stream_arrivals.end(),
+                         [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+        MCAUTH_OBS_SPAN("sim.receive");
+        for (const Arrival& a : stream_arrivals)
+            deliver(stream_packets[a.packet], a.time);
+    }
+    for (const VerifyEvent& ev : receiver.finish_all())
         if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
 
-    stats.overhead_bytes_per_packet =
-        total_packets == 0 ? 0.0 : overhead_sum / static_cast<double>(total_packets);
+    if (traits.payloads_upfront)
+        stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
+    else
+        stats.overhead_bytes_per_packet =
+            overhead_sum / static_cast<double>(sim.blocks * n);
     tally.finalize(stats);
-    record_scheme_stats("tesla", stats);
+    record_scheme_stats(sender.name(), stats);
     return stats;
+}
+
+SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Channel& channel,
+                            const SimConfig& sim) {
+    Rng rng(sim.seed);
+    HashChainSchemeSender sender(scheme, signer);
+    HashChainSchemeReceiver receiver(scheme, signer.make_verifier());
+    return run_scheme_sim(sender, receiver, channel, scheme.block_size, sim, rng);
+}
+
+SimStats run_tesla_sim(const TeslaConfig& scheme, Signer& signer, Channel& channel,
+                       const SimConfig& sim, double max_clock_skew) {
+    Rng rng(sim.seed);
+    // Sender construction consumes rng (key chain) before any payload draw —
+    // part of the historical RNG consumption order this adapter preserves.
+    // "blocks" only sizes the run: 64-packet slices of one stream.
+    TeslaSchemeSender sender(scheme, signer, rng, /*start_time=*/0.0);
+    TeslaSchemeReceiver receiver(scheme, signer.make_verifier(), max_clock_skew);
+    return run_scheme_sim(sender, receiver, channel, /*block_size=*/64, sim, rng);
 }
 
 SimStats run_tree_sim(const TreeSchemeConfig& scheme, Signer& signer, Channel& channel,
                       const SimConfig& sim) {
-    MCAUTH_EXPECTS(sim.blocks >= 1);
     Rng rng(sim.seed);
-    TreeSender sender(scheme, signer);
-    TreeReceiver receiver(scheme, signer.make_verifier());
-    const std::size_t n = scheme.block_size;
+    TreeSchemeSender sender(scheme, signer);
+    TreeSchemeReceiver receiver(scheme, signer.make_verifier());
+    return run_scheme_sim(sender, receiver, channel, scheme.block_size, sim, rng);
+}
 
-    SimStats stats;
-    IndexTally tally(n);
-    double block_start = 0.0;
-    for (std::size_t b = 0; b < sim.blocks; ++b) {
-        const auto payloads = random_payloads(rng, n, sim.payload_bytes);
-        std::vector<AuthPacket> packets;
-        {
-            MCAUTH_OBS_SPAN("sim.sign");
-            packets = sender.make_block(static_cast<std::uint32_t>(b), payloads);
-        }
-        stats.overhead_bytes_per_packet += mean_overhead(packets);
-        for (std::size_t i = 0; i < n; ++i) {
-            ++stats.packets_sent;
-            const double send_time = block_start + static_cast<double>(i) * sim.t_transmit;
-            if (!channel.transmit(send_time, rng)) continue;
-            ++stats.packets_received;
-            tally.on_received(i);
-            VerifyEvent ev;
-            {
-                MCAUTH_OBS_SPAN("sim.verify");
-                ev = receiver.on_packet(packets[i]);
-            }
-            if (ev.status == VerifyStatus::kAuthenticated) {
-                ++stats.authenticated;
-                tally.on_authenticated(i);
-                stats.receiver_delay.add(0.0);  // individually verifiable
-            } else {
-                ++stats.rejected;
-            }
-        }
-        block_start += static_cast<double>(n) * sim.t_transmit;
-    }
-    stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
-    tally.finalize(stats);
-    record_scheme_stats("tree", stats);
-    return stats;
+SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& channel,
+                           const SimConfig& sim) {
+    Rng rng(sim.seed);
+    SignEachSchemeSender sender(signer);
+    SignEachSchemeReceiver receiver(signer.make_verifier());
+    return run_scheme_sim(sender, receiver, channel, block_size, sim, rng);
 }
 
 MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signer& signer,
@@ -402,56 +417,6 @@ MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signe
     const auto total = static_cast<double>(sim.blocks * n);
     stats.all_receivers_fraction = static_cast<double>(all_count) / total;
     stats.any_receiver_fraction = static_cast<double>(any_count) / total;
-    return stats;
-}
-
-SimStats run_sign_each_sim(std::size_t block_size, Signer& signer, Channel& channel,
-                           const SimConfig& sim) {
-    MCAUTH_EXPECTS(sim.blocks >= 1);
-    MCAUTH_EXPECTS(block_size >= 1);
-    Rng rng(sim.seed);
-    SignEachSender sender(signer);
-    SignEachReceiver receiver(signer.make_verifier());
-
-    SimStats stats;
-    IndexTally tally(block_size);
-    double clock = 0.0;
-    double overhead_sum = 0.0;
-    for (std::size_t b = 0; b < sim.blocks; ++b) {
-        for (std::size_t i = 0; i < block_size; ++i) {
-            std::optional<AuthPacket> made;
-            {
-                MCAUTH_OBS_SPAN("sim.sign");
-                made = sender.make_packet(static_cast<std::uint32_t>(b),
-                                          static_cast<std::uint32_t>(i),
-                                          rng.bytes(sim.payload_bytes));
-            }
-            const AuthPacket& pkt = *made;
-            overhead_sum += static_cast<double>(pkt.wire_size() - sim.payload_bytes);
-            ++stats.packets_sent;
-            if (channel.transmit(clock, rng)) {
-                ++stats.packets_received;
-                tally.on_received(i);
-                VerifyEvent ev;
-                {
-                    MCAUTH_OBS_SPAN("sim.verify");
-                    ev = receiver.on_packet(pkt);
-                }
-                if (ev.status == VerifyStatus::kAuthenticated) {
-                    ++stats.authenticated;
-                    tally.on_authenticated(i);
-                    stats.receiver_delay.add(0.0);
-                } else {
-                    ++stats.rejected;
-                }
-            }
-            clock += sim.t_transmit;
-        }
-    }
-    stats.overhead_bytes_per_packet =
-        overhead_sum / static_cast<double>(sim.blocks * block_size);
-    tally.finalize(stats);
-    record_scheme_stats("sign-each", stats);
     return stats;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "auth/hash_chain_scheme.hpp"
+#include "auth/scheme.hpp"
 #include "auth/sign_each_scheme.hpp"
 #include "auth/tesla_scheme.hpp"
 #include "auth/tree_scheme.hpp"
@@ -63,7 +64,18 @@ struct SimStats {
     double overhead_bytes_per_packet = 0.0;  // wire - payload, averaged
 };
 
+/// The generic driver behind every entry point below: streams `sim.blocks`
+/// blocks of `block_size` payload packets from `sender` through `channel`
+/// into `receiver`, following the sender's SchemeTraits for pacing,
+/// signature replication, delivery order and tallying. Any SchemeSender /
+/// SchemeReceiver pair (factory-built, adaptive, out-of-tree) drives the
+/// same measurement loop — and produces SimStats bit-identical to the
+/// historical per-scheme loops for the four built-in codecs.
+SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel& channel,
+                        std::size_t block_size, const SimConfig& sim, Rng& rng);
+
 /// Any dependence-graph scheme (Rohatgi / EMSS / AC / custom topologies).
+/// Thin adapter over run_scheme_sim (as are the three below).
 SimStats run_hash_chain_sim(const HashChainConfig& scheme, Signer& signer, Channel& channel,
                             const SimConfig& sim);
 

@@ -1,0 +1,582 @@
+// The adaptive-authentication control loop (DESIGN.md §10).
+//
+// Unit level: EWMA + Gilbert-Elliott estimators, feedback wire format,
+// last-writer-wins aggregation, starvation decay, controller hysteresis /
+// redesign budget / sign-copies escalation, channel-scored greedy design.
+// System level: cross-topology verification at one StreamingVerifier and
+// the closed loop re-converging after a loss-regime switch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adapt/controller.hpp"
+#include "adapt/estimator.hpp"
+#include "adapt/feedback.hpp"
+#include "adapt/monitor.hpp"
+#include "adapt/session.hpp"
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "crypto/signature.hpp"
+#include "design/constructors.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth::adapt {
+namespace {
+
+// ------------------------------------------------------------- estimators
+
+TEST(EwmaLossEstimator, TracksStepChange) {
+    EwmaLossEstimator est(0.3, 0.1);
+    for (int i = 0; i < 30; ++i) est.observe(100, 5);
+    EXPECT_NEAR(est.loss_rate(), 0.05, 0.01);
+    for (int i = 0; i < 30; ++i) est.observe(100, 30);
+    EXPECT_NEAR(est.loss_rate(), 0.30, 0.01);
+    EXPECT_EQ(est.samples(), 6000u);
+}
+
+TEST(EwmaLossEstimator, DecayTowardPrior) {
+    EwmaLossEstimator est(0.3, 0.0);
+    for (int i = 0; i < 30; ++i) est.observe(100, 5);
+    for (int i = 0; i < 50; ++i) est.decay_toward(0.3, 0.25);
+    EXPECT_NEAR(est.loss_rate(), 0.3, 0.01);
+}
+
+TEST(EwmaLossEstimator, IgnoresEmptyWindows) {
+    EwmaLossEstimator est(0.5, 0.2);
+    est.observe(0, 0);
+    EXPECT_DOUBLE_EQ(est.loss_rate(), 0.2);
+    EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(GilbertElliottEstimator, RecoversChannelParameters) {
+    // Ground truth: 25% stationary loss in bursts of mean length 6.
+    const auto truth = GilbertElliottLoss::from_rate_and_burst(0.25, 6.0);
+    auto channel = truth.clone();
+    Rng rng(42);
+    GilbertElliottEstimator est;
+    for (int i = 0; i < 200000; ++i) est.observe_packet(channel->lose_next(rng));
+
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_NEAR(fit.loss_rate, 0.25, 0.02);
+    EXPECT_NEAR(fit.mean_burst, 6.0, 0.5);
+    EXPECT_NEAR(fit.p_bg, 1.0 / 6.0, 0.02);          // exit rate = 1/burst
+    EXPECT_NEAR(fit.p_gb, 0.25 / 0.75 / 6.0, 0.01);  // entry rate
+    EXPECT_EQ(fit.samples, 200000u);
+}
+
+TEST(GilbertElliottEstimator, IndependentLossReadsAsBurstOne) {
+    BernoulliLoss bernoulli(0.2);
+    auto channel = bernoulli.clone();
+    Rng rng(7);
+    GilbertElliottEstimator est;
+    for (int i = 0; i < 100000; ++i) est.observe_packet(channel->lose_next(rng));
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_NEAR(fit.loss_rate, 0.2, 0.02);
+    // Independent losses still chain occasionally: mean run = 1/(1-p).
+    EXPECT_NEAR(fit.mean_burst, 1.0 / 0.8, 0.05);
+}
+
+TEST(GilbertElliottEstimator, NoLossesMeansCleanChannel) {
+    GilbertElliottEstimator est;
+    for (int i = 0; i < 100; ++i) est.observe_packet(false);
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_EQ(fit.loss_rate, 0.0);
+    EXPECT_EQ(fit.mean_burst, 1.0);
+    EXPECT_EQ(fit.samples, 100u);
+}
+
+// --------------------------------------------------------------- feedback
+
+TEST(FeedbackReport, EncodeDecodeRoundTrip) {
+    FeedbackReport r;
+    r.receiver_id = 3;
+    r.seq = 17;
+    r.last_block = 1200;
+    r.window_packets = 512;
+    r.window_losses = 41;
+    r.est_loss_rate = 0.083;
+    r.est_mean_burst = 2.75;
+    r.sig_loss_streak = 2;
+
+    const auto wire = r.encode();
+    EXPECT_EQ(wire.size(), FeedbackReport::kWireSize);
+    const auto back = FeedbackReport::decode(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->receiver_id, 3u);
+    EXPECT_EQ(back->seq, 17u);
+    EXPECT_EQ(back->last_block, 1200u);
+    EXPECT_EQ(back->window_packets, 512u);
+    EXPECT_EQ(back->window_losses, 41u);
+    EXPECT_DOUBLE_EQ(back->est_loss_rate, 0.083);
+    EXPECT_DOUBLE_EQ(back->est_mean_burst, 2.75);
+    EXPECT_EQ(back->sig_loss_streak, 2u);
+}
+
+TEST(FeedbackReport, DecodeRejectsGarbage) {
+    FeedbackReport r;
+    r.est_loss_rate = 0.5;
+    auto wire = r.encode();
+    EXPECT_FALSE(FeedbackReport::decode(wire.data(), wire.size() - 1).has_value());
+    EXPECT_FALSE(FeedbackReport::decode(nullptr, FeedbackReport::kWireSize).has_value());
+
+    // Corrupt the loss-rate field into something out of range.
+    FeedbackReport bad = r;
+    bad.est_loss_rate = 7.5;
+    auto bad_wire = bad.encode();
+    EXPECT_FALSE(FeedbackReport::decode(bad_wire.data(), bad_wire.size()).has_value());
+}
+
+FeedbackReport make_report(std::uint32_t id, std::uint32_t seq, std::uint32_t block,
+                           double loss, double burst = 1.0, std::uint32_t streak = 0) {
+    FeedbackReport r;
+    r.receiver_id = id;
+    r.seq = seq;
+    r.last_block = block;
+    r.window_packets = 100;
+    r.window_losses = static_cast<std::uint32_t>(100 * loss);
+    r.est_loss_rate = loss;
+    r.est_mean_burst = burst;
+    r.sig_loss_streak = streak;
+    return r;
+}
+
+TEST(FeedbackAggregator, LastWriterWinsPerReceiver) {
+    FeedbackAggregator agg;
+    EXPECT_TRUE(agg.on_report(make_report(0, 5, 10, 0.1)));
+    EXPECT_FALSE(agg.on_report(make_report(0, 5, 10, 0.4)));  // duplicate seq
+    EXPECT_FALSE(agg.on_report(make_report(0, 3, 12, 0.4)));  // reordered: older
+    EXPECT_TRUE(agg.on_report(make_report(0, 6, 11, 0.2)));
+    EXPECT_EQ(agg.stale_rejections(), 2u);
+
+    const auto fused = agg.aggregate(11);
+    EXPECT_FALSE(fused.starved);
+    EXPECT_DOUBLE_EQ(fused.loss_rate, 0.2);
+}
+
+TEST(FeedbackAggregator, WorstFreshReceiverWins) {
+    FeedbackAggregator agg;
+    agg.on_report(make_report(0, 1, 20, 0.1, 1.2));
+    agg.on_report(make_report(1, 1, 20, 0.35, 4.0, 3));
+    agg.on_report(make_report(2, 1, 20, 0.2, 2.0));
+    const auto fused = agg.aggregate(21);
+    EXPECT_EQ(fused.fresh_receivers, 3u);
+    EXPECT_DOUBLE_EQ(fused.loss_rate, 0.35);
+    EXPECT_DOUBLE_EQ(fused.mean_burst, 4.0);   // burst travels with the worst receiver
+    EXPECT_EQ(fused.max_sig_streak, 3u);
+}
+
+TEST(FeedbackAggregator, StarvationDecaysTowardConservativePrior) {
+    FeedbackAggregator::Options opts;
+    opts.conservative_prior = 0.3;
+    opts.freshness_blocks = 4;
+    FeedbackAggregator agg(opts);
+    agg.on_report(make_report(0, 1, 10, 0.05));
+
+    auto fresh = agg.aggregate(12);
+    EXPECT_FALSE(fresh.starved);
+    EXPECT_DOUBLE_EQ(fresh.loss_rate, 0.05);
+
+    // Receiver goes silent; its report ages out and the fused estimate
+    // must creep toward the conservative prior, not stay sunny.
+    auto stale = agg.aggregate(50, 0.25);
+    EXPECT_TRUE(stale.starved);
+    EXPECT_GT(stale.loss_rate, 0.05);
+    for (int i = 0; i < 40; ++i) stale = agg.aggregate(50 + i, 0.25);
+    EXPECT_NEAR(stale.loss_rate, 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------- monitor
+
+TEST(ReceiverMonitor, ReportsOnCadenceWithSigStreak) {
+    ReceiverMonitor::Options opts;
+    opts.report_every_blocks = 2;
+    ReceiverMonitor mon(7, opts);
+
+    const std::vector<bool> half_lost = {true, false, true, false};
+    mon.on_block(0, half_lost, /*signature_seen=*/false);
+    EXPECT_FALSE(mon.maybe_report().has_value());
+    mon.on_block(1, half_lost, /*signature_seen=*/false);
+    const auto report = mon.maybe_report();
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->receiver_id, 7u);
+    EXPECT_EQ(report->seq, 1u);
+    EXPECT_EQ(report->last_block, 1u);
+    EXPECT_EQ(report->window_packets, 8u);
+    EXPECT_EQ(report->window_losses, 4u);
+    EXPECT_EQ(report->sig_loss_streak, 2u);
+
+    mon.on_block(2, {true, true, true, true}, /*signature_seen=*/true);
+    mon.on_block(3, {true, true, true, true}, /*signature_seen=*/true);
+    const auto second = mon.maybe_report();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->seq, 2u);
+    EXPECT_EQ(second->sig_loss_streak, 0u);
+    EXPECT_EQ(second->window_packets, 8u);
+    EXPECT_EQ(second->window_losses, 0u);
+}
+
+// ------------------------------------------------------------- controller
+
+AdaptiveOptions controller_opts() {
+    AdaptiveOptions o;
+    o.target_q_min = 0.9;
+    o.design_margin = 0.05;
+    o.hysteresis = 0.03;
+    o.min_blocks_between_redesigns = 4;
+    o.feedback_timeout_blocks = 8;
+    o.mc_trials = 256;
+    return o;
+}
+
+TEST(AdaptiveController, FirstBoundaryEstablishesBaselineDesign) {
+    AdaptiveController ctrl(controller_opts(), 99);
+    EXPECT_TRUE(ctrl.on_block_boundary(0));
+    EXPECT_EQ(ctrl.redesigns(), 1u);
+    const DependenceGraph dg = ctrl.topology()(32);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_EQ(dg.packet_count(), 32u);
+}
+
+TEST(AdaptiveController, HysteresisAbsorbsSmallDrift) {
+    AdaptiveController ctrl(controller_opts(), 99);
+    ctrl.on_feedback(make_report(0, 1, 0, 0.20));
+    EXPECT_TRUE(ctrl.on_block_boundary(1));
+    EXPECT_DOUBLE_EQ(ctrl.designed_for_loss(), 0.20);
+
+    // +-hysteresis drift: no new design, no suppression counter (the dead
+    // band absorbed it, the budget never came into play).
+    ctrl.on_feedback(make_report(0, 2, 8, 0.22));
+    EXPECT_FALSE(ctrl.on_block_boundary(9));
+    ctrl.on_feedback(make_report(0, 3, 16, 0.18));
+    EXPECT_FALSE(ctrl.on_block_boundary(17));
+    EXPECT_EQ(ctrl.redesigns(), 1u);
+    EXPECT_EQ(ctrl.suppressed(), 0u);
+
+    // Past the dead band: redesign fires.
+    ctrl.on_feedback(make_report(0, 4, 24, 0.35));
+    EXPECT_TRUE(ctrl.on_block_boundary(25));
+    EXPECT_EQ(ctrl.redesigns(), 2u);
+    EXPECT_DOUBLE_EQ(ctrl.designed_for_loss(), 0.35);
+}
+
+TEST(AdaptiveController, RedesignBudgetThrottlesThrash) {
+    AdaptiveController ctrl(controller_opts(), 99);
+    EXPECT_TRUE(ctrl.on_block_boundary(0));
+    // Loss estimate swings wildly every block; only one redesign per
+    // min_blocks_between_redesigns may land.
+    std::uint32_t seq = 1;
+    for (std::uint32_t b = 1; b <= 8; ++b) {
+        ctrl.on_feedback(make_report(0, seq++, b, b % 2 ? 0.45 : 0.05));
+        ctrl.on_block_boundary(b);
+    }
+    // Baseline at block 0 (conservative prior 0.3), then only block 4's
+    // swing lands (blocks 1-3, 5, 7 want a redesign but are inside the
+    // budget window; 6 and 8 sit at the designed-for rate).
+    EXPECT_EQ(ctrl.redesigns(), 2u);
+    EXPECT_EQ(ctrl.suppressed(), 5u);
+}
+
+TEST(AdaptiveController, SignatureStreakEscalatesAndRelaxes) {
+    AdaptiveOptions o = controller_opts();
+    o.base_sign_copies = 3;
+    o.max_sign_copies = 8;
+    o.sig_streak_escalate = 2;
+    AdaptiveController ctrl(o, 5);
+    EXPECT_EQ(ctrl.sign_copies(), 3u);
+
+    ctrl.on_feedback(make_report(0, 1, 0, 0.1, 1.0, /*streak=*/2));
+    ctrl.on_block_boundary(1);
+    EXPECT_EQ(ctrl.sign_copies(), 6u);
+    ctrl.on_feedback(make_report(0, 2, 2, 0.1, 1.0, /*streak=*/3));
+    ctrl.on_block_boundary(3);
+    EXPECT_EQ(ctrl.sign_copies(), 8u);  // clamped at max
+
+    ctrl.on_feedback(make_report(0, 3, 4, 0.1, 1.0, /*streak=*/0));
+    ctrl.on_block_boundary(5);
+    EXPECT_EQ(ctrl.sign_copies(), 4u);  // halving steps back toward base
+    ctrl.on_feedback(make_report(0, 4, 6, 0.1, 1.0, /*streak=*/0));
+    ctrl.on_block_boundary(7);
+    EXPECT_EQ(ctrl.sign_copies(), 3u);
+}
+
+TEST(AdaptiveController, StarvationDrivesDesignTowardPrior) {
+    AdaptiveOptions o = controller_opts();
+    o.conservative_prior = 0.3;
+    AdaptiveController ctrl(o, 11);
+    ctrl.on_feedback(make_report(0, 1, 0, 0.05));
+    ctrl.on_block_boundary(1);
+    EXPECT_DOUBLE_EQ(ctrl.designed_for_loss(), 0.05);
+
+    // Feedback blackout: boundaries advance with no reports. The aggregate
+    // decays to the conservative prior and the design follows it up.
+    for (std::uint32_t b = 12; b < 60; b += 4) ctrl.on_block_boundary(b);
+    EXPECT_NEAR(ctrl.estimated_loss(), 0.3, 0.02);
+    EXPECT_NEAR(ctrl.designed_for_loss(), 0.3, 0.05);
+    EXPECT_GE(ctrl.redesigns(), 2u);
+}
+
+TEST(AdaptiveController, BurstyFeedbackSwitchesToChannelScoredDesign) {
+    AdaptiveOptions o = controller_opts();
+    o.burst_threshold = 1.75;
+    o.mc_trials = 256;
+    AdaptiveController ctrl(o, 21);
+    ctrl.on_feedback(make_report(0, 1, 0, 0.2, /*burst=*/1.1));
+    ctrl.on_block_boundary(1);
+    EXPECT_FALSE(ctrl.last_design_bursty());
+
+    ctrl.on_feedback(make_report(0, 2, 5, 0.2, /*burst=*/4.0));
+    EXPECT_TRUE(ctrl.on_block_boundary(6));  // regime change forces redesign
+    EXPECT_TRUE(ctrl.last_design_bursty());
+    const DependenceGraph dg = ctrl.topology()(48);
+    EXPECT_TRUE(dg.is_valid());
+    EXPECT_GT(dg.graph().edge_count(), 47u);  // spine + augmentation
+}
+
+TEST(AdaptiveController, FactorySurvivesLaterRedesigns) {
+    // A lower target keeps the calm design well short of saturation, so
+    // the two designs differ measurably in edge count.
+    AdaptiveOptions o = controller_opts();
+    o.target_q_min = 0.85;
+    AdaptiveController ctrl(o, 31);
+    ctrl.on_feedback(make_report(0, 1, 0, 0.05));
+    ctrl.on_block_boundary(0);
+    auto factory = ctrl.topology();
+    const std::size_t edges_before = factory(32).graph().edge_count();
+
+    ctrl.on_feedback(make_report(0, 2, 4, 0.45));
+    ctrl.on_block_boundary(5);
+    // The old factory still serves its cached (old) design; the new one
+    // reflects the redesign.
+    EXPECT_EQ(factory(32).graph().edge_count(), edges_before);
+    EXPECT_GT(ctrl.topology()(32).graph().edge_count(), edges_before);
+}
+
+// --------------------------------------------------- channel-scored design
+
+TEST(DesignGreedyChannel, MeetsTargetUnderBurstLoss) {
+    DesignGoal goal;
+    goal.n = 64;
+    goal.p = 0.2;
+    goal.target_q_min = 0.9;
+    const auto channel = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
+    const DependenceGraph dg = design_greedy_channel(goal, channel, 777, 512);
+    ASSERT_TRUE(dg.is_valid());
+
+    // Evaluate with an independent seed and a larger trial budget.
+    const auto check = monte_carlo_auth_prob(dg, channel, 12345, 4096);
+    EXPECT_GE(check.q_min, goal.target_q_min - 0.03);
+}
+
+TEST(DesignGreedyChannel, BurstAwareHoldsUpAtEqualEdgeBudget) {
+    // Same stationary rate, bursty channel, and a binding edge budget
+    // (neither design can reach the target — both spend the full budget):
+    // the MC-scored design's edge placement must be no worse under the
+    // real channel than the recurrence-scored one's.
+    DesignGoal goal;
+    goal.n = 64;
+    goal.p = 0.25;
+    goal.target_q_min = 0.999;  // unreachable: forces both to the cap
+    GreedyDesignOptions opts;
+    opts.max_edges = 80;  // spine 63 + 17 discretionary edges
+    const auto channel = GilbertElliottLoss::from_rate_and_burst(0.25, 6.0);
+
+    const DependenceGraph burst_aware = design_greedy_channel(goal, channel, 777, 512, opts);
+    const DependenceGraph bernoulli = design_greedy(goal, opts);
+    EXPECT_LE(burst_aware.graph().edge_count(), 80u);
+    EXPECT_LE(bernoulli.graph().edge_count(), 80u);
+
+    const auto qa = monte_carlo_auth_prob(burst_aware, channel, 999, 8192);
+    const auto qb = monte_carlo_auth_prob(bernoulli, channel, 999, 8192);
+    EXPECT_GE(qa.q_min, qb.q_min - 0.02);
+}
+
+TEST(DesignGreedyChannel, RespectsEdgeCap) {
+    DesignGoal goal;
+    goal.n = 32;
+    goal.p = 0.4;
+    goal.target_q_min = 0.99;
+    GreedyDesignOptions opts;
+    opts.max_edges = 40;
+    const auto channel = GilbertElliottLoss::from_rate_and_burst(0.4, 3.0);
+    const DependenceGraph dg = design_greedy_channel(goal, channel, 1, 128, opts);
+    EXPECT_LE(dg.graph().edge_count(), 40u);
+    EXPECT_TRUE(dg.is_valid());
+}
+
+// ----------------------------------------------------------- closed loop
+
+TEST(AdaptiveSessionTest, CrossTopologyBlocksVerifyAtOneVerifier) {
+    // The sender redesigns mid-stream; one StreamingVerifier (canonical
+    // spine config) must authenticate blocks from BOTH topologies on a
+    // lossless channel — the no-out-of-band-agreement property the whole
+    // adaptive scheme rests on.
+    Rng srng(5);
+    MerkleWotsSigner signer(srng, 8);
+
+    AdaptiveOptions copts = controller_opts();
+    AdaptiveController ctrl(copts, 123);
+    ctrl.on_block_boundary(0);
+
+    HashChainConfig tx;
+    tx.topology = ctrl.topology();
+    tx.block_size = 16;
+    StreamingAuthenticator sender(tx, signer, {16, 2, 1e9});
+
+    HashChainConfig rx;
+    rx.topology = [](std::size_t n) { return make_offset_scheme(n, {1}); };
+    rx.block_size = 16;
+    StreamingVerifier verifier(rx, signer.make_verifier());
+
+    Rng rng(9);
+    std::size_t authenticated = 0;
+    for (int block = 0; block < 4; ++block) {
+        if (block == 2) {
+            // Mid-stream redesign to a much denser graph.
+            ctrl.on_feedback(make_report(0, 1, 4, 0.45, 5.0));
+            ASSERT_TRUE(ctrl.on_block_boundary(8));
+            sender.set_topology(ctrl.topology());
+        }
+        std::vector<AuthPacket> packets;
+        for (int i = 0; i < 16; ++i) {
+            auto cut = sender.push(rng.bytes(32), 0.01 * i);
+            if (!cut.empty()) packets = std::move(cut);
+        }
+        ASSERT_EQ(packets.size(), 16u);
+        for (const AuthPacket& pkt : packets)
+            for (const VerifyEvent& ev : verifier.on_packet(pkt))
+                if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    }
+    EXPECT_EQ(authenticated, 64u);  // every packet of every block, both designs
+    EXPECT_EQ(verifier.finish_all().size(), 0u);
+}
+
+TEST(AdaptiveSessionTest, ClosedLoopReconvergesAfterRegimeSwitch) {
+    Rng srng(3);
+    MerkleWotsSigner signer(srng, 128);
+
+    SessionOptions opts;
+    opts.receivers = 3;
+    opts.block_size = 32;
+    opts.payload_bytes = 32;
+    opts.seed = 2024;
+    opts.feedback_loss = 0.1;
+    opts.controller = controller_opts();
+    opts.monitor.report_every_blocks = 2;
+    AdaptiveSession session(opts, signer);
+
+    // Calm regime: converge, then measure.
+    const BernoulliLoss calm(0.05);
+    session.run_window(calm, 8);
+    const WindowStats calm_stats = session.run_window(calm, 16);
+    EXPECT_NEAR(calm_stats.estimated_loss, 0.05, 0.04);
+    EXPECT_GE(calm_stats.q_min, opts.controller.target_q_min - 0.02);
+
+    // Regime switch to heavy loss: the loop must re-estimate, redesign,
+    // and still hold the target after convergence.
+    const BernoulliLoss storm(0.30);
+    const WindowStats transition = session.run_window(storm, 10);
+    EXPECT_GE(transition.redesigns, 1u);
+    const WindowStats storm_stats = session.run_window(storm, 16);
+    // The aggregate is worst-of-receivers by design, so it sits above the
+    // true rate; what matters is that it left the calm regime and did not
+    // run away.
+    EXPECT_GE(storm_stats.estimated_loss, 0.24);
+    EXPECT_LE(storm_stats.estimated_loss, 0.45);
+    EXPECT_GE(storm_stats.q_min, opts.controller.target_q_min - 0.02);
+    EXPECT_NEAR(storm_stats.true_loss, 0.30, 0.04);
+}
+
+TEST(AdaptiveSessionTest, FeedbackBlackoutFallsBackToConservativeDesign) {
+    Rng srng(4);
+    MerkleWotsSigner signer(srng, 64);
+
+    SessionOptions opts;
+    opts.receivers = 2;
+    opts.block_size = 32;
+    opts.payload_bytes = 32;
+    opts.seed = 55;
+    opts.feedback_loss = 0.0;
+    opts.controller = controller_opts();
+    opts.controller.conservative_prior = 0.3;
+    AdaptiveSession session(opts, signer);
+
+    const BernoulliLoss calm(0.05);
+    session.run_window(calm, 8);
+    EXPECT_NEAR(session.controller().estimated_loss(), 0.05, 0.04);
+
+    // Total NACK blackout: no report gets through. The design must drift
+    // to the conservative prior, not stay at the sunny estimate.
+    session.set_feedback_loss(1.0);
+    const WindowStats blackout = session.run_window(calm, 24);
+    EXPECT_EQ(blackout.feedback_delivered, 0u);
+    EXPECT_GT(blackout.feedback_sent, 0u);
+    EXPECT_NEAR(session.controller().estimated_loss(), 0.3, 0.03);
+    EXPECT_NEAR(session.controller().designed_for_loss(), 0.3, 0.05);
+}
+
+TEST(AdaptiveSessionTest, StaticBaselineNeverRedesigns) {
+    Rng srng(6);
+    MerkleWotsSigner signer(srng, 64);
+
+    SessionOptions opts;
+    opts.receivers = 2;
+    opts.block_size = 32;
+    opts.payload_bytes = 32;
+    opts.seed = 77;
+    opts.adaptive = false;
+    opts.controller = controller_opts();
+    AdaptiveSession session(opts, signer);
+
+    const BernoulliLoss calm(0.05);
+    const WindowStats a = session.run_window(calm, 8);
+    const BernoulliLoss storm(0.4);
+    const WindowStats b = session.run_window(storm, 8);
+    EXPECT_EQ(a.redesigns + b.redesigns, 0u);
+    EXPECT_EQ(a.feedback_sent + b.feedback_sent, 0u);
+    EXPECT_DOUBLE_EQ(a.edges_per_packet, b.edges_per_packet);
+}
+
+TEST(AdaptiveSessionTest, AdaptiveHoldsTargetWhereCalmStaticFails) {
+    // The tentpole claim in miniature: a static design sized for the calm
+    // channel collapses when the loss regime drifts; the adaptive loop
+    // tracks the drift and keeps q_min at target. A lower target keeps
+    // the calm design sparse enough to have something to lose.
+    SessionOptions opts;
+    opts.receivers = 3;
+    opts.block_size = 32;
+    opts.payload_bytes = 32;
+    opts.feedback_loss = 0.1;
+    opts.controller = controller_opts();
+    opts.controller.target_q_min = 0.85;
+    opts.controller.conservative_prior = 0.05;  // "designed for calm"
+
+    Rng srng_static(8);
+    MerkleWotsSigner signer_static(srng_static, 64);
+    SessionOptions static_opts = opts;
+    static_opts.adaptive = false;
+    static_opts.seed = 501;
+    AdaptiveSession static_session(static_opts, signer_static);
+
+    Rng srng_adaptive(8);
+    MerkleWotsSigner signer_adaptive(srng_adaptive, 64);
+    SessionOptions adaptive_opts = opts;
+    adaptive_opts.seed = 502;
+    AdaptiveSession adaptive_session(adaptive_opts, signer_adaptive);
+
+    const BernoulliLoss calm(0.05);
+    const BernoulliLoss storm(0.35);
+    static_session.run_window(calm, 6);
+    adaptive_session.run_window(calm, 6);
+    static_session.run_window(storm, 8);   // convergence window for parity
+    adaptive_session.run_window(storm, 8);
+    const WindowStats st = static_session.run_window(storm, 16);
+    const WindowStats ad = adaptive_session.run_window(storm, 16);
+
+    EXPECT_GE(ad.q_min, opts.controller.target_q_min - 0.02);
+    EXPECT_LT(st.q_min, opts.controller.target_q_min - 0.10);
+    EXPECT_GT(ad.q_min, st.q_min + 0.10);
+}
+
+}  // namespace
+}  // namespace mcauth::adapt

@@ -158,7 +158,7 @@ TEST_P(McVsExact, AgreesWithinConfidence) {
     const auto exact = exact_auth_prob(dg, p);
     Rng rng(123);
     BernoulliLoss loss(p);
-    const auto mc = monte_carlo_auth_prob(dg, loss, rng, 60000);
+    const auto mc = monte_carlo_auth_prob(dg, loss, rng.next_u64(), 60000);
     for (std::size_t i = 1; i < 18; ++i)
         EXPECT_NEAR(mc.q[i], exact.q[i], 0.015) << "i=" << i;
     EXPECT_NEAR(mc.q_min, exact.q_min, 0.015);
@@ -170,8 +170,8 @@ TEST(MonteCarlo, HalfwidthShrinksWithTrials) {
     const auto dg = make_emss(30, 2, 1);
     Rng rng(5);
     BernoulliLoss loss(0.3);
-    const auto small = monte_carlo_auth_prob(dg, loss, rng, 500);
-    const auto large = monte_carlo_auth_prob(dg, loss, rng, 50000);
+    const auto small = monte_carlo_auth_prob(dg, loss, rng.next_u64(), 500);
+    const auto large = monte_carlo_auth_prob(dg, loss, rng.next_u64(), 50000);
     EXPECT_GT(small.q_min_halfwidth, large.q_min_halfwidth);
 }
 
@@ -179,13 +179,13 @@ TEST(MonteCarlo, WorksWithBurstyLoss) {
     const auto dg = make_emss(60, 2, 1);
     Rng rng(6);
     auto bursty = GilbertElliottLoss::from_rate_and_burst(0.2, 4.0);
-    const auto mc = monte_carlo_auth_prob(dg, bursty, rng, 20000);
+    const auto mc = monte_carlo_auth_prob(dg, bursty, rng.next_u64(), 20000);
     EXPECT_GT(mc.q_min, 0.0);
     EXPECT_LT(mc.q_min, 1.0);
     // Bursts of ~4 kill E_{2,1}'s short links far harder than i.i.d. loss
     // at the same rate — the effect the augmented chain was designed for.
     BernoulliLoss iid(0.2);
-    const auto mc_iid = monte_carlo_auth_prob(dg, iid, rng, 20000);
+    const auto mc_iid = monte_carlo_auth_prob(dg, iid, rng.next_u64(), 20000);
     EXPECT_LT(mc.q_min, mc_iid.q_min);
 }
 
@@ -328,7 +328,7 @@ TEST(TeslaMonteCarlo, MatchesClosedForm) {
     Rng rng(9);
     BernoulliLoss loss(params.p);
     GaussianDelay delay(params.mu, params.sigma);
-    const auto mc = monte_carlo_tesla(params, loss, delay, rng, 30000);
+    const auto mc = monte_carlo_tesla(params, loss, delay, rng.next_u64(), 30000);
     EXPECT_NEAR(mc.q_min, analysis.q_min, 0.02);
 }
 

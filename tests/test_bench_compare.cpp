@@ -81,6 +81,29 @@ TEST(BenchCompareLoader, RefusesUnknownSchemaVersion) {
     EXPECT_NE(error.find("schema_version 9"), std::string::npos) << error;
 }
 
+TEST(BenchCompareLoader, MetricFieldSelectsGatedValue) {
+    // Quality benches (BENCH_adaptive.json) name their gated per-row value
+    // in a top-level "metric" field; the loader reads that field instead
+    // of trials_per_sec.
+    std::string json = v2_file_json();
+    json.replace(json.find("\"schema_version\": 2,\n"),
+                 std::string("\"schema_version\": 2,\n").size(),
+                 "\"schema_version\": 2,\n  \"metric\": \"q_min\",\n");
+    json.replace(json.find("\"trials_per_sec\": 500.0"),
+                 std::string("\"trials_per_sec\": 500.0").size(),
+                 "\"q_min\": 0.953");
+    BenchFile f;
+    std::string error;
+    ASSERT_TRUE(load_bench_file(json, f, error)) << error;
+    EXPECT_EQ(f.metric, "q_min");
+    ASSERT_EQ(f.entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(f.entries[0].trials_per_sec, 0.953);
+
+    BenchFile plain;
+    ASSERT_TRUE(load_bench_file(v2_file_json(), plain, error)) << error;
+    EXPECT_EQ(plain.metric, "trials_per_sec");
+}
+
 TEST(BenchCompareLoader, RefusesGarbage) {
     BenchFile f;
     std::string error;
@@ -199,6 +222,16 @@ TEST(BenchCompare, DifferentBenchOrSeedIsIncompatible) {
     const CompareReport report = compare_bench_files(base, cur);
     EXPECT_TRUE(report.incompatible);
     EXPECT_NE(report.incompatible_reason.find("seed"), std::string::npos);
+}
+
+TEST(BenchCompare, DifferentMetricIsIncompatible) {
+    BenchFile base = file_with({entry("w", 2.0)});
+    BenchFile cur = base;
+    base.metric = "trials_per_sec";
+    cur.metric = "q_min";
+    const CompareReport report = compare_bench_files(base, cur);
+    EXPECT_TRUE(report.incompatible);
+    EXPECT_NE(report.incompatible_reason.find("metric"), std::string::npos);
 }
 
 TEST(BenchCompare, ChangedTrialCountIsIncompatible) {

@@ -111,7 +111,7 @@ TEST(ExactDp, MatchesMonteCarloUnderBurstyLoss) {
     const auto dg = make_offset_scheme(n, offsets);
     const auto loss = channel.to_loss_model();
     Rng rng(7);
-    const auto mc = monte_carlo_auth_prob(dg, *loss, rng, 120000);
+    const auto mc = monte_carlo_auth_prob(dg, *loss, rng.next_u64(), 120000);
     for (std::size_t v = 1; v < n; v += 7)
         EXPECT_NEAR(dp.q[v], mc.q[v], 0.01) << "v=" << v;
     EXPECT_NEAR(dp.q_min, mc.q_min, 0.01);

@@ -106,7 +106,7 @@ TEST(Integration, GreedyDesignSurvivesSerializationAndAnalysis) {
               recurrence_auth_prob(reloaded, goal.p).q_min);
     Rng rng(9);
     BernoulliLoss loss(goal.p);
-    const auto mc = monte_carlo_auth_prob(reloaded, loss, rng, 20000);
+    const auto mc = monte_carlo_auth_prob(reloaded, loss, rng.next_u64(), 20000);
     EXPECT_GT(mc.q_min, 0.5);  // greedy designs avoid catastrophic optimism
 }
 

@@ -1,0 +1,396 @@
+// The unified Scheme API (auth/scheme.hpp): factory registry behavior,
+// interface conformance of all four built-in codecs through
+// SchemeSender/SchemeReceiver, and golden byte-identity of the generic
+// run_scheme_sim driver against the historical per-scheme sim loops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "auth/scheme.hpp"
+#include "core/authprob.hpp"
+#include "core/topologies.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sim/stream_sim.hpp"
+
+namespace mcauth {
+namespace {
+
+SchemeSpec spec_of(const std::string& kind, std::size_t block_size = 16) {
+    SchemeSpec spec;
+    spec.kind = kind;
+    spec.block_size = block_size;
+    return spec;
+}
+
+// ----------------------------------------------------------------- factory
+
+TEST(SchemeFactory, RegistersBuiltinsInOrder) {
+    const auto kinds = SchemeFactory::instance().kinds();
+    const std::vector<std::string> expected{"rohatgi", "emss", "ac",
+                                            "tree",    "sign-each", "tesla"};
+    ASSERT_GE(kinds.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(kinds[i], expected[i]);
+    for (const auto& k : expected) EXPECT_TRUE(SchemeFactory::instance().has(k));
+    EXPECT_FALSE(SchemeFactory::instance().has("no-such-scheme"));
+}
+
+TEST(SchemeFactory, UnknownKindThrows) {
+    Rng srng(1);
+    MerkleWotsSigner signer(srng, 4);
+    Rng rng(2);
+    EXPECT_THROW(SchemeFactory::instance().create(spec_of("no-such-scheme"), signer, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(SchemeFactory::instance().predicted_q_min(spec_of("no-such-scheme"),
+                                                           100, 0.1),
+                 std::invalid_argument);
+}
+
+TEST(SchemeFactory, PredictorsMatchAnalyticEngines) {
+    auto& factory = SchemeFactory::instance();
+    SchemeSpec emss = spec_of("emss");
+    emss.params = {{"m", 2}, {"d", 1}};
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(emss, 200, 0.1),
+                     recurrence_auth_prob(make_emss(200, 2, 1), 0.1).q_min);
+    SchemeSpec ac = spec_of("ac");
+    ac.params = {{"a", 3}, {"b", 3}};
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(ac, 200, 0.2),
+                     recurrence_auth_prob(make_augmented_chain(200, 3, 3), 0.2).q_min);
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(spec_of("rohatgi"), 100, 0.1),
+                     recurrence_auth_prob(make_rohatgi(100), 0.1).q_min);
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(spec_of("tree"), 64, 0.4), 1.0);
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(spec_of("sign-each"), 64, 0.4), 1.0);
+    // TESLA: q_min = (1-p) * Phi((T-mu)/sigma); with T far above mu, ~ 1-p.
+    SchemeSpec tesla = spec_of("tesla");
+    tesla.params = {{"t_disclose", 10.0}, {"mu", 0.2}, {"sigma", 0.1}};
+    EXPECT_NEAR(factory.predicted_q_min(tesla, 100, 0.3), 0.7, 1e-9);
+}
+
+TEST(SchemeFactory, RegistrationAndReplacementOnLocalInstance) {
+    SchemeFactory factory;
+    EXPECT_FALSE(factory.has("custom"));
+    int built = 0;
+    factory.register_scheme("custom", [&](const SchemeSpec&, Signer& signer, Rng&) {
+        ++built;
+        SchemePair pair;
+        pair.sender = std::make_unique<SignEachSchemeSender>(signer);
+        pair.receiver = std::make_unique<SignEachSchemeReceiver>(signer.make_verifier());
+        return pair;
+    });
+    EXPECT_TRUE(factory.has("custom"));
+    EXPECT_TRUE(std::isnan(factory.predicted_q_min(spec_of("custom"), 10, 0.1)));
+
+    Rng srng(1);
+    MerkleWotsSigner signer(srng, 4);
+    Rng rng(2);
+    const SchemePair pair = factory.create(spec_of("custom"), signer, rng);
+    EXPECT_EQ(built, 1);
+    EXPECT_EQ(pair.sender->name(), "sign-each");
+
+    // Re-registration replaces in place (same position, new builder).
+    factory.register_scheme(
+        "custom",
+        [&](const SchemeSpec&, Signer& signer2, Rng&) {
+            built += 10;
+            SchemePair p;
+            p.sender = std::make_unique<SignEachSchemeSender>(signer2);
+            p.receiver = std::make_unique<SignEachSchemeReceiver>(signer2.make_verifier());
+            return p;
+        },
+        [](const SchemeSpec&, std::size_t, double) { return 0.5; });
+    EXPECT_EQ(factory.kinds().size(), 1u);
+    (void)factory.create(spec_of("custom"), signer, rng);
+    EXPECT_EQ(built, 11);
+    EXPECT_DOUBLE_EQ(factory.predicted_q_min(spec_of("custom"), 10, 0.1), 0.5);
+}
+
+// ------------------------------------------------------------- conformance
+
+class SchemeConformance : public ::testing::TestWithParam<const char*> {};
+
+SchemeSpec conformance_spec(const std::string& kind) {
+    SchemeSpec spec = spec_of(kind, 16);
+    if (kind == "tesla") {
+        // Short intervals so keys disclose within the test stream.
+        spec.params = {{"interval", 0.05}, {"lag", 2}, {"chain", 256}, {"skew", 0.001}};
+    }
+    return spec;
+}
+
+TEST_P(SchemeConformance, StreamsThroughGenericDriver) {
+    Rng srng(11);
+    MerkleWotsSigner signer(srng, 64);
+    Rng rng(12);
+    const SchemePair pair =
+        SchemeFactory::instance().create(conformance_spec(GetParam()), signer, rng);
+    Channel channel(std::make_unique<BernoulliLoss>(0.1),
+                    std::make_unique<ConstantDelay>(0.0));
+    SimConfig sim;
+    sim.blocks = 3;
+    sim.payload_bytes = 32;
+    sim.t_transmit = 0.01;
+    sim.seed = 13;
+    const SimStats stats =
+        run_scheme_sim(*pair.sender, *pair.receiver, channel, 16, sim, rng);
+
+    EXPECT_GT(stats.packets_sent, 0u);
+    EXPECT_LE(stats.packets_received, stats.packets_sent);
+    EXPECT_GT(stats.authenticated, 0u);
+    EXPECT_EQ(stats.rejected, 0u);  // honest channel: nothing tampered
+    EXPECT_TRUE(std::isfinite(stats.auth_fraction()));
+    EXPECT_GE(stats.empirical_q_min, 0.0);
+    EXPECT_LE(stats.empirical_q_min, 1.0);
+    EXPECT_GT(stats.overhead_bytes_per_packet, 0.0);
+}
+
+TEST_P(SchemeConformance, DetectsTamperedPacket) {
+    Rng srng(21);
+    MerkleWotsSigner signer(srng, 64);
+    Rng rng(22);
+    const SchemePair pair =
+        SchemeFactory::instance().create(conformance_spec(GetParam()), signer, rng);
+    SchemeSender& sender = *pair.sender;
+    SchemeReceiver& receiver = *pair.receiver;
+    const SchemeTraits& traits = sender.traits();
+
+    for (const AuthPacket& pkt : sender.preamble())
+        ASSERT_TRUE(receiver.on_preamble(pkt));
+
+    // One block of packets, all delivered in order with zero network delay.
+    const std::size_t n = 16;
+    const double t = 0.01;
+    std::vector<AuthPacket> packets;
+    if (traits.payloads_upfront) {
+        std::vector<std::vector<std::uint8_t>> payloads;
+        for (std::size_t i = 0; i < n; ++i) payloads.push_back(rng.bytes(32));
+        packets = sender.make_block(0, payloads);
+    } else {
+        double clock = traits.clock_start_slots * t;
+        for (std::size_t i = 0; i < n; ++i) {
+            packets.push_back(sender.make_packet(0, static_cast<std::uint32_t>(i),
+                                                 rng.bytes(32), clock));
+            clock += t;
+        }
+    }
+
+    // Flip one payload byte of a data-carrying packet (skip the P_sign
+    // packet for hash chains: the cascade roots there).
+    std::size_t victim = 2;
+    if (packets[victim].kind == PacketKind::kSignature &&
+        std::string(GetParam()) != "sign-each")
+        victim = 3;
+    ASSERT_FALSE(packets[victim].payload.empty());
+    packets[victim].payload[0] ^= 0xff;
+    const std::uint32_t victim_index = packets[victim].index;
+
+    std::size_t rejected_victim = 0;
+    std::size_t authenticated_victim = 0;
+    const auto consume = [&](const std::vector<VerifyEvent>& events) {
+        for (const VerifyEvent& ev : events) {
+            if (ev.index != victim_index) continue;
+            if (ev.status == VerifyStatus::kRejected) ++rejected_victim;
+            if (ev.status == VerifyStatus::kAuthenticated) ++authenticated_victim;
+        }
+    };
+    double at = traits.clock_start_slots * t;
+    for (const AuthPacket& pkt : packets) {
+        consume(receiver.on_packet(pkt, at));
+        at += t;
+    }
+    consume(receiver.finish_block(0));
+    consume(receiver.finish_all());
+
+    EXPECT_EQ(authenticated_victim, 0u)
+        << GetParam() << ": tampered packet was authenticated";
+    EXPECT_GE(rejected_victim, 1u) << GetParam() << ": tamper went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeConformance,
+                         ::testing::Values("emss", "ac", "tree", "sign-each", "tesla"),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+// ------------------------------------------------- golden byte-identity
+//
+// Exact SimStats captured from the per-scheme sim loops at the commit that
+// introduced run_scheme_sim (seed values, RelWithDebInfo and -O2 agree).
+// Every comparison below is EXACT double equality: the generic driver must
+// reproduce the historical loops' floating-point arithmetic operation for
+// operation, not just approximately.
+
+SimConfig golden_sim() {
+    SimConfig sim;
+    sim.blocks = 4;
+    sim.payload_bytes = 64;
+    sim.t_transmit = 0.01;
+    sim.sign_copies = 3;
+    sim.seed = 7;
+    return sim;
+}
+
+TEST(SchemeSimGolden, HashChainEmss16Bernoulli) {
+    Rng srng(1234);
+    MerkleWotsSigner signer(srng, 8);
+    Channel ch(std::make_unique<BernoulliLoss>(0.2),
+               std::make_unique<GaussianDelay>(0.05, 0.01));
+    const SimStats s = run_hash_chain_sim(emss_config(16, 2, 1), signer, ch, golden_sim());
+    EXPECT_EQ(s.packets_sent, 72u);
+    EXPECT_EQ(s.packets_received, 52u);
+    EXPECT_EQ(s.authenticated, 50u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.unverifiable, 2u);
+    EXPECT_EQ(s.max_buffered_packets, 14u);
+    EXPECT_EQ(s.empirical_q_min, 2.0 / 3.0);
+    EXPECT_EQ(s.overhead_bytes_per_packet, 212.5625);
+    EXPECT_EQ(s.receiver_delay.count(), 50u);
+    EXPECT_EQ(s.receiver_delay.mean(), 0.064136855151172817);
+    EXPECT_EQ(s.receiver_delay.variance(), 0.001884397707197656);
+    EXPECT_EQ(s.receiver_delay.min(), 0.0);
+    EXPECT_EQ(s.receiver_delay.max(), 0.16123016458183892);
+    ASSERT_EQ(s.q_by_index.size(), 16u);
+    EXPECT_EQ(s.q_by_index[0], 0.75);
+    EXPECT_EQ(s.q_by_index[1], 2.0 / 3.0);
+    for (std::size_t i = 2; i < 16; ++i) EXPECT_EQ(s.q_by_index[i], 1.0);
+}
+
+TEST(SchemeSimGolden, HashChainAc12GilbertElliott) {
+    Rng srng(1234);
+    MerkleWotsSigner signer(srng, 8);
+    Channel ch(std::make_unique<GilbertElliottLoss>(
+                   GilbertElliottLoss::from_rate_and_burst(0.2, 3.0)),
+               std::make_unique<GaussianDelay>(0.05, 0.01));
+    const SimStats s =
+        run_hash_chain_sim(augmented_chain_config(12, 3, 3), signer, ch, golden_sim());
+    EXPECT_EQ(s.packets_sent, 56u);
+    EXPECT_EQ(s.packets_received, 32u);
+    EXPECT_EQ(s.authenticated, 27u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.unverifiable, 5u);
+    EXPECT_EQ(s.max_buffered_packets, 11u);
+    EXPECT_EQ(s.empirical_q_min, 2.0 / 3.0);
+    EXPECT_EQ(s.overhead_bytes_per_packet, 258.08333333333331);
+    EXPECT_EQ(s.receiver_delay.count(), 27u);
+    EXPECT_EQ(s.receiver_delay.mean(), 0.045417879470673307);
+    EXPECT_EQ(s.receiver_delay.variance(), 0.0013098636549916639);
+    EXPECT_EQ(s.receiver_delay.min(), 0.0);
+    EXPECT_EQ(s.receiver_delay.max(), 0.12169918658285966);
+    ASSERT_EQ(s.q_by_index.size(), 12u);
+    const double expected[12] = {1.0, 1.0,  1.0,  1.0, 1.0,       1.0,
+                                 2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0, 0.75, 0.75, 1.0};
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(s.q_by_index[i], expected[i]);
+}
+
+TEST(SchemeSimGolden, Tesla128Bernoulli) {
+    Rng srng(1234);
+    MerkleWotsSigner signer(srng, 4);
+    Channel ch(std::make_unique<BernoulliLoss>(0.25),
+               std::make_unique<GaussianDelay>(0.03, 0.02));
+    TeslaConfig cfg;
+    cfg.interval_duration = 0.1;
+    cfg.disclosure_lag = 2;
+    cfg.chain_length = 256;
+    SimConfig sim = golden_sim();
+    sim.blocks = 2;  // 128 packets
+    const SimStats s = run_tesla_sim(cfg, signer, ch, sim, 0.01);
+    EXPECT_EQ(s.packets_sent, 128u);
+    EXPECT_EQ(s.packets_received, 98u);
+    EXPECT_EQ(s.authenticated, 84u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.unverifiable, 14u);
+    EXPECT_EQ(s.max_buffered_packets, 17u);
+    EXPECT_EQ(s.empirical_q_min, 0.0);
+    EXPECT_EQ(s.overhead_bytes_per_packet, 75.25);
+    EXPECT_EQ(s.receiver_delay.count(), 84u);
+    EXPECT_EQ(s.receiver_delay.mean(), 0.15511180466902943);
+    EXPECT_EQ(s.receiver_delay.variance(), 0.00147923858405528);
+    EXPECT_EQ(s.receiver_delay.min(), 0.067109401272922309);
+    EXPECT_EQ(s.receiver_delay.max(), 0.25137214554491061);
+    ASSERT_EQ(s.q_by_index.size(), 128u);  // stream-wide tally
+    for (std::size_t i = 0; i < 111; ++i) EXPECT_EQ(s.q_by_index[i], 1.0) << i;
+    // End-of-stream tail: keys for the last intervals never disclosed.
+    const double tail[17] = {0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < 17; ++i) EXPECT_EQ(s.q_by_index[111 + i], tail[i]) << i;
+}
+
+TEST(SchemeSimGolden, Tree16Bernoulli) {
+    Rng srng(1234);
+    MerkleWotsSigner signer(srng, 8);
+    Channel ch(std::make_unique<BernoulliLoss>(0.2),
+               std::make_unique<GaussianDelay>(0.05, 0.01));
+    TreeSchemeConfig cfg;
+    cfg.block_size = 16;
+    cfg.arity = 2;
+    const SimStats s = run_tree_sim(cfg, signer, ch, golden_sim());
+    EXPECT_EQ(s.packets_sent, 64u);
+    EXPECT_EQ(s.packets_received, 52u);
+    EXPECT_EQ(s.authenticated, 52u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.unverifiable, 0u);
+    EXPECT_EQ(s.max_buffered_packets, 0u);
+    EXPECT_EQ(s.empirical_q_min, 1.0);
+    EXPECT_EQ(s.overhead_bytes_per_packet, 2435.0);
+    EXPECT_EQ(s.receiver_delay.count(), 52u);
+    EXPECT_EQ(s.receiver_delay.mean(), 0.0);
+    EXPECT_EQ(s.receiver_delay.max(), 0.0);
+}
+
+TEST(SchemeSimGolden, SignEach8Bernoulli) {
+    Rng srng(1234);
+    MerkleWotsSigner signer(srng, 64);
+    Channel ch(std::make_unique<BernoulliLoss>(0.2),
+               std::make_unique<GaussianDelay>(0.05, 0.01));
+    SimConfig sim = golden_sim();
+    sim.blocks = 3;
+    const SimStats s = run_sign_each_sim(8, signer, ch, sim);
+    EXPECT_EQ(s.packets_sent, 24u);
+    EXPECT_EQ(s.packets_received, 21u);
+    EXPECT_EQ(s.authenticated, 21u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.unverifiable, 0u);
+    EXPECT_EQ(s.empirical_q_min, 1.0);
+    EXPECT_EQ(s.overhead_bytes_per_packet, 2382.0);
+    EXPECT_EQ(s.receiver_delay.count(), 21u);
+    EXPECT_EQ(s.receiver_delay.mean(), 0.0);
+}
+
+// The legacy entry point and a hand-assembled adapter pair around the
+// generic driver must agree exactly (the entry point IS that adapter).
+TEST(SchemeSimGolden, AdapterEqualsGenericDriver) {
+    const HashChainConfig cfg = emss_config(16, 2, 1);
+    const SimConfig sim = golden_sim();
+
+    Rng srng_a(1234);
+    MerkleWotsSigner signer_a(srng_a, 8);
+    Channel ch_a(std::make_unique<BernoulliLoss>(0.2),
+                 std::make_unique<GaussianDelay>(0.05, 0.01));
+    const SimStats a = run_hash_chain_sim(cfg, signer_a, ch_a, sim);
+
+    Rng srng_b(1234);
+    MerkleWotsSigner signer_b(srng_b, 8);
+    Channel ch_b(std::make_unique<BernoulliLoss>(0.2),
+                 std::make_unique<GaussianDelay>(0.05, 0.01));
+    Rng rng(sim.seed);
+    HashChainSchemeSender sender(cfg, signer_b);
+    HashChainSchemeReceiver receiver(cfg, signer_b.make_verifier());
+    const SimStats b =
+        run_scheme_sim(sender, receiver, ch_b, cfg.block_size, sim, rng);
+
+    EXPECT_EQ(a.packets_sent, b.packets_sent);
+    EXPECT_EQ(a.packets_received, b.packets_received);
+    EXPECT_EQ(a.authenticated, b.authenticated);
+    EXPECT_EQ(a.unverifiable, b.unverifiable);
+    EXPECT_EQ(a.empirical_q_min, b.empirical_q_min);
+    EXPECT_EQ(a.overhead_bytes_per_packet, b.overhead_bytes_per_packet);
+    EXPECT_EQ(a.receiver_delay.mean(), b.receiver_delay.mean());
+    EXPECT_EQ(a.receiver_delay.variance(), b.receiver_delay.variance());
+    EXPECT_EQ(a.q_by_index, b.q_by_index);
+}
+
+}  // namespace
+}  // namespace mcauth

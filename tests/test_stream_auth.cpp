@@ -75,6 +75,73 @@ TEST(StreamingAuthenticator, FlushPadsSingletonTail) {
     EXPECT_EQ(packets[0].payload, packets[1].payload);
 }
 
+TEST(StreamingAuthenticator, GentleFlushBelowMinBlockKeepsPending) {
+    StreamPipe pipe;
+    pipe.sender.push(pipe.rng.bytes(40), 0.0);
+    // force=false: a sub-min_block tail is not worth a signature yet — the
+    // payload must stay queued, not get dropped or padded.
+    EXPECT_TRUE(pipe.sender.flush(0.01, /*force=*/false).empty());
+    EXPECT_EQ(pipe.sender.pending(), 1u);
+    // The retained payload still makes it out on the next real cut.
+    pipe.sender.push(pipe.rng.bytes(40), 0.02);
+    const auto packets = pipe.sender.flush(0.03, /*force=*/false);
+    EXPECT_EQ(packets.size(), 2u);
+    EXPECT_EQ(pipe.sender.pending(), 0u);
+}
+
+TEST(StreamingAuthenticator, CutsExactlyAtLatencyDeadline) {
+    StreamingOptions options;
+    options.max_block = 100;
+    options.max_latency = 0.05;
+    StreamPipe pipe(options);
+    EXPECT_TRUE(pipe.sender.push(pipe.rng.bytes(40), 0.000).empty());
+    // Just inside the deadline: no cut yet.
+    EXPECT_TRUE(pipe.sender.push(pipe.rng.bytes(40), 0.0499).empty());
+    // now - oldest == max_latency exactly: the deadline comparison is >=,
+    // so the block cuts on the boundary, not one payload later.
+    const auto packets = pipe.sender.push(pipe.rng.bytes(40), 0.050);
+    EXPECT_EQ(packets.size(), 3u);
+    EXPECT_EQ(pipe.sender.pending(), 0u);
+}
+
+TEST(StreamingVerifier, InterleavedGeometriesShareOneVerifier) {
+    // Two senders with different cut sizes (so same block ids arrive under
+    // different geometries) against ONE verifier: routing is by declared
+    // block_size, so the streams must not collide.
+    Rng rng(77);
+    MerkleWotsSigner signer(rng, 64);
+    StreamingOptions small_opts;
+    small_opts.max_block = 5;
+    StreamingOptions large_opts;
+    large_opts.max_block = 8;
+    StreamingAuthenticator small_tx(streaming_config(), signer, small_opts);
+    StreamingAuthenticator large_tx(streaming_config(), signer, large_opts);
+    StreamingVerifier verifier(streaming_config(), signer.make_verifier());
+
+    std::vector<AuthPacket> small_wire, large_wire;
+    for (int i = 0; i < 10; ++i) {
+        auto a = small_tx.push(rng.bytes(32), 0.001 * i);
+        small_wire.insert(small_wire.end(), a.begin(), a.end());
+        auto b = large_tx.push(rng.bytes(32), 0.001 * i);
+        large_wire.insert(large_wire.end(), b.begin(), b.end());
+    }
+    ASSERT_EQ(small_wire.size(), 10u);  // two size-5 blocks (ids 0 and 1)
+    ASSERT_EQ(large_wire.size(), 8u);   // one size-8 block (id 0 as well)
+
+    // Strict interleave, alternating streams packet by packet.
+    std::size_t authenticated = 0, si = 0, li = 0;
+    auto deliver = [&](const AuthPacket& pkt) {
+        for (const auto& ev : verifier.on_packet(pkt))
+            if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    };
+    while (si < small_wire.size() || li < large_wire.size()) {
+        if (si < small_wire.size()) deliver(small_wire[si++]);
+        if (li < large_wire.size()) deliver(large_wire[li++]);
+    }
+    EXPECT_EQ(authenticated, small_wire.size() + large_wire.size());
+    EXPECT_TRUE(verifier.finish_all().empty());
+}
+
 TEST(StreamingRoundTrip, VariableBlocksAllAuthenticate) {
     StreamingOptions options;
     options.max_block = 16;
