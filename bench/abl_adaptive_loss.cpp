@@ -22,10 +22,17 @@
 // Internal acceptance (exit 1 on violation):
 //   * adaptive holds measured q_min >= target - 0.02 in EVERY measured
 //     window (post-convergence);
-//   * static-calm falls below target in at least two drifted regimes.
+//   * static-calm falls below target in at least two drifted regimes;
+//   * each arm's structured-event stream passes its expectation suite
+//     (DESIGN.md §11): adaptive-loop for the adaptive arm (every regime
+//     shift must be answered by a redesign within the lag bound),
+//     hash-chain for the frozen arm. The bench emits kRegimeShift at each
+//     schedule boundary as ground truth and exports per-arm JSONL
+//     (bench_out/abl_adaptive_<arm>.events.jsonl) for tools/trace_check.
 //
 // Results land in bench_out/BENCH_adaptive.json (schema-v2 envelope,
-// DESIGN.md §9) for the bench_compare regression gate (report-only).
+// DESIGN.md §9) for the bench_compare regression gate (report-only, except
+// the conformance block which always gates).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -34,6 +41,8 @@
 #include "bench_common.hpp"
 #include "crypto/signature.hpp"
 #include "net/loss.hpp"
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
 
 using namespace mcauth;
 
@@ -105,6 +114,9 @@ int main(int argc, char** argv) {
     bench::note("[abl_adaptive] Closed-loop adaptation vs static design under channel drift");
     bench::note("target q_min = " + TablePrinter::num(kTarget, 2) +
                 ", acceptance slack = " + TablePrinter::num(kQminSlack, 2));
+    // Every arm runs under an expectation suite; structured events ride the
+    // trace ring, so tracing is always on for this ablation.
+    obs::set_trace_enabled(true);
 
     std::vector<Row> rows;
     struct ArmSpec {
@@ -118,11 +130,27 @@ int main(int argc, char** argv) {
         MerkleWotsSigner signer(signer_rng, 512);
         adapt::AdaptiveSession session(arm_options(arm.adaptive, bm.seed()), signer);
 
+        // Fresh event stream per arm: clear the ring, then check this arm's
+        // events online against its suite. The adaptive arm must close the
+        // loop (adaptive-loop); the frozen arm only keeps hash-chain
+        // invariants — its whole point is NOT reacting to regime shifts.
+        obs::TraceRecorder::global().clear();
+        const obs::ExpectationSuite* suite =
+            obs::find_suite(arm.adaptive ? "adaptive-loop" : "hash-chain");
+        auto conformance = std::make_unique<obs::OnlineConformance>(*suite);
+
         const auto schedule = make_schedule();
         bench::section(std::string(arm.name) + " arm");
         TablePrinter table({"regime", "true_loss", "est_loss", "q_min", "auth_frac",
                             "edges/pkt", "ovh_bytes", "sign_copies", "redesigns"});
+        std::uint32_t regime_index = 0;
         for (const Regime& regime : schedule) {
+            // Ground-truth regime boundary (index 0 = the initial regime,
+            // which is not a "shift" — the design already targets it).
+            if (regime_index > 0)
+                MCAUTH_OBS_EVENT(kRegimeShift, session.blocks_streamed(),
+                                 regime_index, 0, 0.0);
+            ++regime_index;
             session.set_feedback_loss(regime.feedback_blackout ? 1.0 : 0.1);
             const adapt::WindowStats converge =
                 session.run_window(*regime.loss, regime.converge_blocks);
@@ -140,6 +168,14 @@ int main(int argc, char** argv) {
                            std::to_string(measured.redesigns)});
         }
         bench::emit(table, std::string("abl_adaptive_") + arm.name);
+
+        // Per-arm JSONL export (trace_check input) and the suite verdict,
+        // registered into the manifest's conformance array.
+        const std::string events_path =
+            std::string("bench_out/abl_adaptive_") + arm.name + ".events.jsonl";
+        if (obs::write_events_jsonl(events_path))
+            std::fprintf(stderr, "events: %s\n", events_path.c_str());
+        bm.add_conformance(conformance->finish(), arm.name);
     }
 
     // ----------------------------------------------------------- acceptance
@@ -170,6 +206,12 @@ int main(int argc, char** argv) {
     for (const std::string& v : verdicts) bench::note(v);
     bench::note("static-calm fell below target in " + std::to_string(static_failures) +
                 " drifted regimes (need >= 2)");
+    if (bm.conformance_failed()) {
+        pass = false;
+        bench::note("expectation suites reported violations (see manifest)");
+    } else {
+        bench::note("expectation suites: all PASS");
+    }
 
     // ------------------------------------------------------------- JSON out
     std::error_code ec;

@@ -27,6 +27,21 @@
 //                      F at exit; default bench_out/<name>.manifest.json,
 //                      empty value disables. The note goes to stderr so
 //                      stdout stays identical to pre-manifest builds.
+//   --expect=SUITE     run the whole bench under the named expectation
+//                      suite (obs/expect.hpp): structured events stream
+//                      through an online conformance checker and the
+//                      verdict lands in the manifest. A bench that wants
+//                      the exit code to reflect it calls
+//                      `return bm.finish_expectation() ? 1 : 0;`.
+//                      Benches with per-scenario suites (abl_adaptive_loss)
+//                      skip this flag and call add_conformance() instead.
+//                      Pick a suite that matches the workload's scheme
+//                      family: `hash-chain` assumes block-scoped
+//                      signatures, so benches mixing cross-block-amortized
+//                      schemes (EMSS, augmented chain) run `stream-core`.
+//   --events-out=F     export the structured event stream as JSONL to F at
+//                      exit (meta line with dropped_events first) — the
+//                      input format of tools/trace_check
 //   --help             print the flag surface and exit
 //
 // Unknown --key flags are REJECTED with a usage message (a mistyped
@@ -60,6 +75,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/clock.hpp"
+#include "obs/expect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
 #include "obs/perfctr.hpp"
@@ -99,9 +115,26 @@ public:
         metrics_out_ = args_.get("metrics-out", "");
         trace_out_ = args_.get("trace-out", "");
         manifest_out_ = args_.get("manifest-out", "bench_out/" + name_ + ".manifest.json");
+        expect_ = args_.get("expect", "");
+        events_out_ = args_.get("events-out", "");
         obs::set_enabled(args_.get_bool("obs", true));
         obs::set_progress_enabled(args_.get_bool("progress", false));
-        if (!trace_out_.empty()) obs::set_trace_enabled(true);
+        // Structured events ride the trace ring, so both conformance
+        // checking and JSONL export imply tracing.
+        if (!trace_out_.empty() || !expect_.empty() || !events_out_.empty())
+            obs::set_trace_enabled(true);
+        if (!expect_.empty()) {
+            const obs::ExpectationSuite* suite = obs::find_suite(expect_);
+            if (suite == nullptr) {
+                std::fprintf(stderr, "%s: unknown expectation suite \"%s\"; known:",
+                             name_.c_str(), expect_.c_str());
+                for (const std::string& s : obs::suite_names())
+                    std::fprintf(stderr, " %s", s.c_str());
+                std::fprintf(stderr, "\n");
+                std::exit(2);
+            }
+            online_ = std::make_unique<obs::OnlineConformance>(*suite);
+        }
         threads_ = static_cast<std::size_t>(args_.get_int(
             "threads", static_cast<std::int64_t>(exec::hardware_threads())));
         exec::ThreadPool::set_global_thread_count(threads_);
@@ -127,10 +160,52 @@ public:
 
     /// Run-provenance manifest for this invocation, with the obs counter
     /// snapshot taken at call time. Embed `.to_json(indent)` into any
-    /// machine-readable output the bench writes.
+    /// machine-readable output the bench writes. Carries every conformance
+    /// verdict registered so far (via --expect or add_conformance), so call
+    /// it after the suites have finished.
     obs::RunManifest manifest() {
-        return obs::RunManifest::collect(name_, seed_, threads_, warmup_, repeat_);
+        obs::RunManifest m =
+            obs::RunManifest::collect(name_, seed_, threads_, warmup_, repeat_);
+        m.conformance = conformance_;
+        return m;
     }
+
+    /// Register an expectation-suite verdict for the manifest's
+    /// "conformance" array. For benches that run their own per-scenario
+    /// checkers (obs::OnlineConformance / obs::check_events) instead of the
+    /// whole-run --expect flag. Prints the verdict and remembers failures
+    /// for conformance_failed().
+    void add_conformance(const obs::ConformanceReport& report,
+                         std::string scenario = "") {
+        obs::RunManifest::ConformanceEntry entry;
+        entry.suite = report.suite;
+        entry.scenario = std::move(scenario);
+        entry.rules = report.rules;
+        entry.events = report.events_seen;
+        entry.violations = report.total_violations;
+        entry.partial = report.partial;
+        for (const obs::Violation& v : report.violations)
+            entry.details.push_back("[" + v.rule + "] " + v.message);
+        conformance_.push_back(std::move(entry));
+        if (!report.ok()) conformance_failed_ = true;
+        std::fprintf(stderr, "%s\n", report.render_text().c_str());
+    }
+
+    /// Finish the --expect suite (idempotent; no-op without the flag) and
+    /// report whether ANY registered suite — --expect or add_conformance —
+    /// saw violations. Benches that want conformance in their exit code
+    /// end with `return bm.finish_expectation() ? 1 : 0;`; flush() calls
+    /// this too, so the manifest carries the verdict either way.
+    bool finish_expectation() {
+        if (online_) {
+            add_conformance(online_->finish());
+            online_.reset();
+        }
+        return conformance_failed_;
+    }
+
+    /// True once any registered suite reported violations.
+    bool conformance_failed() const noexcept { return conformance_failed_; }
 
     /// Warmup/repeat driver: `body(seed)` runs `warmup` times with metrics
     /// discarded afterwards, then `repeat` measured times with distinct
@@ -180,6 +255,14 @@ public:
     void flush() {
         if (flushed_) return;
         flushed_ = true;
+        finish_expectation();  // verdict must precede the manifest write
+        if (!events_out_.empty()) {
+            if (obs::write_events_jsonl(events_out_))
+                std::fprintf(stderr, "events: %s\n", events_out_.c_str());
+            else
+                std::fprintf(stderr, "events: FAILED to write %s\n",
+                             events_out_.c_str());
+        }
         if (!metrics_out_.empty()) {
             if (obs::registry().write_json(metrics_out_))
                 note("metrics: " + metrics_out_);
@@ -213,7 +296,8 @@ private:
     void reject_unknown_flags(const std::vector<std::string_view>& extra_keys) const {
         static constexpr std::string_view kSharedKeys[] = {
             "seed", "threads", "warmup", "repeat", "obs", "progress",
-            "metrics-out", "trace-out", "manifest-out", "help"};
+            "metrics-out", "trace-out", "manifest-out", "expect",
+            "events-out", "help"};
         // google-benchmark binaries (micro_crypto) construct BenchMain
         // before benchmark::Initialize strips its flags, so --benchmark_*
         // must pass through untouched.
@@ -244,6 +328,11 @@ private:
     std::string metrics_out_;
     std::string trace_out_;
     std::string manifest_out_;
+    std::string expect_;
+    std::string events_out_;
+    std::unique_ptr<obs::OnlineConformance> online_;
+    std::vector<obs::RunManifest::ConformanceEntry> conformance_;
+    bool conformance_failed_ = false;
     std::unique_ptr<obs::PerfCounterSet> perf_;
     std::vector<double> repeat_seconds_;
     std::vector<obs::PerfReading> repeat_perf_;

@@ -1,0 +1,62 @@
+// Shared scenario-conformance harness for the examples (DESIGN.md §11).
+//
+// Every example runs its whole scenario under a named expectation suite:
+// the structured events it emits stream through an online checker, and the
+// program exits nonzero if any invariant broke. `--events-out=F` exports
+// the stream as JSONL — the input format of tools/trace_check, so a failing
+// run can be re-checked (and debugged) offline:
+//
+//   build/examples/quickstart --events-out=/tmp/quickstart.jsonl
+//   build/tools/trace_check /tmp/quickstart.jsonl --suite=hash-chain
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "mcauth.hpp"
+
+namespace mcauth::examples {
+
+class ScenarioExpectations {
+public:
+    /// Enables tracing (events ride the trace ring) and starts checking
+    /// against the named built-in suite; a typo'd name is a programming
+    /// error and aborts.
+    ScenarioExpectations(const char* suite_name, const CliArgs& args)
+        : events_out_(args.get("events-out", "")) {
+        obs::set_trace_enabled(true);
+        const obs::ExpectationSuite* suite = obs::find_suite(suite_name);
+        if (suite == nullptr) {
+            std::fprintf(stderr, "unknown expectation suite \"%s\"\n", suite_name);
+            std::exit(2);
+        }
+        checker_ = std::make_unique<obs::OnlineConformance>(*suite);
+    }
+
+    /// Write --events-out (if given), print the suite verdict, and return
+    /// the process exit code: 0 on PASS, 1 on violations.
+    int finish() {
+        if (!checker_) return last_ok_ ? 0 : 1;
+        if (!events_out_.empty()) {
+            if (obs::write_events_jsonl(events_out_))
+                std::fprintf(stderr, "events: %s\n", events_out_.c_str());
+            else
+                std::fprintf(stderr, "events: FAILED to write %s\n",
+                             events_out_.c_str());
+        }
+        const obs::ConformanceReport report = checker_->finish();
+        checker_.reset();
+        last_ok_ = report.ok();
+        std::printf("\n%s\n", report.render_text().c_str());
+        return last_ok_ ? 0 : 1;
+    }
+
+private:
+    std::string events_out_;
+    std::unique_ptr<obs::OnlineConformance> checker_;
+    bool last_ok_ = true;
+};
+
+}  // namespace mcauth::examples

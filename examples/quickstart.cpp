@@ -10,6 +10,7 @@
 //   4. compare        = measured verification rate vs the prediction.
 #include <cstdio>
 
+#include "example_expect.hpp"
 #include "mcauth.hpp"
 
 using namespace mcauth;
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 32));
     const double p = args.get_double("p", 0.2);
     const auto blocks = static_cast<std::size_t>(args.get_int("blocks", 16));
+    // The simulated run below emits structured events; the hash-chain suite
+    // checks signature-anchoring end to end (DESIGN.md §11).
+    examples::ScenarioExpectations conformance("hash-chain", args);
 
     std::printf("mcauth quickstart: EMSS E_{2,1}, block size %zu, loss rate %.2f\n\n", n, p);
 
@@ -63,5 +67,5 @@ int main(int argc, char** argv) {
                 stats.overhead_bytes_per_packet, stats.max_buffered_packets);
     std::printf("\n(every 'authenticated' packet above passed a real signature-anchored\n"
                 "hash-chain check; flip any byte in transit and it would be rejected.)\n");
-    return 0;
+    return conformance.finish();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "example_expect.hpp"
 #include "mcauth.hpp"
 
 using namespace mcauth;
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
     goal.p = args.get_double("p", 0.2);
     goal.target_q_min = args.get_double("target", 0.9);
     const bool dump_dot = args.get_bool("dot", false);
+    // Pure analysis (no streaming), so the suite is vacuous unless a future
+    // change starts emitting events here — at which point it starts checking.
+    examples::ScenarioExpectations conformance("stream-core", args);
 
     std::printf("design goal: n = %zu, loss rate p = %.2f, q_min >= %.2f\n\n", goal.n,
                 goal.p, goal.target_q_min);
@@ -77,5 +81,5 @@ int main(int argc, char** argv) {
                     "dependence_graph_from_text()\n",
                     path.c_str(), chosen.packet_count(), chosen.graph().edge_count());
     }
-    return 0;
+    return conformance.finish();
 }

@@ -10,6 +10,7 @@
 // EMSS E_{2,1} and EMSS E_{2,8} on identical loss patterns.
 #include <cstdio>
 
+#include "example_expect.hpp"
 #include "mcauth.hpp"
 
 using namespace mcauth;
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     const auto gop = static_cast<std::size_t>(args.get_int("gop", 16));
     const double loss = args.get_double("loss", 0.15);
     const double burst = args.get_double("burst", 5.0);
+    examples::ScenarioExpectations conformance("hash-chain", args);
 
     std::printf("video broadcast: %zu GOPs x %zu slices, Gilbert-Elliott loss %.0f%% with "
                 "mean burst %.1f packets\n\n",
@@ -87,5 +89,5 @@ int main(int argc, char** argv) {
     std::printf("\nreading: with bursts ~%.0f packets, emss(2,1)'s short links break while"
                 "\nthe wider-span links of emss(2,8) and ac(3,3) bridge the gaps; at"
                 "\nburst=1 (--burst=1) the three schemes converge.\n", burst);
-    return 0;
+    return conformance.finish();
 }

@@ -30,7 +30,11 @@ AdaptiveController::AdaptiveController(AdaptiveOptions options, std::uint64_t se
 }
 
 bool AdaptiveController::on_feedback(const FeedbackReport& report) {
-    return aggregator_.on_report(report);
+    const bool accepted = aggregator_.on_report(report);
+    if (accepted)
+        MCAUTH_OBS_EVENT(kFeedbackReceived, report.last_block, report.seq,
+                         report.receiver_id + 1, report.est_loss_rate);
+    return accepted;
 }
 
 bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
@@ -81,6 +85,10 @@ bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
         return false;
     }
 
+    const obs::RedesignReason reason =
+        !ever_redesigned_ ? obs::RedesignReason::kInitial
+        : bursty != designed_bursty_ ? obs::RedesignReason::kBurstRegime
+                                     : obs::RedesignReason::kLossDrift;
     designed_for_loss_ = clamped;
     designed_for_burst_ = bursty ? agg.mean_burst : 1.0;
     designed_bursty_ = bursty;
@@ -90,6 +98,8 @@ bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
     cache_ = std::make_shared<std::map<std::size_t, DependenceGraph>>();
     MCAUTH_OBS_COUNT("adapt.ctrl.redesigns");
     MCAUTH_OBS_GAUGE_SET("adapt.ctrl.designed_for_loss", designed_for_loss_);
+    MCAUTH_OBS_EVENT(kRedesignTriggered, next_block,
+                     static_cast<std::uint32_t>(reason), 0, designed_for_loss_);
     return true;
 }
 

@@ -52,6 +52,13 @@ void GilbertElliottEstimator::decay(double keep) {
     good_ *= keep;
     lost_ *= keep;
     runs_ *= keep;
+    // Flush decayed-out statistics to a clean zero: a session that goes
+    // loss-free for thousands of blocks would otherwise drive these into
+    // denormal territory, where the ratios in estimate() turn into noise.
+    constexpr double kFloor = 1e-12;
+    if (good_ < kFloor) good_ = 0.0;
+    if (lost_ < kFloor) lost_ = 0.0;
+    if (runs_ < kFloor) runs_ = 0.0;
 }
 
 ChannelEstimate GilbertElliottEstimator::estimate() const {
@@ -62,10 +69,12 @@ ChannelEstimate GilbertElliottEstimator::estimate() const {
     const auto clamp01 = [](double v) { return std::clamp(v, 1e-9, 1.0); };
     est.p_bg = clamp01(runs_ / lost_);
     // All-lost stream: no good packets to estimate entry rate from; pin the
-    // channel at its observed extreme rather than divide by zero.
+    // channel at its observed extreme rather than divide by zero. The fit
+    // is flagged unidentifiable so consumers know the pin is a guess.
     est.p_gb = good_ <= 0.0 ? 1.0 : clamp01(runs_ / good_);
     est.loss_rate = est.p_gb / (est.p_gb + est.p_bg);
-    est.mean_burst = lost_ / runs_;
+    est.mean_burst = std::max(1.0, lost_ / runs_);
+    est.identifiable = good_ > 0.0;
     return est;
 }
 

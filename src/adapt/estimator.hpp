@@ -42,6 +42,12 @@ struct ChannelEstimate {
     double p_gb = 0.0;        // fitted good->bad transition probability
     double p_bg = 1.0;        // fitted bad->good transition probability
     std::size_t samples = 0;  // packets observed so far
+    // True only when both transition rates were actually constrained by the
+    // data (some losses AND some good packets observed). Degenerate windows
+    // — zero-loss, all-loss, statistics decayed away — leave it false, and
+    // consumers (ReceiverMonitor::channel) should fall back to the EWMA
+    // rate instead of trusting the pinned fit.
+    bool identifiable = false;
 };
 
 class EwmaLossEstimator {

@@ -32,6 +32,22 @@ void ReceiverMonitor::on_block(std::uint32_t block_id, const std::vector<bool>& 
     ++blocks_since_report_;
     MCAUTH_OBS_COUNT("adapt.monitor.blocks");
     MCAUTH_OBS_COUNT_N("adapt.monitor.losses", losses);
+    // Actor ids in the event stream are 1-based (0 is the sender).
+    MCAUTH_OBS_EVENT(kQHatUpdated, block_id, 0, receiver_id_ + 1,
+                     rate_.loss_rate());
+}
+
+ChannelEstimate ReceiverMonitor::channel() const {
+    ChannelEstimate est = ge_.estimate();
+    if (!est.identifiable) {
+        // Degenerate window: report the EWMA rate with independent losses
+        // rather than the unconstrained moment fit.
+        est.loss_rate = rate_.loss_rate();
+        est.mean_burst = 1.0;
+        est.p_gb = est.loss_rate;
+        est.p_bg = 1.0;
+    }
+    return est;
 }
 
 std::optional<FeedbackReport> ReceiverMonitor::maybe_report() {

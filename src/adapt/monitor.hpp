@@ -46,7 +46,10 @@ public:
     std::optional<FeedbackReport> maybe_report();
 
     const EwmaLossEstimator& rate() const noexcept { return rate_; }
-    ChannelEstimate channel() const { return ge_.estimate(); }
+    /// Best current channel picture: the GE moment fit when it is
+    /// identifiable, otherwise the EWMA rate with independent losses (the
+    /// fit is unconstrained on zero-loss / all-loss / decayed-out windows).
+    ChannelEstimate channel() const;
     std::uint32_t sig_loss_streak() const noexcept { return sig_streak_; }
 
 private:

@@ -127,9 +127,13 @@ WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blo
                 static_cast<double>(pkt->wire_size()) -
                 static_cast<double>(options_.payload_bytes);
             ++sent_transmissions;
+            MCAUTH_OBS_EVENT(kPacketEmitted, pkt->block_id, pkt->index, 0,
+                             pkt->kind == PacketKind::kSignature ? 1.0 : 0.0);
         }
 
+        std::uint32_t receiver_index = 0;
         for (auto& r : receivers_) {
+            const std::uint32_t actor = ++receiver_index;  // 1-based; 0 = sender
             std::vector<bool> arrived(schedule.size(), false);
             bool signature_seen = false;
             std::vector<VerifyEvent> events;
@@ -143,12 +147,30 @@ WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blo
                 arrived[t] = true;
                 const AuthPacket& pkt = *schedule[t];
                 if (pkt.kind == PacketKind::kSignature) signature_seen = true;
+                MCAUTH_OBS_EVENT(kPacketReceived, pkt.block_id, pkt.index, actor,
+                                 pkt.kind == PacketKind::kSignature ? 1.0 : 0.0);
                 auto resolved = r->verifier.on_packet(pkt);
                 events.insert(events.end(), resolved.begin(), resolved.end());
             }
             auto tail = r->verifier.finish_block(block_id);
             events.insert(events.end(), tail.begin(), tail.end());
+            if (!signature_seen)
+                MCAUTH_OBS_EVENT(kSignatureLost, block_id, 0, actor, 0.0);
             for (const VerifyEvent& ev : events) {
+                switch (ev.status) {
+                    case VerifyStatus::kAuthenticated:
+                        MCAUTH_OBS_EVENT(kPacketVerified, ev.block_id, ev.index,
+                                         actor, 0.0);
+                        break;
+                    case VerifyStatus::kRejected:
+                        MCAUTH_OBS_EVENT(kPacketRejected, ev.block_id, ev.index,
+                                         actor, 0.0);
+                        break;
+                    case VerifyStatus::kUnverifiable:
+                        MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id,
+                                         ev.index, actor, 0.0);
+                        break;
+                }
                 if (ev.block_id != block_id || ev.index >= n) continue;
                 ++received_count[ev.index];
                 if (ev.status == VerifyStatus::kAuthenticated) ++auth_count[ev.index];

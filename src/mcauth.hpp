@@ -35,6 +35,8 @@
 // obs
 #include "obs/bench_compare.hpp"
 #include "obs/clock.hpp"
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"

@@ -78,6 +78,23 @@ bool load_bench_file(const std::string& text, BenchFile& out, std::string& error
     out.hardware_threads =
         static_cast<std::size_t>(manifest->get_uint("hardware_threads"));
     out.threads = static_cast<std::size_t>(manifest->get_uint("threads"));
+    if (const JsonValue* conf = manifest->find("conformance");
+        conf != nullptr && conf->is_array()) {
+        for (const JsonValue& row : conf->array()) {
+            if (!row.is_object()) {
+                error = "non-object entry in manifest \"conformance\"";
+                return false;
+            }
+            BenchFile::ConformanceSummary c;
+            c.suite = row.get_string("suite");
+            c.scenario = row.get_string("scenario");
+            c.rules = row.get_uint("rules");
+            c.events = row.get_uint("events");
+            c.violations = row.get_uint("violations");
+            c.partial = row.get_bool("partial");
+            out.conformance.push_back(std::move(c));
+        }
+    }
 
     const JsonValue* results = doc->find("results");
     if (results == nullptr || !results->is_array()) {
@@ -201,6 +218,18 @@ CompareReport compare_bench_files(const BenchFile& base, const BenchFile& cur,
         return report;
     }
 
+    // Conformance gate: any suite violations in the CURRENT run fail the
+    // comparison outright — behavioral invariants are not subject to the
+    // timing-noise tolerance machinery.
+    for (const BenchFile::ConformanceSummary& c : cur.conformance) {
+        if (c.violations == 0) continue;
+        std::string line = "suite " + c.suite;
+        if (!c.scenario.empty()) line += " (" + c.scenario + ")";
+        line += ": " + std::to_string(c.violations) + " violation(s) over " +
+                std::to_string(c.events) + " events";
+        report.conformance_failures.push_back(std::move(line));
+    }
+
     const auto find_entry = [](const BenchFile& f,
                                const std::string& key) -> const BenchEntry* {
         for (const BenchEntry& e : f.entries)
@@ -260,6 +289,21 @@ std::string CompareReport::render_markdown(const BenchFile& base,
     }
     for (const std::string& w : warnings) out += "- warning: " + w + "\n";
     if (!warnings.empty()) out += "\n";
+    for (const std::string& f : conformance_failures)
+        out += "- **CONFORMANCE FAILURE**: " + f + "\n";
+    if (!conformance_failures.empty()) out += "\n";
+    if (conformance_failures.empty() && !cur.conformance.empty()) {
+        out += "conformance: ";
+        bool first = true;
+        for (const auto& c : cur.conformance) {
+            if (!first) out += ", ";
+            first = false;
+            out += c.suite;
+            if (!c.scenario.empty()) out += "(" + c.scenario + ")";
+            out += " PASS";
+        }
+        out += "\n\n";
+    }
     const std::string metric =
         base.metric.empty() || base.metric == "trials_per_sec" ? "trials/s"
                                                                : base.metric;

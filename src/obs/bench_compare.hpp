@@ -66,6 +66,17 @@ struct BenchFile {
     std::size_t hardware_threads = 0;
     std::size_t threads = 0;
     std::vector<BenchEntry> entries;
+    /// Expectation-suite verdicts from the manifest's "conformance" array
+    /// (absent in pre-conformance files — an empty vector).
+    struct ConformanceSummary {
+        std::string suite;
+        std::string scenario;
+        std::uint64_t rules = 0;
+        std::uint64_t events = 0;
+        std::uint64_t violations = 0;
+        bool partial = false;
+    };
+    std::vector<ConformanceSummary> conformance;
 };
 
 /// Parse a BENCH_*.json with embedded manifest from `text`. Returns false
@@ -110,8 +121,15 @@ struct CompareReport {
     std::string incompatible_reason;
     std::vector<std::string> warnings;
     std::vector<Comparison> rows;
+    /// One line per expectation suite in the CURRENT file that reported
+    /// violations. Correctness, not timing: tools/bench_compare exits
+    /// nonzero on these even under --report-only.
+    std::vector<std::string> conformance_failures;
 
     bool has_regression() const noexcept;
+    bool has_conformance_failure() const noexcept {
+        return !conformance_failures.empty();
+    }
     /// Markdown: manifest warnings, then a per-entry verdict table.
     std::string render_markdown(const BenchFile& base, const BenchFile& cur) const;
 };

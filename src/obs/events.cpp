@@ -1,0 +1,165 @@
+#include "obs/events.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+
+#include "obs/clock.hpp"
+#include "util/json.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::atomic<EventSink*> g_sink{nullptr};
+
+}  // namespace
+
+const char* event_name(EventId id) noexcept {
+    switch (id) {
+        case EventId::kNone: return "None";
+        case EventId::kPacketEmitted: return "PacketEmitted";
+        case EventId::kPacketReceived: return "PacketReceived";
+        case EventId::kPacketVerified: return "PacketVerified";
+        case EventId::kPacketRejected: return "PacketRejected";
+        case EventId::kPacketUnverifiable: return "PacketUnverifiable";
+        case EventId::kSignatureLost: return "SignatureLost";
+        case EventId::kQHatUpdated: return "QHatUpdated";
+        case EventId::kFeedbackReceived: return "FeedbackReceived";
+        case EventId::kRedesignTriggered: return "RedesignTriggered";
+        case EventId::kRegimeShift: return "RegimeShift";
+    }
+    return "Unknown";
+}
+
+const char* redesign_reason_name(RedesignReason reason) noexcept {
+    switch (reason) {
+        case RedesignReason::kInitial: return "initial";
+        case RedesignReason::kLossDrift: return "loss-drift";
+        case RedesignReason::kBurstRegime: return "burst-regime";
+    }
+    return "unknown";
+}
+
+void emit_event(EventId id, std::uint32_t block, std::uint32_t index,
+                std::uint32_t actor, double value) noexcept {
+    const std::uint64_t ts_ns = clock().now_ns();
+    TraceRecorder::global().record_structured(
+        event_name(id), static_cast<std::uint16_t>(id), block, index, actor,
+        value, ts_ns);
+    if (EventSink* sink = g_sink.load(std::memory_order_acquire)) {
+        Event ev;
+        ev.id = id;
+        ev.block = block;
+        ev.index = index;
+        ev.actor = actor;
+        ev.value = value;
+        ev.ts_ns = ts_ns;
+        sink->on_event(ev);
+    }
+}
+
+EventSink* set_event_sink(EventSink* sink) noexcept {
+    return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+EventSink* event_sink() noexcept {
+    return g_sink.load(std::memory_order_acquire);
+}
+
+bool decode_event(const TraceEvent& slot, Event& out) noexcept {
+    if (slot.id == 0) return false;
+    out.id = static_cast<EventId>(slot.id);
+    out.block = slot.block;
+    out.index = slot.index;
+    out.actor = slot.actor;
+    out.value = slot.value;
+    out.ts_ns = slot.ts_ns;
+    return true;
+}
+
+std::vector<Event> extract_events(const std::vector<TraceEvent>& snapshot) {
+    std::vector<Event> out;
+    out.reserve(snapshot.size());
+    Event ev;
+    for (const TraceEvent& slot : snapshot)
+        if (decode_event(slot, ev)) out.push_back(ev);
+    return out;
+}
+
+std::string events_to_jsonl(const std::vector<Event>& events,
+                            std::uint64_t dropped_events) {
+    std::string out = "{\"meta\": {\"schema\": \"mcauth-events-v1\", "
+                      "\"dropped_events\": " +
+                      std::to_string(dropped_events) + "}}\n";
+    char buf[256];
+    for (const Event& ev : events) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"id\": %u, \"name\": \"%s\", \"block\": %u, "
+                      "\"index\": %u, \"actor\": %u, \"value\": %.17g, "
+                      "\"ts_ns\": %llu}\n",
+                      static_cast<unsigned>(ev.id), event_name(ev.id), ev.block,
+                      ev.index, ev.actor, ev.value,
+                      static_cast<unsigned long long>(ev.ts_ns));
+        out += buf;
+    }
+    return out;
+}
+
+bool write_events_jsonl(const std::string& path) {
+    const TraceRecorder& rec = TraceRecorder::global();
+    const std::vector<Event> events = extract_events(rec.snapshot());
+    std::ofstream out(path);
+    if (!out) return false;
+    out << events_to_jsonl(events, rec.dropped());
+    return static_cast<bool>(out);
+}
+
+bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
+                        std::uint64_t& dropped_events, std::string& error) {
+    out.clear();
+    dropped_events = 0;
+    std::string line;
+    std::size_t lineno = 0;
+    bool saw_meta = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string parse_error;
+        const auto doc = JsonValue::parse(line, &parse_error);
+        if (!doc || !doc->is_object()) {
+            error = "line " + std::to_string(lineno) + ": " +
+                    (parse_error.empty() ? "not a JSON object" : parse_error);
+            return false;
+        }
+        if (const JsonValue* meta = doc->find("meta")) {
+            if (saw_meta) {
+                error = "line " + std::to_string(lineno) + ": duplicate meta line";
+                return false;
+            }
+            saw_meta = true;
+            dropped_events = meta->get_uint("dropped_events", 0);
+            continue;
+        }
+        if (!doc->has("id")) {
+            error = "line " + std::to_string(lineno) + ": missing \"id\"";
+            return false;
+        }
+        Event ev;
+        ev.id = static_cast<EventId>(doc->get_uint("id", 0));
+        ev.block = static_cast<std::uint32_t>(doc->get_uint("block", 0));
+        ev.index = static_cast<std::uint32_t>(doc->get_uint("index", 0));
+        ev.actor = static_cast<std::uint32_t>(doc->get_uint("actor", 0));
+        ev.value = doc->get_double("value", 0.0);
+        ev.ts_ns = doc->get_uint("ts_ns", 0);
+        out.push_back(ev);
+    }
+    if (!saw_meta) {
+        error = "missing meta header line";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace mcauth::obs

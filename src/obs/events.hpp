@@ -1,0 +1,129 @@
+// Structured trace events — the semantic layer above TraceRecorder.
+//
+// Where obs/trace.hpp records *strings* (named spans and instants for a
+// flame graph), this header gives the hot paths a fixed vocabulary of typed
+// events with stable numeric ids and a uniform payload:
+//
+//   id              event                  block   index     actor   value
+//   --------------- ---------------------- ------- --------- ------- --------------
+//   1  PacketEmitted      sender pushes a packet    block    seq/vertex  0     1=signature
+//   2  PacketReceived     packet survives channel   block    seq/vertex  rcvr  1=signature
+//   3  PacketVerified     hash path authenticated   block    seq/vertex  rcvr  0
+//   4  PacketRejected     verification failed       block    seq/vertex  rcvr  0
+//   5  PacketUnverifiable no surviving path         block    seq/vertex  rcvr  0
+//   6  SignatureLost      block's sig never arrived block    0           rcvr  0
+//   7  QHatUpdated        receiver loss estimate    block    0           rcvr  q_hat
+//   8  FeedbackReceived   controller accepted report block   report_seq  rcvr  q_hat
+//   9  RedesignTriggered  controller re-ran designer block   reason      0     new q target
+//  10  RegimeShift        channel ground truth moved block   0           0     new loss rate
+//
+// "actor" is a receiver id (0 for sender-side events); "value" is the one
+// floating-point payload an event carries (estimates, loss rates, flags).
+// RedesignTriggered packs its reason into `index` (see RedesignReason).
+//
+// Ids are STABLE: they appear in exported JSONL consumed by tools/trace_check
+// and by expectation suites, so renumbering breaks recorded traces. Append
+// new events at the end; never reuse an id.
+//
+// Emission goes through MCAUTH_OBS_EVENT (obs/obs.hpp), which compiles to
+// nothing under MCAUTH_OBS_ENABLED=0 and costs one branch when tracing is
+// off. Events land in the same TSan-clean ring as plain instants, flow to
+// the Chrome view as instants-with-args, and export as JSONL (one object
+// per line, meta header first) for offline conformance checking.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mcauth::obs {
+
+enum class EventId : std::uint16_t {
+    kNone = 0,  // unstructured slot (plain span/instant)
+    kPacketEmitted = 1,
+    kPacketReceived = 2,
+    kPacketVerified = 3,
+    kPacketRejected = 4,
+    kPacketUnverifiable = 5,
+    kSignatureLost = 6,
+    kQHatUpdated = 7,
+    kFeedbackReceived = 8,
+    kRedesignTriggered = 9,
+    kRegimeShift = 10,
+};
+
+/// Why the adaptive controller re-ran the designer; carried in the `index`
+/// field of RedesignTriggered.
+enum class RedesignReason : std::uint32_t {
+    kInitial = 1,     // first design at session start
+    kLossDrift = 2,   // aggregated q_hat drifted past hysteresis
+    kBurstRegime = 3, // burst-length estimate crossed the dead-band
+};
+
+/// Stable wire name for an event id ("PacketEmitted", ...); "Unknown" for
+/// ids this build does not know.
+const char* event_name(EventId id) noexcept;
+const char* redesign_reason_name(RedesignReason reason) noexcept;
+
+/// A decoded structured event — the unit the expectation engine consumes.
+/// Identical information to TraceEvent minus the span-only fields.
+struct Event {
+    EventId id = EventId::kNone;
+    std::uint32_t block = 0;
+    std::uint32_t index = 0;
+    std::uint32_t actor = 0;
+    double value = 0.0;
+    std::uint64_t ts_ns = 0;
+};
+
+/// Record a structured event into the global trace ring and forward it to
+/// the installed EventSink (if any). Called via MCAUTH_OBS_EVENT; callable
+/// directly from tests. Gated on enabled() && trace_enabled() by the macro,
+/// not here — direct callers always record.
+void emit_event(EventId id, std::uint32_t block, std::uint32_t index,
+                std::uint32_t actor, double value) noexcept;
+
+/// Online event listener. The conformance checker installs one for the
+/// duration of a run (see obs::OnlineConformance in expect.hpp); the hot
+/// path pays one relaxed atomic load when no sink is installed.
+class EventSink {
+public:
+    virtual ~EventSink() = default;
+    virtual void on_event(const Event& ev) = 0;
+};
+
+/// Install `sink` as the process-wide listener (nullptr to uninstall).
+/// Returns the previous sink. Not safe to swap while emitters are running
+/// in other threads — install before the workload, remove after.
+EventSink* set_event_sink(EventSink* sink) noexcept;
+EventSink* event_sink() noexcept;
+
+/// True if the trace slot carries a structured event; decode it.
+bool decode_event(const TraceEvent& slot, Event& out) noexcept;
+
+/// Extract the structured events from a trace snapshot, oldest first.
+std::vector<Event> extract_events(const std::vector<TraceEvent>& snapshot);
+
+/// JSONL export: first line is a meta object
+///   {"meta": {"schema": "mcauth-events-v1", "dropped_events": N}}
+/// then one event per line:
+///   {"id": 3, "name": "PacketVerified", "block": 4, "index": 7,
+///    "actor": 2, "value": 0, "ts_ns": 123}
+/// The dropped_events count makes ring truncation visible to offline
+/// tooling (trace_check treats dropped>0 as "history is partial").
+std::string events_to_jsonl(const std::vector<Event>& events,
+                            std::uint64_t dropped_events);
+/// Snapshot the global recorder and write its structured events as JSONL.
+/// Returns false on I/O failure.
+bool write_events_jsonl(const std::string& path);
+
+/// Parse a JSONL event stream produced by events_to_jsonl. Returns false
+/// (with a message in `error`) on malformed input; unknown ids are kept so
+/// newer traces degrade gracefully in older checkers.
+bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
+                        std::uint64_t& dropped_events, std::string& error);
+
+}  // namespace mcauth::obs

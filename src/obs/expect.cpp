@@ -1,0 +1,390 @@
+#include "obs/expect.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+// Scope-key packing (limits documented on Scope). kActorBlockIndex is the
+// only lossy-looking one; its field widths exceed every committed scenario
+// by orders of magnitude and MCAUTH_EXPECTS below guards the assumption.
+std::uint64_t scope_key(Scope scope, const Event& ev) {
+    switch (scope) {
+        case Scope::kBlock:
+            return ev.block;
+        case Scope::kActorBlock:
+            return (static_cast<std::uint64_t>(ev.actor) << 32) | ev.block;
+        case Scope::kBlockIndex:
+            return (static_cast<std::uint64_t>(ev.block) << 32) | ev.index;
+        case Scope::kActorBlockIndex:
+            MCAUTH_EXPECTS(ev.actor < (1u << 16) && ev.block < (1u << 24) &&
+                           ev.index < (1u << 24));
+            return (static_cast<std::uint64_t>(ev.actor) << 48) |
+                   (static_cast<std::uint64_t>(ev.block) << 24) | ev.index;
+    }
+    return 0;
+}
+
+std::string describe_event(const Event& ev) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s{block=%u, index=%u, actor=%u, value=%g}",
+                  event_name(ev.id), ev.block, ev.index, ev.actor, ev.value);
+    return buf;
+}
+
+}  // namespace
+
+std::string ConformanceReport::render_text() const {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "suite %s: %s (%zu rules, %llu events, %llu violations%s)\n",
+                  suite.c_str(), ok() ? "PASS" : "FAIL", rules,
+                  static_cast<unsigned long long>(events_seen),
+                  static_cast<unsigned long long>(total_violations),
+                  partial ? ", partial trace" : "");
+    std::string out = head;
+    for (const Violation& v : violations)
+        out += "  [" + v.rule + "] " + v.message + "\n";
+    if (total_violations > violations.size())
+        out += "  ... " +
+               std::to_string(total_violations - violations.size()) +
+               " more\n";
+    return out;
+}
+
+ExpectationSuite& ExpectationSuite::expect(std::string rule_name,
+                                           EventId subject,
+                                           std::function<bool(const Event&)> pred,
+                                           std::string description) {
+    Rule rule;
+    rule.kind = Rule::Kind::kPredicate;
+    rule.name = std::move(rule_name);
+    rule.description = std::move(description);
+    rule.subject = subject;
+    rule.predicate = std::move(pred);
+    rules_.push_back(std::move(rule));
+    return *this;
+}
+
+ExpectationSuite& ExpectationSuite::require_before(std::string rule_name,
+                                                   EventId subject,
+                                                   EventId anchor, Scope scope,
+                                                   bool anchor_signature_only) {
+    Rule rule;
+    rule.kind = Rule::Kind::kPrecedence;
+    rule.name = std::move(rule_name);
+    rule.subject = subject;
+    rule.anchor = anchor;
+    rule.scope = scope;
+    rule.anchor_signature_only = anchor_signature_only;
+    rules_.push_back(std::move(rule));
+    return *this;
+}
+
+ExpectationSuite& ExpectationSuite::forbid_after(std::string rule_name,
+                                                 EventId anchor,
+                                                 EventId subject, Scope scope) {
+    Rule rule;
+    rule.kind = Rule::Kind::kForbidAfter;
+    rule.name = std::move(rule_name);
+    rule.subject = subject;
+    rule.anchor = anchor;
+    rule.scope = scope;
+    rules_.push_back(std::move(rule));
+    return *this;
+}
+
+ExpectationSuite& ExpectationSuite::within_blocks(std::string rule_name,
+                                                  EventId trigger,
+                                                  EventId response,
+                                                  std::uint32_t max_lag_blocks) {
+    MCAUTH_EXPECTS(max_lag_blocks < ConformanceChecker::kBlockWindow);
+    Rule rule;
+    rule.kind = Rule::Kind::kBoundedLag;
+    rule.name = std::move(rule_name);
+    rule.anchor = trigger;
+    rule.subject = response;
+    rule.max_lag_blocks = max_lag_blocks;
+    rules_.push_back(std::move(rule));
+    return *this;
+}
+
+ExpectationSuite& ExpectationSuite::include(const ExpectationSuite& other) {
+    for (const Rule& rule : other.rules()) rules_.push_back(rule);
+    return *this;
+}
+
+ConformanceChecker::ConformanceChecker(const ExpectationSuite& suite,
+                                       bool skip_partial)
+    : suite_(suite), skip_partial_(skip_partial) {
+    report_.suite = suite.name();
+    report_.rules = suite.rules().size();
+    report_.partial = skip_partial;
+    precedence_.resize(suite.rules().size());
+    lag_.resize(suite.rules().size());
+}
+
+void ConformanceChecker::add_violation(const Rule& rule, const Event& ev,
+                                       std::string message) {
+    ++report_.total_violations;
+    if (report_.violations.size() < ConformanceReport::kMaxDetailedViolations) {
+        Violation v;
+        v.rule = rule.name;
+        v.message = std::move(message);
+        v.event = ev;
+        report_.violations.push_back(std::move(v));
+    }
+}
+
+void ConformanceChecker::prune(std::uint32_t watermark) {
+    // Amortize: only sweep when the watermark has moved a quarter-window
+    // past the last sweep.
+    if (watermark < pruned_below_ + kBlockWindow / 4) return;
+    pruned_below_ = watermark;
+    const std::uint32_t low =
+        watermark > kBlockWindow ? watermark - kBlockWindow : 0;
+    for (PrecedenceState& state : precedence_) {
+        for (auto it = state.anchors.begin(); it != state.anchors.end();) {
+            if (it->second < low)
+                it = state.anchors.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+bool ConformanceChecker::in_partial_prefix(const Event& ev) {
+    // On a wrapped trace, each actor's first observed block may be missing
+    // its earlier events (the ring retains a contiguous suffix, so every
+    // later block is complete). Suppress anchor-dependent checks there.
+    if (!skip_partial_) return false;
+    const auto it = first_block_.find(ev.actor);
+    return it != first_block_.end() && ev.block <= it->second;
+}
+
+void ConformanceChecker::on_event(const Event& ev) {
+    MCAUTH_EXPECTS(!finished_);
+    ++report_.events_seen;
+    first_block_.emplace(ev.actor, ev.block);
+    if (ev.block > max_block_) {
+        max_block_ = ev.block;
+        prune(max_block_);
+    }
+
+    const std::vector<Rule>& rules = suite_.rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        const Rule& rule = rules[i];
+        switch (rule.kind) {
+            case Rule::Kind::kPredicate:
+                if (ev.id == rule.subject && !rule.predicate(ev))
+                    add_violation(rule, ev,
+                                  describe_event(ev) + " fails predicate (" +
+                                      rule.description + ")");
+                break;
+            case Rule::Kind::kPrecedence: {
+                PrecedenceState& state = precedence_[i];
+                if (ev.id == rule.anchor &&
+                    (!rule.anchor_signature_only || ev.value == 1.0)) {
+                    state.anchors.emplace(scope_key(rule.scope, ev), ev.block);
+                }
+                if (ev.id == rule.subject && !in_partial_prefix(ev) &&
+                    state.anchors.find(scope_key(rule.scope, ev)) ==
+                        state.anchors.end()) {
+                    add_violation(rule, ev,
+                                  describe_event(ev) + " without prior " +
+                                      event_name(rule.anchor) +
+                                      (rule.anchor_signature_only
+                                           ? " (signature)"
+                                           : "") +
+                                      " in scope");
+                }
+                break;
+            }
+            case Rule::Kind::kForbidAfter: {
+                PrecedenceState& state = precedence_[i];
+                if (ev.id == rule.anchor)
+                    state.anchors.emplace(scope_key(rule.scope, ev), ev.block);
+                if (ev.id == rule.subject && !in_partial_prefix(ev) &&
+                    state.anchors.find(scope_key(rule.scope, ev)) !=
+                        state.anchors.end()) {
+                    add_violation(rule, ev,
+                                  describe_event(ev) + " after " +
+                                      event_name(rule.anchor) + " in scope");
+                }
+                break;
+            }
+            case Rule::Kind::kBoundedLag: {
+                LagState& state = lag_[i];
+                if (ev.id == rule.anchor) state.pending.push_back(ev);
+                if (ev.id == rule.subject) {
+                    // A response answers every trigger whose window it falls
+                    // inside (a single redesign can serve coincident shifts).
+                    std::erase_if(state.pending, [&](const Event& trig) {
+                        return ev.block >= trig.block &&
+                               ev.block <= trig.block + rule.max_lag_blocks;
+                    });
+                }
+                // Expire triggers whose window the stream has moved past.
+                for (auto it = state.pending.begin();
+                     it != state.pending.end();) {
+                    if (max_block_ > it->block + rule.max_lag_blocks) {
+                        add_violation(rule, *it,
+                                      "no " +
+                                          std::string(event_name(rule.subject)) +
+                                          " within " +
+                                          std::to_string(rule.max_lag_blocks) +
+                                          " blocks of " + describe_event(*it));
+                        it = state.pending.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+ConformanceReport ConformanceChecker::finish() {
+    MCAUTH_EXPECTS(!finished_);
+    finished_ = true;
+    // Triggers whose deadline already passed relative to the last block seen
+    // are violations; windows still open when the trace ends are not (the
+    // run simply stopped inside them).
+    const std::vector<Rule>& rules = suite_.rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (rules[i].kind != Rule::Kind::kBoundedLag) continue;
+        for (const Event& trig : lag_[i].pending) {
+            if (max_block_ > trig.block + rules[i].max_lag_blocks)
+                add_violation(rules[i], trig,
+                              "no " +
+                                  std::string(event_name(rules[i].subject)) +
+                                  " within " +
+                                  std::to_string(rules[i].max_lag_blocks) +
+                                  " blocks of " + describe_event(trig));
+        }
+    }
+    return report_;
+}
+
+struct OnlineConformance::Sink : EventSink {
+    explicit Sink(const ExpectationSuite& suite)
+        : checker(suite, /*skip_partial=*/false) {}
+    void on_event(const Event& ev) override {
+        std::lock_guard<std::mutex> lock(mu);
+        checker.on_event(ev);
+    }
+    std::mutex mu;
+    ConformanceChecker checker;
+};
+
+OnlineConformance::OnlineConformance(const ExpectationSuite& suite)
+    : sink_(std::make_unique<Sink>(suite)) {
+    set_event_sink(sink_.get());
+}
+
+OnlineConformance::~OnlineConformance() {
+    if (!finished_) finish();
+}
+
+ConformanceReport OnlineConformance::finish() {
+    if (finished_) return report_;
+    finished_ = true;
+    // Uninstall only if we are still the installed sink (a nested scope may
+    // have replaced us — last writer wins, mirroring set_event_sink).
+    if (event_sink() == sink_.get()) set_event_sink(nullptr);
+    std::lock_guard<std::mutex> lock(sink_->mu);
+    report_ = sink_->checker.finish();
+    return report_;
+}
+
+namespace {
+
+std::vector<ExpectationSuite> build_builtin_suites() {
+    const auto is_probability = [](const Event& ev) {
+        return std::isfinite(ev.value) && ev.value >= 0.0 && ev.value <= 1.0;
+    };
+    const auto is_binary_flag = [](const Event& ev) {
+        return ev.value == 0.0 || ev.value == 1.0;
+    };
+
+    // stream-core: packet conservation + estimate sanity. Holds for every
+    // scheme (sign-each, tree, hash-chain, TESLA) and every channel.
+    ExpectationSuite stream_core("stream-core");
+    stream_core
+        .expect("emitted-flag-binary", EventId::kPacketEmitted, is_binary_flag,
+                "PacketEmitted value is the 0/1 signature flag")
+        .expect("received-flag-binary", EventId::kPacketReceived, is_binary_flag,
+                "PacketReceived value is the 0/1 signature flag")
+        .expect("qhat-in-unit-interval", EventId::kQHatUpdated, is_probability,
+                "receiver loss estimate stays a finite probability")
+        .require_before("received-implies-emitted", EventId::kPacketReceived,
+                        EventId::kPacketEmitted, Scope::kBlockIndex)
+        .require_before("verified-implies-received", EventId::kPacketVerified,
+                        EventId::kPacketReceived, Scope::kActorBlockIndex);
+
+    // hash-chain: the Chan03 signature-rooted-path guarantees. A packet can
+    // only authenticate once its block's signature packet has arrived, and
+    // never once the signature is known lost.
+    ExpectationSuite hash_chain("hash-chain");
+    hash_chain.include(stream_core)
+        .require_before("verified-needs-signature", EventId::kPacketVerified,
+                        EventId::kPacketReceived, Scope::kActorBlock,
+                        /*anchor_signature_only=*/true)
+        .forbid_after("no-verify-after-sig-loss", EventId::kSignatureLost,
+                      EventId::kPacketVerified, Scope::kActorBlock);
+
+    // adaptive-loop: the closed-loop reaction-time contract on top of the
+    // hash-chain rules.
+    ExpectationSuite adaptive("adaptive-loop");
+    adaptive.include(hash_chain)
+        .expect("feedback-qhat-valid", EventId::kFeedbackReceived,
+                is_probability, "accepted feedback carries a valid estimate")
+        .expect("redesign-has-reason", EventId::kRedesignTriggered,
+                [](const Event& ev) { return ev.index >= 1 && ev.index <= 3; },
+                "RedesignTriggered carries a known reason code")
+        .within_blocks("redesign-follows-regime", EventId::kRegimeShift,
+                       EventId::kRedesignTriggered, 16);
+
+    std::vector<ExpectationSuite> suites;
+    suites.push_back(std::move(stream_core));
+    suites.push_back(std::move(hash_chain));
+    suites.push_back(std::move(adaptive));
+    return suites;
+}
+
+const std::vector<ExpectationSuite>& builtin_suites() {
+    static const std::vector<ExpectationSuite> suites = build_builtin_suites();
+    return suites;
+}
+
+}  // namespace
+
+const ExpectationSuite* find_suite(std::string_view name) {
+    for (const ExpectationSuite& suite : builtin_suites())
+        if (suite.name() == name) return &suite;
+    return nullptr;
+}
+
+std::vector<std::string> suite_names() {
+    std::vector<std::string> names;
+    for (const ExpectationSuite& suite : builtin_suites())
+        names.push_back(suite.name());
+    return names;
+}
+
+ConformanceReport check_events(const ExpectationSuite& suite,
+                               const std::vector<Event>& events,
+                               std::uint64_t dropped_events) {
+    ConformanceChecker checker(suite, /*skip_partial=*/dropped_events > 0);
+    for (const Event& ev : events) checker.on_event(ev);
+    return checker.finish();
+}
+
+}  // namespace mcauth::obs

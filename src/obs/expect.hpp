@@ -1,0 +1,224 @@
+// Declarative trace expectations — invariants over the structured event
+// stream (obs/events.hpp), checked online while a run executes and offline
+// over exported JSONL (tools/trace_check).
+//
+// A suite is a named bundle of rules built with a small chaining DSL:
+//
+//   ExpectationSuite suite("hash-chain");
+//   suite.expect("qhat-in-unit-interval", EventId::kQHatUpdated,
+//                [](const Event& e) { return e.value >= 0.0 && e.value <= 1.0; },
+//                "receiver loss estimate stays a probability")
+//        .require_before("verified-needs-signature", EventId::kPacketVerified,
+//                        EventId::kPacketReceived, Scope::kActorBlock,
+//                        /*anchor_signature_only=*/true)
+//        .forbid_after("no-verify-after-sig-loss", EventId::kSignatureLost,
+//                      EventId::kPacketVerified, Scope::kActorBlock)
+//        .within_blocks("redesign-follows-regime", EventId::kRegimeShift,
+//                       EventId::kRedesignTriggered, 16);
+//
+// Four rule classes cover the Chan–Perrig–Song guarantees end to end:
+//
+//   predicate   — a per-event check on {block, index, actor, value}
+//   precedence  — subject event requires a matching anchor event earlier in
+//                 the stream (same scope key); the signature-only variant
+//                 is "no PacketVerified unless a signature packet for that
+//                 (receiver, block) was received first" — the trace-level
+//                 shadow of the signature-rooted-path theorem
+//   forbid-after — once the anchor occurs in a scope, the subject must not
+//                 (a verify after SignatureLost would be a forged path)
+//   bounded-lag — a response event must occur within k blocks of each
+//                 trigger (the adaptive loop's reaction-time contract)
+//
+// Evaluation is streaming with bounded state: scope keys are pruned once
+// the block watermark moves kBlockWindow past them, so a checker holds a
+// sliding window of recent blocks no matter how long the run is. The same
+// ConformanceChecker runs online (installed as the EventSink for the
+// duration of a run via OnlineConformance) and offline (trace_check feeds
+// it parsed JSONL) — verdict identity between the two is a tested property.
+//
+// Partial traces: when the trace ring wrapped (dropped_events > 0 in the
+// JSONL meta line), the earliest retained blocks may be missing their
+// anchors. With skip_partial set, precedence and forbid-after checks are
+// suppressed for each actor's first observed block — everything after the
+// first retained event is contiguous history and is checked in full.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace mcauth::obs {
+
+/// Which event fields form the matching key between anchor and subject.
+/// Packing limits (keys are packed into 64 bits): kActorBlockIndex requires
+/// actor < 2^16, block < 2^24, index < 2^24 — far beyond any committed
+/// scenario; the others are exact.
+enum class Scope : std::uint8_t {
+    kBlock,            // {block}
+    kActorBlock,       // {actor, block}
+    kBlockIndex,       // {block, index}
+    kActorBlockIndex,  // {actor, block, index}
+};
+
+struct Rule {
+    enum class Kind : std::uint8_t {
+        kPredicate,
+        kPrecedence,
+        kForbidAfter,
+        kBoundedLag,
+    };
+
+    Kind kind = Kind::kPredicate;
+    std::string name;
+    std::string description;
+    EventId subject = EventId::kNone;  // the event this rule judges
+    EventId anchor = EventId::kNone;   // prior/trigger event (non-predicate kinds)
+    Scope scope = Scope::kActorBlock;
+    bool anchor_signature_only = false;  // anchor must carry value == 1
+    std::uint32_t max_lag_blocks = 0;    // kBoundedLag only
+    std::function<bool(const Event&)> predicate;  // kPredicate only
+};
+
+struct Violation {
+    std::string rule;
+    std::string message;
+    Event event;  // the offending event (or the expired trigger for lag rules)
+};
+
+struct ConformanceReport {
+    std::string suite;
+    std::size_t rules = 0;
+    std::uint64_t events_seen = 0;
+    std::uint64_t total_violations = 0;
+    bool partial = false;  // checked a wrapped (truncated) trace
+    /// First kMaxDetailedViolations violations with context; the total above
+    /// keeps counting past the cap.
+    std::vector<Violation> violations;
+
+    static constexpr std::size_t kMaxDetailedViolations = 16;
+
+    bool ok() const noexcept { return total_violations == 0; }
+    /// Human-readable verdict block (one line per violation) for CLI/bench
+    /// output.
+    std::string render_text() const;
+};
+
+class ExpectationSuite {
+public:
+    explicit ExpectationSuite(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const noexcept { return name_; }
+    const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+    /// predicate: every `subject` event must satisfy `pred`.
+    ExpectationSuite& expect(std::string rule_name, EventId subject,
+                             std::function<bool(const Event&)> pred,
+                             std::string description);
+    /// precedence: a `subject` event requires a prior `anchor` event with the
+    /// same scope key (optionally restricted to signature packets).
+    ExpectationSuite& require_before(std::string rule_name, EventId subject,
+                                     EventId anchor, Scope scope,
+                                     bool anchor_signature_only = false);
+    /// forbid-after: once `anchor` occurs in a scope, `subject` must not.
+    ExpectationSuite& forbid_after(std::string rule_name, EventId anchor,
+                                   EventId subject, Scope scope);
+    /// bounded-lag: each `trigger` demands a `response` within `max_lag_blocks`
+    /// blocks (inclusive; lag 0 = same block).
+    ExpectationSuite& within_blocks(std::string rule_name, EventId trigger,
+                                    EventId response,
+                                    std::uint32_t max_lag_blocks);
+
+    /// Append every rule of `other` (suite layering: adaptive-loop extends
+    /// hash-chain extends stream-core).
+    ExpectationSuite& include(const ExpectationSuite& other);
+
+private:
+    std::string name_;
+    std::vector<Rule> rules_;
+};
+
+/// Streaming evaluator with bounded per-block state. Feed events in stream
+/// order; call finish() once to flush pending bounded-lag windows and take
+/// the report. Not thread-safe — OnlineConformance adds the lock.
+class ConformanceChecker {
+public:
+    /// Scope keys older than this many blocks behind the watermark are
+    /// pruned. Must exceed every suite's max_lag_blocks and any in-flight
+    /// block span of the instrumented pipelines.
+    static constexpr std::uint32_t kBlockWindow = 64;
+
+    explicit ConformanceChecker(const ExpectationSuite& suite,
+                                bool skip_partial = false);
+
+    void on_event(const Event& ev);
+    ConformanceReport finish();
+
+private:
+    struct PrecedenceState {
+        // key -> block it was seen in (block kept for pruning)
+        std::unordered_map<std::uint64_t, std::uint32_t> anchors;
+    };
+    struct LagState {
+        std::vector<Event> pending;  // unanswered triggers
+    };
+
+    void add_violation(const Rule& rule, const Event& ev, std::string message);
+    void prune(std::uint32_t watermark);
+    bool in_partial_prefix(const Event& ev);
+
+    const ExpectationSuite& suite_;
+    bool skip_partial_;
+    ConformanceReport report_;
+    std::vector<PrecedenceState> precedence_;  // parallel to suite rules
+    std::vector<LagState> lag_;                // parallel to suite rules
+    std::unordered_map<std::uint32_t, std::uint32_t> first_block_;  // actor -> first block seen
+    std::uint32_t max_block_ = 0;
+    std::uint32_t pruned_below_ = 0;
+    bool finished_ = false;
+};
+
+/// RAII online conformance: installs itself as the process EventSink on
+/// construction, uninstalls on finish()/destruction. Events emitted from
+/// any thread are serialized into the checker under a mutex (the committed
+/// scenarios emit from one thread; the lock is for safety, not throughput).
+class OnlineConformance {
+public:
+    explicit OnlineConformance(const ExpectationSuite& suite);
+    ~OnlineConformance();
+
+    OnlineConformance(const OnlineConformance&) = delete;
+    OnlineConformance& operator=(const OnlineConformance&) = delete;
+
+    /// Uninstall the sink and return the verdict. Idempotent.
+    ConformanceReport finish();
+
+private:
+    struct Sink;
+    std::unique_ptr<Sink> sink_;
+    ConformanceReport report_;
+    bool finished_ = false;
+};
+
+/// Built-in suite registry. Tiered:
+///   stream-core   — packet-conservation + estimate-sanity rules every
+///                   scheme satisfies
+///   hash-chain    — adds the signature-precedence and no-verify-after-loss
+///                   rules of the Chan03 construction
+///   adaptive-loop — adds the feedback/redesign reaction-time contract
+/// Returns nullptr for unknown names.
+const ExpectationSuite* find_suite(std::string_view name);
+std::vector<std::string> suite_names();
+
+/// Run a full offline check over parsed events. `dropped_events` comes from
+/// the JSONL meta line; nonzero enables skip_partial and marks the report
+/// partial.
+ConformanceReport check_events(const ExpectationSuite& suite,
+                               const std::vector<Event>& events,
+                               std::uint64_t dropped_events);
+
+}  // namespace mcauth::obs

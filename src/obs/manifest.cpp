@@ -151,8 +151,38 @@ std::string RunManifest::to_json(int indent) const {
         first = false;
         out += field_pad + "  \"" + json_escape(name) + "\": " + std::to_string(value);
     }
-    out += first ? "}\n" : "\n" + field_pad + "}\n";
-    out += pad + "}";
+    out += first ? "}" : "\n" + field_pad + "}";
+    if (!conformance.empty()) {
+        out += ",\n" + field_pad + "\"conformance\": [";
+        bool first_entry = true;
+        for (const ConformanceEntry& entry : conformance) {
+            out += first_entry ? "\n" : ",\n";
+            first_entry = false;
+            const std::string epad = field_pad + "  ";
+            out += epad + "{\n";
+            out += epad + "  \"suite\": \"" + json_escape(entry.suite) + "\",\n";
+            out += epad + "  \"scenario\": \"" + json_escape(entry.scenario) +
+                   "\",\n";
+            out += epad + "  \"rules\": " + std::to_string(entry.rules) + ",\n";
+            out += epad + "  \"events\": " + std::to_string(entry.events) + ",\n";
+            out += epad +
+                   "  \"violations\": " + std::to_string(entry.violations) +
+                   ",\n";
+            out += epad + "  \"partial\": " +
+                   (entry.partial ? "true" : "false") + ",\n";
+            out += epad + "  \"details\": [";
+            bool first_detail = true;
+            for (const std::string& detail : entry.details) {
+                out += first_detail ? "\n" : ",\n";
+                first_detail = false;
+                out += epad + "    \"" + json_escape(detail) + "\"";
+            }
+            out += first_detail ? "]\n" : "\n" + epad + "  ]\n";
+            out += epad + "}";
+        }
+        out += "\n" + field_pad + "]";
+    }
+    out += "\n" + pad + "}";
     return out;
 }
 

@@ -52,6 +52,23 @@ struct RunManifest {
     /// moment the manifest was written); informational, never gated on.
     std::vector<std::pair<std::string, std::uint64_t>> metrics_counters;
 
+    /// One expectation-suite verdict (obs/expect.hpp). Unlike the counters
+    /// above, conformance IS gated on: bench_compare exits nonzero when the
+    /// current file carries any violations, --report-only notwithstanding.
+    struct ConformanceEntry {
+        std::string suite;     ///< expectation-suite name
+        std::string scenario;  ///< which part of the run ("" = whole run)
+        std::uint64_t rules = 0;
+        std::uint64_t events = 0;
+        std::uint64_t violations = 0;
+        bool partial = false;  ///< trace ring wrapped; precedence checks relaxed
+        std::vector<std::string> details;  ///< first few violation messages
+    };
+    /// Emitted as a "conformance" array only when non-empty, so manifests
+    /// from runs without suites render byte-identically to schema-v2 files
+    /// that predate conformance.
+    std::vector<ConformanceEntry> conformance;
+
     /// Fill every field from the build, the machine and the run parameters.
     /// Deterministic except for timestamp_utc and the machine probes.
     static RunManifest collect(std::string bench, std::uint64_t seed,

@@ -9,6 +9,8 @@
 //   MCAUTH_OBS_SPAN("sim.verify");                      // RAII span to the
 //                                                       // histogram + trace
 //   MCAUTH_OBS_INSTANT("sim.block_done");               // trace marker
+//   MCAUTH_OBS_EVENT(kPacketVerified, blk, idx, rcvr, 0);  // structured
+//                                                       // event (events.hpp)
 //
 // Keys must be string literals: each macro resolves its registry entry once
 // (function-local static) and thereafter costs one relaxed-atomic op behind
@@ -17,6 +19,7 @@
 // the instrumentation itself is not part of the measurement.
 #pragma once
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/timer.hpp"
@@ -75,6 +78,20 @@
             ::mcauth::obs::TraceRecorder::global().record(key, 'i');      \
     } while (0)
 
+// Structured event (events.hpp). `id` is an EventId enumerator name
+// (without the EventId:: qualifier). Same gating as MCAUTH_OBS_INSTANT so
+// benches that disable tracing pay only the two runtime-flag loads.
+#define MCAUTH_OBS_EVENT(id, block, index, actor, value)                     \
+    do {                                                                     \
+        if (::mcauth::obs::enabled() && ::mcauth::obs::trace_enabled())      \
+            ::mcauth::obs::emit_event(                                       \
+                ::mcauth::obs::EventId::id,                                  \
+                static_cast<std::uint32_t>(block),                           \
+                static_cast<std::uint32_t>(index),                           \
+                static_cast<std::uint32_t>(actor),                           \
+                static_cast<double>(value));                                 \
+    } while (0)
+
 #else  // !MCAUTH_OBS_ENABLED
 
 #define MCAUTH_OBS_COUNT_N(key, n) ((void)0)
@@ -83,5 +100,15 @@
 #define MCAUTH_OBS_RECORD_NS(key, ns) ((void)0)
 #define MCAUTH_OBS_SPAN(key) ((void)0)
 #define MCAUTH_OBS_INSTANT(key) ((void)0)
+// Swallow the payload expressions so variables computed only for emission
+// don't warn as unused in instrumentation-free builds. `id` is a bare
+// EventId enumerator token and cannot be evaluated here.
+#define MCAUTH_OBS_EVENT(id, block, index, actor, value) \
+    do {                                                 \
+        (void)(block);                                   \
+        (void)(index);                                   \
+        (void)(actor);                                   \
+        (void)(value);                                   \
+    } while (0)
 
 #endif  // MCAUTH_OBS_ENABLED

@@ -37,6 +37,12 @@ std::string json_escape_name(const char* name) {
     return out;
 }
 
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
 }  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
@@ -50,12 +56,31 @@ void TraceRecorder::record(const char* name, char phase) noexcept {
 
 void TraceRecorder::record_at(const char* name, char phase,
                               std::uint64_t ts_ns) noexcept {
+    write_slot(name, phase, ts_ns, 0, 0, 0, 0, 0.0);
+}
+
+void TraceRecorder::record_structured(const char* name, std::uint16_t id,
+                                      std::uint32_t block, std::uint32_t index,
+                                      std::uint32_t actor, double value,
+                                      std::uint64_t ts_ns) noexcept {
+    write_slot(name, 'i', ts_ns, id, block, index, actor, value);
+}
+
+void TraceRecorder::write_slot(const char* name, char phase, std::uint64_t ts_ns,
+                               std::uint16_t id, std::uint32_t block,
+                               std::uint32_t index, std::uint32_t actor,
+                               double value) noexcept {
     const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
     Slot& slot = ring_[idx % capacity_];
     slot.name.store(name, std::memory_order_relaxed);
     slot.phase.store(phase, std::memory_order_relaxed);
     slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
     slot.tid.store(this_thread_id(), std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_relaxed);
+    slot.block.store(block, std::memory_order_relaxed);
+    slot.index.store(index, std::memory_order_relaxed);
+    slot.actor.store(actor, std::memory_order_relaxed);
+    slot.value.store(value, std::memory_order_relaxed);
     // Publish: the stamp is the reader's proof the fields above are complete.
     slot.seq.store(idx + 1, std::memory_order_release);
 }
@@ -96,6 +121,11 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
             ev.phase = slot.phase.load(std::memory_order_relaxed);
             ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
             ev.tid = slot.tid.load(std::memory_order_relaxed);
+            ev.id = slot.id.load(std::memory_order_relaxed);
+            ev.block = slot.block.load(std::memory_order_relaxed);
+            ev.index = slot.index.load(std::memory_order_relaxed);
+            ev.actor = slot.actor.load(std::memory_order_relaxed);
+            ev.value = slot.value.load(std::memory_order_relaxed);
             std::atomic_thread_fence(std::memory_order_acquire);
             if (slot.seq.load(std::memory_order_relaxed) == s1) {
                 out.push_back(ev);
@@ -107,7 +137,8 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 }
 
 std::string TraceRecorder::to_json() const {
-    std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    std::string out = "{\"displayTimeUnit\": \"ms\", \"dropped_events\": " +
+                      std::to_string(dropped()) + ", \"traceEvents\": [";
     bool first = true;
     for (const TraceEvent& ev : snapshot()) {
         if (ev.name == nullptr) continue;
@@ -125,6 +156,13 @@ std::string TraceRecorder::to_json() const {
         out += ", \"ts\": ";
         out += ts;
         if (ev.phase == 'i') out += ", \"s\": \"t\"";
+        if (ev.id != 0) {
+            out += ", \"args\": {\"id\": " + std::to_string(ev.id);
+            out += ", \"block\": " + std::to_string(ev.block);
+            out += ", \"index\": " + std::to_string(ev.index);
+            out += ", \"actor\": " + std::to_string(ev.actor);
+            out += ", \"value\": " + format_double(ev.value) + "}";
+        }
         out += "}";
     }
     out += first ? "]}\n" : "\n]}\n";

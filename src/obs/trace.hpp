@@ -9,6 +9,17 @@
 // and the ScopedTimer spans from the simulator render as a flame graph per
 // phase.
 //
+// Beyond plain named spans/instants, a slot can carry a *structured*
+// payload (obs/events.hpp): a stable numeric event id plus
+// {block, index, actor, value} fields. Structured events render in the
+// Chrome view as instants with an "args" object and export losslessly to
+// JSONL for the conformance checker (obs/expect.hpp). The recorder itself
+// stays schema-agnostic — ids and field meanings live in events.hpp.
+//
+// Ring wraparound is never silent: dropped() counts overwritten events and
+// every exporter (Chrome JSON here, JSONL in events.cpp) embeds the count,
+// so a reader can tell "empty history" from "truncated history".
+//
 // Concurrency: every slot field is an atomic, and each slot carries a
 // sequence stamp (the event ordinal + 1) published with release ordering
 // after the fields. snapshot() validates the stamp before and after copying
@@ -34,6 +45,12 @@ struct TraceEvent {
     char phase = 'i';  // 'B' begin, 'E' end, 'i' instant
     std::uint64_t ts_ns = 0;
     std::uint32_t tid = 0;
+    // Structured payload (obs/events.hpp); id 0 = plain span/instant.
+    std::uint16_t id = 0;
+    std::uint32_t block = 0;
+    std::uint32_t index = 0;
+    std::uint32_t actor = 0;
+    double value = 0.0;
 };
 
 class TraceRecorder {
@@ -47,6 +64,11 @@ public:
     /// Record with an explicit timestamp (ScopedTimer reads the clock once
     /// and shares the value between histogram and trace).
     void record_at(const char* name, char phase, std::uint64_t ts_ns) noexcept;
+    /// Record a structured event (id != 0) with its payload fields; rendered
+    /// as an instant with args in the Chrome view, decoded by events.hpp.
+    void record_structured(const char* name, std::uint16_t id, std::uint32_t block,
+                           std::uint32_t index, std::uint32_t actor, double value,
+                           std::uint64_t ts_ns) noexcept;
 
     std::size_t capacity() const noexcept { return capacity_; }
     /// Events currently retained (<= capacity).
@@ -67,6 +89,8 @@ public:
     std::vector<TraceEvent> snapshot() const;
 
     /// Chrome trace-event JSON ({"traceEvents": [...]}; ts in microseconds).
+    /// The top-level "dropped_events" field counts ring-wrap losses so a
+    /// truncated window is never mistaken for complete history.
     std::string to_json() const;
     /// Write to_json() to `path`; false on I/O failure.
     bool write_json(const std::string& path) const;
@@ -84,7 +108,16 @@ private:
         std::atomic<std::uint64_t> ts_ns{0};
         std::atomic<std::uint32_t> tid{0};
         std::atomic<char> phase{'i'};
+        std::atomic<std::uint16_t> id{0};
+        std::atomic<std::uint32_t> block{0};
+        std::atomic<std::uint32_t> index{0};
+        std::atomic<std::uint32_t> actor{0};
+        std::atomic<double> value{0.0};
     };
+
+    void write_slot(const char* name, char phase, std::uint64_t ts_ns,
+                    std::uint16_t id, std::uint32_t block, std::uint32_t index,
+                    std::uint32_t actor, double value) noexcept;
 
     std::unique_ptr<Slot[]> ring_;  // atomics are immovable; unique_ptr array
     std::size_t capacity_;

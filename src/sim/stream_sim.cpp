@@ -64,6 +64,9 @@ std::vector<Arrival> transmit_block(const std::vector<AuthPacket>& packets,
             const std::size_t copies = (i == sign_index) ? sign_copies : 1;
             for (std::size_t c = 0; c < copies; ++c) {
                 ++sent_counter;
+                MCAUTH_OBS_EVENT(kPacketEmitted, packets[i].block_id,
+                                 packets[i].index, 0,
+                                 i == sign_index ? 1.0 : 0.0);
                 if (const auto at = channel.transmit(clock, rng))
                     arrivals.push_back({*at, i});
                 clock += t_transmit;
@@ -137,10 +140,13 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
     double clock = traits.clock_start_slots * sim.t_transmit;
     double block_start = 0.0;
 
+    // Actor 1 is the single receiver of this sim (0 is the sender).
     const auto deliver = [&](const AuthPacket& pkt, double at) {
         if (first_arrival.emplace(pkt.index, at).second) {
             ++stats.packets_received;
             tally.on_received(pkt.index);
+            MCAUTH_OBS_EVENT(kPacketReceived, pkt.block_id, pkt.index, 1,
+                             pkt.kind == PacketKind::kSignature ? 1.0 : 0.0);
         }
         std::vector<VerifyEvent> events;
         {
@@ -152,6 +158,7 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
                 case VerifyStatus::kAuthenticated: {
                     ++stats.authenticated;
                     tally.on_authenticated(ev.index);
+                    MCAUTH_OBS_EVENT(kPacketVerified, ev.block_id, ev.index, 1, 0.0);
                     const auto it = first_arrival.find(ev.index);
                     MCAUTH_ENSURES(it != first_arrival.end());
                     stats.receiver_delay.add(at - it->second);
@@ -159,9 +166,11 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
                 }
                 case VerifyStatus::kRejected:
                     ++stats.rejected;
+                    MCAUTH_OBS_EVENT(kPacketRejected, ev.block_id, ev.index, 1, 0.0);
                     break;
                 case VerifyStatus::kUnverifiable:
                     ++stats.unverifiable;
+                    MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id, ev.index, 1, 0.0);
                     break;
             }
         }
@@ -200,6 +209,9 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
                     for (std::size_t c = 0; c < copies; ++c) {
                         ++stats.packets_sent;
                         ++transmissions;
+                        MCAUTH_OBS_EVENT(kPacketEmitted, pkt.block_id, pkt.index, 0,
+                                         pkt.kind == PacketKind::kSignature ? 1.0
+                                                                            : 0.0);
                         const double send_time =
                             traits.pacing == Pacing::kBlockMultiplicative
                                 ? block_start + static_cast<double>(i) * sim.t_transmit
@@ -225,6 +237,22 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
             } else {
                 MCAUTH_ENSURES(arrivals.empty());
             }
+#if MCAUTH_OBS_ENABLED
+            // Signature-loss marker for block-scoped schemes: the block's
+            // P_sign (incl. every replica) never arrived. Emitted after the
+            // block's deliveries, so a later PacketVerified in the same
+            // (actor, block) scope is a checker-visible contradiction.
+            if (obs::enabled() && obs::trace_enabled() &&
+                traits.delivery != Delivery::kStreamArrivalOrder) {
+                for (const AuthPacket& pkt : packets) {
+                    if (pkt.kind != PacketKind::kSignature) continue;
+                    if (first_arrival.find(pkt.index) == first_arrival.end())
+                        obs::emit_event(obs::EventId::kSignatureLost,
+                                        pkt.block_id, 0, 1, 0.0);
+                    break;
+                }
+            }
+#endif
         } else {
             // Stream codecs: payload drawn, packet built and transmitted one
             // at a time (the codec may be stateful in send time).
@@ -240,6 +268,8 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
                     static_cast<double>(pkt.wire_size() - sim.payload_bytes);
                 ++stats.packets_sent;
                 ++transmissions;
+                MCAUTH_OBS_EVENT(kPacketEmitted, pkt.block_id, pkt.index, 0,
+                                 pkt.kind == PacketKind::kSignature ? 1.0 : 0.0);
                 std::optional<double> at;
                 {
                     MCAUTH_OBS_SPAN("sim.emit");
@@ -260,7 +290,11 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
         if (traits.per_block_finish) {
             for (const VerifyEvent& ev :
                  receiver.finish_block(static_cast<std::uint32_t>(b))) {
-                if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
+                if (ev.status == VerifyStatus::kUnverifiable) {
+                    ++stats.unverifiable;
+                    MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id, ev.index, 1,
+                                     0.0);
+                }
             }
         }
         if (traits.pacing == Pacing::kBlockIncremental)
@@ -278,7 +312,10 @@ SimStats run_scheme_sim(SchemeSender& sender, SchemeReceiver& receiver, Channel&
             deliver(stream_packets[a.packet], a.time);
     }
     for (const VerifyEvent& ev : receiver.finish_all())
-        if (ev.status == VerifyStatus::kUnverifiable) ++stats.unverifiable;
+        if (ev.status == VerifyStatus::kUnverifiable) {
+            ++stats.unverifiable;
+            MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id, ev.index, 1, 0.0);
+        }
 
     if (traits.payloads_upfront)
         stats.overhead_bytes_per_packet /= static_cast<double>(sim.blocks);
@@ -365,12 +402,17 @@ MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signe
             const auto arrivals =
                 transmit_block(blocks[b], sign_index, sim.sign_copies, channel, recv_rng,
                                block_start, sim.t_transmit, one.packets_sent);
+            const std::uint32_t actor = static_cast<std::uint32_t>(r) + 1;
             std::map<std::uint32_t, double> arrival_time;
             for (const Arrival& a : arrivals) {
                 const AuthPacket& pkt = blocks[b][a.packet];
                 if (arrival_time.emplace(pkt.index, a.time).second) {
                     ++one.packets_received;
                     tally.on_received(pkt.index);
+                    MCAUTH_OBS_EVENT(kPacketReceived, pkt.block_id, pkt.index,
+                                     actor,
+                                     pkt.kind == PacketKind::kSignature ? 1.0
+                                                                        : 0.0);
                 }
                 for (const VerifyEvent& ev : receiver.on_packet(pkt)) {
                     switch (ev.status) {
@@ -379,21 +421,39 @@ MulticastStats run_multicast_hash_chain_sim(const HashChainConfig& scheme, Signe
                             tally.on_authenticated(ev.index);
                             ++verified_by[b][ev.index];
                             one.receiver_delay.add(a.time - arrival_time.at(ev.index));
+                            MCAUTH_OBS_EVENT(kPacketVerified, ev.block_id,
+                                             ev.index, actor, 0.0);
                             break;
                         case VerifyStatus::kRejected:
                             ++one.rejected;
+                            MCAUTH_OBS_EVENT(kPacketRejected, ev.block_id,
+                                             ev.index, actor, 0.0);
                             break;
                         case VerifyStatus::kUnverifiable:
                             ++one.unverifiable;
+                            MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id,
+                                             ev.index, actor, 0.0);
                             break;
                     }
                 }
                 one.max_buffered_packets =
                     std::max(one.max_buffered_packets, receiver.buffered_packets());
             }
+#if MCAUTH_OBS_ENABLED
+            if (obs::enabled() && obs::trace_enabled()) {
+                const AuthPacket& sig = blocks[b][sign_index];
+                if (arrival_time.find(sig.index) == arrival_time.end())
+                    obs::emit_event(obs::EventId::kSignatureLost, sig.block_id, 0,
+                                    actor, 0.0);
+            }
+#endif
             for (const VerifyEvent& ev :
                  receiver.finish_block(static_cast<std::uint32_t>(b))) {
-                if (ev.status == VerifyStatus::kUnverifiable) ++one.unverifiable;
+                if (ev.status == VerifyStatus::kUnverifiable) {
+                    ++one.unverifiable;
+                    MCAUTH_OBS_EVENT(kPacketUnverifiable, ev.block_id, ev.index,
+                                     actor, 0.0);
+                }
             }
             block_start += static_cast<double>(n + sim.sign_copies - 1) * sim.t_transmit;
         }

@@ -84,6 +84,100 @@ TEST(GilbertElliottEstimator, NoLossesMeansCleanChannel) {
     EXPECT_EQ(fit.loss_rate, 0.0);
     EXPECT_EQ(fit.mean_burst, 1.0);
     EXPECT_EQ(fit.samples, 100u);
+    // Zero-loss leaves p_gb unconstrained: the fit is not identifiable.
+    EXPECT_FALSE(fit.identifiable);
+}
+
+// ---------------------------------------------- degenerate moment windows
+//
+// The moment fit divides by good_ and runs_; these regressions pin down
+// that the all-loss / zero-loss / decayed-away corners produce finite,
+// clamped estimates with identifiable=false instead of NaN/Inf/denormals
+// leaking into feedback reports and redesign decisions.
+
+TEST(GilbertElliottEstimator, AllLossWindowStaysFiniteAndUnidentifiable) {
+    GilbertElliottEstimator est;
+    for (int i = 0; i < 64; ++i) est.observe_packet(true);
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_TRUE(std::isfinite(fit.loss_rate));
+    EXPECT_TRUE(std::isfinite(fit.mean_burst));
+    EXPECT_TRUE(std::isfinite(fit.p_gb));
+    EXPECT_TRUE(std::isfinite(fit.p_bg));
+    EXPECT_GE(fit.loss_rate, 0.0);
+    EXPECT_LE(fit.loss_rate, 1.0);
+    EXPECT_GE(fit.mean_burst, 1.0);
+    // good_ == 0: p_gb was never constrained by an observed good packet.
+    EXPECT_FALSE(fit.identifiable);
+}
+
+TEST(GilbertElliottEstimator, SingleLossRunIsIdentifiableAndFinite) {
+    GilbertElliottEstimator est;
+    est.observe_packet(false);
+    est.observe_packet(true);
+    est.observe_packet(true);
+    est.observe_packet(false);
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_TRUE(fit.identifiable);
+    EXPECT_TRUE(std::isfinite(fit.p_gb));
+    EXPECT_TRUE(std::isfinite(fit.p_bg));
+    EXPECT_NEAR(fit.loss_rate, 0.5, 1e-12);
+    EXPECT_NEAR(fit.mean_burst, 2.0, 1e-12);
+}
+
+TEST(GilbertElliottEstimator, DecayFlushesStatisticsToExactZero) {
+    GilbertElliottEstimator est;
+    est.observe_packet(true);
+    est.observe_packet(false);
+    // Hundreds of decay rounds with no fresh data used to drive the run
+    // statistics into denormal territory — ratios of two denormals are
+    // garbage. They must flush to exact zero and read as the clean channel.
+    for (int i = 0; i < 5000; ++i) est.decay(0.9);
+    EXPECT_EQ(est.lost_packets(), 0.0);
+    EXPECT_EQ(est.loss_runs(), 0.0);
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_EQ(fit.loss_rate, 0.0);
+    EXPECT_EQ(fit.mean_burst, 1.0);
+    EXPECT_FALSE(fit.identifiable);
+    EXPECT_TRUE(std::isfinite(fit.p_gb));
+    EXPECT_TRUE(std::isfinite(fit.p_bg));
+}
+
+TEST(GilbertElliottEstimator, MeanBurstNeverBelowOne) {
+    // decay() between a run's packets can leave lost_ < runs_; the fit must
+    // clamp mean_burst at 1 rather than report sub-packet bursts.
+    GilbertElliottEstimator est;
+    est.observe_packet(true);
+    est.decay(0.25);
+    est.observe_packet(false);
+    const ChannelEstimate fit = est.estimate();
+    EXPECT_GE(fit.mean_burst, 1.0);
+    EXPECT_TRUE(std::isfinite(fit.mean_burst));
+}
+
+TEST(ReceiverMonitor, ChannelFallsBackToEwmaOnAllLossWindows) {
+    ReceiverMonitor monitor(0);
+    // Every packet of every block lost: the GE fit has no good packets to
+    // constrain p_gb, so channel() must report the EWMA rate with
+    // independent-loss burst structure instead of the pinned moment fit.
+    const std::vector<bool> received(32, false);
+    for (std::uint32_t b = 0; b < 8; ++b) monitor.on_block(b, received, false);
+    const ChannelEstimate est = monitor.channel();
+    EXPECT_FALSE(est.identifiable);
+    EXPECT_NEAR(est.loss_rate, monitor.rate().loss_rate(), 1e-12);
+    EXPECT_EQ(est.mean_burst, 1.0);
+    EXPECT_TRUE(std::isfinite(est.p_gb));
+    EXPECT_TRUE(std::isfinite(est.p_bg));
+    EXPECT_GT(est.loss_rate, 0.5);  // EWMA did move toward the carnage
+}
+
+TEST(ReceiverMonitor, ChannelUsesMomentFitWhenIdentifiable) {
+    ReceiverMonitor monitor(0);
+    std::vector<bool> received(32, true);
+    received[10] = received[11] = received[12] = false;  // one 3-burst
+    for (std::uint32_t b = 0; b < 8; ++b) monitor.on_block(b, received, true);
+    const ChannelEstimate est = monitor.channel();
+    EXPECT_TRUE(est.identifiable);
+    EXPECT_NEAR(est.mean_burst, 3.0, 0.2);
 }
 
 // --------------------------------------------------------------- feedback

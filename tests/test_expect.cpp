@@ -1,0 +1,353 @@
+// Expectation engine (obs/expect.hpp): every rule class must catch an
+// injected violation, the online and offline evaluation paths must agree
+// verdict-for-verdict, and the JSONL interchange format must round-trip.
+//
+// The negative paths are the point of this file: a conformance harness that
+// has never been seen to FAIL proves nothing. Each scenario below injects
+// one specific bug — a corrupted hash edge (verify without a signature), a
+// verify after signature loss, a skipped redesign — and pins down that
+// exactly the right rule fires.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+using namespace mcauth::obs;
+
+namespace {
+
+Event make_event(EventId id, std::uint32_t block, std::uint32_t index,
+                 std::uint32_t actor, double value) {
+    Event ev;
+    ev.id = id;
+    ev.block = block;
+    ev.index = index;
+    ev.actor = actor;
+    ev.value = value;
+    return ev;
+}
+
+// Restore process-global obs state after online-checking tests.
+class ExpectTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        set_event_sink(nullptr);
+        set_enabled(true);
+        set_trace_enabled(false);
+        TraceRecorder::global().clear();
+    }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- suite registry
+
+TEST_F(ExpectTest, BuiltinSuitesAreTiered) {
+    const ExpectationSuite* core = find_suite("stream-core");
+    const ExpectationSuite* chain = find_suite("hash-chain");
+    const ExpectationSuite* loop = find_suite("adaptive-loop");
+    ASSERT_NE(core, nullptr);
+    ASSERT_NE(chain, nullptr);
+    ASSERT_NE(loop, nullptr);
+    // Each tier strictly extends the previous one.
+    EXPECT_GT(chain->rules().size(), core->rules().size());
+    EXPECT_GT(loop->rules().size(), chain->rules().size());
+    EXPECT_EQ(find_suite("no-such-suite"), nullptr);
+    EXPECT_EQ(suite_names().size(), 3u);
+}
+
+// ------------------------------------------------- rule class: predicate
+
+TEST_F(ExpectTest, PredicateFlagsOutOfRangeEstimate) {
+    const ExpectationSuite* suite = find_suite("stream-core");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kQHatUpdated, 1, 0, 1, 0.4));
+    events.push_back(make_event(EventId::kQHatUpdated, 2, 0, 1, 1.5));  // bug
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "qhat-in-unit-interval");
+    EXPECT_EQ(report.violations[0].event.block, 2u);
+}
+
+TEST_F(ExpectTest, PredicateFlagsNonFiniteEstimate) {
+    const ExpectationSuite* suite = find_suite("stream-core");
+    const std::vector<Event> events = {make_event(
+        EventId::kQHatUpdated, 1, 0, 1, std::numeric_limits<double>::quiet_NaN())};
+    EXPECT_FALSE(check_events(*suite, events, 0).ok());
+}
+
+// -------------------------------- rule class: precedence (corrupted edge)
+
+TEST_F(ExpectTest, CausalityCatchesVerifyWithoutSignature) {
+    // A corrupted hash edge lets a packet "verify" although no signature
+    // packet for its (receiver, block) ever arrived — the trace-level
+    // shadow of a forged signature-rooted path.
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 0, 0, 1.0));  // sig
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 1, 0, 0.0));
+    // Only the DATA packet arrives; the signature never does…
+    events.push_back(make_event(EventId::kPacketReceived, 1, 1, 2, 0.0));
+    // …yet the receiver claims verification.
+    events.push_back(make_event(EventId::kPacketVerified, 1, 1, 2, 0.0));
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "verified-needs-signature");
+}
+
+TEST_F(ExpectTest, CausalityAcceptsSignatureAnchoredVerify) {
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 0, 0, 1.0));
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 1, 0, 0.0));
+    events.push_back(make_event(EventId::kPacketReceived, 1, 0, 2, 1.0));  // sig
+    events.push_back(make_event(EventId::kPacketReceived, 1, 1, 2, 0.0));
+    events.push_back(make_event(EventId::kPacketVerified, 1, 1, 2, 0.0));
+    EXPECT_TRUE(check_events(*suite, events, 0).ok());
+}
+
+TEST_F(ExpectTest, PrecedenceScopesPerActor) {
+    // Receiver 3 got the signature; receiver 4 did not. Only receiver 4's
+    // verify is a violation — anchors must not leak across actors.
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 0, 0, 1.0));
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 1, 0, 0.0));
+    events.push_back(make_event(EventId::kPacketReceived, 1, 0, 3, 1.0));
+    events.push_back(make_event(EventId::kPacketReceived, 1, 1, 3, 0.0));
+    events.push_back(make_event(EventId::kPacketVerified, 1, 1, 3, 0.0));
+    events.push_back(make_event(EventId::kPacketReceived, 1, 1, 4, 0.0));
+    events.push_back(make_event(EventId::kPacketVerified, 1, 1, 4, 0.0));
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].event.actor, 4u);
+}
+
+// ------------------------------------------ rule class: forbid-after
+
+TEST_F(ExpectTest, ForbidAfterCatchesVerifyAfterSignatureLoss) {
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kPacketEmitted, 2, 0, 0, 1.0));
+    events.push_back(make_event(EventId::kPacketEmitted, 2, 1, 0, 0.0));
+    events.push_back(make_event(EventId::kPacketReceived, 2, 0, 1, 1.0));
+    events.push_back(make_event(EventId::kPacketReceived, 2, 1, 1, 0.0));
+    // The receiver declares the signature lost, then still verifies: the
+    // signature-anchor precedence holds (the sig WAS received), so only the
+    // forbid-after rule can catch this inconsistency.
+    events.push_back(make_event(EventId::kSignatureLost, 2, 0, 1, 0.0));
+    events.push_back(make_event(EventId::kPacketVerified, 2, 1, 1, 0.0));
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "no-verify-after-sig-loss");
+}
+
+// ------------------------------------------- rule class: bounded lag
+
+TEST_F(ExpectTest, BoundedLagCatchesSkippedRedesign) {
+    // The channel shifts regime at block 10 and the controller never
+    // reacts; once the stream advances past the 16-block reaction bound,
+    // the trigger expires as a violation.
+    const ExpectationSuite* suite = find_suite("adaptive-loop");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kRegimeShift, 10, 0, 0, 0.3));
+    events.push_back(make_event(EventId::kQHatUpdated, 30, 0, 1, 0.25));
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "redesign-follows-regime");
+    EXPECT_EQ(report.violations[0].event.block, 10u);  // the expired trigger
+}
+
+TEST_F(ExpectTest, BoundedLagAcceptsRedesignWithinWindow) {
+    const ExpectationSuite* suite = find_suite("adaptive-loop");
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kRegimeShift, 10, 0, 0, 0.3));
+    events.push_back(make_event(
+        EventId::kRedesignTriggered, 20,
+        static_cast<std::uint32_t>(RedesignReason::kLossDrift), 0, 0.3));
+    events.push_back(make_event(EventId::kQHatUpdated, 40, 0, 1, 0.25));
+    EXPECT_TRUE(check_events(*suite, events, 0).ok());
+}
+
+TEST_F(ExpectTest, BoundedLagWindowStillOpenAtFinishIsNotViolation) {
+    // The trace simply ended before the deadline — no verdict either way.
+    const ExpectationSuite* suite = find_suite("adaptive-loop");
+    const std::vector<Event> events = {
+        make_event(EventId::kRegimeShift, 10, 0, 0, 0.3)};
+    EXPECT_TRUE(check_events(*suite, events, 0).ok());
+}
+
+TEST_F(ExpectTest, RedesignReasonCodeIsChecked) {
+    const ExpectationSuite* suite = find_suite("adaptive-loop");
+    const std::vector<Event> events = {
+        make_event(EventId::kRedesignTriggered, 5, /*reason=*/9, 0, 0.3)};
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "redesign-has-reason");
+}
+
+// ----------------------------------------------------------- partial traces
+
+TEST_F(ExpectTest, PartialTraceSuppressesAnchorRulesForFirstObservedBlock) {
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    std::vector<Event> events;
+    // Ring wrapped: this actor's history starts mid-stream at block 5,
+    // whose anchors were overwritten — not a violation.
+    events.push_back(make_event(EventId::kPacketVerified, 5, 3, 1, 0.0));
+    // Block 6 is complete history; a missing signature there IS one.
+    events.push_back(make_event(EventId::kPacketEmitted, 6, 0, 0, 1.0));
+    events.push_back(make_event(EventId::kPacketEmitted, 6, 1, 0, 0.0));
+    events.push_back(make_event(EventId::kPacketReceived, 6, 1, 1, 0.0));
+    events.push_back(make_event(EventId::kPacketVerified, 6, 1, 1, 0.0));
+    const ConformanceReport report = check_events(*suite, events, /*dropped=*/42);
+    EXPECT_TRUE(report.partial);
+    EXPECT_EQ(report.total_violations, 1u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].rule, "verified-needs-signature");
+    EXPECT_EQ(report.violations[0].event.block, 6u);
+}
+
+TEST_F(ExpectTest, CompleteTraceDoesNotSuppressFirstBlock) {
+    // Same orphan verify, but dropped == 0: block 5 is real history and the
+    // missing anchors are real violations.
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    const std::vector<Event> events = {
+        make_event(EventId::kPacketVerified, 5, 3, 1, 0.0)};
+    const ConformanceReport report = check_events(*suite, events, 0);
+    EXPECT_FALSE(report.partial);
+    EXPECT_GE(report.total_violations, 1u);
+}
+
+// ------------------------------------------------------------ JSONL format
+
+TEST_F(ExpectTest, JsonlRoundTripPreservesEventsAndDroppedCount) {
+    std::vector<Event> events;
+    events.push_back(make_event(EventId::kPacketEmitted, 1, 0, 0, 1.0));
+    events.push_back(make_event(EventId::kQHatUpdated, 2, 0, 3, 0.0625));
+    events.back().ts_ns = 123456789;
+    const std::string jsonl = events_to_jsonl(events, /*dropped=*/7);
+
+    std::istringstream in(jsonl);
+    std::vector<Event> back;
+    std::uint64_t dropped = 0;
+    std::string error;
+    ASSERT_TRUE(parse_events_jsonl(in, back, dropped, error)) << error;
+    EXPECT_EQ(dropped, 7u);
+    ASSERT_EQ(back.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(back[i].id, events[i].id) << i;
+        EXPECT_EQ(back[i].block, events[i].block) << i;
+        EXPECT_EQ(back[i].index, events[i].index) << i;
+        EXPECT_EQ(back[i].actor, events[i].actor) << i;
+        EXPECT_DOUBLE_EQ(back[i].value, events[i].value) << i;
+        EXPECT_EQ(back[i].ts_ns, events[i].ts_ns) << i;
+    }
+}
+
+TEST_F(ExpectTest, JsonlParseRejectsMissingMetaAndGarbage) {
+    std::vector<Event> out;
+    std::uint64_t dropped = 0;
+    std::string error;
+    {
+        std::istringstream in("{\"id\": 1, \"block\": 0}\n");
+        EXPECT_FALSE(parse_events_jsonl(in, out, dropped, error));
+        EXPECT_FALSE(error.empty());
+    }
+    {
+        std::istringstream in(
+            "{\"meta\": {\"schema\": \"mcauth-events-v1\", \"dropped_events\": 0}}\n"
+            "not json at all\n");
+        error.clear();
+        EXPECT_FALSE(parse_events_jsonl(in, out, dropped, error));
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+// --------------------------------------- online == offline verdict identity
+
+TEST_F(ExpectTest, OnlineAndOfflineVerdictsAgree) {
+    // One stream with one injected corrupted-edge violation, evaluated both
+    // ways: online through emit_event -> EventSink, offline through the
+    // JSONL export -> parse -> check_events path.
+    const ExpectationSuite* suite = find_suite("hash-chain");
+    const std::vector<Event> script = {
+        make_event(EventId::kPacketEmitted, 1, 0, 0, 1.0),
+        make_event(EventId::kPacketEmitted, 1, 1, 0, 0.0),
+        make_event(EventId::kPacketReceived, 1, 0, 1, 1.0),
+        make_event(EventId::kPacketReceived, 1, 1, 1, 0.0),
+        make_event(EventId::kPacketVerified, 1, 1, 1, 0.0),
+        make_event(EventId::kPacketEmitted, 2, 0, 0, 0.0),
+        make_event(EventId::kPacketReceived, 2, 0, 1, 0.0),
+        make_event(EventId::kPacketVerified, 2, 0, 1, 0.0),  // bug: no sig
+        make_event(EventId::kQHatUpdated, 2, 0, 1, 0.25),
+    };
+
+    set_enabled(true);
+    set_trace_enabled(true);
+    TraceRecorder::global().clear();
+    ConformanceReport online_report;
+    {
+        OnlineConformance online(*suite);
+        for (const Event& ev : script)
+            emit_event(ev.id, ev.block, ev.index, ev.actor, ev.value);
+        online_report = online.finish();
+    }
+
+    // Export what the ring captured, parse it back, check offline.
+    const std::vector<Event> exported =
+        extract_events(TraceRecorder::global().snapshot());
+    ASSERT_EQ(exported.size(), script.size());
+    const std::string jsonl =
+        events_to_jsonl(exported, TraceRecorder::global().dropped());
+    std::istringstream in(jsonl);
+    std::vector<Event> parsed;
+    std::uint64_t dropped = 0;
+    std::string error;
+    ASSERT_TRUE(parse_events_jsonl(in, parsed, dropped, error)) << error;
+    const ConformanceReport offline_report = check_events(*suite, parsed, dropped);
+
+    EXPECT_EQ(online_report.ok(), offline_report.ok());
+    EXPECT_EQ(online_report.total_violations, offline_report.total_violations);
+    EXPECT_EQ(online_report.events_seen, offline_report.events_seen);
+    EXPECT_EQ(online_report.partial, offline_report.partial);
+    ASSERT_EQ(online_report.violations.size(), offline_report.violations.size());
+    for (std::size_t i = 0; i < online_report.violations.size(); ++i) {
+        EXPECT_EQ(online_report.violations[i].rule,
+                  offline_report.violations[i].rule);
+        EXPECT_EQ(online_report.violations[i].event.block,
+                  offline_report.violations[i].event.block);
+    }
+    // And the injected bug was in fact caught, both ways.
+    EXPECT_EQ(online_report.total_violations, 1u);
+    ASSERT_FALSE(online_report.violations.empty());
+    EXPECT_EQ(online_report.violations[0].rule, "verified-needs-signature");
+}
+
+// ------------------------------------------------------------- report text
+
+TEST_F(ExpectTest, RenderTextNamesSuiteVerdictAndRules) {
+    const ExpectationSuite* suite = find_suite("stream-core");
+    const std::vector<Event> bad = {
+        make_event(EventId::kQHatUpdated, 1, 0, 1, -0.5)};
+    const ConformanceReport fail = check_events(*suite, bad, 0);
+    const std::string text = fail.render_text();
+    EXPECT_NE(text.find("stream-core"), std::string::npos);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find("qhat-in-unit-interval"), std::string::npos);
+
+    const ConformanceReport pass = check_events(*suite, {}, 0);
+    EXPECT_NE(pass.render_text().find("PASS"), std::string::npos);
+}

@@ -586,6 +586,54 @@ TEST_F(ObsTest, TraceJsonIsChromeTraceEventSchema) {
     // Instant events carry thread scope.
     EXPECT_EQ(events.array[2].at("ph").string, "i");
     EXPECT_TRUE(events.array[2].has("s"));
+    // An unwrapped ring reports zero drops.
+    ASSERT_TRUE(root.has("dropped_events"));
+    EXPECT_DOUBLE_EQ(root.at("dropped_events").number, 0.0);
+}
+
+TEST_F(ObsTest, TraceJsonCountsDroppedEventsOnWrap) {
+    FakeClock fake;
+    set_clock(&fake);
+    TraceRecorder rec(8);
+    for (std::uint64_t i = 0; i < 13; ++i) {
+        fake.set_ns(i);
+        rec.record("e", 'i');
+    }
+    const JsonValue root = parse_json_or_die(rec.to_json());
+    ASSERT_TRUE(root.has("dropped_events"));
+    EXPECT_DOUBLE_EQ(root.at("dropped_events").number, 5.0);
+    EXPECT_EQ(root.at("traceEvents").array.size(), 8u);
+}
+
+TEST_F(ObsTest, StructuredEventRoundTripsThroughSnapshotAndJson) {
+    FakeClock fake;
+    set_clock(&fake);
+    fake.set_ns(2'000);
+    TraceRecorder rec(8);
+    rec.record_structured("PacketVerified", 3, /*block=*/7, /*index=*/2,
+                          /*actor=*/4, /*value=*/0.625, /*ts_ns=*/2'000);
+    rec.record("plain", 'i');  // unstructured events carry no args
+
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].id, 3u);
+    EXPECT_EQ(events[0].block, 7u);
+    EXPECT_EQ(events[0].index, 2u);
+    EXPECT_EQ(events[0].actor, 4u);
+    EXPECT_DOUBLE_EQ(events[0].value, 0.625);
+    EXPECT_EQ(events[1].id, 0u);
+
+    const JsonValue root = parse_json_or_die(rec.to_json());
+    const JsonValue& traced = root.at("traceEvents");
+    ASSERT_EQ(traced.array.size(), 2u);
+    ASSERT_TRUE(traced.array[0].has("args"));
+    const JsonValue& args = traced.array[0].at("args");
+    EXPECT_DOUBLE_EQ(args.at("id").number, 3.0);
+    EXPECT_DOUBLE_EQ(args.at("block").number, 7.0);
+    EXPECT_DOUBLE_EQ(args.at("index").number, 2.0);
+    EXPECT_DOUBLE_EQ(args.at("actor").number, 4.0);
+    EXPECT_DOUBLE_EQ(args.at("value").number, 0.625);
+    EXPECT_FALSE(traced.array[1].has("args"));
 }
 
 // ------------------------------------------------------------------- macros

@@ -9,15 +9,18 @@
 //
 // Exit codes:
 //   0  comparable, no regression (or --report-only suppressed the gate)
-//   1  at least one entry regressed beyond its noise-aware threshold, or
-//      an entry present in the baseline is missing from the current run
+//   1  at least one entry regressed beyond its noise-aware threshold, an
+//      entry present in the baseline is missing from the current run, or
+//      the current manifest carries expectation-suite violations (the
+//      conformance gate — never suppressed by --report-only)
 //   2  usage error, unreadable/pre-manifest file, or incompatible
 //      manifests (different bench/seed/trials; any mismatch under
 //      --strict-host) — never suppressed, even by --report-only
 //
 // --report-only is for shared CI runners whose timing is untrustworthy:
 // the table still prints and schema/manifest problems still hard-fail, but
-// a timing regression alone does not.
+// a timing regression alone does not. Conformance violations are behavior,
+// not timing, so they hard-fail everywhere.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -80,6 +83,9 @@ int main(int argc, char** argv) {
     std::printf("%s", report.render_markdown(base, cur).c_str());
 
     if (report.incompatible) return 2;
+    // Conformance is correctness, not timing: --report-only (meant for noisy
+    // shared runners) does not suppress it.
+    if (report.has_conformance_failure()) return 1;
     if (report.has_regression()) {
         if (report_only) {
             std::printf("\nregression detected, exit suppressed by --report-only\n");

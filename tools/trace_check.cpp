@@ -1,0 +1,100 @@
+// trace_check — offline scenario-conformance checker (DESIGN.md §11).
+//
+//   trace_check EVENTS.jsonl --suite=NAME
+//   trace_check --list-suites
+//
+// Replays a structured-event JSONL export (the --events-out format of the
+// benches and examples) through the named expectation suite and prints the
+// same verdict the online checker would have produced. The meta header's
+// dropped_events count triggers partial-trace mode: anchor-dependent rules
+// are suppressed for each actor's first observed block, since a wrapped
+// ring keeps only a contiguous suffix of the stream.
+//
+// Exit codes:
+//   0  every rule held (PASS)
+//   1  at least one violation (FAIL; details on stdout)
+//   2  usage error, unreadable file, malformed JSONL, unknown suite
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* argv0, bool requested) {
+    std::fprintf(requested ? stdout : stderr,
+                 "usage: %s EVENTS.jsonl --suite=NAME\n"
+                 "       %s --list-suites\n",
+                 argv0, argv0);
+    return requested ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mcauth;
+
+    std::vector<std::string> paths;
+    std::vector<const char*> flag_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            flag_argv.push_back(argv[i]);
+        else
+            paths.emplace_back(argv[i]);
+    }
+    const CliArgs args(static_cast<int>(flag_argv.size()), flag_argv.data());
+    static constexpr std::string_view kKnown[] = {"suite", "list-suites",
+                                                  "help"};
+    const auto unknown = args.unknown_keys(kKnown);
+    if (!unknown.empty()) {
+        for (const std::string& key : unknown)
+            std::fprintf(stderr, "trace_check: unknown option --%s\n", key.c_str());
+        return usage(argv[0], false);
+    }
+    if (args.has("help")) return usage(argv[0], true);
+
+    if (args.get_bool("list-suites", false)) {
+        for (const std::string& name : obs::suite_names()) {
+            const obs::ExpectationSuite* suite = obs::find_suite(name);
+            std::printf("%-14s %zu rules\n", name.c_str(),
+                        suite->rules().size());
+        }
+        return 0;
+    }
+
+    const std::string suite_name = args.get("suite", "");
+    if (paths.size() != 1 || suite_name.empty()) return usage(argv[0], false);
+
+    const obs::ExpectationSuite* suite = obs::find_suite(suite_name);
+    if (suite == nullptr) {
+        std::fprintf(stderr, "trace_check: unknown suite \"%s\"; known:",
+                     suite_name.c_str());
+        for (const std::string& name : obs::suite_names())
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    std::ifstream in(paths[0]);
+    if (!in) {
+        std::fprintf(stderr, "trace_check: cannot open %s\n", paths[0].c_str());
+        return 2;
+    }
+    std::vector<obs::Event> events;
+    std::uint64_t dropped = 0;
+    std::string error;
+    if (!obs::parse_events_jsonl(in, events, dropped, error)) {
+        std::fprintf(stderr, "trace_check: %s: %s\n", paths[0].c_str(),
+                     error.c_str());
+        return 2;
+    }
+
+    const obs::ConformanceReport report =
+        obs::check_events(*suite, events, dropped);
+    std::printf("%s\n", report.render_text().c_str());
+    return report.ok() ? 0 : 1;
+}
