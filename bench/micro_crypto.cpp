@@ -3,6 +3,12 @@
 // ~2 hash computations per packet at each end; sign-each costs a full
 // signature per packet — these numbers show the gap concretely on this
 // machine.
+//
+// Hash benchmarks report a cycles_per_byte counter from the perf-counter
+// set (DESIGN.md §9; absent when perf_event_open is denied), and every run
+// is exported to bench_out/BENCH_micro_crypto.json in the schema-v2
+// envelope (manifest + results) so bench_compare can diff microbenchmark
+// trajectories the same way it gates the macro benches.
 #include <benchmark/benchmark.h>
 
 #include "auth/hash_chain_scheme.hpp"
@@ -12,6 +18,7 @@
 #include "crypto/merkle.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "crypto/signature.hpp"
 #include "crypto/wots.hpp"
 #include "util/rng.hpp"
@@ -19,26 +26,110 @@
 namespace mcauth {
 namespace {
 
+// Shared lazily-opened hardware-counter set for the cycles_per_byte
+// counters (benchmarks run sequentially, so one set suffices).
+obs::PerfCounterSet& perf_counters() {
+    static obs::PerfCounterSet set;
+    return set;
+}
+
+// Attach cycles/byte to a finished timing loop when the kernel delivered a
+// cycle count. `bytes` is the total processed inside `reading`'s region.
+void set_cycles_per_byte(benchmark::State& state, const obs::PerfReading& reading,
+                         std::int64_t bytes) {
+    if (reading.cycles >= 0 && bytes > 0)
+        state.counters["cycles_per_byte"] =
+            static_cast<double>(reading.cycles) / static_cast<double>(bytes);
+}
+
 void BM_Sha256(benchmark::State& state) {
     Rng rng(1);
     const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(Sha256::hash(data));
+    obs::PerfReading reading;
+    {
+        const obs::PerfRegion region(perf_counters(), &reading);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(Sha256::hash(data));
+        }
     }
-    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+    const auto bytes = static_cast<std::int64_t>(state.iterations()) * state.range(0);
+    state.SetBytesProcessed(bytes);
+    set_cycles_per_byte(state, reading, bytes);
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_Sha256x8(benchmark::State& state) {
+    // The 8-way data plane at full occupancy: 8 equal-length messages per
+    // hash_many call. Compare bytes/sec against BM_Sha256 at the same size
+    // for the multi-buffer speedup on this machine.
+    Rng rng(1);
+    const auto len = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<std::uint8_t>> msgs;
+    for (std::size_t i = 0; i < Sha256x8::kLanes; ++i) msgs.push_back(rng.bytes(len));
+    const std::vector<std::span<const std::uint8_t>> spans(msgs.begin(), msgs.end());
+    std::array<Digest256, Sha256x8::kLanes> out;
+    obs::PerfReading reading;
+    {
+        const obs::PerfRegion region(perf_counters(), &reading);
+        for (auto _ : state) {
+            Sha256x8::hash_many(spans, out.data());
+            benchmark::DoNotOptimize(out);
+        }
+    }
+    const auto bytes = static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                       static_cast<std::int64_t>(Sha256x8::kLanes);
+    state.SetBytesProcessed(bytes);
+    set_cycles_per_byte(state, reading, bytes);
+}
+BENCHMARK(BM_Sha256x8)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
 
 void BM_HmacSha256(benchmark::State& state) {
     Rng rng(2);
     const auto key = rng.bytes(32);
     const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(hmac_sha256(key, data));
+    obs::PerfReading reading;
+    {
+        const obs::PerfRegion region(perf_counters(), &reading);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(hmac_sha256(key, data));
+        }
     }
-    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+    const auto bytes = static_cast<std::int64_t>(state.iterations()) * state.range(0);
+    state.SetBytesProcessed(bytes);
+    set_cycles_per_byte(state, reading, bytes);
 }
 BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(1024);
+
+void BM_HmacSha256x8(benchmark::State& state) {
+    // Batch HMAC with a precomputed ipad/opad key schedule: the TESLA
+    // sender's per-interval fast path.
+    Rng rng(2);
+    const auto key = rng.bytes(32);
+    const HmacSha256Key prepared(key);
+    const auto len = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<HashInput> inputs;
+    for (std::size_t i = 0; i < Sha256x8::kLanes; ++i) {
+        msgs.push_back(rng.bytes(len));
+        HashInput in;
+        in.add(msgs.back());
+        inputs.push_back(in);
+    }
+    std::array<Digest256, Sha256x8::kLanes> out;
+    obs::PerfReading reading;
+    {
+        const obs::PerfRegion region(perf_counters(), &reading);
+        for (auto _ : state) {
+            hmac_sha256_many(prepared, inputs.data(), inputs.size(), out.data());
+            benchmark::DoNotOptimize(out);
+        }
+    }
+    const auto bytes = static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                       static_cast<std::int64_t>(Sha256x8::kLanes);
+    state.SetBytesProcessed(bytes);
+    set_cycles_per_byte(state, reading, bytes);
+}
+BENCHMARK(BM_HmacSha256x8)->Arg(256)->Arg(1024);
 
 void BM_RsaSign(benchmark::State& state) {
     Rng rng(3);
@@ -168,6 +259,43 @@ void BM_TeslaKeyChainBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TeslaKeyChainBuild)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
 
+// Console reporter that also collects every finished run so main can write
+// the schema-v2 BENCH_micro_crypto.json envelope (workload = benchmark
+// name, trials = iterations, gated metric = iterations/sec).
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+    struct Row {
+        std::string name;
+        std::int64_t iterations = 0;
+        double seconds = 0;            // total real time of the measured loop
+        double cycles_per_byte = -1;   // -1 when the counter was unavailable
+        double bytes_per_second = -1;
+    };
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            Row row;
+            row.name = run.benchmark_name();
+            row.iterations = run.iterations;
+            row.seconds = run.real_accumulated_time;
+            if (const auto it = run.counters.find("cycles_per_byte");
+                it != run.counters.end())
+                row.cycles_per_byte = it->second;
+            if (const auto it = run.counters.find("bytes_per_second");
+                it != run.counters.end())
+                row.bytes_per_second = it->second;
+            rows_.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Row>& rows() const noexcept { return rows_; }
+
+private:
+    std::vector<Row> rows_;
+};
+
 }  // namespace
 }  // namespace mcauth
 
@@ -175,9 +303,46 @@ BENCHMARK(BM_TeslaKeyChainBuild)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillise
 // (--metrics-out/--trace-out/--obs, see bench_common.hpp) works here too;
 // benchmark::Initialize strips its own flags and leaves ours alone.
 int main(int argc, char** argv) {
-    mcauth::bench::BenchMain bm(argc, argv, "micro_crypto");
+    using namespace mcauth;
+    bench::BenchMain bm(argc, argv, "micro_crypto");
     benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_micro_crypto.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"micro_crypto\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"manifest\": %s,\n", bm.manifest().to_json(2).c_str());
+        std::fprintf(f, "  \"results\": [\n");
+        const auto& rows = reporter.rows();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto& r = rows[i];
+            const double rate =
+                r.seconds > 0 ? static_cast<double>(r.iterations) / r.seconds : 0;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"threads\": 1, "
+                         "\"trials\": %lld, \"seconds\": %.6f, "
+                         "\"trials_per_sec\": %.1f",
+                         obs::json_escape(r.name).c_str(),
+                         static_cast<long long>(r.iterations), r.seconds, rate);
+            if (r.cycles_per_byte >= 0)
+                std::fprintf(f, ", \"cycles_per_byte\": %.2f", r.cycles_per_byte);
+            if (r.bytes_per_second >= 0)
+                std::fprintf(f, ", \"bytes_per_sec\": %.0f", r.bytes_per_second);
+            std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "json: %s\n", path);
+    } else {
+        std::fprintf(stderr, "json: FAILED to write %s\n", path);
+    }
     return 0;
 }

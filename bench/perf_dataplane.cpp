@@ -1,0 +1,436 @@
+// Batched crypto data plane vs the scalar path (DESIGN.md §12).
+//
+// Every engine pair below runs the SAME workload through the batch path and
+// its scalar counterpart and requires byte-identical output before any
+// timing is reported — a fast wrong answer exits 1:
+//
+//   * hash_many_512B        Sha256x8::hash_many over 512-byte messages,
+//                           forced-scalar vs 8-way AVX2 (the headline: the
+//                           8-way kernel must clear 3x on AVX2 hardware)
+//   * tree_sender_n64       Wong-Lam sender block build (batch leaf hashing
+//                           + arena staging) with the multi-buffer hasher
+//                           on vs forced scalar
+//   * tesla_burst           TeslaSender::make_packets, one interval group
+//                           at a time through the multi-buffer HMAC
+//   * codec_encode_512B     AuthPacket::encode (fresh vector per packet)
+//                           vs encode_into a recycled PacketArena
+//   * codec_decode_512B     owning AuthPacket::decode vs the zero-copy
+//                           PacketView::decode
+//   * signeach_verify_rsa64 per-packet RSA-512 verification vs the
+//                           block-granular screening batch (one modexp per
+//                           block when all signatures are genuine)
+//
+// Results land in bench_out/BENCH_dataplane.json in the schema-v2 envelope
+// (manifest + per-entry seconds_repeats) gated by tools/bench_compare; each
+// entry also carries cycles/item from the perf-counter set when the kernel
+// grants access. Extra flags beyond the shared surface:
+//
+//   --batch=0|1   run the batch engines (default 1; 0 = scalar arms only)
+//   --arena=0|1   run the arena/zero-copy codec engines (default 1)
+//   --smoke=0|1   shrink workload sizes for CI smoke runs (default 0)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "auth/sign_each_scheme.hpp"
+#include "auth/tesla_scheme.hpp"
+#include "auth/tree_scheme.hpp"
+#include "bench_common.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
+#include "crypto/signature.hpp"
+#include "util/rng.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+double now_seconds() {
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+struct Record {
+    std::string workload;
+    std::string engine;
+    std::size_t items = 0;              // per-run item count (the "trials")
+    double seconds = 0;                 // min over repeats
+    std::vector<double> seconds_repeats;
+    double cycles_per_item = -1;        // best repeat; -1 when unavailable
+};
+
+// Time `body` (which processes `items` items) `repeats` times, keeping the
+// best wall time and its cycles/item.
+template <typename Body>
+Record measure(bench::BenchMain& bm, std::string workload, std::string engine,
+               std::size_t items, std::size_t repeats, Body&& body) {
+    Record rec{std::move(workload), std::move(engine), items, 0.0, {}, -1};
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        obs::PerfReading reading;
+        const double t0 = now_seconds();
+        {
+            const obs::PerfRegion region(bm.perf(), &reading);
+            body();
+        }
+        const double dt = now_seconds() - t0;
+        rec.seconds_repeats.push_back(dt);
+        if (rep == 0 || dt < rec.seconds) {
+            rec.seconds = dt;
+            rec.cycles_per_item =
+                reading.cycles >= 0 && items > 0
+                    ? static_cast<double>(reading.cycles) / static_cast<double>(items)
+                    : -1;
+        }
+    }
+    return rec;
+}
+
+bool report_identity(const char* what, bool ok) {
+    if (!ok) bench::note(std::string("IDENTITY VIOLATION: ") + what);
+    return ok;
+}
+
+std::vector<std::vector<std::uint8_t>> make_payloads(Rng& rng, std::size_t n,
+                                                     std::size_t bytes) {
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(rng.bytes(bytes));
+    return out;
+}
+
+// Run `body` with the multi-buffer hasher forced to the scalar path when
+// `scalar` is set, restoring the previous mode afterwards.
+template <typename Body>
+void with_forced_scalar(bool scalar, Body&& body) {
+    const bool prev = Sha256x8::set_forced_scalar(scalar);
+    body();
+    Sha256x8::set_forced_scalar(prev);
+}
+
+// A representative wire packet: 512-byte payload plus two 16-byte hash refs
+// and a MAC, roughly an EMSS data packet.
+AuthPacket sample_packet(Rng& rng, std::uint32_t index) {
+    AuthPacket pkt;
+    pkt.block_id = 7;
+    pkt.index = index;
+    pkt.block_size = 64;
+    pkt.kind = PacketKind::kData;
+    pkt.payload = rng.bytes(512);
+    pkt.hashes.push_back({index + 1, rng.bytes(16)});
+    pkt.hashes.push_back({index + 3, rng.bytes(16)});
+    pkt.mac = rng.bytes(16);
+    return pkt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_dataplane", 1,
+                        {"batch", "arena", "smoke"});
+    const bool run_batch = bm.args().get_bool("batch", true);
+    const bool run_arena = bm.args().get_bool("arena", true);
+    const bool smoke = bm.args().get_bool("smoke", false);
+    const std::size_t repeats = std::max<std::size_t>(smoke ? 2 : 3, bm.repeat());
+
+    bench::note("[perf] Batched crypto data plane vs scalar (DESIGN.md §12)");
+    bench::note(std::string("multi-buffer SHA-256 dispatch: ") +
+                (Sha256x8::uses_avx2() ? "avx2 x8" : "scalar fallback"));
+
+    std::vector<Record> records;
+    bool identical = true;
+    struct Speedup {
+        std::string workload;
+        double factor;
+    };
+    std::vector<Speedup> speedups;
+
+    const auto push_pair = [&](Record scalar_rec, Record batch_rec, bool enabled) {
+        const double s_rate = scalar_rec.seconds > 0
+                                  ? static_cast<double>(scalar_rec.items) / scalar_rec.seconds
+                                  : 0;
+        TablePrinter table({"engine", "items", "seconds", "items/sec", "cycles/item",
+                            "vs scalar"});
+        const auto add = [&](const Record& r) {
+            const double rate =
+                r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
+            table.add_row({r.engine, std::to_string(r.items),
+                           TablePrinter::num(r.seconds, 4), TablePrinter::num(rate, 0),
+                           r.cycles_per_item >= 0 ? TablePrinter::num(r.cycles_per_item, 1)
+                                                  : "n/a",
+                           TablePrinter::num(s_rate > 0 ? rate / (s_rate) : 0, 2)});
+        };
+        add(scalar_rec);
+        double factor = 0;
+        if (enabled) {
+            const double b_rate = batch_rec.seconds > 0
+                                      ? static_cast<double>(batch_rec.items) / batch_rec.seconds
+                                      : 0;
+            factor = s_rate > 0 ? b_rate / s_rate : 0;
+            add(batch_rec);
+        }
+        bench::emit(table, "perf_dataplane_" + scalar_rec.workload);
+        speedups.push_back({scalar_rec.workload, factor});
+        bench::note("speedup: " + TablePrinter::num(factor, 2) + "x");
+        records.push_back(std::move(scalar_rec));
+        if (enabled) records.push_back(std::move(batch_rec));
+    };
+
+    // ---------------------------------------------------- hash_many_512B
+    {
+        bench::section("hash_many_512B");
+        const std::size_t n_msgs = smoke ? 512 : 8192;
+        Rng rng(bm.seed());
+        std::vector<std::vector<std::uint8_t>> msgs = make_payloads(rng, n_msgs, 512);
+        std::vector<std::span<const std::uint8_t>> spans(msgs.begin(), msgs.end());
+        std::vector<Digest256> out_scalar(n_msgs);
+        std::vector<Digest256> out_batch(n_msgs);
+
+        Record scalar_rec = measure(bm, "hash_many_512B", "scalar", n_msgs, repeats, [&] {
+            with_forced_scalar(true,
+                               [&] { Sha256x8::hash_many(spans, out_scalar.data()); });
+        });
+        Record batch_rec;
+        if (run_batch) {
+            batch_rec = measure(bm, "hash_many_512B", "batch8", n_msgs, repeats, [&] {
+                with_forced_scalar(false,
+                                   [&] { Sha256x8::hash_many(spans, out_batch.data()); });
+            });
+            identical &= report_identity("hash_many_512B digests", out_scalar == out_batch);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_batch);
+    }
+
+    // ---------------------------------------------------- tree_sender_n64
+    {
+        bench::section("tree_sender_n64");
+        const std::size_t n = 64;
+        const std::size_t blocks = smoke ? 4 : 64;
+        Rng rng(bm.seed() + 1);
+        HmacSigner signer(rng, 64);  // cheap signer: isolate hashing + staging
+        TreeSender sender(TreeSchemeConfig{.block_size = n, .hash_bytes = 16}, signer);
+        const auto data = make_payloads(rng, n, 512);
+
+        std::vector<AuthPacket> first_scalar, first_batch;
+        Record scalar_rec =
+            measure(bm, "tree_sender_n64", "scalar", blocks * n, repeats, [&] {
+                with_forced_scalar(true, [&] {
+                    for (std::size_t b = 0; b < blocks; ++b)
+                        first_scalar = sender.make_block(static_cast<std::uint32_t>(b), data);
+                });
+            });
+        Record batch_rec;
+        if (run_batch) {
+            batch_rec =
+                measure(bm, "tree_sender_n64", "batch8", blocks * n, repeats, [&] {
+                    with_forced_scalar(false, [&] {
+                        for (std::size_t b = 0; b < blocks; ++b)
+                            first_batch =
+                                sender.make_block(static_cast<std::uint32_t>(b), data);
+                    });
+                });
+            bool same = first_scalar.size() == first_batch.size();
+            for (std::size_t i = 0; same && i < first_scalar.size(); ++i)
+                same = first_scalar[i].encode() == first_batch[i].encode();
+            identical &= report_identity("tree_sender_n64 wire bytes", same);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_batch);
+    }
+
+    // -------------------------------------------------------- tesla_burst
+    {
+        bench::section("tesla_burst");
+        const std::size_t n_pkts = smoke ? 64 : 512;
+        TeslaConfig config;
+        config.interval_duration = 0.1;
+        config.chain_length = 1 << 14;
+        Rng rng(bm.seed() + 2);
+        HmacSigner signer(rng, 64);
+        Rng chain_rng_a(bm.seed() + 3);
+        Rng chain_rng_b(bm.seed() + 3);
+        TeslaSender scalar_sender(config, signer, chain_rng_a, 0.0);
+        TeslaSender batch_sender(config, signer, chain_rng_b, 0.0);
+        auto data = make_payloads(rng, n_pkts, 512);
+        std::vector<double> times(n_pkts);
+        for (std::size_t i = 0; i < n_pkts; ++i)
+            times[i] = 0.01 * static_cast<double>(i);  // ~10 packets per interval
+
+        std::vector<AuthPacket> out_scalar, out_batch;
+        Record scalar_rec = measure(bm, "tesla_burst", "scalar", n_pkts, repeats, [&] {
+            with_forced_scalar(true,
+                               [&] { out_scalar = scalar_sender.make_packets(data, times); });
+        });
+        Record batch_rec;
+        if (run_batch) {
+            batch_rec = measure(bm, "tesla_burst", "batch8", n_pkts, repeats, [&] {
+                with_forced_scalar(
+                    false, [&] { out_batch = batch_sender.make_packets(data, times); });
+            });
+            // Both senders' index counters advance in lockstep (one call per
+            // repeat each), so the full wire image must match.
+            bool same = out_scalar.size() == out_batch.size();
+            for (std::size_t i = 0; same && i < out_scalar.size(); ++i)
+                same = out_scalar[i].encode() == out_batch[i].encode();
+            identical &= report_identity("tesla_burst wire bytes", same);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_batch);
+    }
+
+    // ---------------------------------------------------- codec_encode_512B
+    {
+        bench::section("codec_encode_512B");
+        const std::size_t n_pkts = smoke ? 256 : 4096;
+        Rng rng(bm.seed() + 4);
+        std::vector<AuthPacket> pkts;
+        for (std::size_t i = 0; i < n_pkts; ++i)
+            pkts.push_back(sample_packet(rng, static_cast<std::uint32_t>(i)));
+
+        std::size_t vec_bytes = 0, arena_bytes = 0;
+        Record scalar_rec =
+            measure(bm, "codec_encode_512B", "vector", n_pkts, repeats, [&] {
+                vec_bytes = 0;
+                for (const AuthPacket& p : pkts) vec_bytes += p.encode().size();
+            });
+        PacketArena arena;
+        Record batch_rec;
+        if (run_arena) {
+            batch_rec = measure(bm, "codec_encode_512B", "arena", n_pkts, repeats, [&] {
+                arena.reset();
+                arena_bytes = 0;
+                for (const AuthPacket& p : pkts) arena_bytes += p.encode_into(arena).size();
+            });
+            bool same = vec_bytes == arena_bytes;
+            PacketArena check;
+            const auto via_arena = pkts[0].encode_into(check);
+            const auto via_vector = pkts[0].encode();
+            same = same && std::equal(via_arena.begin(), via_arena.end(),
+                                      via_vector.begin(), via_vector.end());
+            identical &= report_identity("codec_encode_512B bytes", same);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_arena);
+    }
+
+    // ---------------------------------------------------- codec_decode_512B
+    {
+        bench::section("codec_decode_512B");
+        const std::size_t n_pkts = smoke ? 256 : 4096;
+        Rng rng(bm.seed() + 5);
+        std::vector<std::vector<std::uint8_t>> wires;
+        for (std::size_t i = 0; i < n_pkts; ++i)
+            wires.push_back(sample_packet(rng, static_cast<std::uint32_t>(i)).encode());
+
+        std::size_t own_payload = 0, view_payload = 0;
+        Record scalar_rec =
+            measure(bm, "codec_decode_512B", "owning", n_pkts, repeats, [&] {
+                own_payload = 0;
+                for (const auto& w : wires) {
+                    const auto pkt = AuthPacket::decode(w);
+                    own_payload += pkt ? pkt->payload.size() : 0;
+                }
+            });
+        PacketArena arena;
+        Record batch_rec;
+        if (run_arena) {
+            batch_rec = measure(bm, "codec_decode_512B", "view", n_pkts, repeats, [&] {
+                view_payload = 0;
+                arena.reset();
+                for (const auto& w : wires) {
+                    const auto view = PacketView::decode(w, arena);
+                    view_payload += view ? view->payload.size() : 0;
+                }
+            });
+            bool same = own_payload == view_payload && own_payload > 0;
+            PacketArena check;
+            const auto view = PacketView::decode(wires[0], check);
+            const auto owned = AuthPacket::decode(wires[0]);
+            same = same && view.has_value() && owned.has_value() &&
+                   view->to_packet().encode() == owned->encode();
+            identical &= report_identity("codec_decode_512B round-trip", same);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_arena);
+    }
+
+    // ---------------------------------------------- signeach_verify_rsa64
+    {
+        bench::section("signeach_verify_rsa64");
+        const std::size_t n_pkts = smoke ? 16 : 64;
+        Rng rng(bm.seed() + 6);
+        RsaSigner signer(rng, 512);
+        SignEachSender sender(signer);
+        SignEachReceiver receiver(signer.make_verifier());
+        std::vector<AuthPacket> pkts;
+        for (std::size_t i = 0; i < n_pkts; ++i)
+            pkts.push_back(sender.make_packet(0, static_cast<std::uint32_t>(i),
+                                              rng.bytes(512)));
+
+        std::vector<VerifyEvent> ev_single, ev_batch;
+        Record scalar_rec =
+            measure(bm, "signeach_verify_rsa64", "per_packet", n_pkts, repeats, [&] {
+                ev_single.clear();
+                for (const AuthPacket& p : pkts) ev_single.push_back(receiver.on_packet(p));
+            });
+        Record batch_rec;
+        if (run_batch) {
+            batch_rec =
+                measure(bm, "signeach_verify_rsa64", "batch", n_pkts, repeats,
+                        [&] { ev_batch = receiver.on_block(pkts); });
+            bool same = ev_single.size() == ev_batch.size();
+            for (std::size_t i = 0; same && i < ev_single.size(); ++i)
+                same = ev_single[i].status == ev_batch[i].status &&
+                       ev_single[i].status == VerifyStatus::kAuthenticated;
+            identical &= report_identity("signeach_verify_rsa64 verdicts", same);
+        }
+        push_pair(std::move(scalar_rec), std::move(batch_rec), run_batch);
+    }
+
+    // ------------------------------------------------------------- output
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_dataplane.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"perf_dataplane\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"repeats\": %zu,\n", repeats);
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"avx2_dispatch\": %s,\n",
+                     Sha256x8::uses_avx2() ? "true" : "false");
+        std::fprintf(f, "  \"identity_ok\": %s,\n", identical ? "true" : "false");
+        std::fprintf(f, "  \"manifest\": %s,\n", bm.manifest().to_json(2).c_str());
+        std::fprintf(f, "  \"speedups\": {\n");
+        for (std::size_t i = 0; i < speedups.size(); ++i)
+            std::fprintf(f, "    \"%s\": %.2f%s\n", speedups[i].workload.c_str(),
+                         speedups[i].factor, i + 1 < speedups.size() ? "," : "");
+        std::fprintf(f, "  },\n");
+        std::fprintf(f, "  \"results\": [\n");
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const Record& r = records[i];
+            const double rate =
+                r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"engine\": \"%s\", "
+                         "\"threads\": 1, \"trials\": %zu, \"seconds\": %.6f,\n"
+                         "     \"seconds_repeats\": [",
+                         r.workload.c_str(), r.engine.c_str(), r.items, r.seconds);
+            for (std::size_t s = 0; s < r.seconds_repeats.size(); ++s)
+                std::fprintf(f, "%s%.6f", s ? ", " : "", r.seconds_repeats[s]);
+            std::fprintf(f, "],\n     \"trials_per_sec\": %.1f", rate);
+            if (r.cycles_per_item >= 0)
+                std::fprintf(f, ", \"cycles_per_item\": %.1f", r.cycles_per_item);
+            std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    if (!identical) {
+        bench::note("RESULT: FAIL — batch and scalar paths disagreed");
+        return 1;
+    }
+    bench::note("RESULT: OK — every batch path byte-identical to its scalar twin");
+    return 0;
+}

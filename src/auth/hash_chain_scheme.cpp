@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/topologies.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -22,6 +24,19 @@ HashChainSender::HashChainSender(HashChainConfig config, Signer& signer)
     const auto topo = topological_order(graph_.graph());
     MCAUTH_ENSURES(topo.has_value());
     reverse_topo_.assign(topo->rbegin(), topo->rend());
+
+    // Slice the graph into antichain layers by digest depth: depth(v) = 0
+    // when v carries no digests, else 1 + max depth over its successors.
+    // Every digest in layer d depends only on layers < d, so each layer is
+    // one independent batch for the multi-buffer hasher.
+    std::vector<std::size_t> depth(config_.block_size, 0);
+    for (VertexId v : reverse_topo_) {
+        std::size_t d = 0;
+        for (VertexId t : graph_.graph().successors(v)) d = std::max(d, depth[t] + 1);
+        depth[v] = d;
+        if (d >= digest_layers_.size()) digest_layers_.resize(d + 1);
+        digest_layers_[d].push_back(v);
+    }
 }
 
 std::vector<AuthPacket> HashChainSender::make_block(
@@ -31,32 +46,50 @@ std::vector<AuthPacket> HashChainSender::make_block(
 
     std::vector<AuthPacket> by_vertex(n);
     std::vector<std::vector<std::uint8_t>> digest_by_vertex(n);
+    arena_.reset();
 
-    // Reverse topological order: every successor (a packet whose digest we
-    // must embed) is assembled - and therefore hashable - before its
-    // carriers. This direction-agnosticism is what lets the same code drive
-    // Rohatgi (carriers sent before targets) and EMSS/AC (after).
-    for (VertexId v : reverse_topo_) {
-        AuthPacket& pkt = by_vertex[v];
-        pkt.block_id = block_id;
-        pkt.index = graph_.send_pos(v);
-        pkt.block_size = static_cast<std::uint32_t>(n);
-        pkt.kind = v == DependenceGraph::root() ? PacketKind::kSignature : PacketKind::kData;
-        pkt.payload = payloads[pkt.index];
+    // Layer-by-layer, shallowest first: every successor (a packet whose
+    // digest we must embed) lives in a strictly shallower layer, so it is
+    // digested before its carriers — the same invariant the old per-vertex
+    // reverse-topological walk maintained, but with all digests of a layer
+    // going through the multi-buffer hasher in one batch. The layering is
+    // direction-agnostic, which is what lets the same code drive Rohatgi
+    // (carriers sent before targets) and EMSS/AC (after).
+    std::vector<HashInput> inputs;
+    std::vector<Digest256> full(n);
+    for (const std::vector<VertexId>& layer : digest_layers_) {
+        inputs.clear();
+        for (VertexId v : layer) {
+            AuthPacket& pkt = by_vertex[v];
+            pkt.block_id = block_id;
+            pkt.index = graph_.send_pos(v);
+            pkt.block_size = static_cast<std::uint32_t>(n);
+            pkt.kind =
+                v == DependenceGraph::root() ? PacketKind::kSignature : PacketKind::kData;
+            pkt.payload = payloads[pkt.index];
 
-        // Deterministic carrier order (by target transmission index) keeps
-        // the wire image reproducible across runs.
-        std::vector<VertexId> targets(graph_.graph().successors(v).begin(),
-                                      graph_.graph().successors(v).end());
-        std::sort(targets.begin(), targets.end(),
-                  [&](VertexId a, VertexId b) { return graph_.send_pos(a) < graph_.send_pos(b); });
-        for (VertexId t : targets)
-            pkt.hashes.push_back({graph_.send_pos(t), digest_by_vertex[t]});
+            // Deterministic carrier order (by target transmission index)
+            // keeps the wire image reproducible across runs.
+            std::vector<VertexId> targets(graph_.graph().successors(v).begin(),
+                                          graph_.graph().successors(v).end());
+            std::sort(targets.begin(), targets.end(), [&](VertexId a, VertexId b) {
+                return graph_.send_pos(a) < graph_.send_pos(b);
+            });
+            for (VertexId t : targets)
+                pkt.hashes.push_back({graph_.send_pos(t), digest_by_vertex[t]});
 
-        if (v == DependenceGraph::root()) {
-            pkt.signature = signer_.sign(pkt.authenticated_bytes());
+            const auto staged = pkt.authenticated_bytes_into(arena_);
+            if (v == DependenceGraph::root()) {
+                // The signature covers the authenticated bytes but is not
+                // itself part of them, so signing here leaves the staged
+                // image (and the digest below) untouched.
+                pkt.signature = signer_.sign(staged);
+            }
+            inputs.emplace_back(staged);
         }
-        digest_by_vertex[v] = pkt.digest(config_.hash_bytes);
+        Sha256x8::hash_many(inputs.data(), inputs.size(), full.data());
+        for (std::size_t i = 0; i < layer.size(); ++i)
+            digest_by_vertex[layer[i]] = truncate_digest(full[i], config_.hash_bytes);
     }
 
     std::vector<AuthPacket> in_send_order(n);

@@ -80,6 +80,11 @@ private:
     Signer& signer_;
     DependenceGraph graph_;
     std::vector<VertexId> reverse_topo_;
+    /// Antichain layers of the dependence graph, shallowest (no successors)
+    /// first, each in reverse_topo_ order. All digests inside one layer are
+    /// independent, so a whole layer feeds the multi-buffer hasher at once.
+    std::vector<std::vector<VertexId>> digest_layers_;
+    PacketArena arena_;  // recycled per block for authenticated-bytes staging
 };
 
 class HashChainReceiver {

@@ -58,6 +58,18 @@ public:
         return true;
     }
 
+    /// Zero-copy variant: the span aliases the wire buffer.
+    bool bytes_view(std::span<const std::uint8_t>& out) noexcept {
+        std::uint16_t len = 0;
+        if (!u16(len)) return false;
+        if (pos_ + len > data_.size()) return false;
+        out = data_.subspan(pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    std::size_t position() const noexcept { return pos_; }
+
     bool exhausted() const noexcept { return pos_ == data_.size(); }
 
 private:
@@ -67,7 +79,88 @@ private:
 
 constexpr std::uint8_t kWireVersion = 1;
 
+/// Cursor writer for arena-backed encoding; the caller sizes the buffer
+/// exactly, so writes never bounds-check.
+struct ByteWriter {
+    std::uint8_t* p;
+
+    void u8(std::uint8_t v) noexcept { *p++ = v; }
+
+    void u32(std::uint32_t v) noexcept {
+        for (int b = 0; b < 4; ++b) *p++ = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+
+    void u16(std::uint16_t v) noexcept {
+        *p++ = static_cast<std::uint8_t>(v);
+        *p++ = static_cast<std::uint8_t>(v >> 8);
+    }
+
+    void bytes(std::span<const std::uint8_t> data) noexcept {
+        u16(static_cast<std::uint16_t>(data.size()));
+        if (!data.empty()) std::memcpy(p, data.data(), data.size());
+        p += data.size();
+    }
+};
+
+std::size_t authenticated_size(const AuthPacket& pkt) {
+    std::size_t n = 1 + 1 + 4 * 4 + 2 + pkt.payload.size() + 2;
+    for (const HashRef& h : pkt.hashes) n += 4 + 2 + h.digest.size();
+    return n;
+}
+
+void write_authenticated(ByteWriter& w, const AuthPacket& pkt) {
+    MCAUTH_EXPECTS(pkt.payload.size() <= 0xffff);
+    w.u8(kWireVersion);
+    w.u8(static_cast<std::uint8_t>(pkt.kind));
+    w.u32(pkt.block_id);
+    w.u32(pkt.index);
+    w.u32(pkt.block_size);
+    w.u32(pkt.mac_interval);
+    w.bytes(pkt.payload);
+    w.u16(static_cast<std::uint16_t>(pkt.hashes.size()));
+    for (const HashRef& h : pkt.hashes) {
+        MCAUTH_EXPECTS(h.digest.size() <= 0xffff);
+        w.u32(h.target);
+        w.bytes(h.digest);
+    }
+}
+
 }  // namespace
+
+// ------------------------------------------------------------- PacketArena
+
+PacketArena::PacketArena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+    MCAUTH_EXPECTS(chunk_bytes > 0);
+}
+
+std::span<std::uint8_t> PacketArena::alloc(std::size_t n) { return alloc_aligned(n, 1); }
+
+std::span<std::uint8_t> PacketArena::alloc_aligned(std::size_t n, std::size_t align) {
+    auto aligned_used = [&](std::size_t used) { return (used + align - 1) & ~(align - 1); };
+    while (active_ < chunks_.size() &&
+           aligned_used(used_) + n > chunks_[active_].capacity) {
+        ++active_;
+        used_ = 0;
+    }
+    if (active_ == chunks_.size()) {
+        // Recycled chunks exhausted: grow. Oversized requests get a
+        // dedicated chunk so the common chunk size stays cache-friendly.
+        const std::size_t cap = std::max(chunk_bytes_, n + align);
+        chunks_.push_back({std::make_unique<std::uint8_t[]>(cap), cap});
+        used_ = 0;
+    }
+    used_ = aligned_used(used_);
+    std::uint8_t* base = chunks_[active_].data.get() + used_;
+    used_ += n;
+    total_used_ += n;
+    return {base, n};
+}
+
+void PacketArena::reset() noexcept {
+    active_ = 0;
+    used_ = 0;
+    total_used_ = 0;
+}
 
 std::vector<std::uint8_t> AuthPacket::authenticated_bytes() const {
     std::vector<std::uint8_t> out;
@@ -101,6 +194,45 @@ std::vector<std::uint8_t> AuthPacket::digest(std::size_t hash_bytes) const {
     return truncate_digest(full, hash_bytes);
 }
 
+std::span<const std::uint8_t> AuthPacket::authenticated_bytes_into(PacketArena& arena) const {
+    auto out = arena.alloc(authenticated_size(*this));
+    ByteWriter w{out.data()};
+    write_authenticated(w, *this);
+    return out;
+}
+
+std::span<const std::uint8_t> AuthPacket::encode_into(PacketArena& arena) const {
+    MCAUTH_EXPECTS(signature.size() <= 0xffff && mac.size() <= 0xffff &&
+                   disclosed_key.size() <= 0xffff);
+    const std::size_t total = authenticated_size(*this) + 2 + signature.size() + 2 +
+                              mac.size() + 4 + 2 + disclosed_key.size();
+    auto out = arena.alloc(total);
+    ByteWriter w{out.data()};
+    write_authenticated(w, *this);
+    w.bytes(signature);
+    w.bytes(mac);
+    w.u32(disclosed_interval);
+    w.bytes(disclosed_key);
+    return out;
+}
+
+std::span<const std::uint8_t> encode_data_identity(PacketArena& arena, std::uint32_t block_id,
+                                                   std::uint32_t index,
+                                                   std::span<const std::uint8_t> payload) {
+    MCAUTH_EXPECTS(payload.size() <= 0xffff);
+    auto out = arena.alloc(1 + 1 + 4 * 4 + 2 + payload.size() + 2);
+    ByteWriter w{out.data()};
+    w.u8(kWireVersion);
+    w.u8(static_cast<std::uint8_t>(PacketKind::kData));
+    w.u32(block_id);
+    w.u32(index);
+    w.u32(0);  // block_size
+    w.u32(0);  // mac_interval
+    w.bytes(payload);
+    w.u16(0);  // hash count
+    return out;
+}
+
 std::optional<AuthPacket> AuthPacket::decode(std::span<const std::uint8_t> wire) {
     Reader reader(wire);
     AuthPacket pkt;
@@ -123,6 +255,54 @@ std::optional<AuthPacket> AuthPacket::decode(std::span<const std::uint8_t> wire)
     if (!reader.u32(pkt.disclosed_interval)) return std::nullopt;
     if (!reader.bytes(pkt.disclosed_key)) return std::nullopt;
     if (!reader.exhausted()) return std::nullopt;
+    return pkt;
+}
+
+std::optional<PacketView> PacketView::decode(std::span<const std::uint8_t> wire,
+                                             PacketArena& arena) {
+    Reader reader(wire);
+    PacketView view;
+    view.wire = wire;
+    std::uint8_t version = 0;
+    std::uint8_t kind_byte = 0;
+    if (!reader.byte(version) || version != kWireVersion) return std::nullopt;
+    if (!reader.byte(kind_byte) || kind_byte > 2) return std::nullopt;
+    view.kind = static_cast<PacketKind>(kind_byte);
+    if (!reader.u32(view.block_id) || !reader.u32(view.index) ||
+        !reader.u32(view.block_size) || !reader.u32(view.mac_interval))
+        return std::nullopt;
+    if (!reader.bytes_view(view.payload)) return std::nullopt;
+    std::uint16_t hash_count = 0;
+    if (!reader.u16(hash_count)) return std::nullopt;
+    auto hashes = arena.alloc_array<HashRefView>(hash_count);
+    for (HashRefView& h : hashes)
+        if (!reader.u32(h.target) || !reader.bytes_view(h.digest)) return std::nullopt;
+    view.hashes = hashes;
+    // Everything up to here is what hashes/MACs/signatures cover.
+    view.authenticated = wire.first(reader.position());
+    if (!reader.bytes_view(view.signature)) return std::nullopt;
+    if (!reader.bytes_view(view.mac)) return std::nullopt;
+    if (!reader.u32(view.disclosed_interval)) return std::nullopt;
+    if (!reader.bytes_view(view.disclosed_key)) return std::nullopt;
+    if (!reader.exhausted()) return std::nullopt;
+    return view;
+}
+
+AuthPacket PacketView::to_packet() const {
+    AuthPacket pkt;
+    pkt.block_id = block_id;
+    pkt.index = index;
+    pkt.block_size = block_size;
+    pkt.kind = kind;
+    pkt.mac_interval = mac_interval;
+    pkt.disclosed_interval = disclosed_interval;
+    pkt.payload.assign(payload.begin(), payload.end());
+    pkt.hashes.reserve(hashes.size());
+    for (const HashRefView& h : hashes)
+        pkt.hashes.push_back({h.target, {h.digest.begin(), h.digest.end()}});
+    pkt.signature.assign(signature.begin(), signature.end());
+    pkt.mac.assign(mac.begin(), mac.end());
+    pkt.disclosed_key.assign(disclosed_key.begin(), disclosed_key.end());
     return pkt;
 }
 

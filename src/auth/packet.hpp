@@ -15,13 +15,64 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "crypto/sha256.hpp"
 
 namespace mcauth {
+
+/// Bump allocator for packet wire bytes and decoded views. Hot loops encode
+/// or decode a whole block into one arena and `reset()` it at the block
+/// boundary: allocation is pointer arithmetic, chunks are recycled, and no
+/// per-packet `std::vector` churn remains.
+///
+/// Lifetime rule: every span handed out by `alloc`/`encode_into`/
+/// `PacketView::decode` borrows arena storage and dies at the next
+/// `reset()` (or when the arena does). Arenas are not thread-safe; use one
+/// per sender/verifier loop.
+class PacketArena {
+public:
+    explicit PacketArena(std::size_t chunk_bytes = 1 << 16);
+
+    /// Uninitialized storage, valid until reset(). Never returns null; a
+    /// request larger than the chunk size gets a dedicated chunk.
+    std::span<std::uint8_t> alloc(std::size_t n);
+
+    /// Typed array storage (trivially destructible T only — the arena never
+    /// runs destructors).
+    template <typename T>
+    std::span<T> alloc_array(std::size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>);
+        auto raw = alloc_aligned(n * sizeof(T), alignof(T));
+        T* first = reinterpret_cast<T*>(raw.data());
+        for (std::size_t i = 0; i < n; ++i) new (first + i) T();
+        return {first, n};
+    }
+
+    /// Recycle all chunks; previously returned spans become invalid.
+    void reset() noexcept;
+
+    std::size_t bytes_in_use() const noexcept { return total_used_; }
+    std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+private:
+    std::span<std::uint8_t> alloc_aligned(std::size_t n, std::size_t align);
+
+    struct Chunk {
+        std::unique_ptr<std::uint8_t[]> data;
+        std::size_t capacity = 0;
+    };
+
+    std::vector<Chunk> chunks_;
+    std::size_t active_ = 0;      // index of the chunk being filled
+    std::size_t used_ = 0;        // bytes used in the active chunk
+    std::size_t total_used_ = 0;  // bytes handed out since reset()
+    std::size_t chunk_bytes_;
+};
 
 enum class PacketKind : std::uint8_t {
     kData = 0,
@@ -70,7 +121,58 @@ struct AuthPacket {
     /// Total size on the wire.
     std::size_t wire_size() const { return encode().size(); }
 
+    /// Arena-backed variants of encode()/authenticated_bytes(): identical
+    /// bytes, written into `arena` storage instead of a fresh vector. The
+    /// returned span follows the arena lifetime rules above.
+    std::span<const std::uint8_t> encode_into(PacketArena& arena) const;
+    std::span<const std::uint8_t> authenticated_bytes_into(PacketArena& arena) const;
+
     static std::optional<AuthPacket> decode(std::span<const std::uint8_t> wire);
 };
+
+/// Zero-copy view of one embedded hash: `digest` points into the wire.
+struct HashRefView {
+    std::uint32_t target = 0;
+    std::span<const std::uint8_t> digest;
+};
+
+/// Zero-copy decoded packet: every byte field is a span into the caller's
+/// wire buffer (which must outlive the view), and the hash-ref array lives
+/// in the decode arena. `authenticated` is the exact prefix of `wire` that
+/// hashes, MACs and signatures cover — verifiers hash it straight off the
+/// wire with no re-encoding.
+struct PacketView {
+    std::uint32_t block_id = 0;
+    std::uint32_t index = 0;
+    std::uint32_t block_size = 0;
+    PacketKind kind = PacketKind::kData;
+    std::uint32_t mac_interval = 0;
+    std::uint32_t disclosed_interval = 0;
+
+    std::span<const std::uint8_t> payload;
+    std::span<const HashRefView> hashes;
+    std::span<const std::uint8_t> signature;
+    std::span<const std::uint8_t> mac;
+    std::span<const std::uint8_t> disclosed_key;
+
+    std::span<const std::uint8_t> wire;           // the full packet bytes
+    std::span<const std::uint8_t> authenticated;  // prefix of `wire`
+
+    /// Materialize an owning AuthPacket (interop/tests, not the hot path).
+    AuthPacket to_packet() const;
+
+    /// Parse `wire` without copying; the hash-ref array is allocated in
+    /// `arena`. Accepts exactly the encodings AuthPacket::decode accepts.
+    static std::optional<PacketView> decode(std::span<const std::uint8_t> wire,
+                                            PacketArena& arena);
+};
+
+/// The authenticated encoding of a payload-only data-packet identity —
+/// byte-identical to AuthPacket{block_id, index, payload}.authenticated_bytes()
+/// without constructing the packet (no payload copy). This is what Merkle
+/// leaf commitments hash in the tree scheme.
+std::span<const std::uint8_t> encode_data_identity(PacketArena& arena, std::uint32_t block_id,
+                                                   std::uint32_t index,
+                                                   std::span<const std::uint8_t> payload);
 
 }  // namespace mcauth

@@ -26,4 +26,25 @@ VerifyEvent SignEachReceiver::on_packet(const AuthPacket& packet) const {
             ok ? VerifyStatus::kAuthenticated : VerifyStatus::kRejected};
 }
 
+std::vector<VerifyEvent> SignEachReceiver::on_block(
+    std::span<const AuthPacket> packets) const {
+    arena_.reset();
+    std::vector<std::span<const std::uint8_t>> msgs;
+    std::vector<std::span<const std::uint8_t>> sigs;
+    msgs.reserve(packets.size());
+    sigs.reserve(packets.size());
+    for (const AuthPacket& pkt : packets) {
+        msgs.push_back(pkt.authenticated_bytes_into(arena_));
+        sigs.emplace_back(pkt.signature.data(), pkt.signature.size());
+    }
+    const std::vector<bool> ok = verifier_->verify_batch(msgs, sigs);
+
+    std::vector<VerifyEvent> events;
+    events.reserve(packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i)
+        events.push_back({packets[i].block_id, packets[i].index,
+                          ok[i] ? VerifyStatus::kAuthenticated : VerifyStatus::kRejected});
+    return events;
+}
+
 }  // namespace mcauth

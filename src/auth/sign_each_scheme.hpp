@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
@@ -33,8 +34,15 @@ public:
 
     VerifyEvent on_packet(const AuthPacket& packet) const;
 
+    /// Block-granular path: verdicts identical to on_packet on each element,
+    /// but the signatures go through the verifier's batch entry point (RSA
+    /// screening / multi-buffer HMAC). Not thread-safe (recycles an
+    /// internal arena).
+    std::vector<VerifyEvent> on_block(std::span<const AuthPacket> packets) const;
+
 private:
     std::unique_ptr<SignatureVerifier> verifier_;
+    mutable PacketArena arena_;  // recycled per on_block call
 };
 
 }  // namespace mcauth

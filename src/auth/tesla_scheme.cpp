@@ -121,6 +121,63 @@ AuthPacket TeslaSender::make_packet(std::vector<std::uint8_t> payload, double se
     return pkt;
 }
 
+std::vector<AuthPacket> TeslaSender::make_packets(
+    std::vector<std::vector<std::uint8_t>> payloads, std::span<const double> send_times) {
+    MCAUTH_EXPECTS(payloads.size() == send_times.size());
+    const std::size_t n = payloads.size();
+
+    // All-or-nothing: reject a chain-exhausting burst before consuming any
+    // packet index, so a caught throw leaves the sender reusable.
+    std::vector<std::size_t> intervals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        intervals[i] = interval_of(send_times[i]);
+        if (intervals[i] > config_.chain_length)
+            throw std::runtime_error("TeslaSender: key chain exhausted for this stream");
+    }
+
+    arena_.reset();
+    std::vector<AuthPacket> pkts(n);
+    std::vector<HashInput> inputs;
+    inputs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        AuthPacket& pkt = pkts[i];
+        pkt.kind = PacketKind::kData;
+        pkt.index = next_index_++;
+        pkt.payload = std::move(payloads[i]);
+        pkt.mac_interval = static_cast<std::uint32_t>(intervals[i]);
+        inputs.emplace_back(pkt.authenticated_bytes_into(arena_));
+    }
+
+    // One derived MAC key per interval; each interval's packets go through
+    // the multi-buffer HMAC as a single batch.
+    std::map<std::size_t, std::vector<std::size_t>> by_interval;
+    for (std::size_t i = 0; i < n; ++i) by_interval[intervals[i]].push_back(i);
+    std::vector<HashInput> group_inputs;
+    std::vector<Digest256> group_macs;
+    for (const auto& [interval, members] : by_interval) {
+        const TeslaKey mac_key = chain_.mac_key(interval);
+        const HmacSha256Key key({mac_key.data(), mac_key.size()});
+        group_inputs.clear();
+        for (std::size_t i : members) group_inputs.push_back(inputs[i]);
+        group_macs.resize(members.size());
+        hmac_sha256_many(key, group_inputs.data(), members.size(), group_macs.data());
+        for (std::size_t j = 0; j < members.size(); ++j)
+            pkts[members[j]].mac = truncate_digest(group_macs[j], config_.mac_bytes);
+    }
+
+    // Key disclosure rides outside the MAC'd bytes, so it can be filled in
+    // after the batch MAC pass without perturbing the wire image.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (intervals[i] > config_.disclosure_lag) {
+            const std::size_t disclosed = intervals[i] - config_.disclosure_lag;
+            pkts[i].disclosed_interval = static_cast<std::uint32_t>(disclosed);
+            const TeslaKey& key = chain_.key(disclosed);
+            pkts[i].disclosed_key.assign(key.begin(), key.end());
+        }
+    }
+    return pkts;
+}
+
 // ---------------------------------------------------------------- receiver
 
 TeslaReceiver::TeslaReceiver(TeslaConfig config, std::unique_ptr<SignatureVerifier> verifier,

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
@@ -53,6 +54,16 @@ public:
     /// start_time; streams longer than the chain throw).
     AuthPacket make_packet(std::vector<std::uint8_t> payload, double send_time);
 
+    /// Batch form of make_packet: wraps payloads[i] at send_times[i],
+    /// byte-identical to the equivalent sequence of make_packet calls.
+    /// Packets are grouped by MAC interval — one derived key per interval,
+    /// the whole group MAC'd through the multi-buffer hasher. All-or-
+    /// nothing: if any send_time exhausts the chain, throws before any
+    /// packet index is consumed. Not thread-safe (recycles an internal
+    /// arena).
+    std::vector<AuthPacket> make_packets(std::vector<std::vector<std::uint8_t>> payloads,
+                                         std::span<const double> send_times);
+
     /// Interval in force at `send_time` (1-based).
     std::size_t interval_of(double send_time) const;
 
@@ -64,6 +75,7 @@ private:
     double start_time_;
     TeslaKeyChain chain_;
     std::uint32_t next_index_ = 0;  // per-sender packet numbering
+    PacketArena arena_;             // recycled per make_packets call
 };
 
 class TeslaReceiver {

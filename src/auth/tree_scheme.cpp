@@ -40,11 +40,17 @@ std::vector<AuthPacket> TreeSender::make_block(
     MCAUTH_EXPECTS(payloads.size() == config_.block_size);
     const std::size_t n = config_.block_size;
 
-    std::vector<Digest256> leaves;
-    leaves.reserve(n);
+    // Stage every leaf's identity bytes in the arena (no per-packet vector
+    // churn), then hash the whole set through the multi-buffer hasher.
+    arena_.reset();
+    std::vector<HashInput> leaf_inputs;
+    leaf_inputs.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        leaves.push_back(MerkleTree::hash_leaf(
-            leaf_bytes(block_id, static_cast<std::uint32_t>(i), payloads[i])));
+        leaf_inputs.emplace_back(encode_data_identity(arena_, block_id,
+                                                      static_cast<std::uint32_t>(i),
+                                                      payloads[i]));
+    std::vector<Digest256> leaves(n);
+    MerkleTree::hash_leaves(leaf_inputs.data(), n, leaves.data());
     const KaryMerkleTree tree(std::move(leaves), config_.arity);
 
     // One signature amortized over the block — but unlike hash chaining it
@@ -83,18 +89,16 @@ TreeReceiver::TreeReceiver(TreeSchemeConfig config,
     MCAUTH_EXPECTS(verifier_ != nullptr);
 }
 
-VerifyEvent TreeReceiver::on_packet(const AuthPacket& packet) const {
-    VerifyEvent event{packet.block_id, packet.index, VerifyStatus::kRejected};
-
-    KaryMerkleProof proof;
+bool TreeReceiver::parse_proof(const AuthPacket& packet, KaryMerkleProof& proof) const {
     proof.leaf_index = packet.index;
+    proof.steps.clear();
     proof.steps.reserve(packet.hashes.size());
     for (const HashRef& ref : packet.hashes) {
         KaryProofStep step;
         if (ref.digest.empty() || ref.digest.size() % sizeof(Digest256) != 0)
-            return event;  // malformed
+            return false;  // malformed
         const std::size_t sibling_count = ref.digest.size() / sizeof(Digest256);
-        if (sibling_count >= config_.arity) return event;  // group too large
+        if (sibling_count >= config_.arity) return false;  // group too large
         step.position = ref.target;
         step.siblings.resize(sibling_count);
         for (std::size_t s = 0; s < sibling_count; ++s)
@@ -102,6 +106,14 @@ VerifyEvent TreeReceiver::on_packet(const AuthPacket& packet) const {
                         sizeof(Digest256));
         proof.steps.push_back(std::move(step));
     }
+    return true;
+}
+
+VerifyEvent TreeReceiver::on_packet(const AuthPacket& packet) const {
+    VerifyEvent event{packet.block_id, packet.index, VerifyStatus::kRejected};
+
+    KaryMerkleProof proof;
+    if (!parse_proof(packet, proof)) return event;
 
     const Digest256 leaf =
         MerkleTree::hash_leaf(leaf_bytes(packet.block_id, packet.index, packet.payload));
@@ -109,6 +121,63 @@ VerifyEvent TreeReceiver::on_packet(const AuthPacket& packet) const {
     if (verifier_->verify(signed_bytes(packet.block_id, root), packet.signature))
         event.status = VerifyStatus::kAuthenticated;
     return event;
+}
+
+std::vector<VerifyEvent> TreeReceiver::on_block(std::span<const AuthPacket> packets) const {
+    std::vector<VerifyEvent> events;
+    events.reserve(packets.size());
+    for (const AuthPacket& pkt : packets)
+        events.push_back({pkt.block_id, pkt.index, VerifyStatus::kRejected});
+
+    // Pass 1: parse proofs and batch-hash every well-formed packet's leaf
+    // commitment through the multi-buffer hasher.
+    arena_.reset();
+    std::vector<KaryMerkleProof> proofs(packets.size());
+    std::vector<char> well_formed(packets.size(), 0);
+    std::vector<HashInput> leaf_inputs;
+    std::vector<std::size_t> leaf_owner;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        if (!parse_proof(packets[i], proofs[i])) continue;
+        well_formed[i] = 1;
+        leaf_inputs.emplace_back(encode_data_identity(arena_, packets[i].block_id,
+                                                      packets[i].index, packets[i].payload));
+        leaf_owner.push_back(i);
+    }
+    std::vector<Digest256> leaves(leaf_inputs.size());
+    MerkleTree::hash_leaves(leaf_inputs.data(), leaf_inputs.size(), leaves.data());
+
+    // Pass 2: recombine roots, then verify each DISTINCT (block, root,
+    // signature) statement once. A well-formed block replicates one root
+    // signature across all n packets, so the public-key work drops from n
+    // verifications to one.
+    struct Statement {
+        std::uint32_t block_id;
+        Digest256 root;
+        const std::vector<std::uint8_t>* signature;
+        bool verdict;
+    };
+    std::vector<Statement> statements;
+    for (std::size_t slot = 0; slot < leaf_owner.size(); ++slot) {
+        const std::size_t i = leaf_owner[slot];
+        const AuthPacket& pkt = packets[i];
+        const Digest256 root = KaryMerkleTree::root_from_proof(leaves[slot], proofs[i]);
+        bool verdict = false;
+        bool found = false;
+        for (const Statement& st : statements) {
+            if (st.block_id == pkt.block_id && st.root == root &&
+                *st.signature == pkt.signature) {
+                verdict = st.verdict;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            verdict = verifier_->verify(signed_bytes(pkt.block_id, root), pkt.signature);
+            statements.push_back({pkt.block_id, root, &pkt.signature, verdict});
+        }
+        if (verdict) events[i].status = VerifyStatus::kAuthenticated;
+    }
+    return events;
 }
 
 }  // namespace mcauth

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "auth/hash_chain_scheme.hpp"  // VerifyEvent / VerifyStatus
@@ -48,6 +49,7 @@ public:
 private:
     TreeSchemeConfig config_;
     Signer& signer_;
+    PacketArena arena_;  // recycled per block for leaf identity staging
 };
 
 class TreeReceiver {
@@ -57,11 +59,20 @@ public:
     /// Stateless per packet: verdict is immediate (authenticated/rejected).
     VerifyEvent on_packet(const AuthPacket& packet) const;
 
+    /// Block-granular path: verdicts identical to on_packet on each element,
+    /// but leaf hashing is batched and the replicated root signature is
+    /// verified once per distinct (block, root, signature) statement instead
+    /// of once per packet. Not thread-safe (recycles an internal arena).
+    std::vector<VerifyEvent> on_block(std::span<const AuthPacket> packets) const;
+
     const TreeSchemeConfig& config() const noexcept { return config_; }
 
 private:
+    bool parse_proof(const AuthPacket& packet, KaryMerkleProof& proof) const;
+
     TreeSchemeConfig config_;
     std::unique_ptr<SignatureVerifier> verifier_;
+    mutable PacketArena arena_;  // recycled per on_block call
 };
 
 }  // namespace mcauth

@@ -52,6 +52,41 @@ Digest256 HmacSha256::finish() noexcept {
     return outer.finish();
 }
 
+HmacSha256Key::HmacSha256Key(std::span<const std::uint8_t> key) noexcept {
+    const auto block = block_key_sha256(key);
+    for (std::size_t i = 0; i < 64; ++i) {
+        ipad_[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+        opad_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+}
+
+void hmac_sha256_many(const HmacSha256Key& key, const HashInput* messages, std::size_t count,
+                      Digest256* out) noexcept {
+    MCAUTH_OBS_COUNT_N("crypto.hmac_sha256.ops", count);
+    // Two batched passes per lane group: inner = H(ipad || msg), then
+    // outer = H(opad || inner). The inner digests live in a stack chunk, so
+    // the outer HashInputs can borrow them safely.
+    std::size_t i = 0;
+    while (i < count) {
+        const std::size_t group = std::min(Sha256x8::kLanes, count - i);
+        std::array<HashInput, Sha256x8::kLanes> batch;
+        std::array<Digest256, Sha256x8::kLanes> inner;
+        for (std::size_t l = 0; l < group; ++l) {
+            const HashInput& msg = messages[i + l];
+            HashInput& in = batch[l];
+            in = HashInput(key.ipad_block());
+            for (std::size_t p = 0; p < msg.part_count; ++p) in.add(msg.parts[p]);
+        }
+        Sha256x8::hash_many(batch.data(), group, inner.data());
+        for (std::size_t l = 0; l < group; ++l) {
+            batch[l] = HashInput(key.opad_block());
+            batch[l].add(inner[l]);
+        }
+        Sha256x8::hash_many(batch.data(), group, out + i);
+        i += group;
+    }
+}
+
 Digest256 hmac_sha256(std::span<const std::uint8_t> key,
                       std::span<const std::uint8_t> message) noexcept {
     HmacSha256 mac(key);

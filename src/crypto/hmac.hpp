@@ -10,6 +10,7 @@
 
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mcauth {
 
@@ -31,5 +32,27 @@ private:
     Sha256 inner_;
     std::array<std::uint8_t, 64> opad_key_{};
 };
+
+/// A key prepared for batch HMAC-SHA256: normalization and the ipad/opad
+/// XORs are done once, then shared across every message MAC'd under the key
+/// (TESLA MACs a whole interval's packets under one chain key).
+class HmacSha256Key {
+public:
+    explicit HmacSha256Key(std::span<const std::uint8_t> key) noexcept;
+
+    std::span<const std::uint8_t> ipad_block() const noexcept { return ipad_; }
+    std::span<const std::uint8_t> opad_block() const noexcept { return opad_; }
+
+private:
+    std::array<std::uint8_t, 64> ipad_{};
+    std::array<std::uint8_t, 64> opad_{};
+};
+
+/// Batch HMAC-SHA256 over the multi-buffer hasher: `out[i]` receives the MAC
+/// of `messages[i]` under `key`, byte-identical to `hmac_sha256`. Each
+/// message may use at most `HashInput::kMaxParts - 1` parts (one slot is
+/// consumed by the ipad block).
+void hmac_sha256_many(const HmacSha256Key& key, const HashInput* messages, std::size_t count,
+                      Digest256* out) noexcept;
 
 }  // namespace mcauth

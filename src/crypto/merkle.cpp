@@ -1,5 +1,9 @@
 #include "crypto/merkle.hpp"
 
+#include <algorithm>
+#include <array>
+
+#include "crypto/sha256_batch.hpp"
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -8,6 +12,28 @@ namespace {
 
 constexpr std::uint8_t kLeafPrefix = 0x00;
 constexpr std::uint8_t kNodePrefix = 0x01;
+
+/// Hash all sibling pairs of one level through the multi-buffer hasher.
+/// A pair's two digests are adjacent elements of `below`, so each lane's
+/// input is just the domain prefix plus one contiguous 64-byte span —
+/// byte-identical to hash_node(below[2i], below[2i+1]).
+void hash_pairs_batched(const std::vector<Digest256>& below,
+                        std::vector<Digest256>& out_pairs) {
+    const std::size_t pairs = below.size() / 2;
+    out_pairs.resize(pairs);
+    const std::span<const std::uint8_t> prefix(&kNodePrefix, 1);
+    std::array<HashInput, Sha256x8::kLanes> chunk;
+    std::size_t i = 0;
+    while (i < pairs) {
+        const std::size_t group = std::min(Sha256x8::kLanes, pairs - i);
+        for (std::size_t l = 0; l < group; ++l) {
+            chunk[l] = HashInput(prefix);
+            chunk[l].add(std::span<const std::uint8_t>(below[2 * (i + l)].data(), 64));
+        }
+        Sha256x8::hash_many(chunk.data(), group, out_pairs.data() + i);
+        i += group;
+    }
+}
 
 }  // namespace
 
@@ -32,11 +58,25 @@ MerkleTree::MerkleTree(std::vector<Digest256> leaves) {
     while (levels_.back().size() > 1) {
         const auto& below = levels_.back();
         std::vector<Digest256> level;
-        level.reserve((below.size() + 1) / 2);
-        for (std::size_t i = 0; i + 1 < below.size(); i += 2)
-            level.push_back(hash_node(below[i], below[i + 1]));
+        hash_pairs_batched(below, level);
         if (below.size() % 2 != 0) level.push_back(below.back());  // promote odd tail
         levels_.push_back(std::move(level));
+    }
+}
+
+void MerkleTree::hash_leaves(const HashInput* data, std::size_t count, Digest256* out) noexcept {
+    const std::span<const std::uint8_t> prefix(&kLeafPrefix, 1);
+    std::array<HashInput, Sha256x8::kLanes> chunk;
+    std::size_t i = 0;
+    while (i < count) {
+        const std::size_t group = std::min(Sha256x8::kLanes, count - i);
+        for (std::size_t l = 0; l < group; ++l) {
+            const HashInput& d = data[i + l];
+            chunk[l] = HashInput(prefix);
+            for (std::size_t p = 0; p < d.part_count; ++p) chunk[l].add(d.parts[p]);
+        }
+        Sha256x8::hash_many(chunk.data(), group, out + i);
+        i += group;
     }
 }
 
@@ -93,16 +133,29 @@ KaryMerkleTree::KaryMerkleTree(std::vector<Digest256> leaves, std::size_t arity)
     while (levels_.back().size() > 1) {
         const auto& below = levels_.back();
         std::vector<Digest256> level;
-        level.reserve((below.size() + arity_ - 1) / arity_);
-        for (std::size_t start = 0; start < below.size(); start += arity_) {
-            const std::size_t count = std::min(arity_, below.size() - start);
-            if (count == 1) {
-                level.push_back(below[start]);  // promote the lone tail node
-            } else {
-                level.push_back(hash_group(
-                    std::span<const Digest256>(below.data() + start, count)));
+        level.resize((below.size() + arity_ - 1) / arity_);
+        // One level per batched pass: a group's children are contiguous in
+        // `below`, so each lane hashes its 2-byte domain header plus one
+        // count*32-byte span — byte-identical to hash_group().
+        // A lone (promoted) tail node can only be the level's last group.
+        const bool promoted_tail = (below.size() % arity_ == 1);
+        const std::size_t hashed = level.size() - (promoted_tail ? 1 : 0);
+        std::array<HashInput, Sha256x8::kLanes> chunk;
+        std::array<std::array<std::uint8_t, 2>, Sha256x8::kLanes> headers;
+        std::size_t node = 0;
+        while (node < hashed) {
+            const std::size_t lanes = std::min(Sha256x8::kLanes, hashed - node);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const std::size_t start = (node + l) * arity_;
+                const std::size_t count = std::min(arity_, below.size() - start);
+                headers[l] = {std::uint8_t{0x02}, static_cast<std::uint8_t>(count)};
+                chunk[l] = HashInput(headers[l]);
+                chunk[l].add(std::span<const std::uint8_t>(below[start].data(), count * 32));
             }
+            Sha256x8::hash_many(chunk.data(), lanes, level.data() + node);
+            node += lanes;
         }
+        if (promoted_tail) level.back() = below.back();
         levels_.push_back(std::move(level));
     }
 }

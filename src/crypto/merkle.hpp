@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mcauth {
 
@@ -58,6 +59,11 @@ public:
     /// Domain-separated hashes.
     static Digest256 hash_leaf(std::span<const std::uint8_t> data) noexcept;
     static Digest256 hash_node(const Digest256& left, const Digest256& right) noexcept;
+
+    /// Batch leaf hashing through the multi-buffer hasher: `out[i]` receives
+    /// hash_leaf of `data[i]`'s concatenated parts. Each input may use at
+    /// most `HashInput::kMaxParts - 1` parts (one slot holds the prefix).
+    static void hash_leaves(const HashInput* data, std::size_t count, Digest256* out) noexcept;
 
 private:
     std::vector<std::vector<Digest256>> levels_;  // levels_[0] = leaves

@@ -1,6 +1,7 @@
 #include "crypto/rsa.hpp"
 
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -14,9 +15,7 @@ constexpr std::uint8_t kSha256DigestInfo[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09
                                               0x01, 0x05, 0x00, 0x04, 0x20};
 
 // EMSA-PKCS1-v1_5 encoding: 00 01 FF..FF 00 || DigestInfo || H(m).
-std::vector<std::uint8_t> emsa_encode(std::span<const std::uint8_t> message,
-                                      std::size_t em_len) {
-    const Digest256 digest = Sha256::hash(message);
+std::vector<std::uint8_t> emsa_encode_digest(const Digest256& digest, std::size_t em_len) {
     const std::size_t t_len = sizeof kSha256DigestInfo + digest.size();
     MCAUTH_EXPECTS(em_len >= t_len + 11);
     std::vector<std::uint8_t> em(em_len, 0xff);
@@ -28,6 +27,11 @@ std::vector<std::uint8_t> emsa_encode(std::span<const std::uint8_t> message,
     std::copy(digest.begin(), digest.end(),
               em.end() - static_cast<std::ptrdiff_t>(digest.size()));
     return em;
+}
+
+std::vector<std::uint8_t> emsa_encode(std::span<const std::uint8_t> message,
+                                      std::size_t em_len) {
+    return emsa_encode_digest(Sha256::hash(message), em_len);
 }
 
 }  // namespace
@@ -94,6 +98,53 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
     const auto em = m.to_bytes(k);
     const auto expected = emsa_encode(message, k);
     return ct_equal(em, expected);
+}
+
+std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
+                                   std::span<const std::span<const std::uint8_t>> messages,
+                                   std::span<const std::span<const std::uint8_t>> signatures) {
+    MCAUTH_EXPECTS(messages.size() == signatures.size());
+    const std::size_t n_items = messages.size();
+    std::vector<bool> ok(n_items, false);
+    if (n_items == 0) return ok;
+    MCAUTH_OBS_COUNT("crypto.rsa.batch.calls");
+    MCAUTH_OBS_COUNT_N("crypto.rsa.batch.items", n_items);
+    MCAUTH_OBS_SPAN("crypto.rsa.verify_batch");
+    const std::size_t k = key.modulus_bytes();
+
+    // One multi-buffer pass hashes every message for the EMSA encodings.
+    std::vector<Digest256> digests(n_items);
+    Sha256x8::hash_many(messages, digests.data());
+
+    // Screening pass (Bellare–Garay–Rabin small-exponent test, as MABS
+    // applies it per block): accumulate Π s_i and Π EM_i mod n, then test
+    // (Π s_i)^e == Π EM_i with a single public-key exponentiation.
+    // Malformed items (wrong length, s >= n) are excluded up front so one
+    // garbage packet cannot poison the whole block.
+    Bignum sig_prod(1);
+    Bignum em_prod(1);
+    std::vector<std::size_t> screened;
+    screened.reserve(n_items);
+    for (std::size_t i = 0; i < n_items; ++i) {
+        if (signatures[i].size() != k) continue;
+        const Bignum s = Bignum::from_bytes(signatures[i]);
+        if (s >= key.n) continue;
+        const Bignum m = Bignum::from_bytes(emsa_encode_digest(digests[i], k));
+        sig_prod = Bignum::mod_mul(sig_prod, s, key.n);
+        em_prod = Bignum::mod_mul(em_prod, m, key.n);
+        screened.push_back(i);
+    }
+    if (screened.empty()) return ok;
+
+    if (Bignum::mod_pow(sig_prod, key.e, key.n) == em_prod) {
+        for (std::size_t i : screened) ok[i] = true;
+        return ok;
+    }
+    // At least one signature is bad: fall back to per-item verification so
+    // the good packets in the block still authenticate.
+    MCAUTH_OBS_COUNT("crypto.rsa.batch.fallbacks");
+    for (std::size_t i : screened) ok[i] = rsa_verify(key, messages[i], signatures[i]);
+    return ok;
 }
 
 }  // namespace mcauth

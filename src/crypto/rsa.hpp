@@ -51,4 +51,23 @@ std::vector<std::uint8_t> rsa_sign(const RsaKeyPair& key,
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
                 std::span<const std::uint8_t> signature);
 
+/// Batch verification of a block's signatures under one key (MABS-style):
+/// message hashing goes through the multi-buffer SHA-256 and the public-key
+/// work is one screening exponentiation — (Π s_i)^e ≡ Π EM_i (mod n), the
+/// Bellare–Garay–Rabin test — instead of one per packet. If the screen
+/// fails, every screened item is re-verified individually, so the result
+/// vector always equals per-item `rsa_verify` on honest and on tampered
+/// input alike. Malformed signatures (wrong length, s >= n) are rejected
+/// up front without spoiling the batch.
+///
+/// Caveat (inherent to screening): a batch that passes proves the
+/// *products* match; an adversary who can inject multiplicatively related
+/// forgeries into one block could cancel terms. That is the standard batch
+/// trade MABS accepts for per-block amortization; callers that need
+/// per-item soundness against in-block adversaries should verify items
+/// individually.
+std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
+                                   std::span<const std::span<const std::uint8_t>> messages,
+                                   std::span<const std::span<const std::uint8_t>> signatures);
+
 }  // namespace mcauth

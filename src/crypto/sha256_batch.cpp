@@ -1,0 +1,330 @@
+#include "crypto/sha256_batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "obs/obs.hpp"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define MCAUTH_SHA_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define MCAUTH_SHA_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace mcauth {
+
+namespace {
+
+// Same constants as sha256.cpp; duplicated here because they are part of the
+// FIPS 180-4 specification, not shared mutable state.
+constexpr std::uint32_t kInit[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                                    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu, 0x59f111f1u,
+    0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+    0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u, 0xe49b69c1u, 0xefbe4786u,
+    0x0fc19dc6u, 0x240ca1ccu, 0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+    0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+    0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u, 0xa2bfe8a1u, 0xa81a664bu,
+    0xc24b8b70u, 0xc76c51a3u, 0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+    0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au,
+    0x5b9cca4fu, 0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+alignas(32) constexpr std::uint8_t kZeroBlock[64] = {};
+
+std::atomic<bool> g_forced_scalar{false};
+
+/// Streams the padded message of one lane as a sequence of 64-byte blocks.
+/// Blocks that lie entirely inside one input span are returned by pointer
+/// (zero copy); blocks that straddle part boundaries or contain padding are
+/// assembled into a per-lane staging buffer.
+struct LaneFeed {
+    const HashInput* in = nullptr;
+    std::size_t part = 0;
+    std::size_t offset = 0;        // into parts[part]
+    std::size_t msg_remaining = 0;
+    std::uint64_t total_bytes = 0;
+    std::size_t blocks_total = 0;
+    std::size_t blocks_emitted = 0;
+    bool pad_80_done = false;
+    alignas(32) std::uint8_t staging[64];
+
+    void init(const HashInput& input) noexcept {
+        in = &input;
+        part = 0;
+        offset = 0;
+        total_bytes = input.total_bytes();
+        msg_remaining = static_cast<std::size_t>(total_bytes);
+        // Padded length = message + 0x80 + zeros + 8-byte bit count, rounded
+        // up to a whole number of 64-byte blocks.
+        blocks_total = static_cast<std::size_t>((total_bytes + 9 + 63) / 64);
+        blocks_emitted = 0;
+        pad_80_done = false;
+    }
+
+    void skip_exhausted_parts() noexcept {
+        while (part < in->part_count && offset == in->parts[part].size()) {
+            ++part;
+            offset = 0;
+        }
+    }
+
+    const std::uint8_t* next_block() noexcept {
+        const bool last = (++blocks_emitted == blocks_total);
+        skip_exhausted_parts();
+        // Fast path: a full block of contiguous message bytes. The final
+        // block always carries padding (<= 55 message bytes), so `last`
+        // never takes this path.
+        if (msg_remaining >= 64 && part < in->part_count &&
+            in->parts[part].size() - offset >= 64) {
+            const std::uint8_t* p = in->parts[part].data() + offset;
+            offset += 64;
+            msg_remaining -= 64;
+            return p;
+        }
+        std::size_t filled = 0;
+        while (filled < 64 && msg_remaining > 0) {
+            skip_exhausted_parts();
+            const auto& span = in->parts[part];
+            const std::size_t take = std::min(span.size() - offset, 64 - filled);
+            std::memcpy(staging + filled, span.data() + offset, take);
+            filled += take;
+            offset += take;
+            msg_remaining -= take;
+        }
+        if (filled < 64) {
+            if (!pad_80_done) {
+                staging[filled++] = 0x80;
+                pad_80_done = true;
+            }
+            std::memset(staging + filled, 0, 64 - filled);
+        }
+        if (last) {
+            const std::uint64_t bits = total_bytes * 8;
+            for (int i = 0; i < 8; ++i)
+                staging[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+        }
+        return staging;
+    }
+};
+
+Digest256 hash_one_scalar(const HashInput& in) noexcept {
+    Sha256 h;
+    for (std::size_t i = 0; i < in.part_count; ++i) h.update(in.parts[i]);
+    return h.finish();
+}
+
+#if MCAUTH_SHA_HAVE_AVX2_KERNEL
+
+__attribute__((target("avx2"))) inline __m256i rotr32(__m256i x, int n) noexcept {
+    return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+/// One SHA-256 compression over eight independent blocks. `state[w]` holds
+/// state word `w` of all eight lanes (lane l in 32-bit element l); lanes
+/// whose 32-bit element of `active` is zero keep their previous state, which
+/// is how ragged-length batches retire short lanes while long ones continue.
+__attribute__((target("avx2"))) void compress8_avx2(__m256i state[8],
+                                                    const std::uint8_t* const block[8],
+                                                    __m256i active) noexcept {
+    // Byte shuffle that big-endian-swaps each 32-bit element.
+    const __m256i bswap = _mm256_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+                                           3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+    // Load + transpose: two 8x8 tiles of 32-bit words turn "one row per
+    // block" into "one register per message-schedule word".
+    __m256i w[16];
+    for (int tile = 0; tile < 2; ++tile) {
+        __m256i r[8];
+        for (int l = 0; l < 8; ++l) {
+            r[l] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(block[l] + 32 * tile));
+        }
+        const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+        const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+        const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+        const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+        const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+        const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+        const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+        const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+        const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+        const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+        const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+        const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+        const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+        const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+        const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+        const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+        __m256i* dst = w + 8 * tile;
+        dst[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+        dst[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+        dst[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+        dst[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+        dst[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+        dst[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+        dst[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+        dst[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+    }
+    for (int t = 0; t < 16; ++t) w[t] = _mm256_shuffle_epi8(w[t], bswap);
+
+    __m256i a = state[0], b = state[1], c = state[2], d = state[3];
+    __m256i e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int t = 0; t < 64; ++t) {
+        if (t >= 16) {
+            const __m256i w15 = w[(t - 15) & 15];
+            const __m256i w2 = w[(t - 2) & 15];
+            const __m256i s0 = _mm256_xor_si256(_mm256_xor_si256(rotr32(w15, 7), rotr32(w15, 18)),
+                                                _mm256_srli_epi32(w15, 3));
+            const __m256i s1 = _mm256_xor_si256(_mm256_xor_si256(rotr32(w2, 17), rotr32(w2, 19)),
+                                                _mm256_srli_epi32(w2, 10));
+            w[t & 15] = _mm256_add_epi32(
+                _mm256_add_epi32(w[t & 15], s0),
+                _mm256_add_epi32(w[(t - 7) & 15], s1));
+        }
+        const __m256i big_s1 =
+            _mm256_xor_si256(_mm256_xor_si256(rotr32(e, 6), rotr32(e, 11)), rotr32(e, 25));
+        const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                            _mm256_andnot_si256(e, g));
+        const __m256i temp1 = _mm256_add_epi32(
+            _mm256_add_epi32(_mm256_add_epi32(h, big_s1), _mm256_add_epi32(ch, w[t & 15])),
+            _mm256_set1_epi32(static_cast<int>(kRound[t])));
+        const __m256i big_s0 =
+            _mm256_xor_si256(_mm256_xor_si256(rotr32(a, 2), rotr32(a, 13)), rotr32(a, 22));
+        const __m256i maj = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+            _mm256_and_si256(b, c));
+        const __m256i temp2 = _mm256_add_epi32(big_s0, maj);
+        h = g;
+        g = f;
+        f = e;
+        e = _mm256_add_epi32(d, temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = _mm256_add_epi32(temp1, temp2);
+    }
+
+    const __m256i vars[8] = {a, b, c, d, e, f, g, h};
+    for (int i = 0; i < 8; ++i) {
+        const __m256i next = _mm256_add_epi32(state[i], vars[i]);
+        state[i] = _mm256_blendv_epi8(state[i], next, active);
+    }
+}
+
+/// Hash up to eight messages through the transposed-state kernel. Lanes
+/// beyond `count` (and lanes whose message is shorter than the batch
+/// maximum) feed the zero block with their state update masked off.
+__attribute__((target("avx2"))) void hash_group_avx2(const HashInput* inputs, std::size_t count,
+                                                     Digest256* out) noexcept {
+    LaneFeed feeds[Sha256x8::kLanes];
+    std::size_t blocks[Sha256x8::kLanes] = {};
+    std::size_t max_blocks = 0;
+    for (std::size_t l = 0; l < count; ++l) {
+        feeds[l].init(inputs[l]);
+        blocks[l] = feeds[l].blocks_total;
+        max_blocks = std::max(max_blocks, blocks[l]);
+    }
+
+    __m256i state[8];
+    for (int i = 0; i < 8; ++i) state[i] = _mm256_set1_epi32(static_cast<int>(kInit[i]));
+
+    for (std::size_t b = 0; b < max_blocks; ++b) {
+        const std::uint8_t* ptr[Sha256x8::kLanes];
+        alignas(32) std::int32_t lane_mask[Sha256x8::kLanes];
+        for (std::size_t l = 0; l < Sha256x8::kLanes; ++l) {
+            const bool on = b < blocks[l];
+            ptr[l] = on ? feeds[l].next_block() : kZeroBlock;
+            lane_mask[l] = on ? -1 : 0;
+        }
+        const __m256i active =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_mask));
+        compress8_avx2(state, ptr, active);
+    }
+
+    alignas(32) std::uint32_t cols[8][8];
+    for (int i = 0; i < 8; ++i)
+        _mm256_store_si256(reinterpret_cast<__m256i*>(cols[i]), state[i]);
+    for (std::size_t l = 0; l < count; ++l) {
+        for (int i = 0; i < 8; ++i) {
+            const std::uint32_t word = cols[i][l];
+            out[l][4 * i] = static_cast<std::uint8_t>(word >> 24);
+            out[l][4 * i + 1] = static_cast<std::uint8_t>(word >> 16);
+            out[l][4 * i + 2] = static_cast<std::uint8_t>(word >> 8);
+            out[l][4 * i + 3] = static_cast<std::uint8_t>(word);
+        }
+    }
+}
+
+bool cpu_has_avx2() noexcept { return __builtin_cpu_supports("avx2"); }
+
+#endif  // MCAUTH_SHA_HAVE_AVX2_KERNEL
+
+}  // namespace
+
+bool Sha256x8::uses_avx2() noexcept {
+#if MCAUTH_SHA_HAVE_AVX2_KERNEL
+    static const bool have_avx2 = cpu_has_avx2();
+    return have_avx2;
+#else
+    return false;
+#endif
+}
+
+bool Sha256x8::set_forced_scalar(bool forced) noexcept {
+    return g_forced_scalar.exchange(forced, std::memory_order_relaxed);
+}
+
+bool Sha256x8::forced_scalar() noexcept {
+    return g_forced_scalar.load(std::memory_order_relaxed);
+}
+
+void Sha256x8::hash_many(const HashInput* inputs, std::size_t count, Digest256* out) noexcept {
+    const bool simd = uses_avx2() && !forced_scalar();
+    std::size_t i = 0;
+    while (i < count) {
+        const std::size_t group = std::min(kLanes, count - i);
+        // A single message gains nothing from the wide kernel; everything
+        // else is cheaper per lane even when some lanes idle.
+#if MCAUTH_SHA_HAVE_AVX2_KERNEL
+        if (simd && group >= 2) {
+            MCAUTH_OBS_COUNT("crypto.batch.calls");
+            MCAUTH_OBS_COUNT_N("crypto.batch.lanes_filled", group);
+            // Mirror the scalar accounting in Sha256::finish() so
+            // crypto.sha256.* stays comparable across engines.
+            MCAUTH_OBS_COUNT_N("crypto.sha256.ops", group);
+            std::size_t bytes = 0;
+            for (std::size_t l = 0; l < group; ++l) bytes += inputs[i + l].total_bytes();
+            MCAUTH_OBS_COUNT_N("crypto.sha256.bytes", bytes);
+            hash_group_avx2(inputs + i, group, out + i);
+            i += group;
+            continue;
+        }
+#else
+        (void)simd;
+#endif
+        MCAUTH_OBS_COUNT_N("crypto.batch.scalar_lanes", group);
+        for (std::size_t l = 0; l < group; ++l) out[i + l] = hash_one_scalar(inputs[i + l]);
+        i += group;
+    }
+}
+
+void Sha256x8::hash_many(std::span<const std::span<const std::uint8_t>> messages,
+                         Digest256* out) noexcept {
+    std::array<HashInput, kLanes> chunk;
+    std::size_t i = 0;
+    while (i < messages.size()) {
+        const std::size_t group = std::min(kLanes, messages.size() - i);
+        for (std::size_t l = 0; l < group; ++l) chunk[l] = HashInput(messages[i + l]);
+        hash_many(chunk.data(), group, out + i);
+        i += group;
+    }
+}
+
+}  // namespace mcauth

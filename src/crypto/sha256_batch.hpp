@@ -1,0 +1,75 @@
+// Multi-buffer SHA-256: hash up to eight independent messages per call.
+//
+// The data-plane hot loops (Merkle levels, per-block HMAC batches, leaf
+// commitments) hash many short, independent messages. A transposed-state
+// AVX2 kernel keeps one 32-bit state word of eight messages per 256-bit
+// register and runs the FIPS 180-4 compression once for all lanes;
+// dispatch follows the xoshiro kernel in util/rng.cpp
+// (`__builtin_cpu_supports("avx2")` checked once at startup). Without
+// AVX2 — or when forced — every batch routes through the scalar `Sha256`
+// class, so results are byte-identical on any CPU by construction.
+//
+// Messages are described as `HashInput`: up to four non-owning spans that
+// are hashed as if concatenated. Four parts cover every caller in the
+// tree (domain prefix + node pair, ipad/opad + message, header + payload)
+// without materializing concatenations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace mcauth {
+
+/// A message to hash, given as the concatenation of up to four byte spans.
+/// The spans are borrowed: they must stay alive until the hash call returns.
+struct HashInput {
+    static constexpr std::size_t kMaxParts = 4;
+
+    std::array<std::span<const std::uint8_t>, kMaxParts> parts{};
+    std::size_t part_count = 0;
+
+    constexpr HashInput() noexcept = default;
+    explicit HashInput(std::span<const std::uint8_t> message) noexcept { add(message); }
+
+    void add(std::span<const std::uint8_t> part) noexcept {
+        parts[part_count++] = part;  // part_count must stay < kMaxParts
+    }
+
+    std::size_t total_bytes() const noexcept {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < part_count; ++i) n += parts[i].size();
+        return n;
+    }
+};
+
+/// Eight-wide batch hasher. Stateless; all entry points are static and
+/// thread-safe (the forced-scalar switch is a test/bench hook, not meant
+/// to be toggled concurrently with hashing).
+class Sha256x8 {
+public:
+    static constexpr std::size_t kLanes = 8;
+
+    /// Hash `count` independent messages; `out[i]` receives the digest of
+    /// `inputs[i]`. Batches of any size are accepted — full 8-lane groups
+    /// go through the SIMD kernel (when available), the ragged tail and
+    /// single-message calls fall back to the scalar `Sha256`.
+    static void hash_many(const HashInput* inputs, std::size_t count, Digest256* out) noexcept;
+
+    /// Convenience overload for single-span messages.
+    static void hash_many(std::span<const std::span<const std::uint8_t>> messages,
+                          Digest256* out) noexcept;
+
+    /// True when the AVX2 kernel is compiled in and the CPU supports it.
+    static bool uses_avx2() noexcept;
+
+    /// Force the scalar fallback regardless of CPU support (identity tests,
+    /// scalar-vs-batch bench arms). Returns the previous setting.
+    static bool set_forced_scalar(bool forced) noexcept;
+    static bool forced_scalar() noexcept;
+};
+
+}  // namespace mcauth

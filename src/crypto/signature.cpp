@@ -8,6 +8,16 @@
 
 namespace mcauth {
 
+std::vector<bool> SignatureVerifier::verify_batch(
+    std::span<const std::span<const std::uint8_t>> messages,
+    std::span<const std::span<const std::uint8_t>> signatures) const {
+    MCAUTH_EXPECTS(messages.size() == signatures.size());
+    std::vector<bool> ok(messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i)
+        ok[i] = verify(messages[i], signatures[i]);
+    return ok;
+}
+
 // ---------------------------------------------------------------- RsaSigner
 
 namespace {
@@ -19,6 +29,12 @@ public:
     bool verify(std::span<const std::uint8_t> message,
                 std::span<const std::uint8_t> signature) const override {
         return rsa_verify(key_, message, signature);
+    }
+
+    std::vector<bool> verify_batch(
+        std::span<const std::span<const std::uint8_t>> messages,
+        std::span<const std::span<const std::uint8_t>> signatures) const override {
+        return rsa_verify_batch(key_, messages, signatures);
     }
 
 private:
@@ -202,6 +218,32 @@ public:
         const std::size_t check = std::min(signature.size(), mac.size());
         return ct_equal(signature.first(check),
                         std::span<const std::uint8_t>(mac.data(), check));
+    }
+
+    std::vector<bool> verify_batch(
+        std::span<const std::span<const std::uint8_t>> messages,
+        std::span<const std::span<const std::uint8_t>> signatures) const override {
+        MCAUTH_EXPECTS(messages.size() == signatures.size());
+        // Recompute every MAC through the multi-buffer hasher, then compare.
+        const HmacSha256Key prepared(key_);
+        std::vector<Digest256> macs(messages.size());
+        std::size_t i = 0;
+        std::array<HashInput, Sha256x8::kLanes> chunk;
+        while (i < messages.size()) {
+            const std::size_t group = std::min(Sha256x8::kLanes, messages.size() - i);
+            for (std::size_t l = 0; l < group; ++l) chunk[l] = HashInput(messages[i + l]);
+            hmac_sha256_many(prepared, chunk.data(), group, macs.data() + i);
+            i += group;
+        }
+        std::vector<bool> ok(messages.size());
+        for (std::size_t j = 0; j < messages.size(); ++j) {
+            const auto& sig = signatures[j];
+            const std::size_t check = std::min(sig.size(), macs[j].size());
+            ok[j] = sig.size() == pretend_bytes_ &&
+                    ct_equal(sig.first(check),
+                             std::span<const std::uint8_t>(macs[j].data(), check));
+        }
+        return ok;
     }
 
 private:

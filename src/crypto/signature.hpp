@@ -38,6 +38,14 @@ public:
     virtual ~SignatureVerifier() = default;
     virtual bool verify(std::span<const std::uint8_t> message,
                         std::span<const std::uint8_t> signature) const = 0;
+
+    /// Verify a block's worth of (message, signature) pairs at once.
+    /// `out[i]` equals what verify(messages[i], signatures[i]) returns; the
+    /// default is that loop, while backends with a cheaper amortized path
+    /// (RSA screening, batched MACs) override it.
+    virtual std::vector<bool> verify_batch(
+        std::span<const std::span<const std::uint8_t>> messages,
+        std::span<const std::span<const std::uint8_t>> signatures) const;
 };
 
 class Signer {

@@ -206,5 +206,83 @@ TEST(Packet, OversizedSectionRejectedAtEncode) {
     EXPECT_THROW(pkt.encode(), std::invalid_argument);
 }
 
+// ------------------------------------------------- arena / zero-copy codec
+
+std::vector<std::uint8_t> to_vec(std::span<const std::uint8_t> s) {
+    return {s.begin(), s.end()};
+}
+
+TEST(PacketArena, EncodeIntoMatchesEncode) {
+    Rng rng(31);
+    PacketArena arena;
+    for (int trial = 0; trial < 50; ++trial) {
+        AuthPacket pkt;
+        pkt.block_id = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.index = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.block_size = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.kind = static_cast<PacketKind>(rng.uniform_below(3));
+        pkt.payload = rng.bytes(rng.uniform_below(300));
+        for (std::size_t i = 0, n = rng.uniform_below(5); i < n; ++i)
+            pkt.hashes.push_back({static_cast<std::uint32_t>(rng.next_u64()),
+                                  rng.bytes(1 + rng.uniform_below(32))});
+        pkt.signature = rng.bytes(rng.uniform_below(80));
+        pkt.mac = rng.bytes(rng.uniform_below(32));
+        pkt.disclosed_interval = static_cast<std::uint32_t>(rng.next_u64());
+        pkt.disclosed_key = rng.bytes(rng.uniform_below(32));
+        EXPECT_EQ(to_vec(pkt.encode_into(arena)), pkt.encode()) << trial;
+        EXPECT_EQ(to_vec(pkt.authenticated_bytes_into(arena)), pkt.authenticated_bytes())
+            << trial;
+    }
+}
+
+TEST(PacketArena, ResetRecyclesChunksAndKeepsEncodingCorrect) {
+    Rng rng(32);
+    PacketArena arena(256);  // small chunks force multi-chunk growth
+    const AuthPacket pkt = sample_packet(rng);
+    const auto expected = pkt.encode();
+    for (int pass = 0; pass < 3; ++pass) {
+        for (int i = 0; i < 20; ++i) EXPECT_EQ(to_vec(pkt.encode_into(arena)), expected);
+        const std::size_t chunks_after_first_pass = arena.chunk_count();
+        arena.reset();
+        EXPECT_EQ(arena.bytes_in_use(), 0u);
+        // Chunks are recycled, not freed.
+        EXPECT_EQ(arena.chunk_count(), chunks_after_first_pass);
+    }
+}
+
+TEST(PacketView, DecodeMatchesOwningDecode) {
+    Rng rng(33);
+    PacketArena arena;
+    const AuthPacket pkt = sample_packet(rng);
+    const auto wire = pkt.encode();
+    const auto view = PacketView::decode(wire, arena);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_TRUE(packets_equal(pkt, view->to_packet()));
+    // The authenticated span is the exact prefix the owning encoder produces.
+    EXPECT_EQ(to_vec(view->authenticated), pkt.authenticated_bytes());
+    // Field spans alias the wire buffer — no copies were made.
+    EXPECT_GE(view->payload.data(), wire.data());
+    EXPECT_LE(view->payload.data() + view->payload.size(), wire.data() + wire.size());
+    ASSERT_EQ(view->hashes.size(), pkt.hashes.size());
+    for (std::size_t i = 0; i < view->hashes.size(); ++i) {
+        EXPECT_EQ(view->hashes[i].target, pkt.hashes[i].target);
+        EXPECT_EQ(to_vec(view->hashes[i].digest), pkt.hashes[i].digest);
+    }
+}
+
+TEST(PacketView, RejectsExactlyWhatOwningDecodeRejects) {
+    Rng rng(34);
+    PacketArena arena;
+    const auto wire = sample_packet(rng).encode();
+    for (int trial = 0; trial < 1000; ++trial) {
+        auto mutated = wire;
+        mutated.resize(rng.uniform_below(mutated.size() + 1));
+        const bool owning = AuthPacket::decode(mutated).has_value();
+        arena.reset();
+        const bool zero_copy = PacketView::decode(mutated, arena).has_value();
+        EXPECT_EQ(owning, zero_copy) << "truncated to " << mutated.size();
+    }
+}
+
 }  // namespace
 }  // namespace mcauth

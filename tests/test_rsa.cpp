@@ -104,6 +104,91 @@ TEST_F(RsaTest, CrtSignatureEqualsPlainExponentiation) {
 
 // ----------------------------------------------------- Signer interface
 
+// ------------------------------------------------------- batch verification
+
+using SpanVec = std::vector<std::span<const std::uint8_t>>;
+
+TEST_F(RsaTest, BatchAllValidMatchesPerItem) {
+    Rng rng(1010);
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    for (int i = 0; i < 9; ++i) {
+        msgs.push_back(rng.bytes(30 + 10 * i));
+        sigs.push_back(rsa_sign(*key_, msgs.back()));
+    }
+    SpanVec msg_spans(msgs.begin(), msgs.end());
+    SpanVec sig_spans(sigs.begin(), sigs.end());
+    const auto ok = rsa_verify_batch(key_->pub, msg_spans, sig_spans);
+    ASSERT_EQ(ok.size(), msgs.size());
+    for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_TRUE(ok[i]) << i;
+}
+
+TEST_F(RsaTest, BatchFallsBackOnOneTamperedItem) {
+    Rng rng(1011);
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    for (int i = 0; i < 6; ++i) {
+        msgs.push_back(rng.bytes(50));
+        sigs.push_back(rsa_sign(*key_, msgs.back()));
+    }
+    sigs[3][10] ^= 1;  // break exactly one signature; screen must fail
+    SpanVec msg_spans(msgs.begin(), msgs.end());
+    SpanVec sig_spans(sigs.begin(), sigs.end());
+    const auto ok = rsa_verify_batch(key_->pub, msg_spans, sig_spans);
+    for (std::size_t i = 0; i < ok.size(); ++i)
+        EXPECT_EQ(ok[i], i != 3) << i;
+}
+
+TEST_F(RsaTest, BatchRejectsMalformedWithoutPoisoningOthers) {
+    Rng rng(1012);
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    for (int i = 0; i < 4; ++i) {
+        msgs.push_back(rng.bytes(40));
+        sigs.push_back(rsa_sign(*key_, msgs.back()));
+    }
+    sigs[1].resize(10);                          // wrong length
+    sigs[2] = key_->pub.n.to_bytes(64);          // s == n, out of range
+    SpanVec msg_spans(msgs.begin(), msgs.end());
+    SpanVec sig_spans(sigs.begin(), sigs.end());
+    const auto ok = rsa_verify_batch(key_->pub, msg_spans, sig_spans);
+    EXPECT_TRUE(ok[0]);
+    EXPECT_FALSE(ok[1]);
+    EXPECT_FALSE(ok[2]);
+    EXPECT_TRUE(ok[3]);
+}
+
+TEST_F(RsaTest, BatchEmptyAndSingleton) {
+    const auto empty = rsa_verify_batch(key_->pub, {}, {});
+    EXPECT_TRUE(empty.empty());
+    Rng rng(1013);
+    const auto msg = rng.bytes(20);
+    const auto sig = rsa_sign(*key_, msg);
+    SpanVec m{std::span<const std::uint8_t>(msg)};
+    SpanVec s{std::span<const std::uint8_t>(sig)};
+    const auto one = rsa_verify_batch(key_->pub, m, s);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_TRUE(one[0]);
+}
+
+TEST_F(RsaTest, VerifierBatchOverrideAgreesWithLoop) {
+    Rng rng(1014);
+    RsaSigner signer_like_key(rng, 512);
+    auto verifier = signer_like_key.make_verifier();
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    for (int i = 0; i < 5; ++i) {
+        msgs.push_back(rng.bytes(25));
+        sigs.push_back(signer_like_key.sign(msgs.back()));
+    }
+    sigs[0][0] ^= 1;
+    SpanVec msg_spans(msgs.begin(), msgs.end());
+    SpanVec sig_spans(sigs.begin(), sigs.end());
+    const auto batch = verifier->verify_batch(msg_spans, sig_spans);
+    for (std::size_t i = 0; i < msgs.size(); ++i)
+        EXPECT_EQ(batch[i], verifier->verify(msg_spans[i], sig_spans[i])) << i;
+}
+
 TEST(RsaSigner, InterfaceRoundTrip) {
     Rng rng(1003);
     RsaSigner signer(rng, 512);

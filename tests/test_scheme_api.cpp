@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "auth/scheme.hpp"
+#include "auth/sign_each_scheme.hpp"
 #include "core/authprob.hpp"
 #include "core/topologies.hpp"
 #include "net/delay.hpp"
@@ -390,6 +391,51 @@ TEST(SchemeSimGolden, AdapterEqualsGenericDriver) {
     EXPECT_EQ(a.receiver_delay.mean(), b.receiver_delay.mean());
     EXPECT_EQ(a.receiver_delay.variance(), b.receiver_delay.variance());
     EXPECT_EQ(a.q_by_index, b.q_by_index);
+}
+
+// ----------------------------------------------------- batch verification
+
+TEST(SignEachBatch, OnBlockVerdictsMatchOnPacketRsa) {
+    // The block-granular path routes through RsaVerifier::verify_batch
+    // (screening + per-item fallback); verdicts must match the per-packet
+    // path even with tampered packets poisoning the screen.
+    Rng rng(4040);
+    RsaSigner signer(rng, 512);
+    SignEachSender sender(signer);
+    SignEachReceiver receiver(signer.make_verifier());
+
+    std::vector<AuthPacket> packets;
+    for (std::uint32_t i = 0; i < 6; ++i)
+        packets.push_back(sender.make_packet(0, i, rng.bytes(30 + 5 * i)));
+    packets[1].payload[0] ^= 1;    // message tamper
+    packets[4].signature[8] ^= 1;  // signature tamper
+
+    const auto events = receiver.on_block(packets);
+    ASSERT_EQ(events.size(), packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        const VerifyEvent single = receiver.on_packet(packets[i]);
+        EXPECT_EQ(events[i].status, single.status) << i;
+        EXPECT_EQ(events[i].index, single.index) << i;
+    }
+}
+
+TEST(SignEachBatch, OnBlockVerdictsMatchOnPacketHmac) {
+    // Same contract through HmacVerifier's multi-buffer batch override.
+    Rng rng(4041);
+    HmacSigner signer(rng, 64);
+    SignEachSender sender(signer);
+    SignEachReceiver receiver(signer.make_verifier());
+
+    std::vector<AuthPacket> packets;
+    for (std::uint32_t i = 0; i < 11; ++i)
+        packets.push_back(sender.make_packet(2, i, rng.bytes(25)));
+    packets[3].payload[2] ^= 1;
+    packets[9].signature[0] ^= 1;
+
+    const auto events = receiver.on_block(packets);
+    ASSERT_EQ(events.size(), packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i)
+        EXPECT_EQ(events[i].status, receiver.on_packet(packets[i]).status) << i;
 }
 
 }  // namespace

@@ -1,0 +1,212 @@
+// Batch-vs-scalar identity for the multi-buffer SHA-256 data plane.
+//
+// The contract (DESIGN.md §12) is byte-identity: `Sha256x8::hash_many` and
+// the batch HMAC must produce exactly what the scalar `Sha256`/`hmac_sha256`
+// produce, for every lane count 1..8, ragged batch tails, multi-part inputs
+// and both dispatch paths (AVX2 kernel and forced-scalar fallback).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
+    return {v.data(), v.size()};
+}
+
+/// Runs `fn` once with the hardware dispatch decision and once forced
+/// scalar, so every expectation covers both code paths.
+template <typename Fn>
+void on_both_paths(Fn&& fn) {
+    const bool prev = Sha256x8::set_forced_scalar(false);
+    fn("dispatch");
+    Sha256x8::set_forced_scalar(true);
+    fn("forced-scalar");
+    Sha256x8::set_forced_scalar(prev);
+}
+
+// ------------------------------------------------------- NIST known answers
+
+struct ShaVector {
+    const char* message;
+    const char* digest;
+};
+
+constexpr ShaVector kFipsVectors[] = {
+    {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+    {"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+    {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+    {"The quick brown fox jumps over the lazy dog",
+     "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"},
+};
+
+TEST(Sha256Batch, FipsVectorsAtEveryLaneCount) {
+    on_both_paths([](const char* path) {
+        for (std::size_t lanes = 1; lanes <= Sha256x8::kLanes; ++lanes) {
+            // Fill `lanes` slots by cycling through the FIPS vectors so each
+            // lane position sees each vector across the sweep.
+            std::vector<HashInput> inputs(lanes);
+            std::vector<const char*> want(lanes);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const auto& vec = kFipsVectors[l % std::size(kFipsVectors)];
+                inputs[l] = HashInput(std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(vec.message),
+                    std::string_view(vec.message).size()));
+                want[l] = vec.digest;
+            }
+            std::vector<Digest256> out(lanes);
+            Sha256x8::hash_many(inputs.data(), lanes, out.data());
+            for (std::size_t l = 0; l < lanes; ++l)
+                EXPECT_EQ(to_hex(out[l]), want[l]) << path << " lanes=" << lanes << " l=" << l;
+        }
+    });
+}
+
+// --------------------------------------------- randomized scalar identity
+
+TEST(Sha256Batch, RandomRaggedBatchesMatchScalar) {
+    Rng rng(42);
+    on_both_paths([&](const char* path) {
+        for (int round = 0; round < 20; ++round) {
+            // Batch sizes straddle the 8-lane group boundary so full groups,
+            // ragged tails and singleton tails all occur.
+            const std::size_t count = 1 + rng.uniform_below(21);
+            std::vector<std::vector<std::uint8_t>> messages(count);
+            std::vector<HashInput> inputs(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                // Lengths hit the padding edge cases around 55/56/64 as well
+                // as multi-block messages.
+                const std::size_t len = rng.uniform_below(300);
+                messages[i] = rng.bytes(len);
+                inputs[i] = HashInput(as_span(messages[i]));
+            }
+            std::vector<Digest256> out(count);
+            Sha256x8::hash_many(inputs.data(), count, out.data());
+            for (std::size_t i = 0; i < count; ++i) {
+                EXPECT_EQ(out[i], Sha256::hash(as_span(messages[i])))
+                    << path << " round=" << round << " i=" << i
+                    << " len=" << messages[i].size();
+            }
+        }
+    });
+}
+
+TEST(Sha256Batch, PaddingBoundaryLengths) {
+    Rng rng(7);
+    // Every length 0..130 in one batch: covers one-block, exactly-55,
+    // exactly-56 (length spills to a second block), exactly-64 and
+    // multi-block messages side by side in the same SIMD group.
+    std::vector<std::vector<std::uint8_t>> messages;
+    for (std::size_t len = 0; len <= 130; ++len) messages.push_back(rng.bytes(len));
+    std::vector<HashInput> inputs;
+    for (const auto& m : messages) inputs.emplace_back(as_span(m));
+    on_both_paths([&](const char* path) {
+        std::vector<Digest256> out(inputs.size());
+        Sha256x8::hash_many(inputs.data(), inputs.size(), out.data());
+        for (std::size_t i = 0; i < messages.size(); ++i)
+            EXPECT_EQ(out[i], Sha256::hash(as_span(messages[i]))) << path << " len=" << i;
+    });
+}
+
+TEST(Sha256Batch, MultiPartInputsMatchConcatenation) {
+    Rng rng(11);
+    on_both_paths([&](const char* path) {
+        for (int round = 0; round < 10; ++round) {
+            const std::size_t count = 1 + rng.uniform_below(12);
+            std::vector<std::vector<std::vector<std::uint8_t>>> parts(count);
+            std::vector<std::vector<std::uint8_t>> concat(count);
+            std::vector<HashInput> inputs(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::size_t n_parts = 1 + rng.uniform_below(HashInput::kMaxParts);
+                for (std::size_t p = 0; p < n_parts; ++p) {
+                    // Include empty and >64B parts so part boundaries land on
+                    // both sides of block boundaries.
+                    parts[i].push_back(rng.bytes(rng.uniform_below(100)));
+                    concat[i].insert(concat[i].end(), parts[i].back().begin(),
+                                     parts[i].back().end());
+                    inputs[i].add(as_span(parts[i].back()));
+                }
+            }
+            std::vector<Digest256> out(count);
+            Sha256x8::hash_many(inputs.data(), count, out.data());
+            for (std::size_t i = 0; i < count; ++i) {
+                EXPECT_EQ(out[i], Sha256::hash(as_span(concat[i])))
+                    << path << " round=" << round << " i=" << i;
+            }
+        }
+    });
+}
+
+TEST(Sha256Batch, SpanOverloadMatchesHashInputPath) {
+    Rng rng(13);
+    std::vector<std::vector<std::uint8_t>> messages;
+    for (int i = 0; i < 11; ++i) messages.push_back(rng.bytes(10 + 17 * i));
+    std::vector<std::span<const std::uint8_t>> spans;
+    for (const auto& m : messages) spans.push_back(as_span(m));
+    std::vector<Digest256> out(spans.size());
+    Sha256x8::hash_many(spans, out.data());
+    for (std::size_t i = 0; i < messages.size(); ++i)
+        EXPECT_EQ(out[i], Sha256::hash(spans[i])) << i;
+}
+
+TEST(Sha256Batch, ForcedScalarTogglesAndRestores) {
+    const bool prev = Sha256x8::set_forced_scalar(true);
+    EXPECT_TRUE(Sha256x8::forced_scalar());
+    Sha256x8::set_forced_scalar(false);
+    EXPECT_FALSE(Sha256x8::forced_scalar());
+    Sha256x8::set_forced_scalar(prev);
+}
+
+// -------------------------------------------------------------- batch HMAC
+
+TEST(HmacBatch, MatchesScalarHmacAcrossKeySizes) {
+    Rng rng(17);
+    // Short key (padded), block-size key (used as-is) and long key (hashed
+    // first) — the three normalization branches of HMAC-SHA256.
+    for (std::size_t key_len : {16u, 64u, 200u}) {
+        const auto key = rng.bytes(key_len);
+        const HmacSha256Key prepared(as_span(key));
+        on_both_paths([&](const char* path) {
+            const std::size_t count = 13;
+            std::vector<std::vector<std::uint8_t>> messages(count);
+            std::vector<HashInput> inputs(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                messages[i] = rng.bytes(rng.uniform_below(200));
+                inputs[i] = HashInput(as_span(messages[i]));
+            }
+            std::vector<Digest256> out(count);
+            hmac_sha256_many(prepared, inputs.data(), count, out.data());
+            for (std::size_t i = 0; i < count; ++i) {
+                EXPECT_EQ(out[i], hmac_sha256(as_span(key), as_span(messages[i])))
+                    << path << " key_len=" << key_len << " i=" << i;
+            }
+        });
+    }
+}
+
+TEST(HmacBatch, Rfc4231KnownAnswer) {
+    // RFC 4231 test case 2 ("Jefe" / "what do ya want for nothing?").
+    const std::string key_text = "Jefe";
+    const std::string msg_text = "what do ya want for nothing?";
+    const std::span<const std::uint8_t> key(
+        reinterpret_cast<const std::uint8_t*>(key_text.data()), key_text.size());
+    const std::span<const std::uint8_t> msg(
+        reinterpret_cast<const std::uint8_t*>(msg_text.data()), msg_text.size());
+    const HmacSha256Key prepared(key);
+    HashInput input(msg);
+    Digest256 out;
+    hmac_sha256_many(prepared, &input, 1, &out);
+    EXPECT_EQ(to_hex(out), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -175,6 +175,71 @@ TEST(Tesla, ChainExhaustionThrows) {
                  std::runtime_error);
 }
 
+TEST(Tesla, BatchMakePacketsMatchesSequential) {
+    // Two identically-seeded senders: one wraps packets one at a time, the
+    // other in a single batched call. The wire images must be identical —
+    // the batch path only changes how MACs are computed, not what they are.
+    TeslaPipe sequential(small_config(), 0.01, 77);
+    TeslaPipe batched(small_config(), 0.01, 77);
+
+    Rng data_rng(78);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<double> send_times;
+    for (int i = 0; i < 21; ++i) {
+        payloads.push_back(data_rng.bytes(20 + 7 * i));
+        send_times.push_back(0.03 * i);  // spans several intervals, ragged groups
+    }
+
+    std::vector<AuthPacket> expected;
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+        expected.push_back(sequential.sender.make_packet(payloads[i], send_times[i]));
+    const auto got = batched.sender.make_packets(payloads, send_times);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].encode(), expected[i].encode()) << i;
+
+    // Index numbering continues seamlessly after a batch.
+    const auto next = batched.sender.make_packet(data_rng.bytes(10), 0.7);
+    EXPECT_EQ(next.index, got.back().index + 1);
+}
+
+TEST(Tesla, BatchChainExhaustionThrowsBeforeConsumingIndices) {
+    TeslaConfig cfg = small_config();
+    cfg.chain_length = 2;
+    TeslaPipe pipe(cfg);
+    std::vector<std::vector<std::uint8_t>> payloads{{1}, {2}};
+    const std::vector<double> times{0.05, 0.25};  // second packet: interval 3 > chain
+    EXPECT_THROW(pipe.sender.make_packets(payloads, times), std::runtime_error);
+    // All-or-nothing: the failed batch consumed no indices.
+    EXPECT_EQ(pipe.sender.make_packet({3}, 0.05).index, 0u);
+}
+
+TEST(Tesla, BatchPacketsVerifyEndToEnd) {
+    TeslaPipe pipe;
+    ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<double> send_times;
+    for (int i = 0; i < 8; ++i) {
+        payloads.push_back(pipe.rng.bytes(40));
+        send_times.push_back(0.05 * i);
+    }
+    const auto packets = pipe.sender.make_packets(payloads, send_times);
+    std::vector<VerifyEvent> events;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        // Arrive promptly (safe), keys disclosed by later packets.
+        auto evs = pipe.receiver.on_packet(packets[i], send_times[i] + 0.01);
+        events.insert(events.end(), evs.begin(), evs.end());
+    }
+    auto tail = pipe.receiver.finish();
+    std::size_t authenticated = 0;
+    for (const auto& ev : events)
+        if (ev.status == VerifyStatus::kAuthenticated) ++authenticated;
+    EXPECT_GT(authenticated, 0u);
+    for (const auto& ev : events) EXPECT_NE(ev.status, VerifyStatus::kRejected);
+    for (const auto& ev : tail) EXPECT_EQ(ev.status, VerifyStatus::kUnverifiable);
+}
+
 TEST(Tesla, OverheadFields) {
     TeslaPipe pipe;
     ASSERT_TRUE(pipe.receiver.on_bootstrap(pipe.sender.bootstrap()));

@@ -159,5 +159,39 @@ TEST(TreeScheme, AllPacketsShareOneSignature) {
         EXPECT_EQ(packets[i].signature, packets[0].signature);
 }
 
+TEST(TreeScheme, OnBlockVerdictsMatchOnPacket) {
+    // The batched receiver path must agree with the per-packet path on
+    // every packet, including tampered and malformed ones mixed into the
+    // same block.
+    TreePipe pipe(TreeSchemeConfig{.block_size = 16, .hash_bytes = 16});
+    auto packets = pipe.sender.make_block(3, payloads_for(pipe.rng, 16));
+    packets[2].payload[0] ^= 1;              // digest mismatch
+    packets[5].hashes[0].digest[3] ^= 1;     // broken proof
+    packets[7].hashes[0].digest.resize(5);   // malformed proof entry
+    packets[9].signature[4] ^= 1;            // broken signature (distinct statement)
+    packets[11].index = 12;                  // reassigned identity
+
+    const auto events = pipe.receiver.on_block(packets);
+    ASSERT_EQ(events.size(), packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        const VerifyEvent single = pipe.receiver.on_packet(packets[i]);
+        EXPECT_EQ(events[i].status, single.status) << i;
+        EXPECT_EQ(events[i].block_id, single.block_id) << i;
+        EXPECT_EQ(events[i].index, single.index) << i;
+    }
+}
+
+TEST(TreeScheme, OnBlockHandlesEmptyAndRepeatedCalls) {
+    TreePipe pipe(TreeSchemeConfig{.block_size = 8, .hash_bytes = 16});
+    EXPECT_TRUE(pipe.receiver.on_block({}).empty());
+    const auto packets = pipe.sender.make_block(0, payloads_for(pipe.rng, 8));
+    // Arena recycling across calls must not perturb verdicts.
+    for (int round = 0; round < 3; ++round) {
+        const auto events = pipe.receiver.on_block(packets);
+        for (const auto& ev : events)
+            EXPECT_EQ(ev.status, VerifyStatus::kAuthenticated) << round;
+    }
+}
+
 }  // namespace
 }  // namespace mcauth
