@@ -1,0 +1,338 @@
+// Tentpole bench: the sharded receiver-population engine (DESIGN.md §13)
+// against the naive per-receiver baseline.
+//
+// Two phases:
+//
+//   identity — on small populations (16 / 512 / 4096 leaves), Bernoulli and
+//   Gilbert-Elliott trees, the engine's sketched aggregate must be
+//   BIT-IDENTICAL (PopulationAggregate::identical) to the naive oracle at
+//   --threads 1 and 8. Any mismatch is RESULT: FAIL / exit 1 — this is the
+//   gate CI relies on; throughput numbers are report-only.
+//
+//   throughput (skipped under --smoke=1) — the engine vs the naive
+//   per-receiver oracle on a 100,000-receiver tree (deep lossy backbone +
+//   small fan-outs, the shape where link sharing pays: every backbone word
+//   is sampled once and serves the whole population), then engine-only on a
+//   1,048,576-receiver tree x 64 trial lanes per block. The 100k cell also
+//   re-checks engine-vs-oracle identity at full scale, since both
+//   aggregates are computed anyway.
+//
+// Flags beyond the shared bench surface (bench_common.hpp):
+//   --smoke=0|1   identity phase only (CI smoke; default 0)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/topologies.hpp"
+#include "exec/thread_pool.hpp"
+#include "pop/population.hpp"
+#include "pop/tree.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+double now_seconds() {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+// Level-structured tree with one loss kind throughout. `rates` parallels
+// `fanouts`; a 0.0 Bernoulli rate makes that level lossless and exercises
+// the engine's skip-the-link path against the oracle's path exclusion.
+pop::TreeSpec make_spec(bool ge, std::size_t backbone_depth, double backbone_rate,
+                        std::vector<std::size_t> fanouts, std::vector<double> rates) {
+    pop::TreeSpec spec;
+    spec.backbone_depth = backbone_depth;
+    spec.backbone_link = ge ? pop::LinkSpec::gilbert_elliott(backbone_rate, 4.0)
+                            : pop::LinkSpec::bernoulli(backbone_rate);
+    spec.fanouts = std::move(fanouts);
+    for (std::size_t level = 0; level < spec.fanouts.size(); ++level) {
+        const double rate = rates[level];
+        spec.fanout_links.push_back(
+            ge && rate > 0.0
+                ? pop::LinkSpec::gilbert_elliott(rate, 2.0 + static_cast<double>(level))
+                : pop::LinkSpec::bernoulli(rate));
+    }
+    return spec;
+}
+
+// 100,000 receivers behind a 26-hop bursty backbone: 2^5 * 5^5 leaves, depth
+// 36. The naive baseline walks all 36 links per (receiver, lane); the engine
+// samples each of the ~125k links once.
+pop::TreeSpec naive_100k_spec() {
+    pop::TreeSpec spec;
+    spec.backbone_depth = 26;
+    spec.backbone_link = pop::LinkSpec::gilbert_elliott(0.006, 8.0);
+    spec.fanouts = {2, 2, 2, 2, 2, 5, 5, 5, 5, 5};
+    for (std::size_t level = 0; level < spec.fanouts.size(); ++level)
+        spec.fanout_links.push_back(pop::LinkSpec::bernoulli(0.002));
+    return spec;
+}
+
+// 4^10 = 1,048,576 receivers, depth 20. Engine-only: the oracle at this
+// scale is exactly the workload the tentpole exists to avoid.
+pop::TreeSpec million_spec() {
+    pop::TreeSpec spec;
+    spec.backbone_depth = 10;
+    spec.backbone_link = pop::LinkSpec::gilbert_elliott(0.004, 8.0);
+    spec.fanouts = std::vector<std::size_t>(10, 4);
+    for (std::size_t level = 0; level < spec.fanouts.size(); ++level)
+        spec.fanout_links.push_back(pop::LinkSpec::bernoulli(0.002));
+    return spec;
+}
+
+struct IdentityRow {
+    std::string cell;
+    const char* kind;
+    std::size_t leaves;
+    std::size_t threads;
+    bool identical;
+};
+
+struct PerfRow {
+    std::string workload;
+    const char* engine;  // "engine" | "naive"
+    std::size_t receivers;
+    std::size_t links;
+    std::size_t depth;
+    std::size_t packets;
+    std::size_t threads;
+    double seconds = 0;  // best of repeats
+    std::vector<double> seconds_repeats;
+    double mean_loss = 0;  // sanity echo from the rep-0 aggregate
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_population", 1, {"smoke"});
+    const bool smoke = bm.args().get_bool("smoke", false);
+    const std::size_t repeats = std::max<std::size_t>(2, bm.repeat());
+
+    bench::note("[perf] Sharded population engine vs naive per-receiver oracle "
+                "(DESIGN.md §13)");
+
+    bool identity_ok = true;
+
+    // ------------------------------------------------------------- identity
+    // Small populations, both loss kinds, engine at 1 and 8 threads against
+    // one oracle aggregate per tree. max_shard_leaves = 48 keeps the shard
+    // boundaries away from the subtree sizes, so merges cross fan-out units.
+    std::vector<IdentityRow> identity_rows;
+    {
+        bench::section("identity: engine vs oracle, populations <= 4096");
+        struct Cell {
+            const char* name;
+            std::size_t backbone;
+            double backbone_rate;
+            std::vector<std::size_t> fanouts;
+            std::vector<double> rates;
+        };
+        const Cell cells[] = {
+            {"16-leaf", 2, 0.05, {4, 4}, {0.10, 0.06}},
+            {"512-leaf", 1, 0.08, {8, 8, 8}, {0.08, 0.00, 0.10}},
+            {"4096-leaf", 2, 0.05, {16, 16, 16}, {0.05, 0.07, 0.09}},
+        };
+        const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+        TablePrinter table({"cell", "kind", "leaves", "threads", "identical"});
+        for (const Cell& cell : cells) {
+            for (bool ge : {false, true}) {
+                const char* kind = ge ? "gilbert-elliott" : "bernoulli";
+                const pop::DistributionTree tree(make_spec(
+                    ge, cell.backbone, cell.backbone_rate, cell.fanouts, cell.rates));
+                const pop::PopulationAggregate oracle =
+                    pop::population_oracle(tree, dg, bm.seed(), /*block=*/5);
+                pop::PopulationOptions options;
+                options.max_shard_leaves = 48;
+                const pop::PopulationEngine engine(tree, options);
+                for (std::size_t t : {std::size_t{1}, std::size_t{8}}) {
+                    exec::ThreadPool::set_global_thread_count(t);
+                    const pop::PopulationAggregate agg =
+                        engine.simulate_block(dg, bm.seed(), /*block=*/5);
+                    const bool same = agg.identical(oracle);
+                    if (!same) identity_ok = false;
+                    identity_rows.push_back(
+                        {cell.name, kind, tree.leaf_count(), t, same});
+                    table.add_row({cell.name, kind, std::to_string(tree.leaf_count()),
+                                   std::to_string(t), same ? "yes" : "NO"});
+                }
+            }
+        }
+        exec::ThreadPool::set_global_thread_count(bm.threads());
+        bench::emit(table, "perf_population_identity");
+    }
+
+    // ----------------------------------------------------------- throughput
+    std::vector<PerfRow> perf_rows;
+    double speedup_vs_naive = 0.0;
+    if (!smoke) {
+        const DependenceGraph dg = make_augmented_chain(64, 2, 4);
+        const std::size_t threads = bm.threads();
+        exec::ThreadPool::set_global_thread_count(threads);
+
+        auto run_cell = [&](const std::string& workload, const char* engine_name,
+                            const pop::DistributionTree& tree,
+                            auto&& simulate) -> PerfRow {
+            PerfRow row;
+            row.workload = workload;
+            row.engine = engine_name;
+            row.receivers = tree.leaf_count();
+            row.links = tree.node_count() - 1;
+            row.depth = tree.spec().depth();
+            row.packets = dg.packet_count();
+            row.threads = threads;
+            pop::PopulationAggregate first(pop::QuantileSketch::kDefaultBins);
+            for (std::size_t rep = 0; rep < repeats; ++rep) {
+                const double t0 = now_seconds();
+                pop::PopulationAggregate agg =
+                    simulate(static_cast<std::uint32_t>(100 + rep));
+                const double dt = now_seconds() - t0;
+                row.seconds_repeats.push_back(dt);
+                if (rep == 0) {
+                    row.mean_loss = agg.mean_loss_rate();
+                    first = std::move(agg);
+                }
+            }
+            row.seconds =
+                *std::min_element(row.seconds_repeats.begin(), row.seconds_repeats.end());
+            return row;
+        };
+
+        {
+            bench::section("throughput: 100k receivers, engine vs naive");
+            const pop::DistributionTree tree(naive_100k_spec());
+            const pop::PopulationEngine engine(tree);
+            bench::note("tree: " + std::to_string(tree.leaf_count()) + " leaves, " +
+                        std::to_string(tree.node_count() - 1) + " links, depth " +
+                        std::to_string(tree.spec().depth()) + ", leaf loss " +
+                        TablePrinter::num(tree.leaf_loss_rate(), 3));
+
+            // Same (seed, block) streams -> the rep-0 aggregates must match
+            // bit-for-bit; keep them to extend the identity gate to 100k.
+            pop::PopulationAggregate engine_agg(pop::QuantileSketch::kDefaultBins);
+            pop::PopulationAggregate oracle_agg(pop::QuantileSketch::kDefaultBins);
+            PerfRow engine_row = run_cell("pop100k", "engine", tree, [&](std::uint32_t b) {
+                pop::PopulationAggregate agg = engine.simulate_block(dg, bm.seed(), b);
+                if (b == 100) engine_agg = agg;
+                return agg;
+            });
+            PerfRow naive_row = run_cell("pop100k", "naive", tree, [&](std::uint32_t b) {
+                pop::PopulationAggregate agg =
+                    pop::population_oracle(tree, dg, bm.seed(), b);
+                if (b == 100) oracle_agg = agg;
+                return agg;
+            });
+            if (!engine_agg.identical(oracle_agg)) {
+                identity_ok = false;
+                bench::note("BIT-IDENTITY VIOLATION at 100k receivers");
+            }
+            speedup_vs_naive =
+                engine_row.seconds > 0 ? naive_row.seconds / engine_row.seconds : 0.0;
+            TablePrinter table({"engine", "receivers", "seconds", "recv/s",
+                                "recv*trials/s", "speedup"});
+            for (const PerfRow* row : {&naive_row, &engine_row}) {
+                const double rps = static_cast<double>(row->receivers) / row->seconds;
+                table.add_row({row->engine, std::to_string(row->receivers),
+                               TablePrinter::num(row->seconds, 3),
+                               TablePrinter::num(rps, 0), TablePrinter::num(rps * 64, 0),
+                               row->engine == std::string("engine")
+                                   ? TablePrinter::num(speedup_vs_naive, 1) + "x"
+                                   : "1.0x"});
+            }
+            bench::emit(table, "perf_population_100k");
+            perf_rows.push_back(std::move(naive_row));
+            perf_rows.push_back(std::move(engine_row));
+        }
+
+        {
+            bench::section("throughput: 1,048,576 receivers x 64 trials, engine only");
+            const pop::DistributionTree tree(million_spec());
+            const pop::PopulationEngine engine(tree);
+            bench::note("tree: " + std::to_string(tree.leaf_count()) + " leaves, " +
+                        std::to_string(tree.node_count() - 1) + " links, depth " +
+                        std::to_string(tree.spec().depth()) + ", leaf loss " +
+                        TablePrinter::num(tree.leaf_loss_rate(), 3));
+            PerfRow row = run_cell("pop1M", "engine", tree, [&](std::uint32_t b) {
+                return engine.simulate_block(dg, bm.seed(), b);
+            });
+            const double rps = static_cast<double>(row.receivers) / row.seconds;
+            TablePrinter table(
+                {"engine", "receivers", "seconds/block", "recv/s", "recv*trials/s"});
+            table.add_row({"engine", std::to_string(row.receivers),
+                           TablePrinter::num(row.seconds, 3), TablePrinter::num(rps, 0),
+                           TablePrinter::num(rps * 64, 0)});
+            bench::emit(table, "perf_population_1m");
+            perf_rows.push_back(std::move(row));
+        }
+        bench::note("speedup vs naive at 100k receivers: " +
+                    TablePrinter::num(speedup_vs_naive, 1) + "x");
+    }
+
+    // ------------------------------------------------------------- JSON out
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_population.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"perf_population\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"hardware_threads\": %zu,\n", exec::hardware_threads());
+        std::fprintf(f, "  \"repeats\": %zu,\n", repeats);
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"identity_ok\": %s,\n", identity_ok ? "true" : "false");
+        std::fprintf(f, "  \"speedup_vs_naive_100k\": %.2f,\n", speedup_vs_naive);
+        std::fprintf(f, "  \"metric\": \"receivers_per_sec\",\n");
+        std::fprintf(f, "  \"manifest\": %s,\n", bm.manifest().to_json(2).c_str());
+        std::fprintf(f, "  \"identity\": [\n");
+        for (std::size_t i = 0; i < identity_rows.size(); ++i) {
+            const IdentityRow& row = identity_rows[i];
+            std::fprintf(f,
+                         "    {\"cell\": \"%s\", \"kind\": \"%s\", \"leaves\": %zu, "
+                         "\"threads\": %zu, \"identical\": %s}%s\n",
+                         row.cell.c_str(), row.kind, row.leaves, row.threads,
+                         row.identical ? "true" : "false",
+                         i + 1 < identity_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"results\": [\n");
+        for (std::size_t i = 0; i < perf_rows.size(); ++i) {
+            const PerfRow& row = perf_rows[i];
+            const double rps = static_cast<double>(row.receivers) / row.seconds;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s/%s\", \"engine\": \"%s\", "
+                         "\"receivers\": %zu, \"links\": %zu, \"depth\": %zu,\n"
+                         "     \"packets\": %zu, \"trials\": 64, \"threads\": %zu, "
+                         "\"seconds\": %.6f,\n     \"seconds_repeats\": [",
+                         row.workload.c_str(), row.engine, row.engine, row.receivers,
+                         row.links, row.depth, row.packets, row.threads, row.seconds);
+            for (std::size_t s = 0; s < row.seconds_repeats.size(); ++s)
+                std::fprintf(f, "%s%.6f", s ? ", " : "", row.seconds_repeats[s]);
+            std::fprintf(f,
+                         "],\n     \"receivers_per_sec\": %.1f, "
+                         "\"recv_trials_per_sec\": %.1f, \"mean_loss\": %.6f}%s\n",
+                         rps, rps * 64, row.mean_loss,
+                         i + 1 < perf_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    // Exit gates identity ONLY (the CI contract): throughput is recorded in
+    // the JSON and regression-checked report-only by tools/bench_compare.
+    if (!identity_ok) {
+        bench::note("RESULT: FAIL — sketched aggregate diverged from the naive oracle");
+        return 1;
+    }
+    bench::note(smoke ? "RESULT: OK — engine bit-identical to oracle on all small cells"
+                      : "RESULT: OK — engine bit-identical to oracle (small cells + 100k)");
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -35,6 +36,17 @@ double get_f64(const std::uint8_t* p) {
 }
 
 }  // namespace
+
+void FeedbackReport::set_window(std::uint64_t packets,
+                                std::uint64_t losses) noexcept {
+    MCAUTH_EXPECTS(losses <= packets);
+    while (packets > std::numeric_limits<std::uint32_t>::max()) {
+        packets >>= 1;
+        losses >>= 1;
+    }
+    window_packets = static_cast<std::uint32_t>(packets);
+    window_losses = static_cast<std::uint32_t>(losses);
+}
 
 std::vector<std::uint8_t> FeedbackReport::encode() const {
     std::vector<std::uint8_t> out;

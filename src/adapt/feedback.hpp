@@ -43,6 +43,12 @@ struct FeedbackReport {
 
     static constexpr std::size_t kWireSize = 6 * 4 + 2 * 8;
 
+    /// Record a loss window that may exceed the u32 wire fields (a
+    /// population-scale report covers receivers x packets x trials): both
+    /// counts are halved together until packets fits, preserving the ratio
+    /// — the only information the aggregator reads — with no wire change.
+    void set_window(std::uint64_t packets, std::uint64_t losses) noexcept;
+
     std::vector<std::uint8_t> encode() const;
     static std::optional<FeedbackReport> decode(const std::uint8_t* data, std::size_t size);
 };

@@ -17,6 +17,12 @@ std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) noexce
     return SplitMix64(stream ^ (kGoldenGamma * (index + 1))).next();
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                 std::initializer_list<std::uint64_t> path) noexcept {
+    for (std::uint64_t index : path) seed = derive_stream_seed(seed, index);
+    return seed;
+}
+
 ShardedTrials::ShardedTrials(std::size_t trials, std::uint64_t seed,
                              std::size_t shard_size)
     : trials_(trials), seed_(seed), shard_size_(shard_size) {

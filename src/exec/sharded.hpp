@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 
 #include "util/rng.hpp"
 
@@ -31,6 +32,15 @@ namespace mcauth::exec {
 /// A pure function — the foundation of the thread-count-independence
 /// guarantee for every randomized grid point and trial shard.
 std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) noexcept;
+
+/// Nested stream carving: fold derive_stream_seed over an index path, so
+/// derive_stream_seed(s, {a, b, c}) == derive(derive(derive(s, a), b), c).
+/// Multi-dimensional workloads address streams by coordinates — the
+/// population engine keys link samples by (link, block, lane) — and because
+/// the map is pure, every shard can recompute a shared ancestor's stream
+/// independently and get the identical words (DESIGN.md §13).
+std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                 std::initializer_list<std::uint64_t> path) noexcept;
 
 class ShardedTrials {
 public:

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "obs/obs.hpp"
+#include "util/bitmat.hpp"  // transpose64_antidiag: the lane->packet pivot
 #include "util/check.hpp"
 
 namespace mcauth {
@@ -14,20 +15,23 @@ namespace {
 
 constexpr std::size_t kLanes = BatchedLossModel::kLanes;
 
-/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3 recursive
-/// block-swap; 6 stages of masked swaps, ~400 word ops). This variant maps
-/// row r bit c to row 63-c bit 63-r, i.e. transpose across the
-/// anti-diagonal; callers compensate by mirroring their row/bit indexing.
-void transpose64_antidiag(std::uint64_t a[64]) {
-    std::uint64_t m = 0x00000000FFFFFFFFULL;
-    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
-        for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
-            const std::uint64_t t = (a[k] ^ (a[k | j] >> j)) & m;
-            a[k] ^= t;
-            a[k | j] ^= (t << j);
-        }
+/// How Rng::bernoulli(p) behaves, precomputed once per probability so bulk
+/// loops stay pure integer work: p <= 0 and p >= 1 consume NO variate and
+/// return a constant; anything else consumes one variate and compares the
+/// top 53 bits against an exact integer threshold. The threshold identity
+///   u < p  <=>  (x >> 11) < ceil(p * 2^53)
+/// is the same one BatchedBernoulliLoss::sample_block documents.
+struct BernoulliMode {
+    bool draws;
+    bool constant;  // result when draws == false
+    std::uint64_t threshold;
+
+    static BernoulliMode of(double p) noexcept {
+        if (p <= 0.0) return {false, false, 0};
+        if (p >= 1.0) return {false, true, 0};
+        return {true, false, static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53))};
     }
-}
+};
 
 // ------------------------------------------------------- batched samplers
 //
@@ -179,6 +183,71 @@ public:
         }
         MCAUTH_OBS_COUNT_N("net.loss.gilbert_elliott.dropped", std::popcount(lost));
         return lost;
+    }
+
+    /// Lane-major bulk path, same shape as the Bernoulli one: each lane's
+    /// generator and state bit live in locals across the whole chunk, and a
+    /// 64x64 transpose pivots the chunk to packet-major. The scalar replay
+    /// per packet is: one transition draw picked by the CURRENT state, then
+    /// a loss draw in the NEW state; collapsing every probability to a
+    /// BernoulliMode up front preserves exactly that variate consumption
+    /// (including the no-draw 0/1 edge cases) while making the loop body
+    /// integer-only. The common channel (loss_good = 0, loss_bad = 1, both
+    /// transitions in (0,1) — what from_rate_and_burst builds) gets a
+    /// dedicated loop whose body is one draw, one select and a shift.
+    void sample_block(Rng* lane_rngs, std::uint64_t* out, std::size_t count) override {
+        const BernoulliMode gb = BernoulliMode::of(p_gb_);
+        const BernoulliMode bg = BernoulliMode::of(p_bg_);
+        const BernoulliMode lg = BernoulliMode::of(loss_good_);
+        const BernoulliMode lb = BernoulliMode::of(loss_bad_);
+        const bool hot = gb.draws && bg.draws && !lg.draws && !lg.constant &&
+                         !lb.draws && lb.constant;
+        std::size_t done = 0;
+        while (done < count) {
+            const std::size_t chunk = count - done < 64 ? count - done : 64;
+            std::uint64_t lane_bits[kLanes];
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                Rng gen = lane_rngs[l];  // local copy: state stays in registers
+                std::uint64_t bad = (in_bad_ >> l) & 1;
+                std::uint64_t bits = 0;
+                if (hot) {
+                    // lost == in Bad state; the transition draw is the only
+                    // variate, and branchless selects keep the loop tight.
+                    for (std::size_t k = 0; k < chunk; ++k) {
+                        const std::uint64_t t = bad ? bg.threshold : gb.threshold;
+                        bad ^= static_cast<std::uint64_t>((gen.next_u64() >> 11) < t);
+                        bits = (bits << 1) | bad;
+                    }
+                } else {
+                    for (std::size_t k = 0; k < chunk; ++k) {
+                        const BernoulliMode& trans = bad ? bg : gb;
+                        if (trans.draws ? (gen.next_u64() >> 11) < trans.threshold
+                                        : trans.constant)
+                            bad ^= 1;
+                        const BernoulliMode& loss = bad ? lb : lg;
+                        const bool lost =
+                            loss.draws ? (gen.next_u64() >> 11) < loss.threshold
+                                       : loss.constant;
+                        bits = (bits << 1) | static_cast<std::uint64_t>(lost);
+                    }
+                }
+                lane_rngs[l] = gen;
+                in_bad_ = (in_bad_ & ~(1ULL << l)) | (bad << l);
+                // Mirror for the anti-diagonal transpose (see the Bernoulli
+                // sampler): lane l to row 63-l, packet k to bit 63-k.
+                lane_bits[63 - l] = bits << (64 - chunk);
+            }
+            transpose64_antidiag(lane_bits);
+            for (std::size_t k = 0; k < chunk; ++k) out[done + k] = lane_bits[k];
+            done += chunk;
+        }
+#if MCAUTH_OBS_ENABLED
+        if (obs::enabled()) {
+            std::size_t dropped = 0;
+            for (std::size_t k = 0; k < count; ++k) dropped += std::popcount(out[k]);
+            MCAUTH_OBS_COUNT_N("net.loss.gilbert_elliott.dropped", dropped);
+        }
+#endif
     }
 
 private:

@@ -29,6 +29,7 @@ const char* event_name(EventId id) noexcept {
         case EventId::kFeedbackReceived: return "FeedbackReceived";
         case EventId::kRedesignTriggered: return "RedesignTriggered";
         case EventId::kRegimeShift: return "RegimeShift";
+        case EventId::kPopulationBlock: return "PopulationBlock";
     }
     return "Unknown";
 }

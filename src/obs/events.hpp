@@ -16,6 +16,7 @@
 //   8  FeedbackReceived   controller accepted report block   report_seq  rcvr  q_hat
 //   9  RedesignTriggered  controller re-ran designer block   reason      0     new q target
 //  10  RegimeShift        channel ground truth moved block   0           0     new loss rate
+//  11  PopulationBlock    population engine block    block   leaf count  0     1%-ile trial q
 //
 // "actor" is a receiver id (0 for sender-side events); "value" is the one
 // floating-point payload an event carries (estimates, loss rates, flags).
@@ -53,6 +54,7 @@ enum class EventId : std::uint16_t {
     kFeedbackReceived = 8,
     kRedesignTriggered = 9,
     kRegimeShift = 10,
+    kPopulationBlock = 11,
 };
 
 /// Why the adaptive controller re-ran the designer; carried in the `index`

@@ -352,10 +352,38 @@ std::vector<ExpectationSuite> build_builtin_suites() {
         .within_blocks("redesign-follows-regime", EventId::kRegimeShift,
                        EventId::kRedesignTriggered, 16);
 
+    // population: sanity of the sharded population engine's per-block
+    // summary events. Standalone (population runs emit no per-packet
+    // events — that is the whole point of aggregation).
+    ExpectationSuite population("population");
+    population
+        .expect("population-q-valid", EventId::kPopulationBlock, is_probability,
+                "population tail quantile stays a finite probability")
+        .expect("population-has-leaves", EventId::kPopulationBlock,
+                [](const Event& ev) { return ev.index >= 1; },
+                "population block covers at least one receiver");
+
+    // population-loop: the population aggregate drives the adaptive
+    // controller — feedback synthesized from each block, redesigns in
+    // bounded time after a regime shift.
+    ExpectationSuite population_loop("population-loop");
+    population_loop.include(population)
+        .expect("population-feedback-valid", EventId::kFeedbackReceived,
+                is_probability, "synthesized feedback carries a valid estimate")
+        .expect("population-redesign-has-reason", EventId::kRedesignTriggered,
+                [](const Event& ev) { return ev.index >= 1 && ev.index <= 3; },
+                "RedesignTriggered carries a known reason code")
+        .within_blocks("population-feedback-flows", EventId::kPopulationBlock,
+                       EventId::kFeedbackReceived, 2)
+        .within_blocks("population-redesign-follows-regime",
+                       EventId::kRegimeShift, EventId::kRedesignTriggered, 16);
+
     std::vector<ExpectationSuite> suites;
     suites.push_back(std::move(stream_core));
     suites.push_back(std::move(hash_chain));
     suites.push_back(std::move(adaptive));
+    suites.push_back(std::move(population));
+    suites.push_back(std::move(population_loop));
     return suites;
 }
 

@@ -1,0 +1,369 @@
+#include "pop/population.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "exec/sharded.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/csr.hpp"
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+#include "util/bitmat.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::pop {
+
+void PopulationAggregate::merge(const PopulationAggregate& other) {
+    qhat.merge(other.qhat);
+    qtrial.merge(other.qtrial);
+    qauth.merge(other.qauth);
+    leaf_loss.merge(other.leaf_loss);
+    leaves += other.leaves;
+    unresolved_leaves += other.unresolved_leaves;
+    instances += other.instances;
+    unresolved_instances += other.unresolved_instances;
+    transmissions += other.transmissions;
+    lost += other.lost;
+    loss_runs += other.loss_runs;
+    received += other.received;
+    verified += other.verified;
+}
+
+bool PopulationAggregate::identical(const PopulationAggregate& other) const {
+    return qhat.identical(other.qhat) && qtrial.identical(other.qtrial) &&
+           qauth.identical(other.qauth) &&
+           leaf_loss.identical(other.leaf_loss) && leaves == other.leaves &&
+           unresolved_leaves == other.unresolved_leaves &&
+           instances == other.instances &&
+           unresolved_instances == other.unresolved_instances &&
+           transmissions == other.transmissions && lost == other.lost &&
+           loss_runs == other.loss_runs && received == other.received &&
+           verified == other.verified;
+}
+
+namespace {
+
+constexpr std::size_t kLanes = BatchedLossModel::kLanes;
+
+/// The exact integers engine and oracle must agree on for one leaf before
+/// anything is folded into the sketches.
+struct LeafCounts {
+    std::uint64_t received = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t runs = 0;
+    std::uint32_t rec_lane[kLanes] = {};
+    std::uint32_t ver_lane[kLanes] = {};
+};
+
+/// Fold one leaf into the aggregate. The only floating-point values ever
+/// inserted are ratios of the integers above — exact in doubles (both
+/// operands < 2^53), so engine and oracle insert bit-identical samples.
+void fold_leaf(PopulationAggregate& agg, const LeafCounts& c,
+               std::size_t packets) {
+    agg.leaves += 1;
+    agg.instances += kLanes;
+    agg.transmissions += static_cast<std::uint64_t>(packets) * kLanes;
+    agg.lost += c.lost;
+    agg.loss_runs += c.runs;
+    agg.received += c.received;
+    agg.verified += c.verified;
+    agg.leaf_loss.insert(static_cast<double>(c.lost) /
+                         static_cast<double>(packets * kLanes));
+    if (c.received == 0)
+        agg.unresolved_leaves += 1;
+    else
+        agg.qhat.insert(static_cast<double>(c.verified) /
+                        static_cast<double>(c.received));
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        if (c.rec_lane[l] == 0)
+            agg.unresolved_instances += 1;
+        else
+            agg.qtrial.insert(static_cast<double>(c.ver_lane[l]) /
+                              static_cast<double>(c.rec_lane[l]));
+        // Unconditional authenticated throughput: verified over the packets
+        // SENT to this instance (data packets only; the root is position 0
+        // of every block). Defined even when nothing arrived.
+        agg.qauth.insert(static_cast<double>(c.ver_lane[l]) /
+                         static_cast<double>(packets - 1));
+    }
+}
+
+/// Seed the 64 lane generators for one (link, block): lane l draws from
+/// the stream derive_stream_seed(seed, {node, block, l}). A pure function
+/// of the tuple — any shard that needs this link reproduces it exactly.
+void seed_lanes(std::vector<Rng>& lanes, std::uint64_t seed,
+                std::uint32_t node, std::uint32_t block) {
+    lanes.clear();
+    const std::uint64_t link_block = exec::derive_stream_seed(
+        exec::derive_stream_seed(seed, node), block);
+    for (std::uint64_t l = 0; l < kLanes; ++l)
+        lanes.emplace_back(exec::derive_stream_seed(link_block, l));
+}
+
+/// Per-shard workspace; one per reduce chunk keeps the sweep allocation-free
+/// across the shards that chunk owns.
+struct ShardScratch {
+    explicit ShardScratch(std::size_t packets)
+        : packets(packets), lost(packets), alive(packets), reach(packets) {
+        lanes.reserve(kLanes);
+    }
+
+    std::size_t packets;
+    std::vector<Rng> lanes;
+    std::vector<std::uint64_t> lost;   // sample_block output, send order
+    std::vector<std::uint64_t> alive;  // vertex-indexed survival
+    std::vector<std::uint64_t> reach;  // vertex-indexed verifiability
+    /// Survival words by depth relative to the shard root. Preorder
+    /// guarantees that when node v at relative depth r is visited, surv[r-1]
+    /// still holds parent(v)'s words: everything visited since parent(v)
+    /// lies inside its subtree, at relative depth >= r.
+    std::vector<std::vector<std::uint64_t>> surv;
+    /// Batched loss models by link-spec index, built on first use.
+    std::vector<std::unique_ptr<BatchedLossModel>> models;
+    std::uint64_t t_alive[kLanes];
+    std::uint64_t t_reach[kLanes];
+};
+
+/// Sample link (parent(node) -> node) for this block into s.lost: bit l of
+/// s.lost[k] is 1 iff lane l dropped the packet at send position k. The
+/// model starts from reset — link state is block-scoped.
+void sample_link(ShardScratch& s, const DistributionTree& tree,
+                 std::uint32_t node, std::uint64_t seed, std::uint32_t block) {
+    const std::size_t idx = tree.link_index(node);
+    if (s.models.size() <= idx) s.models.resize(idx + 1);
+    if (!s.models[idx]) s.models[idx] = tree.link(node).make_model()->make_batched();
+    s.models[idx]->reset();
+    seed_lanes(s.lanes, seed, node, block);
+    s.models[idx]->sample_block(s.lanes.data(), s.lost.data(), s.packets);
+}
+
+/// Fold one leaf whose survival words (send order) are `sv`.
+void accumulate_leaf(ShardScratch& s, const DependenceGraph& dg,
+                     const CsrView& csr, const std::vector<std::uint64_t>& sv,
+                     PopulationAggregate& agg) {
+    const std::size_t n = s.packets;
+    for (std::uint32_t k = 0; k < n; ++k)
+        s.alive[dg.vertex_at_send_pos(k)] = sv[k];
+    reachable_within_bitsliced(csr, DependenceGraph::root(), s.alive.data(),
+                               s.reach.data());
+
+    LeafCounts c;
+    std::uint64_t prev_lost = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t lost = ~sv[k];
+        c.lost += static_cast<std::uint64_t>(std::popcount(lost));
+        c.runs += static_cast<std::uint64_t>(std::popcount(lost & ~prev_lost));
+        prev_lost = lost;
+    }
+    for (std::size_t v = 1; v < n; ++v) {
+        c.received += static_cast<std::uint64_t>(std::popcount(s.alive[v]));
+        c.verified += static_cast<std::uint64_t>(std::popcount(s.reach[v]));
+    }
+
+    // Per-lane counts: transpose 64-vertex chunks of the vertex-indexed
+    // words so each row collects ONE lane across the chunk's vertices, then
+    // popcount rows. transpose64_antidiag sends row r bit l to row 63-l bit
+    // 63-r, so transposed row R is lane 63-R. The root vertex (always in
+    // the first chunk, reach forced to ~0) is zeroed out first — counts
+    // cover v >= 1 only, matching the totals above.
+    for (std::size_t base = 0; base < n; base += kLanes) {
+        const std::size_t m = n - base < kLanes ? n - base : kLanes;
+        for (std::size_t r = 0; r < m; ++r) {
+            s.t_alive[r] = s.alive[base + r];
+            s.t_reach[r] = s.reach[base + r];
+        }
+        for (std::size_t r = m; r < kLanes; ++r) s.t_alive[r] = s.t_reach[r] = 0;
+        if (base == 0) s.t_alive[0] = s.t_reach[0] = 0;
+        transpose64_antidiag(s.t_alive);
+        transpose64_antidiag(s.t_reach);
+        for (std::size_t r = 0; r < kLanes; ++r) {
+            c.rec_lane[kLanes - 1 - r] +=
+                static_cast<std::uint32_t>(std::popcount(s.t_alive[r]));
+            c.ver_lane[kLanes - 1 - r] +=
+                static_cast<std::uint32_t>(std::popcount(s.t_reach[r]));
+        }
+    }
+    fold_leaf(agg, c, n);
+}
+
+void simulate_shard(ShardScratch& s, const DistributionTree& tree,
+                    std::uint32_t shard_root, const DependenceGraph& dg,
+                    const CsrView& csr, std::uint64_t seed, std::uint32_t block,
+                    PopulationAggregate& agg) {
+    const std::size_t n = s.packets;
+    const std::size_t d0 = tree.depth(shard_root);
+    const std::size_t max_rel = tree.spec().depth() - d0;
+    while (s.surv.size() <= max_rel)
+        s.surv.emplace_back(std::vector<std::uint64_t>(n));
+
+    // Root-path survival down to and including shard_root's own link.
+    // Ancestor links are shared with sibling shards; each recomputes them
+    // from the same (node, block, lane) streams, so the words agree.
+    std::vector<std::uint64_t>& anc = s.surv[0];
+    std::fill(anc.begin(), anc.end(), ~0ULL);
+    for (std::uint32_t a = shard_root; a != 0; a = tree.parent(a)) {
+        if (tree.link(a).lossless()) continue;
+        sample_link(s, tree, a, seed, block);
+        for (std::size_t k = 0; k < n; ++k) anc[k] &= ~s.lost[k];
+    }
+    if (tree.is_leaf(shard_root)) {
+        accumulate_leaf(s, dg, csr, anc, agg);
+        return;
+    }
+
+    const std::uint32_t end = shard_root + tree.subtree_size(shard_root);
+    for (std::uint32_t v = shard_root + 1; v < end; ++v) {
+        const std::size_t rel = tree.depth(v) - d0;
+        const std::vector<std::uint64_t>& up = s.surv[rel - 1];
+        std::vector<std::uint64_t>& mine = s.surv[rel];
+        if (tree.link(v).lossless()) {
+            std::copy(up.begin(), up.end(), mine.begin());
+        } else {
+            sample_link(s, tree, v, seed, block);
+            for (std::size_t k = 0; k < n; ++k) mine[k] = up[k] & ~s.lost[k];
+        }
+        if (tree.is_leaf(v)) accumulate_leaf(s, dg, csr, mine, agg);
+    }
+}
+
+}  // namespace
+
+PopulationEngine::PopulationEngine(const DistributionTree& tree,
+                                   PopulationOptions options)
+    : tree_(tree), options_(options) {
+    MCAUTH_EXPECTS(options_.max_shard_leaves >= 1);
+    MCAUTH_EXPECTS(tree_.leaf_count() >= 1);
+    // Highest nodes whose subtree fits the shard budget, in preorder;
+    // skipping a claimed subtree keeps shards disjoint and exhaustive.
+    const std::uint32_t nodes = static_cast<std::uint32_t>(tree_.node_count());
+    std::uint32_t v = 0;
+    while (v < nodes) {
+        if (tree_.subtree_leaves(v) <= options_.max_shard_leaves) {
+            shard_roots_.push_back(v);
+            v += tree_.subtree_size(v);
+        } else {
+            ++v;
+        }
+    }
+}
+
+PopulationAggregate PopulationEngine::simulate_block(const DependenceGraph& dg,
+                                                     std::uint64_t seed,
+                                                     std::uint32_t block) const {
+    const std::size_t n = dg.packet_count();
+    MCAUTH_EXPECTS(n >= 1);
+    const CsrView csr(dg.graph());
+    auto& pool = exec::ThreadPool::global();
+    PopulationAggregate agg = pool.parallel_reduce<PopulationAggregate>(
+        shard_roots_.size(), 1, PopulationAggregate(options_.sketch_bins),
+        [&](std::size_t begin, std::size_t end) {
+            PopulationAggregate partial(options_.sketch_bins);
+            ShardScratch scratch(n);
+            for (std::size_t i = begin; i < end; ++i)
+                simulate_shard(scratch, tree_, shard_roots_[i], dg, csr, seed,
+                               block, partial);
+            return partial;
+        },
+        [](PopulationAggregate acc, PopulationAggregate part) {
+            acc.merge(part);
+            return acc;
+        });
+    MCAUTH_OBS_COUNT("pop.blocks");
+    MCAUTH_OBS_COUNT_N("pop.leaves.simulated", agg.leaves);
+    MCAUTH_OBS_COUNT_N("pop.transmissions.lost", agg.lost);
+    MCAUTH_OBS_EVENT(kPopulationBlock, block, agg.leaves, 0,
+                     agg.qtrial.quantile(0.01));
+    return agg;
+}
+
+PopulationAggregate population_oracle(const DistributionTree& tree,
+                                      const DependenceGraph& dg,
+                                      std::uint64_t seed, std::uint32_t block,
+                                      std::size_t sketch_bins) {
+    const std::size_t n = dg.packet_count();
+    MCAUTH_EXPECTS(n >= 1);
+    std::vector<std::uint32_t> leaf_ids;
+    leaf_ids.reserve(tree.leaf_count());
+    for (std::uint32_t v = 0; v < tree.node_count(); ++v)
+        if (tree.is_leaf(v)) leaf_ids.push_back(v);
+
+    auto& pool = exec::ThreadPool::global();
+    return pool.parallel_reduce<PopulationAggregate>(
+        leaf_ids.size(), 256, PopulationAggregate(sketch_bins),
+        [&](std::size_t begin, std::size_t end) {
+            PopulationAggregate partial(sketch_bins);
+            VerifyScratch ws(n);
+            std::vector<std::uint8_t> lost(n);
+            std::vector<std::uint32_t> path;
+            std::vector<std::unique_ptr<LossModel>> models;
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t leaf = leaf_ids[i];
+                path.clear();
+                models.clear();
+                for (std::uint32_t a = leaf; a != 0; a = tree.parent(a)) {
+                    if (tree.link(a).lossless()) continue;
+                    path.push_back(a);
+                    models.push_back(tree.link(a).make_model());
+                }
+                LeafCounts c;
+                for (std::uint32_t l = 0; l < kLanes; ++l) {
+                    std::fill(lost.begin(), lost.end(), 0);
+                    for (std::size_t j = 0; j < path.size(); ++j) {
+                        models[j]->reset();
+                        Rng rng(exec::derive_stream_seed(seed,
+                                                         {path[j], block, l}));
+                        for (std::size_t k = 0; k < n; ++k)
+                            if (models[j]->lose_next(rng)) lost[k] = 1;
+                    }
+                    std::uint8_t prev = 0;
+                    for (std::size_t k = 0; k < n; ++k) {
+                        if (lost[k]) {
+                            ++c.lost;
+                            if (!prev) ++c.runs;
+                        }
+                        prev = lost[k];
+                    }
+                    for (std::uint32_t k = 0; k < n; ++k)
+                        ws.received[dg.vertex_at_send_pos(k)] = !lost[k];
+                    dg.verifiable_into(ws);
+                    std::uint32_t rec = 0;
+                    std::uint32_t ver = 0;
+                    for (std::size_t v = 1; v < n; ++v) {
+                        rec += ws.received[v] ? 1 : 0;
+                        ver += ws.verifiable[v] ? 1 : 0;
+                    }
+                    c.rec_lane[l] = rec;
+                    c.ver_lane[l] = ver;
+                    c.received += rec;
+                    c.verified += ver;
+                }
+                fold_leaf(partial, c, n);
+            }
+            return partial;
+        },
+        [](PopulationAggregate acc, PopulationAggregate part) {
+            acc.merge(part);
+            return acc;
+        });
+}
+
+adapt::FeedbackReport synthesize_feedback(const PopulationAggregate& agg,
+                                          std::uint32_t block,
+                                          std::uint32_t seq,
+                                          std::uint32_t receiver_id) {
+    adapt::FeedbackReport r;
+    r.receiver_id = receiver_id;
+    r.seq = seq;
+    r.last_block = block;
+    // Design for the unlucky tail, not the mean: the aggregator's fusion is
+    // worst-case over receivers, and the 99th-percentile per-leaf loss is
+    // the sketch's stand-in for "the lossiest fresh receiver".
+    r.est_loss_rate = agg.leaf_loss.quantile(0.99);
+    r.est_mean_burst = agg.mean_burst_length();
+    r.set_window(agg.transmissions, agg.lost);
+    return r;
+}
+
+}  // namespace mcauth::pop

@@ -1,0 +1,144 @@
+// Sharded receiver-population engine: millions of receivers per block.
+//
+// The Monte-Carlo engines in core/ simulate ONE receiver at a time; a
+// multicast group question ("what does the 1st-percentile receiver see?")
+// needs the whole population. Simulating a million independent channels
+// per-receiver is O(receivers x packets) — this engine gets the same
+// answer in O(links x packets / 64) by exploiting the distribution tree
+// (pop/tree.hpp):
+//
+//   * every tree link is sampled ONCE per block, bit-sliced — 64 trial
+//     lanes per word via the batched loss models (net/loss.hpp);
+//   * per-receiver loss is the AND of link survivals down the root path,
+//     so one preorder sweep over the tree ANDs each link's word into its
+//     parent's accumulated word — cost O(links), not O(receivers x depth);
+//   * per-receiver state is replaced by mergeable aggregates: counting
+//     quantile sketches (pop/sketch.hpp) of per-leaf q_hat, per-(leaf,
+//     trial) instantaneous q, and per-leaf loss rate, plus integer totals.
+//
+// Determinism (DESIGN.md §7/§13): the variate stream of link v for block b
+// lane l is seeded with exec::derive_stream_seed(seed, {v, b, l}) — a pure
+// function of the addressing tuple. Shards therefore recompute their
+// ancestor-path words independently and IDENTICALLY (no cross-shard
+// communication), sketch merges are integer adds folded in shard order by
+// parallel_reduce, and the result is bit-identical at every --threads.
+// The naive per-receiver oracle below consumes the exact same streams, so
+// engine and oracle aggregates satisfy PopulationAggregate::identical() —
+// the acceptance gate in bench/perf_population.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/feedback.hpp"
+#include "core/dependence_graph.hpp"
+#include "pop/sketch.hpp"
+#include "pop/tree.hpp"
+
+namespace mcauth::pop {
+
+struct PopulationOptions {
+    /// Largest subtree (in leaves) a single shard owns; shard roots are the
+    /// highest nodes whose subtree fits. Smaller shards -> more parallelism
+    /// and more redundant ancestor recomputation (depth words per shard).
+    std::size_t max_shard_leaves = 4096;
+    /// Grid resolution of the aggregate sketches.
+    std::size_t sketch_bins = QuantileSketch::kDefaultBins;
+};
+
+/// Everything the sender learns about the population in one block. Merge is
+/// exactly associative and commutative (integer adds all the way down), so
+/// shard grouping never changes a bit.
+struct PopulationAggregate {
+    explicit PopulationAggregate(std::size_t bins = QuantileSketch::kDefaultBins)
+        : qhat(bins), qtrial(bins), qauth(bins), leaf_loss(bins) {}
+
+    /// Per-leaf verified fraction, averaged over the 64 trial lanes.
+    /// Concentrates by CLT — use qtrial for tail questions.
+    QuantileSketch qhat;
+    /// Per-(leaf, lane) instantaneous verified fraction OF RECEIVED packets
+    /// — one sample per receiver per trial, the §3 conditional q realized.
+    QuantileSketch qtrial;
+    /// Per-(leaf, lane) verified fraction of all SENT data packets — the
+    /// unconditional authenticated throughput. Conditioning on reception
+    /// (qtrial) hides a shared burst once the design verifies every
+    /// surviving packet; this is the distribution whose low quantiles
+    /// separate correlated from i.i.d. loss at equal average rate.
+    QuantileSketch qauth;
+    /// Per-leaf observed loss rate over all packets and lanes.
+    QuantileSketch leaf_loss;
+
+    std::uint64_t leaves = 0;
+    std::uint64_t unresolved_leaves = 0;  // leaves that received no packet
+    std::uint64_t instances = 0;          // leaves x lanes
+    std::uint64_t unresolved_instances = 0;
+    std::uint64_t transmissions = 0;  // leaves x packets x lanes
+    std::uint64_t lost = 0;           // dropped transmissions
+    std::uint64_t loss_runs = 0;      // maximal runs of consecutive losses
+    std::uint64_t received = 0;       // non-root receptions
+    std::uint64_t verified = 0;       // non-root verifications
+
+    void merge(const PopulationAggregate& other);
+    /// Bit-exact equality — the engine-vs-oracle gate.
+    bool identical(const PopulationAggregate& other) const;
+
+    double mean_loss_rate() const noexcept {
+        return transmissions ? static_cast<double>(lost) /
+                                   static_cast<double>(transmissions)
+                             : 0.0;
+    }
+    /// Mean length of a loss run (the GE burst estimate), >= 1.
+    double mean_burst_length() const noexcept {
+        if (loss_runs == 0) return 1.0;
+        const double b =
+            static_cast<double>(lost) / static_cast<double>(loss_runs);
+        return b < 1.0 ? 1.0 : b;
+    }
+};
+
+class PopulationEngine {
+public:
+    explicit PopulationEngine(const DistributionTree& tree,
+                              PopulationOptions options = {});
+
+    /// Simulate one block (64 trial lanes) of `dg` over the whole tree.
+    /// Pure function of (tree, dg, seed, block) — identical at any thread
+    /// count. Emits one kPopulationBlock event per call.
+    PopulationAggregate simulate_block(const DependenceGraph& dg,
+                                       std::uint64_t seed,
+                                       std::uint32_t block) const;
+
+    /// Subtree roots owning the shards, in preorder (= merge order).
+    const std::vector<std::uint32_t>& shard_roots() const noexcept {
+        return shard_roots_;
+    }
+    const DistributionTree& tree() const noexcept { return tree_; }
+    const PopulationOptions& options() const noexcept { return options_; }
+
+private:
+    const DistributionTree& tree_;
+    PopulationOptions options_;
+    std::vector<std::uint32_t> shard_roots_;
+};
+
+/// Naive per-receiver reference: walks every leaf's root path with SCALAR
+/// loss models and the scalar verifiability kernel, consuming the same
+/// per-(link, block, lane) streams as the engine. O(receivers x depth x
+/// packets) — the baseline the tentpole speedup is measured against, and
+/// the oracle the engine must match bit-for-bit.
+PopulationAggregate population_oracle(
+    const DistributionTree& tree, const DependenceGraph& dg, std::uint64_t seed,
+    std::uint32_t block, std::size_t sketch_bins = QuantileSketch::kDefaultBins);
+
+/// Fold a block aggregate into one synthetic FeedbackReport for the
+/// adaptive controller (adapt/controller.hpp): est_loss_rate is the
+/// 99th-percentile per-leaf loss (the controller designs for the unlucky
+/// tail, matching FeedbackAggregator's worst-case fusion), est_mean_burst
+/// the population burst estimate, and the loss window is the exact
+/// transmission/loss totals rescaled to fit the u32 wire fields.
+adapt::FeedbackReport synthesize_feedback(const PopulationAggregate& agg,
+                                          std::uint32_t block,
+                                          std::uint32_t seq,
+                                          std::uint32_t receiver_id = 1);
+
+}  // namespace mcauth::pop

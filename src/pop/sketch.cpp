@@ -1,0 +1,77 @@
+#include "pop/sketch.hpp"
+
+#include "util/check.hpp"
+
+namespace mcauth::pop {
+
+QuantileSketch::QuantileSketch(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    MCAUTH_EXPECTS(bins >= 2);
+    MCAUTH_EXPECTS(hi > lo);
+    step_ = (hi_ - lo_) / static_cast<double>(bins - 1);
+}
+
+void QuantileSketch::insert(double v) noexcept {
+    if (!(v >= lo_)) v = lo_;  // NaN and below-range both clamp low
+    if (v > hi_) v = hi_;
+    // Nearest grid point. All operands are finite and t is in
+    // [0, bins-1 + 0.5), so the truncation is well defined; IEEE arithmetic
+    // makes the bin choice a pure function of the double, identical across
+    // insertion orders and machines.
+    const double t = (v - lo_) / step_ + 0.5;
+    std::size_t idx = static_cast<std::size_t>(t);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+    MCAUTH_EXPECTS(counts_.size() == other.counts_.size());
+    MCAUTH_EXPECTS(lo_ == other.lo_ && hi_ == other.hi_);
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        if (other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+    if (count_ == 0) return lo_;
+    if (!(q > 0.0)) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // rank = ceil(q * count), clamped to [1, count].
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank) return bin_value(i);
+    }
+    return hi_;  // unreachable: cumulative ends at count_ >= rank
+}
+
+bool QuantileSketch::identical(const QuantileSketch& other) const noexcept {
+    if (counts_.size() != other.counts_.size() || lo_ != other.lo_ ||
+        hi_ != other.hi_ || count_ != other.count_)
+        return false;
+    if (count_ != 0 && (min_ != other.min_ || max_ != other.max_)) return false;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        if (counts_[i] != other.counts_[i]) return false;
+    return true;
+}
+
+}  // namespace mcauth::pop

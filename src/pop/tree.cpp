@@ -1,0 +1,119 @@
+#include "pop/tree.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mcauth::pop {
+
+std::unique_ptr<LossModel> LinkSpec::make_model() const {
+    if (kind == Kind::kBernoulli) return std::make_unique<BernoulliLoss>(rate);
+    return std::make_unique<GilbertElliottLoss>(
+        GilbertElliottLoss::from_rate_and_burst(rate, burst));
+}
+
+std::size_t TreeSpec::leaf_count() const noexcept {
+    if (fanouts.empty()) return backbone_depth > 0 ? 1 : 0;
+    std::size_t leaves = 1;
+    for (std::size_t f : fanouts) leaves *= f;
+    return leaves;
+}
+
+std::size_t TreeSpec::node_count() const noexcept {
+    std::size_t nodes = 1 + backbone_depth;
+    std::size_t width = 1;
+    for (std::size_t f : fanouts) {
+        width *= f;
+        nodes += width;
+    }
+    return nodes;
+}
+
+namespace {
+
+void validate_spec(const TreeSpec& spec) {
+    MCAUTH_EXPECTS(spec.fanout_links.size() == spec.fanouts.size());
+    for (std::size_t f : spec.fanouts) MCAUTH_EXPECTS(f >= 1);
+    MCAUTH_EXPECTS(spec.depth() >= 1);    // at least one link => one receiver
+    MCAUTH_EXPECTS(spec.depth() <= 200);  // per-node depth is a uint8_t
+    MCAUTH_EXPECTS(spec.node_count() <=
+                   std::numeric_limits<std::uint32_t>::max());
+    const auto check_link = [](const LinkSpec& link) {
+        MCAUTH_EXPECTS(link.rate >= 0.0 && link.rate < 1.0);
+        if (link.kind == LinkSpec::Kind::kGilbertElliott) {
+            MCAUTH_EXPECTS(link.rate > 0.0);  // from_rate_and_burst domain
+            MCAUTH_EXPECTS(link.burst >= 1.0);
+        }
+    };
+    if (spec.backbone_depth > 0) check_link(spec.backbone_link);
+    for (const LinkSpec& link : spec.fanout_links) check_link(link);
+}
+
+}  // namespace
+
+DistributionTree::DistributionTree(TreeSpec spec) : spec_(std::move(spec)) {
+    validate_spec(spec_);
+    const std::size_t nodes = spec_.node_count();
+    parent_.reserve(nodes);
+    depth_.reserve(nodes);
+
+    // DFS preorder generation: children of a node at depth d are one
+    // backbone child (d < backbone_depth) or fanouts[d - backbone_depth]
+    // fan-out children. An explicit stack of (parent, depth) pending-child
+    // records keeps the walk allocation-light; children are expanded
+    // immediately after their parent, which is what yields preorder.
+    struct Pending {
+        std::uint32_t parent;
+        std::uint8_t child_depth;
+        std::uint32_t remaining;  // children of `parent` still to emit
+    };
+    std::vector<Pending> stack;
+    const auto children_of_depth = [&](std::size_t d) -> std::uint32_t {
+        if (d < spec_.backbone_depth) return 1;
+        const std::size_t j = d - spec_.backbone_depth;
+        return j < spec_.fanouts.size() ? static_cast<std::uint32_t>(spec_.fanouts[j])
+                                        : 0;
+    };
+
+    parent_.push_back(0);  // root is its own parent
+    depth_.push_back(0);
+    if (children_of_depth(0) > 0) stack.push_back({0, 1, children_of_depth(0)});
+    while (!stack.empty()) {
+        Pending& top = stack.back();
+        const std::uint32_t v = static_cast<std::uint32_t>(parent_.size());
+        parent_.push_back(top.parent);
+        depth_.push_back(top.child_depth);
+        const std::uint8_t child_depth = top.child_depth;
+        if (--top.remaining == 0) stack.pop_back();
+        const std::uint32_t kids = children_of_depth(child_depth);
+        if (kids > 0)
+            stack.push_back({v, static_cast<std::uint8_t>(child_depth + 1), kids});
+    }
+    MCAUTH_ENSURES(parent_.size() == nodes);
+
+    // Reverse pass: preorder guarantees parent(v) < v, so accumulating from
+    // the back finalizes every subtree before its parent reads it.
+    subtree_size_.assign(nodes, 1);
+    subtree_leaves_.assign(nodes, 0);
+    for (std::size_t v = nodes; v-- > 1;) {
+        if (subtree_leaves_[v] == 0) subtree_leaves_[v] = 1;  // leaf
+        subtree_size_[parent_[v]] += subtree_size_[v];
+        subtree_leaves_[parent_[v]] += subtree_leaves_[v];
+    }
+    if (nodes == 1) subtree_leaves_[0] = 0;  // a bare root has no receivers
+    leaf_count_ = subtree_leaves_[0];
+    MCAUTH_ENSURES(leaf_count_ == spec_.leaf_count());
+
+    specs_.push_back(spec_.backbone_link);
+    for (const LinkSpec& link : spec_.fanout_links) specs_.push_back(link);
+}
+
+double DistributionTree::leaf_loss_rate() const noexcept {
+    double survive = 1.0;
+    for (std::size_t d = 0; d < spec_.backbone_depth; ++d)
+        survive *= 1.0 - spec_.backbone_link.rate;
+    for (const LinkSpec& link : spec_.fanout_links) survive *= 1.0 - link.rate;
+    return 1.0 - survive;
+}
+
+}  // namespace mcauth::pop

@@ -1,0 +1,125 @@
+// Explicit multicast distribution tree: the topology-correlated channel.
+//
+// The paper's channel is per-receiver i.i.d.; a real multicast group hangs
+// millions of receivers off a shared distribution tree, where one lossy
+// backbone link drops the SAME packets for its entire subtree. This header
+// models that tree explicitly: interior nodes are routers, leaves are
+// receivers, and every edge (parent -> child) carries its own loss process
+// (Bernoulli or Gilbert-Elliott). A packet reaches a leaf iff it survives
+// EVERY link on the root path — per-receiver loss is the AND of link
+// survivals, which is what lets one link sample serve a whole subtree
+// (pop/population.hpp).
+//
+// Layout: nodes are stored in DFS preorder (node 0 = root/sender), so
+//   * parent(v) < v for every non-root v, and
+//   * the subtree of v is the contiguous index range
+//     [v, v + subtree_size(v)) — a shard is a range scan, and one pass in
+//     index order visits every parent before its children (the AND-down-
+//     the-tree sweep needs exactly that).
+//
+// Trees are specified level-structured (TreeSpec): a backbone chain of
+// `backbone_depth` links under the root, then fan-out levels with one
+// branching factor and one LinkSpec per level. All leaves sit at the same
+// depth with the same link-spec path, so the stationary end-to-end loss
+// rate is a single scalar (leaf_loss_rate) — the quantity the
+// "equal average loss" ablation arms are matched on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/loss.hpp"
+
+namespace mcauth::pop {
+
+/// Loss process of one tree edge.
+struct LinkSpec {
+    enum class Kind : std::uint8_t { kBernoulli, kGilbertElliott };
+
+    Kind kind = Kind::kBernoulli;
+    double rate = 0.0;   // stationary loss rate
+    double burst = 1.0;  // GE mean burst length (ignored for Bernoulli)
+
+    static LinkSpec bernoulli(double rate) {
+        return LinkSpec{Kind::kBernoulli, rate, 1.0};
+    }
+    static LinkSpec gilbert_elliott(double rate, double burst) {
+        return LinkSpec{Kind::kGilbertElliott, rate, burst};
+    }
+
+    /// A link that can never drop a packet; its sampler consumes no
+    /// variates (Rng::bernoulli's p <= 0 short-circuit), so the engine may
+    /// skip it entirely without perturbing any stream.
+    bool lossless() const noexcept {
+        return kind == Kind::kBernoulli && rate <= 0.0;
+    }
+
+    /// Fresh loss model in its reset state.
+    std::unique_ptr<LossModel> make_model() const;
+};
+
+/// Level-structured tree description: root -> backbone chain -> fan-out
+/// levels. fanout_links must parallel fanouts (one spec per level).
+struct TreeSpec {
+    std::size_t backbone_depth = 0;
+    LinkSpec backbone_link;
+    std::vector<std::size_t> fanouts;
+    std::vector<LinkSpec> fanout_links;
+
+    std::size_t depth() const noexcept { return backbone_depth + fanouts.size(); }
+    std::size_t leaf_count() const noexcept;
+    std::size_t node_count() const noexcept;
+};
+
+/// Immutable DFS-preorder tree built from a TreeSpec.
+class DistributionTree {
+public:
+    explicit DistributionTree(TreeSpec spec);
+
+    const TreeSpec& spec() const noexcept { return spec_; }
+    std::size_t node_count() const noexcept { return parent_.size(); }
+    std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+    std::uint32_t parent(std::uint32_t v) const noexcept { return parent_[v]; }
+    /// Distance from the root (root = 0); also selects the link spec.
+    std::uint8_t depth(std::uint32_t v) const noexcept { return depth_[v]; }
+    /// Nodes in v's subtree including v; the subtree is [v, v + size).
+    std::uint32_t subtree_size(std::uint32_t v) const noexcept {
+        return subtree_size_[v];
+    }
+    std::uint32_t subtree_leaves(std::uint32_t v) const noexcept {
+        return subtree_leaves_[v];
+    }
+    bool is_leaf(std::uint32_t v) const noexcept { return subtree_size_[v] == 1; }
+
+    /// Index into specs() of the link (parent(v) -> v); v must not be root.
+    std::uint8_t link_index(std::uint32_t v) const noexcept {
+        const std::uint8_t d = depth_[v];
+        return d <= spec_.backbone_depth
+                   ? 0
+                   : static_cast<std::uint8_t>(d - spec_.backbone_depth);
+    }
+    const LinkSpec& link(std::uint32_t v) const noexcept {
+        return specs_[link_index(v)];
+    }
+    /// Distinct link specs by depth class: [0] = backbone, [1..] = fan-out
+    /// levels. specs()[0] is present (unused) even when backbone_depth == 0.
+    const std::vector<LinkSpec>& specs() const noexcept { return specs_; }
+
+    /// Stationary end-to-end loss rate of any leaf's root path:
+    /// 1 - prod(1 - rate_link). All leaves are exchangeable by construction.
+    double leaf_loss_rate() const noexcept;
+
+private:
+    TreeSpec spec_;
+    std::vector<LinkSpec> specs_;
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint8_t> depth_;
+    std::vector<std::uint32_t> subtree_size_;
+    std::vector<std::uint32_t> subtree_leaves_;
+    std::size_t leaf_count_ = 0;
+};
+
+}  // namespace mcauth::pop

@@ -1,0 +1,29 @@
+// Bit-matrix kernels shared by the word-parallel engines.
+//
+// The batched loss samplers (net/loss.cpp) and the population engine
+// (pop/population.cpp) both accumulate decisions lane-major — one register
+// word per lane — and then need the packet-major view the propagation
+// kernels consume. The 64x64 transpose below is that pivot; it lives here
+// so both hot paths share one tested implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace mcauth {
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3 recursive
+/// block-swap; 6 stages of masked swaps, ~400 word ops). This variant maps
+/// row r bit c to row 63-c bit 63-r, i.e. transpose across the
+/// anti-diagonal; callers compensate by mirroring their row/bit indexing.
+inline void transpose64_antidiag(std::uint64_t a[64]) noexcept {
+    std::uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+            const std::uint64_t t = (a[k] ^ (a[k | j] >> j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= (t << j);
+        }
+    }
+}
+
+}  // namespace mcauth

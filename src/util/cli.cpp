@@ -11,16 +11,20 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
         std::string_view arg(argv[i]);
         if (arg.rfind("--", 0) != 0) continue;  // ignore positional arguments
         arg.remove_prefix(2);
+        // Repeated keys are last-wins (insert_or_assign, not emplace):
+        // `--seed 1 --seed 2` means the caller overrode an earlier value —
+        // the shell convention, and what scripts prepending defaults expect.
         const auto eq = arg.find('=');
         if (eq != std::string_view::npos) {
-            values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+            values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                                     std::string(arg.substr(eq + 1)));
         } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
             // Space-separated form: `--key value`. A following `--...` token
             // is the next option, so the bare key is a boolean flag instead.
-            values_.emplace(std::string(arg), argv[i + 1]);
+            values_.insert_or_assign(std::string(arg), argv[i + 1]);
             ++i;
         } else {
-            values_.emplace(std::string(arg), "true");
+            values_.insert_or_assign(std::string(arg), "true");
         }
     }
 }

@@ -52,14 +52,19 @@ TEST_F(ExpectTest, BuiltinSuitesAreTiered) {
     const ExpectationSuite* core = find_suite("stream-core");
     const ExpectationSuite* chain = find_suite("hash-chain");
     const ExpectationSuite* loop = find_suite("adaptive-loop");
+    const ExpectationSuite* pop = find_suite("population");
+    const ExpectationSuite* pop_loop = find_suite("population-loop");
     ASSERT_NE(core, nullptr);
     ASSERT_NE(chain, nullptr);
     ASSERT_NE(loop, nullptr);
+    ASSERT_NE(pop, nullptr);
+    ASSERT_NE(pop_loop, nullptr);
     // Each tier strictly extends the previous one.
     EXPECT_GT(chain->rules().size(), core->rules().size());
     EXPECT_GT(loop->rules().size(), chain->rules().size());
+    EXPECT_GT(pop_loop->rules().size(), pop->rules().size());
     EXPECT_EQ(find_suite("no-such-suite"), nullptr);
-    EXPECT_EQ(suite_names().size(), 3u);
+    EXPECT_EQ(suite_names().size(), 5u);
 }
 
 // ------------------------------------------------- rule class: predicate

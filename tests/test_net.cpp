@@ -331,9 +331,50 @@ TEST(BatchedLoss, BernoulliBlockDegenerateRates) {
 }
 
 TEST(BatchedLoss, DefaultBlockMatchesStepwiseForStatefulModels) {
-    expect_block_matches_stepwise(GilbertElliottLoss::from_rate_and_burst(0.2, 4.0), 702,
-                                  100);
     expect_block_matches_stepwise(TraceLoss({true, false, true}), 703, 10);
+}
+
+TEST(BatchedLoss, GilbertElliottBlockMatchesStepwise) {
+    // The hot specialization: loss_good = 0, loss_bad = 1, transitions in
+    // (0,1) — one variate per packet per lane. Ragged, exact and multi-chunk
+    // counts.
+    for (std::size_t count : {std::size_t{1}, std::size_t{37}, std::size_t{64},
+                              std::size_t{65}, std::size_t{200}}) {
+        expect_block_matches_stepwise(GilbertElliottLoss::from_rate_and_burst(0.3, 8.0),
+                                      710 + count, count);
+    }
+}
+
+TEST(BatchedLoss, GilbertElliottBlockGenericParameters) {
+    // Fractional loss probabilities in both states: two variates per packet.
+    expect_block_matches_stepwise(GilbertElliottLoss(0.2, 0.4, 0.1, 0.9), 720, 200);
+    // loss_good = 1 and loss_bad = 0 (inverted channel): loss draws are
+    // no-variate constants but NOT the hot shape.
+    expect_block_matches_stepwise(GilbertElliottLoss(0.3, 0.5, 1.0, 0.0), 721, 100);
+    // burst = 1 gives p_bad_to_good = 1: an always-transition with no draw.
+    expect_block_matches_stepwise(GilbertElliottLoss(0.25, 1.0, 0.0, 1.0), 722, 130);
+}
+
+TEST(BatchedLoss, GilbertElliottBlockCarriesStateAcrossCalls) {
+    // Burst state must survive between sample_block calls exactly as it
+    // does between lose_next64 calls.
+    const auto proto = GilbertElliottLoss::from_rate_and_burst(0.2, 6.0);
+    auto stepwise = proto.make_batched();
+    auto block = proto.make_batched();
+    std::vector<Rng> step_rngs;
+    std::vector<Rng> block_rngs;
+    for (std::size_t l = 0; l < 64; ++l) {
+        step_rngs.emplace_back(730 + l);
+        block_rngs.emplace_back(730 + l);
+    }
+    stepwise->reset();
+    block->reset();
+    std::vector<std::uint64_t> expect(90);
+    for (auto& w : expect) w = stepwise->lose_next64(step_rngs.data());
+    std::vector<std::uint64_t> got(90, 0);
+    block->sample_block(block_rngs.data(), got.data(), 40);
+    block->sample_block(block_rngs.data(), got.data() + 40, 50);
+    for (std::size_t k = 0; k < 90; ++k) EXPECT_EQ(got[k], expect[k]) << k;
 }
 
 // ------------------------------------------------------------------- trace

@@ -1,0 +1,319 @@
+// DESIGN.md §13: the receiver-population engine — sketch algebra, tree
+// invariants, and the bit-identity of the sharded bit-sliced engine against
+// the naive per-receiver oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "adapt/feedback.hpp"
+#include "core/topologies.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/expect.hpp"
+#include "pop/population.hpp"
+#include "pop/sketch.hpp"
+#include "pop/tree.hpp"
+
+namespace mcauth::pop {
+namespace {
+
+// ---------------------------------------------------------------- sketch
+
+std::vector<double> adversarial_values(std::size_t count, double step) {
+    // Values engineered to stress the grid: exact grid points, both sides of
+    // rounding boundaries, dense duplicates, and the extremes.
+    std::vector<double> vals;
+    Rng rng(99);
+    for (std::size_t i = 0; i < count; ++i) {
+        switch (i % 5) {
+            case 0: vals.push_back(std::floor(rng.uniform() / step) * step); break;
+            case 1: vals.push_back(rng.uniform());  break;
+            case 2: vals.push_back(0.5 + step * 0.499); break;  // duplicate cluster
+            case 3: vals.push_back(0.5 - step * 0.501); break;
+            default: vals.push_back(i % 10 == 9 ? 1.0 : 0.0); break;
+        }
+    }
+    return vals;
+}
+
+TEST(QuantileSketch, MergeIsAssociativeAndCommutativeUnderShardReordering) {
+    const auto vals = adversarial_values(997, QuantileSketch().step());
+    // Partition into 7 uneven "shards".
+    std::vector<QuantileSketch> shards(7);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        shards[(i * i) % shards.size()].insert(vals[i]);
+
+    QuantileSketch forward;
+    for (const auto& s : shards) forward.merge(s);
+
+    QuantileSketch backward;
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) backward.merge(*it);
+
+    // ((0+1)+(2+3)) + ((4+5)+6): a different association tree.
+    QuantileSketch left, right;
+    left.merge(shards[0]); left.merge(shards[1]);
+    QuantileSketch mid;
+    mid.merge(shards[2]); mid.merge(shards[3]);
+    left.merge(mid);
+    right.merge(shards[4]); right.merge(shards[5]);
+    right.merge(shards[6]);
+    left.merge(right);
+
+    // And the unsharded reference.
+    QuantileSketch direct;
+    for (double v : vals) direct.insert(v);
+
+    EXPECT_TRUE(forward.identical(backward));
+    EXPECT_TRUE(forward.identical(left));
+    EXPECT_TRUE(forward.identical(direct));
+    EXPECT_EQ(forward.count(), vals.size());
+}
+
+TEST(QuantileSketch, QuantileValueErrorBoundedByHalfStepOnAdversarialInput) {
+    QuantileSketch sketch;
+    auto vals = adversarial_values(4096, sketch.step());
+    for (double v : vals) sketch.insert(v);
+    std::sort(vals.begin(), vals.end());
+    for (double q : {0.0, 0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1.0}) {
+        // rank ceil(q * n) clamped to [1, n], matching the sketch's contract.
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(vals.size())));
+        rank = std::clamp<std::size_t>(rank, 1, vals.size());
+        const double exact = vals[rank - 1];
+        EXPECT_LE(std::abs(sketch.quantile(q) - exact), sketch.step() / 2 + 1e-12)
+            << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(sketch.min(), vals.front());
+    EXPECT_DOUBLE_EQ(sketch.max(), vals.back());
+}
+
+TEST(QuantileSketch, EmptyAndSingletonShardEdgeCases) {
+    QuantileSketch empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), empty.lo());
+    EXPECT_DOUBLE_EQ(empty.min(), empty.lo());
+    EXPECT_DOUBLE_EQ(empty.max(), empty.hi());
+
+    QuantileSketch single;
+    single.insert(0.37);
+    QuantileSketch merged;
+    merged.merge(empty);      // empty into empty: still empty
+    EXPECT_TRUE(merged.empty());
+    merged.merge(single);     // singleton into empty
+    merged.merge(empty);      // empty into nonempty: no-op
+    EXPECT_TRUE(merged.identical(single));
+    EXPECT_EQ(merged.count(), 1u);
+    EXPECT_NEAR(merged.quantile(0.0), 0.37, merged.step() / 2);
+    EXPECT_NEAR(merged.quantile(1.0), 0.37, merged.step() / 2);
+    EXPECT_DOUBLE_EQ(merged.min(), 0.37);
+}
+
+TEST(QuantileSketch, OutOfRangeAndNaNClampDeterministically) {
+    QuantileSketch a, b;
+    a.insert(-3.0);
+    a.insert(7.0);
+    a.insert(std::nan(""));
+    b.insert(0.0);   // -3 and NaN clamp low
+    b.insert(1.0);   // 7 clamps high
+    b.insert(0.0);
+    // Counters land on the same bins; exact min/max differ only via the
+    // clamped value, which is what was inserted.
+    for (std::size_t i : {std::size_t{0}, a.bins() - 1})
+        EXPECT_EQ(a.bin_count(i), b.bin_count(i));
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedGeometry) {
+    QuantileSketch a(8193, 0.0, 1.0);
+    QuantileSketch b(4097, 0.0, 1.0);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ tree
+
+TEST(DistributionTree, PreorderInvariantsAndLevelStructure) {
+    TreeSpec spec;
+    spec.backbone_depth = 3;
+    spec.backbone_link = LinkSpec::gilbert_elliott(0.05, 4.0);
+    spec.fanouts = {3, 2};
+    spec.fanout_links = {LinkSpec::bernoulli(0.1), LinkSpec::bernoulli(0.02)};
+    const DistributionTree tree(spec);
+
+    EXPECT_EQ(tree.node_count(), 1u + 3u + 3u + 6u);
+    EXPECT_EQ(tree.leaf_count(), 6u);
+    EXPECT_EQ(tree.subtree_size(0), tree.node_count());
+    EXPECT_EQ(tree.subtree_leaves(0), tree.leaf_count());
+
+    std::size_t leaves = 0;
+    for (std::uint32_t v = 1; v < tree.node_count(); ++v) {
+        EXPECT_LT(tree.parent(v), v);  // preorder
+        EXPECT_EQ(tree.depth(v), tree.depth(tree.parent(v)) + 1);
+        // Subtree ranges nest: v's range sits inside its parent's.
+        const std::uint32_t p = tree.parent(v);
+        EXPECT_GE(v, p);
+        EXPECT_LE(v + tree.subtree_size(v), p + tree.subtree_size(p));
+        if (tree.is_leaf(v)) {
+            ++leaves;
+            EXPECT_EQ(tree.depth(v), spec.depth());
+        }
+    }
+    EXPECT_EQ(leaves, 6u);
+
+    // Link spec selection by depth class: backbone depths 1..3 -> specs[0],
+    // fan-out level j -> specs[j].
+    for (std::uint32_t v = 1; v < tree.node_count(); ++v) {
+        const std::uint8_t d = tree.depth(v);
+        EXPECT_EQ(tree.link_index(v), d <= 3 ? 0 : d - 3);
+    }
+    const double expect_rate = 1.0 - std::pow(0.95, 3) * 0.9 * 0.98;
+    EXPECT_NEAR(tree.leaf_loss_rate(), expect_rate, 1e-12);
+}
+
+TEST(DistributionTree, BackboneOnlyChainHasOneLeaf) {
+    TreeSpec spec;
+    spec.backbone_depth = 4;
+    spec.backbone_link = LinkSpec::bernoulli(0.1);
+    const DistributionTree tree(spec);
+    EXPECT_EQ(tree.node_count(), 5u);
+    EXPECT_EQ(tree.leaf_count(), 1u);
+    EXPECT_TRUE(tree.is_leaf(4));
+    EXPECT_NEAR(tree.leaf_loss_rate(), 1.0 - std::pow(0.9, 4), 1e-12);
+}
+
+TEST(DistributionTree, RejectsInvalidSpecs) {
+    TreeSpec bare;  // no links at all
+    EXPECT_THROW(DistributionTree{bare}, std::invalid_argument);
+    TreeSpec mismatched;
+    mismatched.fanouts = {2, 2};
+    mismatched.fanout_links = {LinkSpec::bernoulli(0.1)};
+    EXPECT_THROW(DistributionTree{mismatched}, std::invalid_argument);
+}
+
+// ---------------------------------------------------- engine vs oracle
+
+TreeSpec small_tree(bool bursty) {
+    TreeSpec spec;
+    spec.backbone_depth = 2;
+    spec.backbone_link = bursty ? LinkSpec::gilbert_elliott(0.08, 5.0)
+                                : LinkSpec::bernoulli(0.08);
+    spec.fanouts = {4, 4};
+    spec.fanout_links = {
+        bursty ? LinkSpec::gilbert_elliott(0.1, 3.0) : LinkSpec::bernoulli(0.1),
+        LinkSpec::bernoulli(0.05)};
+    return spec;
+}
+
+void expect_engine_matches_oracle(const TreeSpec& spec, std::size_t shard_leaves) {
+    const DistributionTree tree(spec);
+    const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+    PopulationOptions options;
+    options.max_shard_leaves = shard_leaves;
+    const PopulationEngine engine(tree, options);
+
+    const PopulationAggregate oracle = population_oracle(tree, dg, 42, /*block=*/3);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        exec::ThreadPool::set_global_thread_count(threads);
+        const PopulationAggregate got = engine.simulate_block(dg, 42, 3);
+        EXPECT_TRUE(got.identical(oracle))
+            << "threads=" << threads << " shard_leaves=" << shard_leaves;
+    }
+    exec::ThreadPool::set_global_thread_count(1);
+}
+
+TEST(PopulationEngine, MatchesOracleBitForBitBernoulli) {
+    expect_engine_matches_oracle(small_tree(/*bursty=*/false), 4);
+}
+
+TEST(PopulationEngine, MatchesOracleBitForBitGilbertElliott) {
+    expect_engine_matches_oracle(small_tree(/*bursty=*/true), 4);
+}
+
+TEST(PopulationEngine, ShardingGrainDoesNotChangeResults) {
+    // One shard per leaf, per subtree, and one covering everything must all
+    // agree — the aggregate algebra really is grouping-free.
+    const DistributionTree tree(small_tree(/*bursty=*/true));
+    const DependenceGraph dg = make_emss(20, 3, 2);
+    PopulationOptions one, four, all;
+    one.max_shard_leaves = 1;
+    four.max_shard_leaves = 4;
+    all.max_shard_leaves = 1u << 20;
+    const auto a = PopulationEngine(tree, one).simulate_block(dg, 7, 0);
+    const auto b = PopulationEngine(tree, four).simulate_block(dg, 7, 0);
+    const auto c = PopulationEngine(tree, all).simulate_block(dg, 7, 0);
+    EXPECT_TRUE(a.identical(b));
+    EXPECT_TRUE(a.identical(c));
+    EXPECT_EQ(PopulationEngine(tree, all).shard_roots().size(), 1u);
+    EXPECT_EQ(PopulationEngine(tree, one).shard_roots().size(), tree.leaf_count());
+}
+
+TEST(PopulationEngine, BlocksAndSeedsDecorrelate) {
+    const DistributionTree tree(small_tree(/*bursty=*/false));
+    const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+    const PopulationEngine engine(tree);
+    const auto base = engine.simulate_block(dg, 42, 3);
+    EXPECT_TRUE(base.identical(engine.simulate_block(dg, 42, 3)));  // pure fn
+    EXPECT_FALSE(base.identical(engine.simulate_block(dg, 42, 4)));
+    EXPECT_FALSE(base.identical(engine.simulate_block(dg, 43, 3)));
+}
+
+TEST(PopulationEngine, AggregateTotalsAreConsistent) {
+    const DistributionTree tree(small_tree(/*bursty=*/true));
+    const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+    const auto agg = PopulationEngine(tree).simulate_block(dg, 11, 0);
+    EXPECT_EQ(agg.leaves, tree.leaf_count());
+    EXPECT_EQ(agg.instances, agg.leaves * 64);
+    EXPECT_EQ(agg.transmissions, agg.leaves * 24 * 64);
+    EXPECT_LE(agg.lost, agg.transmissions);
+    EXPECT_LE(agg.loss_runs, agg.lost);
+    EXPECT_LE(agg.verified, agg.received);
+    EXPECT_EQ(agg.qhat.count() + agg.unresolved_leaves, agg.leaves);
+    EXPECT_EQ(agg.qtrial.count() + agg.unresolved_instances, agg.instances);
+    // qauth covers EVERY instance (unconditional), and since verified/sent
+    // <= verified/received pointwise, its order statistics are dominated.
+    EXPECT_EQ(agg.qauth.count(), agg.instances);
+    for (double q : {0.01, 0.5, 0.99})
+        EXPECT_LE(agg.qauth.quantile(q), agg.qtrial.quantile(q) + 1e-12);
+    // Mean loss over many receivers should track the analytic rate.
+    EXPECT_NEAR(agg.mean_loss_rate(), tree.leaf_loss_rate(), 0.05);
+}
+
+// ------------------------------------------------------------- feedback
+
+TEST(SynthesizeFeedback, ReportsTailLossAndRescalesWindow) {
+    PopulationAggregate agg;
+    // 90 leaves at 10% loss, 10 leaves at 60%: the tail estimate must see
+    // the unlucky subtree, not the average.
+    for (int i = 0; i < 90; ++i) agg.leaf_loss.insert(0.1);
+    for (int i = 0; i < 10; ++i) agg.leaf_loss.insert(0.6);
+    agg.leaves = 100;
+    agg.transmissions = 100ULL << 32;  // overflows u32 on purpose
+    agg.lost = 25ULL << 32;
+    agg.loss_runs = 5ULL << 32;
+    const adapt::FeedbackReport report = synthesize_feedback(agg, /*block=*/9,
+                                                             /*seq=*/2);
+    EXPECT_EQ(report.last_block, 9u);
+    EXPECT_EQ(report.seq, 2u);
+    EXPECT_NEAR(report.est_loss_rate, 0.6, 0.01);
+    EXPECT_DOUBLE_EQ(report.est_mean_burst, 5.0);
+    EXPECT_GT(report.window_packets, 0u);
+    EXPECT_NEAR(static_cast<double>(report.window_losses) /
+                    static_cast<double>(report.window_packets),
+                0.25, 1e-6);
+}
+
+TEST(FeedbackReport, SetWindowPreservesSmallCountsExactly) {
+    adapt::FeedbackReport r;
+    r.set_window(1000, 250);
+    EXPECT_EQ(r.window_packets, 1000u);
+    EXPECT_EQ(r.window_losses, 250u);
+}
+
+TEST(PopulationSuites, AreRegistered) {
+    EXPECT_NE(obs::find_suite("population"), nullptr);
+    EXPECT_NE(obs::find_suite("population-loop"), nullptr);
+}
+
+}  // namespace
+}  // namespace mcauth::pop

@@ -336,6 +336,40 @@ TEST(Cli, MixedFormsCoexist) {
     EXPECT_TRUE(args.get_bool("c", false));
 }
 
+TEST(Cli, EqualsFormKeepsEmbeddedEqualsAndEmptyValues) {
+    // Only the FIRST '=' splits; paths and expressions keep theirs. An empty
+    // value (`--manifest-out=`) is a present key with value "", not a flag.
+    const char* argv[] = {"prog", "--expr=a=b=c", "--manifest-out="};
+    CliArgs args(3, argv);
+    EXPECT_EQ(args.get("expr", ""), "a=b=c");
+    EXPECT_TRUE(args.has("manifest-out"));
+    EXPECT_EQ(args.get("manifest-out", "unset"), "");
+    EXPECT_FALSE(args.get_bool("manifest-out", true));
+}
+
+TEST(Cli, RepeatedKeysAreLastWins) {
+    // The regression: emplace kept the FIRST value, so a caller's override
+    // after a script's defaults was silently ignored. All three syntactic
+    // forms must override each other.
+    const char* argv[] = {"prog", "--seed=1", "--seed", "2", "--mode=a",
+                          "--mode=b", "--flag", "--flag=off"};
+    CliArgs args(8, argv);
+    EXPECT_EQ(args.get_int("seed", 0), 2);
+    EXPECT_EQ(args.get("mode", ""), "b");
+    EXPECT_EQ(args.get("flag", ""), "off");
+    EXPECT_EQ(args.keys().size(), 3u);  // duplicates collapse, no ghosts
+}
+
+TEST(Cli, RepeatedKeysStillRejectUnknownTypos) {
+    // Last-wins must not weaken unknown-flag rejection.
+    const char* argv[] = {"prog", "--seed=1", "--seed=2", "--sede=3"};
+    CliArgs args(4, argv);
+    const std::string_view known[] = {"seed"};
+    const auto unknown = args.unknown_keys(known);
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "sede");
+}
+
 TEST(Cli, RejectsNonNumeric) {
     const char* argv[] = {"prog", "--n=abc"};
     CliArgs args(2, argv);
