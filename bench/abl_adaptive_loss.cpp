@@ -139,6 +139,12 @@ int main(int argc, char** argv) {
             obs::find_suite(arm.adaptive ? "adaptive-loop" : "hash-chain");
         auto conformance = std::make_unique<obs::OnlineConformance>(*suite);
 
+        // Per-arm block-granular telemetry: one capture per window boundary
+        // (registry deltas — attribution blame, redesign counters, ...) plus
+        // the window's headline stats as manual series. Joined with the
+        // events JSONL by tools/mcauth_report.
+        obs::TimeSeries ts;
+
         const auto schedule = make_schedule();
         bench::section(std::string(arm.name) + " arm");
         TablePrinter table({"regime", "true_loss", "est_loss", "q_min", "auth_frac",
@@ -155,9 +161,19 @@ int main(int argc, char** argv) {
             const adapt::WindowStats converge =
                 session.run_window(*regime.loss, regime.converge_blocks);
             rows.push_back({arm.name, regime.name, false, converge});
+            auto sample_window = [&](const adapt::WindowStats& w) {
+                const auto block =
+                    static_cast<std::uint32_t>(session.blocks_streamed());
+                ts.capture(block);
+                ts.record("q_min", block, w.q_min);
+                ts.record("true_loss", block, w.true_loss);
+                ts.record("est_loss", block, w.estimated_loss);
+            };
+            sample_window(converge);
             const adapt::WindowStats measured =
                 session.run_window(*regime.loss, regime.measure_blocks);
             rows.push_back({arm.name, regime.name, true, measured});
+            sample_window(measured);
             table.add_row({regime.name, TablePrinter::num(measured.true_loss, 3),
                            TablePrinter::num(measured.estimated_loss, 3),
                            TablePrinter::num(measured.q_min, 3),
@@ -175,6 +191,10 @@ int main(int argc, char** argv) {
             std::string("bench_out/abl_adaptive_") + arm.name + ".events.jsonl";
         if (obs::write_events_jsonl(events_path))
             std::fprintf(stderr, "events: %s\n", events_path.c_str());
+        const std::string ts_path =
+            std::string("bench_out/abl_adaptive_") + arm.name + ".timeseries.jsonl";
+        if (ts.write_jsonl(ts_path))
+            std::fprintf(stderr, "timeseries: %s\n", ts_path.c_str());
         bm.add_conformance(conformance->finish(), arm.name);
     }
 

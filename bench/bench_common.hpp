@@ -42,6 +42,10 @@
 //   --events-out=F     export the structured event stream as JSONL to F at
 //                      exit (meta line with dropped_events first) — the
 //                      input format of tools/trace_check
+//   --timeseries-out=F export the bench's block-granular TimeSeries
+//                      (obs/timeseries.hpp) to F at exit — JSONL unless F
+//                      ends in .csv. Only benches that feed timeseries()
+//                      produce samples; the manifest records the path.
 //   --help             print the flag surface and exit
 //
 // Unknown --key flags are REJECTED with a usage message (a mistyped
@@ -79,6 +83,7 @@
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
 #include "obs/perfctr.hpp"
+#include "obs/timeseries.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -117,6 +122,7 @@ public:
         manifest_out_ = args_.get("manifest-out", "bench_out/" + name_ + ".manifest.json");
         expect_ = args_.get("expect", "");
         events_out_ = args_.get("events-out", "");
+        timeseries_out_ = args_.get("timeseries-out", "");
         obs::set_enabled(args_.get_bool("obs", true));
         obs::set_progress_enabled(args_.get_bool("progress", false));
         // Structured events ride the trace ring, so both conformance
@@ -167,6 +173,8 @@ public:
         obs::RunManifest m =
             obs::RunManifest::collect(name_, seed_, threads_, warmup_, repeat_);
         m.conformance = conformance_;
+        if (!timeseries_out_.empty() && !timeseries_.empty())
+            m.timeseries_out = timeseries_out_;
         return m;
     }
 
@@ -206,6 +214,11 @@ public:
 
     /// True once any registered suite reported violations.
     bool conformance_failed() const noexcept { return conformance_failed_; }
+
+    /// The bench's block-granular time series: feed it with capture()/
+    /// record() during the run and --timeseries-out exports it at exit.
+    obs::TimeSeries& timeseries() noexcept { return timeseries_; }
+    const std::string& timeseries_out() const noexcept { return timeseries_out_; }
 
     /// Warmup/repeat driver: `body(seed)` runs `warmup` times with metrics
     /// discarded afterwards, then `repeat` measured times with distinct
@@ -263,6 +276,18 @@ public:
                 std::fprintf(stderr, "events: FAILED to write %s\n",
                              events_out_.c_str());
         }
+        if (!timeseries_out_.empty() && !timeseries_.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(
+                std::filesystem::path(timeseries_out_).parent_path(), ec);
+            const bool csv = timeseries_out_.size() >= 4 &&
+                             timeseries_out_.compare(timeseries_out_.size() - 4,
+                                                     4, ".csv") == 0;
+            const bool ok = csv ? timeseries_.write_csv(timeseries_out_)
+                                : timeseries_.write_jsonl(timeseries_out_);
+            std::fprintf(stderr, "timeseries: %s%s\n", timeseries_out_.c_str(),
+                         ok ? "" : " (FAILED to write)");
+        }
         if (!metrics_out_.empty()) {
             if (obs::registry().write_json(metrics_out_))
                 note("metrics: " + metrics_out_);
@@ -297,7 +322,7 @@ private:
         static constexpr std::string_view kSharedKeys[] = {
             "seed", "threads", "warmup", "repeat", "obs", "progress",
             "metrics-out", "trace-out", "manifest-out", "expect",
-            "events-out", "help"};
+            "events-out", "timeseries-out", "help"};
         // google-benchmark binaries (micro_crypto) construct BenchMain
         // before benchmark::Initialize strips its flags, so --benchmark_*
         // must pass through untouched.
@@ -330,6 +355,8 @@ private:
     std::string manifest_out_;
     std::string expect_;
     std::string events_out_;
+    std::string timeseries_out_;
+    obs::TimeSeries timeseries_;
     std::unique_ptr<obs::OnlineConformance> online_;
     std::vector<obs::RunManifest::ConformanceEntry> conformance_;
     bool conformance_failed_ = false;

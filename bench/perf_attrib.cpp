@@ -1,0 +1,341 @@
+// Causal-attribution bench: blame determinism gates + measured overhead
+// (DESIGN.md §14).
+//
+// Two phases:
+//
+//   identity — on the perf_population small cells (16 / 512 / 4096 leaves,
+//   Bernoulli and Gilbert-Elliott trees) with attribution ON and every leaf
+//   sampled, the engine's PopulationAggregate — INCLUDING the per-edge /
+//   per-vertex BlameCounts and the per-link first-drop map — must be
+//   bit-identical to the scalar oracle, and identical to itself at
+//   --threads 1 vs 8. Any divergence is RESULT: FAIL / exit 1. A lossy
+//   cell with zero attributed failures would make the gate vacuous, so
+//   that also fails.
+//
+//   overhead (skipped under --smoke=1) — the 100k-receiver tree from
+//   perf_population, engine-only, attribution OFF vs ON (default 1-in-64
+//   leaf sampling; per-link blame is always exact). Reports the throughput
+//   cost of attribution as a percentage — the number the CI obs-overhead
+//   job tracks against the <= 3% budget (report-only). The attrib-on rep 0
+//   flushes blame into the metrics registry ("attrib.edge.*", plus the
+//   top-32 "attrib.link.*" — a counter per link on a 125k-link tree would
+//   bloat the embedded manifest by megabytes) and captures the bench
+//   TimeSeries per block, so --timeseries-out exports feed
+//   tools/mcauth_report.
+//
+// Writes bench_out/BENCH_attribution.json (same envelope as
+// BENCH_population.json, metric receivers_per_sec) for the bench_compare
+// report-only regression gate.
+//
+// Flags beyond the shared bench surface (bench_common.hpp):
+//   --smoke=0|1   identity phase only (CI smoke; default 0)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/topologies.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/attrib.hpp"
+#include "pop/population.hpp"
+#include "pop/tree.hpp"
+
+using namespace mcauth;
+
+namespace {
+
+double now_seconds() {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+pop::TreeSpec make_spec(bool ge, std::size_t backbone_depth, double backbone_rate,
+                        std::vector<std::size_t> fanouts, std::vector<double> rates) {
+    pop::TreeSpec spec;
+    spec.backbone_depth = backbone_depth;
+    spec.backbone_link = ge ? pop::LinkSpec::gilbert_elliott(backbone_rate, 4.0)
+                            : pop::LinkSpec::bernoulli(backbone_rate);
+    spec.fanouts = std::move(fanouts);
+    for (std::size_t level = 0; level < spec.fanouts.size(); ++level) {
+        const double rate = rates[level];
+        spec.fanout_links.push_back(
+            ge && rate > 0.0
+                ? pop::LinkSpec::gilbert_elliott(rate, 2.0 + static_cast<double>(level))
+                : pop::LinkSpec::bernoulli(rate));
+    }
+    return spec;
+}
+
+// The perf_population 100k workload: 2^5 * 5^5 leaves behind a 26-hop
+// bursty backbone — the shape where the sampled attribution walk is
+// amortized over a deep shared path.
+pop::TreeSpec naive_100k_spec() {
+    pop::TreeSpec spec;
+    spec.backbone_depth = 26;
+    spec.backbone_link = pop::LinkSpec::gilbert_elliott(0.006, 8.0);
+    spec.fanouts = {2, 2, 2, 2, 2, 5, 5, 5, 5, 5};
+    for (std::size_t level = 0; level < spec.fanouts.size(); ++level)
+        spec.fanout_links.push_back(pop::LinkSpec::bernoulli(0.002));
+    return spec;
+}
+
+std::uint64_t class_total(const obs::BlameCounts& b) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : b.by_class) total += c;
+    return total;
+}
+
+struct IdentityRow {
+    std::string cell;
+    const char* kind;
+    std::size_t leaves;
+    std::size_t threads;
+    bool identical;
+    std::uint64_t attributed;
+};
+
+struct PerfRow {
+    std::string workload;
+    std::size_t receivers = 0;
+    std::size_t threads = 0;
+    double seconds = 0;  // best of repeats
+    std::vector<double> seconds_repeats;
+    std::uint64_t attributed = 0;
+    std::uint64_t sampled_out = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_attrib", 1, {"smoke"});
+    const bool smoke = bm.args().get_bool("smoke", false);
+    const std::size_t repeats = std::max<std::size_t>(2, bm.repeat());
+
+    bench::note("[perf] Causal loss attribution: blame determinism + overhead "
+                "(DESIGN.md §14)");
+
+    bool identity_ok = true;
+
+    // ------------------------------------------------------------- identity
+    // Attribution at sample_every = 1: every leaf takes the per-edge walk,
+    // so the blame vectors cover the whole population and the oracle's
+    // scalar attribute() calls must reproduce the engine's 64-lane kernel
+    // bit-for-bit. max_shard_leaves = 48 forces shard merges mid-fan-out.
+    std::vector<IdentityRow> identity_rows;
+    {
+        bench::section("identity: engine vs oracle blame, populations <= 4096");
+        struct Cell {
+            const char* name;
+            std::size_t backbone;
+            double backbone_rate;
+            std::vector<std::size_t> fanouts;
+            std::vector<double> rates;
+        };
+        const Cell cells[] = {
+            {"16-leaf", 2, 0.05, {4, 4}, {0.10, 0.06}},
+            {"512-leaf", 1, 0.08, {8, 8, 8}, {0.08, 0.00, 0.10}},
+            {"4096-leaf", 2, 0.05, {16, 16, 16}, {0.05, 0.07, 0.09}},
+        };
+        const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+        TablePrinter table(
+            {"cell", "kind", "leaves", "threads", "identical", "attributed"});
+        for (const Cell& cell : cells) {
+            for (bool ge : {false, true}) {
+                const char* kind = ge ? "gilbert-elliott" : "bernoulli";
+                const pop::DistributionTree tree(make_spec(
+                    ge, cell.backbone, cell.backbone_rate, cell.fanouts, cell.rates));
+                const pop::PopulationAggregate oracle = pop::population_oracle(
+                    tree, dg, bm.seed(), /*block=*/5,
+                    pop::QuantileSketch::kDefaultBins,
+                    /*attribution=*/true, /*attrib_sample_every=*/1);
+                pop::PopulationOptions options;
+                options.max_shard_leaves = 48;
+                options.attribution = true;
+                options.attrib_sample_every = 1;
+                const pop::PopulationEngine engine(tree, options);
+                for (std::size_t t : {std::size_t{1}, std::size_t{8}}) {
+                    exec::ThreadPool::set_global_thread_count(t);
+                    const pop::PopulationAggregate agg =
+                        engine.simulate_block(dg, bm.seed(), /*block=*/5);
+                    // identical() covers the sketches AND blame: per-edge,
+                    // per-vertex, per-class, per-link. One bit off anywhere
+                    // in the attribution path shows up here.
+                    bool same = agg.identical(oracle);
+                    // Exactly one class per failure, and a lossy tree must
+                    // actually attribute something.
+                    if (agg.blame.attributed != class_total(agg.blame)) same = false;
+                    if (agg.blame.attributed == 0) same = false;
+                    if (!same) identity_ok = false;
+                    identity_rows.push_back({cell.name, kind, tree.leaf_count(), t,
+                                             same, agg.blame.attributed});
+                    table.add_row({cell.name, kind, std::to_string(tree.leaf_count()),
+                                   std::to_string(t), same ? "yes" : "NO",
+                                   std::to_string(agg.blame.attributed)});
+                }
+            }
+        }
+        exec::ThreadPool::set_global_thread_count(bm.threads());
+        bench::emit(table, "perf_attrib_identity");
+    }
+
+    // ------------------------------------------------------------- overhead
+    std::vector<PerfRow> perf_rows;
+    double overhead_pct = 0.0;
+    if (!smoke) {
+        const DependenceGraph dg = make_augmented_chain(64, 2, 4);
+        const std::size_t threads = bm.threads();
+        exec::ThreadPool::set_global_thread_count(threads);
+
+        bench::section("overhead: 100k receivers, attribution off vs on");
+        const pop::DistributionTree tree(naive_100k_spec());
+        bench::note("tree: " + std::to_string(tree.leaf_count()) + " leaves, " +
+                    std::to_string(tree.node_count() - 1) + " links, depth " +
+                    std::to_string(tree.spec().depth()));
+        const obs::BlameAttributor reporter(dg.graph(), DependenceGraph::root());
+
+        auto run_cell = [&](const char* workload, bool attribution) -> PerfRow {
+            pop::PopulationOptions options;
+            options.attribution = attribution;
+            const pop::PopulationEngine engine(tree, options);
+            PerfRow row;
+            row.workload = workload;
+            row.receivers = tree.leaf_count();
+            row.threads = threads;
+            for (std::size_t rep = 0; rep < repeats; ++rep) {
+                const auto block = static_cast<std::uint32_t>(100 + rep);
+                const double t0 = now_seconds();
+                const pop::PopulationAggregate agg =
+                    engine.simulate_block(dg, bm.seed(), block);
+                const double dt = now_seconds() - t0;
+                row.seconds_repeats.push_back(dt);
+                if (attribution) {
+                    row.attributed = agg.blame.attributed;
+                    row.sampled_out = agg.blame.sampled_out;
+                    // Timeseries join input for tools/mcauth_report: flush
+                    // the block's blame into the registry, then capture the
+                    // delta under this block id (outside the timed region —
+                    // reporting cost is not engine cost).
+                    obs::flush_blame_counters(reporter, agg.blame, "attrib");
+                    // Top blamed links only: the 100k tree has 125k links
+                    // and a counter per link would bloat the registry (and
+                    // the manifest embedded in the JSON) by megabytes. The
+                    // postmortem reports top offenders anyway.
+                    std::vector<std::pair<std::uint32_t, std::uint64_t>> links(
+                        agg.link_blame.begin(), agg.link_blame.end());
+                    std::sort(links.begin(), links.end(),
+                              [](const auto& a, const auto& b) {
+                                  return a.second != b.second
+                                             ? a.second > b.second
+                                             : a.first < b.first;
+                              });
+                    if (links.size() > 32) links.resize(32);
+                    for (const auto& [node, count] : links)
+                        obs::registry()
+                            .counter("attrib.link." + std::to_string(node))
+                            .add(count);
+                    bm.timeseries().capture(block);
+                    bm.timeseries().record("pop.mean_loss", block,
+                                           agg.mean_loss_rate());
+                }
+            }
+            row.seconds = *std::min_element(row.seconds_repeats.begin(),
+                                            row.seconds_repeats.end());
+            return row;
+        };
+
+        PerfRow off_row = run_cell("pop100k/attrib-off", false);
+        PerfRow on_row = run_cell("pop100k/attrib-on", true);
+        overhead_pct = off_row.seconds > 0
+                           ? (on_row.seconds / off_row.seconds - 1.0) * 100.0
+                           : 0.0;
+        TablePrinter table({"attribution", "receivers", "seconds", "recv/s",
+                            "attributed", "sampled_out"});
+        for (const PerfRow* row : {&off_row, &on_row}) {
+            const double rps = static_cast<double>(row->receivers) / row->seconds;
+            table.add_row({row->workload == "pop100k/attrib-on" ? "on" : "off",
+                           std::to_string(row->receivers),
+                           TablePrinter::num(row->seconds, 3),
+                           TablePrinter::num(rps, 0),
+                           std::to_string(row->attributed),
+                           std::to_string(row->sampled_out)});
+        }
+        bench::emit(table, "perf_attrib_overhead");
+        bench::note("attribution overhead at 100k receivers: " +
+                    TablePrinter::num(overhead_pct, 2) +
+                    "% (budget <= 3%, report-only here; the CI obs-overhead "
+                    "job tracks it)");
+        perf_rows.push_back(std::move(off_row));
+        perf_rows.push_back(std::move(on_row));
+    }
+
+    // ------------------------------------------------------------- JSON out
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_attribution.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"perf_attrib\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"hardware_threads\": %zu,\n", exec::hardware_threads());
+        std::fprintf(f, "  \"repeats\": %zu,\n", repeats);
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"identity_ok\": %s,\n", identity_ok ? "true" : "false");
+        std::fprintf(f, "  \"attribution_overhead_pct\": %.2f,\n", overhead_pct);
+        std::fprintf(f, "  \"metric\": \"receivers_per_sec\",\n");
+        std::fprintf(f, "  \"manifest\": %s,\n", bm.manifest().to_json(2).c_str());
+        std::fprintf(f, "  \"identity\": [\n");
+        for (std::size_t i = 0; i < identity_rows.size(); ++i) {
+            const IdentityRow& row = identity_rows[i];
+            std::fprintf(
+                f,
+                "    {\"cell\": \"%s\", \"kind\": \"%s\", \"leaves\": %zu, "
+                "\"threads\": %zu, \"identical\": %s, \"attributed\": %llu}%s\n",
+                row.cell.c_str(), row.kind, row.leaves, row.threads,
+                row.identical ? "true" : "false",
+                static_cast<unsigned long long>(row.attributed),
+                i + 1 < identity_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"results\": [\n");
+        for (std::size_t i = 0; i < perf_rows.size(); ++i) {
+            const PerfRow& row = perf_rows[i];
+            const double rps = static_cast<double>(row.receivers) / row.seconds;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"receivers\": %zu, "
+                         "\"threads\": %zu, \"seconds\": %.6f,\n"
+                         "     \"seconds_repeats\": [",
+                         row.workload.c_str(), row.receivers, row.threads,
+                         row.seconds);
+            for (std::size_t s = 0; s < row.seconds_repeats.size(); ++s)
+                std::fprintf(f, "%s%.6f", s ? ", " : "", row.seconds_repeats[s]);
+            std::fprintf(f,
+                         "],\n     \"receivers_per_sec\": %.1f, "
+                         "\"attributed\": %llu, \"sampled_out\": %llu}%s\n",
+                         rps, static_cast<unsigned long long>(row.attributed),
+                         static_cast<unsigned long long>(row.sampled_out),
+                         i + 1 < perf_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    // Exit gates blame determinism ONLY: overhead is recorded in the JSON
+    // and tracked report-only (bench_compare + the CI obs-overhead job).
+    if (!identity_ok) {
+        bench::note("RESULT: FAIL — blame diverged from the scalar oracle or "
+                    "across thread counts");
+        return 1;
+    }
+    bench::note(smoke ? "RESULT: OK — blame bit-identical to oracle on all small cells"
+                      : "RESULT: OK — blame bit-identical to oracle; overhead measured");
+    return 0;
+}

@@ -68,10 +68,31 @@ void AdaptiveSession::set_feedback_loss(double loss) {
     options_.feedback_loss = loss;
 }
 
+void AdaptiveSession::rebuild_attributor(std::size_t n) {
+    if (attrib_) {
+        obs::flush_blame_counters(*attrib_, attrib_counts_, "attrib");
+        attrib_counts_ = {};
+    }
+    // The attributor must mirror the design whose HashRefs are on the wire,
+    // i.e. the sender's CURRENT topology — rebuilt exactly when the sender
+    // adopts a new one, not when the controller merely proposes one.
+    const DependenceGraph& dg = controller_.topology()(n);
+    attrib_ = std::make_unique<obs::BlameAttributor>(dg.graph(), DependenceGraph::root());
+    attrib_scratch_ = attrib_->make_scratch();
+    attrib_pos_to_vertex_.resize(n);
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v)
+        attrib_pos_to_vertex_[dg.send_pos(v)] = v;
+}
+
 WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blocks) {
     MCAUTH_EXPECTS(blocks >= 1);
     WindowStats window;
     window.blocks = blocks;
+#if MCAUTH_OBS_ENABLED
+    const bool attrib_on = options_.attrib_sample_every > 0 && obs::enabled();
+#else
+    const bool attrib_on = false;
+#endif
     const std::uint64_t redesigns_before = controller_.redesigns();
     const std::uint64_t suppressed_before = controller_.suppressed();
 
@@ -86,8 +107,12 @@ WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blo
     std::uint64_t channel_losses = 0;
 
     for (std::size_t b = 0; b < blocks; ++b) {
-        if (options_.adaptive && controller_.on_block_boundary(next_block_))
+        bool design_changed = false;
+        if (options_.adaptive && controller_.on_block_boundary(next_block_)) {
             sender_.set_topology(controller_.topology());
+            design_changed = true;
+        }
+        if (attrib_on && (!attrib_ || design_changed)) rebuild_attributor(n);
         const std::size_t sign_copies = options_.adaptive
                                             ? controller_.sign_copies()
                                             : options_.controller.base_sign_copies;
@@ -176,6 +201,47 @@ WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blo
                 if (ev.status == VerifyStatus::kAuthenticated) ++auth_count[ev.index];
             }
 
+            if (attrib_on && attrib_) {
+                const bool sampled =
+                    (static_cast<std::uint64_t>(block_id) * receivers_.size() +
+                     (actor - 1)) %
+                        options_.attrib_sample_every ==
+                    0;
+                if (!sampled) {
+                    for (const VerifyEvent& ev : events)
+                        if (ev.status == VerifyStatus::kUnverifiable)
+                            ++attrib_counts_.sampled_out;
+                } else {
+                    // Realized loss pattern over DESIGN vertices: a schedule
+                    // slot's packet index is its send position, and the sig
+                    // replicas all collapse onto the root vertex.
+                    obs::BlameAttributor::Scratch& s = attrib_scratch_;
+                    std::fill(s.received.begin(), s.received.end(), 0);
+                    for (std::size_t t = 0; t < schedule.size(); ++t)
+                        if (arrived[t])
+                            s.received[attrib_pos_to_vertex_[schedule[t]->index]] = 1;
+                    attrib_->begin_pattern(s);
+                    // Packets that never arrived have no VerifyEvent (the
+                    // receiver only rules on buffered packets) — charge them
+                    // here so every failed packet lands in exactly one class.
+                    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+                        if (v == DependenceGraph::root() || s.received[v]) continue;
+                        attrib_->attribute(v, signature_seen, s, attrib_counts_);
+                    }
+                    for (const VerifyEvent& ev : events) {
+                        if (ev.block_id != block_id || ev.index >= n) continue;
+                        if (ev.status == VerifyStatus::kAuthenticated) continue;
+                        const VertexId v = attrib_pos_to_vertex_[ev.index];
+                        const obs::FailureClass cls =
+                            attrib_->attribute(v, signature_seen, s, attrib_counts_);
+                        if (ev.status == VerifyStatus::kUnverifiable &&
+                            cls != obs::FailureClass::kNone)
+                            MCAUTH_OBS_EVENT(kBlameAttributed, ev.block_id, ev.index,
+                                             actor, static_cast<double>(cls));
+                    }
+                }
+            }
+
             r->monitor.on_block(block_id, arrived, signature_seen);
             auto report = r->monitor.maybe_report();
             if (report && options_.adaptive) {
@@ -222,6 +288,10 @@ WindowStats AdaptiveSession::run_window(const LossModel& regime, std::size_t blo
     window.edges_per_packet =
         static_cast<double>(controller_.topology()(n).graph().edge_count()) /
         static_cast<double>(n);
+    if (attrib_on && attrib_) {
+        obs::flush_blame_counters(*attrib_, attrib_counts_, "attrib");
+        attrib_counts_ = {};
+    }
     MCAUTH_OBS_GAUGE_SET("adapt.session.q_min", window.q_min);
     return window;
 }

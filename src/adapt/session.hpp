@@ -30,6 +30,7 @@
 #include "adapt/monitor.hpp"
 #include "auth/stream_auth.hpp"
 #include "net/loss.hpp"
+#include "obs/attrib.hpp"
 #include "util/rng.hpp"
 
 namespace mcauth::adapt {
@@ -44,6 +45,12 @@ struct SessionOptions {
     /// false = static baseline: the initial design is kept forever and no
     /// feedback is consumed (what a paper-§5 offline design would do).
     bool adaptive = true;
+    /// Causal loss attribution (obs/attrib.hpp): every Nth (block,
+    /// receiver) pattern is walked against the CURRENT sender design and
+    /// each failed packet charged to a failure class + blame set; 0
+    /// disables attribution entirely. Attribution consumes no randomness,
+    /// so q_min and every other stat are identical at any setting.
+    std::uint32_t attrib_sample_every = 1;
     AdaptiveOptions controller;
     ReceiverMonitor::Options monitor;
 };
@@ -90,6 +97,11 @@ public:
 private:
     struct ReceiverState;
 
+    /// (Re)build the blame attributor from the design the sender streams
+    /// with right now; flushes any blame accumulated against the previous
+    /// design into the metrics registry first.
+    void rebuild_attributor(std::size_t n);
+
     SessionOptions options_;
     Rng rng_;
     AdaptiveController controller_;
@@ -97,6 +109,12 @@ private:
     std::vector<std::unique_ptr<ReceiverState>> receivers_;
     std::uint32_t next_block_ = 0;
     double clock_ = 0.0;
+
+    // Attribution state, rebuilt whenever the sender adopts a new design.
+    std::unique_ptr<obs::BlameAttributor> attrib_;
+    obs::BlameAttributor::Scratch attrib_scratch_;
+    std::vector<VertexId> attrib_pos_to_vertex_;
+    obs::BlameCounts attrib_counts_;
 };
 
 }  // namespace mcauth::adapt

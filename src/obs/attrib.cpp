@@ -1,0 +1,265 @@
+#include "obs/attrib.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace mcauth::obs {
+
+namespace {
+
+std::uint64_t at_or_zero(const std::vector<std::uint64_t>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0;
+}
+
+void add_into(std::vector<std::uint64_t>& into, const std::vector<std::uint64_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+bool same_values(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (at_or_zero(a, i) != at_or_zero(b, i)) return false;
+    return true;
+}
+
+}  // namespace
+
+const char* failure_class_name(FailureClass cls) noexcept {
+    switch (cls) {
+        case FailureClass::kNone: return "none";
+        case FailureClass::kPacketLost: return "packet-lost";
+        case FailureClass::kSignatureLost: return "signature-lost";
+        case FailureClass::kPathsCut: return "paths-cut";
+    }
+    return "unknown";
+}
+
+void BlameCounts::merge(const BlameCounts& other) {
+    add_into(edge, other.edge);
+    add_into(vertex, other.vertex);
+    for (std::size_t i = 0; i < by_class.size(); ++i) by_class[i] += other.by_class[i];
+    attributed += other.attributed;
+    sampled_out += other.sampled_out;
+}
+
+bool BlameCounts::identical(const BlameCounts& other) const {
+    return same_values(edge, other.edge) && same_values(vertex, other.vertex) &&
+           by_class == other.by_class && attributed == other.attributed &&
+           sampled_out == other.sampled_out;
+}
+
+BlameAttributor::BlameAttributor(const Digraph& g, VertexId root) : root_(root) {
+    const std::size_t n = g.vertex_count();
+    MCAUTH_EXPECTS(root < n);
+
+    const auto order = topological_order(g);
+    MCAUTH_EXPECTS(order.has_value());  // attribution walks a DAG
+    topo_ = *order;
+
+    succ_offset_.resize(n + 1, 0);
+    pred_offset_.resize(n + 1, 0);
+    succ_.reserve(g.edge_count());
+    edge_from_.reserve(g.edge_count());
+    pred_.reserve(g.edge_count());
+    for (std::size_t v = 0; v < n; ++v) {
+        const auto succs = g.successors(static_cast<VertexId>(v));
+        succ_.insert(succ_.end(), succs.begin(), succs.end());
+        edge_from_.insert(edge_from_.end(), succs.size(), static_cast<VertexId>(v));
+        succ_offset_[v + 1] = static_cast<std::uint32_t>(succ_.size());
+        const auto preds = g.predecessors(static_cast<VertexId>(v));
+        pred_.insert(pred_.end(), preds.begin(), preds.end());
+        pred_offset_[v + 1] = static_cast<std::uint32_t>(pred_.size());
+    }
+
+    idom_ = immediate_dominators(g, root);
+    dom_offset_.resize(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        const auto doms = interior_dominators(idom_, root, static_cast<VertexId>(v));
+        dom_chain_.insert(dom_chain_.end(), doms.begin(), doms.end());
+        dom_offset_[v + 1] = static_cast<std::uint32_t>(dom_chain_.size());
+    }
+
+    // desc_[u] = vertices reachable from u (u included); one reverse-topo
+    // sweep since every successor's set is final before u needs it.
+    desc_words_ = (n + 63) / 64;
+    desc_.assign(n * desc_words_, 0);
+    for (std::size_t i = topo_.size(); i-- > 0;) {
+        const VertexId u = topo_[i];
+        std::uint64_t* row = desc_.data() + std::size_t{u} * desc_words_;
+        row[u >> 6] |= 1ULL << (u & 63);
+        for (std::uint32_t e = succ_offset_[u]; e < succ_offset_[u + 1]; ++e) {
+            const std::uint64_t* child = desc_.data() + std::size_t{succ_[e]} * desc_words_;
+            for (std::size_t w = 0; w < desc_words_; ++w) row[w] |= child[w];
+        }
+    }
+}
+
+BlameAttributor::Scratch BlameAttributor::make_scratch() const {
+    Scratch s;
+    s.received.assign(vertex_count(), 0);
+    s.reach.assign(vertex_count(), 0);
+    s.stack.reserve(vertex_count());
+    return s;
+}
+
+void BlameAttributor::begin_pattern(Scratch& s) const {
+    const std::size_t n = vertex_count();
+    MCAUTH_EXPECTS(s.received.size() == n);
+    s.reach.assign(n, 0);
+    s.received[root_] = 1;  // kernel convention: the root is always traversed
+    s.stack.clear();
+    s.stack.push_back(root_);
+    s.reach[root_] = 1;
+    while (!s.stack.empty()) {
+        const VertexId u = s.stack.back();
+        s.stack.pop_back();
+        for (std::uint32_t e = succ_offset_[u]; e < succ_offset_[u + 1]; ++e) {
+            const VertexId w = succ_[e];
+            if (!s.reach[w] && s.received[w]) {
+                s.reach[w] = 1;
+                s.stack.push_back(w);
+            }
+        }
+    }
+}
+
+void BlameAttributor::blame_vertex(VertexId u, VertexId v, std::uint64_t weight,
+                                   BlameCounts& counts) const {
+    counts.vertex[u] += weight;
+    for (std::uint32_t e = succ_offset_[u]; e < succ_offset_[u + 1]; ++e)
+        if (on_path_to(succ_[e], v)) counts.edge[e] += weight;
+}
+
+FailureClass BlameAttributor::attribute(VertexId v, bool signature_received, Scratch& s,
+                                        BlameCounts& counts) const {
+    const std::size_t n = vertex_count();
+    MCAUTH_EXPECTS(v < n);
+    if (counts.vertex.size() < n) counts.vertex.resize(n, 0);
+    if (counts.edge.size() < edge_count()) counts.edge.resize(edge_count(), 0);
+
+    if (!s.received[v]) {
+        counts.by_class[static_cast<std::size_t>(FailureClass::kPacketLost)] += 1;
+        counts.vertex[v] += 1;
+        counts.attributed += 1;
+        return FailureClass::kPacketLost;
+    }
+    if (!signature_received) {
+        counts.by_class[static_cast<std::size_t>(FailureClass::kSignatureLost)] += 1;
+        counts.vertex[root_] += 1;
+        counts.attributed += 1;
+        return FailureClass::kSignatureLost;
+    }
+    if (s.reach[v]) return FailureClass::kNone;  // paths intact; not loss-caused
+
+    counts.by_class[static_cast<std::size_t>(FailureClass::kPathsCut)] += 1;
+    counts.attributed += 1;
+    bool dominator_blamed = false;
+    for (std::uint32_t i = dom_offset_[v]; i < dom_offset_[v + 1]; ++i) {
+        const VertexId d = dom_chain_[i];
+        if (!s.received[d]) {
+            blame_vertex(d, v, 1, counts);
+            dominator_blamed = true;
+        }
+    }
+    if (!dominator_blamed) {
+        // Residual-cut sweep: the loss frontier — lost ancestors of v that a
+        // verified chain reached — is a genuine root->v vertex cut.
+        for (VertexId u = 0; u < n; ++u) {
+            if (u == root_ || u == v || s.received[u] || !on_path_to(u, v)) continue;
+            bool reached_pred = false;
+            for (std::uint32_t e = pred_offset_[u]; e < pred_offset_[u + 1]; ++e)
+                if (s.reach[pred_[e]]) {
+                    reached_pred = true;
+                    break;
+                }
+            if (reached_pred) blame_vertex(u, v, 1, counts);
+        }
+    }
+    return FailureClass::kPathsCut;
+}
+
+void BlameAttributor::attribute_lanes(const std::uint64_t* alive,
+                                      const std::uint64_t* reach,
+                                      std::vector<std::uint64_t>& frontier,
+                                      BlameCounts& counts) const {
+    const std::size_t n = vertex_count();
+    if (counts.vertex.size() < n) counts.vertex.resize(n, 0);
+    if (counts.edge.size() < edge_count()) counts.edge.resize(edge_count(), 0);
+
+    // Per-pattern loss frontier, all 64 lanes at once: lanes where u is lost
+    // but some predecessor is reachable. The root is treated as delivered
+    // (reachable_within_bitsliced's convention), so it never lands here.
+    frontier.assign(n, 0);
+    for (VertexId u = 0; u < n; ++u) {
+        if (u == root_) continue;
+        std::uint64_t from_preds = 0;
+        for (std::uint32_t e = pred_offset_[u]; e < pred_offset_[u + 1]; ++e)
+            from_preds |= reach[pred_[e]];
+        frontier[u] = ~alive[u] & from_preds;
+    }
+
+    for (VertexId v = 0; v < n; ++v) {
+        if (v == root_) continue;
+        const std::uint64_t lost = ~alive[v];
+        if (lost) {
+            const auto w = static_cast<std::uint64_t>(std::popcount(lost));
+            counts.by_class[static_cast<std::size_t>(FailureClass::kPacketLost)] += w;
+            counts.vertex[v] += w;
+            counts.attributed += w;
+        }
+        const std::uint64_t cut = alive[v] & ~reach[v];
+        if (!cut) continue;
+        const auto cut_w = static_cast<std::uint64_t>(std::popcount(cut));
+        counts.by_class[static_cast<std::size_t>(FailureClass::kPathsCut)] += cut_w;
+        counts.attributed += cut_w;
+
+        std::uint64_t dom_any = 0;
+        for (std::uint32_t i = dom_offset_[v]; i < dom_offset_[v + 1]; ++i)
+            dom_any |= ~alive[dom_chain_[i]];
+        for (std::uint32_t i = dom_offset_[v]; i < dom_offset_[v + 1]; ++i) {
+            const VertexId d = dom_chain_[i];
+            const std::uint64_t explained = cut & ~alive[d];
+            if (explained)
+                blame_vertex(d, v, static_cast<std::uint64_t>(std::popcount(explained)),
+                             counts);
+        }
+        const std::uint64_t residual = cut & ~dom_any;
+        if (!residual) continue;
+        for (VertexId u = 0; u < n; ++u) {
+            if (u == root_ || u == v || !on_path_to(u, v)) continue;
+            const std::uint64_t blamed = residual & frontier[u];
+            if (blamed)
+                blame_vertex(u, v, static_cast<std::uint64_t>(std::popcount(blamed)),
+                             counts);
+        }
+    }
+}
+
+void flush_blame_counters(const BlameAttributor& attrib, const BlameCounts& counts,
+                          std::string_view prefix) {
+    if (!enabled()) return;
+    MetricsRegistry& reg = registry();
+    const std::string base(prefix);
+    reg.counter(base + ".attributed").add(counts.attributed);
+    reg.counter(base + ".sampled_out").add(counts.sampled_out);
+    reg.counter(base + ".class.packet_lost")
+        .add(counts.by_class[static_cast<std::size_t>(FailureClass::kPacketLost)]);
+    reg.counter(base + ".class.signature_lost")
+        .add(counts.by_class[static_cast<std::size_t>(FailureClass::kSignatureLost)]);
+    reg.counter(base + ".class.paths_cut")
+        .add(counts.by_class[static_cast<std::size_t>(FailureClass::kPathsCut)]);
+    for (std::size_t i = 0; i < counts.edge.size() && i < attrib.edge_count(); ++i) {
+        if (counts.edge[i] == 0) continue;
+        const auto [u, v] = attrib.edge(i);
+        reg.counter(base + ".edge." + std::to_string(u) + ">" + std::to_string(v))
+            .add(counts.edge[i]);
+    }
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,166 @@
+// Causal loss attribution: WHY was a packet unverifiable?
+//
+// The event layer (obs/events.hpp) records THAT a packet was rejected or
+// unverifiable; this layer walks the realized loss pattern against the
+// dependence graph and answers which structural failure caused it:
+//
+//   kPacketLost      the packet itself never arrived — nothing graph-
+//                    theoretical about it, but it must be counted so every
+//                    failed packet lands in exactly one class;
+//   kSignatureLost   the packet arrived but the block signature did not, so
+//                    no path can terminate (the paper's "P_sign delivered"
+//                    assumption violated);
+//   kPathsCut        packet and signature arrived, but every root->v hash
+//                    path contains a lost packet.
+//
+// For kPathsCut the interesting question is WHICH loss cut the paths. Two
+// regimes, in priority order:
+//
+//   1. Dominator blame. If an interior dominator of v (graph/algorithms
+//      .hpp) was lost, that single packet provably severed every path —
+//      blame each lost dominator d, plus the edges d->w that lead back
+//      into v's ancestor cone (the hash links the loss invalidated).
+//   2. Residual-cut sweep. With every dominator delivered the cut is a
+//      combination of losses. The blame set is the loss frontier: every
+//      lost ancestor u of v that a verified hash chain actually reached
+//      (some predecessor of u is reachable). Any root->v path must cross
+//      this frontier — its first non-reachable vertex is lost and has a
+//      reachable predecessor — so it is a genuine vertex cut, and it names
+//      the losses closest to the working part of the graph.
+//
+// Blame is aggregated into BlameCounts — plain integer vectors keyed by
+// vertex and by CSR edge index, mergeable across shards exactly like the
+// population sketches (integer adds, shard order irrelevant). The 64-lane
+// attribute_lanes() is bit-for-bit equal to 64 scalar attribute() calls,
+// which is what lets bench/perf_attrib gate blame determinism with the
+// same engine-vs-oracle identity trick as perf_population.
+//
+// Dependency note: this sits in the obs library but deliberately takes a
+// plain Digraph (graph layer), not core/DependenceGraph — core links obs,
+// so obs cannot look upward. Callers pass dg.graph() and translate send
+// positions to vertices themselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mcauth::obs {
+
+enum class FailureClass : std::uint8_t {
+    kNone = 0,           // not a loss failure (e.g. crypto reject, paths intact)
+    kPacketLost = 1,     // the packet itself was dropped
+    kSignatureLost = 2,  // block signature missing: no path can terminate
+    kPathsCut = 3,       // packet + signature arrived, every hash path severed
+};
+
+/// Stable wire name ("none", "packet-lost", "signature-lost", "paths-cut").
+const char* failure_class_name(FailureClass cls) noexcept;
+
+/// Mergeable blame tallies. `edge` is indexed by the attributor's CSR edge
+/// order (BlameAttributor::edge(i) names the endpoints), `vertex` by vertex
+/// id. Merging is integer adds all the way down, so shard grouping never
+/// changes a bit — same contract as pop::PopulationAggregate.
+struct BlameCounts {
+    std::vector<std::uint64_t> edge;
+    std::vector<std::uint64_t> vertex;
+    /// Indexed by FailureClass; kNone is never counted.
+    std::array<std::uint64_t, 4> by_class{};
+    std::uint64_t attributed = 0;   // failures classified (one class each)
+    std::uint64_t sampled_out = 0;  // failures skipped by 1-in-N sampling
+
+    void merge(const BlameCounts& other);
+    /// Bit-exact equality — the determinism gate.
+    bool identical(const BlameCounts& other) const;
+};
+
+/// Precomputed attribution structure for one dependence graph: flat CSR
+/// adjacency with stable edge ids, immediate + interior dominators, and
+/// per-vertex descendant bitsets (is u on some root->v path?). Build once
+/// per design, reuse across blocks/receivers; const methods are safe to
+/// call concurrently with caller-owned Scratch/BlameCounts.
+class BlameAttributor {
+public:
+    /// `g` must be a DAG (asserted). `root` is the signature vertex.
+    explicit BlameAttributor(const Digraph& g, VertexId root = 0);
+
+    std::size_t vertex_count() const noexcept { return succ_offset_.size() - 1; }
+    std::size_t edge_count() const noexcept { return succ_.size(); }
+    VertexId root() const noexcept { return root_; }
+    /// Endpoints of CSR edge i (the index space of BlameCounts::edge).
+    std::pair<VertexId, VertexId> edge(std::size_t i) const noexcept {
+        return {edge_from_[i], succ_[i]};
+    }
+
+    /// Per-pattern scratch: byte masks over vertices (nonzero = true).
+    /// Callers fill `received`, begin_pattern() derives `reach`.
+    struct Scratch {
+        std::vector<std::uint8_t> received;
+        std::vector<std::uint8_t> reach;
+        std::vector<VertexId> stack;
+    };
+    Scratch make_scratch() const;
+
+    /// Finalize a loss pattern: forces received[root] = 1 (the kernel
+    /// convention — signature presence is passed separately to attribute())
+    /// and recomputes `reach` = vertices with a fully-received root path.
+    void begin_pattern(Scratch& s) const;
+
+    /// Classify one failed packet and charge its blame. Call after
+    /// begin_pattern(); `v` is a vertex id (not a send position). Returns
+    /// kNone — and charges nothing — when v was received and reachable
+    /// (a crypto reject with intact paths is not a loss failure).
+    FailureClass attribute(VertexId v, bool signature_received, Scratch& s,
+                           BlameCounts& counts) const;
+
+    /// 64-lane word-parallel attribution over a whole block: `alive` and
+    /// `reach` are vertex-indexed words as produced by
+    /// reachable_within_bitsliced (bit l = trial lane l), with the root
+    /// treated as delivered (lanes where the signature was genuinely lost
+    /// must be handled by the caller; here kSignatureLost never fires).
+    /// Charges every non-root vertex's failures across all 64 lanes;
+    /// bit-identical to 64 scalar attribute() calls. `frontier` is caller
+    /// scratch (resized to vertex_count()).
+    void attribute_lanes(const std::uint64_t* alive, const std::uint64_t* reach,
+                         std::vector<std::uint64_t>& frontier,
+                         BlameCounts& counts) const;
+
+private:
+    void blame_vertex(VertexId u, VertexId v, std::uint64_t weight,
+                      BlameCounts& counts) const;
+    bool on_path_to(VertexId u, VertexId v) const noexcept {
+        return (desc_[u * desc_words_ + (v >> 6)] >> (v & 63)) & 1u;
+    }
+
+    VertexId root_ = 0;
+    // Flat successor CSR; edge id = position in succ_. edge_from_[i] is the
+    // source of edge i (succ_ holds the target).
+    std::vector<std::uint32_t> succ_offset_;
+    std::vector<VertexId> succ_;
+    std::vector<VertexId> edge_from_;
+    std::vector<std::uint32_t> pred_offset_;
+    std::vector<VertexId> pred_;
+    std::vector<VertexId> topo_;
+    std::vector<VertexId> idom_;
+    // Interior dominators of v (strictly between root and v), flattened.
+    std::vector<std::uint32_t> dom_offset_;
+    std::vector<VertexId> dom_chain_;
+    // desc_[u] bitset: bit v set iff there is a u->...->v path (v == u
+    // included) — "u lies on some root->v path" once u is known reachable.
+    std::size_t desc_words_ = 0;
+    std::vector<std::uint64_t> desc_;
+};
+
+/// Export nonzero blame tallies into the global MetricsRegistry under
+/// `prefix`: <prefix>.attributed, <prefix>.sampled_out,
+/// <prefix>.class.{packet_lost,signature_lost,paths_cut}, and
+/// <prefix>.edge.<u>><v> for each nonzero edge. No-op when obs::enabled()
+/// is false. Counters add (registry totals accumulate across flushes).
+void flush_blame_counters(const BlameAttributor& attrib, const BlameCounts& counts,
+                          std::string_view prefix);
+
+}  // namespace mcauth::obs

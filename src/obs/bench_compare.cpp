@@ -58,9 +58,11 @@ bool load_bench_file(const std::string& text, BenchFile& out, std::string& error
     }
     out = BenchFile{};
     out.schema_version = static_cast<int>(manifest->get_uint("schema_version", 0));
-    if (out.schema_version != 2) {
+    // v3 only added the optional timeseries_out pointer, so v2 baselines
+    // stay comparable against v3 runs without regeneration.
+    if (out.schema_version != 2 && out.schema_version != 3) {
         error = "unsupported schema_version " + std::to_string(out.schema_version) +
-                " (this tool understands version 2)";
+                " (this tool understands versions 2 and 3)";
         return false;
     }
     out.bench = manifest->get_string("bench");

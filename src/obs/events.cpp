@@ -30,6 +30,7 @@ const char* event_name(EventId id) noexcept {
         case EventId::kRedesignTriggered: return "RedesignTriggered";
         case EventId::kRegimeShift: return "RegimeShift";
         case EventId::kPopulationBlock: return "PopulationBlock";
+        case EventId::kBlameAttributed: return "BlameAttributed";
     }
     return "Unknown";
 }
@@ -117,10 +118,10 @@ bool write_events_jsonl(const std::string& path) {
     return static_cast<bool>(out);
 }
 
-bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
-                        std::uint64_t& dropped_events, std::string& error) {
+bool parse_events_jsonl(std::istream& in, std::vector<Event>& out, JsonlStats& stats,
+                        std::string& error) {
     out.clear();
-    dropped_events = 0;
+    stats = {};
     std::string line;
     std::size_t lineno = 0;
     bool saw_meta = false;
@@ -130,9 +131,10 @@ bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
         std::string parse_error;
         const auto doc = JsonValue::parse(line, &parse_error);
         if (!doc || !doc->is_object()) {
-            error = "line " + std::to_string(lineno) + ": " +
-                    (parse_error.empty() ? "not a JSON object" : parse_error);
-            return false;
+            // A killed run leaves a truncated trailer; skip-with-count so
+            // the intact prefix stays usable (DESIGN.md §14).
+            ++stats.skipped_lines;
+            continue;
         }
         if (const JsonValue* meta = doc->find("meta")) {
             if (saw_meta) {
@@ -140,12 +142,12 @@ bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
                 return false;
             }
             saw_meta = true;
-            dropped_events = meta->get_uint("dropped_events", 0);
+            stats.dropped_events = meta->get_uint("dropped_events", 0);
             continue;
         }
         if (!doc->has("id")) {
-            error = "line " + std::to_string(lineno) + ": missing \"id\"";
-            return false;
+            ++stats.skipped_lines;
+            continue;
         }
         Event ev;
         ev.id = static_cast<EventId>(doc->get_uint("id", 0));
@@ -161,6 +163,14 @@ bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
         return false;
     }
     return true;
+}
+
+bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
+                        std::uint64_t& dropped_events, std::string& error) {
+    JsonlStats stats;
+    const bool ok = parse_events_jsonl(in, out, stats, error);
+    dropped_events = stats.dropped_events;
+    return ok;
 }
 
 }  // namespace mcauth::obs

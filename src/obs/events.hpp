@@ -17,6 +17,7 @@
 //   9  RedesignTriggered  controller re-ran designer block   reason      0     new q target
 //  10  RegimeShift        channel ground truth moved block   0           0     new loss rate
 //  11  PopulationBlock    population engine block    block   leaf count  0     1%-ile trial q
+//  12  BlameAttributed    failure causally classified block  seq/vertex  rcvr  FailureClass
 //
 // "actor" is a receiver id (0 for sender-side events); "value" is the one
 // floating-point payload an event carries (estimates, loss rates, flags).
@@ -55,6 +56,7 @@ enum class EventId : std::uint16_t {
     kRedesignTriggered = 9,
     kRegimeShift = 10,
     kPopulationBlock = 11,
+    kBlameAttributed = 12,
 };
 
 /// Why the adaptive controller re-ran the designer; carried in the `index`
@@ -122,9 +124,25 @@ std::string events_to_jsonl(const std::vector<Event>& events,
 /// Returns false on I/O failure.
 bool write_events_jsonl(const std::string& path);
 
-/// Parse a JSONL event stream produced by events_to_jsonl. Returns false
-/// (with a message in `error`) on malformed input; unknown ids are kept so
-/// newer traces degrade gracefully in older checkers.
+/// Parse statistics surfaced alongside the decoded events.
+struct JsonlStats {
+    /// Ring-truncation count from the meta header.
+    std::uint64_t dropped_events = 0;
+    /// Malformed lines skipped (truncated/garbage trailers from killed
+    /// runs): unparseable JSON, non-object lines, objects without "id".
+    std::uint64_t skipped_lines = 0;
+};
+
+/// Parse a JSONL event stream produced by events_to_jsonl. Malformed lines
+/// (partial writes from killed runs) are SKIPPED and counted in
+/// `stats.skipped_lines` rather than failing the parse; unknown ids are
+/// kept so newer traces degrade gracefully in older checkers. Still
+/// returns false (with a message in `error`) on structural problems: a
+/// missing or duplicate meta header.
+bool parse_events_jsonl(std::istream& in, std::vector<Event>& out, JsonlStats& stats,
+                        std::string& error);
+
+/// Back-compat wrapper: same, exposing only the dropped-event count.
 bool parse_events_jsonl(std::istream& in, std::vector<Event>& out,
                         std::uint64_t& dropped_events, std::string& error);
 

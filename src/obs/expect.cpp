@@ -378,12 +378,24 @@ std::vector<ExpectationSuite> build_builtin_suites() {
         .within_blocks("population-redesign-follows-regime",
                        EventId::kRegimeShift, EventId::kRedesignTriggered, 16);
 
+    // attribution: every causal blame verdict names a loss class, and a
+    // verdict only ever follows the unverifiable event it explains (same
+    // receiver, block and packet index).
+    ExpectationSuite attribution("attribution");
+    attribution
+        .expect("blame-class-is-loss", EventId::kBlameAttributed,
+                [](const Event& ev) { return ev.value == 2.0 || ev.value == 3.0; },
+                "BlameAttributed carries signature-lost or paths-cut")
+        .require_before("blame-follows-unverifiable", EventId::kBlameAttributed,
+                        EventId::kPacketUnverifiable, Scope::kActorBlockIndex);
+
     std::vector<ExpectationSuite> suites;
     suites.push_back(std::move(stream_core));
     suites.push_back(std::move(hash_chain));
     suites.push_back(std::move(adaptive));
     suites.push_back(std::move(population));
     suites.push_back(std::move(population_loop));
+    suites.push_back(std::move(attribution));
     return suites;
 }
 

@@ -144,6 +144,7 @@ std::string RunManifest::to_json(int indent) const {
     uint("repeat", repeat);
     str("timestamp_utc", timestamp_utc);
     str("perf_counters", perf_counters);
+    if (!timeseries_out.empty()) str("timeseries_out", timeseries_out);
     out += field_pad + "\"metrics_counters\": {";
     bool first = true;
     for (const auto& [name, value] : metrics_counters) {

@@ -27,8 +27,10 @@ namespace mcauth::obs {
 struct RunManifest {
     /// Version of the BENCH_*.json envelope this manifest rides in; bump on
     /// any incompatible change to either. bench_compare hard-fails on
-    /// files whose version it does not understand.
-    static constexpr int kSchemaVersion = 2;
+    /// files whose version it does not understand. v3 added the optional
+    /// timeseries_out pointer (block-granular telemetry export); v2 files
+    /// remain readable.
+    static constexpr int kSchemaVersion = 3;
 
     int schema_version = kSchemaVersion;
     std::string bench;            ///< bench binary name (BenchMain name)
@@ -48,6 +50,10 @@ struct RunManifest {
     std::size_t repeat = 0;
     std::string timestamp_utc;  ///< ISO-8601, second resolution
     std::string perf_counters;  ///< "available" | "unavailable"
+    /// Path of the block-granular TimeSeries export written alongside this
+    /// run ("" = none); rendered only when set, so runs without telemetry
+    /// keep the v2 field layout.
+    std::string timeseries_out;
     /// Obs counter snapshot attached at emit time (process totals at the
     /// moment the manifest was written); informational, never gated on.
     std::vector<std::pair<std::string, std::uint64_t>> metrics_counters;

@@ -1,0 +1,137 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+namespace mcauth::obs {
+
+namespace {
+
+std::tuple<std::uint32_t, std::string_view, std::uint8_t> key_of(
+    const TimeSeries::Sample& s) {
+    return {s.block, std::string_view(s.series), static_cast<std::uint8_t>(s.kind)};
+}
+
+bool accumulates(TimeSeries::Kind kind) noexcept {
+    return kind == TimeSeries::Kind::kCounter ||
+           kind == TimeSeries::Kind::kHistogramCount ||
+           kind == TimeSeries::Kind::kHistogramSumNs;
+}
+
+}  // namespace
+
+const char* TimeSeries::kind_name(Kind kind) noexcept {
+    switch (kind) {
+        case Kind::kCounter: return "counter";
+        case Kind::kGauge: return "gauge";
+        case Kind::kHistogramCount: return "histogram_count";
+        case Kind::kHistogramSumNs: return "histogram_sum_ns";
+        case Kind::kValue: return "value";
+    }
+    return "unknown";
+}
+
+void TimeSeries::upsert(std::uint32_t block, std::string_view series, Kind kind,
+                        double value, bool add) {
+    const std::tuple<std::uint32_t, std::string_view, std::uint8_t> key{
+        block, series, static_cast<std::uint8_t>(kind)};
+    auto it = std::lower_bound(
+        samples_.begin(), samples_.end(), key,
+        [](const Sample& s, const auto& k) { return key_of(s) < k; });
+    if (it != samples_.end() && key_of(*it) == key) {
+        if (add)
+            it->value += value;
+        else
+            it->value = value;
+        return;
+    }
+    Sample s;
+    s.block = block;
+    s.series.assign(series);
+    s.kind = kind;
+    s.value = value;
+    samples_.insert(it, std::move(s));
+}
+
+void TimeSeries::capture(std::uint32_t block) { capture(block, registry().snapshot()); }
+
+void TimeSeries::capture(std::uint32_t block, const MetricsSnapshot& snap) {
+    const MetricsSnapshot d = have_last_ ? delta(snap, last_) : snap;
+    for (const auto& [name, value] : d.counters)
+        if (value != 0)
+            upsert(block, name, Kind::kCounter, static_cast<double>(value), true);
+    for (const auto& [name, value] : d.gauges)
+        upsert(block, name, Kind::kGauge, value, false);
+    for (const auto& [name, totals] : d.histograms) {
+        if (totals.count == 0) continue;
+        upsert(block, name, Kind::kHistogramCount, static_cast<double>(totals.count),
+               true);
+        upsert(block, name, Kind::kHistogramSumNs, static_cast<double>(totals.sum_ns),
+               true);
+    }
+    last_ = snap;
+    have_last_ = true;
+}
+
+void TimeSeries::record(std::string_view series, std::uint32_t block, double value) {
+    upsert(block, series, Kind::kValue, value, false);
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+    for (const Sample& s : other.samples_)
+        upsert(s.block, s.series, s.kind, s.value, accumulates(s.kind));
+}
+
+bool TimeSeries::identical(const TimeSeries& other) const {
+    if (samples_.size() != other.samples_.size()) return false;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const Sample& a = samples_[i];
+        const Sample& b = other.samples_[i];
+        if (a.block != b.block || a.series != b.series || a.kind != b.kind ||
+            a.value != b.value)
+            return false;
+    }
+    return true;
+}
+
+std::string TimeSeries::to_jsonl() const {
+    std::string out = "{\"meta\": {\"schema\": \"mcauth-timeseries-v1\", "
+                      "\"samples\": " +
+                      std::to_string(samples_.size()) + "}}\n";
+    char buf[128];
+    for (const Sample& s : samples_) {
+        std::snprintf(buf, sizeof buf, "\", \"kind\": \"%s\", \"value\": %.17g}\n",
+                      kind_name(s.kind), s.value);
+        out += "{\"block\": " + std::to_string(s.block) + ", \"series\": \"" +
+               json_escape(s.series) + buf;
+    }
+    return out;
+}
+
+std::string TimeSeries::to_csv() const {
+    std::string out = "block,series,kind,value\n";
+    char buf[64];
+    for (const Sample& s : samples_) {
+        std::snprintf(buf, sizeof buf, ",%s,%.17g\n", kind_name(s.kind), s.value);
+        out += std::to_string(s.block) + "," + s.series + buf;
+    }
+    return out;
+}
+
+bool TimeSeries::write_jsonl(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_jsonl();
+    return static_cast<bool>(out);
+}
+
+bool TimeSeries::write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_csv();
+    return static_cast<bool>(out);
+}
+
+}  // namespace mcauth::obs

@@ -1,0 +1,94 @@
+// Block-granular time series over the metrics registry.
+//
+// Counters and histograms (obs/metrics.hpp) are process-lifetime
+// accumulators; a postmortem wants the TIMELINE — how much happened in
+// block 17, not in total. TimeSeries turns snapshot deltas into per-block
+// samples: call capture(block) once per block boundary and every counter's
+// increment since the previous capture, every histogram's count/sum delta,
+// and every gauge's current level lands as one (block, series, kind,
+// value) sample. record() adds manual series (q_min, loss estimates, ...)
+// the registry does not carry.
+//
+// Like the population sketches, series are mergeable across exec shards:
+// merge() folds another instance in by (block, series, kind) key —
+// accumulator kinds add, level kinds take the merged-in side — and
+// identical() is the bit-exact determinism gate. Samples are kept sorted
+// by (block, series, kind), so export order never depends on capture or
+// merge interleaving.
+//
+// Export formats:
+//   JSONL  meta line {"meta": {"schema": "mcauth-timeseries-v1", ...}},
+//          then {"block": B, "series": "s", "kind": "counter", "value": V}
+//          per line — the join input of tools/mcauth_report;
+//   CSV    block,series,kind,value — for spreadsheets/plotting.
+//
+// Values are stored as doubles; integer kinds stay exact up to 2^53,
+// far beyond any per-block delta this codebase produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mcauth::obs {
+
+class TimeSeries {
+public:
+    enum class Kind : std::uint8_t {
+        kCounter = 0,         // per-block counter increment (adds on merge)
+        kGauge = 1,           // level at capture time (merged-in side wins)
+        kHistogramCount = 2,  // per-block sample count (adds on merge)
+        kHistogramSumNs = 3,  // per-block latency sum (adds on merge)
+        kValue = 4,           // manual record() point (merged-in side wins)
+    };
+    static const char* kind_name(Kind kind) noexcept;
+
+    struct Sample {
+        std::uint32_t block = 0;
+        std::string series;
+        Kind kind = Kind::kValue;
+        double value = 0.0;
+    };
+
+    /// Snapshot the global registry and record the delta vs the previous
+    /// capture under `block`. The first capture records absolute values
+    /// (delta from an empty registry). Zero counter/histogram deltas are
+    /// skipped; gauge levels always land.
+    void capture(std::uint32_t block);
+    /// Same, against a caller-provided snapshot (tests, private registries).
+    void capture(std::uint32_t block, const MetricsSnapshot& snap);
+
+    /// Record a manual sample (Kind::kValue). Re-recording the same
+    /// (block, series) overwrites.
+    void record(std::string_view series, std::uint32_t block, double value);
+
+    /// Sorted by (block, series, kind).
+    const std::vector<Sample>& samples() const noexcept { return samples_; }
+    bool empty() const noexcept { return samples_.empty(); }
+
+    /// Fold `other` in by key: accumulator kinds (counter, histogram_*)
+    /// add; level kinds (gauge, value) take `other`'s sample. Integer adds
+    /// in a canonical key order — shard grouping never changes a bit.
+    void merge(const TimeSeries& other);
+    /// Bit-exact sample equality — the determinism gate.
+    bool identical(const TimeSeries& other) const;
+
+    std::string to_jsonl() const;
+    std::string to_csv() const;
+    /// False on I/O failure.
+    bool write_jsonl(const std::string& path) const;
+    bool write_csv(const std::string& path) const;
+
+private:
+    void upsert(std::uint32_t block, std::string_view series, Kind kind, double value,
+                bool add);
+
+    std::vector<Sample> samples_;
+    MetricsSnapshot last_;
+    bool have_last_ = false;
+};
+
+}  // namespace mcauth::obs

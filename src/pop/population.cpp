@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <optional>
 
 #include "exec/sharded.hpp"
 #include "exec/thread_pool.hpp"
@@ -28,6 +29,8 @@ void PopulationAggregate::merge(const PopulationAggregate& other) {
     loss_runs += other.loss_runs;
     received += other.received;
     verified += other.verified;
+    blame.merge(other.blame);
+    for (const auto& [link, count] : other.link_blame) link_blame[link] += count;
 }
 
 bool PopulationAggregate::identical(const PopulationAggregate& other) const {
@@ -39,7 +42,8 @@ bool PopulationAggregate::identical(const PopulationAggregate& other) const {
            unresolved_instances == other.unresolved_instances &&
            transmissions == other.transmissions && lost == other.lost &&
            loss_runs == other.loss_runs && received == other.received &&
-           verified == other.verified;
+           verified == other.verified && blame.identical(other.blame) &&
+           link_blame == other.link_blame;
 }
 
 namespace {
@@ -122,6 +126,10 @@ struct ShardScratch {
     std::vector<std::vector<std::uint64_t>> surv;
     /// Batched loss models by link-spec index, built on first use.
     std::vector<std::unique_ptr<BatchedLossModel>> models;
+    /// Attribution scratch: the per-pattern loss frontier and the lossy
+    /// ancestor chain (top-down) of the current shard.
+    std::vector<std::uint64_t> frontier;
+    std::vector<std::uint32_t> chain;
     std::uint64_t t_alive[kLanes];
     std::uint64_t t_reach[kLanes];
 };
@@ -139,15 +147,26 @@ void sample_link(ShardScratch& s, const DistributionTree& tree,
     s.models[idx]->sample_block(s.lanes.data(), s.lost.data(), s.packets);
 }
 
-/// Fold one leaf whose survival words (send order) are `sv`.
+/// Fold one leaf whose survival words (send order) are `sv`. When `attrib`
+/// is set, every `sample_every`-th leaf (by node id) additionally walks
+/// the 64 realized loss patterns for per-edge blame.
 void accumulate_leaf(ShardScratch& s, const DependenceGraph& dg,
                      const CsrView& csr, const std::vector<std::uint64_t>& sv,
-                     PopulationAggregate& agg) {
+                     std::uint32_t leaf, const obs::BlameAttributor* attrib,
+                     std::uint32_t sample_every, PopulationAggregate& agg) {
     const std::size_t n = s.packets;
     for (std::uint32_t k = 0; k < n; ++k)
         s.alive[dg.vertex_at_send_pos(k)] = sv[k];
     reachable_within_bitsliced(csr, DependenceGraph::root(), s.alive.data(),
                                s.reach.data());
+
+    if (attrib != nullptr) {
+        if (sample_every != 0 && leaf % sample_every == 0)
+            attrib->attribute_lanes(s.alive.data(), s.reach.data(), s.frontier,
+                                    agg.blame);
+        else
+            agg.blame.sampled_out += 1;
+    }
 
     LeafCounts c;
     std::uint64_t prev_lost = 0;
@@ -188,28 +207,52 @@ void accumulate_leaf(ShardScratch& s, const DependenceGraph& dg,
     fold_leaf(agg, c, n);
 }
 
+/// `prev_root` is the preceding shard's root in preorder (0 for the first
+/// shard): this shard owns — and is the only shard to blame — exactly the
+/// ancestor links a with a > prev_root, i.e. those whose subtree it is the
+/// first shard of. Descendant links are never shared, so always owned.
 void simulate_shard(ShardScratch& s, const DistributionTree& tree,
                     std::uint32_t shard_root, const DependenceGraph& dg,
                     const CsrView& csr, std::uint64_t seed, std::uint32_t block,
+                    const obs::BlameAttributor* attrib,
+                    std::uint32_t attrib_sample_every, std::uint32_t prev_root,
                     PopulationAggregate& agg) {
     const std::size_t n = s.packets;
     const std::size_t d0 = tree.depth(shard_root);
     const std::size_t max_rel = tree.spec().depth() - d0;
     while (s.surv.size() <= max_rel)
         s.surv.emplace_back(std::vector<std::uint64_t>(n));
+    const bool attribution = attrib != nullptr;
 
     // Root-path survival down to and including shard_root's own link.
     // Ancestor links are shared with sibling shards; each recomputes them
-    // from the same (node, block, lane) streams, so the words agree.
+    // from the same (node, block, lane) streams, so the words agree. The
+    // walk is TOP-DOWN (safe: every link's stream is a pure function of
+    // (node, block, lane), and AND commutes) so that `anc` holds the
+    // strictly-above survival when link a is folded in — exactly the
+    // "no link above dropped it first" mask first-drop blame needs.
     std::vector<std::uint64_t>& anc = s.surv[0];
     std::fill(anc.begin(), anc.end(), ~0ULL);
-    for (std::uint32_t a = shard_root; a != 0; a = tree.parent(a)) {
-        if (tree.link(a).lossless()) continue;
+    s.chain.clear();
+    for (std::uint32_t a = shard_root; a != 0; a = tree.parent(a))
+        if (!tree.link(a).lossless()) s.chain.push_back(a);
+    for (std::size_t i = s.chain.size(); i-- > 0;) {
+        const std::uint32_t a = s.chain[i];
         sample_link(s, tree, a, seed, block);
+        if (attribution && a > prev_root) {
+            std::uint64_t first_drops = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                first_drops +=
+                    static_cast<std::uint64_t>(std::popcount(anc[k] & s.lost[k]));
+            if (first_drops)
+                agg.link_blame[a] +=
+                    first_drops * static_cast<std::uint64_t>(tree.subtree_leaves(a));
+        }
         for (std::size_t k = 0; k < n; ++k) anc[k] &= ~s.lost[k];
     }
     if (tree.is_leaf(shard_root)) {
-        accumulate_leaf(s, dg, csr, anc, agg);
+        accumulate_leaf(s, dg, csr, anc, shard_root, attrib, attrib_sample_every,
+                        agg);
         return;
     }
 
@@ -222,9 +265,19 @@ void simulate_shard(ShardScratch& s, const DistributionTree& tree,
             std::copy(up.begin(), up.end(), mine.begin());
         } else {
             sample_link(s, tree, v, seed, block);
+            if (attribution) {
+                std::uint64_t first_drops = 0;
+                for (std::size_t k = 0; k < n; ++k)
+                    first_drops +=
+                        static_cast<std::uint64_t>(std::popcount(up[k] & s.lost[k]));
+                if (first_drops)
+                    agg.link_blame[v] += first_drops * static_cast<std::uint64_t>(
+                                                           tree.subtree_leaves(v));
+            }
             for (std::size_t k = 0; k < n; ++k) mine[k] = up[k] & ~s.lost[k];
         }
-        if (tree.is_leaf(v)) accumulate_leaf(s, dg, csr, mine, agg);
+        if (tree.is_leaf(v))
+            accumulate_leaf(s, dg, csr, mine, v, attrib, attrib_sample_every, agg);
     }
 }
 
@@ -255,6 +308,9 @@ PopulationAggregate PopulationEngine::simulate_block(const DependenceGraph& dg,
     const std::size_t n = dg.packet_count();
     MCAUTH_EXPECTS(n >= 1);
     const CsrView csr(dg.graph());
+    std::optional<obs::BlameAttributor> attrib;
+    if (options_.attribution) attrib.emplace(dg.graph(), DependenceGraph::root());
+    const obs::BlameAttributor* attrib_ptr = attrib ? &*attrib : nullptr;
     auto& pool = exec::ThreadPool::global();
     PopulationAggregate agg = pool.parallel_reduce<PopulationAggregate>(
         shard_roots_.size(), 1, PopulationAggregate(options_.sketch_bins),
@@ -263,7 +319,8 @@ PopulationAggregate PopulationEngine::simulate_block(const DependenceGraph& dg,
             ShardScratch scratch(n);
             for (std::size_t i = begin; i < end; ++i)
                 simulate_shard(scratch, tree_, shard_roots_[i], dg, csr, seed,
-                               block, partial);
+                               block, attrib_ptr, options_.attrib_sample_every,
+                               i == 0 ? 0 : shard_roots_[i - 1], partial);
             return partial;
         },
         [](PopulationAggregate acc, PopulationAggregate part) {
@@ -281,13 +338,16 @@ PopulationAggregate PopulationEngine::simulate_block(const DependenceGraph& dg,
 PopulationAggregate population_oracle(const DistributionTree& tree,
                                       const DependenceGraph& dg,
                                       std::uint64_t seed, std::uint32_t block,
-                                      std::size_t sketch_bins) {
+                                      std::size_t sketch_bins, bool attribution,
+                                      std::uint32_t attrib_sample_every) {
     const std::size_t n = dg.packet_count();
     MCAUTH_EXPECTS(n >= 1);
     std::vector<std::uint32_t> leaf_ids;
     leaf_ids.reserve(tree.leaf_count());
     for (std::uint32_t v = 0; v < tree.node_count(); ++v)
         if (tree.is_leaf(v)) leaf_ids.push_back(v);
+    std::optional<obs::BlameAttributor> attrib;
+    if (attribution) attrib.emplace(dg.graph(), DependenceGraph::root());
 
     auto& pool = exec::ThreadPool::global();
     return pool.parallel_reduce<PopulationAggregate>(
@@ -298,8 +358,14 @@ PopulationAggregate population_oracle(const DistributionTree& tree,
             std::vector<std::uint8_t> lost(n);
             std::vector<std::uint32_t> path;
             std::vector<std::unique_ptr<LossModel>> models;
+            obs::BlameAttributor::Scratch as;
+            if (attrib) as = attrib->make_scratch();
             for (std::size_t i = begin; i < end; ++i) {
                 const std::uint32_t leaf = leaf_ids[i];
+                const bool attrib_leaf =
+                    attrib && attrib_sample_every != 0 &&
+                    leaf % attrib_sample_every == 0;
+                if (attrib && !attrib_leaf) partial.blame.sampled_out += 1;
                 path.clear();
                 models.clear();
                 for (std::uint32_t a = leaf; a != 0; a = tree.parent(a)) {
@@ -310,12 +376,19 @@ PopulationAggregate population_oracle(const DistributionTree& tree,
                 LeafCounts c;
                 for (std::uint32_t l = 0; l < kLanes; ++l) {
                     std::fill(lost.begin(), lost.end(), 0);
-                    for (std::size_t j = 0; j < path.size(); ++j) {
+                    // Top-down over the root path (path[] is collected leaf
+                    // -> root) so "first link to drop packet k" is the link
+                    // seen dropping k while k is still marked delivered.
+                    for (std::size_t j = path.size(); j-- > 0;) {
                         models[j]->reset();
                         Rng rng(exec::derive_stream_seed(seed,
                                                          {path[j], block, l}));
                         for (std::size_t k = 0; k < n; ++k)
-                            if (models[j]->lose_next(rng)) lost[k] = 1;
+                            if (models[j]->lose_next(rng)) {
+                                if (attribution && !lost[k])
+                                    ++partial.link_blame[path[j]];
+                                lost[k] = 1;
+                            }
                     }
                     std::uint8_t prev = 0;
                     for (std::size_t k = 0; k < n; ++k) {
@@ -327,6 +400,14 @@ PopulationAggregate population_oracle(const DistributionTree& tree,
                     }
                     for (std::uint32_t k = 0; k < n; ++k)
                         ws.received[dg.vertex_at_send_pos(k)] = !lost[k];
+                    if (attrib_leaf) {
+                        for (std::size_t v = 0; v < n; ++v)
+                            as.received[v] = ws.received[v];
+                        attrib->begin_pattern(as);
+                        for (VertexId v = 1; v < static_cast<VertexId>(n); ++v)
+                            attrib->attribute(v, /*signature_received=*/true, as,
+                                              partial.blame);
+                    }
                     dg.verifiable_into(ws);
                     std::uint32_t rec = 0;
                     std::uint32_t ver = 0;

@@ -28,10 +28,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "adapt/feedback.hpp"
 #include "core/dependence_graph.hpp"
+#include "obs/attrib.hpp"
 #include "pop/sketch.hpp"
 #include "pop/tree.hpp"
 
@@ -44,6 +46,14 @@ struct PopulationOptions {
     std::size_t max_shard_leaves = 4096;
     /// Grid resolution of the aggregate sketches.
     std::size_t sketch_bins = QuantileSketch::kDefaultBins;
+    /// Causal attribution (obs/attrib.hpp): per-link first-drop blame over
+    /// the whole population plus per-edge blame for every sampled leaf.
+    /// Consumes no randomness — every q/loss statistic is identical with
+    /// it on or off.
+    bool attribution = false;
+    /// 1-in-N leaf sampling for the per-edge attribution walk (the
+    /// per-link blame is exact — it rides the existing link sweep).
+    std::uint32_t attrib_sample_every = 64;
 };
 
 /// Everything the sender learns about the population in one block. Merge is
@@ -77,6 +87,16 @@ struct PopulationAggregate {
     std::uint64_t loss_runs = 0;      // maximal runs of consecutive losses
     std::uint64_t received = 0;       // non-root receptions
     std::uint64_t verified = 0;       // non-root verifications
+
+    /// Per-edge/per-vertex blame from the sampled leaves (empty unless
+    /// PopulationOptions::attribution); edge indices follow the
+    /// BlameAttributor built over dg.graph().
+    obs::BlameCounts blame;
+    /// Tree-link first-drop blame: link_blame[v] counts (leaf, packet,
+    /// lane) losses whose FIRST dropping link on the root path was the
+    /// link above node v. Exact (not sampled); keyed sparsely because a
+    /// million-node tree would not fit dense per-shard partials.
+    std::map<std::uint32_t, std::uint64_t> link_blame;
 
     void merge(const PopulationAggregate& other);
     /// Bit-exact equality — the engine-vs-oracle gate.
@@ -128,7 +148,8 @@ private:
 /// the oracle the engine must match bit-for-bit.
 PopulationAggregate population_oracle(
     const DistributionTree& tree, const DependenceGraph& dg, std::uint64_t seed,
-    std::uint32_t block, std::size_t sketch_bins = QuantileSketch::kDefaultBins);
+    std::uint32_t block, std::size_t sketch_bins = QuantileSketch::kDefaultBins,
+    bool attribution = false, std::uint32_t attrib_sample_every = 64);
 
 /// Fold a block aggregate into one synthetic FeedbackReport for the
 /// adaptive controller (adapt/controller.hpp): est_loss_rate is the

@@ -1,0 +1,272 @@
+// obs::BlameAttributor: the causal loss-attribution kernel (DESIGN.md §14).
+//
+//   * scalar classification on a hand-checkable diamond — priority order,
+//     dominator blame, the residual-cut fallback, and the every-failure-
+//     lands-in-exactly-one-class invariant;
+//   * attribute_lanes vs 64 scalar attribute() calls — bit-identical
+//     counts, the contract the population engine's blame determinism
+//     rests on;
+//   * population engine vs naive oracle with attribution on — identical
+//     aggregates (blame included) across thread counts;
+//   * AdaptiveSession event stream — every kBlameAttributed follows its
+//     kPacketUnverifiable and carries a loss class (the "attribution"
+//     expectation suite).
+//
+// perf-smoke label: the lane kernel and the sharded blame merge run under
+// TSan via the tsan-smoke CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "adapt/session.hpp"
+#include "core/topologies.hpp"
+#include "crypto/signature.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/digraph.hpp"
+#include "net/loss.hpp"
+#include "obs/attrib.hpp"
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "pop/population.hpp"
+#include "pop/tree.hpp"
+#include "util/rng.hpp"
+
+namespace mcauth {
+namespace {
+
+using obs::BlameAttributor;
+using obs::BlameCounts;
+using obs::FailureClass;
+
+std::uint64_t at_or(const std::vector<std::uint64_t>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0;
+}
+
+std::uint64_t edge_blame(const BlameAttributor& attrib, const BlameCounts& counts,
+                         VertexId u, VertexId v) {
+    for (std::size_t i = 0; i < attrib.edge_count(); ++i)
+        if (attrib.edge(i) == std::make_pair(u, v)) return at_or(counts.edge, i);
+    ADD_FAILURE() << "no edge " << u << "->" << v;
+    return 0;
+}
+
+// 0 -> 1 -> {2, 3} -> 4: vertex 1 is the sole interior dominator of 4;
+// 2 and 3 are path-redundant.
+Digraph diamond() {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    g.add_edge(3, 4);
+    return g;
+}
+
+TEST(BlameAttributorTest, ClassifiesEveryFailureExactlyOnce) {
+    const Digraph g = diamond();
+    const BlameAttributor attrib(g, 0);
+    BlameAttributor::Scratch s = attrib.make_scratch();
+
+    // Everything delivered: a verifiable packet is NOT a loss failure and
+    // charges nothing (the kNone-no-mutation contract the engine-vs-oracle
+    // identity depends on).
+    BlameCounts counts;
+    std::fill(s.received.begin(), s.received.end(), 1);
+    attrib.begin_pattern(s);
+    EXPECT_EQ(attrib.attribute(4, true, s, counts), FailureClass::kNone);
+    EXPECT_EQ(counts.attributed, 0u);
+    EXPECT_TRUE(counts.identical(BlameCounts{}));
+
+    // The packet itself lost: class 1, blamed on the vertex.
+    std::fill(s.received.begin(), s.received.end(), 1);
+    s.received[4] = 0;
+    attrib.begin_pattern(s);
+    EXPECT_EQ(attrib.attribute(4, true, s, counts), FailureClass::kPacketLost);
+    EXPECT_EQ(at_or(counts.vertex, 4), 1u);
+
+    // Signature lost outranks path analysis: class 2, blamed on the root.
+    std::fill(s.received.begin(), s.received.end(), 1);
+    attrib.begin_pattern(s);
+    EXPECT_EQ(attrib.attribute(4, false, s, counts), FailureClass::kSignatureLost);
+    EXPECT_EQ(at_or(counts.vertex, 0), 1u);
+
+    EXPECT_EQ(counts.attributed, 2u);
+    EXPECT_EQ(counts.by_class[1] + counts.by_class[2] + counts.by_class[3],
+              counts.attributed);
+}
+
+TEST(BlameAttributorTest, DominatorLossBlamesTheDominator) {
+    const Digraph g = diamond();
+    const BlameAttributor attrib(g, 0);
+    BlameAttributor::Scratch s = attrib.make_scratch();
+    BlameCounts counts;
+
+    // Lose vertex 1: packet 4 arrived but every root path is provably cut
+    // by the single dominator. Blame 1 and its outgoing hash edges into
+    // 4's ancestor cone — not 2/3/4, which did nothing wrong.
+    std::fill(s.received.begin(), s.received.end(), 1);
+    s.received[1] = 0;
+    attrib.begin_pattern(s);
+    EXPECT_EQ(attrib.attribute(4, true, s, counts), FailureClass::kPathsCut);
+    EXPECT_EQ(at_or(counts.vertex, 1), 1u);
+    EXPECT_EQ(at_or(counts.vertex, 2), 0u);
+    EXPECT_EQ(at_or(counts.vertex, 3), 0u);
+    EXPECT_EQ(edge_blame(attrib, counts, 1, 2), 1u);
+    EXPECT_EQ(edge_blame(attrib, counts, 1, 3), 1u);
+    EXPECT_EQ(edge_blame(attrib, counts, 2, 4), 0u);
+}
+
+TEST(BlameAttributorTest, ResidualCutSweepBlamesTheLossFrontier) {
+    const Digraph g = diamond();
+    const BlameAttributor attrib(g, 0);
+    BlameAttributor::Scratch s = attrib.make_scratch();
+    BlameCounts counts;
+
+    // Lose 2 AND 3: every dominator of 4 was delivered, yet the paths are
+    // cut — the combination is to blame. The frontier sweep names both.
+    std::fill(s.received.begin(), s.received.end(), 1);
+    s.received[2] = 0;
+    s.received[3] = 0;
+    attrib.begin_pattern(s);
+    EXPECT_EQ(attrib.attribute(4, true, s, counts), FailureClass::kPathsCut);
+    EXPECT_EQ(at_or(counts.vertex, 1), 0u);
+    EXPECT_EQ(at_or(counts.vertex, 2), 1u);
+    EXPECT_EQ(at_or(counts.vertex, 3), 1u);
+    EXPECT_EQ(edge_blame(attrib, counts, 2, 4), 1u);
+    EXPECT_EQ(edge_blame(attrib, counts, 3, 4), 1u);
+    EXPECT_EQ(counts.by_class[3], 1u);
+}
+
+TEST(BlameAttributorTest, LanesMatchScalarBitForBit) {
+    const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+    const BlameAttributor attrib(dg.graph(), DependenceGraph::root());
+    const std::size_t n = attrib.vertex_count();
+
+    // 64 random loss patterns, scalar path: per-lane received bytes ->
+    // begin_pattern -> attribute() on every non-root vertex.
+    std::mt19937_64 rng(0xa77cf8u);
+    std::vector<std::vector<std::uint8_t>> lane_received(64);
+    BlameCounts scalar;
+    BlameAttributor::Scratch s = attrib.make_scratch();
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+        lane_received[lane].resize(n);
+        for (std::size_t v = 0; v < n; ++v)
+            lane_received[lane][v] = (rng() & 3u) != 0;  // ~25% loss
+        s.received = lane_received[lane];
+        attrib.begin_pattern(s);
+        for (std::size_t v = 1; v < n; ++v)
+            attrib.attribute(static_cast<VertexId>(v), true, s, scalar);
+    }
+
+    // Same patterns, word-parallel: pack received/reach into lane words
+    // (begin_pattern per lane supplies the reference reach).
+    std::vector<std::uint64_t> alive(n, 0), reach(n, 0);
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+        s.received = lane_received[lane];
+        attrib.begin_pattern(s);
+        for (std::size_t v = 0; v < n; ++v) {
+            if (s.received[v]) alive[v] |= std::uint64_t{1} << lane;
+            if (s.reach[v]) reach[v] |= std::uint64_t{1} << lane;
+        }
+    }
+    BlameCounts lanes;
+    std::vector<std::uint64_t> frontier;
+    attrib.attribute_lanes(alive.data(), reach.data(), frontier, lanes);
+
+    EXPECT_TRUE(lanes.identical(scalar));
+    EXPECT_GT(lanes.attributed, 0u);
+    EXPECT_EQ(lanes.by_class[1] + lanes.by_class[2] + lanes.by_class[3],
+              lanes.attributed);
+}
+
+TEST(BlameAttributorTest, PopulationEngineBlameMatchesOracleAcrossThreads) {
+    pop::TreeSpec spec;
+    spec.backbone_depth = 2;
+    spec.backbone_link = pop::LinkSpec::gilbert_elliott(0.05, 4.0);
+    spec.fanouts = {4, 4};
+    spec.fanout_links = {pop::LinkSpec::bernoulli(0.10),
+                         pop::LinkSpec::bernoulli(0.06)};
+    const pop::DistributionTree tree(spec);
+    const DependenceGraph dg = make_augmented_chain(24, 2, 4);
+
+    const pop::PopulationAggregate oracle = pop::population_oracle(
+        tree, dg, /*seed=*/9, /*block=*/5, pop::QuantileSketch::kDefaultBins,
+        /*attribution=*/true, /*attrib_sample_every=*/1);
+    ASSERT_GT(oracle.blame.attributed, 0u);
+    ASSERT_FALSE(oracle.link_blame.empty());
+
+    pop::PopulationOptions options;
+    options.max_shard_leaves = 4;  // force merges across shard boundaries
+    options.attribution = true;
+    options.attrib_sample_every = 1;
+    const pop::PopulationEngine engine(tree, options);
+    const std::size_t before = exec::ThreadPool::global_thread_count();
+    for (std::size_t t : {std::size_t{1}, std::size_t{4}}) {
+        exec::ThreadPool::set_global_thread_count(t);
+        const pop::PopulationAggregate agg = engine.simulate_block(dg, 9, 5);
+        EXPECT_TRUE(agg.identical(oracle)) << "threads=" << t;
+    }
+    exec::ThreadPool::set_global_thread_count(before);
+}
+
+TEST(BlameAttributorTest, SessionEmitsBlameForEveryLossUnverifiable) {
+    struct Collector : obs::EventSink {
+        std::mutex mu;
+        std::vector<obs::Event> events;
+        void on_event(const obs::Event& ev) override {
+            const std::lock_guard<std::mutex> lock(mu);
+            events.push_back(ev);
+        }
+    };
+
+    Collector collector;
+    obs::set_enabled(true);
+    obs::set_trace_enabled(true);
+    obs::TraceRecorder::global().clear();
+    obs::EventSink* prev = obs::set_event_sink(&collector);
+
+    {
+        Rng srng(7);
+        MerkleWotsSigner signer(srng, 64);
+        adapt::SessionOptions opts;
+        opts.receivers = 3;
+        opts.block_size = 32;
+        opts.payload_bytes = 32;
+        opts.seed = 4242;
+        // A deliberately sparse design (low q target) under heavy loss:
+        // plenty of received-but-unverifiable packets to attribute.
+        opts.controller.target_q_min = 0.5;
+        adapt::AdaptiveSession session(opts, signer);
+        const BernoulliLoss storm(0.35);
+        session.run_window(storm, 20);
+    }
+
+    obs::set_event_sink(prev);
+    obs::set_trace_enabled(false);
+
+    std::uint64_t unverifiable = 0, blamed = 0;
+    for (const obs::Event& ev : collector.events) {
+        if (ev.id == obs::EventId::kPacketUnverifiable) ++unverifiable;
+        if (ev.id == obs::EventId::kBlameAttributed) {
+            ++blamed;
+            EXPECT_TRUE(ev.value == 2.0 || ev.value == 3.0) << ev.value;
+        }
+    }
+    ASSERT_GT(unverifiable, 0u);  // a 30% channel must break something
+    EXPECT_EQ(blamed, unverifiable);
+
+    // The full causal contract, checked by the suite the CI harness runs.
+    const obs::ExpectationSuite* suite = obs::find_suite("attribution");
+    ASSERT_NE(suite, nullptr);
+    const obs::ConformanceReport report =
+        obs::check_events(*suite, collector.events, 0);
+    EXPECT_TRUE(report.ok()) << report.render_text();
+}
+
+}  // namespace
+}  // namespace mcauth

@@ -70,6 +70,22 @@ TEST(BenchCompareLoader, RefusesPreManifestFile) {
     EXPECT_NE(error.find("regenerate"), std::string::npos) << error;
 }
 
+// v3 (the timeseries_out manifest addition) changed nothing bench_compare
+// reads, so v2 baselines stay comparable against v3 current files.
+TEST(BenchCompareLoader, AcceptsV3File) {
+    std::string json = v2_file_json();
+    // The loader reads the version from the embedded manifest.
+    const auto pos = json.find("\"schema_version\": 2,\n    \"bench\"");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, std::string("\"schema_version\": 2").size(),
+                 "\"schema_version\": 3");
+    BenchFile f;
+    std::string error;
+    ASSERT_TRUE(load_bench_file(json, f, error)) << error;
+    EXPECT_EQ(f.schema_version, 3);
+    EXPECT_EQ(f.bench, "perf_x");
+}
+
 TEST(BenchCompareLoader, RefusesUnknownSchemaVersion) {
     std::string json = v2_file_json();
     const auto pos = json.find("\"schema_version\": 2,\n    \"bench\"");

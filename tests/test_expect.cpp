@@ -54,17 +54,51 @@ TEST_F(ExpectTest, BuiltinSuitesAreTiered) {
     const ExpectationSuite* loop = find_suite("adaptive-loop");
     const ExpectationSuite* pop = find_suite("population");
     const ExpectationSuite* pop_loop = find_suite("population-loop");
+    const ExpectationSuite* attribution = find_suite("attribution");
     ASSERT_NE(core, nullptr);
     ASSERT_NE(chain, nullptr);
     ASSERT_NE(loop, nullptr);
     ASSERT_NE(pop, nullptr);
     ASSERT_NE(pop_loop, nullptr);
+    ASSERT_NE(attribution, nullptr);
     // Each tier strictly extends the previous one.
     EXPECT_GT(chain->rules().size(), core->rules().size());
     EXPECT_GT(loop->rules().size(), chain->rules().size());
     EXPECT_GT(pop_loop->rules().size(), pop->rules().size());
     EXPECT_EQ(find_suite("no-such-suite"), nullptr);
-    EXPECT_EQ(suite_names().size(), 5u);
+    EXPECT_EQ(suite_names().size(), 6u);
+}
+
+// ------------------------------------------------- suite: attribution
+
+TEST_F(ExpectTest, AttributionSuiteChecksClassAndCausality) {
+    const ExpectationSuite* suite = find_suite("attribution");
+    ASSERT_NE(suite, nullptr);
+    // Well-formed: the unverifiable verdict precedes its blame event, and
+    // the class is a loss class (2 = signature-lost, 3 = paths-cut).
+    std::vector<Event> good = {
+        make_event(EventId::kPacketUnverifiable, 1, 3, 1, 0.0),
+        make_event(EventId::kBlameAttributed, 1, 3, 1, 3.0),
+    };
+    EXPECT_TRUE(check_events(*suite, good, 0).ok());
+    // A blame event with no preceding unverifiable verdict for that
+    // (actor, block, index) is a causality violation.
+    std::vector<Event> orphan = {
+        make_event(EventId::kBlameAttributed, 1, 3, 1, 2.0)};
+    const ConformanceReport orphan_report = check_events(*suite, orphan, 0);
+    EXPECT_FALSE(orphan_report.ok());
+    ASSERT_EQ(orphan_report.violations.size(), 1u);
+    EXPECT_EQ(orphan_report.violations[0].rule, "blame-follows-unverifiable");
+    // kPacketLost (1.0) never reaches the event stream — a lost packet has
+    // no VerifyEvent — so any value outside {2, 3} is malformed.
+    std::vector<Event> bad_class = {
+        make_event(EventId::kPacketUnverifiable, 1, 3, 1, 0.0),
+        make_event(EventId::kBlameAttributed, 1, 3, 1, 1.0),
+    };
+    const ConformanceReport class_report = check_events(*suite, bad_class, 0);
+    EXPECT_FALSE(class_report.ok());
+    ASSERT_EQ(class_report.violations.size(), 1u);
+    EXPECT_EQ(class_report.violations[0].rule, "blame-class-is-loss");
 }
 
 // ------------------------------------------------- rule class: predicate
@@ -262,22 +296,45 @@ TEST_F(ExpectTest, JsonlRoundTripPreservesEventsAndDroppedCount) {
     }
 }
 
-TEST_F(ExpectTest, JsonlParseRejectsMissingMetaAndGarbage) {
+TEST_F(ExpectTest, JsonlParseRejectsMissingMetaSkipsGarbageLines) {
     std::vector<Event> out;
-    std::uint64_t dropped = 0;
     std::string error;
     {
+        // No meta header: still a hard failure — the file is not ours.
         std::istringstream in("{\"id\": 1, \"block\": 0}\n");
-        EXPECT_FALSE(parse_events_jsonl(in, out, dropped, error));
+        JsonlStats stats;
+        EXPECT_FALSE(parse_events_jsonl(in, out, stats, error));
         EXPECT_FALSE(error.empty());
     }
     {
+        // Garbage and truncated trailing lines (a crashed writer, a
+        // partial flush) are SKIPPED with a count, not a parse failure:
+        // the events before them are real evidence a postmortem needs.
         std::istringstream in(
-            "{\"meta\": {\"schema\": \"mcauth-events-v1\", \"dropped_events\": 0}}\n"
-            "not json at all\n");
+            "{\"meta\": {\"schema\": \"mcauth-events-v1\", \"dropped_events\": 7}}\n"
+            "{\"id\": 1, \"block\": 3, \"index\": 0, \"actor\": 0, \"value\": 1}\n"
+            "not json at all\n"
+            "{\"block\": 4, \"index\": 0}\n"
+            "{\"id\": 2, \"block\": 3, \"index\": 0, \"act");
+        JsonlStats stats;
         error.clear();
-        EXPECT_FALSE(parse_events_jsonl(in, out, dropped, error));
-        EXPECT_FALSE(error.empty());
+        out.clear();
+        ASSERT_TRUE(parse_events_jsonl(in, out, stats, error)) << error;
+        EXPECT_EQ(out.size(), 1u);
+        EXPECT_EQ(stats.dropped_events, 7u);
+        EXPECT_EQ(stats.skipped_lines, 3u);
+    }
+    {
+        // The 4-arg back-compat overload keeps its signature and still
+        // tolerates the garbage trailer.
+        std::istringstream in(
+            "{\"meta\": {\"schema\": \"mcauth-events-v1\", \"dropped_events\": 2}}\n"
+            "garbage\n");
+        std::uint64_t dropped = 0;
+        error.clear();
+        out.clear();
+        EXPECT_TRUE(parse_events_jsonl(in, out, dropped, error));
+        EXPECT_EQ(dropped, 2u);
     }
 }
 

@@ -43,7 +43,7 @@ RunManifest golden_manifest() {
 TEST(ManifestTest, GoldenJsonRendering) {
     const std::string expected =
         "{\n"
-        "  \"schema_version\": 2,\n"
+        "  \"schema_version\": 3,\n"
         "  \"bench\": \"perf_fake\",\n"
         "  \"git_revision\": \"v1.2.3-4-gabcdef0\",\n"
         "  \"compiler\": \"GNU 12.2.0\",\n"
@@ -91,6 +91,22 @@ TEST(ManifestTest, IndentedRenderingEmbedsCleanly) {
         JsonValue::parse("{\n  \"manifest\": " + indented + "\n}", &error);
     ASSERT_TRUE(doc.has_value()) << error;
     EXPECT_EQ(doc->find("manifest")->get_string("bench"), "perf_fake");
+}
+
+// v3's only addition: the timeseries_out pointer, OMITTED when empty so v2
+// consumers (and the golden above) see an unchanged document.
+TEST(ManifestTest, TimeseriesOutFieldIsOptional) {
+    RunManifest m = golden_manifest();
+    EXPECT_EQ(m.to_json().find("timeseries_out"), std::string::npos);
+    m.timeseries_out = "bench_out/x.timeseries.jsonl";
+    const std::string json = m.to_json();
+    EXPECT_NE(json.find("\"timeseries_out\": \"bench_out/x.timeseries.jsonl\""),
+              std::string::npos)
+        << json;
+    std::string error;
+    const auto doc = JsonValue::parse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->get_string("timeseries_out"), "bench_out/x.timeseries.jsonl");
 }
 
 TEST(ManifestTest, EmptyCountersRenderAsEmptyObject) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -394,6 +395,57 @@ TEST_F(ObsTest, DeltaSubtractsCountersAndHistograms) {
     // Gauges are levels, not accumulators: the newer level passes through.
     ASSERT_EQ(d.gauges.size(), 1u);
     EXPECT_DOUBLE_EQ(d.gauges[0].second, 9.0);
+}
+
+// The snapshot/delta path the per-block TimeSeries rides (obs/timeseries
+// .hpp): concurrent shard threads hammer counters and histograms WHILE the
+// main thread snapshots — relaxed atomics + the registration mutex must
+// keep this race-free (the obs label puts this under TSan in tsan-smoke),
+// and the final delta must account for every increment exactly once.
+TEST_F(ObsTest, SnapshotDeltaUnderConcurrentShardUpdates) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    // Register up front so worker threads only touch the atomics.
+    Counter& ops = reg.counter("c.shard_ops");
+    LatencyHistogram& lat = reg.histogram("h.shard_ns");
+    const MetricsSnapshot before = reg.snapshot();
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ops.add(1);
+                // Spread samples across bucket boundaries.
+                lat.record_ns(static_cast<std::uint64_t>((t + 1)) << (i % 20));
+                if (i % 1000 == 0) (void)reg.snapshot();  // mid-flight readers
+            }
+        });
+    for (std::thread& w : workers) w.join();
+
+    const MetricsSnapshot d = delta(reg.snapshot(), before);
+    EXPECT_EQ(d.counter_or("c.shard_ops"),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    ASSERT_EQ(d.histograms.size(), 1u);
+    EXPECT_EQ(d.histograms[0].second.count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// Histogram deltas across power-of-two bucket boundaries: the totals
+// subtract exactly even when the second block's samples land in different
+// buckets than the first's.
+TEST_F(ObsTest, HistogramDeltaAcrossBucketBoundaries) {
+    MetricsRegistry reg;
+    reg.histogram("h.lat").record_ns(255);  // bucket of width-8 values
+    reg.histogram("h.lat").record_ns(256);  // first width-9 value
+    const MetricsSnapshot before = reg.snapshot();
+    reg.histogram("h.lat").record_ns(511);
+    reg.histogram("h.lat").record_ns(512);
+    reg.histogram("h.lat").record_ns(0);  // bucket 0 exactly
+    const MetricsSnapshot d = delta(reg.snapshot(), before);
+    ASSERT_EQ(d.histograms.size(), 1u);
+    EXPECT_EQ(d.histograms[0].second.count, 3u);
+    EXPECT_EQ(d.histograms[0].second.sum_ns, 1023u);
 }
 
 TEST_F(ObsTest, DeltaClampsBackwardsCounterToZero) {

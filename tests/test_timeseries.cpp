@@ -1,0 +1,147 @@
+// obs::TimeSeries: snapshot-delta capture, the merge algebra (accumulator
+// kinds add, level kinds take the merged-in side), canonical sample order,
+// and the JSONL/CSV export formats tools/mcauth_report joins on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace mcauth::obs {
+namespace {
+
+using Kind = TimeSeries::Kind;
+
+const TimeSeries::Sample* find(const TimeSeries& ts, std::uint32_t block,
+                               const std::string& series, Kind kind) {
+    for (const TimeSeries::Sample& s : ts.samples())
+        if (s.block == block && s.series == series && s.kind == kind) return &s;
+    return nullptr;
+}
+
+TEST(TimeSeriesTest, CaptureRecordsDeltasNotTotals) {
+    MetricsRegistry reg;
+    reg.counter("pkts").add(10);
+    reg.gauge("occupancy").set(0.5);
+
+    TimeSeries ts;
+    ts.capture(1, reg.snapshot());  // first capture: absolute values
+    reg.counter("pkts").add(3);
+    reg.gauge("occupancy").set(0.25);
+    ts.capture(2, reg.snapshot());
+    // No activity between captures: zero counter deltas are skipped,
+    // gauge levels always land.
+    ts.capture(3, reg.snapshot());
+
+    ASSERT_NE(find(ts, 1, "pkts", Kind::kCounter), nullptr);
+    EXPECT_DOUBLE_EQ(find(ts, 1, "pkts", Kind::kCounter)->value, 10.0);
+    ASSERT_NE(find(ts, 2, "pkts", Kind::kCounter), nullptr);
+    EXPECT_DOUBLE_EQ(find(ts, 2, "pkts", Kind::kCounter)->value, 3.0);
+    EXPECT_EQ(find(ts, 3, "pkts", Kind::kCounter), nullptr);
+    EXPECT_DOUBLE_EQ(find(ts, 2, "occupancy", Kind::kGauge)->value, 0.25);
+    ASSERT_NE(find(ts, 3, "occupancy", Kind::kGauge), nullptr);
+}
+
+TEST(TimeSeriesTest, CaptureRecordsHistogramDeltas) {
+    MetricsRegistry reg;
+    reg.histogram("lat").record_ns(100);
+    reg.histogram("lat").record_ns(200);
+
+    TimeSeries ts;
+    ts.capture(1, reg.snapshot());
+    // Cross bucket boundaries on the second block: 2^k edges land samples
+    // in different buckets, but the delta tracks count/sum totals, so the
+    // per-block numbers must be exactly the increments.
+    reg.histogram("lat").record_ns(1 << 20);
+    reg.histogram("lat").record_ns((1 << 20) + 1);
+    reg.histogram("lat").record_ns(7);
+    ts.capture(2, reg.snapshot());
+
+    EXPECT_DOUBLE_EQ(find(ts, 1, "lat", Kind::kHistogramCount)->value, 2.0);
+    EXPECT_DOUBLE_EQ(find(ts, 1, "lat", Kind::kHistogramSumNs)->value, 300.0);
+    EXPECT_DOUBLE_EQ(find(ts, 2, "lat", Kind::kHistogramCount)->value, 3.0);
+    EXPECT_DOUBLE_EQ(find(ts, 2, "lat", Kind::kHistogramSumNs)->value,
+                     double((1 << 20) + (1 << 20) + 1 + 7));
+}
+
+TEST(TimeSeriesTest, RecordOverwritesAndSamplesStaySorted) {
+    TimeSeries ts;
+    ts.record("q_min", 7, 0.5);
+    ts.record("a_first", 7, 1.0);  // earlier key, inserted later
+    ts.record("q_min", 3, 0.9);
+    ts.record("q_min", 7, 0.75);  // overwrite
+
+    ASSERT_EQ(ts.samples().size(), 3u);
+    EXPECT_EQ(ts.samples()[0].block, 3u);
+    EXPECT_EQ(ts.samples()[1].series, "a_first");
+    EXPECT_EQ(ts.samples()[2].series, "q_min");
+    EXPECT_DOUBLE_EQ(ts.samples()[2].value, 0.75);
+}
+
+TEST(TimeSeriesTest, MergeAddsAccumulatorsAndTakesLevels) {
+    MetricsRegistry reg_a;
+    reg_a.counter("pkts").add(5);
+    reg_a.gauge("level").set(1.0);
+    TimeSeries a;
+    a.capture(1, reg_a.snapshot());
+    a.record("manual", 1, 0.25);
+
+    MetricsRegistry reg_b;
+    reg_b.counter("pkts").add(7);
+    reg_b.gauge("level").set(2.0);
+    TimeSeries b;
+    b.capture(1, reg_b.snapshot());
+    b.record("manual", 1, 0.75);
+    b.record("only_b", 2, 4.0);
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(find(a, 1, "pkts", Kind::kCounter)->value, 12.0);
+    EXPECT_DOUBLE_EQ(find(a, 1, "level", Kind::kGauge)->value, 2.0);
+    EXPECT_DOUBLE_EQ(find(a, 1, "manual", Kind::kValue)->value, 0.75);
+    ASSERT_NE(find(a, 2, "only_b", Kind::kValue), nullptr);
+}
+
+TEST(TimeSeriesTest, IdenticalIsBitExact) {
+    TimeSeries a, b;
+    a.record("x", 1, 0.1);
+    b.record("x", 1, 0.1);
+    EXPECT_TRUE(a.identical(b));
+    b.record("x", 1, 0.1 + 1e-18);  // overwrite with a near-equal value
+    EXPECT_TRUE(a.identical(b));    // below half an ulp: rounds back to 0.1
+    b.record("x", 1, 0.1000001);
+    EXPECT_FALSE(a.identical(b));
+    b.record("x", 1, 0.1);
+    b.record("y", 2, 0.0);
+    EXPECT_FALSE(a.identical(b));  // extra sample
+}
+
+TEST(TimeSeriesTest, JsonlAndCsvFormats) {
+    MetricsRegistry reg;
+    reg.counter("pkts").add(2);
+    TimeSeries ts;
+    ts.capture(4, reg.snapshot());
+    ts.record("q_min", 4, 0.875);
+
+    const std::string jsonl = ts.to_jsonl();
+    std::istringstream lines(jsonl);
+    std::string meta, first;
+    ASSERT_TRUE(std::getline(lines, meta));
+    EXPECT_NE(meta.find("\"schema\": \"mcauth-timeseries-v1\""),
+              std::string::npos)
+        << meta;
+    EXPECT_NE(meta.find("\"samples\": 2"), std::string::npos) << meta;
+    ASSERT_TRUE(std::getline(lines, first));
+    EXPECT_EQ(first,
+              "{\"block\": 4, \"series\": \"pkts\", \"kind\": \"counter\", "
+              "\"value\": 2}");
+
+    const std::string csv = ts.to_csv();
+    EXPECT_EQ(csv.substr(0, csv.find('\n')), "block,series,kind,value");
+    EXPECT_NE(csv.find("4,pkts,counter,2"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("4,q_min,value,0.875"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace mcauth::obs

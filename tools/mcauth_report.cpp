@@ -1,0 +1,435 @@
+// mcauth_report — offline postmortem reporter (DESIGN.md §14).
+//
+//   mcauth_report EVENTS.jsonl [--timeseries=FILE.jsonl] [--out=REPORT.md]
+//                 [--top=N]
+//
+// Joins a structured-event JSONL export with the block-granular TimeSeries
+// export of the same run into one markdown postmortem:
+//
+//   * the per-block verification timeline (received / verified /
+//     unverifiable, per-block q) with the q collapse window called out —
+//     the "when did it break" story, recovered from the trace alone;
+//   * regime shifts and redesigns, annotated with reason codes;
+//   * the causal failure-class breakdown from kBlameAttributed events and
+//     the top-blamed dependence edges / tree links from the attrib.*
+//     counter series — the "why did it break" story;
+//   * q_hat and population-quantile timelines where the trace carries them;
+//   * the offline verdict of the "attribution" expectation suite.
+//
+// Exit codes: 0 report written, 2 usage/IO/parse error. The report itself
+// never fails the run — it is a diagnostic artifact, not a gate.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/expect.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mcauth::obs::Event;
+using mcauth::obs::EventId;
+
+int usage(const char* argv0, bool requested) {
+    std::fprintf(requested ? stdout : stderr,
+                 "usage: %s EVENTS.jsonl [--timeseries=FILE.jsonl] "
+                 "[--out=REPORT.md] [--top=N]\n",
+                 argv0);
+    return requested ? 0 : 2;
+}
+
+std::string fmt(double v, int digits = 4) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return buf;
+}
+
+/// One parsed TimeSeries sample (see obs/timeseries.hpp for the schema).
+struct TsSample {
+    std::uint32_t block = 0;
+    std::string series;
+    std::string kind;
+    double value = 0.0;
+};
+
+bool load_timeseries(const std::string& path, std::vector<TsSample>& out,
+                     std::string& error) {
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string parse_error;
+        const auto doc = mcauth::JsonValue::parse(line, &parse_error);
+        if (!doc || !doc->is_object()) continue;  // skip garbage trailers
+        if (doc->find("meta") != nullptr) continue;
+        if (!doc->has("series")) continue;
+        TsSample s;
+        s.block = static_cast<std::uint32_t>(doc->get_uint("block", 0));
+        s.series = doc->get_string("series");
+        s.kind = doc->get_string("kind");
+        s.value = doc->get_double("value", 0.0);
+        out.push_back(std::move(s));
+    }
+    return true;
+}
+
+struct BlockTally {
+    std::uint64_t received = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t unverifiable = 0;
+    std::uint64_t rejected = 0;
+    double q() const {
+        return received == 0 ? 1.0
+                             : static_cast<double>(verified) /
+                                   static_cast<double>(received);
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mcauth;
+
+    std::vector<std::string> paths;
+    std::vector<const char*> flag_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            flag_argv.push_back(argv[i]);
+        else
+            paths.emplace_back(argv[i]);
+    }
+    const CliArgs args(static_cast<int>(flag_argv.size()), flag_argv.data());
+    static constexpr std::string_view kKnown[] = {"timeseries", "out", "top",
+                                                  "help"};
+    const auto unknown = args.unknown_keys(kKnown);
+    if (!unknown.empty()) {
+        for (const std::string& key : unknown)
+            std::fprintf(stderr, "mcauth_report: unknown option --%s\n",
+                         key.c_str());
+        return usage(argv[0], false);
+    }
+    if (args.has("help")) return usage(argv[0], true);
+    if (paths.size() != 1) return usage(argv[0], false);
+    const std::size_t top_n =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("top", 10)));
+
+    std::ifstream in(paths[0]);
+    if (!in) {
+        std::fprintf(stderr, "mcauth_report: cannot open %s\n", paths[0].c_str());
+        return 2;
+    }
+    std::vector<Event> events;
+    obs::JsonlStats stats;
+    std::string error;
+    if (!obs::parse_events_jsonl(in, events, stats, error)) {
+        std::fprintf(stderr, "mcauth_report: %s: %s\n", paths[0].c_str(),
+                     error.c_str());
+        return 2;
+    }
+
+    std::vector<TsSample> ts;
+    const std::string ts_path = args.get("timeseries", "");
+    if (!ts_path.empty() && !load_timeseries(ts_path, ts, error)) {
+        std::fprintf(stderr, "mcauth_report: %s\n", error.c_str());
+        return 2;
+    }
+
+    // ---- fold the trace --------------------------------------------------
+    std::map<std::uint32_t, BlockTally> blocks;
+    std::map<std::string, std::uint64_t> event_counts;
+    // block -> (sum, n) of QHatUpdated values.
+    std::map<std::uint32_t, std::pair<double, std::uint64_t>> qhat;
+    std::map<std::uint32_t, double> pop_q;  // kPopulationBlock 1%-ile q
+    struct Annotation {
+        std::uint32_t block;
+        std::string text;
+    };
+    std::vector<Annotation> annotations;
+    std::uint64_t class_signature_lost = 0;
+    std::uint64_t class_paths_cut = 0;
+    for (const Event& ev : events) {
+        ++event_counts[obs::event_name(ev.id)];
+        switch (ev.id) {
+            case EventId::kPacketReceived: ++blocks[ev.block].received; break;
+            case EventId::kPacketVerified: ++blocks[ev.block].verified; break;
+            case EventId::kPacketUnverifiable:
+                ++blocks[ev.block].unverifiable;
+                break;
+            case EventId::kPacketRejected: ++blocks[ev.block].rejected; break;
+            case EventId::kQHatUpdated: {
+                auto& [sum, n] = qhat[ev.block];
+                sum += ev.value;
+                ++n;
+                break;
+            }
+            case EventId::kPopulationBlock: pop_q[ev.block] = ev.value; break;
+            case EventId::kRegimeShift:
+                annotations.push_back(
+                    {ev.block, "regime shift -> loss rate " + fmt(ev.value, 3)});
+                break;
+            case EventId::kRedesignTriggered:
+                annotations.push_back(
+                    {ev.block,
+                     std::string("redesign (") +
+                         obs::redesign_reason_name(
+                             static_cast<obs::RedesignReason>(ev.index)) +
+                         "), q target " + fmt(ev.value, 3)});
+                break;
+            case EventId::kBlameAttributed:
+                if (ev.value == 2.0)
+                    ++class_signature_lost;
+                else if (ev.value == 3.0)
+                    ++class_paths_cut;
+                break;
+            default: break;
+        }
+    }
+
+    // A wrapped ring keeps only a suffix of the stream, so the first
+    // observed block is usually truncated mid-block (its q can even exceed
+    // 1 when verifications survived but the receptions did not). Same
+    // policy as trace_check's partial-trace mode: drop the anchor block
+    // from the timeline when events were dropped.
+    if (stats.dropped_events > 0 && !blocks.empty())
+        blocks.erase(blocks.begin());
+
+    // Per-block q and the collapse window: the maximal contiguous run of
+    // blocks, containing the argmin, whose q sits in the lower half of the
+    // [min, median] spread.
+    std::vector<std::pair<std::uint32_t, double>> q_by_block;
+    for (const auto& [b, tally] : blocks)
+        if (tally.received > 0) q_by_block.emplace_back(b, tally.q());
+    double q_min = 1.0, q_median = 1.0;
+    std::uint32_t q_min_block = 0;
+    std::size_t q_min_at = 0;
+    if (!q_by_block.empty()) {
+        std::vector<double> sorted;
+        sorted.reserve(q_by_block.size());
+        for (std::size_t i = 0; i < q_by_block.size(); ++i) {
+            sorted.push_back(q_by_block[i].second);
+            if (q_by_block[i].second < q_min) {
+                q_min = q_by_block[i].second;
+                q_min_block = q_by_block[i].first;
+                q_min_at = i;
+            }
+        }
+        std::sort(sorted.begin(), sorted.end());
+        q_median = sorted[sorted.size() / 2];
+    }
+    const double collapse_threshold = q_min + 0.5 * (q_median - q_min);
+    std::size_t collapse_lo = q_min_at, collapse_hi = q_min_at;
+    if (!q_by_block.empty()) {
+        while (collapse_lo > 0 &&
+               q_by_block[collapse_lo - 1].second <= collapse_threshold)
+            --collapse_lo;
+        while (collapse_hi + 1 < q_by_block.size() &&
+               q_by_block[collapse_hi + 1].second <= collapse_threshold)
+            ++collapse_hi;
+    }
+
+    // Blame series from the time-series join.
+    std::map<std::string, double> edge_blame;
+    std::map<std::string, double> link_blame;
+    std::map<std::string, std::uint64_t> class_counters;
+    for (const TsSample& s : ts) {
+        if (s.kind != "counter") continue;
+        if (s.series.rfind("attrib.edge.", 0) == 0)
+            edge_blame[s.series.substr(12)] += s.value;
+        else if (s.series.rfind("attrib.link.", 0) == 0)
+            link_blame[s.series.substr(12)] += s.value;
+        else if (s.series.rfind("attrib.class.", 0) == 0)
+            class_counters[s.series.substr(13)] +=
+                static_cast<std::uint64_t>(s.value);
+    }
+    const auto top_of = [&](const std::map<std::string, double>& m) {
+        std::vector<std::pair<std::string, double>> v(m.begin(), m.end());
+        std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+            return a.second > b.second;
+        });
+        if (v.size() > top_n) v.resize(top_n);
+        return v;
+    };
+
+    // Offline conformance: the attribution suite, when the trace carries
+    // blame verdicts at all.
+    std::string conformance = "no BlameAttributed events in trace";
+    if (class_signature_lost + class_paths_cut > 0) {
+        const obs::ExpectationSuite* suite = obs::find_suite("attribution");
+        const obs::ConformanceReport report =
+            obs::check_events(*suite, events, stats.dropped_events);
+        conformance = report.ok() ? "PASS" : "FAIL";
+        conformance += " (" + std::to_string(report.violations.size()) +
+                       " violation(s) across " +
+                       std::to_string(suite->rules().size()) + " rules)";
+    }
+
+    // ---- render ----------------------------------------------------------
+    std::string md;
+    md += "# mcauth postmortem\n\n";
+    md += "- trace: `" + paths[0] + "` — " + std::to_string(events.size()) +
+          " events, " + std::to_string(stats.dropped_events) + " dropped, " +
+          std::to_string(stats.skipped_lines) + " malformed line(s) skipped\n";
+    if (!ts_path.empty())
+        md += "- time series: `" + ts_path + "` — " + std::to_string(ts.size()) +
+              " samples\n";
+    if (!blocks.empty())
+        md += "- blocks " + std::to_string(blocks.begin()->first) + ".." +
+              std::to_string(blocks.rbegin()->first) + "\n";
+    md += "- attribution suite: " + conformance + "\n\n";
+
+    md += "## Event counts\n\n| event | count |\n|---|---|\n";
+    for (const auto& [name, count] : event_counts)
+        md += "| " + name + " | " + std::to_string(count) + " |\n";
+    md += "\n";
+
+    if (!q_by_block.empty()) {
+        md += "## Verification timeline\n\n";
+        md += "Per-block q = verified / received, pooled over receivers.\n\n";
+        md += "- q median " + fmt(q_median) + ", q min **" + fmt(q_min) +
+              "** at block " + std::to_string(q_min_block) + "\n";
+        if (q_min < q_median)
+            md += "- collapse window: blocks " +
+                  std::to_string(q_by_block[collapse_lo].first) + ".." +
+                  std::to_string(q_by_block[collapse_hi].first) + " hold q <= " +
+                  fmt(collapse_threshold) + " (" +
+                  std::to_string(collapse_hi - collapse_lo + 1) + " block(s))\n";
+        md += "\n| block | received | verified | unverifiable | rejected | q |\n";
+        md += "|---|---|---|---|---|---|\n";
+        // Cap the table: always show annotated + collapse-window blocks,
+        // stride through the rest.
+        const std::size_t max_rows = 48;
+        const std::size_t stride =
+            q_by_block.size() <= max_rows ? 1 : q_by_block.size() / max_rows + 1;
+        for (std::size_t i = 0; i < q_by_block.size(); ++i) {
+            const bool in_collapse = i >= collapse_lo && i <= collapse_hi;
+            if (!in_collapse && i % stride != 0) continue;
+            const std::uint32_t b = q_by_block[i].first;
+            const BlockTally& t = blocks[b];
+            md += "| " + std::to_string(b) + " | " + std::to_string(t.received) +
+                  " | " + std::to_string(t.verified) + " | " +
+                  std::to_string(t.unverifiable) + " | " +
+                  std::to_string(t.rejected) + " | " + fmt(q_by_block[i].second) +
+                  (in_collapse ? " :small_red_triangle_down:" : "") + " |\n";
+        }
+        md += "\n";
+    }
+
+    if (!annotations.empty()) {
+        md += "## Regime shifts & redesigns\n\n";
+        std::stable_sort(annotations.begin(), annotations.end(),
+                         [](const Annotation& a, const Annotation& b) {
+                             return a.block < b.block;
+                         });
+        for (const Annotation& a : annotations)
+            md += "- block " + std::to_string(a.block) + ": " + a.text + "\n";
+        md += "\n";
+    }
+
+    md += "## Failure classes\n\n";
+    if (class_signature_lost + class_paths_cut == 0 && class_counters.empty()) {
+        md += "No causal attribution in this trace.\n\n";
+    } else {
+        md += "| class | count | source |\n|---|---|---|\n";
+        if (class_signature_lost + class_paths_cut > 0) {
+            md += "| signature-lost | " + std::to_string(class_signature_lost) +
+                  " | BlameAttributed events |\n";
+            md += "| paths-cut | " + std::to_string(class_paths_cut) +
+                  " | BlameAttributed events |\n";
+        }
+        for (const auto& [name, count] : class_counters)
+            md += "| " + name + " | " + std::to_string(count) +
+                  " | attrib.class.* series |\n";
+        md += "\n";
+    }
+
+    if (!edge_blame.empty()) {
+        md += "## Top-blamed dependence edges\n\n| edge (u>v) | blame |\n|---|---|\n";
+        for (const auto& [name, value] : top_of(edge_blame))
+            md += "| " + name + " | " + std::to_string(static_cast<long long>(value)) +
+                  " |\n";
+        md += "\n";
+    }
+    if (!link_blame.empty()) {
+        md += "## Top-blamed tree links\n\n| link (node) | first-drop blame |\n|---|---|\n";
+        for (const auto& [name, value] : top_of(link_blame))
+            md += "| " + name + " | " + std::to_string(static_cast<long long>(value)) +
+                  " |\n";
+        md += "\n";
+    }
+
+    if (!qhat.empty()) {
+        md += "## q_hat timeline (receiver loss estimates)\n\n";
+        double first = 0.0, last = 0.0, lo = 1e300, hi = -1e300;
+        bool first_set = false;
+        for (const auto& [b, entry] : qhat) {
+            const double mean = entry.second ? entry.first / double(entry.second) : 0.0;
+            if (!first_set) {
+                first = mean;
+                first_set = true;
+            }
+            last = mean;
+            lo = std::min(lo, mean);
+            hi = std::max(hi, mean);
+        }
+        md += "- " + std::to_string(qhat.size()) + " blocks with estimates: first " +
+              fmt(first) + ", min " + fmt(lo) + ", max " + fmt(hi) + ", last " +
+              fmt(last) + "\n\n";
+    }
+    if (!pop_q.empty()) {
+        md += "## Population 1%-ile q timeline\n\n";
+        double lo = 1e300, hi = -1e300;
+        for (const auto& [b, v] : pop_q) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        md += "- " + std::to_string(pop_q.size()) + " population blocks, 1%-ile q in [" +
+              fmt(lo) + ", " + fmt(hi) + "]\n\n";
+    }
+
+    // Manual value series (q_min, true_loss, est_loss, ...) from the join.
+    std::map<std::string, std::vector<std::pair<std::uint32_t, double>>> value_series;
+    for (const TsSample& s : ts)
+        if (s.kind == "value") value_series[s.series].emplace_back(s.block, s.value);
+    if (!value_series.empty()) {
+        md += "## Time-series summaries\n\n| series | points | first | min | max | last |\n";
+        md += "|---|---|---|---|---|---|\n";
+        for (auto& [name, pts] : value_series) {
+            std::sort(pts.begin(), pts.end());
+            double lo = pts.front().second, hi = pts.front().second;
+            for (const auto& [b, v] : pts) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            md += "| " + name + " | " + std::to_string(pts.size()) + " | " +
+                  fmt(pts.front().second) + " | " + fmt(lo) + " | " + fmt(hi) +
+                  " | " + fmt(pts.back().second) + " |\n";
+        }
+        md += "\n";
+    }
+
+    const std::string out_path = args.get("out", "");
+    if (out_path.empty()) {
+        std::fputs(md.c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out || !(out << md)) {
+            std::fprintf(stderr, "mcauth_report: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        std::printf("mcauth_report: wrote %s (%zu bytes)\n", out_path.c_str(),
+                    md.size());
+    }
+    return 0;
+}

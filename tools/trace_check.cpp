@@ -1,6 +1,7 @@
 // trace_check — offline scenario-conformance checker (DESIGN.md §11).
 //
 //   trace_check EVENTS.jsonl --suite=NAME
+//   trace_check EVENTS.jsonl --summary [--suite=NAME]
 //   trace_check --list-suites
 //
 // Replays a structured-event JSONL export (the --events-out format of the
@@ -10,12 +11,19 @@
 // are suppressed for each actor's first observed block, since a wrapped
 // ring keeps only a contiguous suffix of the stream.
 //
+// --summary prints what the trace CONTAINED — per-event-type counts, the
+// covered block range, dropped-event and skipped-line totals — so CI logs
+// document a trace even when every suite passes. With no --suite, summary
+// mode exits 0 on any readable trace.
+//
 // Exit codes:
-//   0  every rule held (PASS)
+//   0  every rule held (PASS), or --summary without a suite
 //   1  at least one violation (FAIL; details on stdout)
 //   2  usage error, unreadable file, malformed JSONL, unknown suite
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,9 +36,38 @@ namespace {
 int usage(const char* argv0, bool requested) {
     std::fprintf(requested ? stdout : stderr,
                  "usage: %s EVENTS.jsonl --suite=NAME\n"
+                 "       %s EVENTS.jsonl --summary [--suite=NAME]\n"
                  "       %s --list-suites\n",
-                 argv0, argv0);
+                 argv0, argv0, argv0);
     return requested ? 0 : 2;
+}
+
+void print_summary(const std::vector<mcauth::obs::Event>& events,
+                   const mcauth::obs::JsonlStats& stats) {
+    using mcauth::obs::Event;
+    std::map<std::string, std::uint64_t> by_name;
+    std::uint32_t block_lo = 0;
+    std::uint32_t block_hi = 0;
+    bool any = false;
+    for (const Event& ev : events) {
+        ++by_name[mcauth::obs::event_name(ev.id)];
+        if (!any) {
+            block_lo = block_hi = ev.block;
+            any = true;
+        } else {
+            block_lo = std::min(block_lo, ev.block);
+            block_hi = std::max(block_hi, ev.block);
+        }
+    }
+    std::printf("trace summary: %zu events", events.size());
+    if (any)
+        std::printf(", blocks %u..%u", block_lo, block_hi);
+    std::printf(", %llu dropped, %llu skipped lines\n",
+                static_cast<unsigned long long>(stats.dropped_events),
+                static_cast<unsigned long long>(stats.skipped_lines));
+    for (const auto& [name, count] : by_name)
+        std::printf("  %-18s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
 }
 
 }  // namespace
@@ -48,7 +85,7 @@ int main(int argc, char** argv) {
     }
     const CliArgs args(static_cast<int>(flag_argv.size()), flag_argv.data());
     static constexpr std::string_view kKnown[] = {"suite", "list-suites",
-                                                  "help"};
+                                                  "summary", "help"};
     const auto unknown = args.unknown_keys(kKnown);
     if (!unknown.empty()) {
         for (const std::string& key : unknown)
@@ -66,11 +103,14 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    const bool summary = args.get_bool("summary", false);
     const std::string suite_name = args.get("suite", "");
-    if (paths.size() != 1 || suite_name.empty()) return usage(argv[0], false);
+    if (paths.size() != 1 || (suite_name.empty() && !summary))
+        return usage(argv[0], false);
 
-    const obs::ExpectationSuite* suite = obs::find_suite(suite_name);
-    if (suite == nullptr) {
+    const obs::ExpectationSuite* suite =
+        suite_name.empty() ? nullptr : obs::find_suite(suite_name);
+    if (suite == nullptr && !suite_name.empty()) {
         std::fprintf(stderr, "trace_check: unknown suite \"%s\"; known:",
                      suite_name.c_str());
         for (const std::string& name : obs::suite_names())
@@ -85,16 +125,25 @@ int main(int argc, char** argv) {
         return 2;
     }
     std::vector<obs::Event> events;
-    std::uint64_t dropped = 0;
+    obs::JsonlStats stats;
     std::string error;
-    if (!obs::parse_events_jsonl(in, events, dropped, error)) {
+    if (!obs::parse_events_jsonl(in, events, stats, error)) {
         std::fprintf(stderr, "trace_check: %s: %s\n", paths[0].c_str(),
                      error.c_str());
         return 2;
     }
+    if (stats.skipped_lines > 0)
+        std::fprintf(stderr,
+                     "trace_check: warning: %s: skipped %llu malformed line(s) "
+                     "(truncated trailer?)\n",
+                     paths[0].c_str(),
+                     static_cast<unsigned long long>(stats.skipped_lines));
+
+    if (summary) print_summary(events, stats);
+    if (suite == nullptr) return 0;
 
     const obs::ConformanceReport report =
-        obs::check_events(*suite, events, dropped);
+        obs::check_events(*suite, events, stats.dropped_events);
     std::printf("%s\n", report.render_text().c_str());
     return report.ok() ? 0 : 1;
 }
