@@ -1,0 +1,316 @@
+// Design-cache bench: byte-identity gates + cached design latency under
+// churn (DESIGN.md §15).
+//
+// Two phases:
+//
+//   identity — across a grid of operating points (block size x loss rate x
+//   burstiness), (a) design_greedy_channel_incremental must reproduce the
+//   full-re-sim design_greedy_channel oracle byte for byte (same to_text
+//   serialization, same final Monte-Carlo q_min), (b) a Designer-served
+//   design — fresh, cache hit, or via the oracle-path configuration
+//   (use_incremental = false) — must be byte-identical to calling the
+//   uncached free-function oracle at the materialized (quantized) operating
+//   point. Any divergence is RESULT: FAIL / exit 1.
+//
+//   churn (skipped under --smoke=1) — a fleet of groups whose channel
+//   states drift across quantization cells over several epochs, all served
+//   by ONE shared Designer (plus a precomputed frontier for the i.i.d.
+//   family). Gates: cache hit rate >= 0.8 and median cached-serve latency
+//   at least 10x below median fresh-build latency. The Pareto frontier is
+//   serialized into the manifest embedded in the JSON output.
+//
+// Writes bench_out/BENCH_design_cache.json (metric latency_reduction) for
+// the bench_compare report-only regression gate.
+//
+// Flags beyond the shared bench surface (bench_common.hpp):
+//   --smoke=0|1   identity phase only (CI smoke; default 0)
+//   --groups=N    churn fleet size (default 1200)
+//   --epochs=N    churn epochs (default 6)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/serialize.hpp"
+#include "design/constructors.hpp"
+#include "design/service.hpp"
+#include "net/loss.hpp"
+#include "util/rng.hpp"
+
+using namespace mcauth;
+using namespace mcauth::design;
+
+namespace {
+
+double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+struct IdentityRow {
+    std::string cell;
+    const char* gate;
+    bool identical;
+};
+
+std::unique_ptr<LossModel> channel_for(double p, double burst) {
+    const double rate = std::clamp(p, 1e-3, 0.999);
+    if (burst > 1.0)
+        return std::make_unique<GilbertElliottLoss>(
+            GilbertElliottLoss::from_rate_and_burst(rate, burst));
+    return std::make_unique<BernoulliLoss>(rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchMain bm(argc, argv, "perf_design_cache", 1,
+                        {"smoke", "groups", "epochs"});
+    const bool smoke = bm.args().get_bool("smoke", false);
+    const std::size_t groups =
+        static_cast<std::size_t>(bm.args().get_int("groups", 1200));
+    const std::size_t epochs =
+        static_cast<std::size_t>(bm.args().get_int("epochs", 6));
+
+    bench::note("[perf] Design service: incremental/cache byte-identity + "
+                "serve latency under churn (DESIGN.md §15)");
+
+    bool identity_ok = true;
+    std::vector<IdentityRow> identity_rows;
+
+    // ------------------------------------------------------------- identity
+    {
+        bench::section("identity: incremental and cached designs vs the "
+                       "uncached oracle");
+        struct Cell {
+            std::size_t n;
+            double p;
+            double burst;
+        };
+        const Cell cells[] = {
+            {48, 0.15, 1.0}, {48, 0.30, 4.0}, {96, 0.20, 1.0},
+            {96, 0.35, 3.0}, {64, 0.25, 6.0},
+        };
+        TablePrinter table({"cell", "gate", "identical"});
+        for (const Cell& cell : cells) {
+            const std::string name = "n=" + std::to_string(cell.n) +
+                                     "/p=" + TablePrinter::num(cell.p, 2) +
+                                     "/burst=" + TablePrinter::num(cell.burst, 1);
+            DesignGoal goal;
+            goal.n = cell.n;
+            goal.p = cell.p;
+            goal.target_q_min = 0.92;
+            const auto loss = channel_for(cell.p, cell.burst);
+
+            // (a) incremental greedy == full-re-sim oracle, byte for byte,
+            // and the reported final metric is the oracle metric.
+            MonteCarloAuthProb final_prob;
+            const DependenceGraph fast = design_greedy_channel_incremental(
+                goal, *loss, bm.seed(), 256, {}, &final_prob);
+            const DependenceGraph oracle =
+                design_greedy_channel(goal, *loss, bm.seed(), 256, {});
+            const bool incremental_same =
+                to_text(fast) == to_text(oracle) &&
+                final_prob.q_min ==
+                    monte_carlo_auth_prob(oracle, *loss, bm.seed(), 256).q_min;
+            identity_rows.push_back({name, "incremental-vs-oracle", incremental_same});
+
+            // (b) service-served designs (fresh, then cache hit, then the
+            // use_incremental=false oracle path) == free-function oracle at
+            // the materialized operating point.
+            DesignRequest req;
+            req.goal = goal;
+            req.method = DesignMethod::kGreedyChannel;
+            req.mean_burst = cell.burst;
+            req.mc_trials = 256;
+
+            Designer incremental_designer;
+            DesignerOptions oracle_opts;
+            oracle_opts.use_incremental = false;
+            Designer oracle_designer(oracle_opts);
+
+            const DesignResult fresh = incremental_designer.design(req);
+            const DesignResult hit = incremental_designer.design(req);
+            const DesignResult via_oracle = oracle_designer.design(req);
+            const DesignRequest mat = incremental_designer.materialize(req);
+            const auto mat_loss = channel_for(mat.goal.p, mat.mean_burst);
+            const DependenceGraph reference = design_greedy_channel(
+                mat.goal, *mat_loss, mat.seed, mat.mc_trials, mat.greedy);
+            const bool served_same =
+                fresh.source == DesignSource::kFresh &&
+                hit.source == DesignSource::kCache && identical(fresh, hit) &&
+                identical(fresh, via_oracle) &&
+                to_text(fresh.graph) == to_text(reference);
+            identity_rows.push_back({name, "served-vs-oracle", served_same});
+
+            if (!incremental_same || !served_same) identity_ok = false;
+            table.add_row({name, "incremental-vs-oracle",
+                           incremental_same ? "yes" : "NO"});
+            table.add_row({name, "served-vs-oracle", served_same ? "yes" : "NO"});
+        }
+        bench::emit(table, "perf_design_cache_identity");
+    }
+
+    // ---------------------------------------------------------------- churn
+    // One shared Designer serves a fleet whose channel states drift across
+    // quantization cells epoch by epoch: early epochs populate cells
+    // (misses), steady state is hits, drift keeps opening new cells.
+    Designer designer;
+    Designer::Stats churn_stats;
+    double hit_rate = 0.0;
+    double median_fresh_ms = 0.0;
+    double median_cached_ms = 0.0;
+    double latency_reduction = 0.0;
+    std::size_t serves = 0;
+    if (!smoke) {
+        bench::section("churn: " + std::to_string(groups) + " groups x " +
+                       std::to_string(epochs) + " epochs, one shared designer");
+
+        // Precomputed frontier for the i.i.d. family at the fleet's common
+        // block size: steady-state serves for that family are O(1) lookups
+        // that never populate the LRU.
+        FrontierSpec spec;
+        spec.method = DesignMethod::kGreedy;
+        spec.n = 64;
+        for (double p = 0.06; p <= 0.44; p += 0.02) spec.p_grid.push_back(p);
+        spec.target_grid = {0.9};
+        const std::size_t frontier_points = designer.precompute_frontier(spec);
+        bench::note("frontier: " + std::to_string(frontier_points) +
+                    " precomputed points (greedy, n=64)");
+
+        Rng rng(bm.seed());
+        std::vector<double> fresh_seconds;
+        std::vector<double> cached_seconds;
+        for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+            for (std::size_t g = 0; g < groups; ++g) {
+                // Per-group base state plus a slow epoch drift: most serves
+                // stay inside a warm cell, the drift front opens new ones.
+                const double base = 0.08 + 0.02 * static_cast<double>(g % 12);
+                const double drift = 0.015 * static_cast<double>(epoch) *
+                                     (g % 3 == 0 ? 1.0 : 0.5);
+                const double jitter = 0.008 * rng.uniform();
+                const bool bursty = g % 4 == 3;
+
+                DesignRequest req;
+                req.goal.n = bursty ? 96 : 64;
+                req.goal.p = base + drift + jitter;
+                req.goal.target_q_min = 0.9;
+                req.method = bursty ? DesignMethod::kGreedyChannel
+                                    : DesignMethod::kGreedy;
+                req.mean_burst = bursty ? 3.0 : 1.0;
+                req.mc_trials = 192;
+                req.block = static_cast<std::uint32_t>(epoch);
+
+                const DesignResult result = designer.design(req);
+                ++serves;
+                (result.source == DesignSource::kFresh ? fresh_seconds
+                                                       : cached_seconds)
+                    .push_back(result.latency_seconds);
+            }
+        }
+
+        churn_stats = designer.stats();
+        const std::uint64_t cached_serves =
+            churn_stats.hits + churn_stats.frontier_hits;
+        hit_rate = serves > 0
+                       ? static_cast<double>(cached_serves) /
+                             static_cast<double>(serves)
+                       : 0.0;
+        median_fresh_ms = median(fresh_seconds) * 1e3;
+        median_cached_ms = median(cached_seconds) * 1e3;
+        latency_reduction =
+            median_cached_ms > 0.0 ? median_fresh_ms / median_cached_ms : 0.0;
+
+        TablePrinter table({"serves", "hits", "frontier", "misses", "stale",
+                            "evictions", "hit_rate", "fresh_ms(p50)",
+                            "cached_ms(p50)", "reduction"});
+        table.add_row({std::to_string(serves), std::to_string(churn_stats.hits),
+                       std::to_string(churn_stats.frontier_hits),
+                       std::to_string(churn_stats.misses),
+                       std::to_string(churn_stats.stale),
+                       std::to_string(churn_stats.evictions),
+                       TablePrinter::num(hit_rate, 3),
+                       TablePrinter::num(median_fresh_ms, 4),
+                       TablePrinter::num(median_cached_ms, 4),
+                       TablePrinter::num(latency_reduction, 1)});
+        bench::emit(table, "perf_design_cache_churn");
+        bench::note("gates: hit_rate >= 0.8, median latency reduction >= 10x");
+    }
+
+    // ------------------------------------------------------------- JSON out
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/BENCH_design_cache.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+        obs::RunManifest manifest = bm.manifest();
+        // The frontier the churn fleet was served from, straight into the
+        // run manifest (empty in smoke runs, which precompute none).
+        manifest.design_frontier = designer.frontier_json();
+        std::fprintf(f, "{\n  \"schema_version\": %d,\n",
+                     obs::RunManifest::kSchemaVersion);
+        std::fprintf(f, "  \"bench\": \"perf_design_cache\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(bm.seed()));
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"identity_ok\": %s,\n", identity_ok ? "true" : "false");
+        std::fprintf(f, "  \"metric\": \"latency_reduction\",\n");
+        std::fprintf(f, "  \"manifest\": %s,\n", manifest.to_json(2).c_str());
+        std::fprintf(f, "  \"identity\": [\n");
+        for (std::size_t i = 0; i < identity_rows.size(); ++i) {
+            const IdentityRow& row = identity_rows[i];
+            std::fprintf(f,
+                         "    {\"cell\": \"%s\", \"gate\": \"%s\", "
+                         "\"identical\": %s}%s\n",
+                         row.cell.c_str(), row.gate,
+                         row.identical ? "true" : "false",
+                         i + 1 < identity_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"results\": [\n");
+        if (!smoke) {
+            std::fprintf(
+                f,
+                "    {\"workload\": \"churn/groups=%zu/epochs=%zu\", "
+                "\"serves\": %zu,\n"
+                "     \"hits\": %llu, \"frontier_hits\": %llu, \"misses\": %llu, "
+                "\"stale\": %llu, \"evictions\": %llu,\n"
+                "     \"hit_rate\": %.4f, \"median_fresh_ms\": %.5f, "
+                "\"median_cached_ms\": %.5f, \"latency_reduction\": %.1f}\n",
+                groups, epochs, serves,
+                static_cast<unsigned long long>(churn_stats.hits),
+                static_cast<unsigned long long>(churn_stats.frontier_hits),
+                static_cast<unsigned long long>(churn_stats.misses),
+                static_cast<unsigned long long>(churn_stats.stale),
+                static_cast<unsigned long long>(churn_stats.evictions),
+                hit_rate, median_fresh_ms, median_cached_ms, latency_reduction);
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        bench::note(std::string("\njson: ") + path);
+    } else {
+        bench::note(std::string("\njson: FAILED to write ") + path);
+    }
+
+    // --------------------------------------------------------------- verdict
+    if (!identity_ok) {
+        bench::note("RESULT: FAIL — a served or incremental design diverged "
+                    "from the uncached oracle");
+        return 1;
+    }
+    if (!smoke && (hit_rate < 0.8 || latency_reduction < 10.0)) {
+        bench::note("RESULT: FAIL — churn acceptance missed (hit_rate " +
+                    TablePrinter::num(hit_rate, 3) + " < 0.8 or reduction " +
+                    TablePrinter::num(latency_reduction, 1) + "x < 10x)");
+        return 1;
+    }
+    bench::note(smoke
+                    ? "RESULT: OK — designs byte-identical to the uncached oracle"
+                    : "RESULT: OK — byte-identity held; hit rate " +
+                          TablePrinter::num(hit_rate, 3) + ", cached serves " +
+                          TablePrinter::num(latency_reduction, 1) +
+                          "x faster than fresh builds");
+    return 0;
+}

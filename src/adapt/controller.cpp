@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "design/constructors.hpp"
+#include "design/service.hpp"
 #include "net/loss.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -17,7 +17,8 @@ AdaptiveController::AdaptiveController(AdaptiveOptions options, std::uint64_t se
                                               options.feedback_timeout_blocks}),
       designed_for_loss_(options.conservative_prior),
       sign_copies_(options.base_sign_copies),
-      cache_(std::make_shared<std::map<std::size_t, DependenceGraph>>()) {
+      designer_(options.designer ? options.designer
+                                 : std::make_shared<design::Designer>()) {
     MCAUTH_EXPECTS(options.target_q_min > 0.0 && options.target_q_min <= 1.0);
     MCAUTH_EXPECTS(options.design_margin >= 0.0);
     MCAUTH_EXPECTS(options.hysteresis >= 0.0);
@@ -93,9 +94,9 @@ bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
     designed_for_burst_ = bursty ? agg.mean_burst : 1.0;
     designed_bursty_ = bursty;
     last_redesign_block_ = next_block;
+    design_epoch_block_ = next_block;
     ever_redesigned_ = true;
     ++redesigns_;
-    cache_ = std::make_shared<std::map<std::size_t, DependenceGraph>>();
     MCAUTH_OBS_COUNT("adapt.ctrl.redesigns");
     MCAUTH_OBS_GAUGE_SET("adapt.ctrl.designed_for_loss", designed_for_loss_);
     MCAUTH_OBS_EVENT(kRedesignTriggered, next_block,
@@ -104,38 +105,31 @@ bool AdaptiveController::on_block_boundary(std::uint32_t next_block) {
 }
 
 std::function<DependenceGraph(std::size_t)> AdaptiveController::topology() const {
-    // Everything is captured by value (the cache by shared_ptr), so the
-    // factory keeps working — with the design it was handed out for —
-    // even after the controller redesigns or is destroyed.
-    const double design_loss = designed_for_loss_;
-    const double burst = designed_for_burst_;
-    const bool bursty = designed_bursty_;
-    const double target = std::min(1.0, options_.target_q_min + options_.design_margin);
+    // Everything is captured by value (the service by shared_ptr), so the
+    // factory keeps working — with the operating point it was handed out
+    // for — even after the controller redesigns or is destroyed: the
+    // service caches by quantized operating point, so an old factory's
+    // requests keep hitting the old design's cell. The seed is left 0 so
+    // the service derives it from the quantized key, which is what lets
+    // every controller in a fleet share one cached design per cell.
+    design::DesignRequest req;
+    req.goal.p = designed_for_loss_;
+    req.goal.target_q_min =
+        std::min(1.0, options_.target_q_min + options_.design_margin);
+    req.method = designed_bursty_ ? design::DesignMethod::kGreedyChannel
+                                  : design::DesignMethod::kGreedy;
+    req.mean_burst = designed_bursty_ ? designed_for_burst_ : 1.0;
+    req.mc_trials = options_.mc_trials;
+    req.block = design_epoch_block_;
     const std::size_t edges_per_packet = options_.max_edges_per_packet;
-    const std::size_t trials = options_.mc_trials;
-    const std::uint64_t seed = seed_ ^ (redesigns_ * 0x9e3779b97f4a7c15ULL);
-    auto cache = cache_;
+    auto designer = designer_;
 
     return [=](std::size_t n) -> DependenceGraph {
-        if (auto it = cache->find(n); it != cache->end()) return it->second;
-
-        DesignGoal goal;
-        goal.n = n;
-        goal.p = design_loss;
-        goal.target_q_min = target;
-        GreedyDesignOptions opts;
-        opts.max_edges = edges_per_packet * n;
-
-        // from_rate_and_burst needs loss in (0,1); the bursty flag implies
-        // observed losses, but a decayed EWMA can read ~0 — floor it.
-        const double ge_rate = std::clamp(design_loss, 1e-3, 0.999);
-        DependenceGraph dg =
-            bursty ? design_greedy_channel(
-                         goal, GilbertElliottLoss::from_rate_and_burst(ge_rate, burst),
-                         seed, trials, opts)
-                   : design_greedy(goal, opts);
-        MCAUTH_OBS_COUNT("adapt.ctrl.designs_built");
-        return cache->emplace(n, std::move(dg)).first->second;
+        design::DesignRequest sized = req;
+        sized.goal.n = n;
+        sized.greedy.max_edges = edges_per_packet * n;
+        MCAUTH_OBS_COUNT("adapt.ctrl.designs_requested");
+        return designer->design(sized).graph;
     };
 }
 

@@ -34,11 +34,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "adapt/feedback.hpp"
 #include "core/dependence_graph.hpp"
+
+namespace mcauth::design {
+class Designer;
+}
 
 namespace mcauth::adapt {
 
@@ -57,6 +60,12 @@ struct AdaptiveOptions {
     double burst_threshold = 1.75;  // mean burst above this -> GE-scored design
     std::size_t mc_trials = 512;    // Monte-Carlo budget per candidate rescore
     std::size_t max_edges_per_packet = 4;
+    /// Design service the controller routes redesigns through. Null (the
+    /// default) gives the controller a private Designer; a fleet shares
+    /// one instance across controllers so groups whose channels land in
+    /// the same quantized cell reuse one cached design
+    /// (design/service.hpp).
+    std::shared_ptr<design::Designer> designer;
 };
 
 class AdaptiveController {
@@ -72,11 +81,21 @@ public:
     /// topology() into its StreamingAuthenticator).
     bool on_block_boundary(std::uint32_t next_block);
 
-    /// Topology factory for StreamingAuthenticator::set_topology. Memoizes
-    /// per block size: design_greedy_channel is far too expensive to run
-    /// on every cut, and StreamingAuthenticator invokes the factory once
-    /// per cut. The cache resets on redesign.
+    /// Topology factory for StreamingAuthenticator::set_topology. The
+    /// factory routes every invocation through the design service
+    /// (design/service.hpp): the first request at an operating point pays
+    /// for a build, every later cut is an LRU hit on the quantized key —
+    /// the shared-cache replacement for the private per-size memo earlier
+    /// revisions kept here. The captured operating point is frozen at
+    /// hand-out time, so a factory keeps serving the design it was handed
+    /// out for even after the controller redesigns or is destroyed.
     std::function<DependenceGraph(std::size_t)> topology() const;
+
+    /// The design service this controller routes through (the shared one
+    /// from AdaptiveOptions::designer, or its private instance).
+    const std::shared_ptr<design::Designer>& designer() const noexcept {
+        return designer_;
+    }
 
     std::size_t sign_copies() const noexcept { return sign_copies_; }
     double designed_for_loss() const noexcept { return designed_for_loss_; }
@@ -98,9 +117,12 @@ private:
     bool ever_redesigned_ = false;
     std::uint64_t redesigns_ = 0;
     std::uint64_t suppressed_ = 0;
-    // Shared with factories already handed out; reset (fresh map) on
-    // redesign so in-flight factories keep their old designs.
-    std::shared_ptr<std::map<std::size_t, DependenceGraph>> cache_;
+    // Boundary block of the current design epoch; stamped into every
+    // DesignRequest so kDesignServed events pair with the
+    // kRedesignTriggered that motivated them (the adaptive-loop suite's
+    // bounded-lag rule).
+    std::uint32_t design_epoch_block_ = 0;
+    std::shared_ptr<design::Designer> designer_;
 };
 
 }  // namespace mcauth::adapt

@@ -23,6 +23,18 @@
 // All constructors evaluate candidates with the same recurrence engine the
 // analyses use, so "meets the target" is by the paper's own metric; the
 // abl_designers bench cross-checks the results with Monte-Carlo.
+//
+// DEPRECATED as application-facing API: new code should request designs
+// through design::Designer (design/service.hpp), which unifies these entry
+// points behind one DesignRequest -> DesignResult interface and adds the
+// fleet-level design cache, the incremental evaluator and the Pareto
+// frontier. The free functions remain as the reference engines the service
+// dispatches to — design_greedy_channel in particular is the full-re-sim
+// oracle the incremental path is bit-identity-gated against — and their
+// signatures are frozen for that role (byte-identity tests in
+// tests/test_design_service.cpp compare Designer output against them).
+// No [[deprecated]] attribute: in-tree oracles and shim tests still call
+// them, and -Werror builds must stay clean.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,612 @@
+#include "design/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.hpp"
+#include "core/serialize.hpp"
+#include "core/topologies.hpp"
+#include "exec/bitslice.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mcauth::design {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Conservative ceiling quantization with an epsilon guard so exact
+/// multiples of the step do not round up a cell from fp noise
+/// (0.20 / 0.02 may evaluate to 10.000000000000002).
+std::uint32_t quantize_up(double value, double step) noexcept {
+    if (!(value > 0.0)) return 0;
+    return static_cast<std::uint32_t>(std::ceil(value / step - 1e-9));
+}
+
+/// Same NaN-skipping minimum core/authprob.cpp uses (file-static there).
+double min_over_non_root(const std::vector<double>& q) {
+    double q_min = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t v = 1; v < q.size(); ++v) {
+        if (std::isnan(q[v])) continue;
+        if (std::isnan(q_min) || q[v] < q_min) q_min = q[v];
+    }
+    return q.size() <= 1 ? 1.0 : q_min;
+}
+
+DependenceGraph copy_with_name(const DependenceGraph& source, std::string name) {
+    std::vector<std::uint32_t> pos(source.packet_count());
+    for (VertexId v = 0; v < source.packet_count(); ++v) pos[v] = source.send_pos(v);
+    DependenceGraph out(source.packet_count(), std::move(pos), std::move(name));
+    for (const Edge& e : source.graph().edges()) out.add_dependence(e.from, e.to);
+    return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+std::string format_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
+const char* design_method_name(DesignMethod method) noexcept {
+    switch (method) {
+        case DesignMethod::kGreedy: return "greedy";
+        case DesignMethod::kGreedyChannel: return "greedy-channel";
+        case DesignMethod::kOffsetSet: return "offset-set";
+        case DesignMethod::kRandom: return "random";
+    }
+    return "unknown";
+}
+
+const char* design_source_name(DesignSource source) noexcept {
+    switch (source) {
+        case DesignSource::kFresh: return "fresh";
+        case DesignSource::kCache: return "cache";
+        case DesignSource::kFrontier: return "frontier";
+    }
+    return "unknown";
+}
+
+std::uint64_t DesignKey::hash() const noexcept {
+    std::uint64_t h = 0x6d63617574686473ULL;  // "mcauthds"
+    const auto mix = [&h](std::uint64_t v) { h = splitmix64(h ^ v); };
+    mix(n);
+    mix(static_cast<std::uint64_t>(method));
+    mix(p_q);
+    mix(burst_q);
+    mix(target_q);
+    mix(trials);
+    mix(max_edges);
+    mix(pinned_seed);
+    return h;
+}
+
+std::uint64_t DesignKey::derived_seed() const noexcept {
+    // One extra round decorrelates the seed stream from the hash-table
+    // stream; the value is a pure function of the key, so every process in
+    // a fleet derives the same seed for the same cell.
+    return splitmix64(hash() ^ 0x64657369676e6564ULL);  // "designed"
+}
+
+std::string DesignKey::to_string() const {
+    std::string out = design_method_name(method);
+    out += "/n=" + std::to_string(n);
+    out += "/p_q=" + std::to_string(p_q);
+    out += "/burst_q=" + std::to_string(burst_q);
+    out += "/target_q=" + std::to_string(target_q);
+    out += "/trials=" + std::to_string(trials);
+    out += "/max_edges=" + std::to_string(max_edges);
+    if (pinned_seed != 0) out += "/seed=" + std::to_string(pinned_seed);
+    return out;
+}
+
+bool identical(const DesignResult& a, const DesignResult& b) {
+    return a.feasible == b.feasible && a.offsets == b.offsets &&
+           a.edge_prob == b.edge_prob && to_text(a.graph) == to_text(b.graph);
+}
+
+// ------------------------------------------------------------------ Designer
+
+Designer::Designer(DesignerOptions options) : options_(options) {
+    MCAUTH_EXPECTS(options_.cache_capacity >= 1);
+    MCAUTH_EXPECTS(options_.p_step > 0.0);
+    MCAUTH_EXPECTS(options_.burst_step > 0.0);
+    MCAUTH_EXPECTS(options_.target_step > 0.0);
+}
+
+DesignKey Designer::quantize(const DesignRequest& request) const {
+    DesignKey key;
+    key.n = static_cast<std::uint32_t>(request.goal.n);
+    key.method = request.method;
+    key.p_q = quantize_up(request.goal.p, options_.p_step);
+    // Burst and trial budget only shape the Monte-Carlo families; zeroing
+    // them elsewhere keeps analytically-identical requests on one key.
+    key.burst_q = request.method == DesignMethod::kGreedyChannel &&
+                          request.mean_burst > 1.0
+                      ? quantize_up(request.mean_burst, options_.burst_step)
+                      : 0;
+    key.target_q = quantize_up(request.goal.target_q_min, options_.target_step);
+    key.trials = request.method == DesignMethod::kGreedyChannel
+                     ? static_cast<std::uint32_t>(request.mc_trials)
+                     : 0;
+    key.max_edges = static_cast<std::uint32_t>(
+        request.greedy.max_edges == 0 ? 4 * request.goal.n
+                                      : request.greedy.max_edges);
+    key.pinned_seed = request.seed;
+    return key;
+}
+
+DesignRequest Designer::materialize(const DesignRequest& request) const {
+    const DesignKey key = quantize(request);
+    DesignRequest mat = request;
+    // Snap to the cell's conservative corner: the served design protects
+    // the worst channel state that maps to this key. The loss rate is
+    // capped below 1 (the constructors require a design point, not a
+    // certainty of loss).
+    mat.goal.p = std::min(key.p_q * options_.p_step, 0.995);
+    mat.goal.target_q_min = std::min(key.target_q * options_.target_step, 1.0);
+    mat.mean_burst = key.burst_q == 0 ? 1.0 : key.burst_q * options_.burst_step;
+    mat.greedy.max_edges = key.max_edges;
+    if (mat.seed == 0) mat.seed = key.derived_seed();
+    return mat;
+}
+
+DesignResult Designer::build_fresh(const DesignRequest& materialized) const {
+    const DesignRequest& req = materialized;
+    DesignResult result;
+    switch (req.method) {
+        case DesignMethod::kGreedy: {
+            result.graph = design_greedy(req.goal, req.greedy);
+            result.q_min = recurrence_auth_prob(result.graph, req.goal.p).q_min;
+            result.feasible = result.q_min >= req.goal.target_q_min;
+            break;
+        }
+        case DesignMethod::kGreedyChannel: {
+            const double rate = std::clamp(req.goal.p, 1e-3, 0.999);
+            std::unique_ptr<LossModel> loss;
+            if (req.mean_burst > 1.0)
+                loss = std::make_unique<GilbertElliottLoss>(
+                    GilbertElliottLoss::from_rate_and_burst(rate, req.mean_burst));
+            else
+                loss = std::make_unique<BernoulliLoss>(rate);
+            MonteCarloAuthProb prob;
+            if (options_.use_incremental) {
+                result.graph = design_greedy_channel_incremental(
+                    req.goal, *loss, req.seed, req.mc_trials, req.greedy, &prob);
+            } else {
+                result.graph = design_greedy_channel(req.goal, *loss, req.seed,
+                                                     req.mc_trials, req.greedy);
+                prob = monte_carlo_auth_prob(result.graph, *loss, req.seed,
+                                             req.mc_trials);
+            }
+            result.q_min = prob.q_min;
+            result.feasible = result.q_min >= req.goal.target_q_min;
+            break;
+        }
+        case DesignMethod::kOffsetSet: {
+            const OffsetDesignResult found =
+                design_offset_set(req.goal, req.offset_menu);
+            result.feasible = found.feasible;
+            result.offsets = found.offsets;
+            // Infeasible searches still materialize the minimal spine so a
+            // caller always gets a valid (best-effort) topology back.
+            result.graph = make_offset_scheme(
+                req.goal.n, found.feasible ? found.offsets
+                                           : std::vector<std::size_t>{1},
+                "offset-design");
+            result.q_min = found.feasible
+                               ? found.q_min
+                               : recurrence_auth_prob(result.graph, req.goal.p).q_min;
+            break;
+        }
+        case DesignMethod::kRandom: {
+            Rng rng(req.seed == 0 ? 1 : req.seed);
+            const RandomDesignResult found =
+                design_random(req.goal, rng, req.random_tolerance);
+            result.feasible = found.feasible;
+            result.edge_prob = found.edge_prob;
+            if (found.feasible) {
+                Rng draw_rng(rng.next_u64());
+                result.graph =
+                    make_random_scheme(req.goal.n, found.edge_prob, draw_rng);
+            } else {
+                result.graph = make_offset_scheme(req.goal.n, {1}, "random-design");
+            }
+            result.q_min = recurrence_auth_prob(result.graph, req.goal.p).q_min;
+            break;
+        }
+    }
+    MCAUTH_OBS_COUNT("design.service.builds");
+    return result;
+}
+
+DesignResult Designer::serve(const std::shared_ptr<const DesignResult>& stored,
+                             DesignSource source, std::uint32_t block,
+                             double latency_seconds) {
+    DesignResult out = *stored;
+    out.source = source;
+    out.latency_seconds = latency_seconds;
+    MCAUTH_OBS_EVENT(kDesignServed, block, static_cast<std::uint32_t>(source), 0,
+                     latency_seconds);
+    return out;
+}
+
+DesignResult Designer::design(const DesignRequest& request) {
+    const auto start = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++serves_;
+    const DesignKey key = quantize(request);
+
+    if (auto it = cache_.find(key); it != cache_.end()) {
+        const bool stale =
+            options_.stale_after_serves != 0 &&
+            serves_ - it->second->inserted_at_serve > options_.stale_after_serves;
+        if (!stale) {
+            lru_.splice(lru_.begin(), lru_, it->second);  // touch
+            ++stats_.hits;
+            MCAUTH_OBS_COUNT("design.cache.hits");
+            return serve(it->second->result, DesignSource::kCache, request.block,
+                         seconds_since(start));
+        }
+        ++stats_.stale;
+        MCAUTH_OBS_COUNT("design.cache.stale");
+        lru_.erase(it->second);
+        cache_.erase(it);
+    }
+
+    if (auto it = frontier_.find(key); it != frontier_.end()) {
+        ++stats_.frontier_hits;
+        MCAUTH_OBS_COUNT("design.cache.frontier_hits");
+        return serve(it->second.result, DesignSource::kFrontier, request.block,
+                     seconds_since(start));
+    }
+
+    ++stats_.misses;
+    MCAUTH_OBS_COUNT("design.cache.misses");
+    auto built =
+        std::make_shared<const DesignResult>(build_fresh(materialize(request)));
+    lru_.push_front(CacheEntry{key, built, serves_});
+    cache_[key] = lru_.begin();
+    while (cache_.size() > options_.cache_capacity) {
+        cache_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+        MCAUTH_OBS_COUNT("design.cache.evictions");
+    }
+    MCAUTH_OBS_GAUGE_SET("design.cache.size", cache_.size());
+    return serve(built, DesignSource::kFresh, request.block, seconds_since(start));
+}
+
+std::size_t Designer::precompute_frontier(const FrontierSpec& spec) {
+    MCAUTH_EXPECTS(spec.n >= 2);
+    MCAUTH_EXPECTS(!spec.p_grid.empty());
+    MCAUTH_EXPECTS(!spec.burst_grid.empty());
+    MCAUTH_EXPECTS(!spec.target_grid.empty());
+    const SchemeParams params;  // defaults: metric shape, not wire bytes
+    std::size_t added = 0;
+
+    for (const double p : spec.p_grid) {
+        for (const double burst : spec.burst_grid) {
+            for (const double target : spec.target_grid) {
+                DesignRequest req;
+                req.goal.n = spec.n;
+                req.goal.p = p;
+                req.goal.target_q_min = target;
+                req.method = spec.method;
+                req.mean_burst = burst;
+                req.mc_trials = spec.mc_trials;
+                req.greedy.max_edges = spec.max_edges_per_packet * spec.n;
+
+                const DesignKey key = quantize(req);
+                const DesignRequest mat = materialize(req);
+                auto built = std::make_shared<const DesignResult>(build_fresh(mat));
+                const GraphMetrics metrics = compute_metrics(built->graph, params);
+
+                FrontierEntry entry;
+                entry.key = key;
+                entry.p = mat.goal.p;
+                entry.mean_burst = mat.mean_burst;
+                entry.target = mat.goal.target_q_min;
+                entry.hashes_per_packet = metrics.hashes_per_packet;
+                entry.max_receiver_delay = metrics.max_receiver_delay;
+                entry.q_min = built->q_min;
+                entry.result = std::move(built);
+
+                std::lock_guard<std::mutex> lock(mu_);
+                frontier_[key] = std::move(entry);
+                ++added;
+            }
+        }
+    }
+
+    // Recompute Pareto flags for the family: an entry is dominated when
+    // another entry of the same family and block size is no worse on every
+    // axis (fewer hashes, higher q_min, less delay) and strictly better on
+    // at least one.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FrontierEntry*> family;
+    for (auto& [key, entry] : frontier_)
+        if (key.method == spec.method && key.n == spec.n)
+            family.push_back(&entry);
+    for (FrontierEntry* e : family) {
+        bool dominated = false;
+        for (const FrontierEntry* other : family) {
+            if (other == e) continue;
+            const bool no_worse =
+                other->hashes_per_packet <= e->hashes_per_packet &&
+                other->q_min >= e->q_min &&
+                other->max_receiver_delay <= e->max_receiver_delay;
+            const bool strictly_better =
+                other->hashes_per_packet < e->hashes_per_packet ||
+                other->q_min > e->q_min ||
+                other->max_receiver_delay < e->max_receiver_delay;
+            if (no_worse && strictly_better) {
+                dominated = true;
+                break;
+            }
+        }
+        e->pareto = !dominated;
+    }
+    MCAUTH_OBS_GAUGE_SET("design.frontier.size", frontier_.size());
+    return added;
+}
+
+std::size_t Designer::frontier_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frontier_.size();
+}
+
+std::string Designer::frontier_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (frontier_.empty()) return "";
+    std::vector<const FrontierEntry*> entries;
+    entries.reserve(frontier_.size());
+    for (const auto& [key, entry] : frontier_) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const FrontierEntry* a, const FrontierEntry* b) {
+                  return a->key.to_string() < b->key.to_string();
+              });
+    std::string out = "{\"schema\": \"mcauth-design-frontier-v1\", \"entries\": [";
+    bool first = true;
+    for (const FrontierEntry* e : entries) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "{\"method\": \"";
+        out += design_method_name(e->key.method);
+        out += "\", \"n\": " + std::to_string(e->key.n);
+        out += ", \"p\": " + format_double(e->p);
+        out += ", \"burst\": " + format_double(e->mean_burst);
+        out += ", \"target\": " + format_double(e->target);
+        out += ", \"edges\": " + std::to_string(e->result->graph.graph().edge_count());
+        out += ", \"hashes_per_packet\": " + format_double(e->hashes_per_packet);
+        out += ", \"q_min\": " + format_double(e->q_min);
+        out += ", \"max_delay\": " + format_double(e->max_receiver_delay);
+        out += ", \"pareto\": ";
+        out += e->pareto ? "true" : "false";
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+Designer::Stats Designer::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t Designer::cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+void Designer::clear_cache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    lru_.clear();
+}
+
+// ------------------------------------- IncrementalChannelEvaluator
+
+IncrementalChannelEvaluator::IncrementalChannelEvaluator(const DependenceGraph& dg,
+                                                         const LossModel& loss,
+                                                         std::uint64_t seed,
+                                                         std::size_t trials)
+    : n_(dg.packet_count()), trials_(trials) {
+    MCAUTH_EXPECTS(trials >= 1);
+    MCAUTH_EXPECTS(n_ >= 2);
+
+    preds_.resize(n_);
+    succs_.resize(n_);
+    for (const Edge& e : dg.graph().edges()) {
+        // Ascending-id sweep order is the whole delta-correctness story:
+        // designer-built graphs only ever link earlier packets to later
+        // ones, and the evaluator refuses anything else.
+        MCAUTH_EXPECTS(e.from < e.to);
+        preds_[e.to].push_back(e.from);
+        succs_[e.from].push_back(e.to);
+    }
+
+    const exec::BitslicedTrials bt(trials, seed);
+    batch_count_ = bt.batch_count();
+    alive_.assign(batch_count_ * n_, 0);
+    reach_.assign(batch_count_ * n_, 0);
+    active_.assign(batch_count_, 0);
+    received_.assign(n_, 0);
+    verified_.assign(n_, 0);
+    dirty_.assign(n_, 0);
+
+    // Sample every batch exactly as core/authprob.cpp's bit-sliced shard
+    // does: per-batch lane seeding, model reset, one bulk sample in
+    // transmission order, scatter to vertex ids. The alive words never
+    // change again — edges do not affect the channel.
+    const auto batched = loss.make_batched();
+    std::vector<Rng> lanes;
+    std::vector<std::uint64_t> lost(n_, 0);
+    for (std::size_t b = 0; b < batch_count_; ++b) {
+        bt.seed_lanes(b, lanes);
+        batched->reset();
+        batched->sample_block(lanes.data(), lost.data(), n_);
+        std::uint64_t* alive = alive_.data() + b * n_;
+        std::uint64_t* reach = reach_.data() + b * n_;
+        for (std::uint32_t pos = 0; pos < n_; ++pos)
+            alive[dg.vertex_at_send_pos(pos)] = ~lost[pos];
+        reach[DependenceGraph::root()] = ~0ULL;
+        for (std::size_t v = 1; v < n_; ++v) {
+            std::uint64_t from_preds = 0;
+            for (VertexId u : preds_[v]) from_preds |= reach[u];
+            reach[v] = from_preds & alive[v];
+        }
+        const std::uint64_t active = bt.active_mask(b);
+        active_[b] = active;
+        for (std::size_t v = 1; v < n_; ++v) {
+            received_[v] +=
+                static_cast<std::uint64_t>(std::popcount(alive[v] & active));
+            verified_[v] +=
+                static_cast<std::uint64_t>(std::popcount(reach[v] & active));
+        }
+    }
+}
+
+void IncrementalChannelEvaluator::add_edge(VertexId u, VertexId v) {
+    MCAUTH_EXPECTS(u < v && v < n_);
+    MCAUTH_EXPECTS(std::find(preds_[v].begin(), preds_[v].end(), u) ==
+                   preds_[v].end());
+    preds_[v].push_back(u);
+    succs_[u].push_back(v);
+    resweep_cone(v);
+}
+
+void IncrementalChannelEvaluator::remove_edge(VertexId u, VertexId v) {
+    MCAUTH_EXPECTS(u < v && v < n_);
+    auto pit = std::find(preds_[v].begin(), preds_[v].end(), u);
+    MCAUTH_EXPECTS(pit != preds_[v].end());
+    preds_[v].erase(pit);
+    succs_[u].erase(std::find(succs_[u].begin(), succs_[u].end(), v));
+    resweep_cone(v);
+}
+
+void IncrementalChannelEvaluator::resweep_cone(VertexId w) {
+    // Per batch: re-derive reach only where it can have moved. A vertex is
+    // dirty when an incoming edge changed (w itself) or a predecessor's
+    // reach word changed; the forward scan in id order visits dirty
+    // vertices after all their predecessors are final, so one pass settles
+    // the cone. Unchanged words cut propagation immediately, which is what
+    // keeps the typical cone a small fraction of the graph.
+    for (std::size_t b = 0; b < batch_count_; ++b) {
+        const std::uint64_t* alive = alive_.data() + b * n_;
+        std::uint64_t* reach = reach_.data() + b * n_;
+        const std::uint64_t active = active_[b];
+        dirty_[w] = 1;
+        for (std::size_t v = w; v < n_; ++v) {
+            if (!dirty_[v]) continue;
+            dirty_[v] = 0;
+            ++swept_vertices_;
+            std::uint64_t from_preds = 0;
+            for (VertexId u : preds_[v]) from_preds |= reach[u];
+            const std::uint64_t next = from_preds & alive[v];
+            const std::uint64_t prev = reach[v];
+            if (next == prev) continue;
+            reach[v] = next;
+            verified_[v] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(verified_[v]) +
+                (std::popcount(next & active) - std::popcount(prev & active)));
+            for (VertexId s : succs_[v]) dirty_[s] = 1;
+        }
+    }
+}
+
+MonteCarloAuthProb IncrementalChannelEvaluator::auth_prob() const {
+    // Mirrors the count -> estimate arithmetic at the end of
+    // monte_carlo_auth_prob exactly: same divisions on the same integers,
+    // NaN for never-received vertices, Wilson halfwidths, argmin that never
+    // selects NaN.
+    MonteCarloAuthProb result;
+    result.trials = trials_;
+    result.q.assign(n_, 1.0);
+    result.halfwidth.assign(n_, 0.0);
+    std::size_t argmin = 0;
+    for (std::size_t v = 1; v < n_; ++v) {
+        result.q[v] = received_[v] == 0
+                          ? std::numeric_limits<double>::quiet_NaN()
+                          : static_cast<double>(verified_[v]) /
+                                static_cast<double>(received_[v]);
+        result.halfwidth[v] = received_[v] == 0
+                                  ? std::numeric_limits<double>::quiet_NaN()
+                                  : wilson_halfwidth(result.q[v], received_[v]);
+        if (result.q[v] < result.q[argmin]) argmin = v;
+    }
+    result.q_min = min_over_non_root(result.q);
+    if (argmin != 0) result.q_min_halfwidth = result.halfwidth[argmin];
+    return result;
+}
+
+DependenceGraph design_greedy_channel_incremental(const DesignGoal& goal,
+                                                  const LossModel& loss,
+                                                  std::uint64_t seed,
+                                                  std::size_t trials,
+                                                  const GreedyDesignOptions& options,
+                                                  MonteCarloAuthProb* final_prob) {
+    MCAUTH_EXPECTS(goal.n >= 2);
+    MCAUTH_EXPECTS(goal.target_q_min > 0.0 && goal.target_q_min <= 1.0);
+    MCAUTH_EXPECTS(trials > 0);
+
+    // Identical setup to design_greedy_channel — including the scheme name,
+    // which to_text() serializes, so byte-identity covers the full artifact.
+    DependenceGraph dg = copy_with_name(make_offset_scheme(goal.n, {1}), "greedy-channel");
+    const std::size_t edge_cap = options.max_edges == 0 ? 4 * goal.n : options.max_edges;
+    const double p_eff = loss.stationary_loss_rate();
+    const auto resolved = [](double q) { return std::isnan(q) ? 1.0 : q; };
+
+    IncrementalChannelEvaluator eval(dg, loss, seed, trials);
+
+    while (dg.graph().edge_count() < edge_cap) {
+        const MonteCarloAuthProb prob = eval.auth_prob();
+        if (prob.q_min >= goal.target_q_min) break;
+
+        VertexId worst = 1;
+        for (VertexId v = 1; v < goal.n; ++v)
+            if (resolved(prob.q[v]) < resolved(prob.q[worst])) worst = v;
+        const double q_worst = resolved(prob.q[worst]);
+
+        VertexId best_donor = kNoVertex;
+        double best_q = q_worst;
+        for (std::size_t back = 2;; back *= 2) {
+            const VertexId donor =
+                back >= worst ? DependenceGraph::root() : static_cast<VertexId>(worst - back);
+            if (!dg.graph().has_edge(donor, worst)) {
+                const double r = donor == DependenceGraph::root() ? 1.0 : 1.0 - p_eff;
+                const double candidate_q =
+                    1.0 - (1.0 - q_worst) * (1.0 - r * resolved(prob.q[donor]));
+                if (candidate_q > best_q + 1e-12) {
+                    best_q = candidate_q;
+                    best_donor = donor;
+                }
+            }
+            if (donor == DependenceGraph::root()) break;
+        }
+        if (best_donor == kNoVertex) break;
+        dg.add_dependence(best_donor, worst);
+        eval.add_edge(best_donor, worst);
+    }
+    MCAUTH_OBS_COUNT_N("design.service.delta_swept_vertices", eval.swept_vertices());
+    if (final_prob) *final_prob = eval.auth_prob();
+    return dg;
+}
+
+}  // namespace mcauth::design

@@ -1,0 +1,312 @@
+// Design-as-a-service: the unified Designer API over the §5 constructors,
+// plus the machinery that makes design cheap enough to run per group at
+// fleet scale (DESIGN.md §15).
+//
+// Three layers, composable but independently testable:
+//
+//   * IncrementalChannelEvaluator — the greedy-channel designer's inner
+//     loop re-scores the whole graph by Monte-Carlo after every edge it
+//     adds. But an edge (u, w) can only change reachability in the
+//     downstream cone of w, and the sampled loss patterns do not depend on
+//     the edge set at all. The evaluator samples every trial's alive words
+//     ONCE (exactly as core/authprob.cpp's bit-sliced shard does), keeps
+//     the per-batch reach words, and on add_edge/remove_edge re-sweeps only
+//     the dirty cone, maintaining the received/verified counts by popcount
+//     delta. The resulting q vector is bit-identical to a full re-sim —
+//     same integer counts, same divisions — which
+//     design_greedy_channel_incremental exploits to reproduce the oracle's
+//     greedy decisions (and therefore its output graph) byte for byte.
+//
+//   * Designer — one DesignRequest -> DesignResult entry point in front of
+//     design_greedy / design_greedy_channel / design_offset_set /
+//     design_random (mirroring the SchemeFactory pattern in auth/scheme.hpp).
+//     Requests are quantized onto a conservative grid (loss rate, burst
+//     length and target rounded UP, so a cached design never under-protects
+//     the cell it serves) and the quantized key indexes an LRU design cache
+//     with hit/miss/stale/eviction counters. The design seed is derived
+//     from the quantized key — NOT from any per-controller state — so every
+//     group whose channel lands in the same cell shares one byte-identical
+//     design, which is what makes the cache a fleet-level amortizer rather
+//     than a per-session memo.
+//
+//   * Pareto frontier — precompute_frontier() sweeps a grid of operating
+//     points for one topology family ahead of time; steady-state serving is
+//     then an O(1) hash lookup, and the frontier (overhead vs q_min vs
+//     delay, with dominated points flagged) serializes into the run
+//     manifest (obs/manifest.hpp) so a bench result records exactly which
+//     precomputed designs it was served.
+//
+// Every serve emits a kDesignServed structured event (source + latency) and
+// bumps design.cache.* counters; the adaptive-loop expectation suite's
+// "design-served-after-redesign" bounded-lag rule rides on the event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/authprob.hpp"
+#include "design/constructors.hpp"
+#include "net/loss.hpp"
+
+namespace mcauth::design {
+
+/// Which §5 constructor family a request targets. Doubles as the cache
+/// key's "topology family" component and the frontier's family tag.
+enum class DesignMethod : std::uint8_t {
+    kGreedy = 0,         // recurrence-scored greedy augmentation (i.i.d.)
+    kGreedyChannel = 1,  // Monte-Carlo-scored greedy under a fitted channel
+    kOffsetSet = 2,      // exact search over periodic offset subsets
+    kRandom = 3,         // probabilistic construction, binary-searched p_x
+};
+
+/// Stable wire name ("greedy", "greedy-channel", "offset-set", "random").
+const char* design_method_name(DesignMethod method) noexcept;
+
+/// Where a served design came from.
+enum class DesignSource : std::uint8_t {
+    kFresh = 0,     // built by the constructor on this call
+    kCache = 1,     // LRU hit on the quantized key
+    kFrontier = 2,  // precomputed Pareto-frontier entry
+};
+
+const char* design_source_name(DesignSource source) noexcept;
+
+/// One design request. Everything that changes the produced graph is part
+/// of the quantized cache key; `block` is event context only.
+struct DesignRequest {
+    DesignGoal goal;  // n, loss rate p, target q_min
+    DesignMethod method = DesignMethod::kGreedy;
+    /// Mean burst length of the fitted channel; <= 1.0 means i.i.d. loss.
+    /// Only kGreedyChannel consumes it (as GilbertElliottLoss::
+    /// from_rate_and_burst(p, mean_burst)).
+    double mean_burst = 1.0;
+    std::size_t mc_trials = 512;       // kGreedyChannel rescore budget
+    GreedyDesignOptions greedy;        // max_edges (0 = 4n cap)
+    std::vector<std::size_t> offset_menu;  // kOffsetSet ("" = default menu)
+    double random_tolerance = 1e-3;    // kRandom binary-search tolerance
+    /// Block id carried into the kDesignServed event (reaction-time
+    /// bookkeeping); NOT part of the cache key.
+    std::uint32_t block = 0;
+    /// 0 = derive the design seed from the quantized key (the fleet-sharing
+    /// default); nonzero pins an explicit seed (and joins the cache key, so
+    /// pinned-seed requests never alias derived-seed ones).
+    std::uint64_t seed = 0;
+};
+
+/// Quantized cache key. Loss rate, burst and target are conservative
+/// ceilings (value <= quantum * step always holds), so every channel state
+/// inside a cell is served a design built for the cell's WORST corner.
+struct DesignKey {
+    std::uint32_t n = 0;
+    DesignMethod method = DesignMethod::kGreedy;
+    std::uint32_t p_q = 0;       // ceil(p / p_step)
+    std::uint32_t burst_q = 0;   // ceil(mean_burst / burst_step); 0 = i.i.d.
+    std::uint32_t target_q = 0;  // ceil(target_q_min / target_step)
+    std::uint32_t trials = 0;    // kGreedyChannel only; 0 otherwise
+    std::uint32_t max_edges = 0; // resolved cap (4n when request said 0)
+    std::uint64_t pinned_seed = 0;  // nonzero only for explicit-seed requests
+
+    friend bool operator==(const DesignKey&, const DesignKey&) = default;
+
+    std::uint64_t hash() const noexcept;
+    /// The deterministic design seed for derived-seed requests: a pure
+    /// function of the key, identical across processes and controllers.
+    std::uint64_t derived_seed() const noexcept;
+    std::string to_string() const;  // "greedy-channel/n=128/p_q=10/..."
+};
+
+struct DesignKeyHash {
+    std::size_t operator()(const DesignKey& k) const noexcept {
+        return static_cast<std::size_t>(k.hash());
+    }
+};
+
+struct DesignResult {
+    DependenceGraph graph{2, {0, 1}, "unset"};
+    std::vector<std::size_t> offsets;  // kOffsetSet: the chosen offset set
+    double edge_prob = 0.0;            // kRandom: the found edge probability
+    bool feasible = true;              // kOffsetSet/kRandom may fail the target
+    /// The designer's own metric at the materialized (quantized) operating
+    /// point: recurrence q_min for the analytic families, the final
+    /// Monte-Carlo q_min for kGreedyChannel.
+    double q_min = 0.0;
+    DesignSource source = DesignSource::kFresh;
+    double latency_seconds = 0.0;  // wall time of this serve
+};
+
+/// Exact-key identity: two results are identical iff their graphs
+/// serialize to the same bytes (core/serialize.hpp) and the auxiliary
+/// outputs (offsets, edge probability, feasibility) match. Source/latency
+/// are serve metadata and do not participate.
+bool identical(const DesignResult& a, const DesignResult& b);
+
+struct DesignerOptions {
+    std::size_t cache_capacity = 256;  // LRU entries
+    double p_step = 0.02;       // loss-rate quantization step
+    double burst_step = 0.5;    // mean-burst quantization step
+    double target_step = 0.01;  // target-q_min quantization step
+    /// Cache entries older than this many serves are re-built on lookup
+    /// (counted in design.cache.stale); 0 = entries never go stale.
+    std::uint64_t stale_after_serves = 0;
+    /// false routes kGreedyChannel through the full-re-sim oracle
+    /// (design_greedy_channel) instead of the incremental evaluator — the
+    /// identity-gate configuration perf_design_cache compares against.
+    bool use_incremental = true;
+};
+
+/// Grid specification for precompute_frontier. Grid points are quantized
+/// through the same key function requests use, so any request inside a
+/// precomputed cell is served the frontier entry.
+struct FrontierSpec {
+    DesignMethod method = DesignMethod::kGreedy;
+    std::size_t n = 128;
+    std::vector<double> p_grid;            // loss rates
+    std::vector<double> burst_grid{1.0};   // mean bursts (1.0 = i.i.d.)
+    std::vector<double> target_grid{0.9};  // target q_min values
+    std::size_t mc_trials = 512;
+    std::size_t max_edges_per_packet = 4;
+};
+
+/// One precomputed operating point. `pareto` marks the points not
+/// dominated in (hashes_per_packet minimized, q_min maximized,
+/// max_receiver_delay minimized) within their family.
+struct FrontierEntry {
+    DesignKey key;
+    double p = 0.0;
+    double mean_burst = 1.0;
+    double target = 0.0;
+    std::shared_ptr<const DesignResult> result;
+    double hashes_per_packet = 0.0;
+    double max_receiver_delay = 0.0;
+    double q_min = 0.0;
+    bool pareto = false;
+};
+
+/// Thread-safe design service: quantize -> cache -> frontier -> fresh
+/// build. One instance is meant to be SHARED (std::shared_ptr) across every
+/// adaptive controller of a fleet; see adapt::AdaptiveOptions::designer.
+class Designer {
+public:
+    explicit Designer(DesignerOptions options = {});
+
+    /// Serve one design. Cached and fresh results for the same quantized
+    /// key are byte-identical (see identical()).
+    DesignResult design(const DesignRequest& request);
+
+    /// The quantized cache key of a request (exposed so tests and the
+    /// identity-gate bench can reproduce the exact oracle inputs).
+    DesignKey quantize(const DesignRequest& request) const;
+
+    /// The request the service actually designs for: goal/burst/target
+    /// snapped to the key's conservative grid corner, seed resolved (derived
+    /// from the key when the request left it 0), max_edges resolved.
+    DesignRequest materialize(const DesignRequest& request) const;
+
+    /// Precompute the full grid of `spec` into the frontier store and
+    /// recompute Pareto flags for the family. Returns the number of grid
+    /// points added (existing keys are overwritten, not duplicated).
+    std::size_t precompute_frontier(const FrontierSpec& spec);
+    std::size_t frontier_size() const;
+    /// Single-line JSON rendering of the frontier store (schema
+    /// "mcauth-design-frontier-v1"), for embedding into RunManifest; ""
+    /// when no frontier was precomputed.
+    std::string frontier_json() const;
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t stale = 0;
+        std::uint64_t frontier_hits = 0;
+    };
+    Stats stats() const;
+    std::size_t cache_size() const;
+    void clear_cache();
+
+    const DesignerOptions& options() const noexcept { return options_; }
+
+private:
+    struct CacheEntry {
+        DesignKey key;
+        std::shared_ptr<const DesignResult> result;
+        std::uint64_t inserted_at_serve = 0;
+    };
+
+    DesignResult build_fresh(const DesignRequest& materialized) const;
+    DesignResult serve(const std::shared_ptr<const DesignResult>& stored,
+                       DesignSource source, std::uint32_t block,
+                       double latency_seconds);
+
+    mutable std::mutex mu_;
+    DesignerOptions options_;
+    std::list<CacheEntry> lru_;  // front = most recently used
+    std::unordered_map<DesignKey, std::list<CacheEntry>::iterator, DesignKeyHash>
+        cache_;
+    std::unordered_map<DesignKey, FrontierEntry, DesignKeyHash> frontier_;
+    std::uint64_t serves_ = 0;
+    Stats stats_;
+};
+
+/// Incremental Monte-Carlo evaluator for greedy-channel design: samples the
+/// trial loss patterns once at construction (bit-identical to the
+/// core/authprob.cpp bit-sliced shard on the same (loss, seed, trials)),
+/// then maintains per-batch reach words and per-vertex counts under
+/// add_edge/remove_edge by re-sweeping only the affected downstream cone.
+///
+/// Requires every edge (u, v) to satisfy u < v — true of every designer-
+/// built graph (offset spine plus donor-before-worst augmentation) — so
+/// ascending vertex id is a valid topological sweep order and "the cone of
+/// w" is a forward scan from w.
+class IncrementalChannelEvaluator {
+public:
+    IncrementalChannelEvaluator(const DependenceGraph& dg, const LossModel& loss,
+                                std::uint64_t seed, std::size_t trials);
+
+    void add_edge(VertexId u, VertexId v);
+    void remove_edge(VertexId u, VertexId v);
+
+    /// The exact MonteCarloAuthProb monte_carlo_auth_prob(dg', loss, seed,
+    /// trials) would return for the CURRENT edge set dg' — bit-identical
+    /// q/q_min/halfwidths (same integer counts, same arithmetic).
+    MonteCarloAuthProb auth_prob() const;
+
+    std::size_t packet_count() const noexcept { return n_; }
+    /// Vertices visited by delta sweeps since construction (telemetry: the
+    /// full re-sim equivalent is n * batches per rescore).
+    std::uint64_t swept_vertices() const noexcept { return swept_vertices_; }
+
+private:
+    void resweep_cone(VertexId w);
+
+    std::size_t n_ = 0;
+    std::size_t trials_ = 0;
+    std::size_t batch_count_ = 0;
+    std::vector<std::vector<VertexId>> preds_;
+    std::vector<std::vector<VertexId>> succs_;
+    std::vector<std::uint64_t> alive_;   // [b * n + v], fixed after sampling
+    std::vector<std::uint64_t> reach_;   // [b * n + v], maintained
+    std::vector<std::uint64_t> active_;  // per-batch ghost-lane mask
+    std::vector<std::uint64_t> received_;  // per-vertex, fixed
+    std::vector<std::uint64_t> verified_;  // per-vertex, maintained
+    std::vector<std::uint8_t> dirty_;      // sweep scratch
+    std::uint64_t swept_vertices_ = 0;
+};
+
+/// design_greedy_channel with the full per-iteration re-simulation replaced
+/// by the incremental evaluator. Produces a graph byte-identical to
+/// design_greedy_channel(goal, loss, seed, trials, options) — same greedy
+/// decisions on the same bit-identical q vectors — at a fraction of the
+/// cost. `final_prob`, when non-null, receives the Monte-Carlo evaluation
+/// of the RETURNED graph (free here: the counts are already maintained).
+DependenceGraph design_greedy_channel_incremental(
+    const DesignGoal& goal, const LossModel& loss, std::uint64_t seed,
+    std::size_t trials, const GreedyDesignOptions& options = {},
+    MonteCarloAuthProb* final_prob = nullptr);
+
+}  // namespace mcauth::design

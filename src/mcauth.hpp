@@ -85,6 +85,7 @@
 // design
 #include "design/constructors.hpp"
 #include "design/optimizer.hpp"
+#include "design/service.hpp"
 
 // auth
 #include "auth/hash_chain_scheme.hpp"

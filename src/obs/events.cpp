@@ -31,6 +31,7 @@ const char* event_name(EventId id) noexcept {
         case EventId::kRegimeShift: return "RegimeShift";
         case EventId::kPopulationBlock: return "PopulationBlock";
         case EventId::kBlameAttributed: return "BlameAttributed";
+        case EventId::kDesignServed: return "DesignServed";
     }
     return "Unknown";
 }

@@ -18,6 +18,7 @@
 //  10  RegimeShift        channel ground truth moved block   0           0     new loss rate
 //  11  PopulationBlock    population engine block    block   leaf count  0     1%-ile trial q
 //  12  BlameAttributed    failure causally classified block  seq/vertex  rcvr  FailureClass
+//  13  DesignServed       design service answered    block   DesignSource 0    latency (s)
 //
 // "actor" is a receiver id (0 for sender-side events); "value" is the one
 // floating-point payload an event carries (estimates, loss rates, flags).
@@ -57,6 +58,11 @@ enum class EventId : std::uint16_t {
     kRegimeShift = 10,
     kPopulationBlock = 11,
     kBlameAttributed = 12,
+    /// The design service answered a request. `index` is the
+    /// design::DesignSource (0 fresh, 1 cache, 2 frontier), `value` the
+    /// serve latency in seconds, `block` the design epoch the request was
+    /// made for (the boundary block of the redesign that motivated it).
+    kDesignServed = 13,
 };
 
 /// Why the adaptive controller re-ran the designer; carried in the `index`

@@ -350,7 +350,12 @@ std::vector<ExpectationSuite> build_builtin_suites() {
                 [](const Event& ev) { return ev.index >= 1 && ev.index <= 3; },
                 "RedesignTriggered carries a known reason code")
         .within_blocks("redesign-follows-regime", EventId::kRegimeShift,
-                       EventId::kRedesignTriggered, 16);
+                       EventId::kRedesignTriggered, 16)
+        .expect("design-served-source-known", EventId::kDesignServed,
+                [](const Event& ev) { return ev.index <= 2; },
+                "DesignServed carries a known source code")
+        .within_blocks("design-served-after-redesign", EventId::kRedesignTriggered,
+                       EventId::kDesignServed, 4);
 
     // population: sanity of the sharded population engine's per-block
     // summary events. Standalone (population runs emit no per-packet

@@ -145,6 +145,9 @@ std::string RunManifest::to_json(int indent) const {
     str("timestamp_utc", timestamp_utc);
     str("perf_counters", perf_counters);
     if (!timeseries_out.empty()) str("timeseries_out", timeseries_out);
+    // Raw embed (frontier_json() emits a complete single-line object).
+    if (!design_frontier.empty())
+        out += field_pad + "\"design_frontier\": " + design_frontier + ",\n";
     out += field_pad + "\"metrics_counters\": {";
     bool first = true;
     for (const auto& [name, value] : metrics_counters) {

@@ -54,6 +54,11 @@ struct RunManifest {
     /// run ("" = none); rendered only when set, so runs without telemetry
     /// keep the v2 field layout.
     std::string timeseries_out;
+    /// Precomputed design-frontier snapshot (design::Designer::
+    /// frontier_json(), a single-line JSON object); "" = no frontier was
+    /// precomputed. Rendered only when set — additive-optional, so the
+    /// schema stays v3 and older readers skip the unknown field.
+    std::string design_frontier;
     /// Obs counter snapshot attached at emit time (process totals at the
     /// moment the manifest was written); informational, never gated on.
     std::vector<std::pair<std::string, std::uint64_t>> metrics_counters;

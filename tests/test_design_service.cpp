@@ -1,0 +1,463 @@
+// Design service (design/service.hpp, DESIGN.md §15).
+//
+// The load-bearing properties, each pinned down here:
+//
+//   * bit-identity — the incremental evaluator's estimates equal a full
+//     Monte-Carlo re-simulation after ANY add/remove sequence, and the
+//     incremental greedy designer reproduces the design_greedy_channel
+//     oracle's output graph byte for byte;
+//   * cache-key quantization — channel states in one cell share a key
+//     (and therefore one byte-identical design), states across a
+//     quantization edge never alias;
+//   * LRU/staleness — eviction order, capacity bounds and stale rebuilds
+//     behave under churn;
+//   * service events — every serve emits kDesignServed, and the extended
+//     adaptive-loop suite's bounded-lag rule accepts a controller-through-
+//     service redesign trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "core/authprob.hpp"
+#include "core/serialize.hpp"
+#include "core/topologies.hpp"
+#include "design/constructors.hpp"
+#include "design/service.hpp"
+#include "net/loss.hpp"
+#include "obs/expect.hpp"
+#include "obs/obs.hpp"
+
+using namespace mcauth;
+using namespace mcauth::design;
+
+namespace {
+
+// Exact-double comparison of the full estimate, treating NaN == NaN
+// (never-received vertices carry NaN by contract; bit-identity must cover
+// them too).
+void expect_same_prob(const MonteCarloAuthProb& a, const MonteCarloAuthProb& b) {
+    const auto same = [](double x, double y) {
+        return std::isnan(x) ? std::isnan(y) : x == y;
+    };
+    ASSERT_EQ(a.q.size(), b.q.size());
+    for (std::size_t v = 0; v < a.q.size(); ++v) {
+        EXPECT_TRUE(same(a.q[v], b.q[v])) << "q at vertex " << v;
+        EXPECT_TRUE(same(a.halfwidth[v], b.halfwidth[v])) << "halfwidth at " << v;
+    }
+    EXPECT_TRUE(same(a.q_min, b.q_min));
+    EXPECT_EQ(a.q_min_halfwidth, b.q_min_halfwidth);
+    EXPECT_EQ(a.trials, b.trials);
+}
+
+DependenceGraph spine(std::size_t n) { return make_offset_scheme(n, {1}); }
+
+}  // namespace
+
+// ------------------------------------------- incremental evaluator
+
+TEST(IncrementalEvaluator, MatchesFullResimAfterAddSequence) {
+    const std::size_t n = 40;
+    const auto loss = GilbertElliottLoss::from_rate_and_burst(0.25, 3.0);
+    const std::uint64_t seed = 4242;
+    const std::size_t trials = 300;  // ragged last batch on purpose
+
+    DependenceGraph dg = spine(n);
+    IncrementalChannelEvaluator eval(dg, loss, seed, trials);
+
+    const std::vector<std::pair<VertexId, VertexId>> adds = {
+        {0, 7}, {0, 20}, {5, 9}, {12, 30}, {0, 39}, {18, 22}, {2, 35}};
+    for (const auto& [u, v] : adds) {
+        dg.add_dependence(u, v);
+        eval.add_edge(u, v);
+        expect_same_prob(eval.auth_prob(),
+                         monte_carlo_auth_prob(dg, loss, seed, trials));
+    }
+}
+
+TEST(IncrementalEvaluator, MatchesFullResimAfterRemoveSequence) {
+    const std::size_t n = 32;
+    const BernoulliLoss loss(0.35);
+    const std::uint64_t seed = 99;
+    const std::size_t trials = 256;
+
+    // Start dense, then strip edges back out — removal must deltify too.
+    std::vector<std::pair<VertexId, VertexId>> extra;
+    for (VertexId v = 4; v < n; v += 3) extra.push_back({0, v});
+    for (VertexId v = 6; v < n; v += 5) extra.push_back({static_cast<VertexId>(v - 4), v});
+    DependenceGraph dg = spine(n);
+    for (const auto& [u, v] : extra) dg.add_dependence(u, v);
+
+    IncrementalChannelEvaluator eval(dg, loss, seed, trials);
+    // Baseline: the freshly constructed evaluator already matches.
+    expect_same_prob(eval.auth_prob(), monte_carlo_auth_prob(dg, loss, seed, trials));
+
+    // DependenceGraph has no edge removal, so the reference graph is
+    // rebuilt from scratch per step.
+    std::vector<std::pair<VertexId, VertexId>> present = extra;
+    while (!present.empty()) {
+        const auto [u, v] = present.back();
+        present.pop_back();
+        eval.remove_edge(u, v);
+
+        DependenceGraph ref = spine(n);
+        for (const auto& [a, b] : present) ref.add_dependence(a, b);
+        expect_same_prob(eval.auth_prob(),
+                         monte_carlo_auth_prob(ref, loss, seed, trials));
+    }
+}
+
+TEST(IncrementalEvaluator, DeltaSweepTouchesFractionOfGraph) {
+    const std::size_t n = 128;
+    const BernoulliLoss loss(0.2);
+    DependenceGraph dg = spine(n);
+    IncrementalChannelEvaluator eval(dg, loss, 7, 512);
+    // One edge deep in the graph: the cone is bounded by the vertices at or
+    // after the edge head, and the unchanged-word cutoff typically stops
+    // the sweep far earlier than even that.
+    eval.add_edge(100, 120);
+    const std::size_t batches = (512 + 63) / 64;
+    EXPECT_LE(eval.swept_vertices(), (n - 120) * batches);
+    EXPECT_GE(eval.swept_vertices(), batches);  // the head itself, per batch
+}
+
+TEST(IncrementalGreedy, ReproducesOracleByteForByte) {
+    GreedyDesignOptions opts;
+    for (const double burst : {1.0, 4.0}) {
+        DesignGoal goal;
+        goal.n = 48;
+        goal.p = 0.3;
+        goal.target_q_min = 0.92;
+        std::unique_ptr<LossModel> loss;
+        if (burst > 1.0)
+            loss = std::make_unique<GilbertElliottLoss>(
+                GilbertElliottLoss::from_rate_and_burst(goal.p, burst));
+        else
+            loss = std::make_unique<BernoulliLoss>(goal.p);
+
+        MonteCarloAuthProb final_prob;
+        const DependenceGraph fast = design_greedy_channel_incremental(
+            goal, *loss, 1234, 256, opts, &final_prob);
+        const DependenceGraph oracle =
+            design_greedy_channel(goal, *loss, 1234, 256, opts);
+        EXPECT_EQ(to_text(fast), to_text(oracle)) << "burst=" << burst;
+        // The reported final evaluation is the full-re-sim metric of the
+        // RETURNED graph, not of an intermediate.
+        expect_same_prob(final_prob, monte_carlo_auth_prob(fast, *loss, 1234, 256));
+    }
+}
+
+// ------------------------------------------------------ cache keys
+
+TEST(DesignerKeys, SameCellSharesKeyAcrossCellNever) {
+    Designer designer;  // p_step = 0.02, burst_step = 0.5, target_step = 0.01
+    DesignRequest a;
+    a.goal.n = 64;
+    a.goal.p = 0.185;
+    a.goal.target_q_min = 0.9;
+    a.method = DesignMethod::kGreedyChannel;
+    a.mean_burst = 3.2;
+
+    DesignRequest b = a;
+    b.goal.p = 0.195;  // same 0.02 cell as 0.185 (both ceil to 10)
+    EXPECT_EQ(designer.quantize(a), designer.quantize(b));
+
+    DesignRequest c = a;
+    c.goal.p = 0.205;  // across the 0.20 quantization edge
+    EXPECT_NE(designer.quantize(a), designer.quantize(c));
+
+    DesignRequest d = a;
+    d.mean_burst = 3.6;  // across the 3.5 burst edge (3.2 -> 7, 3.6 -> 8)
+    EXPECT_NE(designer.quantize(a), designer.quantize(d));
+
+    DesignRequest e = a;
+    e.goal.target_q_min = 0.905;  // across the 0.90 target edge
+    EXPECT_NE(designer.quantize(a), designer.quantize(e));
+
+    // An exact multiple of the step stays in its own cell: 0.20 must not
+    // round up to the 0.22 cell from fp noise in the division.
+    DesignRequest f = a;
+    f.goal.p = 0.20;
+    EXPECT_EQ(designer.quantize(a), designer.quantize(f));
+}
+
+TEST(DesignerKeys, QuantizationIsConservative) {
+    Designer designer;
+    DesignRequest req;
+    req.goal.n = 32;
+    req.goal.p = 0.173;
+    req.goal.target_q_min = 0.883;
+    req.method = DesignMethod::kGreedyChannel;
+    req.mean_burst = 2.1;
+    const DesignRequest mat = designer.materialize(req);
+    // The materialized point is the cell's worst corner: never below the
+    // requested state on any protection-relevant axis.
+    EXPECT_GE(mat.goal.p, req.goal.p);
+    EXPECT_GE(mat.goal.target_q_min, req.goal.target_q_min);
+    EXPECT_GE(mat.mean_burst, req.mean_burst);
+    EXPECT_NE(mat.seed, 0u);  // derived deterministically from the key
+    EXPECT_EQ(mat.seed, designer.quantize(req).derived_seed());
+}
+
+TEST(DesignerKeys, MethodAndPinnedSeedSeparateKeys) {
+    Designer designer;
+    DesignRequest a;
+    a.goal.n = 32;
+    a.method = DesignMethod::kGreedy;
+    DesignRequest b = a;
+    b.method = DesignMethod::kOffsetSet;
+    EXPECT_NE(designer.quantize(a), designer.quantize(b));
+    DesignRequest c = a;
+    c.seed = 77;  // pinned-seed requests never alias derived-seed ones
+    EXPECT_NE(designer.quantize(a), designer.quantize(c));
+}
+
+// ------------------------------------------------- cache behaviour
+
+TEST(DesignerCache, HitServesByteIdenticalDesign) {
+    Designer designer;
+    DesignRequest req;
+    req.goal.n = 48;
+    req.goal.p = 0.24;
+    req.goal.target_q_min = 0.93;
+    req.method = DesignMethod::kGreedyChannel;
+    req.mean_burst = 2.8;
+    req.mc_trials = 256;
+
+    const DesignResult fresh = designer.design(req);
+    EXPECT_EQ(fresh.source, DesignSource::kFresh);
+
+    DesignRequest inside = req;
+    inside.goal.p = 0.232;  // different channel state, same cell
+    const DesignResult cached = designer.design(inside);
+    EXPECT_EQ(cached.source, DesignSource::kCache);
+    EXPECT_TRUE(identical(fresh, cached));
+
+    EXPECT_EQ(designer.stats().hits, 1u);
+    EXPECT_EQ(designer.stats().misses, 1u);
+}
+
+TEST(DesignerCache, CachedEqualsUncachedOracle) {
+    // The acceptance contract: a service-served design is byte-identical
+    // to calling the uncached design_greedy_channel oracle at the
+    // materialized operating point.
+    Designer designer;
+    DesignRequest req;
+    req.goal.n = 40;
+    req.goal.p = 0.27;
+    req.goal.target_q_min = 0.91;
+    req.method = DesignMethod::kGreedyChannel;
+    req.mean_burst = 3.0;
+    req.mc_trials = 256;
+
+    const DesignResult served = designer.design(req);
+    const DesignRequest mat = designer.materialize(req);
+    const DependenceGraph oracle = design_greedy_channel(
+        mat.goal,
+        GilbertElliottLoss::from_rate_and_burst(std::clamp(mat.goal.p, 1e-3, 0.999),
+                                                mat.mean_burst),
+        mat.seed, mat.mc_trials, mat.greedy);
+    EXPECT_EQ(to_text(served.graph), to_text(oracle));
+}
+
+TEST(DesignerCache, ShimFamiliesMatchFreeFunctions) {
+    // Byte-identity of the Designer against each free-function entry point
+    // it fronts, at the materialized operating point.
+    Designer designer;
+    DesignRequest req;
+    req.goal.n = 36;
+    req.goal.p = 0.2;
+    req.goal.target_q_min = 0.9;
+
+    req.method = DesignMethod::kGreedy;
+    {
+        const DesignRequest mat = designer.materialize(req);
+        EXPECT_EQ(to_text(designer.design(req).graph),
+                  to_text(design_greedy(mat.goal, mat.greedy)));
+    }
+
+    req.method = DesignMethod::kOffsetSet;
+    {
+        const DesignRequest mat = designer.materialize(req);
+        const OffsetDesignResult ref = design_offset_set(mat.goal);
+        const DesignResult served = designer.design(req);
+        ASSERT_TRUE(ref.feasible);
+        EXPECT_TRUE(served.feasible);
+        EXPECT_EQ(served.offsets, ref.offsets);
+        EXPECT_EQ(to_text(served.graph),
+                  to_text(make_offset_scheme(mat.goal.n, ref.offsets, "offset-design")));
+    }
+
+    req.method = DesignMethod::kRandom;
+    req.seed = 321;
+    {
+        const DesignRequest mat = designer.materialize(req);
+        Rng rng(mat.seed);
+        const RandomDesignResult ref = design_random(mat.goal, rng, mat.random_tolerance);
+        const DesignResult served = designer.design(req);
+        ASSERT_TRUE(ref.feasible);
+        EXPECT_TRUE(served.feasible);
+        EXPECT_EQ(served.edge_prob, ref.edge_prob);
+        Rng draw_rng(rng.next_u64());
+        EXPECT_EQ(to_text(served.graph),
+                  to_text(make_random_scheme(mat.goal.n, ref.edge_prob, draw_rng)));
+    }
+}
+
+TEST(DesignerCache, LruEvictsLeastRecentlyTouchedUnderChurn) {
+    DesignerOptions opts;
+    opts.cache_capacity = 3;
+    Designer designer(opts);
+
+    const auto request_at = [](double p) {
+        DesignRequest req;
+        req.goal.n = 24;
+        req.goal.p = p;
+        req.goal.target_q_min = 0.9;
+        req.method = DesignMethod::kGreedy;
+        return req;
+    };
+
+    // Five distinct cells through a capacity-3 cache: the two oldest fall out.
+    for (const double p : {0.10, 0.14, 0.18, 0.22, 0.26})
+        EXPECT_EQ(designer.design(request_at(p)).source, DesignSource::kFresh);
+    EXPECT_EQ(designer.cache_size(), 3u);
+    EXPECT_EQ(designer.stats().evictions, 2u);
+
+    // The survivors hit, in an order that makes 0.26 the LRU entry...
+    EXPECT_EQ(designer.design(request_at(0.26)).source, DesignSource::kCache);
+    EXPECT_EQ(designer.design(request_at(0.22)).source, DesignSource::kCache);
+    EXPECT_EQ(designer.design(request_at(0.18)).source, DesignSource::kCache);
+    // ...so re-inserting the evicted 0.10 evicts exactly 0.26 (touch order,
+    // not insertion order), leaving 0.18 and 0.22 resident.
+    EXPECT_EQ(designer.design(request_at(0.10)).source, DesignSource::kFresh);
+    EXPECT_EQ(designer.stats().evictions, 3u);
+    EXPECT_EQ(designer.design(request_at(0.18)).source, DesignSource::kCache);
+    EXPECT_EQ(designer.design(request_at(0.22)).source, DesignSource::kCache);
+    EXPECT_EQ(designer.design(request_at(0.26)).source, DesignSource::kFresh);
+    EXPECT_EQ(designer.cache_size(), 3u);
+}
+
+TEST(DesignerCache, StaleEntriesRebuild) {
+    DesignerOptions opts;
+    opts.stale_after_serves = 2;
+    Designer designer(opts);
+
+    DesignRequest a;
+    a.goal.n = 24;
+    a.goal.p = 0.2;
+    a.method = DesignMethod::kGreedy;
+    DesignRequest b = a;
+    b.goal.p = 0.3;
+
+    EXPECT_EQ(designer.design(a).source, DesignSource::kFresh);  // serve 1
+    EXPECT_EQ(designer.design(b).source, DesignSource::kFresh);  // serve 2
+    EXPECT_EQ(designer.design(b).source, DesignSource::kCache);  // serve 3
+    // Serve 4: a's entry is now 3 serves old (> 2) — stale, rebuilt fresh.
+    EXPECT_EQ(designer.design(a).source, DesignSource::kFresh);
+    EXPECT_EQ(designer.stats().stale, 1u);
+}
+
+// --------------------------------------------------------- frontier
+
+TEST(DesignerFrontier, PrecomputedCellServesAndSerializes) {
+    Designer designer;
+    FrontierSpec spec;
+    spec.method = DesignMethod::kGreedy;
+    spec.n = 32;
+    spec.p_grid = {0.1, 0.2, 0.3};
+    spec.target_grid = {0.9};
+    EXPECT_EQ(designer.precompute_frontier(spec), 3u);
+    EXPECT_EQ(designer.frontier_size(), 3u);
+
+    DesignRequest req;
+    req.goal.n = 32;
+    req.goal.p = 0.193;  // inside the precomputed 0.2 cell
+    req.goal.target_q_min = 0.9;
+    req.method = DesignMethod::kGreedy;
+    req.greedy.max_edges = 4 * 32;  // the frontier's resolved edge cap
+    const DesignResult served = designer.design(req);
+    EXPECT_EQ(served.source, DesignSource::kFrontier);
+    EXPECT_EQ(designer.stats().frontier_hits, 1u);
+    EXPECT_EQ(designer.stats().misses, 0u);
+
+    // The frontier-served design equals the fresh build at the same cell.
+    Designer plain;
+    EXPECT_TRUE(identical(served, plain.design(req)));
+
+    const std::string json = designer.frontier_json();
+    EXPECT_NE(json.find("mcauth-design-frontier-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"hashes_per_packet\""), std::string::npos);
+    // At a single target, at least the cheapest feasible design survives
+    // the dominance pass.
+    EXPECT_NE(json.find("\"pareto\": true"), std::string::npos);
+}
+
+// ------------------------------------------- controller + events
+
+TEST(DesignServiceEvents, ControllerRedesignEmitsServedWithinLagBound) {
+    mcauth::obs::set_enabled(true);
+    mcauth::obs::set_trace_enabled(true);
+    mcauth::obs::TraceRecorder::global().clear();
+
+    const mcauth::obs::ExpectationSuite* suite = mcauth::obs::find_suite("adaptive-loop");
+    ASSERT_NE(suite, nullptr);
+    {
+        mcauth::obs::OnlineConformance conformance(*suite);
+
+        adapt::AdaptiveOptions options;
+        options.mc_trials = 128;
+        auto designer = std::make_shared<Designer>();
+        options.designer = designer;
+        adapt::AdaptiveController ctrl(options, 7);
+        ASSERT_TRUE(ctrl.on_block_boundary(0));  // kRedesignTriggered @ 0
+        (void)ctrl.topology()(24);               // kDesignServed @ 0 (fresh)
+        (void)ctrl.topology()(24);               // kDesignServed @ 0 (cache)
+
+        EXPECT_EQ(designer->stats().misses, 1u);
+        EXPECT_EQ(designer->stats().hits, 1u);
+
+        const mcauth::obs::ConformanceReport report = conformance.finish();
+        EXPECT_TRUE(report.ok()) << report.render_text();
+    }
+
+    // The trace carries the served events with a known source code and a
+    // non-negative latency.
+    const auto events =
+        mcauth::obs::extract_events(mcauth::obs::TraceRecorder::global().snapshot());
+    std::size_t served = 0;
+    for (const auto& ev : events)
+        if (ev.id == mcauth::obs::EventId::kDesignServed) {
+            ++served;
+            EXPECT_LE(ev.index, 2u);
+            EXPECT_GE(ev.value, 0.0);
+        }
+    EXPECT_EQ(served, 2u);
+    mcauth::obs::set_trace_enabled(false);
+}
+
+TEST(DesignServiceEvents, SharedDesignerAmortizesAcrossControllers) {
+    // Two controllers at the same operating point share one cached design —
+    // the fleet-amortization property the key-derived seed exists for: the
+    // design seed is a function of the quantized cell, not of either
+    // controller's own seed.
+    auto designer = std::make_shared<Designer>();
+    adapt::AdaptiveOptions options;
+    options.mc_trials = 128;
+    options.designer = designer;
+
+    adapt::AdaptiveController a(options, 1);
+    adapt::AdaptiveController b(options, 2);  // different controller seed
+    ASSERT_TRUE(a.on_block_boundary(0));
+    ASSERT_TRUE(b.on_block_boundary(0));
+    const DependenceGraph ga = a.topology()(32);
+    const DependenceGraph gb = b.topology()(32);
+    EXPECT_EQ(to_text(ga), to_text(gb));
+    EXPECT_EQ(designer->stats().misses, 1u);
+    EXPECT_EQ(designer->stats().hits, 1u);
+}

@@ -216,6 +216,9 @@ TEST_F(ExpectTest, BoundedLagAcceptsRedesignWithinWindow) {
     events.push_back(make_event(
         EventId::kRedesignTriggered, 20,
         static_cast<std::uint32_t>(RedesignReason::kLossDrift), 0, 0.3));
+    // The design service answers the redesign (design-served-after-redesign
+    // is itself a bounded-lag rule of the adaptive suite).
+    events.push_back(make_event(EventId::kDesignServed, 20, /*source=*/0, 0, 1e-4));
     events.push_back(make_event(EventId::kQHatUpdated, 40, 0, 1, 0.25));
     EXPECT_TRUE(check_events(*suite, events, 0).ok());
 }

@@ -156,6 +156,14 @@ int main(int argc, char** argv) {
         std::string text;
     };
     std::vector<Annotation> annotations;
+    // kDesignServed: index = design::DesignSource (0 fresh / 1 cache /
+    // 2 frontier), value = serve latency in seconds.
+    struct DesignServeTally {
+        std::uint64_t count = 0;
+        double latency_sum = 0.0;
+        double latency_max = 0.0;
+    };
+    std::map<std::string, DesignServeTally> design_serves;
     std::uint64_t class_signature_lost = 0;
     std::uint64_t class_paths_cut = 0;
     for (const Event& ev : events) {
@@ -186,6 +194,16 @@ int main(int argc, char** argv) {
                              static_cast<obs::RedesignReason>(ev.index)) +
                          "), q target " + fmt(ev.value, 3)});
                 break;
+            case EventId::kDesignServed: {
+                static const char* kSources[] = {"fresh", "cache", "frontier"};
+                const std::string source =
+                    ev.index < 3 ? kSources[ev.index] : "unknown";
+                DesignServeTally& t = design_serves[source];
+                ++t.count;
+                t.latency_sum += ev.value;
+                t.latency_max = std::max(t.latency_max, ev.value);
+                break;
+            }
             case EventId::kBlameAttributed:
                 if (ev.value == 2.0)
                     ++class_signature_lost;
@@ -242,6 +260,7 @@ int main(int argc, char** argv) {
     std::map<std::string, double> edge_blame;
     std::map<std::string, double> link_blame;
     std::map<std::string, std::uint64_t> class_counters;
+    std::map<std::string, std::uint64_t> cache_counters;  // design.cache.*
     for (const TsSample& s : ts) {
         if (s.kind != "counter") continue;
         if (s.series.rfind("attrib.edge.", 0) == 0)
@@ -250,6 +269,9 @@ int main(int argc, char** argv) {
             link_blame[s.series.substr(12)] += s.value;
         else if (s.series.rfind("attrib.class.", 0) == 0)
             class_counters[s.series.substr(13)] +=
+                static_cast<std::uint64_t>(s.value);
+        else if (s.series.rfind("design.cache.", 0) == 0)
+            cache_counters[s.series.substr(13)] +=
                 static_cast<std::uint64_t>(s.value);
     }
     const auto top_of = [&](const std::map<std::string, double>& m) {
@@ -333,6 +355,36 @@ int main(int argc, char** argv) {
                          });
         for (const Annotation& a : annotations)
             md += "- block " + std::to_string(a.block) + ": " + a.text + "\n";
+        md += "\n";
+    }
+
+    if (!design_serves.empty() || !cache_counters.empty()) {
+        md += "## Design service\n\n";
+        if (!design_serves.empty()) {
+            md += "| source | serves | mean latency (ms) | max latency (ms) |\n";
+            md += "|---|---|---|---|\n";
+            std::uint64_t total = 0;
+            for (const auto& [source, t] : design_serves) {
+                total += t.count;
+                const double mean =
+                    t.count ? t.latency_sum / static_cast<double>(t.count) : 0.0;
+                md += "| " + source + " | " + std::to_string(t.count) + " | " +
+                      fmt(1e3 * mean) + " | " + fmt(1e3 * t.latency_max) + " |\n";
+            }
+            const std::uint64_t fresh =
+                design_serves.count("fresh") ? design_serves.at("fresh").count : 0;
+            if (total > 0)
+                md += "\n- " + std::to_string(total) + " design(s) served, " +
+                      fmt(100.0 * static_cast<double>(total - fresh) /
+                              static_cast<double>(total),
+                          1) +
+                      "% without a fresh build\n";
+        }
+        if (!cache_counters.empty()) {
+            md += "\n| design.cache.* | total |\n|---|---|\n";
+            for (const auto& [name, count] : cache_counters)
+                md += "| " + name + " | " + std::to_string(count) + " |\n";
+        }
         md += "\n";
     }
 
